@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+The experiment context (datasets + trained index grids) is built once per
+session; each benchmark regenerates one table or figure of the paper and
+asserts its shape claims.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.context import ExperimentContext, small_context
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return small_context()
+
+
+def emit(title: str, text: str) -> None:
+    """Print an experiment artifact so it lands in the benchmark log."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")

@@ -1,0 +1,69 @@
+"""Ablation: on-chip index caching vs HBM streaming (Table 2's "Caches").
+
+Claims checked:
+- caching the IVF index on-chip halves Stage IVFDist's initiation interval
+  (throughput doubles when IVFDist-bound) at a URAM cost;
+- for large nlist the cache no longer fits the budget, so the enumerator
+  must fall back to HBM designs — "if nlist is large enough, caching the
+  IVF index on-chip is not a choice at all" (§3.3).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.design_space import enumerate_designs
+from repro.core.perf_model import IndexProfile, predict
+from repro.core.timing import stage_cycles
+from repro.harness.formatting import format_table
+from repro.hw.device import U55C
+
+
+def test_caching_ablation(benchmark):
+    params = AlgorithmParams(d=128, nlist=2**14, nprobe=16, k=10)
+    rows = []
+
+    def run():
+        for cache in (True, False):
+            cfg = AcceleratorConfig(
+                params=params, n_ivf_pes=8, n_lut_pes=8, n_pq_pes=16,
+                ivf_cache_on_chip=cache,
+            )
+            sc = stage_cycles(cfg, codes_per_query=200_000)
+            rows.append(
+                ["on-chip" if cache else "HBM", sc["IVFDist"].occupancy,
+                 cfg.ivf_pe_spec().resources.uram * cfg.n_ivf_pes]
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: IVF index caching",
+        format_table(["IVF store", "IVFDist occupancy (cycles)", "URAM"], rows),
+    )
+
+    # On-chip caching halves the stage occupancy but costs URAM.
+    assert rows[1][1] == 2 * rows[0][1]
+    assert rows[0][2] > rows[1][2]
+
+    # At huge nlist the cached variant must disappear from the valid set.
+    big = AlgorithmParams(d=128, nlist=2**20, nprobe=16, k=10)
+    caches = {
+        cfg.ivf_cache_on_chip
+        for cfg in enumerate_designs(big, U55C, pe_grid=(8, 16))
+    }
+    assert caches == {False}
+
+    # And the performance model sees the caching benefit end-to-end when
+    # IVFDist-bound.
+    profile = IndexProfile(
+        nlist=2**14, use_opq=False, cell_sizes=np.full(2**14, 500)
+    )
+    qps = {}
+    for cache in (True, False):
+        cfg = AcceleratorConfig(
+            params=params, n_ivf_pes=4, n_lut_pes=8, n_pq_pes=32,
+            ivf_cache_on_chip=cache,
+        )
+        qps[cache] = predict(cfg, profile).qps
+    assert qps[True] > 1.5 * qps[False]

@@ -1,0 +1,59 @@
+"""Ablation: device sensitivity of the co-design.
+
+FANNS takes the FPGA device as an input (Figure 4); the optimal design must
+adapt to the resource balance of the card.  We compare the U55C (the
+paper's card) against a U250-class card (more LUTs/DSPs) and a small test
+device: bigger budgets must never *hurt* the achievable QPS, and the small
+device must force a smaller design.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.config import AlgorithmParams
+from repro.core.design_space import enumerate_designs
+from repro.core.perf_model import IndexProfile, predict
+from repro.core.resource_model import total_resources
+from repro.harness.formatting import format_table
+from repro.hw.device import SMALL_DEVICE, U250, U55C
+
+PARAMS = AlgorithmParams(d=128, nlist=2**13, nprobe=17, k=10)
+PROFILE = IndexProfile(
+    nlist=2**13, use_opq=False,
+    cell_sizes=np.full(2**13, 100_000_000 // 2**13, dtype=np.int64),
+)
+GRID = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48)
+
+
+def best(device):
+    top = None
+    for cfg in enumerate_designs(PARAMS, device, pe_grid=GRID):
+        pred = predict(cfg, PROFILE)
+        if top is None or pred.qps > top[0]:
+            top = (pred.qps, cfg)
+    return top
+
+
+def test_device_sensitivity(benchmark):
+    def run():
+        return {dev.name: best(dev) for dev in (SMALL_DEVICE, U55C, U250)}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, (qps, cfg) in result.items():
+        rows.append([name, qps, cfg.n_ivf_pes, cfg.n_lut_pes, cfg.n_pq_pes, cfg.selk_arch])
+    emit(
+        "Ablation: device sensitivity",
+        format_table(["device", "best QPS", "ivf", "lut", "pq", "selk"], rows),
+    )
+
+    q_small = result[SMALL_DEVICE.name][0]
+    q_u55c = result[U55C.name][0]
+    q_u250 = result[U250.name][0]
+    # Bigger budget never hurts.
+    assert q_u55c >= q_small
+    assert q_u250 >= q_u55c
+    # The small device forces a materially smaller accelerator.
+    small_cfg = result[SMALL_DEVICE.name][1]
+    u55c_cfg = result[U55C.name][1]
+    assert total_resources(small_cfg).lut < total_resources(u55c_cfg).lut

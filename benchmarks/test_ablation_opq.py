@@ -1,0 +1,52 @@
+"""Ablation: OPQ on/off (Table 2's "OPQenable").
+
+Claims checked:
+- OPQ reduces quantization error on correlated data, which lets an index
+  reach the same recall with a smaller nprobe (or reach recalls plain PQ
+  cannot) — the reason FANNS trains every nlist both ways;
+- at query time OPQ costs one extra (cheap) pipeline stage.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.index_explorer import IndexExplorer, RecallGoal
+from repro.data.datasets import Dataset
+from repro.data.synthetic import make_clustered
+from repro.harness.formatting import format_table
+
+
+def test_opq_ablation(benchmark):
+    vecs = make_clustered(6200, 64, n_clusters=64, intrinsic_dim=6, seed=4)
+    ds = Dataset(name="opq-ablation", base=vecs[:6000], queries=vecs[6000:])
+    ds.ensure_ground_truth(10)
+    explorer = IndexExplorer(m=8, ksub=64, seed=0, max_train_vectors=6000)
+
+    def run():
+        cands = explorer.build(ds, [32], opq_options=(False, True))
+        goal = RecallGoal(10, 0.60)
+        out = {}
+        for cand in cands:
+            nprobe = explorer.min_nprobe(cand, ds, goal, max_queries=100)
+            err = (
+                cand.index.opq.quantization_error(ds.base[:1000])
+                if cand.index.opq is not None
+                else cand.index.pq.quantization_error(ds.base[:1000])
+            )
+            out[cand.key] = (nprobe, err)
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, v[0] if v[0] is not None else "unreachable", v[1]] for k, v in result.items()]
+    emit("Ablation: OPQ on/off", format_table(["index", "min nprobe @R@10=60%", "quant MSE"], rows))
+
+    keys = list(result)
+    plain = next(k for k in keys if not k.startswith("OPQ+"))
+    opq = next(k for k in keys if k.startswith("OPQ+"))
+
+    # OPQ must not lose on quantization error (rotation is learned).
+    assert result[opq][1] <= result[plain][1] * 1.05
+    # And must reach the goal with no more nprobe than plain PQ (allowing
+    # one step of slack for search noise).
+    if result[plain][0] is not None and result[opq][0] is not None:
+        assert result[opq][0] <= result[plain][0] + 1

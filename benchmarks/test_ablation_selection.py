@@ -1,0 +1,48 @@
+"""Ablation: HPQ vs HSMPQG K-selection microarchitecture.
+
+DESIGN.md §5 calls out the selection-stage choice.  Claims checked:
+- at K=10 with many producer streams, HSMPQG saves LUTs over HPQ (this is
+  why the paper's K=10 accelerator chose it);
+- at K=100 with few streams HSMPQG is not even constructible (s >= z) and
+  HPQ is the only choice, as in the paper's K=100 accelerator;
+- both designs are *functionally exact*: they select the true top-K.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness.formatting import format_table
+from repro.hw.selection import HPQ, HSMPQG, valid_selectors
+
+
+def test_selection_ablation(benchmark):
+    rows = []
+    rng = np.random.default_rng(0)
+
+    def sweep():
+        for z in (16, 36, 64):
+            for s in (1, 10):
+                for sel in valid_selectors(z, s):
+                    rows.append(
+                        [f"z={z}", f"s={s}", sel.arch, f"{sel.resources.lut:,.0f}",
+                         sel.n_input_streams]
+                    )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation: selection microarchitecture LUT cost",
+        format_table(["streams", "results", "arch", "LUT", "#InStream"], rows),
+    )
+
+    # HSMPQG wins at (z=36, s=10): the paper's K=10 choice.
+    assert HSMPQG(36, 10).resources.lut < HPQ(36, 10).resources.lut
+    # Only HPQ is valid at K=100 with 9 producers: the paper's K=100 choice.
+    assert [s.arch for s in valid_selectors(9, 100)] == ["HPQ"]
+
+    # Functional exactness of both options.
+    vals = rng.standard_normal((36, 64))
+    expect = np.sort(vals.ravel())[:10]
+    for sel in (HPQ(36, 10), HSMPQG(36, 10)):
+        got, _ = sel.select(vals)
+        np.testing.assert_allclose(got, expect)

@@ -1,0 +1,23 @@
+"""Figure 1 benchmark: eight-FPGA vs eight-GPU distributed latency.
+
+Paper shapes asserted: at eight accelerators the FPGA cluster wins both
+median and P95 latency, and the P95 advantage exceeds the median advantage
+(the tail is where the GPU's max-of-8 hurts; paper: 5.5x median, 7.6x P95).
+"""
+
+from conftest import emit
+
+from repro.harness import fig01
+
+
+def test_fig01_eight_accelerators(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig01.run, args=(ctx,), kwargs=dict(n_queries=1200), rounds=1, iterations=1
+    )
+    emit("Figure 1: 8-accelerator scale-out", result.format())
+
+    assert result.speedup(50) > 1.5, "FPGA must win the median at 8 accelerators"
+    assert result.speedup(95) > 2.0, "FPGA must win P95 at 8 accelerators"
+    assert result.speedup(95) > result.speedup(50) * 0.9, (
+        "the tail advantage should be at least comparable to the median one"
+    )

@@ -1,0 +1,38 @@
+"""Figure 3 benchmark: CPU/GPU bottlenecks shift with nprobe, nlist, K.
+
+Paper shapes asserted:
+- CPU & GPU: PQDist+SelK share grows with nprobe (GPU: ~20 % -> ~80 %);
+- CPU & GPU: IVFDist share grows with nlist, more pronounced on the CPU;
+- GPU: SelK share grows significantly with K; CPU: barely moves.
+"""
+
+from conftest import emit
+
+from repro.harness import fig03
+
+
+def test_fig03_bottleneck_shifts(benchmark):
+    result = benchmark.pedantic(fig03.run, rounds=1, iterations=1)
+    emit("Figure 3: stage-time breakdowns", result.format())
+
+    scan = ("PQDist", "SelK")
+    # nprobe column.
+    for hw in ("CPU", "GPU"):
+        assert result.share(hw, "nprobe", 128, scan) > result.share(hw, "nprobe", 1, scan)
+    assert result.share("GPU", "nprobe", 1, scan) < 0.35  # "from 20%"
+    assert result.share("GPU", "nprobe", 128, scan) > 0.7  # "to 80%"
+
+    # nlist column: IVFDist grows; CPU effect stronger at the common value.
+    for hw in ("CPU", "GPU"):
+        assert result.share(hw, "nlist", 2**18, ("IVFDist",)) > result.share(
+            hw, "nlist", 2**10, ("IVFDist",)
+        )
+    assert result.share("CPU", "nlist", 2**14, ("IVFDist",)) > result.share(
+        "GPU", "nlist", 2**14, ("IVFDist",)
+    )
+
+    # K column: GPU SelK inflates; CPU barely reacts.
+    gpu_k = result.share("GPU", "K", 100, ("SelK",)) - result.share("GPU", "K", 1, ("SelK",))
+    cpu_k = result.share("CPU", "K", 100, ("SelK",)) - result.share("CPU", "K", 1, ("SelK",))
+    assert gpu_k > 0.08
+    assert abs(cpu_k) < 0.05

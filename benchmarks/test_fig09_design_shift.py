@@ -1,0 +1,41 @@
+"""Figure 9 benchmark: the optimal FPGA design shifts with parameters.
+
+Paper shapes asserted (§7.2.1):
+- nprobe up  -> PQDist+SelK resources up, IVFDist share down;
+- nlist up   -> IVFDist share up;
+- K up       -> SelK share up (priority-queue cost linear in K).
+"""
+
+from conftest import emit
+
+from repro.harness import fig09
+
+
+def test_fig09_optimal_designs_shift(benchmark):
+    result = benchmark.pedantic(
+        fig09.run,
+        kwargs=dict(nprobes=(1, 16, 64), nlists=(2**11, 2**13, 2**15), ks=(1, 10, 100)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 9: optimal design resource ratios", result.format())
+    r = result.ratios
+
+    # nprobe panel.
+    assert r[("nprobe", 1)]["IVFDist"] > r[("nprobe", 64)]["IVFDist"]
+    scan1 = r[("nprobe", 1)]["PQDist"] + r[("nprobe", 1)]["SelK"] + r[("nprobe", 1)]["BuildLUT"]
+    scan64 = (
+        r[("nprobe", 64)]["PQDist"] + r[("nprobe", 64)]["SelK"] + r[("nprobe", 64)]["BuildLUT"]
+    )
+    assert scan64 > scan1
+
+    # nlist panel.
+    assert r[("nlist", 2**15)]["IVFDist"] > r[("nlist", 2**11)]["IVFDist"]
+
+    # K panel.
+    assert r[("K", 100)]["SelK"] > r[("K", 10)]["SelK"] > r[("K", 1)]["SelK"]
+    assert r[("K", 100)]["SelK"] > 0.5  # queues dominate at K=100 (31.7 % of
+    # the whole chip in Table 4 => far more than half of the design's LUTs)
+
+    # Microarchitecture switches: K=100 must use HPQ (HSMPQG cannot filter).
+    assert result.designs[("K", 100)].selk_arch == "HPQ"

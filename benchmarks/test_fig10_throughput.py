@@ -1,0 +1,44 @@
+"""Figure 10 benchmark: batch throughput, FANNS vs CPU / GPU / fixed FPGA.
+
+Paper shapes asserted (§7.3.1):
+- FANNS >= the parameter-independent FPGA baseline everywhere, with a
+  meaningful gap somewhere (paper: 1.3-23x; large-nlist dynamics behind the
+  23x extreme do not arise at the scaled nlist grid — see EXPERIMENTS.md);
+- FANNS beats the CPU at K in {1, 10} and the CPU catches up around K=100
+  (paper: 0.8-37.2x);
+- the GPU stays above the FPGA in batch throughput (paper: 5.3-22x);
+- measured (simulated) QPS lands near the model prediction (paper:
+  86.9-99.4 %).
+"""
+
+from conftest import emit
+
+from repro.harness import fig10
+
+
+def test_fig10_throughput(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig10.run, args=(ctx,), kwargs=dict(n_batch_queries=200), rounds=1, iterations=1
+    )
+    emit("Figure 10: batch throughput", result.format())
+    cells = result.cells
+    assert len(cells) >= 5  # two datasets x three goals (one may be skipped)
+
+    for key, c in cells.items():
+        # Co-design never loses to the fixed design.
+        assert c.fanns_vs_baseline > 0.95, key
+        # GPU above FPGA in batch mode.
+        assert c.gpu_vs_fanns > 2.0, key
+        # Model accuracy in the paper's neighbourhood.
+        assert 0.80 < c.model_accuracy < 1.15, key
+
+    # A meaningful co-design gap exists somewhere.
+    assert max(c.fanns_vs_baseline for c in cells.values()) > 1.25
+
+    # CPU relationship flips with K: FPGA wins at small K, CPU closes in at
+    # K=100 (the paper's FPGA is "slightly surpassed by the CPU when K=100").
+    k_small = [c.fanns_vs_cpu for (ds, g), c in cells.items() if "R@1=" in g or "R@10=" in g]
+    k_large = [c.fanns_vs_cpu for (ds, g), c in cells.items() if "R@100=" in g]
+    assert max(k_small) > 1.25
+    assert min(k_large) < 1.15
+    assert min(k_large) <= min(k_small) + 0.15

@@ -1,0 +1,32 @@
+"""Figure 11 benchmark: single-node online latency distributions.
+
+Paper shapes asserted (§7.3.2):
+- the FPGA has by far the lowest latency *variance* (fixed pipeline logic);
+- the GPU has the heaviest tail relative to its median;
+- the FPGA beats the CPU at P95 (paper: 2.0-4.6x).
+"""
+
+from conftest import emit
+
+from repro.harness import fig11
+
+
+def test_fig11_latency_distributions(benchmark, ctx):
+    result = benchmark.pedantic(
+        fig11.run, args=(ctx,), kwargs=dict(n_queries=1500), rounds=1, iterations=1
+    )
+    emit("Figure 11: online latency distributions", result.format())
+
+    spread = {
+        hw: result.percentile(hw, 99) / result.percentile(hw, 50)
+        for hw in ("CPU", "GPU", "FPGA")
+    }
+    # FPGA variance smallest; GPU tail heaviest.
+    assert spread["FPGA"] < spread["CPU"] < spread["GPU"]
+    assert spread["FPGA"] < 1.6
+
+    # FPGA P95 beats CPU P95 (paper: 2.0-4.6x better).
+    assert result.percentile("FPGA", 95) < result.percentile("CPU", 95)
+
+    # GPU median is the lowest (raw flop/s), as in the paper.
+    assert result.percentile("GPU", 50) < result.percentile("CPU", 50)

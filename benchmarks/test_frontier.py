@@ -1,0 +1,32 @@
+"""Recall-QPS frontier benchmark (extension beyond the paper's fixed goals).
+
+Checks the frontier view is consistent with Figure 10's structure:
+- recall is monotone in nprobe;
+- every platform's QPS is non-increasing in nprobe;
+- the GPU curve sits above the FPGA curve at matched nprobe (batch mode).
+"""
+
+from conftest import emit
+
+from repro.harness import frontier
+
+
+def test_recall_qps_frontier(benchmark, ctx):
+    result = benchmark.pedantic(
+        frontier.run,
+        args=(ctx,),
+        kwargs=dict(nprobes=(1, 4, 16, 32), n_queries=100),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Recall-QPS frontier", result.format())
+
+    recalls = [p.recall for p in result.points]
+    assert recalls == sorted(recalls)
+
+    for platform in ("FPGA", "CPU", "GPU"):
+        curve = [p.qps[platform] for p in result.points]
+        assert all(a >= b * 0.999 for a, b in zip(curve, curve[1:])), platform
+
+    for p in result.points:
+        assert p.qps["GPU"] > p.qps["FPGA"]

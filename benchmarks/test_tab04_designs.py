@@ -1,0 +1,46 @@
+"""Table 4 benchmark: FANNS designs vs the human-crafted baseline.
+
+Paper shapes asserted (§7.2.2):
+- FANNS picks different (index, nprobe) per recall goal;
+- FANNS generates different hardware per goal;
+- the SelK stage's LUT share spans a wide range across goals (2.9-31.7 % in
+  the paper) and grows with K;
+- every generated design fits the U55C at 60 % utilization.
+"""
+
+from conftest import emit
+
+from repro.core.resource_model import is_valid, utilization_report
+from repro.harness import tab04
+from repro.hw.device import U55C
+
+
+def test_tab04_designs(benchmark, ctx):
+    result = benchmark.pedantic(tab04.run, args=(ctx,), rounds=1, iterations=1)
+    emit("Table 4: baseline vs FANNS designs", result.format())
+
+    fits = result.fits
+    assert len(fits) == 3
+
+    # Different algorithm parameters per goal.
+    combos = {(r.config.params.nlist, r.config.params.nprobe, r.config.params.k)
+              for r in fits.values()}
+    assert len(combos) == 3
+
+    # Different hardware per goal.
+    hw = {
+        (r.config.n_ivf_pes, r.config.n_lut_pes, r.config.n_pq_pes, r.config.selk_arch)
+        for r in fits.values()
+    }
+    assert len(hw) >= 2
+
+    # SelK LUT share grows with K.
+    selk_shares = {}
+    for goal_str, res in fits.items():
+        rep = utilization_report(res.config, U55C)
+        selk_shares[res.goal.k] = rep["SelK"]["lut_pct"]
+    assert selk_shares[100] > selk_shares[10] > selk_shares[1]
+
+    # All designs valid under the paper's utilization cap.
+    for res in fits.values():
+        assert is_valid(res.config, U55C, max_utilization=0.6)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Bottleneck analysis: why vector search needs hardware-algorithm co-design.
+
+Reproduces the paper's two motivating studies:
+
+- Figure 3: on CPUs and GPUs the dominant search stage *shifts* with
+  nprobe, nlist, and K — no fixed accelerator serves all settings well;
+- Figure 9: consequently, the optimal FPGA design (resource share per
+  stage) moves dramatically as the parameters move.
+
+Everything here is analytic (performance + cost models at the paper's
+100M-vector scale) and runs in seconds.
+"""
+
+from repro.harness import fig03, fig09
+
+
+def main() -> None:
+    print("== Figure 3: CPU/GPU stage-time breakdowns ==")
+    r3 = fig03.run()
+    print(r3.format())
+
+    print("\nKey shifts (share of PQDist+SelK as nprobe grows):")
+    for hw in ("CPU", "GPU"):
+        lo = r3.share(hw, "nprobe", 1, ("PQDist", "SelK"))
+        hi = r3.share(hw, "nprobe", 128, ("PQDist", "SelK"))
+        print(f"  {hw}: {lo * 100:.0f}% -> {hi * 100:.0f}%")
+
+    print("\n== Figure 9: optimal FPGA design vs parameters ==")
+    r9 = fig09.run(nprobes=(1, 16, 64), nlists=(2**11, 2**13, 2**15), ks=(1, 10, 100))
+    print(r9.format())
+
+    print("\nReadout:")
+    print(
+        "  nprobe up   -> resources migrate IVFDist -> PQDist/SelK "
+        f"(IVFDist {r9.ratios[('nprobe', 1)]['IVFDist'] * 100:.0f}% -> "
+        f"{r9.ratios[('nprobe', 64)]['IVFDist'] * 100:.0f}%)"
+    )
+    print(
+        "  nlist up    -> IVFDist share "
+        f"{r9.ratios[('nlist', 2**11)]['IVFDist'] * 100:.0f}% -> "
+        f"{r9.ratios[('nlist', 2**15)]['IVFDist'] * 100:.0f}%"
+    )
+    print(
+        "  K up        -> SelK share "
+        f"{r9.ratios[('K', 1)]['SelK'] * 100:.0f}% -> "
+        f"{r9.ratios[('K', 100)]['SelK'] * 100:.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Scale-out demo: eight accelerators today, a thousand by extrapolation.
+
+Reproduces the two distributed experiments:
+
+- the Figure 1 prototype: eight FPGA shards vs eight GPUs, median/P95
+  latency of distributed queries (max over nodes + binary-tree collectives);
+- the Figure 12 extrapolation: P99 latency from 16 to 1024 accelerators via
+  the sample-max + LogGP estimator.
+
+Run: python examples/scaleout_cluster.py   (~2-4 minutes)
+"""
+
+from repro.harness import fig01, fig12
+from repro.harness.context import small_context
+
+
+def main() -> None:
+    ctx = small_context()
+
+    print("== Figure 1: eight-accelerator prototype ==")
+    r1 = fig01.run(ctx, n_accelerators=8, n_queries=1200)
+    print(r1.format())
+    print(
+        f"\nFPGA wins {r1.speedup(50):.1f}x at the median and "
+        f"{r1.speedup(95):.1f}x at P95 (paper: 5.5x / 7.6x)\n"
+    )
+
+    print("== Figure 12: extrapolation to large clusters ==")
+    r12 = fig12.run(ctx, counts=(16, 64, 256, 1024), history_size=10_000)
+    print(r12.format())
+    print(
+        f"\nP99 speedup grows from {r12.speedup(16):.1f}x @16 to "
+        f"{r12.speedup(1024):.1f}x @1024 (paper: 6.1x -> 42.1x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

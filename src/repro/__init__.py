@@ -1,0 +1,47 @@
+"""FANNS reproduction: hardware-algorithm co-design for IVF-PQ vector search.
+
+This package reproduces *Co-design Hardware and Algorithm for Vector Search*
+(Jiang et al., SC '23).  Subpackages:
+
+- :mod:`repro.ann` — from-scratch IVF-PQ/OPQ vector search substrate.
+- :mod:`repro.data` — synthetic SIFT-like / Deep-like datasets, ground truth.
+- :mod:`repro.hw` — FPGA hardware component models (PEs, priority queues,
+  bitonic networks) with latency, initiation-interval and resource costs.
+- :mod:`repro.sim` — cycle-level simulator of the six-stage accelerator pipeline.
+- :mod:`repro.core` — the paper's contribution: the FANNS co-design framework.
+- :mod:`repro.baselines` — CPU (Faiss-like), GPU, fixed-FPGA comparators.
+- :mod:`repro.net` — LogGP networking, collectives, scale-out estimation.
+- :mod:`repro.service` — dynamic-dataset deployment loop (§4).
+- :mod:`repro.harness` — runners regenerating every evaluation table/figure.
+"""
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.opq import OPQTransform
+from repro.ann.pq import ProductQuantizer
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.framework import Fanns, FannsResult
+from repro.core.index_explorer import RecallGoal
+from repro.data.datasets import Dataset
+from repro.data.synthetic import make_deep_like, make_sift_like
+from repro.hw.device import FPGADevice, U55C
+from repro.sim.accelerator import AcceleratorSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorSimulator",
+    "AlgorithmParams",
+    "Dataset",
+    "FPGADevice",
+    "Fanns",
+    "FannsResult",
+    "IVFPQIndex",
+    "OPQTransform",
+    "ProductQuantizer",
+    "RecallGoal",
+    "U55C",
+    "make_deep_like",
+    "make_sift_like",
+    "__version__",
+]

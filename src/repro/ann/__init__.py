@@ -1,0 +1,40 @@
+"""Algorithm substrate: from-scratch IVF-PQ approximate nearest neighbor search.
+
+Implements every algorithmic piece the paper depends on, in vectorized NumPy:
+
+- :mod:`repro.ann.distances` — batched/blocked L2 distance kernels.
+- :mod:`repro.ann.kmeans` — k-means++ / Lloyd clustering.
+- :mod:`repro.ann.pq` — product quantization (encode, decode, ADC lookup).
+- :mod:`repro.ann.opq` — optimized product quantization (learned rotation).
+- :mod:`repro.ann.flat` — exact brute-force search (ground truth oracle).
+- :mod:`repro.ann.ivf` — the IVF-PQ index (train / add / search).
+- :mod:`repro.ann.stages` — the six query-time search stages, individually
+  callable and instrumented (the unit the hardware accelerates).
+- :mod:`repro.ann.recall` — recall@K evaluation.
+"""
+
+from repro.ann.flat import FlatIndex, brute_force_topk
+from repro.ann.graph import NSWGraphIndex
+from repro.ann.io import load_index, save_index
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.kmeans import KMeans, kmeans_fit
+from repro.ann.opq import OPQTransform
+from repro.ann.pq import ProductQuantizer
+from repro.ann.recall import recall_at_k
+from repro.ann.stages import SearchStageTrace, StagedSearcher
+
+__all__ = [
+    "FlatIndex",
+    "IVFPQIndex",
+    "KMeans",
+    "NSWGraphIndex",
+    "OPQTransform",
+    "ProductQuantizer",
+    "SearchStageTrace",
+    "StagedSearcher",
+    "brute_force_topk",
+    "kmeans_fit",
+    "load_index",
+    "recall_at_k",
+    "save_index",
+]

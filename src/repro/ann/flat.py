@@ -1,0 +1,39 @@
+"""Exact brute-force search — the ground-truth oracle for recall evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.distances import l2_sq_blocked, topk_smallest
+
+__all__ = ["FlatIndex", "brute_force_topk"]
+
+
+def brute_force_topk(
+    queries: np.ndarray, base: np.ndarray, k: int, block: int = 512
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-k by blocked exhaustive scan.
+
+    Returns (indices (q, k), distances (q, k)) with distances squared-L2,
+    sorted ascending per query.
+    """
+    queries = np.atleast_2d(queries)
+    dists = l2_sq_blocked(queries, base, block=block)
+    idx, vals = topk_smallest(dists, k, axis=1)
+    return idx, vals
+
+
+@dataclass
+class FlatIndex:
+    """Minimal exact index with the same search signature as IVFPQIndex."""
+
+    base: np.ndarray = field(repr=False)
+
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        return brute_force_topk(queries, self.base, k)
+
+    @property
+    def ntotal(self) -> int:
+        return int(self.base.shape[0])

@@ -1,0 +1,81 @@
+"""Index persistence: save/load trained IVF-PQ indexes to ``.npz``.
+
+Production deployments (§4) snapshot indexes: the accelerator generation
+flow trains once (hours at paper scale, Table 3) and reuses the artifacts
+across recall goals and redeployments.  The format is a flat ``np.savez``
+archive — portable, mmap-friendly, dependency-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.opq import OPQTransform
+from repro.ann.pq import ProductQuantizer
+
+__all__ = ["load_index", "save_index"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(index: IVFPQIndex, path: str | Path) -> Path:
+    """Serialize a trained (optionally populated) index to ``path``."""
+    if not index.is_trained:
+        raise ValueError("cannot save an untrained index")
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "d": np.array(index.d),
+        "nlist": np.array(index.nlist),
+        "m": np.array(index.m),
+        "ksub": np.array(index.ksub),
+        "use_opq": np.array(index.use_opq),
+        "by_residual": np.array(index.by_residual),
+        "seed": np.array(index.seed),
+        "centroids": index.centroids,
+        "codebooks": index.pq.codebooks,
+    }
+    if index.opq is not None:
+        payload["opq_rotation"] = index.opq.rotation
+    for cell in range(index.nlist):
+        payload[f"codes_{cell}"] = index.cell_codes[cell]
+        payload[f"ids_{cell}"] = index.cell_ids[cell]
+    np.savez_compressed(path, **payload)
+    # np.savez appends .npz when missing; report the real file.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_index(path: str | Path) -> IVFPQIndex:
+    """Reconstruct an index saved by :func:`save_index`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported index format version {version}")
+        d = int(data["d"])
+        nlist = int(data["nlist"])
+        m = int(data["m"])
+        ksub = int(data["ksub"])
+        index = IVFPQIndex(
+            d=d,
+            nlist=nlist,
+            m=m,
+            ksub=ksub,
+            use_opq=bool(data["use_opq"]),
+            by_residual=bool(data["by_residual"]),
+            seed=int(data["seed"]),
+        )
+        index.centroids = data["centroids"]
+        pq = ProductQuantizer(d=d, m=m, ksub=ksub, seed=index.seed)
+        pq.codebooks = data["codebooks"]
+        index.pq = pq
+        if "opq_rotation" in data:
+            opq = OPQTransform(d=d, m=m, ksub=ksub, seed=index.seed)
+            opq.rotation = data["opq_rotation"]
+            opq.pq = pq
+            index.opq = opq
+        index.cell_codes = [data[f"codes_{c}"] for c in range(nlist)]
+        index.cell_ids = [data[f"ids_{c}"] for c in range(nlist)]
+    return index

@@ -1,0 +1,305 @@
+"""The IVF-PQ index — the algorithm the paper accelerates.
+
+An inverted-file (IVF) index partitions the database into ``nlist`` Voronoi
+cells by k-means; product quantization compresses each vector into ``m``
+bytes.  Queries scan only the ``nprobe`` nearest cells and rank candidates by
+asymmetric distance computation (ADC) against a per-cell lookup table.
+
+The implementation mirrors Faiss ``IndexIVFPQ`` semantics (residual encoding
+by default, optional OPQ pre-transform) while keeping each of the paper's six
+search stages a separately callable function (see :mod:`repro.ann.stages`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.distances import l2_sq_blocked, topk_smallest
+from repro.ann.kmeans import kmeans_fit
+from repro.ann.opq import OPQTransform
+from repro.ann.pq import ProductQuantizer
+
+__all__ = ["IVFPQIndex", "IVFStats"]
+
+
+@dataclass
+class IVFStats:
+    """Per-search workload counters, consumed by the performance model."""
+
+    n_queries: int = 0
+    cells_scanned: int = 0
+    codes_scanned: int = 0
+
+    @property
+    def codes_per_query(self) -> float:
+        return self.codes_scanned / max(self.n_queries, 1)
+
+
+@dataclass
+class IVFPQIndex:
+    """IVF-PQ index with optional OPQ rotation.
+
+    Parameters
+    ----------
+    d : vector dimensionality.
+    nlist : number of Voronoi cells (the paper sweeps 2^10..2^18; we scale).
+    m : PQ bytes per vector (paper: 16).
+    ksub : centroids per PQ sub-space (256).
+    use_opq : train and apply an OPQ rotation before quantization.
+    by_residual : encode residuals w.r.t. the cell centroid (Faiss default).
+    """
+
+    d: int
+    nlist: int
+    m: int = 16
+    ksub: int = 256
+    use_opq: bool = False
+    by_residual: bool = True
+    seed: int = 0
+
+    centroids: np.ndarray | None = field(default=None, repr=False)
+    pq: ProductQuantizer | None = field(default=None, repr=False)
+    opq: OPQTransform | None = field(default=None, repr=False)
+    cell_codes: list[np.ndarray] = field(default_factory=list, repr=False)
+    cell_ids: list[np.ndarray] = field(default_factory=list, repr=False)
+    stats: IVFStats = field(default_factory=IVFStats, repr=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None and self.pq is not None
+
+    @property
+    def ntotal(self) -> int:
+        return int(sum(len(ids) for ids in self.cell_ids))
+
+    @property
+    def cell_sizes(self) -> np.ndarray:
+        return np.array([len(ids) for ids in self.cell_ids], dtype=np.int64)
+
+    def _require_trained(self) -> tuple[np.ndarray, ProductQuantizer]:
+        if self.centroids is None or self.pq is None:
+            raise RuntimeError("IVFPQIndex used before train()")
+        return self.centroids, self.pq
+
+    def _transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the OPQ rotation if enabled (Stage OPQ)."""
+        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+        if x.shape[1] != self.d:
+            raise ValueError(f"expected dim {self.d}, got {x.shape[1]}")
+        if self.opq is not None:
+            return self.opq.apply(x)
+        return x
+
+    # ------------------------------------------------------------------ #
+    def train(self, x: np.ndarray) -> "IVFPQIndex":
+        """Train the coarse quantizer, the optional OPQ rotation, and the PQ.
+
+        Training order matches Faiss' ``OPQMatrix + IVFPQ`` chain: the OPQ
+        rotation is learned on raw vectors, then the coarse quantizer and the
+        PQ are trained in the rotated space.
+        """
+        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+        if x.shape[0] < max(self.nlist, self.ksub):
+            raise ValueError(
+                f"need >= max(nlist, ksub) = {max(self.nlist, self.ksub)} training "
+                f"vectors, got {x.shape[0]}"
+            )
+        if self.use_opq:
+            self.opq = OPQTransform(self.d, self.m, self.ksub, seed=self.seed)
+            self.opq.train(x)
+            xt = self.opq.apply(x)
+        else:
+            self.opq = None
+            xt = x
+        self.centroids, assign, _ = kmeans_fit(xt, self.nlist, seed=self.seed)
+        pq_input = xt - self.centroids[assign] if self.by_residual else xt
+        self.pq = ProductQuantizer(self.d, self.m, self.ksub, seed=self.seed)
+        self.pq.train(pq_input)
+        self.cell_codes = [np.empty((0, self.m), dtype=np.uint8) for _ in range(self.nlist)]
+        self.cell_ids = [np.empty(0, dtype=np.int64) for _ in range(self.nlist)]
+        return self
+
+    def add(self, x: np.ndarray, ids: np.ndarray | None = None) -> "IVFPQIndex":
+        """Assign vectors to cells and append their PQ codes."""
+        centroids, pq = self._require_trained()
+        xt = self._transform(x)
+        n = xt.shape[0]
+        if ids is None:
+            ids = np.arange(self.ntotal, self.ntotal + n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids shape {ids.shape} != ({n},)")
+        assign = np.argmin(l2_sq_blocked(xt, centroids), axis=1)
+        encode_input = xt - centroids[assign] if self.by_residual else xt
+        codes = pq.encode(encode_input)
+        order = np.argsort(assign, kind="stable")
+        sorted_assign = assign[order]
+        boundaries = np.searchsorted(sorted_assign, np.arange(self.nlist + 1))
+        for cell in range(self.nlist):
+            lo, hi = boundaries[cell], boundaries[cell + 1]
+            if lo == hi:
+                continue
+            sel = order[lo:hi]
+            self.cell_codes[cell] = np.vstack([self.cell_codes[cell], codes[sel]])
+            self.cell_ids[cell] = np.concatenate([self.cell_ids[cell], ids[sel]])
+        return self
+
+    # ------------------------------------------------------------------ #
+    # The six query-time stages (callable individually; see ann.stages).
+    def stage_opq(self, queries: np.ndarray) -> np.ndarray:
+        """Stage OPQ: rotate queries (identity when OPQ is disabled)."""
+        return self._transform(queries)
+
+    def stage_ivf_dist(self, queries_t: np.ndarray) -> np.ndarray:
+        """Stage IVFDist: distances from each query to all nlist centroids."""
+        centroids, _ = self._require_trained()
+        return l2_sq_blocked(queries_t, centroids)
+
+    def stage_select_cells(self, cell_dists: np.ndarray, nprobe: int) -> np.ndarray:
+        """Stage SelCells: ids of the nprobe nearest cells per query."""
+        if not 1 <= nprobe <= self.nlist:
+            raise ValueError(f"nprobe={nprobe} outside [1, nlist={self.nlist}]")
+        idx, _ = topk_smallest(cell_dists, nprobe, axis=1)
+        return idx
+
+    def stage_build_luts(self, query_t: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        """Stage BuildLUT: one (m, ksub) table per probed cell for one query.
+
+        With residual encoding the table depends on the cell centroid, so
+        ``nprobe`` tables are built per query — exactly the per-cell workload
+        of the paper's Stage BuildLUT PEs.
+        """
+        centroids, pq = self._require_trained()
+        if self.by_residual:
+            residuals = query_t[None, :] - centroids[cells]
+            return pq.build_luts(residuals)
+        lut = pq.build_lut(query_t)
+        return np.broadcast_to(lut, (len(cells),) + lut.shape)
+
+    def stage_pq_dist(
+        self, luts: np.ndarray, cells: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stage PQDist: ADC distances for all codes in the probed cells.
+
+        Returns (distances, ids) concatenated across the probed cells.
+        """
+        _, pq = self._require_trained()
+        dists: list[np.ndarray] = []
+        ids: list[np.ndarray] = []
+        for lut, cell in zip(luts, cells):
+            codes = self.cell_codes[cell]
+            if codes.shape[0] == 0:
+                continue
+            dists.append(pq.adc(lut, codes))
+            ids.append(self.cell_ids[cell])
+        if not dists:
+            return np.empty(0, dtype=np.float32), np.empty(0, dtype=np.int64)
+        return np.concatenate(dists), np.concatenate(ids)
+
+    @staticmethod
+    def stage_select_k(
+        dists: np.ndarray, ids: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stage SelK: the K smallest distances with their vector ids.
+
+        Pads with (-1, +inf) when fewer than K candidates were scanned.
+        """
+        if dists.shape[0] == 0:
+            return (np.full(k, -1, dtype=np.int64), np.full(k, np.inf, dtype=np.float32))
+        idx, vals = topk_smallest(dists, k)
+        out_ids = ids[idx]
+        if len(out_ids) < k:
+            pad = k - len(out_ids)
+            out_ids = np.concatenate([out_ids, np.full(pad, -1, dtype=np.int64)])
+            vals = np.concatenate([vals, np.full(pad, np.inf, dtype=vals.dtype)])
+        return out_ids, vals
+
+    # ------------------------------------------------------------------ #
+    def search(
+        self, queries: np.ndarray, k: int, nprobe: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Full six-stage search.  Returns (ids (q, k), distances (q, k))."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries_t = self.stage_opq(queries)
+        cell_dists = self.stage_ivf_dist(queries_t)
+        probed = self.stage_select_cells(cell_dists, nprobe)
+        nq = queries_t.shape[0]
+        out_ids = np.empty((nq, k), dtype=np.int64)
+        out_dists = np.empty((nq, k), dtype=np.float32)
+        sizes = self.cell_sizes
+        for qi in range(nq):
+            cells = probed[qi]
+            luts = self.stage_build_luts(queries_t[qi], cells)
+            dists, ids = self.stage_pq_dist(luts, cells)
+            out_ids[qi], out_dists[qi] = self.stage_select_k(dists, ids, k)
+            self.stats.codes_scanned += int(sizes[cells].sum())
+        self.stats.n_queries += nq
+        self.stats.cells_scanned += nq * nprobe
+        return out_ids, out_dists
+
+    # ------------------------------------------------------------------ #
+    def expected_scan_fraction(self, nprobe: int) -> float:
+        """Expected fraction of the database scanned per query.
+
+        Assumes the query distribution matches the database distribution so a
+        cell is probed with probability proportional to its size — the same
+        estimator the paper's performance model uses for Stage PQDist's N.
+        """
+        sizes = self.cell_sizes.astype(np.float64)
+        total = sizes.sum()
+        if total == 0:
+            return 0.0
+        p = sizes / total
+        # Probability-weighted top-nprobe: approximate by taking the nprobe
+        # largest expected contributions of a size-biased sample.
+        order = np.argsort(-p)
+        take = order[: min(nprobe, len(order))]
+        # Scale: probing is biased toward big cells but not exclusively the
+        # largest; interpolate between uniform (nprobe/nlist) and size-biased.
+        uniform = nprobe / max(self.nlist, 1)
+        biased = float(p[take].sum())
+        return 0.5 * (uniform + biased)
+
+    def reconstruct(self, ids) -> np.ndarray:
+        """Approximate original vectors for stored ``ids``.
+
+        Decodes the PQ codes, re-adds the cell centroid (residual encoding),
+        and applies the inverse OPQ rotation.  The L2 error is the index's
+        quantization error — useful for re-ranking and debugging.
+        """
+        _, pq = self._require_trained()
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        out = np.empty((len(ids), self.d), dtype=np.float32)
+        # Lazy id -> (cell, slot) map; rebuilt when the index grew.
+        lookup = getattr(self, "_id_lookup", None)
+        if lookup is None or len(lookup) != self.ntotal:
+            lookup = {
+                int(vid): (cell, slot)
+                for cell, vids in enumerate(self.cell_ids)
+                for slot, vid in enumerate(vids)
+            }
+            self._id_lookup = lookup
+        for row, vid in enumerate(ids):
+            if int(vid) not in lookup:
+                raise KeyError(f"id {int(vid)} not in index")
+            cell, slot = lookup[int(vid)]
+            vec = pq.decode(self.cell_codes[cell][slot : slot + 1])[0]
+            if self.by_residual:
+                vec = vec + self.centroids[cell]
+            out[row] = vec
+        if self.opq is not None:
+            # Rotation is orthonormal: inverse = transpose.
+            out = out @ self.opq.rotation.T
+        return out
+
+    def memory_bytes(self) -> int:
+        """Bytes of PQ codes + ids + centroids (what must fit in FPGA HBM)."""
+        codes = sum(c.nbytes for c in self.cell_codes)
+        ids = sum(i.nbytes for i in self.cell_ids)
+        cent = self.centroids.nbytes if self.centroids is not None else 0
+        return codes + ids + cent

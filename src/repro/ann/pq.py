@@ -1,0 +1,148 @@
+"""Product quantization (Jégou et al. 2011), the PQ half of IVF-PQ.
+
+A ``d``-dimensional vector is split into ``m`` sub-vectors; each sub-space is
+clustered into ``ksub`` (default 256) centroids so a vector compresses to
+``m`` bytes.  Query-time distances use a per-query lookup table (Stage
+BuildLUT in the paper) plus ``m`` table lookups and an add-reduction per code
+(Stage PQDist / asymmetric distance computation, Eq. 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.distances import l2_sq_blocked, pairwise_argmin
+from repro.ann.kmeans import kmeans_fit
+
+__all__ = ["ProductQuantizer"]
+
+
+@dataclass
+class ProductQuantizer:
+    """PQ codec with ``m`` sub-quantizers of ``ksub`` centroids each.
+
+    Parameters
+    ----------
+    d : total vector dimensionality (must be divisible by ``m``).
+    m : number of sub-spaces = bytes per code (the paper uses m=16).
+    ksub : centroids per sub-space; 256 keeps codes at one byte per sub-space.
+    """
+
+    d: int
+    m: int = 16
+    ksub: int = 256
+    seed: int = 0
+    n_iter: int = 15
+    #: (m, ksub, dsub) codebooks, populated by :meth:`train`.
+    codebooks: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.d % self.m != 0:
+            raise ValueError(f"d={self.d} not divisible by m={self.m}")
+        if not 1 <= self.ksub <= 256:
+            raise ValueError("ksub must be in [1, 256] to fit codes in one byte")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dsub(self) -> int:
+        """Dimensionality of each sub-space."""
+        return self.d // self.m
+
+    @property
+    def is_trained(self) -> bool:
+        return self.codebooks is not None
+
+    def _require_trained(self) -> np.ndarray:
+        if self.codebooks is None:
+            raise RuntimeError("ProductQuantizer used before train()")
+        return self.codebooks
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """(n, d) -> (n, m, dsub) view (no copy when contiguous)."""
+        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+        if x.shape[1] != self.d:
+            raise ValueError(f"expected dim {self.d}, got {x.shape[1]}")
+        return x.reshape(x.shape[0], self.m, self.dsub)
+
+    # ------------------------------------------------------------------ #
+    def train(self, x: np.ndarray) -> "ProductQuantizer":
+        """Learn the ``m`` sub-quantizer codebooks by k-means per sub-space."""
+        sub = self._split(x)
+        n = sub.shape[0]
+        if n < self.ksub:
+            raise ValueError(f"need >= ksub={self.ksub} training vectors, got {n}")
+        books = np.empty((self.m, self.ksub, self.dsub), dtype=np.float32)
+        for j in range(self.m):
+            centroids, _, _ = kmeans_fit(
+                np.ascontiguousarray(sub[:, j, :]),
+                self.ksub,
+                n_iter=self.n_iter,
+                seed=self.seed + j,
+            )
+            books[j] = centroids
+        self.codebooks = books
+        return self
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Compress (n, d) vectors to (n, m) uint8 codes."""
+        books = self._require_trained()
+        sub = self._split(x)
+        n = sub.shape[0]
+        codes = np.empty((n, self.m), dtype=np.uint8)
+        for j in range(self.m):
+            codes[:, j] = pairwise_argmin(sub[:, j, :], books[j]).astype(np.uint8)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct (n, d) float32 approximations from (n, m) codes."""
+        books = self._require_trained()
+        codes = np.atleast_2d(codes)
+        if codes.shape[1] != self.m:
+            raise ValueError(f"expected {self.m} code bytes, got {codes.shape[1]}")
+        # Fancy-index each sub-codebook: (n, m, dsub) -> (n, d).
+        out = books[np.arange(self.m)[None, :], codes.astype(np.int64), :]
+        return out.reshape(codes.shape[0], self.d)
+
+    # ------------------------------------------------------------------ #
+    def build_lut(self, query: np.ndarray) -> np.ndarray:
+        """Stage BuildLUT: per-query distance table of shape (m, ksub).
+
+        ``lut[j, c]`` = squared L2 distance between query sub-vector j and
+        centroid c of sub-quantizer j.
+        """
+        books = self._require_trained()
+        q = np.asarray(query, dtype=np.float32).reshape(self.m, self.dsub)
+        diff = books - q[:, None, :]
+        return np.einsum("jkd,jkd->jk", diff, diff)
+
+    def build_luts(self, queries: np.ndarray) -> np.ndarray:
+        """Batched :meth:`build_lut`: (q, d) -> (q, m, ksub)."""
+        books = self._require_trained()
+        qs = self._split(queries)  # (q, m, dsub)
+        diff = qs[:, :, None, :] - books[None, :, :, :]
+        return np.einsum("qjkd,qjkd->qjk", diff, diff)
+
+    def adc(self, lut: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Stage PQDist: asymmetric distances for (n, m) codes given one LUT.
+
+        Implements Eq. 1 of the paper: sum over sub-spaces of table lookups.
+        """
+        codes = np.atleast_2d(codes)
+        # lut is (m, ksub); gather lut[j, codes[:, j]] then reduce over j.
+        gathered = lut[np.arange(self.m)[None, :], codes.astype(np.int64)]
+        return gathered.sum(axis=1)
+
+    def symmetric_distance(self, codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
+        """Distance between two code sets via decoded representatives."""
+        return np.sqrt(
+            np.maximum(l2_sq_blocked(self.decode(codes_a), self.decode(codes_b)), 0.0)
+        )
+
+    # ------------------------------------------------------------------ #
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Mean squared reconstruction error on ``x`` (lower is better)."""
+        approx = self.decode(self.encode(x))
+        diff = np.atleast_2d(x).astype(np.float32) - approx
+        return float(np.mean(np.einsum("ij,ij->i", diff, diff)))

@@ -1,0 +1,54 @@
+"""Recall@K — the quality metric the whole co-design optimizes against.
+
+The paper uses *R@K*: the fraction of the true K nearest neighbors found in
+the K returned results, averaged over queries (e.g. R@10=80 %).  For K=1 this
+reduces to 1-recall@1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k", "recall_curve"]
+
+
+def recall_at_k(found: np.ndarray, ground_truth: np.ndarray, k: int | None = None) -> float:
+    """Average |found ∩ truth| / K over queries.
+
+    Parameters
+    ----------
+    found : (q, >=K) result ids per query (−1 entries are ignored / padding).
+    ground_truth : (q, >=K) exact ids per query.
+    k : evaluate at this K (default: ``found.shape[1]``).
+    """
+    found = np.atleast_2d(found)
+    ground_truth = np.atleast_2d(ground_truth)
+    if found.shape[0] != ground_truth.shape[0]:
+        raise ValueError(
+            f"query count mismatch: {found.shape[0]} vs {ground_truth.shape[0]}"
+        )
+    if k is None:
+        k = found.shape[1]
+    if k <= 0 or k > found.shape[1] or k > ground_truth.shape[1]:
+        raise ValueError(f"invalid k={k} for shapes {found.shape}, {ground_truth.shape}")
+    f = found[:, :k]
+    g = ground_truth[:, :k]
+    hits = 0
+    for fi, gi in zip(f, g):
+        hits += len(np.intersect1d(fi[fi >= 0], gi, assume_unique=False))
+    return hits / (f.shape[0] * k)
+
+
+def recall_curve(
+    search_fn, queries: np.ndarray, ground_truth: np.ndarray, k: int, nprobes: list[int]
+) -> dict[int, float]:
+    """Evaluate recall@K across a list of nprobe settings.
+
+    ``search_fn(queries, k, nprobe)`` must return (ids, dists).  This is the
+    inner loop of the paper's index explorer (step 3 of Figure 4).
+    """
+    out: dict[int, float] = {}
+    for np_ in nprobes:
+        ids, _ = search_fn(queries, k, np_)
+        out[np_] = recall_at_k(ids, ground_truth, k)
+    return out

@@ -1,0 +1,28 @@
+"""Comparators: CPU (Faiss-like), GPU, and parameter-independent FPGA designs.
+
+The paper compares FANNS against
+
+- Faiss 1.7.0 on a 16-vCPU Cascade Lake Xeon (m5.4xlarge),
+- Faiss-GPU on NVIDIA V100s,
+- an FPGA baseline built from the same hardware blocks as FANNS but sized
+  without algorithm-parameter awareness (Table 4's "Baseline" rows).
+
+We reproduce the CPU and GPU as *stage-level analytic cost models* calibrated
+to the published hardware characteristics (flop/s, memory bandwidth, kernel
+overheads) with empirically shaped latency jitter — the quantities that drive
+every figure are the stage time ratios (Fig. 3), relative QPS (Fig. 10) and
+the latency distribution shapes (Figs. 1, 11, 12), not absolute microseconds.
+"""
+
+from repro.baselines.cpu import CPUBaseline, CPUSpec
+from repro.baselines.gpu import GPUBaseline, GPUSpec
+from repro.baselines.fpga_baseline import baseline_config, BASELINE_PE_ALLOCATIONS
+
+__all__ = [
+    "BASELINE_PE_ALLOCATIONS",
+    "CPUBaseline",
+    "CPUSpec",
+    "GPUBaseline",
+    "GPUSpec",
+    "baseline_config",
+]

@@ -1,0 +1,55 @@
+"""Parameter-independent FPGA baseline designs (Table 4, "Baseline" rows).
+
+The paper's FPGA baseline uses the same hardware building blocks as FANNS
+but is sized *without* knowing the algorithm parameters: one design per K
+(1 / 10 / 100) that "roughly balances resource consumption across stages so
+the accelerator should perform well on a wide range of algorithm settings"
+(§7.2.3), with two deliberate exceptions the paper lists: PQDist and SelK
+capacities are kept proportional, and Stage OPQ stays tiny.
+
+Because the design cannot assume any index fits on-chip, both cacheable
+stages stream from HBM.  PE counts follow Table 4's baseline rows.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+
+__all__ = ["BASELINE_PE_ALLOCATIONS", "baseline_config"]
+
+#: Table 4 baseline rows: K -> (IVFDist PEs, BuildLUT PEs, PQDist PEs, SelK arch).
+BASELINE_PE_ALLOCATIONS: dict[int, tuple[int, int, int, str]] = {
+    1: (10, 5, 36, "HPQ"),
+    10: (10, 4, 16, "HPQ"),
+    100: (10, 4, 4, "HPQ"),
+}
+
+
+def _nearest_k(k: int) -> int:
+    """Pick the baseline accelerator built for the closest K tier."""
+    return min(BASELINE_PE_ALLOCATIONS, key=lambda tier: abs(tier - k))
+
+
+def baseline_config(params: AlgorithmParams, freq_mhz: float = 140.0) -> AcceleratorConfig:
+    """The parameter-independent accelerator serving ``params``.
+
+    The hardware is fixed per K tier; only the algorithm binding changes —
+    exactly how the paper evaluates the baseline on arbitrary indexes.
+    """
+    tier = _nearest_k(params.k)
+    n_ivf, n_lut, n_pq, selk = BASELINE_PE_ALLOCATIONS[tier]
+    # A fixed design must still be *constructible* for the given parameters
+    # (e.g. nlist smaller than the PE count on tiny test indexes).
+    n_ivf = min(n_ivf, params.nlist)
+    n_lut = min(n_lut, params.nlist)
+    return AcceleratorConfig(
+        params=params,
+        n_ivf_pes=n_ivf,
+        n_lut_pes=n_lut,
+        n_pq_pes=n_pq,
+        ivf_cache_on_chip=False,  # cannot assume the index fits on-chip
+        lut_cache_on_chip=False,
+        selcells_arch="HPQ",
+        selk_arch=selk,
+        freq_mhz=freq_mhz,
+    )

@@ -1,0 +1,38 @@
+"""The paper's contribution: the FANNS hardware-algorithm co-design framework.
+
+Modules mirror the workflow of Figure 4:
+
+- :mod:`repro.core.config` — one point of the design space (Table 2).
+- :mod:`repro.core.resource_model` — Eq. 2 resource validity.
+- :mod:`repro.core.timing` — per-stage cycle models (Eq. 4 inputs).
+- :mod:`repro.core.perf_model` — QPS prediction over all combinations (Eq. 3/4).
+- :mod:`repro.core.index_explorer` — recall ↔ nprobe per index (steps 2–3).
+- :mod:`repro.core.design_space` — valid accelerator enumeration (step 4).
+- :mod:`repro.core.codegen` — HLS-like code generation (step 6).
+- :mod:`repro.core.framework` — the end-to-end ``Fanns`` API (steps 1–7).
+"""
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.design_space import default_pe_grid, enumerate_designs
+from repro.core.framework import Fanns, FannsResult
+from repro.core.index_explorer import IndexCandidate, IndexExplorer, RecallGoal
+from repro.core.perf_model import IndexProfile, PerfPrediction, predict
+from repro.core.resource_model import is_valid, stage_resources, total_resources
+
+__all__ = [
+    "AcceleratorConfig",
+    "AlgorithmParams",
+    "Fanns",
+    "FannsResult",
+    "IndexCandidate",
+    "IndexExplorer",
+    "IndexProfile",
+    "PerfPrediction",
+    "RecallGoal",
+    "default_pe_grid",
+    "enumerate_designs",
+    "is_valid",
+    "predict",
+    "stage_resources",
+    "total_resources",
+]

@@ -1,0 +1,157 @@
+"""Accelerator configuration: one point of the hardware design space.
+
+An :class:`AcceleratorConfig` fixes every choice of Table 2 — the
+microarchitecture per stage, the PE count per stage, and the index-caching
+decision — together with the algorithm parameters the design is specialized
+for (nlist, nprobe, K, OPQ).  The same object is consumed by:
+
+- :mod:`repro.core.resource_model` — Eq. 2 validity check,
+- :mod:`repro.core.perf_model` — Eq. 3/4 QPS prediction,
+- :mod:`repro.sim` — cycle-level simulation,
+- :mod:`repro.core.codegen` — HLS-like source emission.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.hw.compute_pes import BuildLUTPE, IVFDistPE, OPQPE, PQDistPE
+from repro.hw.selection import SelectorBase, make_selector
+
+__all__ = ["AcceleratorConfig", "AlgorithmParams"]
+
+
+@dataclass(frozen=True)
+class AlgorithmParams:
+    """The algorithm-side choices of Table 2 (plus the dataset geometry)."""
+
+    d: int
+    nlist: int
+    nprobe: int
+    k: int
+    use_opq: bool = False
+    m: int = 16
+    ksub: int = 256
+
+    def __post_init__(self) -> None:
+        if self.d <= 0 or self.d % self.m != 0:
+            raise ValueError(f"d={self.d} must be positive and divisible by m={self.m}")
+        if self.nlist <= 0:
+            raise ValueError(f"nlist must be positive, got {self.nlist}")
+        if not 1 <= self.nprobe <= self.nlist:
+            raise ValueError(f"nprobe={self.nprobe} outside [1, nlist={self.nlist}]")
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A fully specified accelerator: algorithm binding + hardware choices.
+
+    PE counts are free positive integers (the paper stresses they come out
+    irregular — 11, 9, 57 — rather than powers of two).  The selection
+    architectures are ``"HPQ"`` or ``"HSMPQG"``.
+    """
+
+    params: AlgorithmParams
+    n_ivf_pes: int
+    n_lut_pes: int
+    n_pq_pes: int
+    ivf_cache_on_chip: bool = True
+    lut_cache_on_chip: bool = True
+    selcells_arch: str = "HPQ"
+    selk_arch: str = "HPQ"
+    freq_mhz: float = 140.0
+    #: Instantiate the hardware TCP/IP stack (costs resources; §7.3.2).
+    with_network: bool = False
+
+    def __post_init__(self) -> None:
+        for name, v in (
+            ("n_ivf_pes", self.n_ivf_pes),
+            ("n_lut_pes", self.n_lut_pes),
+            ("n_pq_pes", self.n_pq_pes),
+        ):
+            if v <= 0:
+                raise ValueError(f"{name} must be positive, got {v}")
+        if self.selcells_arch != "HPQ":
+            # Stage SelCells receives one merged stream from the IVFDist 1-D
+            # array; a sorting-based selector cannot filter a single stream.
+            raise ValueError(f"SelCells only supports HPQ, got {self.selcells_arch!r}")
+        if self.selk_arch == "HSMPQG" and self.params.k >= self.n_pq_pes:
+            raise ValueError(
+                f"HSMPQG SelK requires k < #PQDist PEs (s < z); "
+                f"got k={self.params.k}, z={self.n_pq_pes}"
+            )
+        if self.freq_mhz <= 0:
+            raise ValueError(f"freq_mhz must be positive, got {self.freq_mhz}")
+
+    # ------------------------------------------------------------------ #
+    # Hardware object builders (single source of truth for cost models).
+    def opq_pe(self) -> OPQPE | None:
+        return OPQPE(d=self.params.d) if self.params.use_opq else None
+
+    def ivf_centroids_per_pe(self) -> int:
+        return math.ceil(self.params.nlist / self.n_ivf_pes)
+
+    def ivf_pe_spec(self) -> IVFDistPE:
+        """The (homogeneous) Stage IVFDist PE of this design."""
+        return IVFDistPE(
+            d=self.params.d,
+            cache_on_chip=self.ivf_cache_on_chip,
+            centroids_share=self.ivf_centroids_per_pe(),
+        )
+
+    def lut_pe_spec(self) -> BuildLUTPE:
+        """The (homogeneous) Stage BuildLUT PE of this design."""
+        return BuildLUTPE(
+            d=self.params.d,
+            m=self.params.m,
+            ksub=self.params.ksub,
+            cache_on_chip=self.lut_cache_on_chip,
+            centroids_share=math.ceil(self.params.nlist / self.n_lut_pes),
+        )
+
+    def pq_pe_spec(self) -> PQDistPE:
+        """The (homogeneous) Stage PQDist PE of this design."""
+        return PQDistPE(m=self.params.m)
+
+    def ivf_pes(self) -> list[IVFDistPE]:
+        return [self.ivf_pe_spec()] * self.n_ivf_pes
+
+    def lut_pes(self) -> list[BuildLUTPE]:
+        return [self.lut_pe_spec()] * self.n_lut_pes
+
+    def pq_pes(self) -> list[PQDistPE]:
+        return [self.pq_pe_spec()] * self.n_pq_pes
+
+    def selcells_selector(self) -> SelectorBase:
+        # IVFDist PEs forward results through the 1-D array, producing one
+        # merged full-rate stream into SelCells.
+        return make_selector(self.selcells_arch, 1, self.params.nprobe)
+
+    def selk_selector(self) -> SelectorBase:
+        # Every PQDist PE feeds the selector with one distance per cycle.
+        return make_selector(self.selk_arch, self.n_pq_pes, self.params.k)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line summary in the style of the paper's Table 4 rows."""
+        p = self.params
+        index = f"{'OPQ+' if p.use_opq else ''}IVF{p.nlist}"
+        return (
+            f"{index} nprobe={p.nprobe} K={p.k} | "
+            f"IVFDist×{self.n_ivf_pes}({'chip' if self.ivf_cache_on_chip else 'HBM'}) "
+            f"SelCells={self.selcells_arch} "
+            f"BuildLUT×{self.n_lut_pes}({'chip' if self.lut_cache_on_chip else 'HBM'}) "
+            f"PQDist×{self.n_pq_pes} SelK={self.selk_arch}"
+            f"{' +TCP/IP' if self.with_network else ''}"
+        )
+
+    def with_params(self, params: AlgorithmParams) -> "AcceleratorConfig":
+        """The same hardware bound to different algorithm parameters.
+
+        Used to evaluate parameter-independent baseline designs under
+        parameter settings they were not specialized for.
+        """
+        return replace(self, params=params)

@@ -1,0 +1,104 @@
+"""Design-space enumeration (step 4 of Figure 4).
+
+Combines every hardware choice of Table 2 — PE counts per computation stage,
+the SelK microarchitecture, and the two index-caching decisions — and keeps
+the designs whose Eq. 2 consumption fits the device.  The paper enumerates
+millions of combinations per recall goal within an hour; we keep enumeration
+exhaustive over a dense PE-count grid (every integer up to a cap would add
+nothing: resource curves are monotone in PE count, so a geometric-ish grid
+covers the trade-off frontier).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.resource_model import is_valid, total_resources
+from repro.hw.device import FPGADevice
+
+__all__ = ["default_pe_grid", "enumerate_designs", "count_design_points"]
+
+
+def default_pe_grid(max_pes: int = 64) -> tuple[int, ...]:
+    """A dense-but-bounded grid of PE counts.
+
+    All integers up to 16 (small counts matter: the model picks irregular
+    values like 5, 9, 11), then steps of increasing stride up to ``max_pes``.
+    """
+    if max_pes < 1:
+        raise ValueError(f"max_pes must be >= 1, got {max_pes}")
+    grid: list[int] = list(range(1, min(16, max_pes) + 1))
+    step_plan = [(24, 2), (48, 3), (96, 4), (10**9, 8)]
+    v = 16
+    for limit, step in step_plan:
+        while v + step <= min(limit, max_pes):
+            v += step
+            grid.append(v)
+        if limit >= max_pes:
+            break
+    return tuple(sorted(set(g for g in grid if g <= max_pes)))
+
+
+def enumerate_designs(
+    params: AlgorithmParams,
+    device: FPGADevice,
+    *,
+    max_utilization: float | None = None,
+    with_network: bool = False,
+    pe_grid: Sequence[int] | None = None,
+    freq_mhz: float = 140.0,
+) -> Iterator[AcceleratorConfig]:
+    """Yield every valid accelerator design for ``params`` on ``device``.
+
+    Invalid combinations are skipped silently: HSMPQG needs k < #PQDist PEs,
+    and any design whose resources exceed the budget fails Eq. 2.
+    """
+    grid = tuple(pe_grid) if pe_grid is not None else default_pe_grid()
+    budget = device.budget(max_utilization)
+    for n_ivf in grid:
+        if n_ivf > params.nlist:
+            continue  # more PEs than centroids is pure waste
+        for n_lut in grid:
+            if n_lut > params.nlist:
+                continue
+            for n_pq in grid:
+                for selk_arch in ("HPQ", "HSMPQG"):
+                    if selk_arch == "HSMPQG" and params.k >= n_pq:
+                        continue
+                    for ivf_cache in (True, False):
+                        for lut_cache in (True, False):
+                            cfg = AcceleratorConfig(
+                                params=params,
+                                n_ivf_pes=n_ivf,
+                                n_lut_pes=n_lut,
+                                n_pq_pes=n_pq,
+                                ivf_cache_on_chip=ivf_cache,
+                                lut_cache_on_chip=lut_cache,
+                                selk_arch=selk_arch,
+                                freq_mhz=freq_mhz,
+                                with_network=with_network,
+                            )
+                            if total_resources(cfg).fits_within(budget):
+                                yield cfg
+
+
+def count_design_points(
+    params: AlgorithmParams,
+    device: FPGADevice,
+    *,
+    max_utilization: float | None = None,
+    with_network: bool = False,
+    pe_grid: Sequence[int] | None = None,
+) -> int:
+    """Number of valid designs (the size of the hardware half of Table 2)."""
+    return sum(
+        1
+        for _ in enumerate_designs(
+            params,
+            device,
+            max_utilization=max_utilization,
+            with_network=with_network,
+            pe_grid=pe_grid,
+        )
+    )

@@ -1,0 +1,175 @@
+"""Index explorer: the algorithm half of the co-design (steps 2–3, Figure 4).
+
+Given a dataset, train IVF-PQ indexes over a grid of nlist values, each with
+and without OPQ, then — for a user recall goal like "R@10 = 80 %" — find the
+*minimum nprobe* on each index that reaches the goal.  The resulting
+(index, nprobe) pairs are the algorithm-parameter inputs of the performance
+model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.recall import recall_at_k
+from repro.core.perf_model import IndexProfile
+from repro.data.datasets import Dataset
+
+__all__ = ["IndexCandidate", "IndexExplorer", "RecallGoal"]
+
+
+@dataclass(frozen=True)
+class RecallGoal:
+    """A deployment requirement: average recall ``target`` at top-``k``."""
+
+    k: int
+    target: float
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError(f"target must be in (0, 1], got {self.target}")
+
+    def __str__(self) -> str:
+        return f"R@{self.k}={100 * self.target:.0f}%"
+
+
+@dataclass
+class IndexCandidate:
+    """A trained index plus the profile the performance model consumes."""
+
+    index: IVFPQIndex
+    profile: IndexProfile
+    train_seconds: float = 0.0
+
+    @property
+    def key(self) -> str:
+        return self.profile.key
+
+
+class IndexExplorer:
+    """Trains and evaluates the index grid (Figure 4, steps 2–3).
+
+    Trained candidates are cached on the instance so several recall goals can
+    be explored without retraining (Table 3: "Several hours per index" is the
+    dominant workflow cost — amortize it).
+    """
+
+    def __init__(
+        self,
+        m: int = 16,
+        ksub: int = 256,
+        seed: int = 0,
+        max_train_vectors: int = 20_000,
+        profile_scale: float = 1.0,
+    ):
+        self.m = m
+        self.ksub = ksub
+        self.seed = seed
+        self.max_train_vectors = max_train_vectors
+        #: Multiplies per-cell sizes in the profile handed to the performance
+        #: model.  The harness uses it to co-design for the paper's
+        #: 100 M-vector workload intensity on scaled synthetic datasets; the
+        #: recall evaluation always runs on the real index.
+        self.profile_scale = profile_scale
+        self._cache: dict[tuple[str, int, bool], IndexCandidate] = {}
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        dataset: Dataset,
+        nlists: list[int],
+        opq_options: tuple[bool, ...] = (False, True),
+    ) -> list[IndexCandidate]:
+        """Train (or fetch cached) candidates for each (nlist, OPQ) combo."""
+        out: list[IndexCandidate] = []
+        train = dataset.training_vectors(self.max_train_vectors)
+        for nlist in nlists:
+            if nlist > dataset.n:
+                raise ValueError(f"nlist={nlist} exceeds dataset size {dataset.n}")
+            for use_opq in opq_options:
+                cache_key = (dataset.name, nlist, use_opq)
+                if cache_key not in self._cache:
+                    t0 = time.perf_counter()
+                    index = IVFPQIndex(
+                        d=dataset.d,
+                        nlist=nlist,
+                        m=self.m,
+                        ksub=self.ksub,
+                        use_opq=use_opq,
+                        seed=self.seed,
+                    )
+                    index.train(train)
+                    index.add(dataset.base)
+                    elapsed = time.perf_counter() - t0
+                    sizes = index.cell_sizes
+                    if self.profile_scale != 1.0:
+                        sizes = np.round(sizes * self.profile_scale).astype(np.int64)
+                    profile = IndexProfile(
+                        nlist=nlist, use_opq=use_opq, cell_sizes=sizes
+                    )
+                    self._cache[cache_key] = IndexCandidate(
+                        index=index, profile=profile, train_seconds=elapsed
+                    )
+                out.append(self._cache[cache_key])
+        return out
+
+    # ------------------------------------------------------------------ #
+    def min_nprobe(
+        self,
+        candidate: IndexCandidate,
+        dataset: Dataset,
+        goal: RecallGoal,
+        max_queries: int = 500,
+    ) -> int | None:
+        """Smallest nprobe reaching ``goal`` on this index, or None.
+
+        Exponential probe followed by binary search: recall is monotone in
+        nprobe (more cells scanned can only add true neighbors).
+        """
+        gt = dataset.ensure_ground_truth(goal.k)
+        queries = dataset.queries[:max_queries]
+        gt = gt[: queries.shape[0]]
+        index = candidate.index
+        nlist = index.nlist
+
+        def recall_of(nprobe: int) -> float:
+            ids, _ = index.search(queries, goal.k, nprobe)
+            return recall_at_k(ids, gt)
+
+        # Exponential search for an upper bound.
+        hi = 1
+        while hi < nlist and recall_of(hi) < goal.target:
+            hi *= 2
+        hi = min(hi, nlist)
+        if recall_of(hi) < goal.target:
+            return None  # quantization-limited: unreachable on this index
+        lo = max(hi // 2, 1)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if recall_of(mid) >= goal.target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return hi
+
+    def recall_nprobe_pairs(
+        self,
+        dataset: Dataset,
+        nlists: list[int],
+        goal: RecallGoal,
+        opq_options: tuple[bool, ...] = (False, True),
+        max_queries: int = 500,
+    ) -> list[tuple[IndexCandidate, int]]:
+        """Step 3's output: the (index, min-nprobe) list for one recall goal."""
+        pairs: list[tuple[IndexCandidate, int]] = []
+        for cand in self.build(dataset, nlists, opq_options):
+            nprobe = self.min_nprobe(cand, dataset, goal, max_queries)
+            if nprobe is not None:
+                pairs.append((cand, nprobe))
+        return pairs

@@ -1,0 +1,99 @@
+"""Resource consumption model (Eq. 2) and design validity.
+
+An accelerator's consumption is the sum of three parts: all PEs, all FIFOs,
+and the fixed infrastructure (the device model carries the latter).  A design
+is valid iff every resource type fits the device budget at the configured
+maximum utilization rate (60 % by default — §6.2: consuming the whole chip
+fails placement & routing, and EDA nondeterminism makes per-design limits
+unpredictable, so the paper fixes a constant).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AcceleratorConfig
+from repro.hw.device import FPGADevice
+from repro.hw.fifo import fifo_resources, stage_fifo_count
+from repro.hw.resources import ResourceVector
+
+__all__ = [
+    "NETWORK_STACK_COST",
+    "is_valid",
+    "stage_resources",
+    "total_resources",
+    "utilization_report",
+]
+
+#: Hardware TCP/IP stack (EasyNet, He et al. FPL'21): the 100 Gbps stack
+#: with session handling costs roughly this much on an Alveo card.
+NETWORK_STACK_COST = ResourceVector(bram36=180, uram=16, lut=95_000, ff=120_000, dsp=0)
+
+
+def stage_resources(config: AcceleratorConfig) -> dict[str, ResourceVector]:
+    """Per-stage resource consumption (PEs + that stage's FIFOs).
+
+    This is the quantity visualized in Figure 9 (resource ratio per stage)
+    and reported per-stage in Table 4.
+    """
+    out: dict[str, ResourceVector] = {}
+
+    opq = config.opq_pe()
+    out["OPQ"] = (
+        opq.resources + fifo_resources(stage_fifo_count(1)) if opq else ResourceVector()
+    )
+
+    out["IVFDist"] = config.ivf_pe_spec().resources * config.n_ivf_pes + fifo_resources(
+        stage_fifo_count(config.n_ivf_pes)
+    )
+
+    selcells = config.selcells_selector()
+    out["SelCells"] = selcells.resources + fifo_resources(
+        stage_fifo_count(selcells.n_input_streams, "p2p")
+    )
+
+    out["BuildLUT"] = config.lut_pe_spec().resources * config.n_lut_pes + fifo_resources(
+        stage_fifo_count(config.n_lut_pes)
+    )
+
+    out["PQDist"] = config.pq_pe_spec().resources * config.n_pq_pes + fifo_resources(
+        stage_fifo_count(config.n_pq_pes)
+    )
+
+    selk = config.selk_selector()
+    out["SelK"] = selk.resources + fifo_resources(
+        stage_fifo_count(selk.n_input_streams, "p2p")
+    )
+    return out
+
+
+def total_resources(config: AcceleratorConfig) -> ResourceVector:
+    """Sum of all stages (Eq. 2 left-hand side, excluding infrastructure —
+    the device budget already subtracts the shell)."""
+    total = ResourceVector.total(stage_resources(config).values())
+    if config.with_network:
+        total = total + NETWORK_STACK_COST
+    return total
+
+
+def is_valid(
+    config: AcceleratorConfig,
+    device: FPGADevice,
+    max_utilization: float | None = None,
+) -> bool:
+    """Eq. 2: every resource type within the utilization-capped budget."""
+    return total_resources(config).fits_within(device.budget(max_utilization))
+
+
+def utilization_report(
+    config: AcceleratorConfig, device: FPGADevice
+) -> dict[str, dict[str, float]]:
+    """Per-stage LUT share and per-resource utilization (Table 4 columns)."""
+    stages = stage_resources(config)
+    total = total_resources(config)
+    report: dict[str, dict[str, float]] = {
+        stage: {"lut_pct": 100.0 * res.lut / device.capacity.lut}
+        for stage, res in stages.items()
+    }
+    report["total"] = {
+        kind: 100.0 * frac for kind, frac in total.utilization(device.capacity).items()
+    }
+    return report

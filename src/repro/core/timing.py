@@ -1,0 +1,131 @@
+"""Per-stage cycle timing shared by the performance model and the simulator.
+
+For every stage we derive two numbers from the hardware models:
+
+- **occupancy** — cycles the stage is busy per query; the reciprocal bounds
+  stage throughput (Eq. 4 applies ``CC = L + (N−1)·II`` per PE; a stage's
+  occupancy follows its slowest PE, §6.3 "Model the performance of a search
+  stage").
+- **latency** — extra cycles a query spends in the stage beyond what is
+  overlapped with its producer.  Selection stages consume their input
+  concurrently with production, so only the drain (``post_cycles``) adds
+  latency.
+
+The analytic model (:mod:`repro.core.perf_model`) feeds *expected* workloads
+into these functions; the simulator (:mod:`repro.sim`) feeds *actual*
+per-query workloads, which is where FPGA latency variance comes from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import AcceleratorConfig
+from repro.hw.selection import HPQ
+
+__all__ = ["StageCycles", "stage_cycles"]
+
+#: Stage order of the accelerator pipeline.
+PIPELINE_STAGES = ("OPQ", "IVFDist", "SelCells", "BuildLUT", "PQDist", "SelK")
+
+
+@dataclass(frozen=True)
+class StageCycles:
+    """(occupancy, latency) in clock cycles for one stage and one query."""
+
+    occupancy: float
+    latency: float
+
+
+def _selector_rate_cycles(selector, v_per_stream: float) -> float:
+    """Cycles a selector is busy ingesting ``v_per_stream`` elements/stream."""
+    return float(selector.consume_cycles(max(int(math.ceil(v_per_stream)), 1)))
+
+
+def stage_cycles(
+    config: AcceleratorConfig,
+    codes_per_query: float,
+    pq_codes_per_pe: float | None = None,
+) -> dict[str, StageCycles]:
+    """Occupancy / latency per stage for one query.
+
+    Parameters
+    ----------
+    config : the accelerator design (fixes PE counts and algorithm params).
+    codes_per_query : PQ codes scanned for this query (expected value for the
+        analytic model; the actual count for the simulator).
+    pq_codes_per_pe : exact slowest-PE code count, when known (the simulator
+        computes the true round-robin cell assignment); overrides the
+        analytic imbalance estimate.
+    """
+    p = config.params
+    out: dict[str, StageCycles] = {}
+
+    # Stage OPQ — identity bypass unless the index uses OPQ.
+    opq = config.opq_pe()
+    if opq is None:
+        out["OPQ"] = StageCycles(0.0, 0.0)
+    else:
+        cc = opq.cycles_for_query()
+        out["OPQ"] = StageCycles(occupancy=cc - opq.latency + 1, latency=cc)
+
+    # Stage IVFDist — each PE scans nlist/#PEs centroids.
+    ivf_pe = config.ivf_pe_spec()
+    n_cent = config.ivf_centroids_per_pe()
+    occ = n_cent * ivf_pe.ii
+    out["IVFDist"] = StageCycles(occupancy=float(occ), latency=float(ivf_pe.latency + occ))
+
+    # Stage SelCells — one merged stream of nlist distances at one element
+    # per cycle into the level-1 queues; drain adds latency.
+    selcells = config.selcells_selector()
+    assert isinstance(selcells, HPQ)
+    consume = _selector_rate_cycles(selcells, p.nlist)
+    # Selection hardware is double-buffered: draining query q overlaps with
+    # ingesting q+1, so the server occupancy is the larger of the two phases.
+    out["SelCells"] = StageCycles(
+        occupancy=max(consume, float(selcells.post_cycles())),
+        latency=float(selcells.post_cycles()),
+    )
+
+    # Stage BuildLUT — ceil(nprobe/#PEs) tables of m*ksub entries per PE.
+    lut_pe = config.lut_pe_spec()
+    cells_per_pe = math.ceil(p.nprobe / config.n_lut_pes)
+    occ = cells_per_pe * p.m * p.ksub * lut_pe.ii
+    out["BuildLUT"] = StageCycles(occupancy=float(occ), latency=float(lut_pe.latency + occ))
+
+    # Stage PQDist — each cell's codes are striped over the PEs' HBM
+    # channels and padded to a full stripe (Figure 8's padding detection),
+    # so every PE scans codes/#PEs plus ~half a stripe row per probed cell.
+    pq_pe = config.pq_pe_spec()
+    if pq_codes_per_pe is None:
+        slowest_pe_codes = codes_per_query / config.n_pq_pes + 0.5 * p.nprobe
+    else:
+        slowest_pe_codes = pq_codes_per_pe
+    occ = slowest_pe_codes * pq_pe.ii
+    out["PQDist"] = StageCycles(occupancy=occ, latency=float(pq_pe.latency) + occ)
+
+    # Stage SelK — consumes one distance per cycle per PQDist PE, overlapped;
+    # drain adds latency.
+    selk = config.selk_selector()
+    consume = _selector_rate_cycles(selk, slowest_pe_codes)
+    out["SelK"] = StageCycles(
+        occupancy=max(consume, float(selk.post_cycles())),
+        latency=float(selk.post_cycles()),
+    )
+    return out
+
+
+def bottleneck_stage(cycles: dict[str, StageCycles]) -> str:
+    """The stage whose occupancy bounds accelerator throughput (Eq. 3)."""
+    return max(cycles, key=lambda s: cycles[s].occupancy)
+
+
+def query_latency_cycles(cycles: dict[str, StageCycles]) -> float:
+    """End-to-end cycles one query spends in the pipeline."""
+    return sum(c.latency for c in cycles.values())
+
+
+def min_interval_cycles(cycles: dict[str, StageCycles]) -> float:
+    """Cycles between query admissions — the slowest stage's occupancy."""
+    return max(c.occupancy for c in cycles.values())

@@ -1,0 +1,18 @@
+"""Dataset substrate: synthetic vector collections and exact ground truth.
+
+The paper evaluates on SIFT100M (128-d) and Deep100M (96-d).  Those datasets
+are multi-GB downloads; this package generates *clustered* synthetic
+equivalents whose recall-vs-nprobe behaviour exercises the same code paths
+(see DESIGN.md §1 for the substitution rationale).
+"""
+
+from repro.data.datasets import Dataset, compute_ground_truth
+from repro.data.synthetic import make_clustered, make_deep_like, make_sift_like
+
+__all__ = [
+    "Dataset",
+    "compute_ground_truth",
+    "make_clustered",
+    "make_deep_like",
+    "make_sift_like",
+]

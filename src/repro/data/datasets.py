@@ -1,0 +1,92 @@
+"""Dataset container with train/base/query splits and exact ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.flat import brute_force_topk
+
+__all__ = ["Dataset", "compute_ground_truth"]
+
+
+def compute_ground_truth(queries: np.ndarray, base: np.ndarray, k: int) -> np.ndarray:
+    """Exact top-k ids (q, k) by brute-force scan — the recall oracle."""
+    ids, _ = brute_force_topk(queries, base, k)
+    return ids
+
+
+@dataclass
+class Dataset:
+    """A vector-search benchmark: base vectors, queries, ground truth.
+
+    Mirrors the structure of the SIFT/Deep benchmarks the paper uses: a base
+    set to index, a held-out training set (here: a slice of base unless given
+    separately), a query set, and exact nearest-neighbor ground truth.
+    """
+
+    name: str
+    base: np.ndarray = field(repr=False)
+    queries: np.ndarray = field(repr=False)
+    train: np.ndarray | None = field(default=None, repr=False)
+    ground_truth: np.ndarray | None = field(default=None, repr=False)
+    gt_k: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base.ndim != 2 or self.queries.ndim != 2:
+            raise ValueError("base and queries must be 2-D arrays")
+        if self.base.shape[1] != self.queries.shape[1]:
+            raise ValueError(
+                f"dim mismatch: base {self.base.shape[1]} vs queries {self.queries.shape[1]}"
+            )
+
+    @property
+    def d(self) -> int:
+        return int(self.base.shape[1])
+
+    @property
+    def n(self) -> int:
+        return int(self.base.shape[0])
+
+    @property
+    def nq(self) -> int:
+        return int(self.queries.shape[0])
+
+    def training_vectors(self, max_n: int | None = None) -> np.ndarray:
+        """Vectors to train indexes on (explicit train split, else the base)."""
+        t = self.train if self.train is not None else self.base
+        if max_n is not None and t.shape[0] > max_n:
+            return t[:max_n]
+        return t
+
+    def ensure_ground_truth(self, k: int) -> np.ndarray:
+        """Compute (and cache) exact ground truth up to ``k`` neighbors."""
+        if self.ground_truth is None or self.gt_k < k:
+            self.ground_truth = compute_ground_truth(self.queries, self.base, k)
+            self.gt_k = k
+        return self.ground_truth[:, :k]
+
+    @classmethod
+    def synthetic(
+        cls,
+        name: str,
+        generator,
+        n_base: int,
+        n_queries: int,
+        *,
+        gt_k: int = 0,
+        seed: int = 0,
+        **gen_kwargs,
+    ) -> "Dataset":
+        """Build a dataset from a generator like :func:`make_sift_like`.
+
+        Base and queries are drawn from the *same* distribution (disjoint
+        slices of one sample), matching the benchmarks' construction.
+        """
+        total = n_base + n_queries
+        all_vecs = generator(total, seed=seed, **gen_kwargs)
+        ds = cls(name=name, base=all_vecs[:n_base], queries=all_vecs[n_base:])
+        if gt_k > 0:
+            ds.ensure_ground_truth(gt_k)
+        return ds

@@ -1,0 +1,123 @@
+"""Synthetic clustered vector datasets.
+
+Real ANN benchmarks (SIFT, Deep) have two properties that drive the paper's
+experiments and must be reproduced by any synthetic stand-in:
+
+1. **Clustered structure** — the inverted-file index only helps when nearby
+   vectors land in the same Voronoi cells, and recall must *grow smoothly
+   with nprobe* (the recall–nprobe curve is the input to FANNS' co-design).
+2. **Low intrinsic dimensionality** — product quantization with ``m=16``
+   sub-spaces only reaches useful recall when each sub-space carries limited
+   independent variance.  Full-rank isotropic noise is unquantizable at
+   dsub = d/m dimensions per byte; real descriptors are not full rank.
+
+We therefore sample latent points from a Gaussian mixture in a low
+``intrinsic_dim``-dimensional space, embed them into ``d`` dimensions through
+a fixed random linear map, and add a small full-rank noise floor.  Measured
+on 20k-vector instances this yields recall–nprobe curves with the same shape
+as SIFT1M/Deep1M: R@1 saturating near 0.7, R@10 near 0.78, R@100 near 0.85,
+with saturation points that move right as nlist grows (see
+tests/data/test_synthetic_properties.py).
+
+- ``make_sift_like``  — 128-d, non-negative, roughly uint8-ranged magnitudes.
+- ``make_deep_like``  — 96-d, L2-normalized (Deep1B embeddings are unit norm).
+
+Queries are drawn from the same mixture so the "query distribution equals
+database distribution" assumption used by the paper's performance model
+(expected scanned entries per cell) holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_clustered", "make_sift_like", "make_deep_like"]
+
+
+def _mixture_weights(n_clusters: int, rng: np.random.Generator, skew: float) -> np.ndarray:
+    """Long-tailed cluster weights: w_i ∝ (i+1)^-skew, shuffled.
+
+    skew=0 gives uniform clusters; skew≈0.7 matches the imbalance that makes
+    per-query scanned-entry counts vary (the effect Stage PQDist's workload
+    estimator in the paper accounts for).
+    """
+    ranks = np.arange(1, n_clusters + 1, dtype=np.float64)
+    w = ranks ** (-skew)
+    rng.shuffle(w)
+    return w / w.sum()
+
+
+def make_clustered(
+    n: int,
+    d: int,
+    *,
+    n_clusters: int = 256,
+    intrinsic_dim: int = 8,
+    cluster_std: float = 0.35,
+    noise: float = 0.01,
+    skew: float = 0.7,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Sample ``n`` ``d``-dimensional vectors from a low-rank clustered mixture.
+
+    Latent points live in ``intrinsic_dim`` dimensions: cluster centers are
+    uniform in the unit hypercube, each cluster is an isotropic Gaussian of
+    std ``cluster_std``.  A fixed random map (r, d)/sqrt(r) embeds latents
+    into the ambient space; ``noise`` adds a small full-rank floor so vectors
+    are not exactly rank-deficient.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if d <= 0:
+        raise ValueError(f"d must be positive, got {d}")
+    if intrinsic_dim <= 0 or intrinsic_dim > d:
+        raise ValueError(f"intrinsic_dim must be in [1, d={d}], got {intrinsic_dim}")
+    rng = np.random.default_rng(seed)
+    k = min(n_clusters, n)
+    r = intrinsic_dim
+    centers = rng.uniform(0.0, 1.0, size=(k, r))
+    embed = rng.standard_normal((r, d)) / np.sqrt(r)
+    weights = _mixture_weights(k, rng, skew)
+    assignment = rng.choice(k, size=n, p=weights)
+    latent = centers[assignment] + cluster_std * rng.standard_normal((n, r))
+    out = latent @ embed
+    if noise > 0.0:
+        out += noise * rng.standard_normal((n, d))
+    return out.astype(dtype, copy=False)
+
+
+def make_sift_like(
+    n: int,
+    *,
+    d: int = 128,
+    n_clusters: int = 256,
+    seed: int = 0,
+) -> np.ndarray:
+    """SIFT-like vectors: 128-d, non-negative, uint8-magnitude scale.
+
+    SIFT descriptors are gradient histograms (non-negative, bounded).  We
+    affinely map a clustered low-rank sample into [0, 255]; the map is
+    monotone per coordinate so neighbor structure is preserved.
+    """
+    base = make_clustered(n, d, n_clusters=n_clusters, seed=seed)
+    lo = base.min()
+    hi = base.max()
+    scaled = (base - lo) / max(hi - lo, 1e-12)
+    return (255.0 * scaled).astype(np.float32)
+
+
+def make_deep_like(
+    n: int,
+    *,
+    d: int = 96,
+    n_clusters: int = 256,
+    seed: int = 1,
+) -> np.ndarray:
+    """Deep-like vectors: 96-d, L2-normalized neural embeddings."""
+    base = make_clustered(
+        n, d, n_clusters=n_clusters, intrinsic_dim=8, cluster_std=0.4, seed=seed
+    )
+    norms = np.linalg.norm(base, axis=1, keepdims=True)
+    np.maximum(norms, 1e-12, out=norms)
+    return (base / norms).astype(np.float32)

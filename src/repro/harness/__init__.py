@@ -1,0 +1,18 @@
+"""Experiment harness: regenerates every table and figure of the evaluation.
+
+Each ``figXX``/``tabXX`` module exposes a ``run(...)`` function returning a
+structured result with a ``format()`` method that prints the same rows or
+series the paper reports.  The benchmark suite under ``benchmarks/`` wraps
+these runners; EXPERIMENTS.md records paper-vs-measured shape comparisons.
+
+Scale note: analytic experiments (Fig. 9, Table 4 predictions, Fig. 12) run
+at the paper's full scale (100 M-vector profiles) because the performance
+model is closed-form.  Simulation/measurement experiments (Figs. 1, 10, 11,
+Table 3) run on scaled synthetic datasets (10^4–10^5 vectors) with parameters
+scaled proportionally; DESIGN.md §1 documents the substitution.
+"""
+
+from repro.harness.context import ExperimentContext, small_context
+from repro.harness.formatting import format_series, format_table
+
+__all__ = ["ExperimentContext", "format_series", "format_table", "small_context"]

@@ -1,0 +1,65 @@
+"""Command-line experiment runner.
+
+Regenerate any table or figure of the paper from a shell::
+
+    python -m repro.harness.cli fig03
+    python -m repro.harness.cli fig09 tab04
+    python -m repro.harness.cli all
+
+Analytic experiments (fig03, fig09) run in seconds; dataset-backed ones
+(tab03, tab04, fig01, fig10, fig11, fig12) build the shared context first
+(about a minute of index training on first use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import fig01, fig03, fig09, fig10, fig11, fig12, tab03, tab04
+from repro.harness.context import small_context
+
+#: name -> (needs_context, runner)
+EXPERIMENTS = {
+    "fig03": (False, lambda ctx: fig03.run()),
+    "fig09": (False, lambda ctx: fig09.run()),
+    "tab03": (True, lambda ctx: tab03.run(ctx)),
+    "tab04": (True, lambda ctx: tab04.run(ctx)),
+    "fig01": (True, lambda ctx: fig01.run(ctx)),
+    "fig10": (True, lambda ctx: fig10.run(ctx)),
+    "fig11": (True, lambda ctx: fig11.run(ctx)),
+    "fig12": (True, lambda ctx: fig12.run(ctx)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment ids (or 'all')",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+
+    ctx = None
+    for name in names:
+        needs_ctx, runner = EXPERIMENTS[name]
+        if needs_ctx and ctx is None:
+            print("building experiment context (datasets + index grids)...")
+            ctx = small_context()
+        t0 = time.perf_counter()
+        result = runner(ctx)
+        elapsed = time.perf_counter() - t0
+        print(f"\n### {name} ({elapsed:.1f}s)\n")
+        print(result.format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Shared experiment context: datasets, recall goals, and a Fanns instance.
+
+Building datasets and training index grids dominates experiment wall time
+(Table 3's "several hours per index" at paper scale, seconds here), so the
+context is built once per process and shared by all runners.
+
+Recall goals are the paper's, adjusted for the quantization ceiling of the
+scaled synthetic datasets (documented in EXPERIMENTS.md): the paper uses
+R@1=30 %, R@10=80 %, R@100=95 % on SIFT100M; our 16-byte PQ on the scaled
+SIFT-like data saturates near R@10≈0.78 / R@100≈0.85, so the scaled goals
+keep the same ordering and relative difficulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.framework import Fanns
+from repro.core.index_explorer import RecallGoal
+from repro.data.datasets import Dataset
+from repro.data.synthetic import make_deep_like, make_sift_like
+from repro.hw.device import U55C
+
+__all__ = ["ExperimentContext", "small_context", "SCALED_GOALS"]
+
+#: Scaled per-dataset recall goals mirroring §7.1's "one goal per K per
+#: dataset" (paper: SIFT 30/80/95 %, Deep 30/70/95 %).
+#: The paper's R@1=30 % needs nprobe=5 on real SIFT100M; the synthetic data
+#: reaches 30 % at nprobe=1, which would let scan-bound platforms idle, so
+#: the scaled R@1 goal is raised until it exerts the same nprobe pressure.
+SCALED_GOALS: dict[str, list[RecallGoal]] = {
+    "sift-like": [RecallGoal(1, 0.62), RecallGoal(10, 0.72), RecallGoal(100, 0.82)],
+    "deep-like": [RecallGoal(1, 0.62), RecallGoal(10, 0.70), RecallGoal(100, 0.82)],
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the experiment runners share."""
+
+    datasets: dict[str, Dataset]
+    fanns: dict[str, Fanns]
+    goals: dict[str, list[RecallGoal]] = field(default_factory=lambda: dict(SCALED_GOALS))
+    max_queries: int = 200
+
+    def dataset(self, name: str) -> Dataset:
+        return self.datasets[name]
+
+    def framework(self, name: str) -> Fanns:
+        return self.fanns[name]
+
+
+#: The paper's dataset scale (SIFT100M / Deep100M).
+PAPER_NTOTAL = 100_000_000
+
+
+def _build_context(n_base: int, n_queries: int, nlist_grid: tuple[int, ...]) -> ExperimentContext:
+    datasets = {
+        "sift-like": Dataset.synthetic(
+            "sift-like", make_sift_like, n_base, n_queries, seed=0
+        ),
+        "deep-like": Dataset.synthetic(
+            "deep-like", make_deep_like, n_base, n_queries, seed=1
+        ),
+    }
+    for ds in datasets.values():
+        ds.ensure_ground_truth(100)
+    # Timing-only workload multiplier.  The scaled dataset uses a scaled
+    # nlist grid, so matching raw ntotal would inflate cells ~60x beyond the
+    # paper's.  Instead we match the paper's *codes per probed cell*
+    # (100 M / nlist=8192 ≈ 12.2k) at the finest index of our grid — so no
+    # platform can dodge the paper's scan intensity by picking a bigger
+    # nlist, which is the quantity that drives the PQDist/BuildLUT/SelK
+    # balance and the CPU-vs-FPGA crossover.  Recall always runs on real data.
+    paper_cell = PAPER_NTOTAL / 8192
+    scale = paper_cell * max(nlist_grid) / n_base
+    fanns = {
+        name: Fanns(
+            U55C,
+            m=16,
+            ksub=256,
+            nlist_grid=list(nlist_grid),
+            opq_options=(False, True),
+            pe_grid=(1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 57),
+            max_train_vectors=12_000,
+            workload_scale=scale,
+        )
+        for name in datasets
+    }
+    return ExperimentContext(datasets=datasets, fanns=fanns)
+
+
+@lru_cache(maxsize=1)
+def small_context() -> ExperimentContext:
+    """The benchmark-scale context: 30k base vectors, 500 queries.
+
+    Index training plus ground truth takes O(1 min) on a laptop — the scaled
+    stand-in for the paper's "several hours per index".
+    """
+    return _build_context(30_000, 500, nlist_grid=(64, 128, 256))

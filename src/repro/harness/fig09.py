@@ -1,0 +1,122 @@
+"""Figure 9: optimal FPGA designs shift with algorithm parameters.
+
+For each parameter setting the FANNS performance model picks the optimal
+hardware design; the figure visualizes the resulting per-stage resource
+consumption ratios.  Expected shapes (§7.2.1):
+
+- growing **nprobe** moves resources into Stage PQDist and Stage SelK;
+- growing **nlist** moves resources into Stage IVFDist;
+- growing **K** inflates Stage SelK (queue cost linear in K).
+
+Pure performance-model work → runs at the paper's scale (100 M vectors,
+nlist up to 2^16) with no dataset or simulation needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.perf_model import IndexProfile, predict
+from repro.core.design_space import enumerate_designs
+from repro.core.resource_model import stage_resources
+from repro.harness.formatting import format_table
+from repro.hw.device import U55C, FPGADevice
+
+__all__ = ["Fig09Result", "run", "optimal_design"]
+
+NTOTAL = 100_000_000
+PE_GRID = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 57)
+STAGES = ("OPQ", "IVFDist", "SelCells", "BuildLUT", "PQDist", "SelK")
+
+
+def _uniform_profile(nlist: int) -> IndexProfile:
+    sizes = np.full(nlist, NTOTAL // nlist, dtype=np.int64)
+    return IndexProfile(nlist=nlist, use_opq=False, cell_sizes=sizes)
+
+
+def optimal_design(
+    params: AlgorithmParams, device: FPGADevice = U55C, pe_grid=PE_GRID
+) -> AcceleratorConfig:
+    """The QPS-optimal design for fixed parameters (the unit of Figure 9).
+
+    QPS ties (within 0.1 %) break toward the cheaper design, mirroring
+    ``Fanns._search_designs``.
+    """
+    from repro.core.resource_model import total_resources
+
+    profile = _uniform_profile(params.nlist)
+    best: tuple[float, float, AcceleratorConfig] | None = None
+    for cfg in enumerate_designs(params, device, pe_grid=pe_grid):
+        qps = predict(cfg, profile).qps
+        if best is None or qps > 1.001 * best[0]:
+            best = (qps, total_resources(cfg).lut, cfg)
+        elif qps > 0.999 * best[0]:
+            lut = total_resources(cfg).lut
+            if lut < best[1]:
+                best = (qps, lut, cfg)
+    if best is None:
+        raise RuntimeError(f"no valid design for {params}")
+    return best[2]
+
+
+def _lut_ratios(cfg: AcceleratorConfig) -> dict[str, float]:
+    res = stage_resources(cfg)
+    total = sum(r.lut for r in res.values())
+    return {s: res[s].lut / total if total else 0.0 for s in STAGES}
+
+
+@dataclass
+class Fig09Result:
+    """ratios[(sweep, value)] = {stage: LUT share of the optimal design}."""
+
+    ratios: dict[tuple[str, int], dict[str, float]]
+    designs: dict[tuple[str, int], AcceleratorConfig]
+
+    def format(self) -> str:
+        headers = ["sweep", "value"] + list(STAGES) + ["design"]
+        rows = []
+        for key in sorted(self.ratios):
+            r = self.ratios[key]
+            cfg = self.designs[key]
+            rows.append(
+                list(key)
+                + [f"{r[s] * 100:.1f}%" for s in STAGES]
+                + [
+                    f"ivf={cfg.n_ivf_pes} lut={cfg.n_lut_pes} "
+                    f"pq={cfg.n_pq_pes} selk={cfg.selk_arch}"
+                ]
+            )
+        return format_table(headers, rows, title="Figure 9: optimal design resource ratios")
+
+
+def run(
+    nprobes: tuple[int, ...] = (1, 4, 16, 64),
+    nlists: tuple[int, ...] = (2**11, 2**13, 2**15),
+    ks: tuple[int, ...] = (1, 10, 100),
+    device: FPGADevice = U55C,
+) -> Fig09Result:
+    ratios: dict[tuple[str, int], dict[str, float]] = {}
+    designs: dict[tuple[str, int], AcceleratorConfig] = {}
+
+    for nprobe in nprobes:  # left panel: sweep nprobe at nlist=8192, K=10
+        p = AlgorithmParams(d=128, nlist=2**13, nprobe=nprobe, k=10)
+        cfg = optimal_design(p, device)
+        ratios[("nprobe", nprobe)] = _lut_ratios(cfg)
+        designs[("nprobe", nprobe)] = cfg
+
+    for nlist in nlists:  # middle panel: sweep nlist at nprobe=16, K=10
+        p = AlgorithmParams(d=128, nlist=nlist, nprobe=16, k=10)
+        cfg = optimal_design(p, device)
+        ratios[("nlist", nlist)] = _lut_ratios(cfg)
+        designs[("nlist", nlist)] = cfg
+
+    for k in ks:  # right panel: sweep K at nlist=8192, nprobe=16
+        p = AlgorithmParams(d=128, nlist=2**13, nprobe=16, k=k)
+        cfg = optimal_design(p, device)
+        ratios[("K", k)] = _lut_ratios(cfg)
+        designs[("K", k)] = cfg
+
+    return Fig09Result(ratios=ratios, designs=designs)

@@ -1,0 +1,99 @@
+"""Figure 11: single-node online latency distributions (CPU / GPU / FPGA).
+
+Online query processing (no batching; queries arrive one by one through the
+hardware TCP/IP stack for the FPGA).  Reproduced shape claims (§7.3.2):
+
+- GPU: lowest median (raw flop/s) but **high tail** latency;
+- FPGA: "much lower latency variance than its counterparts, thanks to the
+  fixed accelerator logic", and 2.0–4.6× better P95 than the best CPU;
+- CPU: in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.cpu import CPUBaseline
+from repro.baselines.gpu import GPUBaseline
+from repro.core.config import AlgorithmParams
+from repro.harness.context import ExperimentContext
+from repro.harness.formatting import format_table
+from repro.net.tcp import HardwareTCPStack
+
+__all__ = ["Fig11Result", "run"]
+
+
+@dataclass
+class Fig11Result:
+    latencies_us: dict[str, np.ndarray]
+
+    def percentile(self, hw: str, q: float) -> float:
+        return float(np.percentile(self.latencies_us[hw], q))
+
+    def format(self) -> str:
+        headers = ["hw", "P50", "P95", "P99", "P99/P50"]
+        rows = []
+        for hw, lat in self.latencies_us.items():
+            p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+            rows.append([hw, p50, p95, p99, f"{p99 / p50:.2f}x"])
+        return format_table(headers, rows, title="Figure 11: online latency (us)")
+
+
+def run(
+    ctx: ExperimentContext,
+    dataset_name: str = "sift-like",
+    n_queries: int = 2000,
+    seed: int = 0,
+) -> Fig11Result:
+    ds = ctx.dataset(dataset_name)
+    fanns = ctx.framework(dataset_name)
+    goal = ctx.goals[dataset_name][1]  # the R@10 goal, as in the paper's Fig. 1 setup
+    rng = np.random.default_rng(seed)
+
+    # FPGA: redesign with the network stack (§7.3.2: "we rerun the FANNS
+    # performance model" because TCP/IP consumes resources), then serve
+    # open-loop with spaced arrivals and the TCP overhead per query.
+    res = fanns.fit(ds, goal, with_network=True, max_queries=ctx.max_queries)
+    sim = res.simulator()
+    tcp = HardwareTCPStack()
+    overhead = tcp.query_overhead_us(4 * ds.d, 12 * goal.k)
+    reps = int(np.ceil(n_queries / ds.nq))
+    queries = np.tile(ds.queries, (reps, 1))[:n_queries]
+    # Arrival spacing at ~60 % of peak throughput keeps queueing mild.
+    interval = 1e6 / (res.prediction.qps * 0.6)
+    out = sim.run_batch(
+        queries,
+        arrival_us=np.arange(n_queries) * interval,
+        overhead_us=overhead,
+    )
+    fpga_lat = out.latencies_us
+
+    # CPU / GPU: their own best parameters for the goal, sampled latencies.
+    pairs = fanns.explorer.recall_nprobe_pairs(
+        ds, fanns.nlist_grid, goal, fanns.opq_options, ctx.max_queries
+    )
+    cpu = CPUBaseline()
+    gpu = GPUBaseline()
+
+    def best_latencies(model):
+        best = None
+        for cand, nprobe in pairs:
+            params = AlgorithmParams(
+                d=ds.d, nlist=cand.profile.nlist, nprobe=nprobe, k=goal.k,
+                use_opq=cand.profile.use_opq, m=fanns.m, ksub=fanns.ksub,
+            )
+            codes = cand.profile.expected_codes(nprobe)
+            lat = model.sample_latencies_us(params, codes, n_queries, rng)
+            if best is None or np.median(lat) < np.median(best):
+                best = lat
+        return best
+
+    return Fig11Result(
+        latencies_us={
+            "CPU": best_latencies(cpu),
+            "GPU": best_latencies(gpu),
+            "FPGA": fpga_lat,
+        }
+    )

@@ -1,0 +1,42 @@
+"""Plain-text table/series formatting for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Fixed-width text table (the style of the paper's Table 4)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One figure series as aligned x/y pairs."""
+    pairs = "  ".join(f"{_fmt(x)}:{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

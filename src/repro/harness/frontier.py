@@ -1,0 +1,96 @@
+"""Recall–throughput frontiers: the standard ANN benchmark view.
+
+The paper reports fixed recall goals (Fig. 10); ANN practice also sweeps
+nprobe to trace the whole recall-vs-QPS frontier per platform.  This runner
+produces those curves for the simulated FANNS accelerator and the CPU/GPU
+cost models on one index, which makes the crossovers of Fig. 10 visible as
+curve intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ann.recall import recall_at_k
+from repro.baselines.cpu import CPUBaseline
+from repro.baselines.gpu import GPUBaseline
+from repro.core.config import AlgorithmParams
+from repro.core.perf_model import predict
+from repro.harness.context import ExperimentContext
+from repro.harness.fig09 import optimal_design
+from repro.harness.formatting import format_table
+from repro.sim.accelerator import AcceleratorSimulator
+
+__all__ = ["FrontierPoint", "FrontierResult", "run"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    nprobe: int
+    recall: float
+    qps: dict[str, float]  # platform -> throughput
+
+
+@dataclass
+class FrontierResult:
+    k: int
+    nlist: int
+    points: list[FrontierPoint]
+
+    def format(self) -> str:
+        headers = ["nprobe", f"R@{self.k}", "FPGA", "CPU", "GPU"]
+        rows = [
+            [p.nprobe, f"{p.recall:.3f}", p.qps["FPGA"], p.qps["CPU"], p.qps["GPU"]]
+            for p in self.points
+        ]
+        return format_table(headers, rows, title=f"Recall-QPS frontier (nlist={self.nlist})")
+
+    def platform_curve(self, platform: str) -> list[tuple[float, float]]:
+        return [(p.recall, p.qps[platform]) for p in self.points]
+
+
+def run(
+    ctx: ExperimentContext,
+    dataset_name: str = "sift-like",
+    nlist: int | None = None,
+    k: int = 10,
+    nprobes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    n_queries: int = 150,
+) -> FrontierResult:
+    ds = ctx.dataset(dataset_name)
+    fanns = ctx.framework(dataset_name)
+    nlist = nlist if nlist is not None else fanns.nlist_grid[len(fanns.nlist_grid) // 2]
+    cand = fanns.explorer.build(ds, [nlist], opq_options=(False,))[0]
+    gt = ds.ensure_ground_truth(k)[:n_queries]
+    queries = ds.queries[:n_queries]
+    cpu = CPUBaseline()
+    gpu = GPUBaseline()
+
+    points: list[FrontierPoint] = []
+    for nprobe in nprobes:
+        if nprobe > nlist:
+            continue
+        params = AlgorithmParams(
+            d=ds.d, nlist=nlist, nprobe=nprobe, k=k, m=fanns.m, ksub=fanns.ksub
+        )
+        ids, _ = cand.index.search(queries, k, nprobe)
+        recall = recall_at_k(ids, gt)
+        # FPGA: the optimal design for *this* nprobe, simulated.
+        cfg = optimal_design(params, fanns.device, pe_grid=fanns.pe_grid)
+        sim = AcceleratorSimulator(
+            cand.index, cfg, workload_scale=fanns.workload_scale
+        )
+        fpga_qps = sim.run_batch(queries).qps
+        codes = cand.profile.expected_codes(nprobe)
+        points.append(
+            FrontierPoint(
+                nprobe=nprobe,
+                recall=recall,
+                qps={
+                    "FPGA": fpga_qps,
+                    "CPU": cpu.qps(params, codes),
+                    "GPU": gpu.qps(params, codes),
+                },
+            )
+        )
+    return FrontierResult(k=k, nlist=nlist, points=points)

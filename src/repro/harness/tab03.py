@@ -1,0 +1,95 @@
+"""Table 3: time consumption of the FANNS workflow.
+
+Paper (at 100 M-vector scale):
+
+=======================  =======================
+Build indexes            several hours per index
+Recall-nprobe evaluation up to minutes per index
+Predict optimal design   up to one hour per goal
+FPGA code generation     within seconds
+FPGA bitstream           ~ten hours per design
+=======================  =======================
+
+We time the same steps on the scaled dataset; the *ordering* of step costs
+(index building ≫ design prediction ≫ recall evaluation ≫ code generation)
+is the reproduced quantity.  Bitstream generation is replaced by simulator
+construction (our "compilation").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.index_explorer import RecallGoal
+from repro.harness.context import ExperimentContext
+from repro.harness.formatting import format_table
+from repro.sim.accelerator import AcceleratorSimulator
+
+__all__ = ["Tab03Result", "run"]
+
+
+@dataclass
+class Tab03Result:
+    seconds: dict[str, float]
+
+    def format(self) -> str:
+        rows = [[step, f"{sec:.3f}s"] for step, sec in self.seconds.items()]
+        return format_table(["Workflow step", "Time"], rows, title="Table 3: workflow timing")
+
+
+def run(ctx: ExperimentContext, dataset_name: str = "sift-like") -> Tab03Result:
+    ds = ctx.dataset(dataset_name)
+    fanns = ctx.framework(dataset_name)
+    goal = ctx.goals[dataset_name][1]  # the R@10 goal
+
+    t0 = time.perf_counter()
+    cands = fanns.explorer.build(ds, fanns.nlist_grid, fanns.opq_options)
+    t_build = time.perf_counter() - t0
+    # Report training time even when candidates were cached by earlier runs.
+    trained = sum(c.train_seconds for c in cands)
+    t_build = max(t_build, trained)
+
+    t0 = time.perf_counter()
+    pairs = [
+        (cand, fanns.explorer.min_nprobe(cand, ds, goal, ctx.max_queries))
+        for cand in cands
+    ]
+    t_recall = time.perf_counter() - t0
+
+    pairs = [(c, n) for c, n in pairs if n is not None]
+    t0 = time.perf_counter()
+    best = None
+    for cand, nprobe in pairs:
+        from repro.core.config import AlgorithmParams
+
+        params = AlgorithmParams(
+            d=ds.d, nlist=cand.profile.nlist, nprobe=nprobe, k=goal.k,
+            use_opq=cand.profile.use_opq, m=fanns.m, ksub=fanns.ksub,
+        )
+        found = fanns.best_design_for_params(params, cand.profile)
+        if found and (best is None or found[1].qps > best[2].qps):
+            best = (cand, found[0], found[1])
+    t_predict = time.perf_counter() - t0
+    assert best is not None, "no valid design found"
+    cand, cfg, _ = best
+
+    t0 = time.perf_counter()
+    from repro.core.codegen import generate_header, generate_kernel, generate_connectivity
+
+    generate_header(cfg), generate_kernel(cfg), generate_connectivity(cfg)
+    t_codegen = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    AcceleratorSimulator(cand.index, cfg)
+    t_compile = time.perf_counter() - t0
+
+    return Tab03Result(
+        seconds={
+            "Build indexes": t_build,
+            "Get recall-nprobe relationship": t_recall,
+            "Predict optimal design": t_predict,
+            "FPGA code generation": t_codegen,
+            "Bitstream generation (simulator build)": t_compile,
+        }
+    )

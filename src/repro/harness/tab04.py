@@ -1,0 +1,113 @@
+"""Table 4: human-crafted baseline versus FANNS-generated designs.
+
+For each recall goal on the SIFT-like dataset the table reports: the chosen
+index and nprobe, the per-stage architecture and LUT share, and the
+predicted QPS.  The reproduced claims (§7.2.2):
+
+- FANNS picks *different indexes and nprobe* per recall goal;
+- FANNS generates *different hardware* per goal (SelK switches between HPQ
+  and HSMPQG, PE counts move, SelK LUT share spans a wide range);
+- the baseline rows are fixed per K and carry no prediction (they are not
+  parameter-specialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.fpga_baseline import baseline_config
+from repro.core.config import AcceleratorConfig
+from repro.core.framework import FannsResult
+from repro.core.resource_model import utilization_report
+from repro.harness.context import ExperimentContext
+from repro.harness.formatting import format_table
+from repro.hw.device import U55C
+
+__all__ = ["Tab04Result", "run"]
+
+
+@dataclass
+class Tab04Row:
+    label: str
+    index: str
+    nprobe: int | None
+    config: AcceleratorConfig
+    predicted_qps: float | None
+
+    def cells(self) -> list:
+        rep = utilization_report(self.config, U55C)
+        return [
+            self.label,
+            self.index,
+            self.nprobe if self.nprobe is not None else "N/A",
+            self.config.n_ivf_pes,
+            f"{rep['IVFDist']['lut_pct']:.1f}%",
+            self.config.n_lut_pes,
+            f"{rep['BuildLUT']['lut_pct']:.1f}%",
+            self.config.n_pq_pes,
+            f"{rep['PQDist']['lut_pct']:.1f}%",
+            self.config.selk_arch,
+            f"{rep['SelK']['lut_pct']:.1f}%",
+            f"{self.predicted_qps:,.0f}" if self.predicted_qps else "N/A",
+        ]
+
+
+@dataclass
+class Tab04Result:
+    rows: list[Tab04Row]
+    fits: dict[str, FannsResult]
+
+    def format(self) -> str:
+        headers = [
+            "Design", "Index", "nprobe",
+            "IVF#PE", "IVF.LUT", "LUT#PE", "BLUT.LUT",
+            "PQ#PE", "PQ.LUT", "SelK", "SelK.LUT", "Pred.QPS",
+        ]
+        return format_table(
+            headers, [r.cells() for r in self.rows],
+            title="Table 4: baseline vs FANNS-generated designs",
+        )
+
+
+def run(ctx: ExperimentContext, dataset_name: str = "sift-like") -> Tab04Result:
+    ds = ctx.dataset(dataset_name)
+    fanns = ctx.framework(dataset_name)
+    rows: list[Tab04Row] = []
+    fits: dict[str, FannsResult] = {}
+
+    for goal in ctx.goals[dataset_name]:
+        # Baseline row: fixed hardware per K, no parameter awareness.
+        base = baseline_config(
+            # Bind to a representative index so the row is constructible;
+            # the baseline itself is parameter-independent.
+            fanns_params_for_baseline(ds.d, fanns, goal.k),
+        )
+        rows.append(
+            Tab04Row(
+                label=f"K={goal.k} (Baseline)", index="N/A", nprobe=None,
+                config=base, predicted_qps=None,
+            )
+        )
+        # FANNS row: full co-design.
+        res = fanns.fit(ds, goal, max_queries=ctx.max_queries)
+        fits[str(goal)] = res
+        rows.append(
+            Tab04Row(
+                label=f"K={goal.k} (FANNS)",
+                index=res.candidate.key,
+                nprobe=res.nprobe,
+                config=res.config,
+                predicted_qps=res.prediction.qps,
+            )
+        )
+    return Tab04Result(rows=rows, fits=fits)
+
+
+def fanns_params_for_baseline(d: int, fanns, k: int):
+    """A neutral parameter binding for displaying baseline rows."""
+    from repro.core.config import AlgorithmParams
+
+    nlist = fanns.nlist_grid[len(fanns.nlist_grid) // 2]
+    return AlgorithmParams(
+        d=d, nlist=nlist, nprobe=min(16, nlist), k=k, m=fanns.m, ksub=fanns.ksub
+    )

@@ -1,0 +1,46 @@
+"""Hardware substrate: FPGA component models with functional + cost behaviour.
+
+Everything the paper's accelerator is assembled from:
+
+- :mod:`repro.hw.resources` — the five-resource accounting of Eq. 2.
+- :mod:`repro.hw.device` — FPGA cards (U55C is the paper's device).
+- :mod:`repro.hw.priority_queue` — systolic priority queue (Figure 6).
+- :mod:`repro.hw.bitonic` — bitonic sort / partial-merge networks (§5.1.1).
+- :mod:`repro.hw.selection` — HPQ and HSMPQG K-selection designs (§5.1.2).
+- :mod:`repro.hw.compute_pes` — OPQ / IVFDist / BuildLUT / PQDist PEs (§5.2).
+- :mod:`repro.hw.fifo` — FIFO interconnect costs (§5.2.2).
+"""
+
+from repro.hw.bitonic import BitonicPartialMerger, BitonicSorter, sort_latency_cycles
+from repro.hw.compute_pes import BuildLUTPE, IVFDistPE, OPQPE, PQDistPE, cycles_per_query
+from repro.hw.device import SMALL_DEVICE, U250, U55C, FPGADevice
+from repro.hw.fifo import FIFO_COST, fifo_resources, stage_fifo_count
+from repro.hw.priority_queue import SystolicPriorityQueue, queue_resources
+from repro.hw.resources import RESOURCE_KINDS, ResourceVector
+from repro.hw.selection import HPQ, HSMPQG, make_selector, valid_selectors
+
+__all__ = [
+    "FIFO_COST",
+    "HPQ",
+    "HSMPQG",
+    "BitonicPartialMerger",
+    "BitonicSorter",
+    "BuildLUTPE",
+    "FPGADevice",
+    "IVFDistPE",
+    "OPQPE",
+    "PQDistPE",
+    "RESOURCE_KINDS",
+    "ResourceVector",
+    "SMALL_DEVICE",
+    "SystolicPriorityQueue",
+    "U250",
+    "U55C",
+    "cycles_per_query",
+    "fifo_resources",
+    "make_selector",
+    "queue_resources",
+    "sort_latency_cycles",
+    "stage_fifo_count",
+    "valid_selectors",
+]

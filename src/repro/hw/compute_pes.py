@@ -1,0 +1,272 @@
+"""Processing elements for the four computation stages (§5.2).
+
+Each PE model carries:
+
+- a **resource vector** (calibrated so PE counts from the paper's Table 4
+  land on the reported LUT shares on a U55C — e.g. 16 IVFDist PEs ≈ 11 %,
+  57 PQDist PEs ≈ 24 %);
+- a **pipeline model** (latency ``L``, initiation interval ``II``) from which
+  per-query cycles follow the paper's Eq. ``CC = L + (N − 1)·II``;
+- a **functional model** mirroring what the hardware computes, so the cycle
+  simulator produces real search results, not just timings.
+
+Index-caching choice (Table 2, "Caches"): Stage IVFDist and Stage BuildLUT
+can keep their tables in on-chip SRAM (II = 1, BRAM cost) or stream them
+from HBM (II = 2 from channel sharing, minimal BRAM).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.hw.resources import ResourceVector
+
+__all__ = [
+    "BuildLUTPE",
+    "ComputePE",
+    "IVFDistPE",
+    "OPQPE",
+    "PQDistPE",
+    "cycles_per_query",
+]
+
+#: Bytes per BRAM36 block (36 kbit = 4.5 KiB).
+BRAM36_BYTES = 4608
+#: Bytes per URAM288 block (288 kbit = 36 KiB).  Large on-chip tables (cached
+#: IVF centroids) are placed in URAM — that is how a U55C holds multi-MB
+#: indexes on-chip (its 40 MB of SRAM is mostly URAM).
+URAM_BYTES = 36864
+
+
+def cycles_per_query(latency: int, ii: int, n: float) -> float:
+    """The paper's PE pipeline model: ``CC = L + (N − 1) · II`` (Eq. 4 input)."""
+    if n <= 0:
+        return float(latency)
+    return latency + (n - 1.0) * ii
+
+
+@lru_cache(maxsize=4096)
+def _cached_pe_resources(pe: "ComputePE") -> ResourceVector:
+    """PE specs are frozen dataclasses; their resource vectors are pure
+    functions of the spec, so memoize across the design-space sweep."""
+    return pe._compute_resources()
+
+
+@dataclass(frozen=True)
+class ComputePE:
+    """Base class: a pipelined PE with fixed latency/II and resource cost."""
+
+    @property
+    def stage(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def latency(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def ii(self) -> int:
+        raise NotImplementedError
+
+    def _compute_resources(self) -> ResourceVector:
+        raise NotImplementedError
+
+    @property
+    def resources(self) -> ResourceVector:
+        return _cached_pe_resources(self)
+
+    def cycles(self, n_elements: float) -> float:
+        return cycles_per_query(self.latency, self.ii, n_elements)
+
+
+@dataclass(frozen=True)
+class OPQPE(ComputePE):
+    """Stage OPQ: d×d vector-matrix multiply, one output element per cycle.
+
+    A lightweight stage (Table 4 reports 0.2 % LUT for its single PE); its
+    DSP cost is a d-wide multiply-accumulate.
+    """
+
+    d: int
+
+    @property
+    def stage(self) -> str:
+        return "OPQ"
+
+    @property
+    def latency(self) -> int:
+        # Dot-product reduction tree depth plus I/O registering.
+        return int(math.ceil(math.log2(max(self.d, 2)))) + 8
+
+    @property
+    def ii(self) -> int:
+        return 1
+
+    def _compute_resources(self) -> ResourceVector:
+        # Matrix storage: d*d float32 on-chip (128x128 -> 64 KiB -> 15 BRAM36).
+        matrix_bram = math.ceil(self.d * self.d * 4 / BRAM36_BYTES)
+        return ResourceVector(bram36=matrix_bram, lut=2600.0, ff=3400.0, dsp=self.d)
+
+    def cycles_for_query(self) -> float:
+        """One rotated output element per cycle → N = d."""
+        return self.cycles(self.d)
+
+    @staticmethod
+    def apply(rotation: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Functional model: rotate queries."""
+        return queries @ rotation
+
+
+@dataclass(frozen=True)
+class IVFDistPE(ComputePE):
+    """Stage IVFDist: L2 distance between the query and one centroid per II.
+
+    The PE holds a slice of the nlist centroids.  With on-chip caching the
+    pipeline accepts one centroid per cycle; streaming centroids from HBM
+    halves the acceptance rate (II = 2) but frees the BRAM.
+    """
+
+    d: int
+    cache_on_chip: bool = True
+    #: Number of centroids this PE is responsible for (nlist / #PEs).
+    centroids_share: int = 0
+    #: Multiply-accumulate lanes: the PE consumes LANES dimensions per cycle,
+    #: so one d-dimensional distance takes d/LANES cycles.  This is why the
+    #: paper's designs instantiate 8-16 IVFDist PEs to keep up with the
+    #: one-element-per-cycle SelCells consumer.
+    LANES = 16
+
+    @property
+    def stage(self) -> str:
+        return "IVFDist"
+
+    @property
+    def latency(self) -> int:
+        # LANES-wide multiply + add-tree + accumulate.
+        return int(math.ceil(math.log2(max(self.LANES, 2)))) + 10
+
+    @property
+    def ii(self) -> int:
+        per_centroid = max(1, math.ceil(self.d / self.LANES))
+        return per_centroid if self.cache_on_chip else 2 * per_centroid
+
+    def _compute_resources(self) -> ResourceVector:
+        base = ResourceVector(lut=9000.0, ff=12000.0, dsp=2 * self.LANES, bram36=2)
+        if self.cache_on_chip and self.centroids_share > 0:
+            cache = math.ceil(self.centroids_share * self.d * 4 / URAM_BYTES)
+            base = base + ResourceVector(uram=cache)
+        return base
+
+    def cycles_for_query(self) -> float:
+        """N = centroids assigned to this PE."""
+        return self.cycles(self.centroids_share)
+
+    @staticmethod
+    def distances(query: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Functional model: squared L2 to each centroid."""
+        diff = centroids - query[None, :]
+        return np.einsum("ij,ij->i", diff, diff)
+
+
+@dataclass(frozen=True)
+class BuildLUTPE(ComputePE):
+    """Stage BuildLUT: one (m × ksub) ADC table per probed cell.
+
+    Computes one table entry (a dsub-dimensional squared distance) per cycle.
+    The sub-quantizer codebooks (m·ksub·dsub floats) always live on-chip;
+    the *cell centroids* needed to form residuals follow the caching choice.
+    """
+
+    d: int
+    m: int = 16
+    ksub: int = 256
+    cache_on_chip: bool = True
+    centroids_share: int = 0
+
+    @property
+    def stage(self) -> str:
+        return "BuildLUT"
+
+    @property
+    def dsub(self) -> int:
+        return self.d // self.m
+
+    @property
+    def latency(self) -> int:
+        return int(math.ceil(math.log2(max(self.dsub, 2)))) + 12
+
+    @property
+    def ii(self) -> int:
+        return 1 if self.cache_on_chip else 2
+
+    def _compute_resources(self) -> ResourceVector:
+        codebook_bytes = self.m * self.ksub * self.dsub * 4
+        base = ResourceVector(
+            lut=6700.0,
+            ff=8200.0,
+            dsp=3 * self.dsub,
+            bram36=math.ceil(codebook_bytes / BRAM36_BYTES),
+        )
+        if self.cache_on_chip and self.centroids_share > 0:
+            cache = math.ceil(self.centroids_share * self.d * 4 / URAM_BYTES)
+            base = base + ResourceVector(uram=cache)
+        return base
+
+    def cycles_per_cell(self) -> float:
+        """N = m·ksub table entries per probed cell."""
+        return self.cycles(self.m * self.ksub)
+
+    @staticmethod
+    def build(codebooks: np.ndarray, residual: np.ndarray) -> np.ndarray:
+        """Functional model: (m, ksub) table for one residual vector."""
+        m, ksub, dsub = codebooks.shape
+        q = residual.reshape(m, dsub)
+        diff = codebooks - q[:, None, :]
+        return np.einsum("jkd,jkd->jk", diff, diff)
+
+
+@dataclass(frozen=True)
+class PQDistPE(ComputePE):
+    """Stage PQDist: ADC of one PQ code per cycle (Figure 8).
+
+    m BRAM slices hold the current cell's distance table column-wise so all
+    m lookups happen in parallel; an add tree reduces them to one distance
+    per cycle.  Tables are double-buffered so scanning cell *i* overlaps
+    loading the table of cell *i+1*.
+    """
+
+    m: int = 16
+
+    @property
+    def stage(self) -> str:
+        return "PQDist"
+
+    @property
+    def latency(self) -> int:
+        # BRAM read + add tree of depth log2(m) + padding-detect stage.
+        return int(math.ceil(math.log2(max(self.m, 2)))) + 6
+
+    @property
+    def ii(self) -> int:
+        return 1
+
+    def _compute_resources(self) -> ResourceVector:
+        # m BRAM18 slices (double-buffered) ≈ m BRAM36; add tree of m-1
+        # adders, ~2 DSP each.
+        return ResourceVector(
+            bram36=float(self.m), lut=5500.0, ff=7000.0, dsp=2 * (self.m - 1)
+        )
+
+    def cycles_for_codes(self, n_codes: float) -> float:
+        return self.cycles(n_codes)
+
+    @staticmethod
+    def adc(lut: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Functional model: Eq. 1 lookup-add over (n, m) codes."""
+        m = lut.shape[0]
+        gathered = lut[np.arange(m)[None, :], codes.astype(np.int64)]
+        return gathered.sum(axis=1)

@@ -1,0 +1,82 @@
+"""FPGA device models.
+
+The paper targets the Xilinx Alveo U55C (1.3 M LUTs, 9 K DSPs, 40 MB on-chip
+memory, 16 GB HBM).  A device provides the capacity side of Eq. 2; the
+framework multiplies it by a conservative ``max_utilization`` (0.6 in the
+paper) because designs that consume the whole chip fail placement & routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.resources import ResourceVector
+
+__all__ = ["FPGADevice", "U55C", "U250", "SMALL_DEVICE"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """An FPGA accelerator card.
+
+    Parameters mirror the numbers a datasheet provides.  ``hbm_bytes`` bounds
+    the dataset (PQ codes + ids + any spilled index) that one card can hold;
+    ``hbm_channels`` bounds how many memory-bound PEs can stream concurrently.
+    """
+
+    name: str
+    capacity: ResourceVector
+    hbm_bytes: int
+    hbm_channels: int = 32
+    default_freq_mhz: float = 140.0
+    #: Fraction of each resource usable before placement & routing fails.
+    default_max_utilization: float = 0.6
+    #: Shell / infrastructure overhead (memory controllers, PCIe/XDMA, ...).
+    infrastructure: ResourceVector = field(
+        default_factory=lambda: ResourceVector(bram36=120, uram=0, lut=110_000, ff=140_000, dsp=4)
+    )
+
+    def budget(self, max_utilization: float | None = None) -> ResourceVector:
+        """Usable resources: capacity × utilization − infrastructure."""
+        u = self.default_max_utilization if max_utilization is None else max_utilization
+        if not 0.0 < u <= 1.0:
+            raise ValueError(f"max_utilization must be in (0, 1], got {u}")
+        return (self.capacity * u) - self.infrastructure
+
+    def fits_dataset(self, nbytes: int) -> bool:
+        """True iff a dataset of ``nbytes`` fits in device memory."""
+        return nbytes <= self.hbm_bytes
+
+    @property
+    def onchip_bytes(self) -> int:
+        """Total on-chip SRAM (BRAM36 = 4.5 KiB, URAM = 36 KiB each)."""
+        return int(self.capacity.bram36 * 4608 + self.capacity.uram * 36864)
+
+
+#: Xilinx Alveo U55C — the paper's device (§7.1: 1.3M LUTs, 9K DSPs, 40MB
+#: on-chip memory, 16 GB HBM; TSMC 16 nm).
+U55C = FPGADevice(
+    name="xilinx-alveo-u55c",
+    capacity=ResourceVector(bram36=2016, uram=960, lut=1_304_000, ff=2_607_000, dsp=9024),
+    hbm_bytes=16 * 2**30,
+    hbm_channels=32,
+)
+
+#: Xilinx Alveo U250 — a DDR-based card, included to exercise the framework
+#: on a different resource balance (more LUTs, no HBM, 4 DDR channels).
+U250 = FPGADevice(
+    name="xilinx-alveo-u250",
+    capacity=ResourceVector(bram36=2688, uram=1280, lut=1_728_000, ff=3_456_000, dsp=12288),
+    hbm_bytes=64 * 2**30,
+    hbm_channels=4,
+)
+
+#: A deliberately small device for tests: forces the design-space explorer to
+#: reject large configurations quickly.
+SMALL_DEVICE = FPGADevice(
+    name="test-small",
+    capacity=ResourceVector(bram36=400, uram=120, lut=260_000, ff=520_000, dsp=1800),
+    hbm_bytes=2 * 2**30,
+    hbm_channels=8,
+    infrastructure=ResourceVector(bram36=24, uram=0, lut=22_000, ff=28_000, dsp=1),
+)

@@ -1,0 +1,39 @@
+"""FIFO interconnect cost model (Eq. 2's second term).
+
+PEs communicate exclusively through FIFOs (§5.2.2).  A FIFO's cost is fixed
+per instance (measured once, then multiplied by the connection count, exactly
+as the paper models it).  Computation stages use a 1-D array topology —
+``n`` PEs need ``n`` FIFO hops plus one output — while selection stages use
+direct point-to-point links.
+"""
+
+from __future__ import annotations
+
+from repro.hw.resources import ResourceVector
+
+__all__ = ["FIFO_COST", "fifo_resources", "stage_fifo_count"]
+
+#: Measured cost of one 512-deep, 64-bit FIFO instance.
+FIFO_COST = ResourceVector(bram36=0.5, lut=50.0, ff=60.0)
+
+
+def fifo_resources(n_fifos: int) -> ResourceVector:
+    """Total cost of ``n_fifos`` FIFO instances."""
+    if n_fifos < 0:
+        raise ValueError(f"n_fifos must be non-negative, got {n_fifos}")
+    return FIFO_COST * n_fifos
+
+
+def stage_fifo_count(n_pes: int, topology: str = "array") -> int:
+    """FIFO connections for a stage of ``n_pes`` PEs.
+
+    ``array``: the adopted 1-D array (n hops + 1 egress).
+    ``p2p``: point-to-point fan-in of a selection stage (one per stream).
+    """
+    if n_pes < 0:
+        raise ValueError(f"n_pes must be non-negative, got {n_pes}")
+    if topology == "array":
+        return n_pes + 1
+    if topology == "p2p":
+        return n_pes
+    raise ValueError(f"unknown topology {topology!r}")

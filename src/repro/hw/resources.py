@@ -1,0 +1,92 @@
+"""FPGA resource accounting: the five resource types of Eq. 2.
+
+Every hardware component (PE, FIFO, priority queue, sort network, shell
+infrastructure) reports its consumption as a :class:`ResourceVector` over
+{BRAM36, URAM, LUT, FF, DSP}.  Designs are valid iff the summed vector fits
+within the device budget for *all* resource types (Eq. 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RESOURCE_KINDS", "ResourceVector"]
+
+RESOURCE_KINDS = ("bram36", "uram", "lut", "ff", "dsp")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Consumption (or capacity) of the five FPGA resource types.
+
+    Immutable; combine with ``+`` and scale with ``*``.  BRAM is counted in
+    BRAM36 blocks (36 kbit each), URAM in URAM288 blocks (288 kbit each).
+    """
+
+    bram36: float = 0.0
+    uram: float = 0.0
+    lut: float = 0.0
+    ff: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.bram36 + other.bram36,
+            self.uram + other.uram,
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.dsp + other.dsp,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.bram36 - other.bram36,
+            self.uram - other.uram,
+            self.lut - other.lut,
+            self.ff - other.ff,
+            self.dsp - other.dsp,
+        )
+
+    def __mul__(self, scale: float) -> "ResourceVector":
+        return ResourceVector(
+            self.bram36 * scale,
+            self.uram * scale,
+            self.lut * scale,
+            self.ff * scale,
+            self.dsp * scale,
+        )
+
+    __rmul__ = __mul__
+
+    def fits_within(self, budget: "ResourceVector") -> bool:
+        """True iff every resource type is within ``budget`` (Eq. 2 test)."""
+        return (
+            self.bram36 <= budget.bram36
+            and self.uram <= budget.uram
+            and self.lut <= budget.lut
+            and self.ff <= budget.ff
+            and self.dsp <= budget.dsp
+        )
+
+    def utilization(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Per-resource utilization fractions against ``capacity``."""
+        out: dict[str, float] = {}
+        for kind in RESOURCE_KINDS:
+            cap = getattr(capacity, kind)
+            out[kind] = getattr(self, kind) / cap if cap > 0 else 0.0
+        return out
+
+    def max_utilization(self, capacity: "ResourceVector") -> float:
+        """The binding constraint: the highest utilization fraction."""
+        return max(self.utilization(capacity).values())
+
+    def as_dict(self) -> dict[str, float]:
+        return {kind: getattr(self, kind) for kind in RESOURCE_KINDS}
+
+    @staticmethod
+    def total(parts) -> "ResourceVector":
+        """Sum an iterable of resource vectors."""
+        acc = ResourceVector()
+        for p in parts:
+            acc = acc + p
+        return acc

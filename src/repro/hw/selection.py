@@ -1,0 +1,294 @@
+"""K-selection microarchitectures: HPQ and HSMPQG (§5.1.2, Figures 6–7).
+
+Both designs collect the ``s`` smallest values per query out of ``z`` input
+streams, where each stream produces one element per clock cycle:
+
+- **HPQ** (hierarchical priority queue): each full-rate stream is split into
+  two sub-streams feeding two level-1 queues (a queue sustains one replace
+  per two cycles), so level 1 holds ``2z`` queues of length ``s``; a level-2
+  queue selects the final ``s`` out of the ``2z·s`` collected elements.
+
+- **HSMPQG** (hybrid sorting, merging, priority queue group): per cycle, the
+  ``z`` elements are sorted by ``ceil(z/w)`` width-``w`` bitonic sorters
+  (``w`` = smallest power of two ≥ s), partial-merged down to one sorted
+  width-``w`` array, and the smallest ``s`` per cycle are inserted into a
+  small HPQ group.  This exactness relies on the invariant that any global
+  top-``s`` element is a top-``s`` element of its own cycle.
+
+Resource calibration reproduces the paper's Table 4 LUT shares: e.g. HPQ
+with 18 input streams at K=100 ≈ 32 % of a U55C's LUTs; HSMPQG with 36
+streams at K=10 ≈ 12.7 %.
+
+Both classes expose the same interface: functional ``select``, plus the
+cycle/resource cost model consumed by :mod:`repro.core.perf_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.hw.bitonic import BitonicPartialMerger, BitonicSorter, bitonic_sort_batch
+from repro.hw.priority_queue import CYCLES_PER_REPLACE, queue_resources
+from repro.hw.resources import ResourceVector
+
+__all__ = ["HPQ", "HSMPQG", "SelectorBase", "make_selector", "valid_selectors"]
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p *= 2
+    return p
+
+
+def _exact_topk(values: np.ndarray, ids: np.ndarray, s: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pad-aware exact top-s used as the terminal reduction of both designs."""
+    flat_v = values.ravel()
+    flat_i = ids.ravel()
+    s_eff = min(s, flat_v.size)
+    keep = np.argpartition(flat_v, s_eff - 1)[:s_eff]
+    order = np.argsort(flat_v[keep], kind="stable")
+    out_v = flat_v[keep][order]
+    out_i = flat_i[keep][order]
+    if s_eff < s:
+        out_v = np.concatenate([out_v, np.full(s - s_eff, np.inf)])
+        out_i = np.concatenate([out_i, np.full(s - s_eff, -1, dtype=np.int64)])
+    return out_v, out_i
+
+
+@lru_cache(maxsize=4096)
+def _cached_selector_resources(sel: "SelectorBase") -> ResourceVector:
+    """Selectors are frozen dataclasses; memoize their resource vectors
+    across the design-space sweep."""
+    return sel._compute_resources()
+
+
+@dataclass(frozen=True)
+class SelectorBase:
+    """Common parameters: ``z`` full-rate input streams, ``s`` results."""
+
+    z: int
+    s: int
+
+    def __post_init__(self) -> None:
+        if self.z <= 0:
+            raise ValueError(f"z must be positive, got {self.z}")
+        if self.s <= 0:
+            raise ValueError(f"s must be positive, got {self.s}")
+
+    # Interface implemented by subclasses ------------------------------- #
+    @property
+    def arch(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def n_input_streams(self) -> int:
+        """The "#InStream" column of Table 4 (hardware input ports)."""
+        raise NotImplementedError
+
+    def _compute_resources(self) -> ResourceVector:
+        raise NotImplementedError
+
+    @property
+    def resources(self) -> ResourceVector:
+        return _cached_selector_resources(self)
+
+    def consume_cycles(self, v: int) -> int:
+        """Cycles to ingest ``v`` elements per stream, overlapped with producers."""
+        raise NotImplementedError
+
+    def post_cycles(self) -> int:
+        """Drain/flush cycles after the last input element arrives."""
+        raise NotImplementedError
+
+    def select(self, values: np.ndarray, ids: np.ndarray | None = None):
+        """Functional model: the ``s`` smallest of a (z, v) stream matrix."""
+        raise NotImplementedError
+
+    def _check_streams(self, values: np.ndarray, ids: np.ndarray | None):
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if values.shape[0] != self.z:
+            raise ValueError(f"expected {self.z} streams, got {values.shape[0]}")
+        if ids is None:
+            v = values.shape[1]
+            ids = np.arange(self.z * v, dtype=np.int64).reshape(self.z, v)
+        else:
+            ids = np.atleast_2d(np.asarray(ids, dtype=np.int64))
+            if ids.shape != values.shape:
+                raise ValueError("ids shape must match values shape")
+        return values, ids
+
+
+@dataclass(frozen=True)
+class HPQ(SelectorBase):
+    """Hierarchical priority queue selector (Option 1 of §5.1.2)."""
+
+    #: Sub-streams per full-rate input stream (2 because a queue accepts one
+    #: replace per two cycles; use 1 for half-rate producers).
+    substreams: int = 2
+
+    @property
+    def arch(self) -> str:
+        return "HPQ"
+
+    @property
+    def n_level1_queues(self) -> int:
+        return self.z * self.substreams
+
+    @property
+    def n_input_streams(self) -> int:
+        return self.n_level1_queues
+
+    def _compute_resources(self) -> ResourceVector:
+        level1 = queue_resources(self.s) * self.n_level1_queues
+        level2 = queue_resources(self.s)
+        return level1 + level2
+
+    def consume_cycles(self, v: int) -> int:
+        # The substream queues run in parallel: each ingests ceil(v/substreams)
+        # elements at 2 cycles per replace.  With substreams=2 this matches a
+        # full-rate producer (one element per cycle).
+        per_queue = -(-v // self.substreams)  # ceil
+        return CYCLES_PER_REPLACE * per_queue
+
+    def post_cycles(self) -> int:
+        # Level-2 queue re-scans all level-1 contents, then drains s results.
+        return CYCLES_PER_REPLACE * self.n_level1_queues * self.s + self.s
+
+    def select(self, values: np.ndarray, ids: np.ndarray | None = None):
+        values, ids = self._check_streams(values, ids)
+        v = values.shape[1]
+        # Level 1: per sub-stream top-s (round-robin split of each stream).
+        level1_v = []
+        level1_i = []
+        for zi in range(self.z):
+            for sub in range(self.substreams):
+                sv = values[zi, sub :: self.substreams]
+                si = ids[zi, sub :: self.substreams]
+                if sv.size == 0:
+                    continue
+                tv, ti = _exact_topk(sv, si, min(self.s, sv.size))
+                level1_v.append(tv)
+                level1_i.append(ti)
+        # Level 2: top-s of the union.
+        return _exact_topk(np.concatenate(level1_v), np.concatenate(level1_i), self.s)
+
+
+@dataclass(frozen=True)
+class HSMPQG(SelectorBase):
+    """Hybrid sorting/merging/priority-queue-group selector (Option 2)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.s >= self.z:
+            raise ValueError(
+                f"HSMPQG requires s < z (cannot filter otherwise); got s={self.s}, z={self.z}"
+            )
+
+    @property
+    def arch(self) -> str:
+        return "HSMPQG"
+
+    @property
+    def sort_width(self) -> int:
+        """Minimum bitonic width that can carry s results (16 for s=10)."""
+        return _next_pow2(self.s)
+
+    @property
+    def n_sorters(self) -> int:
+        return -(-self.z // self.sort_width)  # ceil(z / w)
+
+    @property
+    def n_mergers(self) -> int:
+        return max(self.n_sorters - 1, 0)
+
+    @property
+    def n_input_streams(self) -> int:
+        return self.z
+
+    def _compute_resources(self) -> ResourceVector:
+        w = self.sort_width
+        sorters = BitonicSorter(w).resources * self.n_sorters
+        mergers = BitonicPartialMerger(w).resources * self.n_mergers
+        # The s picked elements per cycle feed an HPQ group: 2s level-1
+        # queues (full-rate streams) plus the level-2 queue.
+        queues = queue_resources(self.s) * (2 * self.s + 1)
+        return sorters + mergers + queues
+
+    def consume_cycles(self, v: int) -> int:
+        # Sorters take all z lanes each cycle; fully pipelined.
+        return v
+
+    def post_cycles(self) -> int:
+        w = self.sort_width
+        sort_lat = BitonicSorter(w).latency_cycles
+        merge_depth = int(np.ceil(np.log2(max(self.n_sorters, 1)))) if self.n_sorters > 1 else 0
+        merge_lat = merge_depth * BitonicPartialMerger(w).latency_cycles
+        queue_flush = CYCLES_PER_REPLACE * 2 * self.s * self.s + self.s
+        return sort_lat + merge_lat + queue_flush
+
+    def select(self, values: np.ndarray, ids: np.ndarray | None = None):
+        values, ids = self._check_streams(values, ids)
+        v = values.shape[1]
+        w = self.sort_width
+        lanes = self.n_sorters * w
+        # Transpose: each cycle (row) carries one element per stream; pad the
+        # dummy lanes the paper adds for the last sorter.
+        pv = np.full((v, lanes), np.inf)
+        pi = np.full((v, lanes), -1, dtype=np.int64)
+        pv[:, : self.z] = values.T
+        pi[:, : self.z] = ids.T
+        # Stage 1: per-cycle bitonic sorts of each width-w group.
+        sorted_v = np.empty_like(pv)
+        sorted_i = np.empty_like(pi)
+        for g in range(self.n_sorters):
+            cols = slice(g * w, (g + 1) * w)
+            sv, si = bitonic_sort_batch(pv[:, cols], pi[:, cols])
+            sorted_v[:, cols] = sv
+            sorted_i[:, cols] = si
+        # Stage 2: partial-merge tree down to one width-w sorted array.
+        merger = BitonicPartialMerger(w)
+        groups_v = [sorted_v[:, g * w : (g + 1) * w] for g in range(self.n_sorters)]
+        groups_i = [sorted_i[:, g * w : (g + 1) * w] for g in range(self.n_sorters)]
+        while len(groups_v) > 1:
+            next_v, next_i = [], []
+            for a in range(0, len(groups_v) - 1, 2):
+                mv, mi = merger.merge(groups_v[a], groups_v[a + 1], groups_i[a], groups_i[a + 1])
+                next_v.append(mv)
+                next_i.append(mi)
+            if len(groups_v) % 2 == 1:
+                next_v.append(groups_v[-1])
+                next_i.append(groups_i[-1])
+            groups_v, groups_i = next_v, next_i
+        # Stage 3: pick s per cycle, then the priority-queue group reduces.
+        picked_v = groups_v[0][:, : self.s]
+        picked_i = groups_i[0][:, : self.s]
+        return _exact_topk(picked_v, picked_i, self.s)
+
+
+def valid_selectors(z: int, s: int) -> list[SelectorBase]:
+    """All selection microarchitectures valid for (z, s).
+
+    HPQ always works; HSMPQG additionally requires s < z (§5.1.2: otherwise
+    it "cannot filter out unnecessary elements per cycle at all").
+    """
+    out: list[SelectorBase] = [HPQ(z, s)]
+    if s < z:
+        out.append(HSMPQG(z, s))
+    return out
+
+
+@lru_cache(maxsize=4096)
+def make_selector(arch: str, z: int, s: int) -> SelectorBase:
+    """Construct a selector by architecture name ('HPQ' or 'HSMPQG').
+
+    Cached: selectors are immutable and reused across the design sweep.
+    """
+    if arch == "HPQ":
+        return HPQ(z, s)
+    if arch == "HSMPQG":
+        return HSMPQG(z, s)
+    raise ValueError(f"unknown selector architecture {arch!r}")

@@ -1,0 +1,30 @@
+"""Scale-out substrate: LogGP networking, collectives, and cluster latency.
+
+Implements the exact estimation method of §7.3.2 / Figure 12:
+
+- :mod:`repro.net.loggp` — the LogGP point-to-point model with the paper's
+  constants (L = 6.0 µs, o = 4.7 µs, G = 0.73 ns/B);
+- :mod:`repro.net.collectives` — binary-tree broadcast / reduce with a
+  1.0 µs per-level merge cost;
+- :mod:`repro.net.tcp` — the hardware TCP/IP stack model (EasyNet) used for
+  direct client→FPGA queries (≈5 µs RTT, §7.3.2);
+- :mod:`repro.net.scaleout` — distributed-query latency: sample one latency
+  per accelerator from a measured history, take the max, add the collective
+  costs (Fig. 12), or run the 8-node prototype simulation (Fig. 1).
+"""
+
+from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_us
+from repro.net.loggp import LogGPParams, PAPER_LOGGP, point_to_point_us
+from repro.net.scaleout import DistributedSearchEstimator, simulate_cluster_latencies
+from repro.net.tcp import HardwareTCPStack
+
+__all__ = [
+    "DistributedSearchEstimator",
+    "HardwareTCPStack",
+    "LogGPParams",
+    "PAPER_LOGGP",
+    "binary_tree_broadcast_us",
+    "binary_tree_reduce_us",
+    "point_to_point_us",
+    "simulate_cluster_latencies",
+]

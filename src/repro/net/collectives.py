@@ -1,0 +1,54 @@
+"""Broadcast / reduce collectives over a binary-tree topology (§7.3.2).
+
+The paper assumes "the implementation of broadcast/reduce communication
+collectives follows a binary tree topology" and that "merging partial
+results from two nodes takes 1.0 µs".  A collective over N nodes therefore
+takes ``ceil(log2 N)`` levels; each level costs one point-to-point message,
+and reduce adds the merge cost per level.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.net.loggp import LogGPParams, PAPER_LOGGP, point_to_point_us
+
+__all__ = [
+    "MERGE_US",
+    "binary_tree_broadcast_us",
+    "binary_tree_depth",
+    "binary_tree_reduce_us",
+]
+
+#: Merging partial top-K results from two nodes (§7.3.2).
+MERGE_US = 1.0
+
+
+def binary_tree_depth(n_nodes: int) -> int:
+    """Levels of the binary tree spanning ``n_nodes``."""
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    return math.ceil(math.log2(n_nodes)) if n_nodes > 1 else 0
+
+
+def binary_tree_broadcast_us(
+    n_nodes: int, nbytes: int, params: LogGPParams = PAPER_LOGGP
+) -> float:
+    """Broadcast a query of ``nbytes`` to ``n_nodes`` accelerators."""
+    depth = binary_tree_depth(n_nodes)
+    if depth == 0:
+        return 0.0
+    return depth * point_to_point_us(nbytes, params)
+
+
+def binary_tree_reduce_us(
+    n_nodes: int,
+    nbytes: int,
+    params: LogGPParams = PAPER_LOGGP,
+    merge_us: float = MERGE_US,
+) -> float:
+    """Reduce partial top-K results back up the tree, merging per level."""
+    depth = binary_tree_depth(n_nodes)
+    if depth == 0:
+        return 0.0
+    return depth * (point_to_point_us(nbytes, params) + merge_us)

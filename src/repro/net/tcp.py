@@ -1,0 +1,40 @@
+"""Hardware TCP/IP stack model (EasyNet, He et al. FPL'21).
+
+With the network stack instantiated, clients query the FPGA directly and
+bypass the host server (§7.3.2); the measured round trip is about five
+microseconds.  The stack costs FPGA resources (accounted in
+:data:`repro.core.resource_model.NETWORK_STACK_COST`); this module models
+its *timing* contribution to each query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HardwareTCPStack"]
+
+
+@dataclass(frozen=True)
+class HardwareTCPStack:
+    """Timing model of the 100 Gbps HLS TCP/IP stack."""
+
+    #: Round-trip time client <-> FPGA on the same switch (§7.3.2: ~5 µs).
+    rtt_us: float = 5.0
+    #: Line rate, bytes per microsecond (100 Gbps = 12.5 GB/s).
+    bytes_per_us: float = 12_500.0
+    #: Protocol processing pipeline latency inside the stack, per direction.
+    stack_latency_us: float = 0.6
+
+    def query_overhead_us(self, query_bytes: int, result_bytes: int) -> float:
+        """Added latency for one query/result round trip through the stack."""
+        if query_bytes < 0 or result_bytes < 0:
+            raise ValueError("message sizes must be non-negative")
+        wire = (query_bytes + result_bytes) / self.bytes_per_us
+        return self.rtt_us + 2 * self.stack_latency_us + wire
+
+    def max_qps(self, query_bytes: int) -> float:
+        """Ingress-bound query rate (the stack is never the bottleneck for
+        128-d float queries: ~24 M queries/s at line rate)."""
+        if query_bytes <= 0:
+            raise ValueError("query_bytes must be positive")
+        return self.bytes_per_us * 1e6 / query_bytes

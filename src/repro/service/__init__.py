@@ -1,0 +1,21 @@
+"""Production deployment substrate (§4 "Framework deployment").
+
+The paper situates FANNS in a production vector search system that manages a
+*dynamic* dataset: a primary IVF-PQ index over a snapshot, a graph-based
+incremental index for vectors added since the snapshot, a bitmap tracking
+deletions, and a periodic merge that folds the delta into a new snapshot —
+at which point FANNS redesigns the accelerator for the new snapshot while
+the old accelerator keeps serving.
+
+:mod:`repro.service.dynamic` implements that loop end to end.
+"""
+
+from repro.service.cluster import ClusterSearchResult, FPGAClusterService
+from repro.service.dynamic import DynamicVectorService, SnapshotStats
+
+__all__ = [
+    "ClusterSearchResult",
+    "DynamicVectorService",
+    "FPGAClusterService",
+    "SnapshotStats",
+]

@@ -1,0 +1,92 @@
+"""Multi-accelerator cluster service (the Figure 1 deployment as an API).
+
+Combines the sharded index layout (every node runs the same FANNS design
+over its dataset partition), per-node accelerator simulators, and the
+binary-tree collective cost model into one searchable object: queries fan
+out to all shards, partial top-K results merge by distance, and the
+reported latency is the slowest shard plus the network collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.ivf import IVFPQIndex
+from repro.core.config import AcceleratorConfig
+from repro.harness.fig01 import partition_index
+from repro.net.loggp import LogGPParams, PAPER_LOGGP
+from repro.net.scaleout import simulate_cluster_latencies
+from repro.sim.accelerator import AcceleratorSimulator
+
+__all__ = ["ClusterSearchResult", "FPGAClusterService"]
+
+
+@dataclass
+class ClusterSearchResult:
+    """Merged results plus the distributed latency distribution."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    latencies_us: np.ndarray
+    per_node_qps: list[float]
+
+    def latency_percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies_us, q))
+
+
+class FPGAClusterService:
+    """N accelerators, one shard each, same generated design everywhere."""
+
+    def __init__(
+        self,
+        index: IVFPQIndex,
+        config: AcceleratorConfig,
+        n_accelerators: int,
+        *,
+        workload_scale: float = 1.0,
+        loggp: LogGPParams = PAPER_LOGGP,
+    ):
+        if n_accelerators < 1:
+            raise ValueError(f"n_accelerators must be >= 1, got {n_accelerators}")
+        self.config = config
+        self.n_accelerators = n_accelerators
+        self.loggp = loggp
+        self.shards = partition_index(index, n_accelerators)
+        self.sims = [
+            AcceleratorSimulator(shard, config, workload_scale=workload_scale)
+            for shard in self.shards
+        ]
+
+    def search(
+        self,
+        queries: np.ndarray,
+        *,
+        arrival_us: np.ndarray | None = None,
+    ) -> ClusterSearchResult:
+        """Fan out, simulate every shard, merge top-K, account the network."""
+        k = self.config.params.k
+        d = self.config.params.d
+        outs = [
+            sim.run_batch(queries, arrival_us=arrival_us, overhead_us=0.0)
+            for sim in self.sims
+        ]
+        nq = np.atleast_2d(queries).shape[0]
+        ids = np.empty((nq, k), dtype=np.int64)
+        dists = np.empty((nq, k), dtype=np.float32)
+        for qi in range(nq):
+            cat_i = np.concatenate([o.ids[qi] for o in outs])
+            cat_d = np.concatenate([o.dists[qi] for o in outs])
+            order = np.argsort(cat_d, kind="stable")[:k]
+            ids[qi] = cat_i[order]
+            dists[qi] = cat_d[order]
+        lat = simulate_cluster_latencies(
+            np.vstack([o.latencies_us for o in outs]), d=d, k=k, params=self.loggp
+        )
+        return ClusterSearchResult(
+            ids=ids,
+            dists=dists,
+            latencies_us=lat,
+            per_node_qps=[o.qps for o in outs],
+        )

@@ -1,0 +1,192 @@
+"""Dynamic vector search service: snapshot + delta + deletions + merge.
+
+Implements the deployment loop of §4:
+
+- **primary index** — an IVF-PQ index over the current dataset snapshot
+  (the thing FANNS generates an accelerator for);
+- **incremental index** — a graph (NSW) buffer of vectors inserted since
+  the snapshot;
+- **deletion bitmap** — ids removed since the snapshot are masked out of
+  both indexes at query time;
+- **merge** — periodically (the paper: e.g. weekly) the delta and the
+  deletions fold into a new snapshot; the IVF-PQ index is retrained/refilled
+  and FANNS can redesign the accelerator for it while the previous
+  deployment keeps serving ("the time taken to build the new accelerator is
+  effectively concealed by the ongoing operation of the older system").
+
+Queries fan out to both indexes and merge the top-K, skipping deleted ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ann.graph import NSWGraphIndex
+from repro.ann.ivf import IVFPQIndex
+
+__all__ = ["DynamicVectorService", "SnapshotStats"]
+
+
+@dataclass(frozen=True)
+class SnapshotStats:
+    """Bookkeeping returned by :meth:`DynamicVectorService.merge`."""
+
+    snapshot_size: int
+    inserted_since: int
+    deleted_since: int
+    generation: int
+
+
+class DynamicVectorService:
+    """Serves a mutable vector collection over IVF-PQ + NSW + bitmap."""
+
+    def __init__(
+        self,
+        d: int,
+        *,
+        nlist: int = 64,
+        m: int = 16,
+        ksub: int = 256,
+        use_opq: bool = False,
+        graph_degree: int = 16,
+        nprobe: int = 8,
+        seed: int = 0,
+    ):
+        self.d = d
+        self.nlist = nlist
+        self.m = m
+        self.ksub = ksub
+        self.use_opq = use_opq
+        self.graph_degree = graph_degree
+        self.nprobe = nprobe
+        self.seed = seed
+
+        self.primary: IVFPQIndex | None = None
+        self.delta = NSWGraphIndex(d=d, max_degree=graph_degree, seed=seed)
+        self.deleted: set[int] = set()
+        self.generation = 0
+        self._snapshot_vectors: np.ndarray | None = None
+        self._snapshot_ids: np.ndarray | None = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ntotal(self) -> int:
+        """Live vectors (snapshot + delta − deletions)."""
+        snap = len(self._snapshot_ids) if self._snapshot_ids is not None else 0
+        return snap + self.delta.ntotal - len(self.deleted)
+
+    def _allocate_ids(self, n: int) -> np.ndarray:
+        ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        self._next_id += n
+        return ids
+
+    # ------------------------------------------------------------------ #
+    def bootstrap(self, x: np.ndarray, train_vectors: np.ndarray | None = None) -> np.ndarray:
+        """Create the initial snapshot; returns the assigned ids."""
+        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+        ids = self._allocate_ids(x.shape[0])
+        self.primary = IVFPQIndex(
+            d=self.d, nlist=self.nlist, m=self.m, ksub=self.ksub,
+            use_opq=self.use_opq, seed=self.seed,
+        )
+        self.primary.train(train_vectors if train_vectors is not None else x)
+        self.primary.add(x, ids=ids)
+        self._snapshot_vectors = x.copy()
+        self._snapshot_ids = ids.copy()
+        return ids
+
+    def insert(self, x: np.ndarray) -> np.ndarray:
+        """Insert new vectors into the incremental index; returns their ids."""
+        if self.primary is None:
+            raise RuntimeError("bootstrap() must run before insert()")
+        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+        ids = self._allocate_ids(x.shape[0])
+        self.delta.add(x, ids=ids)
+        return ids
+
+    def delete(self, ids) -> int:
+        """Mark ids deleted (bitmap); returns how many were newly marked."""
+        before = len(self.deleted)
+        self.deleted.update(int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)))
+        return len(self.deleted) - before
+
+    # ------------------------------------------------------------------ #
+    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Merged top-k over (primary ∪ delta) \\ deleted.
+
+        Over-fetches from both indexes to survive deletion filtering, then
+        merges by distance — the query path of the paper's deployment.
+        """
+        if self.primary is None:
+            raise RuntimeError("bootstrap() must run before search()")
+        queries = np.atleast_2d(queries)
+        nq = queries.shape[0]
+        fetch = k + min(len(self.deleted), 4 * k) + 4
+        p_ids, p_dists = self.primary.search(
+            queries, min(fetch, max(self.primary.ntotal, 1)), self.nprobe
+        )
+        if self.delta.ntotal > 0:
+            g_ids, g_dists = self.delta.search(queries, min(fetch, self.delta.ntotal))
+        else:
+            g_ids = np.full((nq, 0), -1, dtype=np.int64)
+            g_dists = np.full((nq, 0), np.inf, dtype=np.float32)
+
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_dists = np.full((nq, k), np.inf, dtype=np.float32)
+        for qi in range(nq):
+            ids = np.concatenate([p_ids[qi], g_ids[qi]])
+            dists = np.concatenate([p_dists[qi], g_dists[qi]])
+            keep = np.array(
+                [i >= 0 and int(i) not in self.deleted for i in ids], dtype=bool
+            )
+            ids, dists = ids[keep], dists[keep]
+            order = np.argsort(dists, kind="stable")[:k]
+            out_ids[qi, : len(order)] = ids[order]
+            out_dists[qi, : len(order)] = dists[order]
+        return out_ids, out_dists
+
+    # ------------------------------------------------------------------ #
+    def merge(self) -> SnapshotStats:
+        """Fold delta + deletions into a new snapshot and rebuild the primary.
+
+        After merging, FANNS would redesign the accelerator for the new
+        snapshot (the rebuild here retrains IVF-PQ, mirroring that the
+        algorithm explorer "always targets a static dataset snapshot").
+        """
+        if self.primary is None:
+            raise RuntimeError("bootstrap() must run before merge()")
+        delta_vecs, delta_ids = self.delta.vectors_and_ids()
+        inserted = len(delta_ids)
+        all_vecs = np.vstack([self._snapshot_vectors, delta_vecs]) if inserted else (
+            self._snapshot_vectors
+        )
+        all_ids = (
+            np.concatenate([self._snapshot_ids, delta_ids])
+            if inserted
+            else self._snapshot_ids
+        )
+        live = np.array([int(i) not in self.deleted for i in all_ids], dtype=bool)
+        deleted = int((~live).sum())
+        new_vecs = np.ascontiguousarray(all_vecs[live])
+        new_ids = all_ids[live]
+
+        self.primary = IVFPQIndex(
+            d=self.d, nlist=min(self.nlist, max(len(new_ids), 1)), m=self.m,
+            ksub=self.ksub, use_opq=self.use_opq, seed=self.seed,
+        )
+        self.primary.train(new_vecs)
+        self.primary.add(new_vecs, ids=new_ids)
+        self._snapshot_vectors = new_vecs
+        self._snapshot_ids = new_ids
+        self.delta = NSWGraphIndex(d=self.d, max_degree=self.graph_degree, seed=self.seed)
+        self.deleted.clear()
+        self.generation += 1
+        return SnapshotStats(
+            snapshot_size=len(new_ids),
+            inserted_since=inserted,
+            deleted_since=deleted,
+            generation=self.generation,
+        )

@@ -1,0 +1,24 @@
+"""Cycle-level simulation of the generated accelerator.
+
+The paper measures real bitstreams; we replace the FPGA with a discrete
+pipeline simulator that executes the *same* six-stage dataflow:
+
+- :mod:`repro.sim.pipeline` — the tandem-pipeline timing engine (per-query,
+  per-stage occupancy/latency recurrence; queries overlap across stages
+  exactly as in the deeply pipelined hardware of Figure 5).
+- :mod:`repro.sim.accelerator` — binds an :class:`~repro.core.config.AcceleratorConfig`
+  to a trained IVF-PQ index: functional results come from the index's stage
+  functions, timing from the hardware cost models with *actual* per-query
+  workloads (which is where the FPGA's small-but-nonzero latency variance
+  originates).
+"""
+
+from repro.sim.accelerator import AcceleratorSimulator, SimResult
+from repro.sim.pipeline import PipelineTimeline, simulate_pipeline
+
+__all__ = [
+    "AcceleratorSimulator",
+    "PipelineTimeline",
+    "SimResult",
+    "simulate_pipeline",
+]

@@ -1,0 +1,103 @@
+"""Unit tests for the blocked distance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ann.distances import l2_sq, l2_sq_blocked, pairwise_argmin, topk_smallest
+
+
+def _reference_l2(x, y):
+    return ((x[:, None, :] - y[None, :, :]) ** 2).sum(axis=2)
+
+
+class TestL2Sq:
+    def test_matches_reference(self, rng):
+        x = rng.standard_normal((7, 5)).astype(np.float64)
+        y = rng.standard_normal((11, 5)).astype(np.float64)
+        np.testing.assert_allclose(l2_sq(x, y), _reference_l2(x, y), rtol=1e-9, atol=1e-9)
+
+    def test_single_vector_promoted(self, rng):
+        x = rng.standard_normal(5)
+        y = rng.standard_normal((4, 5))
+        out = l2_sq(x, y)
+        assert out.shape == (1, 4)
+
+    def test_zero_distance_on_identical_rows(self, rng):
+        x = rng.standard_normal((3, 8)).astype(np.float32)
+        d = l2_sq(x, x)
+        assert np.all(np.diag(d) >= 0.0)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-3)
+
+    def test_never_negative(self, rng):
+        x = (1000.0 + rng.standard_normal((20, 16)) * 1e-3).astype(np.float32)
+        assert (l2_sq(x, x) >= 0.0).all()
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            l2_sq(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestL2SqBlocked:
+    def test_matches_unblocked(self, rng):
+        x = rng.standard_normal((300, 6))
+        y = rng.standard_normal((50, 6))
+        np.testing.assert_allclose(
+            l2_sq_blocked(x, y, block=64), l2_sq(x, y), rtol=1e-9, atol=1e-9
+        )
+
+    def test_block_larger_than_input(self, rng):
+        x = rng.standard_normal((10, 4))
+        y = rng.standard_normal((5, 4))
+        np.testing.assert_allclose(l2_sq_blocked(x, y, block=1000), l2_sq(x, y))
+
+    def test_block_of_one(self, rng):
+        x = rng.standard_normal((5, 3))
+        y = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(
+            l2_sq_blocked(x, y, block=1), l2_sq(x, y), rtol=1e-9, atol=1e-9
+        )
+
+
+class TestPairwiseArgmin:
+    def test_matches_full_argmin(self, rng):
+        x = rng.standard_normal((40, 8))
+        y = rng.standard_normal((17, 8))
+        expect = np.argmin(_reference_l2(x, y), axis=1)
+        np.testing.assert_array_equal(pairwise_argmin(x, y), expect)
+
+    def test_self_nearest(self, rng):
+        y = rng.standard_normal((25, 6))
+        np.testing.assert_array_equal(pairwise_argmin(y, y), np.arange(25))
+
+
+class TestTopkSmallest:
+    def test_sorted_ascending(self, rng):
+        v = rng.standard_normal((5, 30))
+        idx, vals = topk_smallest(v, 7, axis=1)
+        assert idx.shape == (5, 7)
+        assert (np.diff(vals, axis=1) >= 0).all()
+
+    def test_matches_argsort(self, rng):
+        v = rng.standard_normal((3, 20))
+        idx, _ = topk_smallest(v, 5, axis=1)
+        expect = np.argsort(v, axis=1)[:, :5]
+        np.testing.assert_array_equal(np.sort(idx, axis=1), np.sort(expect, axis=1))
+
+    def test_k_equals_n_full_sort(self, rng):
+        v = rng.standard_normal(9)
+        idx, vals = topk_smallest(v, 9)
+        np.testing.assert_array_equal(idx, np.argsort(v))
+
+    def test_k_clamped_to_n(self, rng):
+        v = rng.standard_normal(4)
+        idx, vals = topk_smallest(v, 10)
+        assert idx.shape == (4,)
+
+    def test_k_nonpositive_raises(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            topk_smallest(np.zeros(5), 0)
+
+    def test_1d_input(self, rng):
+        v = rng.standard_normal(50)
+        idx, vals = topk_smallest(v, 3)
+        np.testing.assert_allclose(vals, np.sort(v)[:3])

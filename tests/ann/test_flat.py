@@ -1,0 +1,38 @@
+"""Unit tests for brute-force exact search."""
+
+import numpy as np
+
+from repro.ann.flat import FlatIndex, brute_force_topk
+
+
+class TestBruteForce:
+    def test_exact_against_naive(self, rng):
+        base = rng.standard_normal((200, 8)).astype(np.float32)
+        q = rng.standard_normal((5, 8)).astype(np.float32)
+        ids, dists = brute_force_topk(q, base, 4)
+        naive = ((q[:, None] - base[None]) ** 2).sum(-1)
+        expect = np.argsort(naive, axis=1)[:, :4]
+        np.testing.assert_array_equal(ids, expect)
+
+    def test_distances_sorted(self, rng):
+        base = rng.standard_normal((100, 4)).astype(np.float32)
+        q = rng.standard_normal((3, 4)).astype(np.float32)
+        _, dists = brute_force_topk(q, base, 10)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_self_query_returns_self_first(self, rng):
+        base = rng.standard_normal((50, 6)).astype(np.float32)
+        ids, dists = brute_force_topk(base[:3], base, 1)
+        np.testing.assert_array_equal(ids.ravel(), [0, 1, 2])
+        np.testing.assert_allclose(dists.ravel(), 0.0, atol=1e-4)
+
+
+class TestFlatIndex:
+    def test_search_matches_function(self, rng):
+        base = rng.standard_normal((80, 5)).astype(np.float32)
+        q = rng.standard_normal((2, 5)).astype(np.float32)
+        idx = FlatIndex(base)
+        ids1, d1 = idx.search(q, 3)
+        ids2, d2 = brute_force_topk(q, base, 3)
+        np.testing.assert_array_equal(ids1, ids2)
+        assert idx.ntotal == 80

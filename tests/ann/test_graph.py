@@ -1,0 +1,94 @@
+"""Tests for the NSW incremental graph index."""
+
+import numpy as np
+import pytest
+
+from repro.ann.flat import brute_force_topk
+from repro.ann.graph import NSWGraphIndex
+from repro.ann.recall import recall_at_k
+from repro.data.synthetic import make_clustered
+
+
+@pytest.fixture(scope="module")
+def graph_data():
+    vecs = make_clustered(1050, 16, n_clusters=16, intrinsic_dim=5, seed=8)
+    return vecs[:1000], vecs[1000:]
+
+
+@pytest.fixture(scope="module")
+def built_graph(graph_data):
+    base, _ = graph_data
+    return NSWGraphIndex(d=16, max_degree=12, ef_search=48, seed=0).add(base)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="d must be positive"):
+            NSWGraphIndex(d=0)
+        with pytest.raises(ValueError, match="max_degree"):
+            NSWGraphIndex(d=4, max_degree=0)
+
+    def test_dim_mismatch(self):
+        g = NSWGraphIndex(d=8)
+        with pytest.raises(ValueError, match="expected dim"):
+            g.add(np.zeros((2, 4), dtype=np.float32))
+
+    def test_ids_auto_and_custom(self):
+        g = NSWGraphIndex(d=4, seed=0)
+        g.add(np.zeros((3, 4), dtype=np.float32))
+        _, ids = g.vectors_and_ids()
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+        g.add(np.ones((2, 4), dtype=np.float32), ids=np.array([50, 51]))
+        _, ids = g.vectors_and_ids()
+        np.testing.assert_array_equal(ids, [0, 1, 2, 50, 51])
+
+    def test_bad_ids_shape(self):
+        g = NSWGraphIndex(d=4)
+        with pytest.raises(ValueError, match="ids shape"):
+            g.add(np.zeros((2, 4), dtype=np.float32), ids=np.arange(3))
+
+    def test_degree_bounded(self, built_graph):
+        assert all(len(nbs) <= built_graph.max_degree for nbs in built_graph._neighbors)
+
+
+class TestSearch:
+    def test_empty_graph(self):
+        g = NSWGraphIndex(d=4)
+        ids, dists = g.search(np.zeros((1, 4), dtype=np.float32), 3)
+        assert (ids == -1).all()
+        assert np.isinf(dists).all()
+
+    def test_invalid_k(self, built_graph):
+        with pytest.raises(ValueError, match="k must be positive"):
+            built_graph.search(np.zeros((1, 16), dtype=np.float32), 0)
+
+    def test_self_query_finds_self(self, built_graph, graph_data):
+        base, _ = graph_data
+        ids, dists = built_graph.search(base[:5], 1)
+        # Greedy graph search is approximate; distance-0 self hits should
+        # dominate on clustered data.
+        assert (dists[:, 0] < 1e-3).mean() >= 0.8
+
+    def test_recall_reasonable(self, built_graph, graph_data):
+        """NSW on a 1k-point buffer should hit high recall@10."""
+        base, queries = graph_data
+        gt, _ = brute_force_topk(queries, base, 10)
+        ids, _ = built_graph.search(queries, 10)
+        assert recall_at_k(ids, gt) > 0.7
+
+    def test_distances_sorted(self, built_graph, graph_data):
+        _, queries = graph_data
+        _, dists = built_graph.search(queries, 8)
+        finite = np.where(np.isinf(dists), np.finfo(np.float32).max, dists)
+        assert (np.diff(finite, axis=1) >= 0).all()
+
+
+class TestIncrementality:
+    def test_add_after_search(self, graph_data):
+        base, queries = graph_data
+        g = NSWGraphIndex(d=16, seed=1).add(base[:500])
+        ids_before, _ = g.search(queries, 5)
+        g.add(base[500:])
+        assert g.ntotal == 1000
+        ids_after, _ = g.search(queries, 5)
+        assert ids_after.shape == ids_before.shape

@@ -1,0 +1,69 @@
+"""Tests for index persistence and reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.ann.io import load_index, save_index
+from repro.ann.ivf import IVFPQIndex
+
+
+class TestSaveLoad:
+    def test_roundtrip_search_identical(self, trained_ivf, small_dataset, tmp_path):
+        path = save_index(trained_ivf, tmp_path / "idx.npz")
+        loaded = load_index(path)
+        ids_a, d_a = trained_ivf.search(small_dataset.queries, 5, 4)
+        ids_b, d_b = loaded.search(small_dataset.queries, 5, 4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_allclose(d_a, d_b, rtol=1e-6)
+
+    def test_roundtrip_preserves_metadata(self, trained_ivf, tmp_path):
+        loaded = load_index(save_index(trained_ivf, tmp_path / "idx.npz"))
+        assert loaded.nlist == trained_ivf.nlist
+        assert loaded.m == trained_ivf.m
+        assert loaded.ntotal == trained_ivf.ntotal
+        assert loaded.by_residual == trained_ivf.by_residual
+
+    def test_opq_index_roundtrip(self, small_dataset, tmp_path):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, use_opq=True, seed=1)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base[:500])
+        loaded = load_index(save_index(idx, tmp_path / "opq.npz"))
+        assert loaded.opq is not None
+        ids_a, _ = idx.search(small_dataset.queries[:5], 3, 4)
+        ids_b, _ = loaded.search(small_dataset.queries[:5], 3, 4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+
+    def test_untrained_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="untrained"):
+            save_index(IVFPQIndex(d=8, nlist=2, m=2), tmp_path / "x.npz")
+
+    def test_suffix_added(self, trained_ivf, tmp_path):
+        path = save_index(trained_ivf, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestReconstruct:
+    def test_error_bounded_by_quantization(self, trained_ivf, small_dataset):
+        ids = np.arange(20)
+        recon = trained_ivf.reconstruct(ids)
+        assert recon.shape == (20, 32)
+        # Reconstruction lands closer to the original than the dataset mean.
+        orig = small_dataset.base[:20]
+        err = np.linalg.norm(recon - orig, axis=1).mean()
+        base = np.linalg.norm(orig - small_dataset.base.mean(axis=0), axis=1).mean()
+        assert err < base
+
+    def test_unknown_id_raises(self, trained_ivf):
+        with pytest.raises(KeyError, match="not in index"):
+            trained_ivf.reconstruct([10**9])
+
+    def test_opq_inverse_applied(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=64, use_opq=True, seed=0)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base[:300])
+        recon = idx.reconstruct(np.arange(10))
+        orig = small_dataset.base[:10]
+        err = np.linalg.norm(recon - orig, axis=1).mean()
+        scale = np.linalg.norm(orig, axis=1).mean()
+        assert err < scale  # same space as the originals, not the rotated one

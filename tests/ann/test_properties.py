@@ -1,0 +1,115 @@
+"""Hypothesis property-based tests on core ANN invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ann.distances import l2_sq, topk_smallest
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.pq import ProductQuantizer
+
+finite_f32 = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+@st.composite
+def matrix_pair(draw, max_rows=12, dim_choices=(2, 4, 8)):
+    d = draw(st.sampled_from(dim_choices))
+    nx = draw(st.integers(1, max_rows))
+    ny = draw(st.integers(1, max_rows))
+    x = draw(arrays(np.float32, (nx, d), elements=finite_f32))
+    y = draw(arrays(np.float32, (ny, d), elements=finite_f32))
+    return x, y
+
+
+class TestDistanceProperties:
+    @given(matrix_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_l2_nonnegative(self, pair):
+        x, y = pair
+        assert (l2_sq(x, y) >= 0).all()
+
+    @given(matrix_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_l2_symmetric(self, pair):
+        x, y = pair
+        np.testing.assert_allclose(l2_sq(x, y), l2_sq(y, x).T, rtol=1e-3, atol=1e-2)
+
+    @given(arrays(np.float32, (6, 4), elements=finite_f32))
+    @settings(max_examples=60, deadline=None)
+    def test_l2_identity_of_indiscernibles(self, x):
+        d = l2_sq(x, x)
+        assert np.diag(d).max() <= 1e-2 + 1e-5 * np.abs(x).max() ** 2
+
+
+class TestTopKProperties:
+    @given(
+        arrays(np.float32, st.integers(1, 60).map(lambda n: (n,)), elements=finite_f32),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_topk_is_true_minimum_set(self, v, k):
+        k = min(k, len(v))
+        idx, vals = topk_smallest(v, k)
+        assert len(idx) == k
+        # Values are the k smallest (multiset comparison tolerant to ties).
+        np.testing.assert_allclose(np.sort(vals), np.sort(v)[:k], rtol=1e-6, atol=1e-6)
+        # And sorted ascending.
+        assert (np.diff(vals) >= 0).all()
+
+    @given(
+        arrays(np.float32, (5, 20), elements=finite_f32),
+        st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_topk_indices_point_at_values(self, v, k):
+        idx, vals = topk_smallest(v, k, axis=1)
+        np.testing.assert_array_equal(np.take_along_axis(v, idx, axis=1), vals)
+
+
+class TestPQProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_encode_decode_reduces_error_vs_random_codes(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((300, 8)).astype(np.float32)
+        pq = ProductQuantizer(d=8, m=2, ksub=16, seed=0, n_iter=5)
+        pq.train(x)
+        codes = pq.encode(x)
+        err = np.mean(((x - pq.decode(codes)) ** 2).sum(axis=1))
+        rand_codes = rng.integers(0, 16, size=codes.shape).astype(np.uint8)
+        err_rand = np.mean(((x - pq.decode(rand_codes)) ** 2).sum(axis=1))
+        assert err <= err_rand
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_adc_equals_decoded_distance(self, seed):
+        """Eq. 1 invariant: ADC == exact distance to the decoded vector."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((200, 8)).astype(np.float32)
+        pq = ProductQuantizer(d=8, m=2, ksub=16, seed=1, n_iter=5)
+        pq.train(x)
+        q = rng.standard_normal(8).astype(np.float32)
+        codes = pq.encode(x[:20])
+        adc = pq.adc(pq.build_lut(q), codes)
+        exact = l2_sq(q[None], pq.decode(codes)).ravel()
+        np.testing.assert_allclose(adc, exact, rtol=1e-3, atol=1e-3)
+
+
+class TestIVFProperties:
+    @given(st.integers(1, 8), st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_search_returns_only_real_or_padding_ids(self, nprobe, k):
+        rng = np.random.default_rng(42)
+        base = rng.standard_normal((400, 8)).astype(np.float32)
+        idx = IVFPQIndex(d=8, nlist=8, m=2, ksub=16, seed=0)
+        idx.train(base)
+        idx.add(base)
+        ids, dists = idx.search(base[:5], k, nprobe)
+        valid = (ids >= 0) & (ids < 400)
+        padding = ids == -1
+        assert (valid | padding).all()
+        # Padding rows must carry +inf distances.
+        assert np.isinf(dists[padding]).all()

@@ -1,0 +1,57 @@
+"""Tests for recall evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.ann.recall import recall_at_k, recall_curve
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        gt = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(gt.copy(), gt) == 1.0
+
+    def test_zero(self):
+        found = np.array([[7, 8, 9]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(found, gt) == 0.0
+
+    def test_partial(self):
+        found = np.array([[1, 8, 9], [4, 5, 0]])
+        gt = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(found, gt) == pytest.approx(3 / 6)
+
+    def test_order_irrelevant(self):
+        found = np.array([[3, 2, 1]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(found, gt) == 1.0
+
+    def test_padding_ignored(self):
+        found = np.array([[1, -1, -1]])
+        gt = np.array([[1, 2, 3]])
+        assert recall_at_k(found, gt) == pytest.approx(1 / 3)
+
+    def test_k_subset(self):
+        found = np.array([[1, 9, 9, 9]])
+        gt = np.array([[1, 2, 3, 4]])
+        assert recall_at_k(found, gt, k=1) == 1.0
+
+    def test_query_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="query count"):
+            recall_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError, match="invalid k"):
+            recall_at_k(np.zeros((1, 3)), np.zeros((1, 3)), k=5)
+
+
+class TestRecallCurve:
+    def test_monotone_on_real_index(self, trained_ivf, small_dataset):
+        gt = small_dataset.ensure_ground_truth(10)
+
+        def fn(q, k, nprobe):
+            return trained_ivf.search(q, k, nprobe)
+
+        curve = recall_curve(fn, small_dataset.queries, gt, 10, [1, 4, 16])
+        assert curve[16] >= curve[4] >= curve[1] - 1e-9
+        assert set(curve) == {1, 4, 16}

@@ -1,0 +1,89 @@
+"""Tests for the CPU baseline cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CPUBaseline, CPUSpec
+from repro.core.config import AlgorithmParams
+
+
+def params(**kw):
+    defaults = dict(d=128, nlist=8192, nprobe=16, k=10, m=16, ksub=256)
+    defaults.update(kw)
+    return AlgorithmParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CPUBaseline()
+
+
+class TestStageModel:
+    def test_six_stages(self, cpu):
+        secs = cpu.stage_seconds(params(), 200_000)
+        assert set(secs) == {"OPQ", "IVFDist", "SelCells", "BuildLUT", "PQDist", "SelK"}
+        assert all(v >= 0 for v in secs.values())
+
+    def test_opq_zero_when_disabled(self, cpu):
+        assert cpu.stage_seconds(params(), 1000)["OPQ"] == 0.0
+        assert cpu.stage_seconds(params(use_opq=True), 1000)["OPQ"] > 0.0
+
+    def test_fractions_sum_to_one(self, cpu):
+        f = cpu.stage_fractions(params(), 200_000)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_fig3_nprobe_shifts_bottleneck_to_scan(self, cpu):
+        """Fig. 3 col 1 (CPU): growing nprobe grows PQDist+SelK share."""
+        lo = cpu.stage_fractions(params(nprobe=1), 12_000)
+        hi = cpu.stage_fractions(params(nprobe=128), 1_600_000)
+        share = lambda f: f["PQDist"] + f["SelK"]
+        assert share(hi) > share(lo)
+
+    def test_fig3_nlist_shifts_bottleneck_to_ivfdist(self, cpu):
+        """Fig. 3 col 2 (CPU): growing nlist at fixed nprobe grows IVFDist —
+        'more significant on CPUs due to their limited flop/s'."""
+        lo = cpu.stage_fractions(params(nlist=1024), 200_000)
+        hi = cpu.stage_fractions(params(nlist=2**18), 200_000)
+        assert hi["IVFDist"] > lo["IVFDist"]
+        assert hi["IVFDist"] > 0.3
+
+    def test_fig3_k_effect_mild_on_cpu(self, cpu):
+        """Fig. 3 col 3 (CPU): K barely moves the CPU breakdown."""
+        k1 = cpu.stage_fractions(params(k=1), 200_000)
+        k100 = cpu.stage_fractions(params(k=100), 200_000)
+        assert abs(k100["SelK"] - k1["SelK"]) < 0.45
+
+
+class TestThroughput:
+    def test_qps_decreases_with_workload(self, cpu):
+        assert cpu.qps(params(), 10_000) > cpu.qps(params(), 1_000_000)
+
+    def test_thread_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            CPUBaseline(threads=0)
+        with pytest.raises(ValueError, match="threads"):
+            CPUBaseline(CPUSpec(cores=4), threads=8)
+
+    def test_online_slower_than_batch(self, cpu):
+        p = params()
+        assert cpu.query_seconds(p, 200_000, batch=False) >= cpu.query_seconds(
+            p, 200_000, batch=True
+        )
+
+
+class TestLatencySampling:
+    def test_distribution_positive_and_jittered(self, cpu):
+        lat = cpu.sample_latencies_us(params(), 100_000, 2000, np.random.default_rng(0))
+        assert (lat > 0).all()
+        assert lat.std() > 0
+
+    def test_moderate_tail(self, cpu):
+        """CPU P95/P50 stays modest (Fig. 11: CPU sits between FPGA and GPU)."""
+        lat = cpu.sample_latencies_us(params(), 100_000, 20_000, np.random.default_rng(1))
+        ratio = np.percentile(lat, 95) / np.percentile(lat, 50)
+        assert 1.1 < ratio < 3.5
+
+    def test_deterministic_with_seed(self, cpu):
+        a = cpu.sample_latencies_us(params(), 1000, 50, np.random.default_rng(7))
+        b = cpu.sample_latencies_us(params(), 1000, 50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

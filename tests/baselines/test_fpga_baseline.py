@@ -1,0 +1,71 @@
+"""Tests for the parameter-independent FPGA baseline designs."""
+
+import pytest
+
+from repro.baselines.fpga_baseline import BASELINE_PE_ALLOCATIONS, baseline_config
+from repro.core.config import AlgorithmParams
+from repro.core.resource_model import is_valid
+from repro.hw.device import U55C
+
+
+def params(**kw):
+    defaults = dict(d=128, nlist=8192, nprobe=16, k=10, m=16, ksub=256)
+    defaults.update(kw)
+    return AlgorithmParams(**defaults)
+
+
+class TestBaselineConfigs:
+    @pytest.mark.parametrize("k", [1, 10, 100])
+    def test_table4_pe_counts(self, k):
+        cfg = baseline_config(params(k=k))
+        n_ivf, n_lut, n_pq, selk = BASELINE_PE_ALLOCATIONS[k]
+        assert cfg.n_ivf_pes == n_ivf
+        assert cfg.n_lut_pes == n_lut
+        assert cfg.n_pq_pes == n_pq
+        assert cfg.selk_arch == selk
+
+    @pytest.mark.parametrize("k", [1, 10, 100])
+    def test_fits_u55c(self, k):
+        assert is_valid(baseline_config(params(k=k)), U55C)
+
+    def test_streams_from_hbm(self):
+        cfg = baseline_config(params())
+        assert not cfg.ivf_cache_on_chip
+        assert not cfg.lut_cache_on_chip
+
+    def test_nearest_tier(self):
+        assert baseline_config(params(k=3)).n_pq_pes == BASELINE_PE_ALLOCATIONS[1][2]
+        assert baseline_config(params(k=60)).n_pq_pes == BASELINE_PE_ALLOCATIONS[100][2]
+
+    def test_pe_counts_clamped_to_tiny_nlist(self):
+        cfg = baseline_config(params(nlist=4, nprobe=2))
+        assert cfg.n_ivf_pes <= 4
+        assert cfg.n_lut_pes <= 4
+
+    def test_rebind_parameters(self):
+        """The same hardware must serve arbitrary indexes (its whole point)."""
+        cfg = baseline_config(params(nlist=1024, nprobe=4))
+        rebound = cfg.with_params(params(nlist=2048, nprobe=64))
+        assert rebound.n_pq_pes == cfg.n_pq_pes
+        assert rebound.params.nlist == 2048
+
+
+class TestCoDesignAdvantage:
+    def test_fanns_beats_baseline_in_prediction(self):
+        """The headline claim: a co-designed accelerator out-predicts the
+        fixed design on its target parameters (1.3-23x in Fig. 10)."""
+        import numpy as np
+
+        from repro.core.perf_model import IndexProfile, predict
+        from repro.core.config import AcceleratorConfig
+
+        p = params(nlist=1024, nprobe=32, k=10)
+        profile = IndexProfile(
+            nlist=1024, use_opq=False, cell_sizes=np.full(1024, 2000)
+        )
+        base = predict(baseline_config(p), profile)
+        codesigned = AcceleratorConfig(
+            params=p, n_ivf_pes=8, n_lut_pes=9, n_pq_pes=36, selk_arch="HSMPQG"
+        )
+        tuned = predict(codesigned, profile)
+        assert tuned.qps > 1.3 * base.qps

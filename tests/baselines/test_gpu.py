@@ -1,0 +1,77 @@
+"""Tests for the GPU baseline cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CPUBaseline
+from repro.baselines.gpu import GPUBaseline
+from repro.core.config import AlgorithmParams
+
+
+def params(**kw):
+    defaults = dict(d=128, nlist=8192, nprobe=16, k=10, m=16, ksub=256)
+    defaults.update(kw)
+    return AlgorithmParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GPUBaseline()
+
+
+class TestStageModel:
+    def test_fractions_sum_to_one(self, gpu):
+        assert sum(gpu.stage_fractions(params(), 200_000).values()) == pytest.approx(1.0)
+
+    def test_fig3_nprobe_effect(self, gpu):
+        """Fig. 3 (GPU): PQDist+SelK share grows from ~20 % to ~80 % with
+        nprobe."""
+        lo = gpu.stage_fractions(params(nprobe=1), 12_000)
+        hi = gpu.stage_fractions(params(nprobe=128), 1_600_000)
+        share = lambda f: f["PQDist"] + f["SelK"]
+        assert share(lo) < 0.6
+        assert share(hi) > 0.7
+
+    def test_fig3_k_blows_up_selk_on_gpu(self, gpu):
+        """Fig. 3 col 3 (GPU): SelK share rises significantly with K."""
+        k1 = gpu.stage_fractions(params(k=1), 200_000)
+        k100 = gpu.stage_fractions(params(k=100), 200_000)
+        assert k100["SelK"] > 1.5 * k1["SelK"]
+
+    def test_fig3_nlist_effect_milder_than_cpu(self, gpu):
+        """'The main bottlenecks of GPUs are still in later stages even if
+        nlist is reasonably large' (§3.1)."""
+        cpu = CPUBaseline()
+        gpu_frac = gpu.stage_fractions(params(nlist=2**16), 200_000)["IVFDist"]
+        cpu_frac = cpu.stage_fractions(params(nlist=2**16), 200_000)["IVFDist"]
+        assert gpu_frac < cpu_frac
+
+
+class TestThroughputVsCPU:
+    def test_gpu_beats_cpu_in_batch_qps(self, gpu):
+        """Fig. 10: the GPU's flop/s and bandwidth dominate batch mode."""
+        cpu = CPUBaseline()
+        p = params()
+        assert gpu.qps(p, 200_000) > 3 * cpu.qps(p, 200_000)
+
+
+class TestLatencyTail:
+    def test_heavy_tail_vs_cpu(self, gpu):
+        """Fig. 11: GPUs show *long* tails relative to their median."""
+        cpu = CPUBaseline()
+        rng = np.random.default_rng(3)
+        g = gpu.sample_latencies_us(params(), 200_000, 20_000, rng)
+        c = cpu.sample_latencies_us(params(), 200_000, 20_000, np.random.default_rng(3))
+        g_ratio = np.percentile(g, 99) / np.percentile(g, 50)
+        c_ratio = np.percentile(c, 99) / np.percentile(c, 50)
+        assert g_ratio > c_ratio
+
+    def test_median_low(self, gpu):
+        """GPU median online latency beats the CPU's (Fig. 11)."""
+        cpu = CPUBaseline()
+        rng = np.random.default_rng(5)
+        g = np.median(gpu.sample_latencies_us(params(), 200_000, 5000, rng))
+        c = np.median(
+            cpu.sample_latencies_us(params(), 200_000, 5000, np.random.default_rng(5))
+        )
+        assert g < c

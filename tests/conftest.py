@@ -1,0 +1,60 @@
+"""Shared fixtures: small datasets and pre-trained indexes.
+
+Expensive artifacts (trained PQ / IVF) are session-scoped; tests must not
+mutate them.  Sizes are deliberately tiny (n≈2-5k, d≤64) so the whole suite
+runs in well under a minute while still exercising every code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.pq import ProductQuantizer
+from repro.data.datasets import Dataset
+from repro.data.synthetic import make_clustered, make_sift_like
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_vectors() -> np.ndarray:
+    """(3000, 32) clustered float32 vectors with low intrinsic dimension."""
+    return make_clustered(3000, 32, n_clusters=32, intrinsic_dim=6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """2k base + 50 queries, 32-d, with exact ground truth at K=10."""
+    vecs = make_clustered(2050, 32, n_clusters=32, intrinsic_dim=6, seed=3)
+    ds = Dataset(name="unit", base=vecs[:2000], queries=vecs[2000:])
+    ds.ensure_ground_truth(10)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def sift_dataset() -> Dataset:
+    """Small SIFT-like dataset (5k base, 64 queries, 128-d) for integration."""
+    ds = Dataset.synthetic("sift-unit", make_sift_like, 5000, 64, gt_k=10, seed=11)
+    return ds
+
+
+@pytest.fixture(scope="session")
+def trained_pq(small_vectors: np.ndarray) -> ProductQuantizer:
+    """PQ codec (d=32, m=4, ksub=64) trained on the small vector set."""
+    pq = ProductQuantizer(d=32, m=4, ksub=64, seed=5)
+    pq.train(small_vectors)
+    return pq
+
+
+@pytest.fixture(scope="session")
+def trained_ivf(small_dataset: Dataset) -> IVFPQIndex:
+    """IVF-PQ index (nlist=16, m=4, ksub=64) over the small dataset."""
+    idx = IVFPQIndex(d=32, nlist=16, m=4, ksub=64, seed=5)
+    idx.train(small_dataset.base)
+    idx.add(small_dataset.base)
+    return idx

@@ -1,0 +1,114 @@
+"""Tests for the FPGA code generator."""
+
+import pytest
+
+from repro.core.codegen import (
+    generate_connectivity,
+    generate_header,
+    generate_kernel,
+    write_project,
+)
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+
+
+@pytest.fixture
+def config():
+    return AcceleratorConfig(
+        params=AlgorithmParams(
+            d=128, nlist=8192, nprobe=17, k=10, use_opq=True, m=16, ksub=256
+        ),
+        n_ivf_pes=11,
+        n_lut_pes=9,
+        n_pq_pes=36,
+        selk_arch="HSMPQG",
+    )
+
+
+class TestHeader:
+    def test_constants_present(self, config):
+        h = generate_header(config)
+        assert "constexpr int NLIST = 8192;" in h
+        assert "constexpr int NPROBE = 17;" in h
+        assert "constexpr int N_PQ_PE = 36;" in h
+        assert "constexpr bool USE_OPQ = true;" in h
+
+    def test_caching_flags(self, config):
+        h = generate_header(config)
+        assert "IVF_CACHE_ON_CHIP = true" in h
+
+
+class TestKernel:
+    def test_pe_instantiation_counts(self, config):
+        k = generate_kernel(config)
+        assert k.count("ivf_dist_pe<") == 11
+        assert k.count("build_lut_pe<") == 9
+        assert k.count("pq_dist_pe<") == 36
+
+    def test_dataflow_pragma(self, config):
+        assert "#pragma HLS dataflow" in generate_kernel(config)
+
+    def test_selk_arch_emitted(self, config):
+        assert "hsmpqg_select<" in generate_kernel(config)
+        hpq_cfg = AcceleratorConfig(
+            params=config.params, n_ivf_pes=2, n_lut_pes=2, n_pq_pes=4, selk_arch="HPQ"
+        )
+        assert "hpq_select_multi<" in generate_kernel(hpq_cfg)
+
+    def test_opq_pe_only_when_enabled(self, config):
+        assert "opq_pe<" in generate_kernel(config)
+        no_opq = AcceleratorConfig(
+            params=AlgorithmParams(d=128, nlist=64, nprobe=4, k=10, m=16, ksub=256),
+            n_ivf_pes=1,
+            n_lut_pes=1,
+            n_pq_pes=2,
+        )
+        assert "opq_pe<" not in generate_kernel(no_opq)
+
+    def test_network_bridge(self, config):
+        from dataclasses import replace
+
+        net_cfg = replace(config, with_network=True)
+        k = generate_kernel(net_cfg)
+        assert "easynet_bridge" in k
+        assert "tcp_rx" in k
+
+
+class TestPETemplates:
+    def test_templates_cover_all_stages(self, config):
+        from repro.core.codegen import generate_pe_templates
+
+        t = generate_pe_templates(config)
+        for sym in ("opq_pe", "ivf_dist_pe", "hpq_select", "hsmpqg_select",
+                    "build_lut_pe", "pq_dist_pe", "systolic_priority_queue"):
+            assert sym in t
+
+    def test_ii_matches_cost_model(self, config):
+        from repro.core.codegen import generate_pe_templates
+
+        t = generate_pe_templates(config)
+        # IVFDist: one centroid per d/LANES cycles (128/16 = 8).
+        assert "II=8" in t
+        # BuildLUT on-chip: one table entry per cycle.
+        assert "II=1" in t
+
+
+class TestConnectivity:
+    def test_one_channel_per_pq_pe(self, config):
+        c = generate_connectivity(config)
+        assert c.count("sp=fanns_kernel.hbm_codes_") == 36
+
+    def test_channels_wrap_at_32(self, config):
+        c = generate_connectivity(config)
+        assert "HBM[3]" in c  # PE 35 -> channel 3
+
+
+class TestWriteProject:
+    def test_writes_project_files(self, config, tmp_path):
+        paths = write_project(config, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {
+            "constants.hpp", "kernel.cpp", "pe_templates.hpp", "connectivity.cfg",
+        }
+        for p in paths:
+            assert p.exists()
+            assert p.read_text().strip()

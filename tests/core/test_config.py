@@ -1,0 +1,87 @@
+"""Tests for algorithm parameters and accelerator configurations."""
+
+import pytest
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+
+
+def make_params(**kw):
+    defaults = dict(d=128, nlist=1024, nprobe=16, k=10, m=16, ksub=256)
+    defaults.update(kw)
+    return AlgorithmParams(**defaults)
+
+
+def make_config(**kw):
+    defaults = dict(params=make_params(), n_ivf_pes=8, n_lut_pes=4, n_pq_pes=16)
+    defaults.update(kw)
+    return AcceleratorConfig(**defaults)
+
+
+class TestAlgorithmParams:
+    def test_valid(self):
+        p = make_params()
+        assert p.nlist == 1024
+
+    @pytest.mark.parametrize(
+        "kw,msg",
+        [
+            (dict(d=100), "divisible"),
+            (dict(nlist=0), "nlist"),
+            (dict(nprobe=0), "nprobe"),
+            (dict(nprobe=5000), "nprobe"),
+            (dict(k=0), "k must be positive"),
+        ],
+    )
+    def test_invalid(self, kw, msg):
+        with pytest.raises(ValueError, match=msg):
+            make_params(**kw)
+
+
+class TestAcceleratorConfig:
+    def test_valid(self):
+        cfg = make_config()
+        assert cfg.n_pq_pes == 16
+
+    def test_pe_counts_positive(self):
+        with pytest.raises(ValueError, match="n_pq_pes"):
+            make_config(n_pq_pes=0)
+
+    def test_hsmpqg_needs_k_below_pq_pes(self):
+        with pytest.raises(ValueError, match="HSMPQG"):
+            make_config(n_pq_pes=8, selk_arch="HSMPQG")
+        cfg = make_config(n_pq_pes=16, selk_arch="HSMPQG")
+        assert cfg.selk_selector().arch == "HSMPQG"
+
+    def test_selcells_hpq_only(self):
+        with pytest.raises(ValueError, match="SelCells"):
+            make_config(selcells_arch="HSMPQG")
+
+    def test_centroids_per_pe_ceil(self):
+        cfg = make_config(n_ivf_pes=3)
+        assert cfg.ivf_centroids_per_pe() == -(-1024 // 3)
+
+    def test_pe_specs_homogeneous(self):
+        cfg = make_config()
+        assert len(cfg.ivf_pes()) == 8
+        assert cfg.ivf_pes()[0] == cfg.ivf_pe_spec()
+
+    def test_opq_pe_only_when_enabled(self):
+        assert make_config().opq_pe() is None
+        cfg = make_config(params=make_params(use_opq=True))
+        assert cfg.opq_pe() is not None
+
+    def test_describe_contains_choices(self):
+        s = make_config(selk_arch="HSMPQG", params=make_params(use_opq=True)).describe()
+        assert "OPQ+IVF1024" in s
+        assert "HSMPQG" in s
+
+    def test_with_params_rebinds(self):
+        cfg = make_config()
+        new = cfg.with_params(make_params(nprobe=32))
+        assert new.params.nprobe == 32
+        assert new.n_pq_pes == cfg.n_pq_pes
+
+    def test_with_params_revalidates(self):
+        cfg = make_config(n_pq_pes=16, selk_arch="HSMPQG")
+        with pytest.raises(ValueError, match="HSMPQG"):
+            cfg.with_params(make_params(k=100))

@@ -1,0 +1,77 @@
+"""Tests for design-space enumeration."""
+
+import pytest
+
+from repro.core.config import AlgorithmParams
+from repro.core.design_space import count_design_points, default_pe_grid, enumerate_designs
+from repro.core.resource_model import total_resources
+from repro.hw.device import SMALL_DEVICE, U55C
+
+PARAMS = AlgorithmParams(d=128, nlist=256, nprobe=8, k=10, m=16, ksub=256)
+TINY_GRID = (1, 2, 4, 8)
+
+
+class TestGrid:
+    def test_default_grid_dense_small(self):
+        g = default_pe_grid(64)
+        assert set(range(1, 17)).issubset(g)
+        assert max(g) <= 64
+
+    def test_grid_caps(self):
+        assert max(default_pe_grid(8)) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="max_pes"):
+            default_pe_grid(0)
+
+
+class TestEnumeration:
+    def test_all_designs_valid(self):
+        budget = U55C.budget()
+        for cfg in enumerate_designs(PARAMS, U55C, pe_grid=TINY_GRID):
+            assert total_resources(cfg).fits_within(budget)
+
+    def test_covers_both_selk_archs(self):
+        archs = {
+            cfg.selk_arch
+            for cfg in enumerate_designs(PARAMS, U55C, pe_grid=(4, 16, 32))
+        }
+        assert archs == {"HPQ", "HSMPQG"}
+
+    def test_covers_caching_choices(self):
+        combos = {
+            (cfg.ivf_cache_on_chip, cfg.lut_cache_on_chip)
+            for cfg in enumerate_designs(PARAMS, U55C, pe_grid=TINY_GRID)
+        }
+        assert len(combos) == 4
+
+    def test_hsmpqg_skipped_when_k_too_large(self):
+        params = AlgorithmParams(d=128, nlist=256, nprobe=8, k=100, m=16, ksub=256)
+        archs = {
+            cfg.selk_arch for cfg in enumerate_designs(params, U55C, pe_grid=(2, 4))
+        }
+        assert archs == {"HPQ"}
+
+    def test_pe_count_capped_by_nlist(self):
+        params = AlgorithmParams(d=128, nlist=4, nprobe=2, k=5, m=16, ksub=256)
+        for cfg in enumerate_designs(params, U55C, pe_grid=(1, 2, 8, 16)):
+            assert cfg.n_ivf_pes <= 4
+            assert cfg.n_lut_pes <= 4
+
+    def test_smaller_device_fewer_designs(self):
+        big = count_design_points(PARAMS, U55C, pe_grid=(4, 16, 32, 48))
+        small = count_design_points(PARAMS, SMALL_DEVICE, pe_grid=(4, 16, 32, 48))
+        assert small < big
+
+    def test_network_stack_reduces_designs(self):
+        """Instantiating TCP/IP costs resources → fewer valid designs (§7.3.2)."""
+        plain = count_design_points(PARAMS, SMALL_DEVICE, pe_grid=(2, 4, 8, 16))
+        net = count_design_points(
+            PARAMS, SMALL_DEVICE, pe_grid=(2, 4, 8, 16), with_network=True
+        )
+        assert net < plain
+
+    def test_utilization_cap_reduces_designs(self):
+        loose = count_design_points(PARAMS, U55C, pe_grid=(8, 24, 48), max_utilization=0.9)
+        tight = count_design_points(PARAMS, U55C, pe_grid=(8, 24, 48), max_utilization=0.3)
+        assert tight < loose

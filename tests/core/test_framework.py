@@ -1,0 +1,85 @@
+"""Integration tests for the end-to-end Fanns framework."""
+
+import numpy as np
+import pytest
+
+from repro.ann.recall import recall_at_k
+from repro.core.framework import Fanns
+from repro.core.index_explorer import RecallGoal
+from repro.hw.device import U55C
+
+
+@pytest.fixture(scope="module")
+def fanns():
+    return Fanns(
+        U55C,
+        m=4,
+        ksub=32,
+        nlist_grid=[8, 16],
+        opq_options=(False,),
+        pe_grid=(1, 2, 4, 8),
+        max_train_vectors=2000,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(fanns, small_dataset):
+    return fanns.fit(small_dataset, RecallGoal(10, 0.5), max_queries=50)
+
+
+class TestFit:
+    def test_result_meets_recall_goal(self, fitted, small_dataset):
+        sim = fitted.simulator()
+        res = sim.run_batch(small_dataset.queries)
+        gt = small_dataset.ensure_ground_truth(10)
+        assert recall_at_k(res.ids, gt) >= fitted.goal.target - 0.02
+
+    def test_prediction_close_to_simulation(self, fitted, small_dataset):
+        """The paper reports real accelerators reach 86.9-99.4 % of the
+        prediction; our simulator should land in the same neighbourhood."""
+        sim_qps = fitted.simulator().run_batch(small_dataset.queries).qps
+        ratio = sim_qps / fitted.prediction.qps
+        assert 0.7 < ratio < 1.1
+
+    def test_combinations_counted(self, fitted):
+        assert fitted.n_combinations > 0
+
+    def test_per_index_shortlist(self, fitted):
+        assert len(fitted.per_index_best) >= 1
+        assert fitted.prediction.qps == pytest.approx(
+            max(fitted.per_index_best.values())
+        )
+
+    def test_summary_text(self, fitted):
+        s = fitted.summary()
+        assert "predicted QPS" in s and "R@10=50%" in s
+
+    def test_generate_project(self, fitted, tmp_path):
+        paths = fitted.generate_project(tmp_path)
+        assert len(paths) == 4
+
+    def test_nprobe_recorded(self, fitted):
+        assert 1 <= fitted.nprobe <= fitted.config.params.nlist
+
+
+class TestFitEdgeCases:
+    def test_unreachable_goal_raises(self, fanns, small_dataset):
+        with pytest.raises(RuntimeError, match="quantization-limited"):
+            fanns.fit(small_dataset, RecallGoal(10, 0.999), max_queries=30)
+
+    def test_no_feasible_nlist_raises(self, fanns, small_dataset):
+        with pytest.raises(ValueError, match="nlist"):
+            fanns.fit(small_dataset, RecallGoal(10, 0.5), nlist_grid=[10**7])
+
+    def test_network_variant_fits(self, fanns, small_dataset):
+        res = fanns.fit(
+            small_dataset, RecallGoal(10, 0.5), with_network=True, max_queries=30
+        )
+        assert res.config.with_network
+
+    def test_recall_goals_pick_designs(self, fanns, small_dataset):
+        """Different K values must produce different SelK sizing (Table 4)."""
+        r1 = fanns.fit(small_dataset, RecallGoal(1, 0.3), max_queries=30)
+        r10 = fanns.fit(small_dataset, RecallGoal(10, 0.5), max_queries=30)
+        assert r1.config.params.k == 1
+        assert r10.config.params.k == 10

@@ -1,0 +1,79 @@
+"""Tests for the index explorer (recall ↔ nprobe, steps 2-3 of Figure 4)."""
+
+import pytest
+
+from repro.core.index_explorer import IndexExplorer, RecallGoal
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return IndexExplorer(m=4, ksub=32, seed=0, max_train_vectors=2000)
+
+
+class TestRecallGoal:
+    def test_str(self):
+        assert str(RecallGoal(10, 0.8)) == "R@10=80%"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k"):
+            RecallGoal(0, 0.5)
+        with pytest.raises(ValueError, match="target"):
+            RecallGoal(10, 0.0)
+        with pytest.raises(ValueError, match="target"):
+            RecallGoal(10, 1.5)
+
+
+class TestBuild:
+    def test_builds_grid(self, explorer, small_dataset):
+        cands = explorer.build(small_dataset, [8, 16], opq_options=(False,))
+        assert [c.profile.nlist for c in cands] == [8, 16]
+        assert all(c.index.ntotal == small_dataset.n for c in cands)
+
+    def test_caching_avoids_retraining(self, explorer, small_dataset):
+        a = explorer.build(small_dataset, [8], opq_options=(False,))[0]
+        b = explorer.build(small_dataset, [8], opq_options=(False,))[0]
+        assert a.index is b.index
+
+    def test_opq_variants(self, explorer, small_dataset):
+        cands = explorer.build(small_dataset, [8], opq_options=(False, True))
+        assert [c.profile.use_opq for c in cands] == [False, True]
+        assert cands[1].key.startswith("OPQ+")
+
+    def test_nlist_too_large_raises(self, explorer, small_dataset):
+        with pytest.raises(ValueError, match="nlist"):
+            explorer.build(small_dataset, [10**6])
+
+
+class TestMinNprobe:
+    def test_monotone_goal_needs_more_nprobe(self, explorer, small_dataset):
+        cand = explorer.build(small_dataset, [16], opq_options=(False,))[0]
+        easy = explorer.min_nprobe(cand, small_dataset, RecallGoal(10, 0.30))
+        hard = explorer.min_nprobe(cand, small_dataset, RecallGoal(10, 0.55))
+        assert easy is not None and hard is not None
+        assert easy <= hard
+
+    def test_min_nprobe_is_minimal(self, explorer, small_dataset):
+        from repro.ann.recall import recall_at_k
+
+        cand = explorer.build(small_dataset, [16], opq_options=(False,))[0]
+        goal = RecallGoal(10, 0.5)
+        nprobe = explorer.min_nprobe(cand, small_dataset, goal)
+        assert nprobe is not None
+        gt = small_dataset.ensure_ground_truth(10)
+        ids, _ = cand.index.search(small_dataset.queries, 10, nprobe)
+        assert recall_at_k(ids, gt) >= goal.target
+        if nprobe > 1:
+            ids, _ = cand.index.search(small_dataset.queries, 10, nprobe - 1)
+            assert recall_at_k(ids, gt) < goal.target
+
+    def test_unreachable_goal_returns_none(self, explorer, small_dataset):
+        cand = explorer.build(small_dataset, [16], opq_options=(False,))[0]
+        assert explorer.min_nprobe(cand, small_dataset, RecallGoal(10, 0.999)) is None
+
+    def test_pairs_skip_unreachable(self, explorer, small_dataset):
+        pairs = explorer.recall_nprobe_pairs(
+            small_dataset, [8, 16], RecallGoal(10, 0.5), opq_options=(False,)
+        )
+        assert len(pairs) >= 1
+        for cand, nprobe in pairs:
+            assert 1 <= nprobe <= cand.profile.nlist

@@ -1,0 +1,165 @@
+"""Tests for the Eq. 3/4 performance model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.perf_model import (
+    IndexProfile,
+    expected_codes_per_query,
+    predict,
+)
+
+
+def make_profile(nlist=64, n=64_000, skew=False, use_opq=False):
+    if skew:
+        sizes = np.linspace(1, 2 * n / nlist, nlist)
+        sizes = (sizes * n / sizes.sum()).astype(np.int64)
+    else:
+        sizes = np.full(nlist, n // nlist, dtype=np.int64)
+    return IndexProfile(nlist=nlist, use_opq=use_opq, cell_sizes=sizes)
+
+
+def make_config(profile, nprobe=8, k=10, **kw):
+    params = AlgorithmParams(
+        d=128, nlist=profile.nlist, nprobe=nprobe, k=k, use_opq=profile.use_opq,
+        m=16, ksub=256,
+    )
+    defaults = dict(params=params, n_ivf_pes=4, n_lut_pes=4, n_pq_pes=16)
+    defaults.update(kw)
+    return AcceleratorConfig(**defaults)
+
+
+class TestExpectedCodes:
+    def test_uniform_cells_exact(self):
+        sizes = np.full(10, 100)
+        # Uniform and size-biased estimates coincide for equal cells.
+        assert expected_codes_per_query(sizes, 3) == pytest.approx(300)
+
+    def test_monotone_in_nprobe(self):
+        sizes = np.linspace(10, 500, 32)
+        vals = [expected_codes_per_query(sizes, p) for p in (1, 4, 16, 32)]
+        assert vals == sorted(vals)
+
+    def test_nprobe_all_cells_is_total(self):
+        sizes = np.array([5, 10, 15])
+        assert expected_codes_per_query(sizes, 3) == pytest.approx(30)
+
+    def test_skew_raises_expectation(self):
+        """Size-biased probing scans more than nprobe/nlist of the data."""
+        uniform = np.full(16, 100)
+        skewed = np.concatenate([np.full(8, 10), np.full(8, 190)])
+        assert expected_codes_per_query(skewed, 4) > expected_codes_per_query(uniform, 4)
+
+    def test_empty(self):
+        assert expected_codes_per_query(np.array([]), 1) == 0.0
+        assert expected_codes_per_query(np.zeros(4), 2) == 0.0
+
+    def test_profile_caches(self):
+        p = make_profile()
+        a = p.expected_codes(4)
+        assert p.expected_codes(4) == a
+        assert p.ntotal == 64_000
+
+
+class TestEstimatorAgainstMeasurement:
+    def test_size_biased_estimate_matches_actual_scans(
+        self, trained_ivf, small_dataset
+    ):
+        """The docstring's claim: the size-biased estimator tracks measured
+        per-query scanned codes to within a few percent on clustered data."""
+        sizes = trained_ivf.cell_sizes.astype(np.float64)
+        for nprobe in (1, 2, 4, 8):
+            qt = trained_ivf.stage_opq(small_dataset.queries)
+            cd = trained_ivf.stage_ivf_dist(qt)
+            probed = trained_ivf.stage_select_cells(cd, nprobe)
+            actual = sizes[probed].sum(axis=1).mean()
+            est = expected_codes_per_query(sizes, nprobe)
+            assert est == pytest.approx(actual, rel=0.08), nprobe
+
+
+class TestProfileScale:
+    def test_explorer_scales_profiles_not_indexes(self, small_dataset):
+        """profile_scale inflates the perf-model view only; the index and its
+        recall behaviour stay untouched."""
+        from repro.core.index_explorer import IndexExplorer
+
+        plain = IndexExplorer(m=4, ksub=32, seed=0, max_train_vectors=1500)
+        scaled = IndexExplorer(
+            m=4, ksub=32, seed=0, max_train_vectors=1500, profile_scale=100.0
+        )
+        c1 = plain.build(small_dataset, [8], opq_options=(False,))[0]
+        c2 = scaled.build(small_dataset, [8], opq_options=(False,))[0]
+        assert c2.profile.ntotal == pytest.approx(100 * c1.profile.ntotal, rel=0.01)
+        assert c1.index.ntotal == c2.index.ntotal == small_dataset.n
+
+
+class TestPredict:
+    def test_mismatched_profile_raises(self):
+        prof = make_profile(nlist=64)
+        cfg = make_config(make_profile(nlist=32))
+        with pytest.raises(ValueError, match="nlist"):
+            predict(cfg, prof)
+
+    def test_opq_mismatch_raises(self):
+        prof = make_profile(use_opq=True)
+        cfg = make_config(make_profile(use_opq=False))
+        with pytest.raises(ValueError, match="OPQ"):
+            predict(cfg, prof)
+
+    def test_qps_positive(self):
+        prof = make_profile()
+        pred = predict(make_config(prof), prof)
+        assert pred.qps > 0
+        assert pred.latency_us > 0
+        assert pred.bottleneck in pred.stage_occupancy_cycles
+
+    def test_qps_equals_freq_over_interval(self):
+        prof = make_profile()
+        cfg = make_config(prof)
+        pred = predict(cfg, prof)
+        interval = max(pred.stage_occupancy_cycles.values())
+        assert pred.qps == pytest.approx(cfg.freq_mhz * 1e6 / interval)
+
+    def test_more_nprobe_lower_qps(self):
+        prof = make_profile()
+        q_lo = predict(make_config(prof, nprobe=2), prof).qps
+        q_hi = predict(make_config(prof, nprobe=32), prof).qps
+        assert q_hi < q_lo
+
+    def test_stage_qps_inverse_of_occupancy(self):
+        prof = make_profile()
+        cfg = make_config(prof)
+        pred = predict(cfg, prof)
+        per_stage = pred.stage_qps(cfg.freq_mhz)
+        assert min(per_stage.values()) == pytest.approx(pred.qps, rel=1e-6)
+
+    def test_pe_allocation_shifts_bottleneck(self):
+        """Starving PQDist must make it the bottleneck; beefing it up while
+        starving BuildLUT must move the bottleneck (the co-design effect,
+        §3.3)."""
+        prof = make_profile(n=2_000_000)
+        starved = make_config(prof, nprobe=32, n_pq_pes=1, n_lut_pes=8, n_ivf_pes=8)
+        assert predict(starved, prof).bottleneck == "PQDist"
+        beefed = make_config(prof, nprobe=32, n_pq_pes=48, n_lut_pes=1, n_ivf_pes=1)
+        assert predict(beefed, prof).bottleneck == "BuildLUT"
+
+    def test_striped_layout_balances_even_at_low_nprobe(self):
+        """Cells are striped over the PEs' HBM channels, so extra PQDist PEs
+        keep helping even at nprobe=2 (the layout behind the paper's 31,876
+        predicted QPS at nprobe=5 with 57 PEs)."""
+        prof = make_profile(n=2_000_000)
+        two = predict(make_config(prof, nprobe=2, n_pq_pes=2), prof)
+        many = predict(make_config(prof, nprobe=2, n_pq_pes=48), prof)
+        assert many.stage_occupancy_cycles["PQDist"] < 0.1 * two.stage_occupancy_cycles[
+            "PQDist"
+        ]
+
+    def test_striping_pads_by_half_stripe_per_cell(self):
+        prof = make_profile()
+        cfg = make_config(prof, nprobe=8, n_pq_pes=16)
+        pred = predict(cfg, prof)
+        codes = prof.expected_codes(8)
+        assert pred.stage_occupancy_cycles["PQDist"] == pytest.approx(
+            codes / 16 + 0.5 * 8, rel=1e-6
+        )

@@ -1,0 +1,113 @@
+"""Tests for the Eq. 2 resource model."""
+
+import pytest
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.resource_model import (
+    NETWORK_STACK_COST,
+    is_valid,
+    stage_resources,
+    total_resources,
+    utilization_report,
+)
+from repro.hw.device import SMALL_DEVICE, U55C
+
+
+def cfg(**kw):
+    p_kw = {k: kw.pop(k) for k in ("nprobe", "k", "nlist", "use_opq") if k in kw}
+    params = dict(d=128, nlist=1024, nprobe=16, k=10, m=16, ksub=256)
+    params.update(p_kw)
+    defaults = dict(params=AlgorithmParams(**params), n_ivf_pes=8, n_lut_pes=4, n_pq_pes=16)
+    defaults.update(kw)
+    return AcceleratorConfig(**defaults)
+
+
+class TestStageResources:
+    def test_covers_six_stages(self):
+        assert set(stage_resources(cfg())) == {
+            "OPQ", "IVFDist", "SelCells", "BuildLUT", "PQDist", "SelK",
+        }
+
+    def test_opq_zero_when_disabled(self):
+        assert stage_resources(cfg())["OPQ"].lut == 0.0
+        assert stage_resources(cfg(use_opq=True))["OPQ"].lut > 0.0
+
+    def test_pe_count_scales_stage(self):
+        r8 = stage_resources(cfg(n_pq_pes=8))["PQDist"].lut
+        r16 = stage_resources(cfg(n_pq_pes=16))["PQDist"].lut
+        assert r16 > 1.8 * r8
+
+    def test_selk_scales_with_k(self):
+        r10 = stage_resources(cfg(k=10))["SelK"].lut
+        r100 = stage_resources(cfg(k=100))["SelK"].lut
+        assert r100 > 5 * r10  # queue resources linear in K
+
+    def test_caching_consumes_uram(self):
+        on = stage_resources(cfg(ivf_cache_on_chip=True))["IVFDist"].uram
+        off = stage_resources(cfg(ivf_cache_on_chip=False))["IVFDist"].uram
+        assert on > off
+
+
+class TestTotals:
+    def test_total_is_sum_of_stages(self):
+        c = cfg()
+        total = total_resources(c)
+        assert total.lut == pytest.approx(
+            sum(r.lut for r in stage_resources(c).values())
+        )
+
+    def test_network_adds_stack(self):
+        base = total_resources(cfg())
+        net = total_resources(cfg(with_network=True))
+        assert net.lut - base.lut == pytest.approx(NETWORK_STACK_COST.lut)
+
+    def test_validity_monotone_in_pes(self):
+        """If a big design fits, the same design with fewer PEs fits."""
+        big = cfg(n_pq_pes=32)
+        small = cfg(n_pq_pes=4)
+        if is_valid(big, U55C):
+            assert is_valid(small, U55C)
+
+    def test_small_device_rejects_big_design(self):
+        monster = cfg(n_ivf_pes=16, n_lut_pes=16, n_pq_pes=48, k=100)
+        assert not is_valid(monster, SMALL_DEVICE)
+        assert is_valid(monster, U55C) or True  # may or may not fit U55C
+
+    def test_utilization_report_structure(self):
+        rep = utilization_report(cfg(), U55C)
+        assert "PQDist" in rep and "total" in rep
+        assert 0 <= rep["PQDist"]["lut_pct"] <= 100
+        assert "lut" in rep["total"]
+
+
+class TestTable4Shapes:
+    """End-to-end calibration: FANNS K=10 design from Table 4 should land
+    near its reported LUT shares."""
+
+    def test_k10_fanns_row(self):
+        c = AcceleratorConfig(
+            params=AlgorithmParams(
+                d=128, nlist=8192, nprobe=17, k=10, use_opq=True, m=16, ksub=256
+            ),
+            n_ivf_pes=11,
+            n_lut_pes=9,
+            n_pq_pes=36,
+            selk_arch="HSMPQG",
+        )
+        rep = utilization_report(c, U55C)
+        assert 5 < rep["IVFDist"]["lut_pct"] < 11  # paper: 7.6
+        assert 3 < rep["BuildLUT"]["lut_pct"] < 8  # paper: 5.2
+        assert 11 < rep["PQDist"]["lut_pct"] < 20  # paper: 15.2
+        assert 9 < rep["SelK"]["lut_pct"] < 17  # paper: 12.7
+
+    def test_k10_fanns_design_fits_u55c(self):
+        c = AcceleratorConfig(
+            params=AlgorithmParams(
+                d=128, nlist=8192, nprobe=17, k=10, use_opq=True, m=16, ksub=256
+            ),
+            n_ivf_pes=11,
+            n_lut_pes=9,
+            n_pq_pes=36,
+            selk_arch="HSMPQG",
+        )
+        assert is_valid(c, U55C, max_utilization=0.6)

@@ -1,0 +1,90 @@
+"""Tests for the per-stage cycle models."""
+
+import pytest
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.timing import (
+    PIPELINE_STAGES,
+    bottleneck_stage,
+    min_interval_cycles,
+    query_latency_cycles,
+    stage_cycles,
+)
+
+
+def cfg(**kw):
+    p_kw = {k: kw.pop(k) for k in ("nprobe", "k", "nlist", "use_opq") if k in kw}
+    params = dict(d=128, nlist=1024, nprobe=16, k=10, m=16, ksub=256)
+    params.update(p_kw)
+    defaults = dict(params=AlgorithmParams(**params), n_ivf_pes=8, n_lut_pes=4, n_pq_pes=16)
+    defaults.update(kw)
+    return AcceleratorConfig(**defaults)
+
+
+class TestStageCycles:
+    def test_all_stages_present(self):
+        sc = stage_cycles(cfg(), codes_per_query=10_000)
+        assert set(sc) == set(PIPELINE_STAGES)
+
+    def test_opq_bypass_zero(self):
+        sc = stage_cycles(cfg(), 1000)
+        assert sc["OPQ"].occupancy == 0.0
+        sc2 = stage_cycles(cfg(use_opq=True), 1000)
+        assert sc2["OPQ"].occupancy > 0.0
+
+    def test_ivfdist_scales_with_pes(self):
+        lo = stage_cycles(cfg(n_ivf_pes=2), 1000)["IVFDist"].occupancy
+        hi = stage_cycles(cfg(n_ivf_pes=16), 1000)["IVFDist"].occupancy
+        assert lo == pytest.approx(8 * hi, rel=0.02)
+
+    def test_hbm_cache_doubles_ivf_occupancy(self):
+        on = stage_cycles(cfg(ivf_cache_on_chip=True), 1000)["IVFDist"].occupancy
+        off = stage_cycles(cfg(ivf_cache_on_chip=False), 1000)["IVFDist"].occupancy
+        assert off == pytest.approx(2 * on)
+
+    def test_buildlut_scales_with_nprobe(self):
+        lo = stage_cycles(cfg(nprobe=4), 1000)["BuildLUT"].occupancy
+        hi = stage_cycles(cfg(nprobe=64), 1000)["BuildLUT"].occupancy
+        assert hi > lo
+
+    def test_pqdist_proportional_to_codes(self):
+        a = stage_cycles(cfg(), 16_000)["PQDist"].occupancy
+        b = stage_cycles(cfg(), 32_000)["PQDist"].occupancy
+        assert b == pytest.approx(2 * a, rel=0.05)
+
+    def test_exact_pe_load_override(self):
+        sc = stage_cycles(cfg(), 16_000, pq_codes_per_pe=5_000)
+        assert sc["PQDist"].occupancy == pytest.approx(5_000)
+
+    def test_selection_latency_is_drain_only(self):
+        sc = stage_cycles(cfg(), 16_000)
+        assert sc["SelK"].latency < sc["SelK"].occupancy
+        assert sc["SelCells"].latency < sc["SelCells"].occupancy
+
+
+class TestAggregates:
+    def test_bottleneck_is_max_occupancy(self):
+        sc = stage_cycles(cfg(), 200_000)
+        b = bottleneck_stage(sc)
+        assert sc[b].occupancy == max(c.occupancy for c in sc.values())
+
+    def test_min_interval(self):
+        sc = stage_cycles(cfg(), 200_000)
+        assert min_interval_cycles(sc) == max(c.occupancy for c in sc.values())
+
+    def test_latency_is_sum(self):
+        sc = stage_cycles(cfg(), 1000)
+        assert query_latency_cycles(sc) == pytest.approx(
+            sum(c.latency for c in sc.values())
+        )
+
+    def test_large_scan_bottleneck_is_pqdist_or_selk(self):
+        """At paper-scale scans PQDist/SelK dominate (Fig. 3, high nprobe)."""
+        sc = stage_cycles(cfg(), 2_000_000)
+        assert bottleneck_stage(sc) in ("PQDist", "SelK")
+
+    def test_small_scan_large_nlist_bottleneck_ivf(self):
+        """Low nprobe + huge nlist pushes the bottleneck to IVFDist (Fig. 3)."""
+        c = cfg(nlist=65536, nprobe=1, n_ivf_pes=1, n_lut_pes=8, n_pq_pes=32)
+        sc = stage_cycles(c, 1000)
+        assert bottleneck_stage(sc) in ("IVFDist", "SelCells")

@@ -1,0 +1,65 @@
+"""Tests for the Dataset container and ground-truth computation."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset, compute_ground_truth
+from repro.data.synthetic import make_clustered
+
+
+class TestComputeGroundTruth:
+    def test_self_first(self, rng):
+        base = rng.standard_normal((60, 8)).astype(np.float32)
+        gt = compute_ground_truth(base[:4], base, 3)
+        np.testing.assert_array_equal(gt[:, 0], np.arange(4))
+
+
+class TestDataset:
+    def test_properties(self, small_dataset):
+        assert small_dataset.d == 32
+        assert small_dataset.n == 2000
+        assert small_dataset.nq == 50
+
+    def test_dim_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="dim mismatch"):
+            Dataset(
+                name="bad",
+                base=rng.standard_normal((10, 4)).astype(np.float32),
+                queries=rng.standard_normal((2, 8)).astype(np.float32),
+            )
+
+    def test_non_2d_raises(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(name="bad", base=np.zeros(10), queries=np.zeros((2, 4)))
+
+    def test_ground_truth_cached_and_extended(self, rng):
+        vecs = make_clustered(520, 8, intrinsic_dim=4, seed=0)
+        ds = Dataset(name="t", base=vecs[:500], queries=vecs[500:])
+        g5 = ds.ensure_ground_truth(5)
+        assert g5.shape == (20, 5)
+        first = ds.ground_truth
+        g3 = ds.ensure_ground_truth(3)
+        assert g3.shape == (20, 3)
+        assert ds.ground_truth is first  # no recompute for smaller k
+        g8 = ds.ensure_ground_truth(8)
+        assert g8.shape == (20, 8)
+
+    def test_training_vectors_cap(self, small_dataset):
+        t = small_dataset.training_vectors(100)
+        assert t.shape[0] == 100
+
+    def test_training_vectors_explicit_split(self, rng):
+        base = rng.standard_normal((30, 4)).astype(np.float32)
+        train = rng.standard_normal((7, 4)).astype(np.float32)
+        ds = Dataset(name="t", base=base, queries=base[:2], train=train)
+        assert ds.training_vectors().shape == (7, 4)
+
+    def test_synthetic_constructor(self):
+        ds = Dataset.synthetic(
+            "s", make_clustered, 300, 10, gt_k=4, seed=0, d=16, intrinsic_dim=4
+        )
+        assert ds.n == 300
+        assert ds.nq == 10
+        assert ds.ground_truth.shape == (10, 4)
+        # Base and queries disjoint slices of one sample.
+        assert not np.array_equal(ds.base[:10], ds.queries)

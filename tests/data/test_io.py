@@ -1,0 +1,107 @@
+"""Tests for the TEXMEX file readers."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import dataset_from_files, read_bvecs, read_fvecs, read_ivecs
+
+
+def write_fvecs(path, mat):
+    mat = np.asarray(mat, dtype="<f4")
+    n, d = mat.shape
+    out = np.empty((n, 1 + d), dtype="<f4")
+    out[:, 0] = np.frombuffer(np.full(n, d, dtype="<i4").tobytes(), dtype="<f4")
+    out[:, 1:] = mat
+    out.tofile(str(path))
+
+
+def write_bvecs(path, mat):
+    mat = np.asarray(mat, dtype=np.uint8)
+    n, d = mat.shape
+    rows = []
+    for row in mat:
+        rows.append(np.array([d], dtype="<i4").tobytes() + row.tobytes())
+    with open(path, "wb") as f:
+        f.write(b"".join(rows))
+
+
+def write_ivecs(path, mat):
+    mat = np.asarray(mat, dtype="<i4")
+    n, d = mat.shape
+    out = np.empty((n, 1 + d), dtype="<i4")
+    out[:, 0] = d
+    out[:, 1:] = mat
+    out.tofile(str(path))
+
+
+class TestReaders:
+    def test_fvecs_roundtrip(self, tmp_path, rng):
+        mat = rng.standard_normal((7, 5)).astype(np.float32)
+        write_fvecs(tmp_path / "x.fvecs", mat)
+        got = read_fvecs(tmp_path / "x.fvecs")
+        np.testing.assert_allclose(got, mat, rtol=1e-6)
+
+    def test_bvecs_roundtrip(self, tmp_path, rng):
+        mat = rng.integers(0, 256, (4, 8)).astype(np.uint8)
+        write_bvecs(tmp_path / "x.bvecs", mat)
+        got = read_bvecs(tmp_path / "x.bvecs")
+        np.testing.assert_array_equal(got, mat.astype(np.float32))
+
+    def test_ivecs_roundtrip(self, tmp_path, rng):
+        mat = rng.integers(0, 1000, (5, 10)).astype("<i4")
+        write_ivecs(tmp_path / "gt.ivecs", mat)
+        np.testing.assert_array_equal(read_ivecs(tmp_path / "gt.ivecs"), mat)
+
+    def test_limit(self, tmp_path, rng):
+        mat = rng.standard_normal((10, 3)).astype(np.float32)
+        write_fvecs(tmp_path / "x.fvecs", mat)
+        assert read_fvecs(tmp_path / "x.fvecs", limit=4).shape == (4, 3)
+
+    def test_truncated_raises(self, tmp_path, rng):
+        mat = rng.standard_normal((3, 4)).astype(np.float32)
+        write_fvecs(tmp_path / "x.fvecs", mat)
+        data = (tmp_path / "x.fvecs").read_bytes()
+        (tmp_path / "bad.fvecs").write_bytes(data[:-3])
+        with pytest.raises(ValueError, match="truncated"):
+            read_fvecs(tmp_path / "bad.fvecs")
+
+    def test_empty_raises(self, tmp_path):
+        (tmp_path / "e.fvecs").write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            read_fvecs(tmp_path / "e.fvecs")
+
+    def test_inconsistent_headers_raise(self, tmp_path, rng):
+        a = rng.standard_normal((2, 4)).astype(np.float32)
+        write_fvecs(tmp_path / "x.fvecs", a)
+        raw = bytearray((tmp_path / "x.fvecs").read_bytes())
+        raw[20:24] = np.array([5], dtype="<i4").tobytes()  # corrupt 2nd header
+        (tmp_path / "bad.fvecs").write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="inconsistent"):
+            read_fvecs(tmp_path / "bad.fvecs")
+
+
+class TestDatasetFromFiles:
+    def test_assembles_dataset(self, tmp_path, rng):
+        base = rng.standard_normal((50, 6)).astype(np.float32)
+        queries = rng.standard_normal((5, 6)).astype(np.float32)
+        gt = rng.integers(0, 50, (5, 3)).astype("<i4")
+        write_fvecs(tmp_path / "base.fvecs", base)
+        write_fvecs(tmp_path / "q.fvecs", queries)
+        write_ivecs(tmp_path / "gt.ivecs", gt)
+        ds = dataset_from_files(
+            "real", tmp_path / "base.fvecs", tmp_path / "q.fvecs", tmp_path / "gt.ivecs"
+        )
+        assert ds.n == 50 and ds.nq == 5 and ds.gt_k == 3
+        np.testing.assert_allclose(ds.base, base, rtol=1e-6)
+
+    def test_gt_mismatch_raises(self, tmp_path, rng):
+        base = rng.standard_normal((10, 4)).astype(np.float32)
+        queries = rng.standard_normal((3, 4)).astype(np.float32)
+        gt = rng.integers(0, 10, (2, 3)).astype("<i4")
+        write_fvecs(tmp_path / "base.fvecs", base)
+        write_fvecs(tmp_path / "q.fvecs", queries)
+        write_ivecs(tmp_path / "gt.ivecs", gt)
+        with pytest.raises(ValueError, match="ground truth"):
+            dataset_from_files(
+                "bad", tmp_path / "base.fvecs", tmp_path / "q.fvecs", tmp_path / "gt.ivecs"
+            )

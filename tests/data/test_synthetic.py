@@ -1,0 +1,72 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_clustered, make_deep_like, make_sift_like
+
+
+class TestMakeClustered:
+    def test_shape_and_dtype(self):
+        x = make_clustered(100, 16, n_clusters=8, intrinsic_dim=4, seed=0)
+        assert x.shape == (100, 16)
+        assert x.dtype == np.float32
+
+    def test_deterministic(self):
+        a = make_clustered(50, 8, intrinsic_dim=4, seed=3)
+        b = make_clustered(50, 8, intrinsic_dim=4, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = make_clustered(50, 8, intrinsic_dim=4, seed=1)
+        b = make_clustered(50, 8, intrinsic_dim=4, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError, match="n must be positive"):
+            make_clustered(0, 8)
+        with pytest.raises(ValueError, match="d must be positive"):
+            make_clustered(10, 0)
+        with pytest.raises(ValueError, match="intrinsic_dim"):
+            make_clustered(10, 8, intrinsic_dim=20)
+
+    def test_clusters_fewer_than_n(self):
+        x = make_clustered(5, 4, n_clusters=100, intrinsic_dim=2, seed=0)
+        assert x.shape == (5, 4)
+
+    def test_low_rank_structure(self):
+        """Spectrum must be dominated by ~intrinsic_dim directions."""
+        x = make_clustered(2000, 32, n_clusters=16, intrinsic_dim=4, seed=0)
+        x = x - x.mean(axis=0)
+        s = np.linalg.svd(x, compute_uv=False)
+        energy = (s**2) / (s**2).sum()
+        assert energy[:4].sum() > 0.9
+
+
+class TestSiftLike:
+    def test_range_and_dim(self):
+        x = make_sift_like(200, seed=0)
+        assert x.shape == (200, 128)
+        assert x.min() >= 0.0
+        assert x.max() <= 255.0
+
+    def test_custom_dim(self):
+        assert make_sift_like(10, d=64).shape == (10, 64)
+
+
+class TestDeepLike:
+    def test_unit_norm(self):
+        x = make_deep_like(150, seed=0)
+        assert x.shape == (150, 96)
+        np.testing.assert_allclose(np.linalg.norm(x, axis=1), 1.0, rtol=1e-5)
+
+
+class TestClusterImbalance:
+    def test_skewed_weights_produce_imbalanced_cells(self):
+        """The paper's perf model depends on imbalanced cell sizes."""
+        from repro.ann.kmeans import kmeans_fit
+
+        x = make_clustered(4000, 16, n_clusters=64, intrinsic_dim=6, skew=0.9, seed=0)
+        _, assign, _ = kmeans_fit(x, 32, seed=0, n_iter=8)
+        counts = np.bincount(assign, minlength=32)
+        assert counts.max() > 2 * max(counts.min(), 1)

@@ -1,0 +1,21 @@
+"""Tests for the CLI experiment runner (analytic experiments only)."""
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_all_experiment_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig01", "fig03", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04",
+        }
+
+    def test_runs_analytic_experiment(self, capsys):
+        assert main(["fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figXX"])

@@ -1,0 +1,49 @@
+"""Fast sanity tests for the analytic experiment runners.
+
+The full-scale runs live in benchmarks/; these check structure and the key
+qualitative shapes at reduced sweep sizes so the unit suite stays quick.
+"""
+
+import numpy as np
+
+from repro.harness import fig03, fig09
+from repro.net.scaleout import DistributedSearchEstimator
+
+
+class TestFig03Runner:
+    def test_structure_and_shapes(self):
+        r = fig03.run(nprobes=(1, 64), nlists=(2**10, 2**16), ks=(1, 100))
+        # Every (hw, sweep, value) cell sums to one.
+        for frac in r.fractions.values():
+            assert abs(sum(frac.values()) - 1.0) < 1e-9
+        scan = ("PQDist", "SelK")
+        assert r.share("GPU", "nprobe", 64, scan) > r.share("GPU", "nprobe", 1, scan)
+        assert r.share("CPU", "nlist", 2**16, ("IVFDist",)) > r.share(
+            "CPU", "nlist", 2**10, ("IVFDist",)
+        )
+
+    def test_format_is_text_table(self):
+        r = fig03.run(nprobes=(1,), nlists=(2**10,), ks=(1,))
+        assert "Figure 3" in r.format()
+
+
+class TestFig09Runner:
+    def test_single_point(self):
+        r = fig09.run(nprobes=(16,), nlists=(2**13,), ks=(10,))
+        ratios = r.ratios[("nprobe", 16)]
+        assert abs(sum(ratios.values()) - 1.0) < 1e-6
+        cfg = r.designs[("K", 10)]
+        assert cfg.params.k == 10
+
+
+class TestFig12Estimator:
+    def test_speedup_grows_with_tail_gap(self):
+        rng = np.random.default_rng(0)
+        tight = 400 + rng.normal(0, 5, 20_000).clip(min=0)
+        heavy = 100 * rng.lognormal(0, 0.5, 20_000)
+        heavy[rng.random(20_000) < 0.05] *= 8
+        f = DistributedSearchEstimator(tight)
+        g = DistributedSearchEstimator(heavy)
+        s16 = np.percentile(g.sample(16, 2000), 99) / np.percentile(f.sample(16, 2000), 99)
+        s512 = np.percentile(g.sample(512, 2000), 99) / np.percentile(f.sample(512, 2000), 99)
+        assert s512 > s16

@@ -1,0 +1,30 @@
+"""Tests for the experiment output formatting."""
+
+from repro.harness.formatting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_number_formatting(self):
+        out = format_table(["v"], [[12345.0], [0.00123], [12.34]])
+        assert "12,345" in out
+        assert "0.00123" in out
+        assert "12.3" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x", "y"], [])
+        assert "x" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("s", [1, 2], [10.0, 20.0])
+        assert out.startswith("s: ")
+        assert "1:10" in out and "2:20" in out

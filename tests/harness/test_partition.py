@@ -1,0 +1,51 @@
+"""Tests for index partitioning (the multi-accelerator layout of Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.fig01 import partition_index
+
+
+class TestPartitionIndex:
+    def test_shards_cover_everything_disjointly(self, trained_ivf):
+        shards = partition_index(trained_ivf, 4)
+        assert len(shards) == 4
+        all_ids = np.concatenate([np.concatenate(s.cell_ids) for s in shards])
+        orig_ids = np.concatenate(trained_ivf.cell_ids)
+        np.testing.assert_array_equal(np.sort(all_ids), np.sort(orig_ids))
+
+    def test_shards_share_trained_quantizers(self, trained_ivf):
+        shards = partition_index(trained_ivf, 2)
+        for s in shards:
+            assert s.centroids is trained_ivf.centroids
+            assert s.pq is trained_ivf.pq
+
+    def test_roughly_balanced(self, trained_ivf):
+        shards = partition_index(trained_ivf, 4)
+        counts = [s.ntotal for s in shards]
+        assert max(counts) - min(counts) <= trained_ivf.nlist
+
+    def test_shard_search_union_equals_global(self, trained_ivf, small_dataset):
+        """Merging shard top-k by distance must equal the global top-k."""
+        k, nprobe = 5, trained_ivf.nlist  # probe everything: no probe noise
+        shards = partition_index(trained_ivf, 3)
+        q = small_dataset.queries[:8]
+        global_ids, _ = trained_ivf.search(q, k, nprobe)
+        ids = [s.search(q, k, nprobe)[0] for s in shards]
+        dists = [s.search(q, k, nprobe)[1] for s in shards]
+        merged = []
+        for qi in range(q.shape[0]):
+            cat_i = np.concatenate([i[qi] for i in ids])
+            cat_d = np.concatenate([d[qi] for d in dists])
+            merged.append(cat_i[np.argsort(cat_d, kind="stable")][:k])
+        np.testing.assert_array_equal(np.sort(np.vstack(merged), axis=1),
+                                      np.sort(global_ids, axis=1))
+
+    def test_invalid_parts(self, trained_ivf):
+        with pytest.raises(ValueError, match="n_parts"):
+            partition_index(trained_ivf, 0)
+
+    def test_stats_independent(self, trained_ivf, small_dataset):
+        shards = partition_index(trained_ivf, 2)
+        shards[0].search(small_dataset.queries[:2], 3, 2)
+        assert shards[1].stats.n_queries == 0

@@ -1,0 +1,65 @@
+"""Unit tests for the experiment result containers (no expensive runs)."""
+
+import numpy as np
+
+from repro.harness.fig01 import Fig01Result
+from repro.harness.fig10 import Fig10Cell, Fig10Result
+from repro.harness.fig11 import Fig11Result
+from repro.harness.fig12 import Fig12Result
+from repro.harness.tab03 import Tab03Result
+
+
+class TestFig01Result:
+    def test_speedup_and_format(self):
+        rng = np.random.default_rng(0)
+        r = Fig01Result(
+            fpga_latencies_us=100 + rng.random(500),
+            gpu_latencies_us=500 + 100 * rng.random(500),
+        )
+        assert r.speedup(50) > 1.0
+        assert "speedup" in r.format()
+
+
+class TestFig10Result:
+    def test_cell_ratios(self):
+        c = Fig10Cell(
+            fanns_qps=10_000, fanns_predicted=11_000, baseline_fpga_qps=5_000,
+            cpu_qps=2_000, gpu_qps=50_000,
+        )
+        assert c.fanns_vs_baseline == 2.0
+        assert c.fanns_vs_cpu == 5.0
+        assert c.gpu_vs_fanns == 5.0
+        assert abs(c.model_accuracy - 10 / 11) < 1e-9
+
+    def test_format_table(self):
+        c = Fig10Cell(1000, 1100, 500, 400, 9000)
+        out = Fig10Result(cells={("ds", "R@10=70%"): c}).format()
+        assert "meas/pred" in out and "R@10=70%" in out
+
+
+class TestFig11Result:
+    def test_percentiles(self):
+        rng = np.random.default_rng(1)
+        r = Fig11Result(latencies_us={"FPGA": 10 + rng.random(1000)})
+        assert r.percentile("FPGA", 99) >= r.percentile("FPGA", 50)
+        assert "P99/P50" in r.format()
+
+
+class TestFig12Result:
+    def test_speedup_series(self):
+        r = Fig12Result(
+            counts=[16, 1024],
+            fpga_p99_us={16: 100.0, 1024: 120.0},
+            gpu_p99_us={16: 800.0, 1024: 4800.0},
+        )
+        assert r.speedup(16) == 8.0
+        assert r.speedup(1024) == 40.0
+        out = r.format()
+        assert "speedup" in out and "1,024" in out or "1024" in out
+
+
+class TestTab03Result:
+    def test_format_rows(self):
+        r = Tab03Result(seconds={"Build indexes": 12.5, "FPGA code generation": 0.01})
+        out = r.format()
+        assert "Build indexes" in out and "12.5" in out

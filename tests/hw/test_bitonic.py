@@ -1,0 +1,101 @@
+"""Tests for the bitonic sort / partial-merge networks."""
+
+import numpy as np
+import pytest
+
+from repro.hw.bitonic import (
+    BitonicPartialMerger,
+    BitonicSorter,
+    bitonic_sort_batch,
+    compare_swap_count,
+    sort_latency_cycles,
+)
+
+
+class TestLatencyFormula:
+    @pytest.mark.parametrize("width,expect", [(2, 1), (4, 3), (8, 6), (16, 10), (64, 21)])
+    def test_paper_formula(self, width, expect):
+        """Latency = log2(l)·(1+log2(l))/2 (§5.1.1)."""
+        assert sort_latency_cycles(width) == expect
+
+    def test_non_pow2_raises(self):
+        with pytest.raises(ValueError, match="power of two"):
+            sort_latency_cycles(10)
+
+    def test_cs_count(self):
+        assert compare_swap_count(4) == 2 * 3
+        assert compare_swap_count(16) == 8 * 10
+
+
+class TestSortNetwork:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_sorts_correctly(self, width, rng):
+        vals = rng.standard_normal((20, width))
+        sv, si = bitonic_sort_batch(vals)
+        np.testing.assert_allclose(sv, np.sort(vals, axis=1))
+
+    def test_ids_permuted_with_values(self, rng):
+        vals = rng.standard_normal((5, 8))
+        ids = rng.integers(0, 1000, (5, 8)).astype(np.int64)
+        sv, si = bitonic_sort_batch(vals, ids)
+        for row in range(5):
+            lookup = dict(zip(ids[row].tolist(), vals[row].tolist()))
+            np.testing.assert_allclose([lookup[i] for i in si[row]], sv[row])
+
+    def test_descending(self, rng):
+        vals = rng.standard_normal((4, 8))
+        sv, _ = bitonic_sort_batch(vals, ascending=False)
+        np.testing.assert_allclose(sv, -np.sort(-vals, axis=1))
+
+    def test_with_duplicates(self):
+        vals = np.array([[3.0, 1.0, 3.0, 1.0]])
+        sv, _ = bitonic_sort_batch(vals)
+        np.testing.assert_allclose(sv, [[1.0, 1.0, 3.0, 3.0]])
+
+    def test_with_inf_padding(self):
+        vals = np.array([[np.inf, 2.0, np.inf, 1.0]])
+        sv, _ = bitonic_sort_batch(vals)
+        assert sv[0, 0] == 1.0 and sv[0, 1] == 2.0
+
+    def test_bad_ids_shape(self):
+        with pytest.raises(ValueError, match="ids shape"):
+            bitonic_sort_batch(np.zeros((2, 4)), np.zeros((2, 3), dtype=np.int64))
+
+    def test_sorter_object(self, rng):
+        s = BitonicSorter(16)
+        assert s.latency_cycles == 10
+        assert s.resources.lut > 0
+        sv, _ = s.sort(rng.standard_normal((3, 16)))
+        assert (np.diff(sv, axis=1) >= 0).all()
+
+
+class TestPartialMerger:
+    def test_emits_smallest_w_sorted(self, rng):
+        m = BitonicPartialMerger(8)
+        a = np.sort(rng.standard_normal((10, 8)), axis=1)
+        b = np.sort(rng.standard_normal((10, 8)), axis=1)
+        mv, mi = m.merge(a, b)
+        expect = np.sort(np.concatenate([a, b], axis=1), axis=1)[:, :8]
+        np.testing.assert_allclose(mv, expect)
+
+    def test_ids_follow(self, rng):
+        m = BitonicPartialMerger(4)
+        a = np.sort(rng.standard_normal((1, 4)), axis=1)
+        b = np.sort(rng.standard_normal((1, 4)), axis=1)
+        ia = np.arange(4, dtype=np.int64)[None, :]
+        ib = np.arange(10, 14, dtype=np.int64)[None, :]
+        mv, mi = m.merge(a, b, ia, ib)
+        all_v = np.concatenate([a, b], axis=1)[0]
+        all_i = np.concatenate([ia, ib], axis=1)[0]
+        lookup = dict(zip(all_i.tolist(), all_v.tolist()))
+        np.testing.assert_allclose([lookup[i] for i in mi[0]], mv[0])
+
+    def test_shape_validation(self):
+        m = BitonicPartialMerger(4)
+        with pytest.raises(ValueError, match="batch, width"):
+            m.merge(np.zeros((2, 4)), np.zeros((2, 8)))
+
+    def test_latency_and_resources(self):
+        m = BitonicPartialMerger(16)
+        assert m.latency_cycles == 5  # log2(32)
+        assert m.resources.lut > 0

@@ -1,0 +1,120 @@
+"""Tests for the computation-stage PE models."""
+
+import numpy as np
+import pytest
+
+from repro.hw.compute_pes import BuildLUTPE, IVFDistPE, OPQPE, PQDistPE, cycles_per_query
+from repro.hw.device import U55C
+from repro.hw.fifo import fifo_resources, stage_fifo_count
+
+
+class TestPipelineFormula:
+    def test_eq_cc(self):
+        """CC = L + (N-1)·II (§6.3)."""
+        assert cycles_per_query(10, 2, 5) == 10 + 4 * 2
+
+    def test_zero_elements(self):
+        assert cycles_per_query(10, 1, 0) == 10.0
+
+
+class TestOPQPE:
+    def test_cycles_for_query(self):
+        pe = OPQPE(d=128)
+        assert pe.cycles_for_query() == pe.latency + 127
+
+    def test_functional(self, rng):
+        r = np.linalg.qr(rng.standard_normal((16, 16)))[0].astype(np.float32)
+        q = rng.standard_normal((3, 16)).astype(np.float32)
+        np.testing.assert_allclose(OPQPE.apply(r, q), q @ r)
+
+    def test_lightweight(self):
+        """Table 4: Stage OPQ consumes ≈0.2 % LUT."""
+        frac = OPQPE(d=128).resources.lut / U55C.capacity.lut
+        assert frac < 0.005
+
+
+class TestIVFDistPE:
+    def test_on_chip_ii_is_d_over_lanes(self):
+        # 128 dims at 16 lanes -> one centroid every 8 cycles.
+        assert IVFDistPE(d=128, cache_on_chip=True, centroids_share=512).ii == 8
+
+    def test_hbm_doubles_ii(self):
+        assert IVFDistPE(d=128, cache_on_chip=False, centroids_share=512).ii == 16
+
+    def test_on_chip_costs_uram(self):
+        on = IVFDistPE(d=128, cache_on_chip=True, centroids_share=1024)
+        off = IVFDistPE(d=128, cache_on_chip=False, centroids_share=1024)
+        assert on.resources.uram > off.resources.uram
+
+    def test_table4_lut_share(self):
+        """16 on-chip IVFDist PEs ≈ 11 % of a U55C's LUTs (Table 4)."""
+        pe = IVFDistPE(d=128, cache_on_chip=True, centroids_share=4096 // 16)
+        frac = 16 * pe.resources.lut / U55C.capacity.lut
+        assert 0.09 < frac < 0.13
+
+    def test_functional(self, rng):
+        q = rng.standard_normal(8).astype(np.float32)
+        c = rng.standard_normal((5, 8)).astype(np.float32)
+        expect = ((c - q) ** 2).sum(axis=1)
+        np.testing.assert_allclose(IVFDistPE.distances(q, c), expect, rtol=1e-5)
+
+    def test_cycles_scale_with_share(self):
+        a = IVFDistPE(d=128, centroids_share=100)
+        b = IVFDistPE(d=128, centroids_share=1000)
+        assert b.cycles_for_query() > a.cycles_for_query()
+
+
+class TestBuildLUTPE:
+    def test_cycles_per_cell(self):
+        pe = BuildLUTPE(d=128, m=16, ksub=256)
+        assert pe.cycles_per_cell() == pe.latency + (16 * 256 - 1)
+
+    def test_codebook_always_on_chip(self):
+        pe = BuildLUTPE(d=128, m=16, ksub=256, cache_on_chip=False)
+        assert pe.resources.bram36 >= 16 * 256 * 8 * 4 / 4608
+
+    def test_functional_matches_pq(self, trained_pq, small_vectors):
+        lut_hw = BuildLUTPE.build(trained_pq.codebooks, small_vectors[0])
+        lut_sw = trained_pq.build_lut(small_vectors[0])
+        np.testing.assert_allclose(lut_hw, lut_sw, rtol=1e-4, atol=1e-4)
+
+
+class TestPQDistPE:
+    def test_ii_one_code_per_cycle(self):
+        assert PQDistPE(m=16).ii == 1
+
+    def test_cycles(self):
+        pe = PQDistPE(m=16)
+        assert pe.cycles_for_codes(1000) == pe.latency + 999
+
+    def test_table4_lut_share(self):
+        """57 PQDist PEs ≈ 24 % of a U55C's LUTs (Table 4, K=1 FANNS row)."""
+        frac = 57 * PQDistPE(m=16).resources.lut / U55C.capacity.lut
+        assert 0.20 < frac < 0.28
+
+    def test_dsp_add_tree(self):
+        assert PQDistPE(m=16).resources.dsp == 30
+
+    def test_functional_matches_pq_adc(self, trained_pq, small_vectors):
+        lut = trained_pq.build_lut(small_vectors[0])
+        codes = trained_pq.encode(small_vectors[1:20])
+        np.testing.assert_allclose(
+            PQDistPE.adc(lut, codes), trained_pq.adc(lut, codes), rtol=1e-5
+        )
+
+
+class TestFIFO:
+    def test_counts(self):
+        assert stage_fifo_count(4, "array") == 5
+        assert stage_fifo_count(4, "p2p") == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="topology"):
+            stage_fifo_count(2, "mesh")
+        with pytest.raises(ValueError, match="non-negative"):
+            stage_fifo_count(-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            fifo_resources(-1)
+
+    def test_resources_scale(self):
+        assert fifo_resources(10).lut == 10 * fifo_resources(1).lut

@@ -1,0 +1,116 @@
+"""Hypothesis property tests on hardware component invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hw.bitonic import BitonicPartialMerger, bitonic_sort_batch
+from repro.hw.priority_queue import SystolicPriorityQueue
+from repro.hw.resources import ResourceVector
+from repro.hw.selection import HPQ, HSMPQG
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+class TestBitonicProperties:
+    @given(
+        st.sampled_from([2, 4, 8, 16]),
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_network_equals_npsort(self, width, batch, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal((batch, width))
+        sv, _ = bitonic_sort_batch(vals)
+        np.testing.assert_allclose(sv, np.sort(vals, axis=1))
+
+    @given(st.sampled_from([2, 4, 8]), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_merger_is_exact_partial_merge(self, width, seed):
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.standard_normal((3, width)), axis=1)
+        b = np.sort(rng.standard_normal((3, width)), axis=1)
+        mv, _ = BitonicPartialMerger(width).merge(a, b)
+        expect = np.sort(np.concatenate([a, b], axis=1), axis=1)[:, :width]
+        np.testing.assert_allclose(mv, expect)
+
+
+class TestQueueProperties:
+    @given(
+        arrays(np.float32, st.integers(1, 200).map(lambda n: (n,)), elements=finite),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_queue_keeps_exact_minima(self, stream, length):
+        q = SystolicPriorityQueue(length)
+        q.push_stream(stream)
+        got, _ = q.drain()
+        k = min(length, len(stream))
+        np.testing.assert_allclose(got[:k], np.sort(stream)[:k], rtol=1e-6)
+
+    @given(
+        arrays(np.float32, (60,), elements=finite),
+        st.integers(1, 8),
+        st.integers(1, 59),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_queue_order_invariance(self, stream, length, cut):
+        """Replace-only semantics: final contents ignore arrival order."""
+        q1 = SystolicPriorityQueue(length)
+        q1.push_stream(stream)
+        q2 = SystolicPriorityQueue(length)
+        q2.push_stream(np.concatenate([stream[cut:], stream[:cut]]))
+        np.testing.assert_allclose(q1.drain()[0], q2.drain()[0], rtol=1e-6)
+
+
+class TestSelectorProperties:
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.integers(1, 24),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hpq_exact(self, z, s, v, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal((z, v))
+        got, _ = HPQ(z, s).select(vals)
+        k = min(s, z * v)
+        np.testing.assert_allclose(got[:k], np.sort(vals.ravel())[:k], rtol=1e-9)
+
+    @given(
+        st.integers(2, 40),
+        st.integers(1, 12),
+        st.integers(1, 16),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hsmpqg_exact_when_valid(self, z, s, v, seed):
+        if s >= z:
+            return  # not constructible by design
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal((z, v))
+        got, _ = HSMPQG(z, s).select(vals)
+        np.testing.assert_allclose(got, np.sort(vals.ravel())[:s], rtol=1e-9)
+
+    @given(st.integers(1, 30), st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_resources_positive_and_monotone_in_s(self, z, s):
+        r1 = HPQ(z, s).resources
+        r2 = HPQ(z, s + 5).resources
+        assert r1.lut > 0
+        assert r2.lut > r1.lut  # queue cost linear in length
+
+
+class TestResourceVectorProperties:
+    @given(st.lists(st.floats(0, 1e6), min_size=5, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutative_scale_distributive(self, vals):
+        a = ResourceVector(*vals)
+        b = ResourceVector(*reversed(vals))
+        assert a + b == b + a
+        assert (a + b) * 2.0 == a * 2.0 + b * 2.0

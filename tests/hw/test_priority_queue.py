@@ -1,0 +1,92 @@
+"""Tests for the systolic priority queue model."""
+
+import numpy as np
+import pytest
+
+from repro.hw.priority_queue import (
+    CYCLES_PER_REPLACE,
+    SystolicPriorityQueue,
+    queue_resources,
+)
+
+
+class TestFunctional:
+    def test_keeps_smallest(self, rng):
+        q = SystolicPriorityQueue(5)
+        vals = rng.standard_normal(100)
+        for i, v in enumerate(vals):
+            q.replace(float(v), i)
+        got_v, got_i = q.drain()
+        np.testing.assert_allclose(got_v, np.sort(vals)[:5])
+
+    def test_push_stream_equals_replace_loop(self, rng):
+        vals = rng.standard_normal(200)
+        q1 = SystolicPriorityQueue(8)
+        for i, v in enumerate(vals):
+            q1.replace(float(v), i)
+        q2 = SystolicPriorityQueue(8)
+        q2.push_stream(vals)
+        v1, i1 = q1.drain()
+        v2, i2 = q2.drain()
+        np.testing.assert_allclose(v1, v2)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_ids_track_values(self, rng):
+        vals = rng.standard_normal(50)
+        q = SystolicPriorityQueue(3)
+        q.push_stream(vals, ids=np.arange(100, 150))
+        got_v, got_i = q.drain()
+        np.testing.assert_array_equal(got_i, 100 + np.argsort(vals)[:3])
+
+    def test_underfilled_queue_pads_inf(self):
+        q = SystolicPriorityQueue(4)
+        q.push_stream(np.array([3.0, 1.0]))
+        v, i = q.drain()
+        assert v[0] == 1.0 and v[1] == 3.0
+        assert np.isinf(v[2:]).all()
+        assert (i[2:] == -1).all()
+
+    def test_reset(self):
+        q = SystolicPriorityQueue(2)
+        q.push_stream(np.array([1.0]))
+        q.reset()
+        assert np.isinf(q.values).all()
+        assert q.n_ops == 0
+
+    def test_mismatched_ids_raise(self):
+        q = SystolicPriorityQueue(2)
+        with pytest.raises(ValueError, match="equal length"):
+            q.push_stream(np.zeros(3), ids=np.zeros(2, dtype=np.int64))
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            SystolicPriorityQueue(0)
+
+
+class TestCostModel:
+    def test_two_cycles_per_replace(self):
+        q = SystolicPriorityQueue(10)
+        assert q.cycles_consumed(100) == 100 * CYCLES_PER_REPLACE
+
+    def test_drain_cycles(self):
+        assert SystolicPriorityQueue(7).drain_cycles() == 7
+
+    def test_resources_linear_in_length(self):
+        """§6.2: registers and compare-swap units are linear in queue length."""
+        r10 = queue_resources(10)
+        r20 = queue_resources(20)
+        r30 = queue_resources(30)
+        assert r30.lut - r20.lut == pytest.approx(r20.lut - r10.lut)
+        assert r30.ff - r20.ff == pytest.approx(r20.ff - r10.ff)
+
+    def test_table4_calibration_k100(self):
+        """18 length-100 queues ≈ 32 % of a U55C's LUTs (Table 4, K=100)."""
+        from repro.hw.device import U55C
+
+        lut = (queue_resources(100) * 18).lut
+        frac = lut / U55C.capacity.lut
+        assert 0.28 < frac < 0.36
+
+    def test_resources_invalid_length(self):
+        with pytest.raises(ValueError, match="positive"):
+            queue_resources(0)

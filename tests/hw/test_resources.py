@@ -1,0 +1,88 @@
+"""Tests for resource vectors and device models."""
+
+import pytest
+
+from repro.hw.device import SMALL_DEVICE, U55C, FPGADevice
+from repro.hw.resources import RESOURCE_KINDS, ResourceVector
+
+
+class TestResourceVector:
+    def test_add(self):
+        a = ResourceVector(lut=100, dsp=2)
+        b = ResourceVector(lut=50, ff=10)
+        c = a + b
+        assert c.lut == 150 and c.ff == 10 and c.dsp == 2
+
+    def test_sub(self):
+        a = ResourceVector(lut=100)
+        assert (a - ResourceVector(lut=40)).lut == 60
+
+    def test_scale(self):
+        a = ResourceVector(lut=10, bram36=1)
+        assert (3 * a).lut == 30
+        assert (a * 3).bram36 == 3
+
+    def test_fits_within(self):
+        small = ResourceVector(lut=10, dsp=1)
+        big = ResourceVector(lut=100, dsp=5, ff=100)
+        assert small.fits_within(big)
+        assert not big.fits_within(small)
+
+    def test_fits_within_boundary(self):
+        a = ResourceVector(lut=10)
+        assert a.fits_within(ResourceVector(lut=10))
+
+    def test_utilization(self):
+        a = ResourceVector(lut=50, dsp=10)
+        cap = ResourceVector(lut=100, dsp=100, ff=10)
+        u = a.utilization(cap)
+        assert u["lut"] == 0.5
+        assert u["dsp"] == 0.1
+        assert u["ff"] == 0.0
+        assert a.max_utilization(cap) == 0.5
+
+    def test_utilization_zero_capacity(self):
+        u = ResourceVector(lut=5).utilization(ResourceVector())
+        assert u["lut"] == 0.0
+
+    def test_total(self):
+        parts = [ResourceVector(lut=1)] * 5
+        assert ResourceVector.total(parts).lut == 5
+
+    def test_as_dict_keys(self):
+        assert set(ResourceVector().as_dict()) == set(RESOURCE_KINDS)
+
+
+class TestDevice:
+    def test_u55c_headline_numbers(self):
+        # §7.1: 1.3M LUTs, 9K DSPs, 16 GB HBM.
+        assert U55C.capacity.lut == pytest.approx(1_304_000)
+        assert U55C.capacity.dsp == pytest.approx(9024)
+        assert U55C.hbm_bytes == 16 * 2**30
+
+    def test_u55c_onchip_memory_about_40mb(self):
+        # §7.1: "40MB on-chip memory".
+        assert 35e6 < U55C.onchip_bytes < 46e6
+
+    def test_budget_subtracts_infrastructure(self):
+        b = U55C.budget(0.6)
+        assert b.lut == pytest.approx(1_304_000 * 0.6 - U55C.infrastructure.lut)
+
+    def test_budget_invalid_utilization(self):
+        with pytest.raises(ValueError, match="max_utilization"):
+            U55C.budget(0.0)
+        with pytest.raises(ValueError, match="max_utilization"):
+            U55C.budget(1.2)
+
+    def test_fits_dataset(self):
+        assert U55C.fits_dataset(10 * 2**30)
+        assert not U55C.fits_dataset(20 * 2**30)
+
+    def test_small_device_smaller(self):
+        assert SMALL_DEVICE.capacity.lut < U55C.capacity.lut
+
+    def test_custom_device(self):
+        dev = FPGADevice(
+            name="x", capacity=ResourceVector(lut=1000), hbm_bytes=100
+        )
+        assert dev.budget(1.0).lut == 1000 - dev.infrastructure.lut

@@ -1,0 +1,130 @@
+"""Tests for the HPQ / HSMPQG K-selection microarchitectures."""
+
+import numpy as np
+import pytest
+
+from repro.hw.device import U55C
+from repro.hw.selection import HPQ, HSMPQG, make_selector, valid_selectors
+
+
+def _expect_topk(values, s):
+    flat = values.ravel()
+    return np.sort(flat)[: min(s, flat.size)]
+
+
+class TestHPQFunctional:
+    @pytest.mark.parametrize("z,s,v", [(1, 5, 40), (4, 3, 25), (8, 10, 64), (16, 1, 10)])
+    def test_exact_selection(self, z, s, v, rng):
+        vals = rng.standard_normal((z, v))
+        sel = HPQ(z, s)
+        got_v, got_i = sel.select(vals)
+        np.testing.assert_allclose(got_v[: min(s, z * v)], _expect_topk(vals, s))
+
+    def test_ids_returned(self, rng):
+        vals = rng.standard_normal((2, 30))
+        ids = np.arange(60, dtype=np.int64).reshape(2, 30) + 1000
+        got_v, got_i = HPQ(2, 4).select(vals, ids)
+        order = np.argsort(vals.ravel())[:4]
+        np.testing.assert_array_equal(np.sort(got_i), np.sort(ids.ravel()[order]))
+
+    def test_pads_when_too_few_inputs(self):
+        got_v, got_i = HPQ(1, 10).select(np.array([[1.0, 2.0]]))
+        assert got_v.shape == (10,)
+        assert np.isinf(got_v[2:]).all()
+        assert (got_i[2:] == -1).all()
+
+    def test_wrong_stream_count_raises(self):
+        with pytest.raises(ValueError, match="expected 3 streams"):
+            HPQ(3, 2).select(np.zeros((2, 5)))
+
+
+class TestHSMPQGFunctional:
+    @pytest.mark.parametrize("z,s,v", [(20, 10, 16), (36, 10, 30), (80, 10, 12), (5, 2, 9)])
+    def test_exact_selection(self, z, s, v, rng):
+        vals = rng.standard_normal((z, v))
+        sel = HSMPQG(z, s)
+        got_v, _ = sel.select(vals)
+        np.testing.assert_allclose(got_v, _expect_topk(vals, s))
+
+    def test_requires_s_less_than_z(self):
+        with pytest.raises(ValueError, match="s < z"):
+            HSMPQG(4, 10)
+        with pytest.raises(ValueError, match="s < z"):
+            HSMPQG(10, 10)
+
+    def test_figure7_shape(self):
+        """Figure 7: 64 < z <= 80, s=10 → five width-16 sorters, 4 mergers."""
+        sel = HSMPQG(80, 10)
+        assert sel.sort_width == 16
+        assert sel.n_sorters == 5
+        assert sel.n_mergers == 4
+
+    def test_scaling_rule(self):
+        """§5.1.2: 16 < z <= 32 → 2 sorters 1 merger; 32 < z <= 48 → 3 and 2."""
+        assert HSMPQG(32, 10).n_sorters == 2
+        assert HSMPQG(32, 10).n_mergers == 1
+        assert HSMPQG(48, 10).n_sorters == 3
+        assert HSMPQG(48, 10).n_mergers == 2
+
+
+class TestValidity:
+    def test_hpq_always_valid(self):
+        archs = [s.arch for s in valid_selectors(2, 10)]
+        assert archs == ["HPQ"]
+
+    def test_both_when_s_less_than_z(self):
+        archs = {s.arch for s in valid_selectors(40, 10)}
+        assert archs == {"HPQ", "HSMPQG"}
+
+    def test_make_selector(self):
+        assert make_selector("HPQ", 4, 2).arch == "HPQ"
+        assert make_selector("HSMPQG", 40, 10).arch == "HSMPQG"
+        with pytest.raises(ValueError, match="unknown selector"):
+            make_selector("FOO", 4, 2)
+
+
+class TestCostModel:
+    def test_hpq_input_streams_double(self):
+        """Full-rate streams split in two (Table 4: 9 PQDist PEs → 18 InStream)."""
+        assert HPQ(9, 100).n_input_streams == 18
+
+    def test_hsmpqg_input_streams_equal_z(self):
+        assert HSMPQG(36, 10).n_input_streams == 36
+
+    def test_table4_k10_tradeoff(self):
+        """At z=36, s=10 the hybrid design must beat HPQ in LUTs (the paper's
+        K=10 accelerator chose HSMPQG)."""
+        assert HSMPQG(36, 10).resources.lut < HPQ(36, 10).resources.lut
+
+    def test_large_s_with_few_streams_only_hpq_valid(self):
+        """At K=100 with 9 producer streams HSMPQG cannot filter (s >= z);
+        HPQ is the only valid choice — matching the paper's K=100 design."""
+        archs = [s.arch for s in valid_selectors(9, 100)]
+        assert archs == ["HPQ"]
+
+    def test_hsmpqg_not_always_better(self):
+        """§5.1.2: "the second option is not always better even if s < z" —
+        with few streams the sorter overhead exceeds the queue savings."""
+        assert HPQ(11, 10).resources.lut < HSMPQG(11, 10).resources.lut
+
+    def test_table4_selk_lut_shares(self):
+        """HPQ(z=9, s=100) ≈ 32 % LUT; HSMPQG(z=36, s=10) ≈ 12-13 % (Table 4)."""
+        frac_k100 = HPQ(9, 100).resources.lut / U55C.capacity.lut
+        assert 0.28 < frac_k100 < 0.37
+        frac_k10 = HSMPQG(36, 10).resources.lut / U55C.capacity.lut
+        assert 0.09 < frac_k10 < 0.16
+
+    def test_consume_cycles_full_rate(self):
+        # 2 substream queues per stream keep up with 1 element/cycle.
+        assert HPQ(4, 10).consume_cycles(100) == 100
+        assert HSMPQG(40, 10).consume_cycles(100) == 100
+
+    def test_post_cycles_positive(self):
+        assert HPQ(4, 10).post_cycles() > 0
+        assert HSMPQG(40, 10).post_cycles() > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="z must be positive"):
+            HPQ(0, 5)
+        with pytest.raises(ValueError, match="s must be positive"):
+            HPQ(2, 0)

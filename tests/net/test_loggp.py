@@ -1,0 +1,59 @@
+"""Tests for the LogGP model and collectives."""
+
+import pytest
+
+from repro.net.collectives import (
+    MERGE_US,
+    binary_tree_broadcast_us,
+    binary_tree_depth,
+    binary_tree_reduce_us,
+)
+from repro.net.loggp import LogGPParams, PAPER_LOGGP, point_to_point_us
+
+
+class TestLogGP:
+    def test_paper_constants(self):
+        assert PAPER_LOGGP.latency_us == 6.0
+        assert PAPER_LOGGP.overhead_us == 4.7
+        assert PAPER_LOGGP.gap_per_byte_ns == 0.73
+
+    def test_point_to_point_formula(self):
+        # o + L + (n-1)G + o for a 1-byte message = 2*4.7 + 6.0.
+        assert point_to_point_us(1) == pytest.approx(15.4)
+
+    def test_serialization_grows_with_bytes(self):
+        small = point_to_point_us(64)
+        big = point_to_point_us(64_000)
+        assert big - small == pytest.approx((64_000 - 64) * 0.73e-3, rel=1e-6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="nbytes"):
+            point_to_point_us(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            LogGPParams(latency_us=-1)
+
+
+class TestCollectives:
+    def test_depth(self):
+        assert binary_tree_depth(1) == 0
+        assert binary_tree_depth(2) == 1
+        assert binary_tree_depth(8) == 3
+        assert binary_tree_depth(1024) == 10
+
+    def test_depth_invalid(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            binary_tree_depth(0)
+
+    def test_single_node_free(self):
+        assert binary_tree_broadcast_us(1, 512) == 0.0
+        assert binary_tree_reduce_us(1, 120) == 0.0
+
+    def test_broadcast_log_scaling(self):
+        t8 = binary_tree_broadcast_us(8, 512)
+        t64 = binary_tree_broadcast_us(64, 512)
+        assert t64 == pytest.approx(2 * t8)
+
+    def test_reduce_adds_merge_per_level(self):
+        b = binary_tree_broadcast_us(16, 120)
+        r = binary_tree_reduce_us(16, 120)
+        assert r - b == pytest.approx(4 * MERGE_US)

@@ -1,0 +1,66 @@
+"""Tests for the scale-out latency estimators."""
+
+import numpy as np
+import pytest
+
+from repro.net.scaleout import DistributedSearchEstimator, simulate_cluster_latencies
+
+
+class TestSimulateCluster:
+    def test_max_plus_network(self):
+        lat = np.array([[10.0, 20.0], [30.0, 5.0]])
+        out = simulate_cluster_latencies(lat, d=128, k=10)
+        net = out[0] - 30.0
+        assert net > 0
+        assert out[1] == pytest.approx(20.0 + net)
+
+    def test_single_node_no_network(self):
+        lat = np.array([[10.0, 20.0]])
+        np.testing.assert_allclose(simulate_cluster_latencies(lat), [10.0, 20.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="n_nodes, n_queries"):
+            simulate_cluster_latencies(np.zeros(5))
+
+
+class TestEstimator:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DistributedSearchEstimator(np.array([]))
+        with pytest.raises(ValueError, match="non-negative"):
+            DistributedSearchEstimator(np.array([-1.0]))
+        est = DistributedSearchEstimator(np.array([10.0]))
+        with pytest.raises(ValueError, match="n_accelerators"):
+            est.sample(0)
+
+    def test_latency_grows_with_cluster_size(self):
+        rng = np.random.default_rng(0)
+        hist = rng.lognormal(3.0, 0.4, 100_000)
+        est = DistributedSearchEstimator(hist)
+        p99 = est.percentile_curve([1, 16, 256], q=99.0, n_queries=4000)
+        assert p99[1] < p99[16] < p99[256]
+
+    def test_low_variance_scales_flat(self):
+        """The paper's core scalability argument: max-of-N over a tight
+        distribution (FPGA) grows far slower than over a heavy tail (GPU)."""
+        rng = np.random.default_rng(1)
+        fpga_hist = 500.0 * rng.lognormal(0.0, 0.03, 50_000)
+        gpu_hist = 150.0 * rng.lognormal(0.0, 0.45, 50_000)
+        gpu_hist[rng.random(50_000) < 0.05] *= 6.0
+        fpga = DistributedSearchEstimator(fpga_hist)
+        gpu = DistributedSearchEstimator(gpu_hist)
+        speedup_16 = gpu.sample(16, 4000).mean() / fpga.sample(16, 4000).mean()
+        speedup_1024 = gpu.sample(1024, 4000).mean() / fpga.sample(1024, 4000).mean()
+        assert speedup_1024 > speedup_16
+
+    def test_network_logarithmic(self):
+        est = DistributedSearchEstimator(np.array([100.0]))
+        assert est.network_us(1024) == pytest.approx(
+            est.network_us(32) * 2, rel=1e-6
+        )
+
+    def test_deterministic_with_rng(self):
+        est = DistributedSearchEstimator(np.arange(1.0, 100.0))
+        a = est.sample(8, 100, np.random.default_rng(5))
+        b = est.sample(8, 100, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

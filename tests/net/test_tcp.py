@@ -1,0 +1,31 @@
+"""Tests for the hardware TCP/IP stack model."""
+
+import pytest
+
+from repro.net.tcp import HardwareTCPStack
+
+
+class TestTCPStack:
+    def test_rtt_about_5us(self):
+        """§7.3.2: around five microseconds RTT."""
+        stack = HardwareTCPStack()
+        overhead = stack.query_overhead_us(512, 120)
+        assert 5.0 < overhead < 8.0
+
+    def test_wire_time_scales(self):
+        stack = HardwareTCPStack()
+        small = stack.query_overhead_us(512, 120)
+        large = stack.query_overhead_us(512_000, 120)
+        assert large > small
+
+    def test_line_rate_qps(self):
+        stack = HardwareTCPStack()
+        # 128-d float query = 512 B -> ~24 M queries/s at 100 Gbps.
+        assert stack.max_qps(512) == pytest.approx(12_500e6 / 512, rel=1e-6)
+
+    def test_validation(self):
+        stack = HardwareTCPStack()
+        with pytest.raises(ValueError, match="non-negative"):
+            stack.query_overhead_us(-1, 0)
+        with pytest.raises(ValueError, match="positive"):
+            stack.max_qps(0)

@@ -1,0 +1,45 @@
+"""Tests for the multi-accelerator cluster service."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.service.cluster import FPGAClusterService
+
+
+@pytest.fixture(scope="module")
+def cluster(trained_ivf):
+    params = AlgorithmParams(
+        d=trained_ivf.d, nlist=trained_ivf.nlist, nprobe=trained_ivf.nlist,
+        k=5, m=trained_ivf.m, ksub=trained_ivf.ksub,
+    )
+    cfg = AcceleratorConfig(params=params, n_ivf_pes=2, n_lut_pes=2, n_pq_pes=4)
+    return FPGAClusterService(trained_ivf, cfg, n_accelerators=4)
+
+
+class TestClusterService:
+    def test_validation(self, trained_ivf):
+        params = AlgorithmParams(
+            d=32, nlist=trained_ivf.nlist, nprobe=2, k=5, m=4, ksub=64
+        )
+        cfg = AcceleratorConfig(params=params, n_ivf_pes=1, n_lut_pes=1, n_pq_pes=2)
+        with pytest.raises(ValueError, match="n_accelerators"):
+            FPGAClusterService(trained_ivf, cfg, 0)
+
+    def test_merged_results_match_single_node(self, cluster, trained_ivf, small_dataset):
+        """With full probing, merging shard top-k equals the global top-k."""
+        q = small_dataset.queries[:6]
+        out = cluster.search(q)
+        ref_ids, _ = trained_ivf.search(q, 5, trained_ivf.nlist)
+        np.testing.assert_array_equal(np.sort(out.ids, axis=1), np.sort(ref_ids, axis=1))
+
+    def test_latency_exceeds_any_single_node(self, cluster, small_dataset):
+        """Distributed latency = slowest shard + collectives > 0 network."""
+        q = small_dataset.queries[:6]
+        out = cluster.search(q)
+        assert (out.latencies_us > 0).all()
+        assert len(out.per_node_qps) == 4
+
+    def test_percentiles(self, cluster, small_dataset):
+        out = cluster.search(small_dataset.queries[:10])
+        assert out.latency_percentile(95) >= out.latency_percentile(50)

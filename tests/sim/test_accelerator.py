@@ -1,0 +1,111 @@
+"""Tests for the accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.sim.accelerator import AcceleratorSimulator
+
+
+def _config(trained_ivf, nprobe=4, k=5, **kw):
+    params = AlgorithmParams(
+        d=trained_ivf.d,
+        nlist=trained_ivf.nlist,
+        nprobe=nprobe,
+        k=k,
+        m=trained_ivf.m,
+        ksub=trained_ivf.ksub,
+    )
+    defaults = dict(n_ivf_pes=2, n_lut_pes=2, n_pq_pes=4)
+    defaults.update(kw)
+    return AcceleratorConfig(params=params, **defaults)
+
+
+class TestValidation:
+    def test_mismatched_nlist_raises(self, trained_ivf):
+        params = AlgorithmParams(d=32, nlist=99, nprobe=2, k=5, m=4, ksub=64)
+        cfg = AcceleratorConfig(params=params, n_ivf_pes=1, n_lut_pes=1, n_pq_pes=2)
+        with pytest.raises(ValueError, match="mismatch"):
+            AcceleratorSimulator(trained_ivf, cfg)
+
+    def test_opq_flag_mismatch_raises(self, trained_ivf):
+        params = AlgorithmParams(
+            d=32, nlist=trained_ivf.nlist, nprobe=2, k=5, m=4, ksub=64, use_opq=True
+        )
+        cfg = AcceleratorConfig(params=params, n_ivf_pes=1, n_lut_pes=1, n_pq_pes=2)
+        with pytest.raises(ValueError, match="use_opq"):
+            AcceleratorSimulator(trained_ivf, cfg)
+
+
+class TestFunctionalEquivalence:
+    def test_matches_software_search(self, trained_ivf, small_dataset):
+        cfg = _config(trained_ivf)
+        sim = AcceleratorSimulator(trained_ivf, cfg)
+        res = sim.run_batch(small_dataset.queries)
+        ids_ref, dists_ref = trained_ivf.search(small_dataset.queries, 5, 4)
+        np.testing.assert_array_equal(res.ids, ids_ref)
+        np.testing.assert_allclose(res.dists, dists_ref, rtol=1e-5)
+
+
+class TestTiming:
+    def test_qps_positive_and_finite(self, trained_ivf, small_dataset):
+        res = AcceleratorSimulator(trained_ivf, _config(trained_ivf)).run_batch(
+            small_dataset.queries
+        )
+        assert 0 < res.qps < 1e9
+
+    def test_latency_includes_overhead(self, trained_ivf, small_dataset):
+        sim = AcceleratorSimulator(trained_ivf, _config(trained_ivf))
+        r0 = sim.run_batch(small_dataset.queries, overhead_us=0.0)
+        r5 = sim.run_batch(small_dataset.queries, overhead_us=5.0)
+        np.testing.assert_allclose(r5.latencies_us, r0.latencies_us + 5.0)
+
+    def test_more_pq_pes_do_not_hurt_throughput(self, trained_ivf, small_dataset):
+        few = AcceleratorSimulator(trained_ivf, _config(trained_ivf, n_pq_pes=2))
+        many = AcceleratorSimulator(trained_ivf, _config(trained_ivf, n_pq_pes=16))
+        q_few = few.run_batch(small_dataset.queries).qps
+        q_many = many.run_batch(small_dataset.queries).qps
+        assert q_many >= q_few * 0.99
+
+    def test_higher_nprobe_lowers_qps(self, trained_ivf, small_dataset):
+        lo = AcceleratorSimulator(trained_ivf, _config(trained_ivf, nprobe=1))
+        hi = AcceleratorSimulator(trained_ivf, _config(trained_ivf, nprobe=16))
+        assert lo.run_batch(small_dataset.queries).qps > hi.run_batch(
+            small_dataset.queries
+        ).qps
+
+    def test_bottleneck_is_pipeline_stage(self, trained_ivf, small_dataset):
+        res = AcceleratorSimulator(trained_ivf, _config(trained_ivf)).run_batch(
+            small_dataset.queries
+        )
+        assert res.bottleneck() in res.stage_busy
+
+    def test_open_loop_arrivals_reduce_queueing(self, trained_ivf, small_dataset):
+        """Spaced arrivals should produce lower median latency than a burst."""
+        sim = AcceleratorSimulator(trained_ivf, _config(trained_ivf))
+        burst = sim.run_batch(small_dataset.queries)
+        spaced = sim.run_batch(
+            small_dataset.queries,
+            arrival_us=np.arange(small_dataset.nq) * 1e4,
+        )
+        assert np.median(spaced.latencies_us) <= np.median(burst.latencies_us)
+
+    def test_latency_variance_small_open_loop(self, trained_ivf, small_dataset):
+        """FPGA latency variance comes only from cell-size imbalance; under
+        open-loop arrivals the P95/P50 ratio must stay modest (Fig. 11)."""
+        sim = AcceleratorSimulator(trained_ivf, _config(trained_ivf))
+        res = sim.run_batch(
+            small_dataset.queries, arrival_us=np.arange(small_dataset.nq) * 1e5
+        )
+        assert res.latency_percentile(95) < 4.0 * res.latency_percentile(50)
+
+
+class TestSlowestPE:
+    def test_round_robin_balance(self, trained_ivf):
+        sim = AcceleratorSimulator(trained_ivf, _config(trained_ivf, n_pq_pes=4))
+        sizes = trained_ivf.cell_sizes
+        cells = np.argsort(-sizes)[:8]
+        load = sim._slowest_pe_codes(cells, sizes)
+        total = sizes[cells].sum()
+        assert load >= total / 4  # cannot beat perfect balance
+        assert load <= total  # cannot exceed everything on one PE

@@ -1,0 +1,91 @@
+"""Tests for the tandem-pipeline timing engine."""
+
+import numpy as np
+import pytest
+
+from repro.sim.pipeline import simulate_pipeline
+
+NAMES2 = ("A", "B")
+
+
+class TestRecurrence:
+    def test_single_query_latency_is_sum(self):
+        occ = np.array([[5.0, 3.0]])
+        lat = np.array([[7.0, 4.0]])
+        t = simulate_pipeline(occ, lat, NAMES2, freq_mhz=100.0)
+        assert t.latencies_cycles[0] == 11.0
+
+    def test_throughput_bound_by_slowest_stage(self):
+        """Steady state: one query admitted per max-occupancy cycles (Eq. 3)."""
+        n = 50
+        occ = np.tile([4.0, 10.0], (n, 1))
+        lat = np.tile([4.0, 10.0], (n, 1))
+        t = simulate_pipeline(occ, lat, NAMES2, freq_mhz=1.0)
+        # Makespan ≈ n * 10 for large n.
+        assert t.makespan_cycles == pytest.approx(10.0 * n + 4.0, rel=0.02)
+
+    def test_queries_overlap_across_stages(self):
+        """Two queries in a two-stage pipeline must overlap, not serialize."""
+        occ = np.array([[5.0, 5.0], [5.0, 5.0]])
+        lat = occ.copy()
+        t = simulate_pipeline(occ, lat, NAMES2, freq_mhz=1.0)
+        assert t.makespan_cycles == 15.0  # 20 if serialized
+
+    def test_later_query_waits_for_busy_stage(self):
+        occ = np.array([[10.0, 1.0], [1.0, 1.0]])
+        lat = occ.copy()
+        t = simulate_pipeline(occ, lat, NAMES2, freq_mhz=1.0)
+        # Query 1 cannot enter stage 0 before cycle 10.
+        assert t.enter[1, 0] == 10.0
+
+    def test_latency_can_be_less_than_occupancy(self):
+        """Selection stages: drain latency < consume occupancy is legal."""
+        occ = np.array([[10.0, 20.0]])
+        lat = np.array([[10.0, 2.0]])
+        t = simulate_pipeline(occ, lat, NAMES2, freq_mhz=1.0)
+        assert t.latencies_cycles[0] == 12.0
+
+    def test_arrival_times_respected(self):
+        occ = np.array([[1.0, 1.0], [1.0, 1.0]])
+        lat = occ.copy()
+        t = simulate_pipeline(occ, lat, NAMES2, 1.0, arrival_cycles=np.array([0.0, 100.0]))
+        assert t.enter[1, 0] == 100.0
+
+    def test_qps_and_units(self):
+        occ = np.full((100, 1), 140.0)
+        lat = occ.copy()
+        t = simulate_pipeline(occ, lat, ("S",), freq_mhz=140.0)
+        # One query per 140 cycles at 140 MHz -> 1e6 QPS.
+        assert t.qps == pytest.approx(1e6, rel=0.02)
+        assert t.latencies_us[0] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            simulate_pipeline(np.zeros((2, 2)), np.zeros((2, 3)), NAMES2, 1.0)
+
+    def test_name_count(self):
+        with pytest.raises(ValueError, match="stage names"):
+            simulate_pipeline(np.zeros((2, 2)), np.zeros((2, 2)), ("A",), 1.0)
+
+    def test_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_pipeline(np.full((1, 2), -1.0), np.zeros((1, 2)), NAMES2, 1.0)
+
+    def test_bad_arrivals(self):
+        occ = np.ones((2, 2))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            simulate_pipeline(occ, occ, NAMES2, 1.0, arrival_cycles=np.array([5.0, 1.0]))
+        with pytest.raises(ValueError, match="shape"):
+            simulate_pipeline(occ, occ, NAMES2, 1.0, arrival_cycles=np.array([1.0]))
+
+
+class TestBusyFractions:
+    def test_bottleneck_near_one(self):
+        n = 100
+        occ = np.tile([2.0, 10.0], (n, 1))
+        t = simulate_pipeline(occ, occ, NAMES2, 1.0)
+        busy = t.stage_busy_fraction(occ)
+        assert busy[1] == pytest.approx(1.0, rel=0.05)
+        assert busy[0] == pytest.approx(0.2, rel=0.1)

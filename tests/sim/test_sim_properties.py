@@ -1,0 +1,64 @@
+"""Property tests on the tandem-pipeline recurrence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.pipeline import simulate_pipeline
+
+pos = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+@st.composite
+def pipeline_case(draw):
+    n = draw(st.integers(1, 12))
+    s = draw(st.integers(1, 4))
+    occ = np.array([[draw(pos) for _ in range(s)] for _ in range(n)])
+    lat = occ + np.array([[draw(pos) for _ in range(s)] for _ in range(n)]) * 0.1
+    return occ, lat
+
+
+class TestPipelineProperties:
+    @given(pipeline_case())
+    @settings(max_examples=50, deadline=None)
+    def test_causality(self, case):
+        """A query never leaves a stage before it entered it, and never
+        enters stage s before leaving stage s-1."""
+        occ, lat = case
+        names = tuple(f"S{i}" for i in range(occ.shape[1]))
+        t = simulate_pipeline(occ, lat, names, 1.0)
+        assert (t.leave >= t.enter - 1e-9).all()
+        if occ.shape[1] > 1:
+            assert (t.enter[:, 1:] >= t.leave[:, :-1] - 1e-9).all()
+
+    @given(pipeline_case())
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_order_preserved(self, case):
+        """Queries enter every stage in submission order (in-order pipeline)."""
+        occ, lat = case
+        names = tuple(f"S{i}" for i in range(occ.shape[1]))
+        t = simulate_pipeline(occ, lat, names, 1.0)
+        assert (np.diff(t.enter, axis=0) >= -1e-9).all()
+
+    @given(pipeline_case())
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_lower_bounds(self, case):
+        """Makespan >= every stage's total occupancy, and >= any single
+        query's latency (two classic pipeline bounds)."""
+        occ, lat = case
+        names = tuple(f"S{i}" for i in range(occ.shape[1]))
+        t = simulate_pipeline(occ, lat, names, 1.0)
+        span = t.leave[-1, -1]  # first arrival at 0
+        assert span >= occ.sum(axis=0).max() - 1e-6
+        assert span >= lat.sum(axis=1).max() - 1e-6
+
+    @given(pipeline_case(), st.floats(1.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_frequency_only_rescales_time(self, case, freq):
+        occ, lat = case
+        names = tuple(f"S{i}" for i in range(occ.shape[1]))
+        t1 = simulate_pipeline(occ, lat, names, 1.0)
+        t2 = simulate_pipeline(occ, lat, names, freq)
+        np.testing.assert_allclose(
+            t2.latencies_us * freq, t1.latencies_us, rtol=1e-9
+        )

@@ -1,0 +1,72 @@
+"""Tests for the pipeline Gantt trace utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sim.pipeline import simulate_pipeline
+from repro.sim.trace import busy_intervals, render_gantt
+
+NAMES = ("A", "B")
+
+
+@pytest.fixture()
+def timeline():
+    occ = np.array([[4.0, 8.0], [4.0, 8.0], [4.0, 8.0]])
+    lat = occ.copy()
+    return simulate_pipeline(occ, lat, NAMES, 1.0), occ
+
+
+class TestBusyIntervals:
+    def test_counts(self, timeline):
+        t, occ = timeline
+        ivs = busy_intervals(t, occ)
+        assert len(ivs) == 6  # 3 queries x 2 stages
+
+    def test_durations_match_occupancy(self, timeline):
+        t, occ = timeline
+        for iv in busy_intervals(t, occ):
+            s = NAMES.index(iv.stage)
+            assert iv.duration == occ[iv.query, s]
+
+    def test_zero_occupancy_skipped(self):
+        occ = np.array([[0.0, 5.0]])
+        lat = np.array([[0.0, 5.0]])
+        t = simulate_pipeline(occ, lat, NAMES, 1.0)
+        ivs = busy_intervals(t, occ)
+        assert [iv.stage for iv in ivs] == ["B"]
+
+    def test_shape_mismatch(self, timeline):
+        t, _ = timeline
+        with pytest.raises(ValueError, match="occupancy shape"):
+            busy_intervals(t, np.zeros((1, 2)))
+
+
+class TestGantt:
+    def test_renders_all_stages(self, timeline):
+        t, occ = timeline
+        art = render_gantt(t, occ, width=40)
+        assert "A |" in art and "B |" in art
+
+    def test_bottleneck_denser_than_starved(self, timeline):
+        t, occ = timeline
+        art = render_gantt(t, occ, width=40)
+        row_a = next(l for l in art.splitlines() if l.startswith("A"))
+        row_b = next(l for l in art.splitlines() if l.startswith("B"))
+        assert row_b.count(".") < row_a.count(".")  # B is the bottleneck
+
+    def test_empty(self):
+        occ = np.zeros((1, 2))
+        t = simulate_pipeline(occ, occ, NAMES, 1.0)
+        assert render_gantt(t, occ) == "(empty timeline)"
+
+    def test_accelerator_integration(self, trained_ivf, small_dataset):
+        from repro.core.config import AcceleratorConfig, AlgorithmParams
+        from repro.sim.accelerator import AcceleratorSimulator
+
+        params = AlgorithmParams(
+            d=32, nlist=trained_ivf.nlist, nprobe=4, k=5, m=4, ksub=64
+        )
+        cfg = AcceleratorConfig(params=params, n_ivf_pes=2, n_lut_pes=2, n_pq_pes=4)
+        res = AcceleratorSimulator(trained_ivf, cfg).run_batch(small_dataset.queries[:6])
+        art = render_gantt(res.timeline, res.occupancy, width=60)
+        assert "PQDist" in art and "BuildLUT" in art
