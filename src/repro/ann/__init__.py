@@ -7,7 +7,9 @@ Implements every algorithmic piece the paper depends on, in vectorized NumPy:
 - :mod:`repro.ann.pq` — product quantization (encode, decode, ADC lookup).
 - :mod:`repro.ann.opq` — optimized product quantization (learned rotation).
 - :mod:`repro.ann.flat` — exact brute-force search (ground truth oracle).
-- :mod:`repro.ann.ivf` — the IVF-PQ index (train / add / search).
+- :mod:`repro.ann.invlists` — packed CSR inverted-list storage (contiguous
+  code/id slabs, zero-copy sharding) — the layout the accelerator streams.
+- :mod:`repro.ann.ivf` — the IVF-PQ index (train / add / batched search).
 - :mod:`repro.ann.stages` — the six query-time search stages, individually
   callable and instrumented (the unit the hardware accelerates).
 - :mod:`repro.ann.recall` — recall@K evaluation.
@@ -15,7 +17,8 @@ Implements every algorithmic piece the paper depends on, in vectorized NumPy:
 
 from repro.ann.flat import FlatIndex, brute_force_topk
 from repro.ann.graph import NSWGraphIndex
-from repro.ann.io import load_index, save_index
+from repro.ann.invlists import InvListBuilder, PackedInvLists
+from repro.ann.io import load_index, load_index_dir, save_index, save_index_dir
 from repro.ann.ivf import IVFPQIndex
 from repro.ann.kmeans import KMeans, kmeans_fit
 from repro.ann.opq import OPQTransform
@@ -26,15 +29,19 @@ from repro.ann.stages import SearchStageTrace, StagedSearcher
 __all__ = [
     "FlatIndex",
     "IVFPQIndex",
+    "InvListBuilder",
     "KMeans",
     "NSWGraphIndex",
     "OPQTransform",
+    "PackedInvLists",
     "ProductQuantizer",
     "SearchStageTrace",
     "StagedSearcher",
     "brute_force_topk",
     "kmeans_fit",
     "load_index",
+    "load_index_dir",
     "recall_at_k",
     "save_index",
+    "save_index_dir",
 ]

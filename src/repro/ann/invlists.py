@@ -1,0 +1,237 @@
+"""Packed CSR inverted-list storage — the layout the accelerator streams.
+
+The paper's Stage PQDist is fast *because* each probed cell is one contiguous
+slab of PQ codes streamed from HBM (Figure 5: one memory channel per PE).
+Faiss mirrors that on CPUs with flat, contiguous invlists.  This module gives
+the software reproduction the same layout:
+
+- ``codes``  — one ``(N, m) uint8`` array holding every PQ code;
+- ``ids``    — one ``(N,) int64`` array of vector ids, aligned with ``codes``;
+- per-cell ``[start, end)`` ranges into both (for a freshly packed index the
+  ranges are a classic CSR ``offsets (nlist+1,)`` prefix-sum).
+
+Keeping the ranges explicit (rather than only the prefix sum) lets a shard be
+a *zero-copy view* over its parent's arrays: :meth:`PackedInvLists.shard`
+splits every cell's slab contiguously and shares the backing memory, which is
+the multi-accelerator partitioning of Figure 1 without moving a byte.
+
+:class:`InvListBuilder` buffers ``add()`` batches as O(1) list appends and
+packs them in one stable sort, so incremental insertion never degenerates
+into the O(nlist) per-call ``vstack`` of the naive list-of-arrays layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["InvListBuilder", "PackedInvLists"]
+
+
+@dataclass
+class PackedInvLists:
+    """Contiguous (or zero-copy sliced) inverted lists for ``nlist`` cells.
+
+    ``codes``/``ids`` may be larger than this object's own contents when the
+    instance is a shard view into a parent index — always go through
+    :meth:`cell_codes` / :meth:`all_codes` instead of the raw arrays.
+    Arrays may be ``np.memmap`` instances (see :mod:`repro.ann.io`).
+    """
+
+    m: int
+    codes: np.ndarray = field(repr=False)  # (N_backing, m) uint8
+    ids: np.ndarray = field(repr=False)  # (N_backing,) int64
+    starts: np.ndarray = field(repr=False)  # (nlist,) int64
+    ends: np.ndarray = field(repr=False)  # (nlist,) int64
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, nlist: int, m: int) -> "PackedInvLists":
+        zeros = np.zeros(nlist, dtype=np.int64)
+        return cls(
+            m=m,
+            codes=np.empty((0, m), dtype=np.uint8),
+            ids=np.empty(0, dtype=np.int64),
+            starts=zeros,
+            ends=zeros.copy(),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, codes: np.ndarray, ids: np.ndarray, offsets: np.ndarray
+    ) -> "PackedInvLists":
+        """Wrap pre-packed CSR arrays (``offsets`` is the (nlist+1,) prefix sum)."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if codes.ndim != 2:
+            raise ValueError(f"codes must be (N, m), got shape {codes.shape}")
+        if offsets[0] != 0 or offsets[-1] != codes.shape[0] or len(ids) != codes.shape[0]:
+            raise ValueError("offsets inconsistent with codes/ids lengths")
+        if not np.all(np.diff(offsets) >= 0):
+            raise ValueError("offsets must be non-decreasing")
+        return cls(
+            m=codes.shape[1], codes=codes, ids=ids,
+            starts=offsets[:-1], ends=offsets[1:],
+        )
+
+    @classmethod
+    def from_cells(
+        cls, cell_codes: list[np.ndarray], cell_ids: list[np.ndarray], m: int
+    ) -> "PackedInvLists":
+        """Pack a legacy list-of-arrays layout (one array pair per cell)."""
+        sizes = np.array([len(i) for i in cell_ids], dtype=np.int64)
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        if offsets[-1] == 0:
+            return cls.empty(len(sizes), m)
+        codes = np.ascontiguousarray(np.vstack(cell_codes), dtype=np.uint8)
+        ids = np.concatenate(cell_ids).astype(np.int64, copy=False)
+        return cls.from_arrays(codes, ids, offsets)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nlist(self) -> int:
+        return len(self.starts)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self.ends - self.starts
+
+    @property
+    def ntotal(self) -> int:
+        return int(self.sizes.sum())
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when cells tile the backing arrays exactly (no shard gaps)."""
+        return bool(
+            self.starts[0] == 0
+            and self.ends[-1] == len(self.ids)
+            and np.array_equal(self.starts[1:], self.ends[:-1])
+        )
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """CSR prefix sum over *this object's* cell sizes (shape (nlist+1,))."""
+        out = np.zeros(self.nlist + 1, dtype=np.int64)
+        np.cumsum(self.sizes, out=out[1:])
+        return out
+
+    def memory_bytes(self) -> int:
+        """Bytes of codes + ids actually owned by these lists."""
+        n = self.ntotal
+        return n * self.m + n * self.ids.dtype.itemsize
+
+    # ------------------------------------------------------------------ #
+    def cell_codes(self, cell: int) -> np.ndarray:
+        """Zero-copy view of one cell's (size, m) code slab."""
+        return self.codes[self.starts[cell] : self.ends[cell]]
+
+    def cell_ids(self, cell: int) -> np.ndarray:
+        """Zero-copy view of one cell's (size,) id slab."""
+        return self.ids[self.starts[cell] : self.ends[cell]]
+
+    def cell_codes_list(self) -> list[np.ndarray]:
+        return [self.cell_codes(c) for c in range(self.nlist)]
+
+    def cell_ids_list(self) -> list[np.ndarray]:
+        return [self.cell_ids(c) for c in range(self.nlist)]
+
+    def element_cells(self) -> np.ndarray:
+        """Cell index of every element, aligned with :meth:`all_ids`."""
+        return np.repeat(np.arange(self.nlist, dtype=np.int64), self.sizes)
+
+    def all_codes(self) -> np.ndarray:
+        """All codes in cell order — a view when contiguous, else a copy."""
+        if self.is_contiguous:
+            return self.codes
+        return np.vstack(self.cell_codes_list()) if self.ntotal else np.empty(
+            (0, self.m), dtype=np.uint8
+        )
+
+    def all_ids(self) -> np.ndarray:
+        """All ids in cell order — a view when contiguous, else a copy."""
+        if self.is_contiguous:
+            return self.ids
+        return np.concatenate(self.cell_ids_list()) if self.ntotal else np.empty(
+            0, dtype=np.int64
+        )
+
+    def packed(self) -> "PackedInvLists":
+        """A fully contiguous copy (self when already contiguous)."""
+        if self.is_contiguous:
+            return self
+        return PackedInvLists.from_arrays(self.all_codes(), self.all_ids(), self.offsets)
+
+    # ------------------------------------------------------------------ #
+    def shard(self, part: int, n_parts: int) -> "PackedInvLists":
+        """Zero-copy shard: a contiguous 1/n_parts slice of every cell's slab.
+
+        Shards share the parent's ``codes``/``ids`` memory; each cell of size
+        ``s`` contributes ``floor(s*(part+1)/n) - floor(s*part/n)`` elements,
+        so shard totals differ by at most ``nlist`` — the balanced
+        multi-accelerator layout of §7.3.2.
+        """
+        if not 0 <= part < n_parts:
+            raise ValueError(f"part {part} outside [0, {n_parts})")
+        sizes = self.sizes
+        lo = self.starts + (sizes * part) // n_parts
+        hi = self.starts + (sizes * (part + 1)) // n_parts
+        return PackedInvLists(m=self.m, codes=self.codes, ids=self.ids, starts=lo, ends=hi)
+
+
+class InvListBuilder:
+    """Accumulates (cell assignment, codes, ids) batches; packs on demand.
+
+    ``append`` is O(batch); :meth:`build` performs one stable argsort over
+    everything pending (optionally preceded by an existing packed base), so
+    per-cell insertion order — base first, then batches in append order — is
+    preserved exactly.
+    """
+
+    def __init__(self, nlist: int, m: int):
+        self.nlist = nlist
+        self.m = m
+        self._assign: list[np.ndarray] = []
+        self._codes: list[np.ndarray] = []
+        self._ids: list[np.ndarray] = []
+        self._n = 0
+
+    @property
+    def n_pending(self) -> int:
+        return self._n
+
+    def append(self, assign: np.ndarray, codes: np.ndarray, ids: np.ndarray) -> None:
+        assign = np.asarray(assign, dtype=np.int64)
+        codes = np.asarray(codes, dtype=np.uint8)
+        ids = np.asarray(ids, dtype=np.int64)
+        if not (len(assign) == codes.shape[0] == len(ids)):
+            raise ValueError("assign/codes/ids length mismatch")
+        if codes.shape[1] != self.m:
+            raise ValueError(f"expected {self.m} code bytes, got {codes.shape[1]}")
+        if len(assign) and (assign.min() < 0 or assign.max() >= self.nlist):
+            raise ValueError("cell assignment outside [0, nlist)")
+        self._assign.append(assign)
+        self._codes.append(codes)
+        self._ids.append(ids)
+        self._n += len(assign)
+
+    def build(self, base: PackedInvLists | None = None) -> PackedInvLists:
+        """Pack base + pending batches into one contiguous CSR layout."""
+        assign, codes, ids = list(self._assign), list(self._codes), list(self._ids)
+        if base is not None and base.ntotal:
+            assign.insert(0, base.element_cells())
+            codes.insert(0, base.all_codes())
+            ids.insert(0, base.all_ids())
+        if not assign:
+            return base if base is not None else PackedInvLists.empty(self.nlist, self.m)
+        cat_assign = np.concatenate(assign)
+        cat_codes = np.vstack(codes)
+        cat_ids = np.concatenate(ids)
+        order = np.argsort(cat_assign, kind="stable")
+        counts = np.bincount(cat_assign, minlength=self.nlist)
+        offsets = np.zeros(self.nlist + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return PackedInvLists.from_arrays(
+            np.ascontiguousarray(cat_codes[order]), cat_ids[order], offsets
+        )

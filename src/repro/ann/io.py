@@ -1,31 +1,39 @@
-"""Index persistence: save/load trained IVF-PQ indexes to ``.npz``.
+"""Index persistence: save/load trained IVF-PQ indexes, with memory-mapping.
 
 Production deployments (§4) snapshot indexes: the accelerator generation
 flow trains once (hours at paper scale, Table 3) and reuses the artifacts
-across recall goals and redeployments.  The format is a flat ``np.savez``
-archive — portable, mmap-friendly, dependency-free.
+across recall goals and redeployments.  Two formats are supported, both
+storing the packed CSR invlists (codes ``(N, m) uint8``, ids ``(N,) int64``,
+offsets ``(nlist+1,)``) exactly as laid out in memory:
+
+- a single compressed ``.npz`` archive (:func:`save_index` /
+  :func:`load_index`) — portable, dependency-free;
+- a directory of raw ``.npy`` arrays (:func:`save_index_dir` /
+  :func:`load_index_dir`) whose code/id arrays can be **memory-mapped**, so
+  a paper-scale index opens in milliseconds and pages slabs in on demand —
+  the serving analogue of the accelerator streaming invlists from HBM.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
 
+from repro.ann.invlists import PackedInvLists
 from repro.ann.ivf import IVFPQIndex
 from repro.ann.opq import OPQTransform
 from repro.ann.pq import ProductQuantizer
 
-__all__ = ["load_index", "save_index"]
+__all__ = ["load_index", "load_index_dir", "save_index", "save_index_dir"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+_INVLIST_KEYS = ("codes", "ids", "offsets")
 
 
-def save_index(index: IVFPQIndex, path: str | Path) -> Path:
-    """Serialize a trained (optionally populated) index to ``path``."""
-    if not index.is_trained:
-        raise ValueError("cannot save an untrained index")
-    path = Path(path)
+def _meta_payload(index: IVFPQIndex) -> dict[str, np.ndarray]:
     payload: dict[str, np.ndarray] = {
         "format_version": np.array(_FORMAT_VERSION),
         "d": np.array(index.d),
@@ -40,42 +48,120 @@ def save_index(index: IVFPQIndex, path: str | Path) -> Path:
     }
     if index.opq is not None:
         payload["opq_rotation"] = index.opq.rotation
-    for cell in range(index.nlist):
-        payload[f"codes_{cell}"] = index.cell_codes[cell]
-        payload[f"ids_{cell}"] = index.cell_ids[cell]
+    return payload
+
+
+def _invlist_payload(index: IVFPQIndex) -> dict[str, np.ndarray]:
+    lists = index.invlists
+    return {
+        "codes": np.ascontiguousarray(lists.all_codes()),
+        "ids": np.ascontiguousarray(lists.all_ids()),
+        "offsets": lists.offsets,
+    }
+
+
+def _index_from_meta(data) -> IVFPQIndex:
+    version = int(data["format_version"])
+    if version not in (1, _FORMAT_VERSION):
+        raise ValueError(f"unsupported index format version {version}")
+    d = int(data["d"])
+    m = int(data["m"])
+    ksub = int(data["ksub"])
+    index = IVFPQIndex(
+        d=d,
+        nlist=int(data["nlist"]),
+        m=m,
+        ksub=ksub,
+        use_opq=bool(data["use_opq"]),
+        by_residual=bool(data["by_residual"]),
+        seed=int(data["seed"]),
+    )
+    index.centroids = data["centroids"]
+    pq = ProductQuantizer(d=d, m=m, ksub=ksub, seed=index.seed)
+    pq.codebooks = data["codebooks"]
+    index.pq = pq
+    if "opq_rotation" in data:
+        opq = OPQTransform(d=d, m=m, ksub=ksub, seed=index.seed)
+        opq.rotation = data["opq_rotation"]
+        opq.pq = pq
+        index.opq = opq
+    return index
+
+
+def save_index(index: IVFPQIndex, path: str | Path) -> Path:
+    """Serialize a trained (optionally populated) index to one ``.npz``."""
+    if not index.is_trained:
+        raise ValueError("cannot save an untrained index")
+    path = Path(path)
+    payload = _meta_payload(index)
+    payload.update(_invlist_payload(index))
     np.savez_compressed(path, **payload)
     # np.savez appends .npz when missing; report the real file.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
 def load_index(path: str | Path) -> IVFPQIndex:
-    """Reconstruct an index saved by :func:`save_index`."""
+    """Reconstruct an index saved by :func:`save_index`.
+
+    Also reads legacy version-1 archives (one ``codes_<cell>``/``ids_<cell>``
+    pair per inverted list), packing them into the CSR layout on load — old
+    snapshots keep working without retraining.
+    """
     with np.load(Path(path)) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported index format version {version}")
-        d = int(data["d"])
-        nlist = int(data["nlist"])
-        m = int(data["m"])
-        ksub = int(data["ksub"])
-        index = IVFPQIndex(
-            d=d,
-            nlist=nlist,
-            m=m,
-            ksub=ksub,
-            use_opq=bool(data["use_opq"]),
-            by_residual=bool(data["by_residual"]),
-            seed=int(data["seed"]),
-        )
-        index.centroids = data["centroids"]
-        pq = ProductQuantizer(d=d, m=m, ksub=ksub, seed=index.seed)
-        pq.codebooks = data["codebooks"]
-        index.pq = pq
-        if "opq_rotation" in data:
-            opq = OPQTransform(d=d, m=m, ksub=ksub, seed=index.seed)
-            opq.rotation = data["opq_rotation"]
-            opq.pq = pq
-            index.opq = opq
-        index.cell_codes = [data[f"codes_{c}"] for c in range(nlist)]
-        index.cell_ids = [data[f"ids_{c}"] for c in range(nlist)]
+        index = _index_from_meta(data)
+        if int(data["format_version"]) == 1:
+            index._invlists = PackedInvLists.from_cells(
+                [data[f"codes_{c}"] for c in range(index.nlist)],
+                [data[f"ids_{c}"] for c in range(index.nlist)],
+                m=index.m,
+            )
+        else:
+            index._invlists = PackedInvLists.from_arrays(
+                data["codes"], data["ids"], data["offsets"]
+            )
+    return index
+
+
+def save_index_dir(index: IVFPQIndex, path: str | Path) -> Path:
+    """Serialize to a directory of raw ``.npy`` arrays (mmap-friendly).
+
+    Layout: ``meta.npz`` (quantizers + hyperparameters) plus one ``.npy``
+    per packed invlist array, written uncompressed so :func:`load_index_dir`
+    can memory-map them.
+    """
+    if not index.is_trained:
+        raise ValueError("cannot save an untrained index")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    # Write-to-temp then atomic rename: the target may be the very directory
+    # this index was mmap-loaded from, and truncating a .npy that backs a
+    # live memmap would corrupt both the source arrays and the snapshot.
+    def _write(name: str, writer) -> None:
+        tmp = path / (name + ".tmp")
+        with open(tmp, "wb") as f:
+            writer(f)
+        os.replace(tmp, path / name)
+
+    meta = _meta_payload(index)
+    _write("meta.npz", lambda f: np.savez(f, **meta))
+    for key, arr in _invlist_payload(index).items():
+        _write(f"{key}.npy", lambda f, a=arr: np.save(f, a))
+    return path
+
+
+def load_index_dir(path: str | Path, *, mmap: bool = True) -> IVFPQIndex:
+    """Load an index saved by :func:`save_index_dir`.
+
+    With ``mmap=True`` (default) the packed code/id arrays are opened
+    read-only as ``np.memmap`` — searches page in only the probed slabs, so
+    cold-start cost is independent of index size.
+    """
+    path = Path(path)
+    with np.load(path / "meta.npz") as data:
+        index = _index_from_meta(data)
+    mode = "r" if mmap else None
+    arrays = {key: np.load(path / f"{key}.npy", mmap_mode=mode) for key in _INVLIST_KEYS}
+    index._invlists = PackedInvLists.from_arrays(
+        arrays["codes"], arrays["ids"], np.asarray(arrays["offsets"], dtype=np.int64)
+    )
     return index

@@ -8,6 +8,14 @@ asymmetric distance computation (ADC) against a per-cell lookup table.
 The implementation mirrors Faiss ``IndexIVFPQ`` semantics (residual encoding
 by default, optional OPQ pre-transform) while keeping each of the paper's six
 search stages a separately callable function (see :mod:`repro.ann.stages`).
+
+Storage is the packed CSR layout of :mod:`repro.ann.invlists` — one
+contiguous ``(N, m) uint8`` code array, one ``(N,) int64`` id array, per-cell
+offsets — the same contiguous-slab layout the paper's accelerator streams
+from HBM.  On top of it, :meth:`IVFPQIndex.search` runs a *batched* query
+engine: Stage BuildLUT / Stage PQDist / Stage SelK are evaluated across the
+whole query batch, grouping queries by probed cell so every cell slab is
+scanned with one vectorized ADC instead of a Python loop per query×cell.
 """
 
 from __future__ import annotations
@@ -17,11 +25,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ann.distances import l2_sq_blocked, topk_smallest
+from repro.ann.invlists import InvListBuilder, PackedInvLists
 from repro.ann.kmeans import kmeans_fit
 from repro.ann.opq import OPQTransform
 from repro.ann.pq import ProductQuantizer
 
 __all__ = ["IVFPQIndex", "IVFStats"]
+
+#: Cap (in gathered elements) for one vectorized ADC temporary: groups of
+#: queries probing the same cell are chunked so the (group, cell_size, m)
+#: gather stays within ~64 MB of float32.
+_ADC_CHUNK_ELEMS = 1 << 24
+
+#: Cap (in float32 elements) for one batch's LUT tensor: search() splits the
+#: query batch so the (queries, nprobe, m, ksub) tables stay within ~64 MB,
+#: instead of materializing every table for an arbitrarily large batch.
+_LUT_BATCH_ELEMS = 1 << 24
 
 
 @dataclass
@@ -39,7 +58,7 @@ class IVFStats:
 
 @dataclass
 class IVFPQIndex:
-    """IVF-PQ index with optional OPQ rotation.
+    """IVF-PQ index with optional OPQ rotation over packed CSR invlists.
 
     Parameters
     ----------
@@ -62,8 +81,9 @@ class IVFPQIndex:
     centroids: np.ndarray | None = field(default=None, repr=False)
     pq: ProductQuantizer | None = field(default=None, repr=False)
     opq: OPQTransform | None = field(default=None, repr=False)
-    cell_codes: list[np.ndarray] = field(default_factory=list, repr=False)
-    cell_ids: list[np.ndarray] = field(default_factory=list, repr=False)
+    #: Packed storage; ``_pending`` buffers add() batches until next access.
+    _invlists: PackedInvLists | None = field(default=None, repr=False)
+    _pending: InvListBuilder | None = field(default=None, repr=False)
     stats: IVFStats = field(default_factory=IVFStats, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -72,12 +92,38 @@ class IVFPQIndex:
         return self.centroids is not None and self.pq is not None
 
     @property
+    def invlists(self) -> PackedInvLists:
+        """The packed inverted lists, flushing any buffered ``add()`` batches."""
+        if self._invlists is None:
+            raise RuntimeError("IVFPQIndex used before train()")
+        if self._pending is not None and self._pending.n_pending:
+            self._invlists = self._pending.build(base=self._invlists)
+            self._pending = None
+        return self._invlists
+
+    @property
     def ntotal(self) -> int:
-        return int(sum(len(ids) for ids in self.cell_ids))
+        stored = self._invlists.ntotal if self._invlists is not None else 0
+        pending = self._pending.n_pending if self._pending is not None else 0
+        return stored + pending
 
     @property
     def cell_sizes(self) -> np.ndarray:
-        return np.array([len(ids) for ids in self.cell_ids], dtype=np.int64)
+        return self.invlists.sizes
+
+    @property
+    def cell_codes(self) -> list[np.ndarray]:
+        """Per-cell code views (zero-copy compatibility accessor)."""
+        if self._invlists is None:
+            return []
+        return self.invlists.cell_codes_list()
+
+    @property
+    def cell_ids(self) -> list[np.ndarray]:
+        """Per-cell id views (zero-copy compatibility accessor)."""
+        if self._invlists is None:
+            return []
+        return self.invlists.cell_ids_list()
 
     def _require_trained(self) -> tuple[np.ndarray, ProductQuantizer]:
         if self.centroids is None or self.pq is None:
@@ -118,12 +164,17 @@ class IVFPQIndex:
         pq_input = xt - self.centroids[assign] if self.by_residual else xt
         self.pq = ProductQuantizer(self.d, self.m, self.ksub, seed=self.seed)
         self.pq.train(pq_input)
-        self.cell_codes = [np.empty((0, self.m), dtype=np.uint8) for _ in range(self.nlist)]
-        self.cell_ids = [np.empty(0, dtype=np.int64) for _ in range(self.nlist)]
+        self._invlists = PackedInvLists.empty(self.nlist, self.m)
+        self._pending = None
         return self
 
     def add(self, x: np.ndarray, ids: np.ndarray | None = None) -> "IVFPQIndex":
-        """Assign vectors to cells and append their PQ codes."""
+        """Assign vectors to cells and buffer their PQ codes (O(batch)).
+
+        Batches are packed lazily on the next invlist access, so repeated
+        ``add()`` calls never pay the O(nlist) per-call re-allocation of a
+        list-of-arrays layout.
+        """
         centroids, pq = self._require_trained()
         xt = self._transform(x)
         n = xt.shape[0]
@@ -136,16 +187,9 @@ class IVFPQIndex:
         assign = np.argmin(l2_sq_blocked(xt, centroids), axis=1)
         encode_input = xt - centroids[assign] if self.by_residual else xt
         codes = pq.encode(encode_input)
-        order = np.argsort(assign, kind="stable")
-        sorted_assign = assign[order]
-        boundaries = np.searchsorted(sorted_assign, np.arange(self.nlist + 1))
-        for cell in range(self.nlist):
-            lo, hi = boundaries[cell], boundaries[cell + 1]
-            if lo == hi:
-                continue
-            sel = order[lo:hi]
-            self.cell_codes[cell] = np.vstack([self.cell_codes[cell], codes[sel]])
-            self.cell_ids[cell] = np.concatenate([self.cell_ids[cell], ids[sel]])
+        if self._pending is None:
+            self._pending = InvListBuilder(self.nlist, self.m)
+        self._pending.append(assign, codes, ids)
         return self
 
     # ------------------------------------------------------------------ #
@@ -188,14 +232,15 @@ class IVFPQIndex:
         Returns (distances, ids) concatenated across the probed cells.
         """
         _, pq = self._require_trained()
+        lists = self.invlists
         dists: list[np.ndarray] = []
         ids: list[np.ndarray] = []
         for lut, cell in zip(luts, cells):
-            codes = self.cell_codes[cell]
+            codes = lists.cell_codes(cell)
             if codes.shape[0] == 0:
                 continue
             dists.append(pq.adc(lut, codes))
-            ids.append(self.cell_ids[cell])
+            ids.append(lists.cell_ids(cell))
         if not dists:
             return np.empty(0, dtype=np.float32), np.empty(0, dtype=np.int64)
         return np.concatenate(dists), np.concatenate(ids)
@@ -219,28 +264,174 @@ class IVFPQIndex:
         return out_ids, vals
 
     # ------------------------------------------------------------------ #
+    # Batched stages: same arithmetic as the per-query stages, evaluated
+    # across a whole query batch (the packed-CSR query engine).
+    def stage_build_luts_batch(
+        self, queries_t: np.ndarray, probed: np.ndarray
+    ) -> np.ndarray:
+        """Stage BuildLUT for a batch: (nq, nprobe, m, ksub) tables.
+
+        Without residual encoding the per-cell axis is a broadcast view (one
+        table per query), so no memory is spent on the nprobe dimension.
+        """
+        centroids, pq = self._require_trained()
+        nq, nprobe = probed.shape
+        if self.by_residual:
+            residuals = queries_t[:, None, :] - centroids[probed]  # (nq, nprobe, d)
+            luts = pq.build_luts(residuals.reshape(nq * nprobe, self.d))
+            return luts.reshape(nq, nprobe, self.m, self.ksub)
+        luts = pq.build_luts(queries_t)  # (nq, m, ksub)
+        return np.broadcast_to(luts[:, None], (nq, nprobe, self.m, self.ksub))
+
+    def stage_pq_dist_batch(
+        self, luts: np.ndarray, probed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stage PQDist for a batch, grouped by probed cell.
+
+        Queries probing the same cell share one vectorized ADC over that
+        cell's contiguous code slab — the software analogue of the
+        accelerator streaming each slab once from HBM — instead of a Python
+        loop per query×cell.  Returns flat ``(dists, ids, bounds)`` where
+        ``bounds`` is an (nq+1,) prefix sum and query ``q``'s candidates
+        occupy ``[bounds[q], bounds[q+1])`` in probe order (identical
+        ordering to the per-query stages).
+        """
+        lists = self.invlists
+        nq, nprobe = probed.shape
+        sizes = lists.sizes
+        pair_sizes = sizes[probed]  # (nq, nprobe)
+        bounds = np.zeros(nq + 1, dtype=np.int64)
+        np.cumsum(pair_sizes.sum(axis=1), out=bounds[1:])
+        total = int(bounds[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.float32), np.empty(0, dtype=np.int64), bounds
+        out_d = np.empty(total, dtype=np.float32)
+        counts = pair_sizes.ravel()
+        flat_cells = probed.ravel()
+        # Start of each (query, probe-slot) pair's candidate run in the flat
+        # query-major output (the global exclusive prefix sum of counts).
+        run_starts = np.cumsum(counts) - counts
+        # Candidate ids resolve with one flat gather over the packed array:
+        # candidate e of pair p is packed element starts[cell_p] + offset.
+        elem = np.repeat(lists.starts[flat_cells] - run_starts, counts) + np.arange(total)
+        out_i = np.asarray(lists.ids)[elem]
+        # Group (query, cell) pairs by cell: one vectorized ADC per slab.
+        order = np.argsort(flat_cells, kind="stable")
+        sorted_cells = flat_cells[order]
+        group_bounds = np.flatnonzero(
+            np.r_[True, sorted_cells[1:] != sorted_cells[:-1], True]
+        )
+        qs_all, slots_all = order // nprobe, order % nprobe
+        counts_sorted = counts[order]
+        cm_starts = np.cumsum(counts_sorted) - counts_sorted
+        d_cm = np.empty(total, dtype=np.float32)  # distances, cell-major
+        # Flattened per-cell gather indices into each (m, ksub) table
+        # (j*ksub + code), cached per invlist snapshot: any add() flush
+        # produces a new PackedInvLists object, which invalidates the cache.
+        # Stored at the narrowest dtype that can address m*ksub so the cache
+        # stays within ~2x of the uint8 code store even when every cell of a
+        # memory-mapped index has been probed.
+        cache = getattr(self, "_gather_cache", None)
+        if cache is None or cache[0] is not lists:
+            cache = (lists, {})
+            self._gather_cache = cache
+        gather_per_cell = cache[1]
+        gather_dtype = np.uint16 if self.m * self.ksub <= 1 << 16 else np.int32
+        jj = np.arange(self.m)[None, :]
+        for g0, g1 in zip(group_bounds[:-1], group_bounds[1:]):
+            cell = int(sorted_cells[g0])
+            nc = int(sizes[cell])
+            if nc == 0:
+                continue
+            gather = gather_per_cell.get(cell)
+            if gather is None:
+                # np.take over these keeps the gather C-contiguous, so the
+                # float32 reduction order matches per-query pq.adc() bit
+                # for bit.
+                gather = (
+                    (jj * self.ksub + lists.cell_codes(cell)).ravel().astype(gather_dtype)
+                )
+                gather_per_cell[cell] = gather
+            c0 = cm_starts[g0]
+            chunk = max(1, _ADC_CHUNK_ELEMS // (nc * self.m))
+            for s in range(g0, g1, chunk):
+                e = min(s + chunk, g1)
+                lut_g = luts[qs_all[s:e], slots_all[s:e]]
+                flat = lut_g.reshape(lut_g.shape[0], self.m * self.ksub)
+                d_g = np.take(flat, gather, axis=1).reshape(-1, nc, self.m).sum(axis=2)
+                n_out = d_g.size
+                d_cm[c0 : c0 + n_out] = d_g.ravel()
+                c0 += n_out
+        # One global scatter from cell-major back to query-major probe order.
+        out_d[
+            np.repeat(run_starts[order] - cm_starts, counts_sorted) + np.arange(total)
+        ] = d_cm
+        return out_d, out_i, bounds
+
+    def stage_select_k_batch(
+        self, dists: np.ndarray, ids: np.ndarray, bounds: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stage SelK for a batch over the flat candidate layout."""
+        nq = len(bounds) - 1
+        out_ids = np.empty((nq, k), dtype=np.int64)
+        out_dists = np.empty((nq, k), dtype=np.float32)
+        for qi in range(nq):
+            lo, hi = bounds[qi], bounds[qi + 1]
+            out_ids[qi], out_dists[qi] = self.stage_select_k(dists[lo:hi], ids[lo:hi], k)
+        return out_ids, out_dists
+
+    # ------------------------------------------------------------------ #
     def search(
         self, queries: np.ndarray, k: int, nprobe: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Full six-stage search.  Returns (ids (q, k), distances (q, k))."""
+        """Full six-stage batched search.  Returns (ids (q, k), distances (q, k)).
+
+        Large batches are processed in blocks sized so the per-block LUT
+        tensor stays bounded (:data:`_LUT_BATCH_ELEMS`); results are
+        independent per query, so blocking never changes them.
+        """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries_t = self.stage_opq(queries)
         cell_dists = self.stage_ivf_dist(queries_t)
         probed = self.stage_select_cells(cell_dists, nprobe)
+        out_ids, out_dists, codes_scanned = self.search_preselected(queries_t, probed, k)
         nq = queries_t.shape[0]
-        out_ids = np.empty((nq, k), dtype=np.int64)
-        out_dists = np.empty((nq, k), dtype=np.float32)
-        sizes = self.cell_sizes
-        for qi in range(nq):
-            cells = probed[qi]
-            luts = self.stage_build_luts(queries_t[qi], cells)
-            dists, ids = self.stage_pq_dist(luts, cells)
-            out_ids[qi], out_dists[qi] = self.stage_select_k(dists, ids, k)
-            self.stats.codes_scanned += int(sizes[cells].sum())
         self.stats.n_queries += nq
         self.stats.cells_scanned += nq * nprobe
+        self.stats.codes_scanned += codes_scanned
         return out_ids, out_dists
+
+    def lut_block_queries(self, nprobe: int) -> int:
+        """Queries per block such that one block's LUT tensor stays bounded
+        (:data:`_LUT_BATCH_ELEMS`) — shared by every batched engine caller."""
+        return max(1, _LUT_BATCH_ELEMS // (nprobe * self.m * self.ksub))
+
+    def search_preselected(
+        self, queries_t: np.ndarray, probed: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Fused BuildLUT + PQDist + SelK over precomputed probed cells.
+
+        The batch is processed in blocks sized so the per-block LUT tensor
+        stays bounded (:data:`_LUT_BATCH_ELEMS`); results are independent
+        per query, so blocking never changes them.  Returns
+        ``(ids (q, k), dists (q, k), codes_scanned)``; stats are left to
+        the caller.
+        """
+        nq, nprobe = probed.shape
+        block = self.lut_block_queries(nprobe)
+        out_ids = np.empty((nq, k), dtype=np.int64)
+        out_dists = np.empty((nq, k), dtype=np.float32)
+        codes_scanned = 0
+        for s in range(0, nq, block):
+            sub = probed[s : s + block]
+            luts = self.stage_build_luts_batch(queries_t[s : s + block], sub)
+            dists_f, ids_f, bounds = self.stage_pq_dist_batch(luts, sub)
+            out_ids[s : s + block], out_dists[s : s + block] = self.stage_select_k_batch(
+                dists_f, ids_f, bounds, k
+            )
+            codes_scanned += int(bounds[-1])
+        return out_ids, out_dists, codes_scanned
 
     # ------------------------------------------------------------------ #
     def expected_scan_fraction(self, nprobe: int) -> float:
@@ -271,35 +462,47 @@ class IVFPQIndex:
         Decodes the PQ codes, re-adds the cell centroid (residual encoding),
         and applies the inverse OPQ rotation.  The L2 error is the index's
         quantization error — useful for re-ranking and debugging.
+
+        Lookup is fully vectorized: a sorted-id permutation is cached per
+        packed-lists snapshot (any ``add()`` produces a new snapshot, so the
+        cache can never serve stale positions — ids need not be contiguous
+        or dense).
         """
         _, pq = self._require_trained()
+        lists = self.invlists
         ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
-        out = np.empty((len(ids), self.d), dtype=np.float32)
-        # Lazy id -> (cell, slot) map; rebuilt when the index grew.
-        lookup = getattr(self, "_id_lookup", None)
-        if lookup is None or len(lookup) != self.ntotal:
-            lookup = {
-                int(vid): (cell, slot)
-                for cell, vids in enumerate(self.cell_ids)
-                for slot, vid in enumerate(vids)
-            }
-            self._id_lookup = lookup
-        for row, vid in enumerate(ids):
-            if int(vid) not in lookup:
-                raise KeyError(f"id {int(vid)} not in index")
-            cell, slot = lookup[int(vid)]
-            vec = pq.decode(self.cell_codes[cell][slot : slot + 1])[0]
-            if self.by_residual:
-                vec = vec + self.centroids[cell]
-            out[row] = vec
+        cache = getattr(self, "_recon_cache", None)
+        if cache is None or cache[0] is not lists:
+            all_ids = lists.all_ids()
+            order = np.argsort(all_ids, kind="stable")
+            cache = (
+                lists,
+                np.asarray(all_ids)[order],
+                order,
+                np.asarray(lists.all_codes()),
+                lists.element_cells(),
+            )
+            self._recon_cache = cache
+        _, sorted_ids, order, all_codes, element_cells = cache
+        if len(ids) == 0:
+            return np.empty((0, self.d), dtype=np.float32)
+        if len(sorted_ids) == 0:
+            raise KeyError(f"id {int(ids[0])} not in index")
+        pos = np.searchsorted(sorted_ids, ids)
+        pos_clipped = np.minimum(pos, len(sorted_ids) - 1)
+        missing = (pos >= len(sorted_ids)) | (sorted_ids[pos_clipped] != ids)
+        if missing.any():
+            raise KeyError(f"id {int(ids[missing][0])} not in index")
+        elem = order[pos_clipped]
+        out = pq.decode(all_codes[elem])
+        if self.by_residual:
+            out = out + self.centroids[element_cells[elem]]
         if self.opq is not None:
             # Rotation is orthonormal: inverse = transpose.
             out = out @ self.opq.rotation.T
-        return out
+        return out.astype(np.float32, copy=False)
 
     def memory_bytes(self) -> int:
         """Bytes of PQ codes + ids + centroids (what must fit in FPGA HBM)."""
-        codes = sum(c.nbytes for c in self.cell_codes)
-        ids = sum(i.nbytes for i in self.cell_ids)
         cent = self.centroids.nbytes if self.centroids is not None else 0
-        return codes + ids + cent
+        return self.invlists.memory_bytes() + cent

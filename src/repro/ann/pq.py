@@ -110,19 +110,47 @@ class ProductQuantizer:
         """Stage BuildLUT: per-query distance table of shape (m, ksub).
 
         ``lut[j, c]`` = squared L2 distance between query sub-vector j and
-        centroid c of sub-quantizer j.
+        centroid c of sub-quantizer j.  Delegates to :meth:`build_luts` so
+        single-query and batched tables are computed identically.
         """
-        books = self._require_trained()
-        q = np.asarray(query, dtype=np.float32).reshape(self.m, self.dsub)
-        diff = books - q[:, None, :]
-        return np.einsum("jkd,jkd->jk", diff, diff)
+        q = np.asarray(query, dtype=np.float32).reshape(1, self.d)
+        return self.build_luts(q)[0]
+
+    #: Fixed GEMM row-chunk for build_luts.  Every cross-term matmul runs at
+    #: exactly this many rows (the tail is zero-padded), so BLAS always takes
+    #: the same kernel path and a table row's bits never depend on how many
+    #: queries were batched together (single-row calls would otherwise hit a
+    #: gemv kernel with a different reduction order).
+    _LUT_ROW_CHUNK = 256
 
     def build_luts(self, queries: np.ndarray) -> np.ndarray:
-        """Batched :meth:`build_lut`: (q, d) -> (q, m, ksub)."""
+        """Batched :meth:`build_lut`: (q, d) -> (q, m, ksub).
+
+        Uses the ``|q-c|^2 = |q|^2 - 2 q.c + |c|^2`` expansion so the cross
+        term is a batched GEMM over the sub-space axis (the same push-into-
+        BLAS idiom as :mod:`repro.ann.distances`), evaluated in fixed-size
+        row chunks for batch-size-independent results.
+        """
         books = self._require_trained()
         qs = self._split(queries)  # (q, m, dsub)
-        diff = qs[:, :, None, :] - books[None, :, :, :]
-        return np.einsum("qjkd,qjkd->qjk", diff, diff)
+        n = qs.shape[0]
+        chunk = self._LUT_ROW_CHUNK
+        books_t = np.ascontiguousarray(books.transpose(0, 2, 1))  # (m, dsub, ksub)
+        cross = np.empty((n, self.m, self.ksub), dtype=np.float32)
+        for s in range(0, n, chunk):
+            block = qs[s : s + chunk]
+            nb = block.shape[0]
+            if nb < chunk:
+                block = np.concatenate(
+                    [block, np.zeros((chunk - nb, self.m, self.dsub), np.float32)]
+                )
+            part = np.matmul(block.transpose(1, 0, 2), books_t)  # (m, chunk, ksub)
+            cross[s : s + nb] = part.transpose(1, 0, 2)[:nb]
+        q_sq = np.einsum("qjd,qjd->qj", qs, qs)
+        c_sq = np.einsum("jkd,jkd->jk", books, books)
+        lut = q_sq[:, :, None] + c_sq[None, :, :] - 2.0 * cross
+        np.maximum(lut, 0.0, out=lut)
+        return lut
 
     def adc(self, lut: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Stage PQDist: asymmetric distances for (n, m) codes given one LUT.

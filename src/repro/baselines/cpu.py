@@ -22,10 +22,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ann.ivf import IVFPQIndex
 from repro.ann.stages import STAGE_NAMES
 from repro.core.config import AlgorithmParams
 
-__all__ = ["CPUBaseline", "CPUSpec"]
+__all__ = ["CPUBaseline", "CPUSpec", "expected_codes_for_index", "params_for_index"]
+
+
+def params_for_index(index: IVFPQIndex, nprobe: int, k: int) -> AlgorithmParams:
+    """Algorithm parameters of a trained index, for the analytic baselines."""
+    return AlgorithmParams(
+        d=index.d, nlist=index.nlist, nprobe=nprobe, k=k,
+        use_opq=index.use_opq, m=index.m, ksub=index.ksub,
+    )
+
+
+def expected_codes_for_index(index: IVFPQIndex, nprobe: int) -> float:
+    """Expected PQ codes scanned per query, from the packed invlist stats."""
+    from repro.core.perf_model import expected_codes_per_query
+
+    return expected_codes_per_query(index.invlists.sizes, nprobe)
 
 
 @dataclass(frozen=True)
@@ -123,6 +139,19 @@ class CPUBaseline:
     def qps(self, params: AlgorithmParams, codes_per_query: float) -> float:
         """Offline batched throughput (Fig. 10's CPU series)."""
         return 1.0 / self.query_seconds(params, codes_per_query, batch=True)
+
+    # ------------------------------------------------------------------ #
+    def stage_seconds_for_index(
+        self, index: IVFPQIndex, nprobe: int, k: int, *, batch: bool = True
+    ) -> dict[str, float]:
+        """Stage model driven by a trained index's packed invlist stats."""
+        params = params_for_index(index, nprobe, k)
+        return self.stage_seconds(params, expected_codes_for_index(index, nprobe), batch=batch)
+
+    def qps_for_index(self, index: IVFPQIndex, nprobe: int, k: int) -> float:
+        """Batched throughput for a trained index (packed invlist stats)."""
+        params = params_for_index(index, nprobe, k)
+        return self.qps(params, expected_codes_for_index(index, nprobe))
 
     def sample_latencies_us(
         self,

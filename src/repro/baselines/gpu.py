@@ -19,7 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.ann.ivf import IVFPQIndex
 from repro.ann.stages import STAGE_NAMES
+from repro.baselines.cpu import expected_codes_for_index, params_for_index
 from repro.core.config import AlgorithmParams
 
 __all__ = ["GPUBaseline", "GPUSpec"]
@@ -136,6 +138,19 @@ class GPUBaseline:
     def qps(self, params: AlgorithmParams, codes_per_query: float) -> float:
         """Offline batched throughput (Fig. 10's GPU series)."""
         return 1.0 / self.query_seconds(params, codes_per_query, batch=True)
+
+    # ------------------------------------------------------------------ #
+    def stage_seconds_for_index(
+        self, index: IVFPQIndex, nprobe: int, k: int
+    ) -> dict[str, float]:
+        """Stage model driven by a trained index's packed invlist stats."""
+        params = params_for_index(index, nprobe, k)
+        return self.stage_seconds(params, expected_codes_for_index(index, nprobe))
+
+    def qps_for_index(self, index: IVFPQIndex, nprobe: int, k: int) -> float:
+        """Batched throughput for a trained index (packed invlist stats)."""
+        params = params_for_index(index, nprobe, k)
+        return self.qps(params, expected_codes_for_index(index, nprobe))
 
     def sample_latencies_us(
         self,

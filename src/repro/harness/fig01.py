@@ -33,21 +33,23 @@ def partition_index(index: IVFPQIndex, n_parts: int) -> list[IVFPQIndex]:
     """Split one trained index into ``n_parts`` disjoint shards.
 
     All shards share the trained quantizers (coarse centroids, PQ, OPQ) and
-    split the inverted lists round-robin — the multi-accelerator layout of
-    §7.3.2 where every node runs the same index over its own partition.
+    slice every packed cell slab contiguously — the multi-accelerator layout
+    of §7.3.2 where every node runs the same index over its own partition.
+    Slicing is **zero-copy**: shards are CSR views into the parent's packed
+    code/id arrays, so partitioning a paper-scale index moves no data.
     """
     if n_parts < 1:
         raise ValueError(f"n_parts must be >= 1, got {n_parts}")
-    shards = []
-    for part in range(n_parts):
-        shard = dataclasses.replace(
+    lists = index.invlists
+    return [
+        dataclasses.replace(
             index,
-            cell_codes=[codes[part::n_parts] for codes in index.cell_codes],
-            cell_ids=[ids[part::n_parts] for ids in index.cell_ids],
+            _invlists=lists.shard(part, n_parts),
+            _pending=None,
             stats=IVFStats(),
         )
-        shards.append(shard)
-    return shards
+        for part in range(n_parts)
+    ]
 
 
 @dataclass

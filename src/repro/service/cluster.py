@@ -72,15 +72,13 @@ class FPGAClusterService:
             sim.run_batch(queries, arrival_us=arrival_us, overhead_us=0.0)
             for sim in self.sims
         ]
-        nq = np.atleast_2d(queries).shape[0]
-        ids = np.empty((nq, k), dtype=np.int64)
-        dists = np.empty((nq, k), dtype=np.float32)
-        for qi in range(nq):
-            cat_i = np.concatenate([o.ids[qi] for o in outs])
-            cat_d = np.concatenate([o.dists[qi] for o in outs])
-            order = np.argsort(cat_d, kind="stable")[:k]
-            ids[qi] = cat_i[order]
-            dists[qi] = cat_d[order]
+        # Batched top-K merge: one stable argsort over the (nq, k * n_shards)
+        # concatenation replaces the per-query Python reduce loop.
+        cat_i = np.concatenate([o.ids for o in outs], axis=1)
+        cat_d = np.concatenate([o.dists for o in outs], axis=1)
+        order = np.argsort(cat_d, axis=1, kind="stable")[:, :k]
+        ids = np.take_along_axis(cat_i, order, axis=1)
+        dists = np.take_along_axis(cat_d, order, axis=1)
         lat = simulate_cluster_latencies(
             np.vstack([o.latencies_us for o in outs]), d=d, k=k, params=self.loggp
         )

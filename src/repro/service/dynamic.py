@@ -134,18 +134,23 @@ class DynamicVectorService:
             g_ids = np.full((nq, 0), -1, dtype=np.int64)
             g_dists = np.full((nq, 0), np.inf, dtype=np.float32)
 
-        out_ids = np.full((nq, k), -1, dtype=np.int64)
-        out_dists = np.full((nq, k), np.inf, dtype=np.float32)
-        for qi in range(nq):
-            ids = np.concatenate([p_ids[qi], g_ids[qi]])
-            dists = np.concatenate([p_dists[qi], g_dists[qi]])
-            keep = np.array(
-                [i >= 0 and int(i) not in self.deleted for i in ids], dtype=bool
-            )
-            ids, dists = ids[keep], dists[keep]
-            order = np.argsort(dists, kind="stable")[:k]
-            out_ids[qi, : len(order)] = ids[order]
-            out_dists[qi, : len(order)] = dists[order]
+        # Batched merge: mask deleted/padding candidates to +inf, then one
+        # stable row-wise argsort — no per-query Python loop.
+        ids = np.concatenate([p_ids, g_ids], axis=1)
+        dists = np.concatenate([p_dists, g_dists], axis=1).astype(np.float32, copy=True)
+        if ids.shape[1] < k:  # tiny index: fewer candidates than k
+            pad = k - ids.shape[1]
+            ids = np.pad(ids, ((0, 0), (0, pad)), constant_values=-1)
+            dists = np.pad(dists, ((0, 0), (0, pad)), constant_values=np.inf)
+        drop = ids < 0
+        if self.deleted:
+            deleted = np.fromiter(self.deleted, dtype=np.int64, count=len(self.deleted))
+            drop |= np.isin(ids, deleted)
+        dists[drop] = np.inf
+        order = np.argsort(dists, axis=1, kind="stable")[:, :k]
+        out_ids = np.take_along_axis(ids, order, axis=1)
+        out_dists = np.take_along_axis(dists, order, axis=1)
+        out_ids[~np.isfinite(out_dists)] = -1
         return out_ids, out_dists
 
     # ------------------------------------------------------------------ #
@@ -168,7 +173,11 @@ class DynamicVectorService:
             if inserted
             else self._snapshot_ids
         )
-        live = np.array([int(i) not in self.deleted for i in all_ids], dtype=bool)
+        if self.deleted:
+            deleted = np.fromiter(self.deleted, dtype=np.int64, count=len(self.deleted))
+            live = ~np.isin(all_ids, deleted)
+        else:
+            live = np.ones(len(all_ids), dtype=bool)
         deleted = int((~live).sum())
         new_vecs = np.ascontiguousarray(all_vecs[live])
         new_ids = all_ids[live]

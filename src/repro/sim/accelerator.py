@@ -89,7 +89,7 @@ class AcceleratorSimulator:
         self.config = config
 
     # ------------------------------------------------------------------ #
-    def _slowest_pe_codes(self, cells: np.ndarray, sizes: np.ndarray) -> int:
+    def _slowest_pe_codes(self, cells: np.ndarray, sizes: np.ndarray):
         """Per-PE code count under the striped HBM layout.
 
         Each cell's codes are striped across all PQDist PEs' memory channels
@@ -97,9 +97,13 @@ class AcceleratorSimulator:
         stripe — the padding the PQDist PE's "padding detection" logic
         overwrites (Figure 8).  Every PE therefore scans
         ``sum(ceil(size/n_pe))`` codes for the probed cells.
+
+        ``cells`` may be one query's probe list (returns an int) or a whole
+        batch's (nq, nprobe) probe matrix (returns an (nq,) array).
         """
         n_pe = self.config.n_pq_pes
-        return int(np.sum(-(-sizes[cells] // n_pe)))
+        per_query = (-(-sizes[np.atleast_2d(cells)] // n_pe)).sum(axis=1)
+        return per_query if np.ndim(cells) == 2 else int(per_query[0])
 
     def run_batch(
         self,
@@ -130,25 +134,21 @@ class AcceleratorSimulator:
         queries = np.atleast_2d(queries)
         nq = queries.shape[0]
 
-        # Functional pass (identical arithmetic to the hardware dataflow).
+        # Functional pass (identical arithmetic to the hardware dataflow),
+        # batched over the packed CSR invlists: one vectorized ADC per
+        # probed cell slab instead of a Python loop per query×cell.
         queries_t = idx.stage_opq(queries)
-        cell_dists = idx.stage_ivf_dist(queries_t)
-        probed = idx.stage_select_cells(cell_dists, p.nprobe)
-        sizes = idx.cell_sizes
+        probed = idx.stage_select_cells(idx.stage_ivf_dist(queries_t), p.nprobe)
+        ids, dists, _ = idx.search_preselected(queries_t, probed, p.k)
 
-        ids = np.empty((nq, p.k), dtype=np.int64)
-        dists = np.empty((nq, p.k), dtype=np.float32)
+        # Per-query timing from the invlist stats (true probed-slab sizes).
+        sizes = idx.invlists.sizes
+        codes_q = sizes[probed].sum(axis=1) * workload_scale
+        per_pe_q = self._slowest_pe_codes(probed, sizes) * workload_scale
         occ = np.empty((nq, len(PIPELINE_STAGES)))
         lat = np.empty((nq, len(PIPELINE_STAGES)))
         for qi in range(nq):
-            cells = probed[qi]
-            luts = idx.stage_build_luts(queries_t[qi], cells)
-            d, i = idx.stage_pq_dist(luts, cells)
-            ids[qi], dists[qi] = idx.stage_select_k(d, i, p.k)
-
-            codes = int(sizes[cells].sum()) * workload_scale
-            per_pe = self._slowest_pe_codes(cells, sizes) * workload_scale
-            sc = stage_cycles(cfg, codes, pq_codes_per_pe=per_pe)
+            sc = stage_cycles(cfg, codes_q[qi], pq_codes_per_pe=per_pe_q[qi])
             occ[qi] = [sc[s].occupancy for s in PIPELINE_STAGES]
             lat[qi] = [sc[s].latency for s in PIPELINE_STAGES]
 

@@ -1,0 +1,262 @@
+"""Tests for the packed CSR invlist storage and the batched query engine.
+
+The key contract: the packed layout plus the batched (grouped-by-cell)
+search must return **identical** ids and distances to the seed
+list-of-arrays, per-query×cell reference algorithm on fixed-seed data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.invlists import InvListBuilder, PackedInvLists
+from repro.ann.io import load_index_dir, save_index_dir
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.pq import ProductQuantizer
+
+
+def _reference_search(index, queries, k, nprobe):
+    """The seed implementation: list-of-arrays cells, Python loop per query."""
+    cell_codes = index.cell_codes  # per-cell views (legacy layout)
+    cell_ids = index.cell_ids
+    qt = index.stage_opq(queries)
+    probed = index.stage_select_cells(index.stage_ivf_dist(qt), nprobe)
+    nq = qt.shape[0]
+    out_ids = np.empty((nq, k), dtype=np.int64)
+    out_dists = np.empty((nq, k), dtype=np.float32)
+    for qi in range(nq):
+        cells = probed[qi]
+        luts = index.stage_build_luts(qt[qi], cells)
+        dists, ids = [], []
+        for lut, cell in zip(luts, cells):
+            codes = cell_codes[cell]
+            if codes.shape[0] == 0:
+                continue
+            dists.append(index.pq.adc(lut, codes))
+            ids.append(cell_ids[cell])
+        if dists:
+            d, i = np.concatenate(dists), np.concatenate(ids)
+        else:
+            d = np.empty(0, dtype=np.float32)
+            i = np.empty(0, dtype=np.int64)
+        out_ids[qi], out_dists[qi] = index.stage_select_k(d, i, k)
+    return out_ids, out_dists
+
+
+class TestPackedLayout:
+    def test_csr_invariants(self, trained_ivf):
+        lists = trained_ivf.invlists
+        assert lists.is_contiguous
+        offsets = lists.offsets
+        assert offsets[0] == 0 and offsets[-1] == lists.ntotal
+        assert (np.diff(offsets) == lists.sizes).all()
+        assert lists.codes.shape == (lists.ntotal, trained_ivf.m)
+        assert lists.codes.dtype == np.uint8
+        assert lists.ids.dtype == np.int64
+
+    def test_cell_views_are_zero_copy(self, trained_ivf):
+        lists = trained_ivf.invlists
+        cell = int(np.argmax(lists.sizes))
+        assert np.shares_memory(lists.cell_codes(cell), lists.codes)
+        assert np.shares_memory(lists.cell_ids(cell), lists.ids)
+
+    def test_memory_bytes(self, trained_ivf):
+        lists = trained_ivf.invlists
+        assert lists.memory_bytes() == lists.ntotal * (trained_ivf.m + 8)
+
+
+class TestBatchedSearchEquality:
+    @pytest.mark.parametrize("nprobe", [1, 4, 16])
+    def test_matches_seed_reference(self, trained_ivf, small_dataset, nprobe):
+        ids_ref, d_ref = _reference_search(trained_ivf, small_dataset.queries, 5, nprobe)
+        ids, dists = trained_ivf.search(small_dataset.queries, 5, nprobe)
+        np.testing.assert_array_equal(ids, ids_ref)
+        np.testing.assert_array_equal(dists, d_ref)
+
+    def test_matches_reference_with_opq(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, use_opq=True, seed=1)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base)
+        ids_ref, d_ref = _reference_search(idx, small_dataset.queries, 8, 4)
+        ids, dists = idx.search(small_dataset.queries, 8, 4)
+        np.testing.assert_array_equal(ids, ids_ref)
+        np.testing.assert_array_equal(dists, d_ref)
+
+    def test_matches_reference_non_residual(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, by_residual=False, seed=2)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base)
+        ids_ref, d_ref = _reference_search(idx, small_dataset.queries, 5, 3)
+        ids, dists = idx.search(small_dataset.queries, 5, 3)
+        np.testing.assert_array_equal(ids, ids_ref)
+        np.testing.assert_array_equal(dists, d_ref)
+
+    def test_single_query_batch(self, trained_ivf, small_dataset):
+        q = small_dataset.queries[:1]
+        ids_ref, d_ref = _reference_search(trained_ivf, q, 5, 4)
+        ids, dists = trained_ivf.search(q, 5, 4)
+        np.testing.assert_array_equal(ids, ids_ref)
+        np.testing.assert_array_equal(dists, d_ref)
+
+
+class TestBuilder:
+    def test_incremental_equals_bulk(self, small_dataset):
+        bulk = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, seed=4)
+        bulk.train(small_dataset.base)
+        bulk.add(small_dataset.base)
+        inc = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, seed=4)
+        inc.train(small_dataset.base)
+        for lo in range(0, small_dataset.n, 300):
+            inc.add(small_dataset.base[lo : lo + 300])
+        np.testing.assert_array_equal(bulk.invlists.codes, inc.invlists.codes)
+        np.testing.assert_array_equal(bulk.invlists.ids, inc.invlists.ids)
+        np.testing.assert_array_equal(bulk.invlists.offsets, inc.invlists.offsets)
+
+    def test_append_is_buffered(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=32, seed=4)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base[:100])
+        assert idx._pending is not None and idx._pending.n_pending == 100
+        assert idx.ntotal == 100  # visible before the flush
+        _ = idx.invlists
+        assert idx._pending is None  # flushed on access
+        assert idx.ntotal == 100
+
+    def test_builder_validates(self):
+        b = InvListBuilder(nlist=4, m=2)
+        with pytest.raises(ValueError, match="length mismatch"):
+            b.append(np.zeros(3, dtype=np.int64), np.zeros((2, 2), np.uint8),
+                     np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="outside"):
+            b.append(np.array([7]), np.zeros((1, 2), np.uint8), np.array([0]))
+
+    def test_empty_build(self):
+        lists = InvListBuilder(nlist=4, m=2).build()
+        assert lists.ntotal == 0 and lists.nlist == 4
+
+
+class TestZeroCopySharding:
+    def test_shards_are_views(self, trained_ivf):
+        lists = trained_ivf.invlists
+        for part in range(3):
+            shard = lists.shard(part, 3)
+            assert shard.codes is lists.codes  # no data movement at all
+            assert shard.ids is lists.ids
+
+    def test_shards_cover_disjointly(self, trained_ivf):
+        lists = trained_ivf.invlists
+        shard_ids = [lists.shard(p, 4).all_ids() for p in range(4)]
+        cat = np.concatenate(shard_ids)
+        np.testing.assert_array_equal(np.sort(cat), np.sort(np.asarray(lists.all_ids())))
+
+    def test_shard_balance(self, trained_ivf):
+        lists = trained_ivf.invlists
+        totals = [lists.shard(p, 4).ntotal for p in range(4)]
+        assert max(totals) - min(totals) <= lists.nlist
+
+    def test_shard_packed_copy(self, trained_ivf):
+        shard = trained_ivf.invlists.shard(1, 3)
+        assert not shard.is_contiguous
+        packed = shard.packed()
+        assert packed.is_contiguous
+        np.testing.assert_array_equal(packed.all_ids(), shard.all_ids())
+
+    def test_invalid_part(self, trained_ivf):
+        with pytest.raises(ValueError, match="part"):
+            trained_ivf.invlists.shard(3, 3)
+
+
+class TestMmapPersistence:
+    def test_dir_roundtrip_mmap_search_identical(self, trained_ivf, small_dataset, tmp_path):
+        save_index_dir(trained_ivf, tmp_path / "idx")
+        loaded = load_index_dir(tmp_path / "idx", mmap=True)
+        assert isinstance(loaded.invlists.codes, np.memmap)
+        ids_a, d_a = trained_ivf.search(small_dataset.queries, 5, 4)
+        ids_b, d_b = loaded.search(small_dataset.queries, 5, 4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(d_a, d_b)
+
+    def test_dir_roundtrip_in_memory(self, trained_ivf, small_dataset, tmp_path):
+        save_index_dir(trained_ivf, tmp_path / "idx")
+        loaded = load_index_dir(tmp_path / "idx", mmap=False)
+        assert not isinstance(loaded.invlists.codes, np.memmap)
+        ids_a, _ = trained_ivf.search(small_dataset.queries, 5, 4)
+        ids_b, _ = loaded.search(small_dataset.queries, 5, 4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+
+    def test_mmap_reconstruct(self, trained_ivf, tmp_path):
+        save_index_dir(trained_ivf, tmp_path / "idx")
+        loaded = load_index_dir(tmp_path / "idx", mmap=True)
+        np.testing.assert_allclose(
+            loaded.reconstruct(np.arange(10)), trained_ivf.reconstruct(np.arange(10))
+        )
+
+    def test_untrained_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="untrained"):
+            save_index_dir(IVFPQIndex(d=8, nlist=2, m=2), tmp_path / "x")
+
+    def test_inplace_resave_over_live_mmap(self, trained_ivf, small_dataset, tmp_path):
+        """Regression: re-saving into the directory an index was mmap-loaded
+        from must not truncate the .npy files backing the live memmaps."""
+        save_index_dir(trained_ivf, tmp_path / "ix")
+        mm = load_index_dir(tmp_path / "ix", mmap=True)
+        mm.add(small_dataset.base[:50], ids=np.arange(10_000, 10_050, dtype=np.int64))
+        save_index_dir(mm, tmp_path / "ix")
+        back = load_index_dir(tmp_path / "ix", mmap=True)
+        assert back.ntotal == trained_ivf.ntotal + 50
+        ids_a, _ = mm.search(small_dataset.queries, 5, 4)
+        ids_b, _ = back.search(small_dataset.queries, 5, 4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+
+
+class TestReconstructNonContiguousIds:
+    def test_noncontiguous_ids_roundtrip(self, small_dataset):
+        """Regression: the seed's dict cache keyed stale entries by ntotal and
+        could serve wrong positions; the vectorized searchsorted lookup must
+        handle arbitrary sparse ids and cache invalidation across add()."""
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=64, seed=0)
+        idx.train(small_dataset.base)
+        rng = np.random.default_rng(0)
+        ids_a = rng.choice(10**6, size=500, replace=False).astype(np.int64) + 10**7
+        idx.add(small_dataset.base[:500], ids=ids_a)
+        recon_a = idx.reconstruct(ids_a[:50])
+        # Each reconstruction must match decoding that vector's own code.
+        direct = np.vstack([idx.reconstruct(int(i)) for i in ids_a[:50]])
+        np.testing.assert_allclose(recon_a, direct)
+        # Grow the index: cache must invalidate, old AND new ids resolve.
+        ids_b = np.arange(17, 17 + 300, dtype=np.int64) * 3 + 1  # overlaps nothing
+        idx.add(small_dataset.base[500:800], ids=ids_b)
+        recon_b = idx.reconstruct(np.concatenate([ids_a[:5], ids_b[:5]]))
+        assert recon_b.shape == (10, 32)
+        np.testing.assert_allclose(recon_b[:5], recon_a[:5])
+
+    def test_reconstruct_matches_quantizer(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=64, seed=0)
+        idx.train(small_dataset.base)
+        ids = np.array([10**9, 5, 123456789], dtype=np.int64)
+        idx.add(small_dataset.base[:3], ids=ids)
+        lists = idx.invlists
+        recon = idx.reconstruct(ids)
+        for row, vid in enumerate(ids):
+            pos = int(np.flatnonzero(np.asarray(lists.all_ids()) == vid)[0])
+            cell = int(lists.element_cells()[pos])
+            vec = idx.pq.decode(np.asarray(lists.all_codes())[pos : pos + 1])[0]
+            vec = vec + idx.centroids[cell]
+            np.testing.assert_allclose(recon[row], vec, rtol=1e-6)
+
+    def test_unknown_id_raises_after_adds(self, small_dataset):
+        idx = IVFPQIndex(d=32, nlist=8, m=4, ksub=64, seed=0)
+        idx.train(small_dataset.base)
+        idx.add(small_dataset.base[:100], ids=np.arange(100, dtype=np.int64) * 2)
+        with pytest.raises(KeyError, match="not in index"):
+            idx.reconstruct([1])  # odd id never inserted
+
+
+class TestFromCells:
+    def test_pack_legacy_layout(self, trained_pq, small_vectors):
+        codes = trained_pq.encode(small_vectors[:60])
+        cell_codes = [codes[:10], codes[10:10], codes[10:60]]
+        cell_ids = [np.arange(10), np.arange(0), np.arange(10, 60)]
+        lists = PackedInvLists.from_cells(cell_codes, cell_ids, m=trained_pq.m)
+        assert lists.nlist == 3
+        np.testing.assert_array_equal(lists.sizes, [10, 0, 50])
+        np.testing.assert_array_equal(lists.cell_codes(2), codes[10:60])

@@ -37,6 +37,40 @@ class TestSaveLoad:
         with pytest.raises(ValueError, match="untrained"):
             save_index(IVFPQIndex(d=8, nlist=2, m=2), tmp_path / "x.npz")
 
+    def test_legacy_v1_archive_loads(self, trained_ivf, small_dataset, tmp_path):
+        """Version-1 archives (one codes_<cell>/ids_<cell> pair per list)
+        pack into the CSR layout on load — old snapshots keep working."""
+        payload = {
+            "format_version": np.array(1),
+            "d": np.array(trained_ivf.d),
+            "nlist": np.array(trained_ivf.nlist),
+            "m": np.array(trained_ivf.m),
+            "ksub": np.array(trained_ivf.ksub),
+            "use_opq": np.array(trained_ivf.use_opq),
+            "by_residual": np.array(trained_ivf.by_residual),
+            "seed": np.array(trained_ivf.seed),
+            "centroids": trained_ivf.centroids,
+            "codebooks": trained_ivf.pq.codebooks,
+        }
+        for cell in range(trained_ivf.nlist):
+            payload[f"codes_{cell}"] = trained_ivf.cell_codes[cell]
+            payload[f"ids_{cell}"] = trained_ivf.cell_ids[cell]
+        np.savez_compressed(tmp_path / "v1.npz", **payload)
+        loaded = load_index(tmp_path / "v1.npz")
+        assert loaded.ntotal == trained_ivf.ntotal
+        ids_a, d_a = trained_ivf.search(small_dataset.queries, 5, 4)
+        ids_b, d_b = loaded.search(small_dataset.queries, 5, 4)
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(d_a, d_b)
+
+    def test_future_version_rejected(self, trained_ivf, tmp_path):
+        path = save_index(trained_ivf, tmp_path / "idx.npz")
+        data = dict(np.load(path))
+        data["format_version"] = np.array(99)
+        np.savez(tmp_path / "v99.npz", **data)
+        with pytest.raises(ValueError, match="unsupported index format"):
+            load_index(tmp_path / "v99.npz")
+
     def test_suffix_added(self, trained_ivf, tmp_path):
         path = save_index(trained_ivf, tmp_path / "noext")
         assert path.suffix == ".npz"
