@@ -10,7 +10,7 @@ import numpy as np
 from conftest import emit
 
 from repro.core.config import AcceleratorConfig, AlgorithmParams
-from repro.core.perf_model import IndexProfile, predict
+from repro.core.perf_model import predict
 from repro.harness.formatting import format_table
 from repro.sim.accelerator import AcceleratorSimulator
 

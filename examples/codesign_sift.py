@@ -13,7 +13,7 @@ import tempfile
 from pathlib import Path
 
 from repro.baselines.fpga_baseline import baseline_config
-from repro.core import RecallGoal, predict
+from repro.core import predict
 from repro.core.resource_model import utilization_report
 from repro.harness.context import small_context
 

@@ -433,6 +433,21 @@ class IVFPQIndex:
             codes_scanned += int(bounds[-1])
         return out_ids, out_dists, codes_scanned
 
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform serving entry point (see :mod:`repro.serve.backends`).
+
+        Identical to :meth:`search`; ``nprobe`` is mandatory for a raw
+        index (cluster/dynamic services bake it into their config).  The
+        serving engine calls this from a single worker thread, which is
+        the supported concurrency model — search mutates per-index caches
+        (gather tables, stats), so concurrent searchers must wrap it.
+        """
+        if nprobe is None:
+            raise ValueError("IVFPQIndex serving requires an explicit nprobe")
+        return self.search(queries, k, nprobe)
+
     # ------------------------------------------------------------------ #
     def expected_scan_fraction(self, nprobe: int) -> float:
         """Expected fraction of the database scanned per query.

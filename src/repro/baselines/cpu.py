@@ -79,11 +79,17 @@ DEFAULT_CPU = CPUSpec()
 class CPUBaseline:
     """Analytic Faiss-on-CPU model with the six-stage breakdown."""
 
-    def __init__(self, spec: CPUSpec = DEFAULT_CPU, threads: int | None = None):
+    def __init__(
+        self, spec: CPUSpec = DEFAULT_CPU, threads: int | None = None, seed: int = 0
+    ):
         self.spec = spec
         self.threads = threads if threads is not None else spec.cores
         if self.threads < 1 or self.threads > spec.cores:
             raise ValueError(f"threads must be in [1, {spec.cores}], got {self.threads}")
+        # Per-instance stream: default-rng sampling calls are deterministic
+        # as a sequence but never replay identical jitter (the old per-call
+        # default_rng(0) fallback did).
+        self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
     def stage_seconds(
@@ -161,7 +167,7 @@ class CPUBaseline:
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         """Online per-query latency distribution (Figs. 1/11/12 inputs)."""
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else self._rng
         mean_us = 1e6 * self.query_seconds(params, codes_per_query, batch=False)
         s = self.spec
         jitter = rng.lognormal(mean=0.0, sigma=s.latency_sigma, size=n)

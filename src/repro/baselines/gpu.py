@@ -14,7 +14,6 @@ The paper's GPU observations that the model must reproduce:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,8 +74,12 @@ DEFAULT_GPU = GPUSpec()
 class GPUBaseline:
     """Analytic Faiss-GPU model with the six-stage breakdown."""
 
-    def __init__(self, spec: GPUSpec = DEFAULT_GPU):
+    def __init__(self, spec: GPUSpec = DEFAULT_GPU, seed: int = 0):
         self.spec = spec
+        # Per-instance stream: default-rng sampling calls are deterministic
+        # as a sequence but never replay identical jitter (the old per-call
+        # default_rng(0) fallback did).
+        self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
     def _select_rate_for_k(self, k: int) -> float:
@@ -160,7 +163,7 @@ class GPUBaseline:
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         """Online latency distribution: fast median, heavy tail (Fig. 11)."""
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else self._rng
         mean_us = 1e6 * self.query_seconds(params, codes_per_query, batch=False)
         s = self.spec
         jitter = rng.lognormal(mean=0.0, sigma=s.latency_sigma, size=n)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.core.config import AcceleratorConfig, AlgorithmParams
-from repro.core.resource_model import is_valid, total_resources
+from repro.core.resource_model import total_resources
 from repro.hw.device import FPGADevice
 
 __all__ = ["default_pe_grid", "enumerate_designs", "count_design_points"]

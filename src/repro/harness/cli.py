@@ -9,6 +9,13 @@ Regenerate any table or figure of the paper from a shell::
 Analytic experiments (fig03, fig09) run in seconds; dataset-backed ones
 (tab03, tab04, fig01, fig10, fig11, fig12) build the shared context first
 (about a minute of index training on first use).
+
+``serve-bench`` exercises the online serving subsystem instead of a paper
+figure: it builds a small index and compares batch-size-1 serving against
+the dynamic micro-batching scheduler (and the query cache) under
+closed-loop load::
+
+    python -m repro.harness.cli serve-bench
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import sys
 import time
 
 from repro.harness import fig01, fig03, fig09, fig10, fig11, fig12, tab03, tab04
+from repro.harness import serve_bench
 from repro.harness.context import small_context
 
 #: name -> (needs_context, runner)
@@ -30,6 +38,7 @@ EXPERIMENTS = {
     "fig10": (True, lambda ctx: fig10.run(ctx)),
     "fig11": (True, lambda ctx: fig11.run(ctx)),
     "fig12": (True, lambda ctx: fig12.run(ctx)),
+    "serve-bench": (False, lambda ctx: serve_bench.run()),
 }
 
 

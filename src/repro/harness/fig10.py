@@ -23,7 +23,6 @@ from repro.baselines.cpu import CPUBaseline
 from repro.baselines.fpga_baseline import baseline_config
 from repro.baselines.gpu import GPUBaseline
 from repro.core.config import AlgorithmParams
-from repro.core.index_explorer import RecallGoal
 from repro.core.perf_model import predict
 from repro.harness.context import ExperimentContext
 from repro.harness.formatting import format_table

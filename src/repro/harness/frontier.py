@@ -15,7 +15,6 @@ from repro.ann.recall import recall_at_k
 from repro.baselines.cpu import CPUBaseline
 from repro.baselines.gpu import GPUBaseline
 from repro.core.config import AlgorithmParams
-from repro.core.perf_model import predict
 from repro.harness.context import ExperimentContext
 from repro.harness.fig09 import optimal_design
 from repro.harness.formatting import format_table

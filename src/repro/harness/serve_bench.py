@@ -1,0 +1,182 @@
+"""Serving benchmark: micro-batching vs batch-size-1 online serving.
+
+The deployment story of Figure 1 implies queries arriving one at a time
+from many clients; PR 1's batched query engine is fastest on batches.  This
+experiment quantifies what the dynamic micro-batching scheduler buys when
+bridging the two: closed-loop throughput and tail latency for
+
+- a **batch-size-1 baseline** (every request served alone — the seed's
+  implicit serving model),
+- the **micro-batching scheduler** at several batch windows,
+- micro-batching **plus the LRU query cache** on a skewed (repeating)
+  query stream.
+
+Results are verified bit-identical to direct ``IVFPQIndex.search`` before
+any timing is reported — a fast wrong answer is not a speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ann.ivf import IVFPQIndex
+from repro.data.synthetic import make_clustered
+from repro.harness.formatting import format_table
+from repro.serve.backends import InstrumentedBackend
+from repro.serve.cache import QueryResultCache
+from repro.serve.loadgen import LoadReport, run_closed_loop
+from repro.serve.scheduler import ServingEngine
+
+__all__ = ["ServeBenchResult", "ServeConfigRow", "build_serving_index", "run"]
+
+#: Serving workload shape (small enough to train in seconds, large enough
+#: that a batched scan beats per-query dispatch).
+N_BASE = 8_000
+D = 32
+NLIST = 128
+M = 8
+KSUB = 32
+K = 10
+NPROBE = 8
+N_QUERY_POOL = 200
+
+
+@dataclass(frozen=True)
+class ServeConfigRow:
+    """One serving configuration's measured outcome."""
+
+    name: str
+    max_batch: int
+    max_wait_us: float
+    cache: bool
+    report: LoadReport
+
+    def cells(self) -> list:
+        r = self.report
+        hit_rate = (
+            r.cache_hits / max(r.cache_hits + r.cache_misses, 1) if self.cache else 0.0
+        )
+        return [
+            self.name, self.max_batch, self.max_wait_us,
+            "on" if self.cache else "off",
+            r.achieved_qps, r.total.p50_us, r.total.p99_us,
+            r.mean_batch_size, f"{100 * hit_rate:.0f}%",
+        ]
+
+
+@dataclass
+class ServeBenchResult:
+    rows: list[ServeConfigRow]
+    bit_identical: bool
+    n_clients: int
+    n_requests: int
+    params: dict = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> ServeConfigRow:
+        return next(r for r in self.rows if r.max_batch == 1)
+
+    def best_batched(self) -> ServeConfigRow:
+        """Highest-QPS micro-batched config (cache off — pure scheduling)."""
+        batched = [r for r in self.rows if r.max_batch > 1 and not r.cache]
+        return max(batched, key=lambda r: r.report.achieved_qps)
+
+    def format(self) -> str:
+        headers = [
+            "config", "max_batch", "window_us", "cache",
+            "QPS", "p50_us", "p99_us", "mean_batch", "hit%",
+        ]
+        table = format_table(
+            headers, [r.cells() for r in self.rows],
+            title=(
+                f"serve-bench: closed loop, {self.n_clients} clients, "
+                f"{self.n_requests} requests (results bit-identical to "
+                f"direct search: {self.bit_identical})"
+            ),
+        )
+        base, best = self.baseline, self.best_batched()
+        speedup = best.report.achieved_qps / max(base.report.achieved_qps, 1e-9)
+        tail = base.report.total.p99_us / max(best.report.total.p99_us, 1e-9)
+        return (
+            f"{table}\n\nbest micro-batched ({best.name}): "
+            f"{speedup:.2f}x QPS of batch-1 at {tail:.2f}x lower p99"
+        )
+
+
+def build_serving_index(
+    n_base: int = N_BASE, d: int = D, nlist: int = NLIST,
+    m: int = M, ksub: int = KSUB, seed: int = 0,
+) -> tuple[IVFPQIndex, np.ndarray]:
+    """A small trained index plus a pool of in-distribution queries."""
+    vecs = make_clustered(n_base + N_QUERY_POOL, d, n_clusters=nlist, seed=seed + 42)
+    base, queries = vecs[:n_base], vecs[n_base:]
+    index = IVFPQIndex(d=d, nlist=nlist, m=m, ksub=ksub, seed=seed)
+    index.train(base)
+    index.add(base)
+    index.invlists  # flush packing so serving never pays it
+    return index, queries
+
+
+def verify_bit_identical(
+    index: IVFPQIndex, queries: np.ndarray, *, max_batch: int = 16,
+    max_wait_us: float = 2000.0, k: int = K, nprobe: int = NPROBE,
+) -> bool:
+    """Serve every query through the scheduler; compare bits to search()."""
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+    with ServingEngine(index, max_batch=max_batch, max_wait_us=max_wait_us) as eng:
+        futs = [eng.submit(q, k, nprobe) for q in queries]
+        got = [f.result() for f in futs]
+    ids = np.stack([g.ids for g in got])
+    dists = np.stack([g.dists for g in got])
+    return bool(np.array_equal(ids, ref_ids) and np.array_equal(dists, ref_dists))
+
+
+def run(
+    ctx=None,
+    *,
+    n_clients: int = 16,
+    n_requests: int = 400,
+    windows_us: tuple[float, ...] = (0.0, 1000.0, 4000.0),
+    max_batch: int = 16,
+    k: int = K,
+    nprobe: int = NPROBE,
+    seed: int = 0,
+) -> ServeBenchResult:
+    """Run the serving comparison (ctx unused; the index is self-built)."""
+    index, queries = build_serving_index(seed=seed)
+    bit_identical = verify_bit_identical(index, queries[:64], k=k, nprobe=nprobe)
+
+    configs: list[tuple[str, int, float, bool]] = [
+        ("batch-1", 1, 0.0, False),
+    ]
+    configs += [
+        (f"batched w={int(w)}us", max_batch, w, False) for w in windows_us
+    ]
+    configs.append(("batched + cache", max_batch, windows_us[-1], True))
+
+    rows: list[ServeConfigRow] = []
+    for name, mb, wait, use_cache in configs:
+        backend = InstrumentedBackend(index)
+        cache = QueryResultCache(capacity=4 * N_QUERY_POOL) if use_cache else None
+        with ServingEngine(
+            backend, max_batch=mb, max_wait_us=wait, cache=cache
+        ) as engine:
+            report = run_closed_loop(
+                engine, queries, k, nprobe,
+                n_clients=n_clients, n_requests=n_requests,
+            )
+        rows.append(ServeConfigRow(name, mb, wait, use_cache, report))
+
+    return ServeBenchResult(
+        rows=rows,
+        bit_identical=bit_identical,
+        n_clients=n_clients,
+        n_requests=n_requests,
+        params={
+            "n_base": N_BASE, "d": D, "nlist": NLIST, "m": M, "ksub": KSUB,
+            "k": k, "nprobe": nprobe, "max_batch": max_batch,
+            "windows_us": list(windows_us), "query_pool": N_QUERY_POOL,
+        },
+    )

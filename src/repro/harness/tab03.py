@@ -21,7 +21,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.index_explorer import RecallGoal
 from repro.harness.context import ExperimentContext
 from repro.harness.formatting import format_table
 from repro.sim.accelerator import AcceleratorSimulator

@@ -68,6 +68,7 @@ class DistributedSearchEstimator:
     k: int = 10
     params: LogGPParams = PAPER_LOGGP
     merge_us: float = MERGE_US
+    seed: int = 0
 
     def __post_init__(self) -> None:
         hist = np.asarray(self.latency_history_us, dtype=np.float64).ravel()
@@ -76,6 +77,11 @@ class DistributedSearchEstimator:
         if (hist < 0).any():
             raise ValueError("latencies must be non-negative")
         self.latency_history_us = hist
+        # One seeded stream per estimator: repeated sample() calls with the
+        # default rng are deterministic as a sequence but never replay the
+        # same draws (the old per-call default_rng(0) made every call
+        # identical).
+        self._rng = np.random.default_rng(self.seed)
 
     def network_us(self, n_accelerators: int) -> float:
         qb, rb = _query_result_bytes(self.d, self.k)
@@ -96,7 +102,7 @@ class DistributedSearchEstimator:
         """
         if n_accelerators < 1:
             raise ValueError(f"n_accelerators must be >= 1, got {n_accelerators}")
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else self._rng
         draws = rng.choice(
             self.latency_history_us, size=(n_queries, n_accelerators), replace=True
         )
@@ -110,7 +116,7 @@ class DistributedSearchEstimator:
         rng: np.random.Generator | None = None,
     ) -> dict[int, float]:
         """P``q`` latency versus cluster size — one series of Figure 12."""
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else self._rng
         return {
             n: float(np.percentile(self.sample(n, n_queries, rng), q))
             for n in accelerator_counts

@@ -1,0 +1,40 @@
+"""Online serving subsystem: micro-batching, routing, caching, load gen.
+
+Converts the batched query engine's offline throughput into low-latency
+online serving: single-query requests are coalesced by a dynamic
+micro-batching scheduler (:mod:`repro.serve.scheduler`), routed to any
+backend implementing ``search_batch`` (:mod:`repro.serve.backends` — the
+IVF-PQ index, the FPGA cluster service, or the dynamic snapshot+delta
+service), optionally short-circuited by an LRU result cache
+(:mod:`repro.serve.cache`), and measured by a metrics registry
+(:mod:`repro.serve.metrics`) and open/closed-loop load generators
+(:mod:`repro.serve.loadgen`).
+"""
+
+from repro.serve.backends import InstrumentedBackend, SearchBackend
+from repro.serve.cache import QueryResultCache, query_key
+from repro.serve.loadgen import (
+    LoadReport,
+    poisson_arrivals,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve.metrics import LatencyStats, MetricsRegistry, MetricsSnapshot
+from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
+
+__all__ = [
+    "AdmissionError",
+    "InstrumentedBackend",
+    "LatencyStats",
+    "LoadReport",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "QueryResultCache",
+    "SearchBackend",
+    "ServeResult",
+    "ServingEngine",
+    "poisson_arrivals",
+    "query_key",
+    "run_closed_loop",
+    "run_open_loop",
+]

@@ -1,0 +1,72 @@
+"""Pluggable search backends for the serving engine.
+
+A backend is anything with the uniform batched entry point::
+
+    search_batch(queries: (nq, d) float32, k: int, nprobe: int | None)
+        -> (ids (nq, k) int64, dists (nq, k) float32)
+
+:class:`~repro.ann.ivf.IVFPQIndex`,
+:class:`~repro.service.cluster.FPGAClusterService`, and
+:class:`~repro.service.dynamic.DynamicVectorService` all implement it
+natively (see their modules), so the scheduler routes micro-batches to a
+single accelerator index, a sharded cluster, or the mutable snapshot+delta
+service without knowing which it has.
+
+:class:`InstrumentedBackend` wraps any backend to count calls and batch
+sizes — the load harness uses it to verify that micro-batching actually
+coalesced requests (and tests use it to assert batch shapes).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["InstrumentedBackend", "SearchBackend"]
+
+
+@runtime_checkable
+class SearchBackend(Protocol):
+    """Structural interface the micro-batching scheduler routes to."""
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched top-k search; rows align with ``queries`` rows."""
+        ...
+
+
+class InstrumentedBackend:
+    """Counts backend calls and batch sizes around any inner backend."""
+
+    def __init__(self, inner: SearchBackend):
+        self.inner = inner
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.batch_sizes: list[int] = []
+
+    @property
+    def d(self) -> int | None:
+        """Inner backend's query dimensionality (for engine validation)."""
+        return getattr(self.inner, "d", None)
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        queries = np.atleast_2d(queries)
+        with self._lock:
+            self.calls += 1
+            self.batch_sizes.append(queries.shape[0])
+        return self.inner.search_batch(queries, k, nprobe)
+
+    @property
+    def queries_served(self) -> int:
+        with self._lock:
+            return sum(self.batch_sizes)
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            return sum(self.batch_sizes) / len(self.batch_sizes) if self.batch_sizes else 0.0

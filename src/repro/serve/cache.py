@@ -1,0 +1,109 @@
+"""LRU query-result cache for the serving engine.
+
+Production vector search traffic is heavily skewed (popular queries repeat),
+so an in-memory result cache in front of the index turns repeat queries into
+O(1) hits that never occupy a batch slot.  Keys are
+``(blake2b(query bytes), k, nprobe)`` — the exact float32 bit pattern of the
+query, so a hit is by construction bit-identical to re-running the search
+against an unchanged index.
+
+The cache must be explicitly invalidated (:meth:`QueryResultCache.clear`)
+when the underlying index mutates (insert/delete/merge of the dynamic
+service); the engine exposes this as ``ServingEngine.invalidate_cache()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["QueryResultCache", "query_key"]
+
+
+def query_key(query: np.ndarray, k: int, nprobe: int | None) -> bytes:
+    """Canonical cache key: digest of the query bits plus (k, nprobe).
+
+    The query is canonicalized to contiguous float32 first so equal vectors
+    hash equally regardless of the caller's array layout.
+    """
+    q = np.ascontiguousarray(query, dtype=np.float32)
+    h = hashlib.blake2b(q.tobytes(), digest_size=16)
+    h.update(np.int64(k).tobytes())
+    h.update(np.int64(-1 if nprobe is None else nprobe).tobytes())
+    return h.digest()
+
+
+class QueryResultCache:
+    """Bounded LRU map from query keys to ``(ids, dists)`` result rows."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._store: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: Bumped by clear().  Writers that computed their result before an
+        #: invalidation pass the epoch they observed at lookup time, so a
+        #: stale in-flight result can never repopulate the cache.
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: bytes) -> tuple[np.ndarray, np.ndarray] | None:
+        """Look up a result row, refreshing its LRU position on a hit.
+
+        Hits return copies: results are handed to clients who may mutate
+        them in place, and that must never corrupt the stored entry.
+        """
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return entry[0].copy(), entry[1].copy()
+
+    def put(
+        self, key: bytes, ids: np.ndarray, dists: np.ndarray,
+        epoch: int | None = None,
+    ) -> None:
+        """Insert a result row, evicting the least-recently-used on overflow.
+
+        Rows are copied: the engine hands out cached arrays to many clients,
+        so they must not alias a batch buffer the backend may reuse.
+
+        ``epoch``, if given, is the :attr:`epoch` the writer observed before
+        computing the result; a write whose epoch is stale (a ``clear()``
+        happened in between) is dropped, so results computed against a
+        pre-mutation index never repopulate an invalidated cache.
+        """
+        ids = np.array(ids, dtype=np.int64, copy=True)
+        dists = np.array(dists, dtype=np.float32, copy=True)
+        with self._lock:
+            if epoch is not None and epoch != self.epoch:
+                return
+            self._store[key] = (ids, dists)
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (required after any index mutation)."""
+        with self._lock:
+            self._store.clear()
+            self.epoch += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,156 @@
+"""Serving metrics: counters, latency reservoirs, batch-size histogram.
+
+One :class:`MetricsRegistry` per serving engine.  Everything is recorded
+under a single lock (the engine's worker thread and the submitting client
+threads both write), and read out as an immutable snapshot so reports never
+see a half-updated state.
+
+Latencies are kept as raw per-request observations (microseconds) rather
+than pre-bucketed histograms: the paper's serving argument is about *tail*
+latency (P99 at scale, Figures 11/12), and exact percentiles over the
+reservoir are what the load harness compares across scheduler configs.
+Reservoirs are bounded ring buffers (default 1 M samples, a few tens of MB)
+so a long-running engine never grows without limit; once full, percentiles
+describe the most recent window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyStats", "MetricsRegistry", "MetricsSnapshot"]
+
+#: Percentiles every latency summary reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one latency series (all values in microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    @staticmethod
+    def from_samples(samples_us: np.ndarray) -> "LatencyStats":
+        s = np.asarray(samples_us, dtype=np.float64)
+        if s.size == 0:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        p50, p95, p99 = (float(np.percentile(s, q)) for q in PERCENTILES)
+        return LatencyStats(
+            count=int(s.size), mean_us=float(s.mean()),
+            p50_us=p50, p95_us=p95, p99_us=p99, max_us=float(s.max()),
+        )
+
+    def row(self) -> list[float]:
+        """The (mean, p50, p95, p99) cells of a percentile table."""
+        return [self.mean_us, self.p50_us, self.p95_us, self.p99_us]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time copy of a registry, safe to read without the lock."""
+
+    counters: dict[str, int]
+    total: LatencyStats
+    queue: LatencyStats
+    exec: LatencyStats
+    batch_histogram: dict[int, int]
+    qps: float
+    elapsed_s: float
+
+    @property
+    def mean_batch_size(self) -> float:
+        n = sum(self.batch_histogram.values())
+        if n == 0:
+            return 0.0
+        return sum(size * cnt for size, cnt in self.batch_histogram.items()) / n
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.counters.get("cache_hits", 0)
+        misses = self.counters.get("cache_misses", 0)
+        if hits + misses == 0:
+            return 0.0
+        return hits / (hits + misses)
+
+
+class MetricsRegistry:
+    """Thread-safe serving counters + latency reservoirs.
+
+    Counters in use by the engine: ``completed``, ``shed``, ``errors``,
+    ``cache_hits``, ``cache_misses``, ``batches``.
+
+    ``reservoir_size`` bounds each latency series (sliding window of the
+    most recent observations); counters and the batch histogram are exact
+    over the engine's whole lifetime.
+    """
+
+    def __init__(self, reservoir_size: int = 1_000_000) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._total_us: deque[float] = deque(maxlen=reservoir_size)
+        self._queue_us: deque[float] = deque(maxlen=reservoir_size)
+        self._exec_us: deque[float] = deque(maxlen=reservoir_size)
+        self._batch_sizes: Counter[int] = Counter()
+        self._t_first: float | None = None
+        self._t_last: float | None = None
+
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def observe_request(self, queue_us: float, exec_us: float, total_us: float) -> None:
+        """Record one completed request's latency breakdown."""
+        now = time.perf_counter()
+        with self._lock:
+            self._counters["completed"] += 1
+            self._queue_us.append(queue_us)
+            self._exec_us.append(exec_us)
+            self._total_us.append(total_us)
+            if self._t_first is None:
+                self._t_first = now
+            self._t_last = now
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._counters["batches"] += 1
+            self._batch_sizes[size] += 1
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            counters = dict(self._counters)
+            total = np.asarray(self._total_us)
+            queue = np.asarray(self._queue_us)
+            exc = np.asarray(self._exec_us)
+            hist = dict(sorted(self._batch_sizes.items()))
+            if self._t_first is not None and self._t_last is not None:
+                elapsed = max(self._t_last - self._t_first, 1e-9)
+            else:
+                elapsed = 0.0
+        # The window spans first..last completion, so one sample has no
+        # measurable span — report 0 rather than an absurd 1/epsilon.
+        completed = counters.get("completed", 0)
+        qps = completed / elapsed if completed >= 2 and elapsed > 0 else 0.0
+        return MetricsSnapshot(
+            counters=counters,
+            total=LatencyStats.from_samples(total),
+            queue=LatencyStats.from_samples(queue),
+            exec=LatencyStats.from_samples(exc),
+            batch_histogram=hist,
+            qps=qps,
+            elapsed_s=elapsed,
+        )

@@ -1,0 +1,318 @@
+"""Dynamic micro-batching scheduler: the online serving engine.
+
+Online traffic arrives one query at a time, but the batched query engine of
+PR 1 (and the paper's accelerator) is fastest on batches.  The
+:class:`ServingEngine` bridges the two with the standard dynamic-batching
+policy (Triton / Faiss-serving style):
+
+- requests enter a bounded admission queue (``block`` or ``shed`` on
+  overflow — backpressure instead of unbounded memory growth);
+- a worker thread coalesces up to ``max_batch`` requests, waiting at most
+  ``max_wait_us`` after the first dequeued request for stragglers — the
+  knob trading per-request latency for batch efficiency;
+- each micro-batch is grouped by ``(k, nprobe)`` and routed to the
+  backend's ``search_batch``; per-request results come back with a
+  queue/exec latency breakdown.
+
+Because the batched engine computes every query independently (verified
+bit-for-bit in tests/ann), coalescing never changes results: a request's
+answer is bit-identical to calling ``IVFPQIndex.search`` on it alone.
+
+An optional :class:`~repro.serve.cache.QueryResultCache` short-circuits
+repeat queries at submit time, before they occupy a batch slot.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.backends import SearchBackend
+from repro.serve.cache import QueryResultCache, query_key
+from repro.serve.metrics import MetricsRegistry
+
+__all__ = ["AdmissionError", "ServeResult", "ServingEngine"]
+
+
+class AdmissionError(RuntimeError):
+    """Raised by ``submit`` when the queue is full under the shed policy."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One request's answer plus its latency breakdown."""
+
+    ids: np.ndarray  # (k,) int64, padded with -1 like IVFPQIndex.search
+    dists: np.ndarray  # (k,) float32
+    queue_us: float
+    exec_us: float
+    batch_size: int  # size of the backend batch that served this request
+    cache_hit: bool = False
+
+    @property
+    def total_us(self) -> float:
+        return self.queue_us + self.exec_us
+
+
+@dataclass
+class _Request:
+    query: np.ndarray
+    k: int
+    nprobe: int | None
+    future: Future
+    t_submit: float
+    key: bytes | None = None
+    #: Cache epoch observed at submit; guards against an invalidation that
+    #: lands while this request is in flight (stale results must not be
+    #: written back).
+    cache_epoch: int = 0
+
+
+#: Sentinel that tells the worker to drain out and exit.
+_STOP = object()
+
+
+class ServingEngine:
+    """Accepts single-query requests, serves them in dynamic micro-batches.
+
+    Parameters
+    ----------
+    backend : object with ``search_batch(queries, k, nprobe)``.
+    max_batch : largest micro-batch handed to the backend.
+    max_wait_us : how long the worker holds an open batch for stragglers
+        after dequeuing its first request.  0 = greedy (drain whatever is
+        already queued, never wait) — the batch-size-1 baseline is
+        ``max_batch=1`` (the window is then irrelevant).
+    queue_depth : admission-queue bound (backpressure threshold).
+    policy : ``"block"`` (submit blocks when full) or ``"shed"`` (submit
+        raises :class:`AdmissionError` when full).
+    cache : optional :class:`QueryResultCache` consulted at submit time.
+    metrics : optional external registry (one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        backend: SearchBackend,
+        *,
+        max_batch: int = 32,
+        max_wait_us: float = 1000.0,
+        queue_depth: int = 1024,
+        policy: str = "block",
+        cache: QueryResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if policy not in ("block", "shed"):
+            raise ValueError(f"policy must be 'block' or 'shed', got {policy!r}")
+        self.backend = backend
+        #: Query dimensionality, when the backend advertises one (all the
+        #: in-repo backends do).  Lets submit() reject a malformed query
+        #: immediately instead of poisoning the whole micro-batch it would
+        #: have been coalesced into.
+        self._backend_d: int | None = getattr(backend, "d", None)
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.policy = policy
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=queue_depth)
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+        #: Orders submit() against stop(): no request may enter the queue
+        #: after the _STOP sentinel, or its future would never resolve.
+        self._admission_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    def start(self) -> "ServingEngine":
+        if self._worker is not None:
+            raise RuntimeError("engine already started")
+        self._stopping = False
+        self._worker = threading.Thread(
+            target=self._run, name="serve-worker", daemon=True
+        )
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain queued requests, then stop the worker (idempotent)."""
+        if self._worker is None:
+            return
+        with self._admission_lock:
+            self._stopping = True
+            self._queue.put(_STOP)
+        self._worker.join()
+        self._worker = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting in the admission queue."""
+        return self._queue.qsize()
+
+    def invalidate_cache(self) -> None:
+        """Drop cached results (call after any index mutation)."""
+        if self.cache is not None:
+            self.cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    def submit(
+        self, query: np.ndarray, k: int, nprobe: int | None = None
+    ) -> "Future[ServeResult]":
+        """Enqueue one query; returns a future resolving to a ServeResult.
+
+        Cache hits resolve immediately without entering the queue.  Under
+        the ``shed`` policy a full queue raises :class:`AdmissionError`
+        (callers are expected to back off — open-loop load counts these as
+        shed requests).
+        """
+        if self._worker is None or self._stopping:
+            raise RuntimeError("engine is not running (call start())")
+        query = np.ascontiguousarray(query, dtype=np.float32).reshape(-1)
+        if self._backend_d is not None and query.shape[0] != self._backend_d:
+            raise ValueError(
+                f"query has dim {query.shape[0]}, backend serves dim "
+                f"{self._backend_d}"
+            )
+        fut: Future = Future()
+        key = None
+        cache_epoch = 0
+        if self.cache is not None:
+            cache_epoch = self.cache.epoch
+            key = query_key(query, k, nprobe)
+            hit = self.cache.get(key)
+            if hit is not None:
+                ids, dists = hit
+                self.metrics.inc("cache_hits")
+                # Hits are completed requests too: record them (at ~zero
+                # latency) so snapshot().qps matches the true served rate.
+                self.metrics.observe_request(0.0, 0.0, 0.0)
+                fut.set_result(
+                    ServeResult(
+                        ids=ids, dists=dists, queue_us=0.0, exec_us=0.0,
+                        batch_size=0, cache_hit=True,
+                    )
+                )
+                return fut
+            self.metrics.inc("cache_misses")
+        req = _Request(
+            query=query, k=k, nprobe=nprobe, future=fut,
+            t_submit=time.perf_counter(), key=key, cache_epoch=cache_epoch,
+        )
+        # The admission lock orders this enqueue against stop(): a request
+        # admitted here is guaranteed to precede the _STOP sentinel, so the
+        # drain in stop() always resolves its future.  (A block-policy put
+        # may hold the lock while the queue is full; the worker keeps
+        # draining independently, so it always frees up.)
+        with self._admission_lock:
+            if self._stopping:
+                raise RuntimeError("engine is not running (call start())")
+            if self.policy == "shed":
+                try:
+                    self._queue.put_nowait(req)
+                except queue_mod.Full:
+                    self.metrics.inc("shed")
+                    raise AdmissionError(
+                        f"admission queue full ({self._queue.maxsize}); request shed"
+                    ) from None
+            else:
+                self._queue.put(req)
+        return fut
+
+    def search(
+        self, query: np.ndarray, k: int, nprobe: int | None = None
+    ) -> ServeResult:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(query, k, nprobe).result()
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    def _run(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.max_wait_us * 1e-6
+            stop_after = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                try:
+                    if remaining <= 0:
+                        nxt = self._queue.get_nowait()
+                    else:
+                        nxt = self._queue.get(timeout=remaining)
+                except queue_mod.Empty:
+                    break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                batch.append(nxt)
+            try:
+                self._execute(batch)
+            except Exception as exc:  # safety net: the worker must survive
+                for r in batch:
+                    if not r.future.done():
+                        r.future.set_exception(exc)
+            if stop_after:
+                return
+
+    def _execute(self, batch: list[_Request]) -> None:
+        """Serve one micro-batch, grouped by (k, nprobe)."""
+        groups: dict[tuple[int, int | None], list[_Request]] = {}
+        for req in batch:
+            groups.setdefault((req.k, req.nprobe), []).append(req)
+        for (k, nprobe), reqs in groups.items():
+            t0 = time.perf_counter()
+            try:
+                # Everything request-shaped stays inside the try: a
+                # malformed query (wrong dimensionality breaking np.stack)
+                # or a misbehaving backend (wrong row count) must fail the
+                # affected requests, never kill the worker thread.
+                queries = np.stack([r.query for r in reqs])
+                ids, dists = self.backend.search_batch(queries, k, nprobe)
+                ids = np.asarray(ids)
+                dists = np.asarray(dists)
+                if ids.shape[0] != len(reqs) or dists.shape[0] != len(reqs):
+                    raise RuntimeError(
+                        f"backend returned {ids.shape[0]} rows for "
+                        f"{len(reqs)} requests"
+                    )
+            except Exception as exc:  # propagate to every waiter, keep serving
+                self.metrics.inc("errors", len(reqs))
+                for r in reqs:
+                    r.future.set_exception(exc)
+                continue
+            t1 = time.perf_counter()
+            exec_us = (t1 - t0) * 1e6
+            self.metrics.observe_batch(len(reqs))
+            for i, r in enumerate(reqs):
+                if self.cache is not None and r.key is not None:
+                    self.cache.put(r.key, ids[i], dists[i], epoch=r.cache_epoch)
+                queue_us = (t0 - r.t_submit) * 1e6
+                self.metrics.observe_request(queue_us, exec_us, queue_us + exec_us)
+                r.future.set_result(
+                    ServeResult(
+                        ids=np.array(ids[i], dtype=np.int64, copy=True),
+                        dists=np.array(dists[i], dtype=np.float32, copy=True),
+                        queue_us=queue_us,
+                        exec_us=exec_us,
+                        batch_size=len(reqs),
+                    )
+                )

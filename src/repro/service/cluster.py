@@ -53,6 +53,8 @@ class FPGAClusterService:
         self.config = config
         self.n_accelerators = n_accelerators
         self.loggp = loggp
+        #: Query dimensionality of the deployed design (serving contract).
+        self.d = config.params.d
         self.shards = partition_index(index, n_accelerators)
         self.sims = [
             AcceleratorSimulator(shard, config, workload_scale=workload_scale)
@@ -88,3 +90,23 @@ class FPGAClusterService:
             latencies_us=lat,
             per_node_qps=[o.qps for o in outs],
         )
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform serving entry point (see :mod:`repro.serve.backends`).
+
+        The generated design bakes K and nprobe into the hardware, so a
+        request may only ask for what the deployed accelerators compute:
+        ``k`` must equal ``config.params.k`` and ``nprobe``, if given, must
+        equal ``config.params.nprobe``.
+        """
+        p = self.config.params
+        if k != p.k:
+            raise ValueError(f"deployed design serves k={p.k}, request asked k={k}")
+        if nprobe is not None and nprobe != p.nprobe:
+            raise ValueError(
+                f"deployed design probes nprobe={p.nprobe}, request asked {nprobe}"
+            )
+        out = self.search(queries)
+        return out.ids, out.dists

@@ -15,10 +15,17 @@ Implements the deployment loop of §4:
   effectively concealed by the ongoing operation of the older system").
 
 Queries fan out to both indexes and merge the top-K, skipping deleted ids.
+
+The service is safe to mutate while it serves: ``search``/``search_batch``,
+``insert``, ``delete``, and ``merge`` serialize on one reentrant lock, so a
+serving engine's worker thread can keep answering queries while another
+thread folds the next snapshot — each request sees either the old or the new
+generation, never a half-merged state.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -70,13 +77,21 @@ class DynamicVectorService:
         self._snapshot_vectors: np.ndarray | None = None
         self._snapshot_ids: np.ndarray | None = None
         self._next_id = 0
+        #: Serializes mutations against serving reads (reentrant so internal
+        #: calls under the lock never deadlock).
+        self._lock = threading.RLock()
+        #: During a merge() rebuild the pre-merge delta is frozen here and
+        #: stays searchable; new inserts go to a fresh ``delta``.
+        self._frozen_delta: NSWGraphIndex | None = None
 
     # ------------------------------------------------------------------ #
     @property
     def ntotal(self) -> int:
-        """Live vectors (snapshot + delta − deletions)."""
-        snap = len(self._snapshot_ids) if self._snapshot_ids is not None else 0
-        return snap + self.delta.ntotal - len(self.deleted)
+        """Live vectors (snapshot + deltas − deletions)."""
+        with self._lock:  # consistent multi-field read vs merge() phases
+            snap = len(self._snapshot_ids) if self._snapshot_ids is not None else 0
+            frozen = self._frozen_delta.ntotal if self._frozen_delta is not None else 0
+            return snap + frozen + self.delta.ntotal - len(self.deleted)
 
     def _allocate_ids(self, n: int) -> np.ndarray:
         ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
@@ -86,6 +101,12 @@ class DynamicVectorService:
     # ------------------------------------------------------------------ #
     def bootstrap(self, x: np.ndarray, train_vectors: np.ndarray | None = None) -> np.ndarray:
         """Create the initial snapshot; returns the assigned ids."""
+        with self._lock:
+            return self._bootstrap_locked(x, train_vectors)
+
+    def _bootstrap_locked(
+        self, x: np.ndarray, train_vectors: np.ndarray | None
+    ) -> np.ndarray:
         x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
         ids = self._allocate_ids(x.shape[0])
         self.primary = IVFPQIndex(
@@ -100,58 +121,78 @@ class DynamicVectorService:
 
     def insert(self, x: np.ndarray) -> np.ndarray:
         """Insert new vectors into the incremental index; returns their ids."""
-        if self.primary is None:
-            raise RuntimeError("bootstrap() must run before insert()")
-        x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
-        ids = self._allocate_ids(x.shape[0])
-        self.delta.add(x, ids=ids)
-        return ids
+        with self._lock:
+            if self.primary is None:
+                raise RuntimeError("bootstrap() must run before insert()")
+            x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
+            ids = self._allocate_ids(x.shape[0])
+            self.delta.add(x, ids=ids)
+            return ids
 
     def delete(self, ids) -> int:
         """Mark ids deleted (bitmap); returns how many were newly marked."""
-        before = len(self.deleted)
-        self.deleted.update(int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64)))
-        return len(self.deleted) - before
+        with self._lock:
+            before = len(self.deleted)
+            self.deleted.update(
+                int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64))
+            )
+            return len(self.deleted) - before
 
     # ------------------------------------------------------------------ #
-    def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def search(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Merged top-k over (primary ∪ delta) \\ deleted.
 
         Over-fetches from both indexes to survive deletion filtering, then
         merges by distance — the query path of the paper's deployment.
+        ``nprobe`` overrides the service default for this call.
         """
-        if self.primary is None:
-            raise RuntimeError("bootstrap() must run before search()")
-        queries = np.atleast_2d(queries)
-        nq = queries.shape[0]
-        fetch = k + min(len(self.deleted), 4 * k) + 4
-        p_ids, p_dists = self.primary.search(
-            queries, min(fetch, max(self.primary.ntotal, 1)), self.nprobe
-        )
-        if self.delta.ntotal > 0:
-            g_ids, g_dists = self.delta.search(queries, min(fetch, self.delta.ntotal))
-        else:
-            g_ids = np.full((nq, 0), -1, dtype=np.int64)
-            g_dists = np.full((nq, 0), np.inf, dtype=np.float32)
+        with self._lock:
+            if self.primary is None:
+                raise RuntimeError("bootstrap() must run before search()")
+            nprobe = self.nprobe if nprobe is None else nprobe
+            queries = np.atleast_2d(queries)
+            fetch = k + min(len(self.deleted), 4 * k) + 4
+            p_ids, p_dists = self.primary.search(
+                queries,
+                min(fetch, max(self.primary.ntotal, 1)),
+                min(nprobe, self.primary.nlist),
+            )
+            id_parts, dist_parts = [p_ids], [p_dists]
+            # Both deltas: the live one, plus the frozen pre-merge one while
+            # a background rebuild is in flight (its vectors are in neither
+            # the old primary nor the fresh delta).
+            for g in (self._frozen_delta, self.delta):
+                if g is not None and g.ntotal > 0:
+                    g_ids, g_dists = g.search(queries, min(fetch, g.ntotal))
+                    id_parts.append(g_ids)
+                    dist_parts.append(g_dists)
 
-        # Batched merge: mask deleted/padding candidates to +inf, then one
-        # stable row-wise argsort — no per-query Python loop.
-        ids = np.concatenate([p_ids, g_ids], axis=1)
-        dists = np.concatenate([p_dists, g_dists], axis=1).astype(np.float32, copy=True)
-        if ids.shape[1] < k:  # tiny index: fewer candidates than k
-            pad = k - ids.shape[1]
-            ids = np.pad(ids, ((0, 0), (0, pad)), constant_values=-1)
-            dists = np.pad(dists, ((0, 0), (0, pad)), constant_values=np.inf)
-        drop = ids < 0
-        if self.deleted:
-            deleted = np.fromiter(self.deleted, dtype=np.int64, count=len(self.deleted))
-            drop |= np.isin(ids, deleted)
-        dists[drop] = np.inf
-        order = np.argsort(dists, axis=1, kind="stable")[:, :k]
-        out_ids = np.take_along_axis(ids, order, axis=1)
-        out_dists = np.take_along_axis(dists, order, axis=1)
-        out_ids[~np.isfinite(out_dists)] = -1
-        return out_ids, out_dists
+            # Batched merge: mask deleted/padding candidates to +inf, then one
+            # stable row-wise argsort — no per-query Python loop.
+            ids = np.concatenate(id_parts, axis=1)
+            dists = np.concatenate(dist_parts, axis=1).astype(np.float32, copy=True)
+            if ids.shape[1] < k:  # tiny index: fewer candidates than k
+                pad = k - ids.shape[1]
+                ids = np.pad(ids, ((0, 0), (0, pad)), constant_values=-1)
+                dists = np.pad(dists, ((0, 0), (0, pad)), constant_values=np.inf)
+            drop = ids < 0
+            if self.deleted:
+                deleted = np.fromiter(self.deleted, dtype=np.int64, count=len(self.deleted))
+                drop |= np.isin(ids, deleted)
+            dists[drop] = np.inf
+            order = np.argsort(dists, axis=1, kind="stable")[:, :k]
+            out_ids = np.take_along_axis(ids, order, axis=1)
+            out_dists = np.take_along_axis(dists, order, axis=1)
+            out_ids[~np.isfinite(out_dists)] = -1
+            return out_ids, out_dists
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform serving entry point (see :mod:`repro.serve.backends`)."""
+        return self.search(queries, k, nprobe)
 
     # ------------------------------------------------------------------ #
     def merge(self) -> SnapshotStats:
@@ -160,42 +201,81 @@ class DynamicVectorService:
         After merging, FANNS would redesign the accelerator for the new
         snapshot (the rebuild here retrains IVF-PQ, mirroring that the
         algorithm explorer "always targets a static dataset snapshot").
-        """
-        if self.primary is None:
-            raise RuntimeError("bootstrap() must run before merge()")
-        delta_vecs, delta_ids = self.delta.vectors_and_ids()
-        inserted = len(delta_ids)
-        all_vecs = np.vstack([self._snapshot_vectors, delta_vecs]) if inserted else (
-            self._snapshot_vectors
-        )
-        all_ids = (
-            np.concatenate([self._snapshot_ids, delta_ids])
-            if inserted
-            else self._snapshot_ids
-        )
-        if self.deleted:
-            deleted = np.fromiter(self.deleted, dtype=np.int64, count=len(self.deleted))
-            live = ~np.isin(all_ids, deleted)
-        else:
-            live = np.ones(len(all_ids), dtype=bool)
-        deleted = int((~live).sum())
-        new_vecs = np.ascontiguousarray(all_vecs[live])
-        new_ids = all_ids[live]
 
-        self.primary = IVFPQIndex(
-            d=self.d, nlist=min(self.nlist, max(len(new_ids), 1)), m=self.m,
-            ksub=self.ksub, use_opq=self.use_opq, seed=self.seed,
-        )
-        self.primary.train(new_vecs)
-        self.primary.add(new_vecs, ids=new_ids)
-        self._snapshot_vectors = new_vecs
-        self._snapshot_ids = new_ids
-        self.delta = NSWGraphIndex(d=self.d, max_degree=self.graph_degree, seed=self.seed)
-        self.deleted.clear()
-        self.generation += 1
-        return SnapshotStats(
-            snapshot_size=len(new_ids),
-            inserted_since=inserted,
-            deleted_since=deleted,
-            generation=self.generation,
-        )
+        The expensive rebuild runs *outside* the service lock, so serving
+        continues throughout: (1) under the lock, freeze the current delta
+        and tombstone set and swap in a fresh delta for new inserts; (2)
+        retrain the new primary on the folded snapshot with no lock held —
+        concurrent searches see old primary + frozen delta + live delta;
+        (3) under the lock, swap in the new generation.  Mutations landing
+        during the rebuild carry over to the next generation.
+        """
+        # Phase 1 — freeze the fold set under the lock.
+        with self._lock:
+            if self.primary is None:
+                raise RuntimeError("bootstrap() must run before merge()")
+            if self._frozen_delta is not None:
+                raise RuntimeError("a merge is already in progress")
+            frozen = self.delta
+            self._frozen_delta = frozen
+            self.delta = NSWGraphIndex(
+                d=self.d, max_degree=self.graph_degree, seed=self.seed
+            )
+            snap_vecs = self._snapshot_vectors
+            snap_ids = self._snapshot_ids
+            folded_deleted = frozenset(self.deleted)
+
+        # Phase 2 — rebuild with no lock held (reads only frozen state).
+        try:
+            delta_vecs, delta_ids = frozen.vectors_and_ids()
+            inserted = len(delta_ids)
+            all_vecs = np.vstack([snap_vecs, delta_vecs]) if inserted else snap_vecs
+            all_ids = (
+                np.concatenate([snap_ids, delta_ids]) if inserted else snap_ids
+            )
+            if folded_deleted:
+                deleted_arr = np.fromiter(
+                    folded_deleted, dtype=np.int64, count=len(folded_deleted)
+                )
+                live = ~np.isin(all_ids, deleted_arr)
+            else:
+                live = np.ones(len(all_ids), dtype=bool)
+            n_deleted = int((~live).sum())
+            new_vecs = np.ascontiguousarray(all_vecs[live])
+            new_ids = all_ids[live]
+            new_primary = IVFPQIndex(
+                d=self.d, nlist=min(self.nlist, max(len(new_ids), 1)), m=self.m,
+                ksub=self.ksub, use_opq=self.use_opq, seed=self.seed,
+            )
+            new_primary.train(new_vecs)
+            new_primary.add(new_vecs, ids=new_ids)
+        except BaseException:
+            # Roll back: fold the (typically tiny) mid-rebuild delta into
+            # the frozen graph and reinstate it as the live delta — O(new
+            # inserts) under the lock, not O(frozen size) — so the old
+            # generation keeps serving the full collection and a later
+            # merge() can retry.
+            with self._lock:
+                live_vecs, live_ids = self.delta.vectors_and_ids()
+                if len(live_ids):
+                    frozen.add(live_vecs, ids=live_ids)
+                self.delta = frozen
+                self._frozen_delta = None
+            raise
+
+        # Phase 3 — swap in the new generation under the lock.
+        with self._lock:
+            self.primary = new_primary
+            self._snapshot_vectors = new_vecs
+            self._snapshot_ids = new_ids
+            self._frozen_delta = None
+            # Folded tombstones are now physically absent; deletes that
+            # arrived during the rebuild stay masked into the next cycle.
+            self.deleted -= folded_deleted
+            self.generation += 1
+            return SnapshotStats(
+                snapshot_size=len(new_ids),
+                inserted_since=inserted,
+                deleted_since=n_deleted,
+                generation=self.generation,
+            )

@@ -11,7 +11,6 @@ import pytest
 from repro.ann.invlists import InvListBuilder, PackedInvLists
 from repro.ann.io import load_index_dir, save_index_dir
 from repro.ann.ivf import IVFPQIndex
-from repro.ann.pq import ProductQuantizer
 
 
 def _reference_search(index, queries, k, nprobe):

@@ -9,6 +9,7 @@ class TestCLI:
     def test_all_experiment_ids_registered(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig03", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04",
+            "serve-bench",
         }
 
     def test_runs_analytic_experiment(self, capsys):

@@ -1,0 +1,86 @@
+"""Tests for the LRU query-result cache."""
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import QueryResultCache, query_key
+
+
+class TestQueryKey:
+    def test_layout_invariant(self):
+        q = np.arange(8, dtype=np.float64)[::2]  # non-contiguous, wrong dtype
+        qc = np.ascontiguousarray(q, dtype=np.float32)
+        assert query_key(q, 10, 8) == query_key(qc, 10, 8)
+
+    def test_params_distinguish(self):
+        q = np.zeros(4, dtype=np.float32)
+        assert query_key(q, 10, 8) != query_key(q, 11, 8)
+        assert query_key(q, 10, 8) != query_key(q, 10, 16)
+        assert query_key(q, 10, None) != query_key(q, 10, 8)
+
+    def test_query_bits_distinguish(self):
+        a = np.zeros(4, dtype=np.float32)
+        b = a.copy()
+        b[0] = np.float32(1e-30)
+        assert query_key(a, 10, 8) != query_key(b, 10, 8)
+
+
+class TestQueryResultCache:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QueryResultCache(0)
+
+    def test_miss_then_hit(self):
+        c = QueryResultCache(4)
+        k = b"key1"
+        assert c.get(k) is None
+        c.put(k, np.arange(3, dtype=np.int64), np.zeros(3, dtype=np.float32))
+        hit = c.get(k)
+        assert hit is not None
+        np.testing.assert_array_equal(hit[0], [0, 1, 2])
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        c = QueryResultCache(2)
+        ids, d = np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.float32)
+        c.put(b"a", ids, d)
+        c.put(b"b", ids, d)
+        assert c.get(b"a") is not None  # refresh a -> b is now LRU
+        c.put(b"c", ids, d)
+        assert c.get(b"b") is None  # evicted
+        assert c.get(b"a") is not None
+        assert c.get(b"c") is not None
+        assert len(c) == 2
+
+    def test_put_copies(self):
+        c = QueryResultCache(2)
+        ids = np.arange(3, dtype=np.int64)
+        c.put(b"k", ids, np.zeros(3, dtype=np.float32))
+        ids[0] = 999  # mutating the caller's array must not corrupt the cache
+        np.testing.assert_array_equal(c.get(b"k")[0], [0, 1, 2])
+
+    def test_get_returns_copies(self):
+        c = QueryResultCache(2)
+        c.put(b"k", np.arange(3, dtype=np.int64), np.zeros(3, dtype=np.float32))
+        hit = c.get(b"k")
+        hit[0][0] = 999  # a client mutating its result must not corrupt the cache
+        np.testing.assert_array_equal(c.get(b"k")[0], [0, 1, 2])
+
+    def test_clear(self):
+        c = QueryResultCache(4)
+        c.put(b"k", np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.float32))
+        c.clear()
+        assert len(c) == 0
+        assert c.get(b"k") is None
+
+    def test_stale_epoch_write_dropped(self):
+        """A result computed before a clear() must not repopulate the cache."""
+        c = QueryResultCache(4)
+        ids, d = np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.float32)
+        epoch = c.epoch
+        c.clear()  # invalidation lands while the write is in flight
+        c.put(b"k", ids, d, epoch=epoch)
+        assert c.get(b"k") is None  # stale write was dropped
+        c.put(b"k", ids, d, epoch=c.epoch)  # current epoch still writes
+        assert c.get(b"k") is not None

@@ -1,0 +1,120 @@
+"""Tests for the open-loop / closed-loop load generators."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingEngine, poisson_arrivals
+from repro.serve.loadgen import run_closed_loop, run_open_loop
+
+D = 8
+K = 4
+
+
+class FastBackend:
+    def search_batch(self, queries, k, nprobe=None):
+        queries = np.atleast_2d(queries)
+        n = queries.shape[0]
+        ids = np.tile(np.arange(k, dtype=np.int64), (n, 1))
+        dists = np.tile(np.arange(k, dtype=np.float32), (n, 1))
+        return ids, dists
+
+
+class TestPoissonArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_qps"):
+            poisson_arrivals(0.0, 10)
+        with pytest.raises(ValueError, match="n must be"):
+            poisson_arrivals(100.0, 0)
+
+    def test_monotone_and_rate(self):
+        arr = poisson_arrivals(1000.0, 20_000, seed=3)
+        assert (np.diff(arr) >= 0).all()
+        # Mean inter-arrival ~ 1 ms (law of large numbers at n=20k).
+        assert np.mean(np.diff(arr)) == pytest.approx(1e-3, rel=0.05)
+
+    def test_seeded_determinism(self):
+        np.testing.assert_array_equal(
+            poisson_arrivals(500.0, 100, seed=9), poisson_arrivals(500.0, 100, seed=9)
+        )
+        assert not np.array_equal(
+            poisson_arrivals(500.0, 100, seed=9), poisson_arrivals(500.0, 100, seed=10)
+        )
+
+
+class TestOpenLoop:
+    def test_completes_all_requests(self):
+        queries = np.random.default_rng(0).standard_normal((50, D)).astype(np.float32)
+        with ServingEngine(FastBackend(), max_batch=8, max_wait_us=500.0) as eng:
+            rep = run_open_loop(eng, queries, K, rate_qps=5000.0, seed=1)
+        assert rep.mode == "open"
+        assert rep.n_issued == 50
+        assert rep.n_completed == 50
+        assert rep.n_shed == 0
+        assert rep.offered_qps == 5000.0
+        assert rep.total.count == 50
+        assert rep.achieved_qps > 0
+        assert rep.mean_batch_size >= 1.0
+
+    def test_sheds_under_overload(self):
+        queries = np.zeros((80, D), dtype=np.float32)
+
+        class Slow(FastBackend):
+            def search_batch(self, queries, k, nprobe=None):
+                import time
+
+                time.sleep(0.02)
+                return super().search_batch(queries, k, nprobe)
+
+        with ServingEngine(
+            Slow(), max_batch=1, queue_depth=2, policy="shed"
+        ) as eng:
+            rep = run_open_loop(eng, queries, K, rate_qps=4000.0, seed=0)
+        assert rep.n_shed > 0
+        assert rep.n_completed + rep.n_shed == 80
+
+
+class TestClosedLoop:
+    def test_validation(self):
+        with ServingEngine(FastBackend()) as eng:
+            with pytest.raises(ValueError, match="n_clients"):
+                run_closed_loop(eng, np.zeros((4, D), dtype=np.float32), K, n_clients=0)
+
+    def test_serves_requested_count(self):
+        queries = np.random.default_rng(1).standard_normal((16, D)).astype(np.float32)
+        with ServingEngine(FastBackend(), max_batch=8, max_wait_us=200.0) as eng:
+            rep = run_closed_loop(eng, queries, K, n_clients=4, n_requests=64)
+        assert rep.mode == "closed"
+        assert rep.n_completed == 64
+        assert rep.total.count == 64
+        assert rep.achieved_qps == pytest.approx(rep.offered_qps)
+
+    def test_request_errors_counted_not_fatal(self):
+        """A backend failure mid-run must be counted, not abort the report
+        (open loop) or kill a client thread (closed loop)."""
+
+        class Flaky(FastBackend):
+            def search_batch(self, queries, k, nprobe=None):
+                queries = np.atleast_2d(queries)
+                if np.any(queries[:, 0] < 0):  # poison marker
+                    raise RuntimeError("bad shard")
+                return super().search_batch(queries, k, nprobe)
+
+        queries = np.zeros((20, D), dtype=np.float32)
+        queries[7, 0] = -1.0
+        # max_batch=1 so only the poisoned request's batch fails.
+        with ServingEngine(Flaky(), max_batch=1) as eng:
+            rep = run_open_loop(eng, queries, K, rate_qps=5000.0, seed=2)
+        assert rep.n_errors == 1
+        assert rep.n_completed == 19
+        with ServingEngine(Flaky(), max_batch=1) as eng:
+            rep = run_closed_loop(eng, queries, K, n_clients=3, n_requests=20)
+        assert rep.n_errors == 1
+        assert rep.n_completed == 19
+
+    def test_percentile_rows_shape(self):
+        queries = np.zeros((8, D), dtype=np.float32)
+        with ServingEngine(FastBackend()) as eng:
+            rep = run_closed_loop(eng, queries, K, n_clients=2)
+        rows = rep.percentile_rows()
+        assert [r[0] for r in rows] == ["total", "queue", "exec"]
+        assert all(len(r) == 5 for r in rows)

@@ -1,0 +1,64 @@
+"""Tests for the serving metrics registry."""
+
+import numpy as np
+
+from repro.serve.metrics import LatencyStats, MetricsRegistry
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        s = LatencyStats.from_samples(np.array([]))
+        assert s.count == 0
+        assert s.p99_us == 0.0
+
+    def test_percentiles_ordered(self):
+        s = LatencyStats.from_samples(np.arange(1000.0))
+        assert s.count == 1000
+        assert s.p50_us <= s.p95_us <= s.p99_us <= s.max_us
+        assert s.p50_us == 499.5
+        assert s.max_us == 999.0
+
+    def test_row_shape(self):
+        s = LatencyStats.from_samples(np.array([1.0, 2.0, 3.0]))
+        assert len(s.row()) == 4
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("shed")
+        m.inc("shed", 2)
+        assert m.snapshot().counters["shed"] == 3
+
+    def test_observe_request_feeds_reservoirs(self):
+        m = MetricsRegistry()
+        for i in range(10):
+            m.observe_request(queue_us=10.0 * i, exec_us=5.0, total_us=10.0 * i + 5.0)
+        snap = m.snapshot()
+        assert snap.counters["completed"] == 10
+        assert snap.total.count == 10
+        assert snap.queue.mean_us == 45.0
+        assert snap.exec.mean_us == 5.0
+
+    def test_batch_histogram_and_mean(self):
+        m = MetricsRegistry()
+        for size in [1, 4, 4, 16]:
+            m.observe_batch(size)
+        snap = m.snapshot()
+        assert snap.batch_histogram == {1: 1, 4: 2, 16: 1}
+        assert snap.mean_batch_size == (1 + 4 + 4 + 16) / 4
+        assert snap.counters["batches"] == 4
+
+    def test_cache_hit_rate(self):
+        m = MetricsRegistry()
+        assert m.snapshot().cache_hit_rate == 0.0
+        m.inc("cache_hits", 3)
+        m.inc("cache_misses", 1)
+        assert m.snapshot().cache_hit_rate == 0.75
+
+    def test_snapshot_is_immutable_copy(self):
+        m = MetricsRegistry()
+        m.observe_request(1.0, 1.0, 2.0)
+        snap = m.snapshot()
+        m.observe_request(100.0, 1.0, 101.0)
+        assert snap.total.count == 1  # later writes invisible to old snapshot

@@ -1,0 +1,279 @@
+"""Tests for the dynamic micro-batching serving engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFPQIndex
+from repro.data.synthetic import make_clustered
+from repro.serve import (
+    AdmissionError,
+    InstrumentedBackend,
+    QueryResultCache,
+    ServingEngine,
+)
+
+D = 16
+K = 5
+NPROBE = 4
+
+
+class FakeBackend:
+    """Deterministic stand-in: ids derive from the query's first element."""
+
+    def __init__(self, delay_s: float = 0.0, fail: bool = False):
+        self.delay_s = delay_s
+        self.fail = fail
+
+    def search_batch(self, queries, k, nprobe=None):
+        if self.fail:
+            raise RuntimeError("backend exploded")
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        queries = np.atleast_2d(queries)
+        base = queries[:, 0].astype(np.int64)[:, None]
+        ids = base * 100 + np.arange(k, dtype=np.int64)[None, :]
+        dists = np.tile(np.arange(k, dtype=np.float32), (queries.shape[0], 1))
+        return ids, dists
+
+
+@pytest.fixture(scope="module")
+def small_index():
+    vecs = make_clustered(2200, D, n_clusters=32, seed=11)
+    index = IVFPQIndex(d=D, nlist=32, m=4, ksub=32, seed=0)
+    index.train(vecs[:2000])
+    index.add(vecs[:2000])
+    index.invlists
+    return index, vecs[2000:]
+
+
+class TestValidation:
+    def test_bad_params(self):
+        be = FakeBackend()
+        with pytest.raises(ValueError, match="max_batch"):
+            ServingEngine(be, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_us"):
+            ServingEngine(be, max_wait_us=-1)
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServingEngine(be, queue_depth=0)
+        with pytest.raises(ValueError, match="policy"):
+            ServingEngine(be, policy="drop-oldest")
+
+    def test_submit_requires_running(self):
+        eng = ServingEngine(FakeBackend())
+        with pytest.raises(RuntimeError, match="start"):
+            eng.submit(np.zeros(D, dtype=np.float32), K)
+
+    def test_double_start_rejected(self):
+        eng = ServingEngine(FakeBackend()).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                eng.start()
+        finally:
+            eng.stop()
+
+    def test_stop_idempotent(self):
+        eng = ServingEngine(FakeBackend()).start()
+        eng.stop()
+        eng.stop()
+
+
+class TestBatching:
+    def test_results_bit_identical_to_direct_search(self, small_index):
+        index, queries = small_index
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        with ServingEngine(index, max_batch=8, max_wait_us=5000.0) as eng:
+            futs = [eng.submit(q, K, NPROBE) for q in queries]
+            got = [f.result(timeout=30) for f in futs]
+        ids = np.stack([g.ids for g in got])
+        dists = np.stack([g.dists for g in got])
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(dists, ref_dists)
+
+    def test_coalesces_within_window(self):
+        be = InstrumentedBackend(FakeBackend())
+        with ServingEngine(be, max_batch=64, max_wait_us=200_000.0) as eng:
+            futs = [
+                eng.submit(np.full(D, i, dtype=np.float32), K) for i in range(20)
+            ]
+            for f in futs:
+                f.result(timeout=30)
+        # All 20 requests land well inside one 200 ms window.
+        assert be.calls == 1
+        assert be.batch_sizes == [20]
+
+    def test_max_batch_respected(self):
+        be = InstrumentedBackend(FakeBackend())
+        with ServingEngine(be, max_batch=4, max_wait_us=100_000.0) as eng:
+            futs = [
+                eng.submit(np.full(D, i, dtype=np.float32), K) for i in range(10)
+            ]
+            for f in futs:
+                f.result(timeout=30)
+        assert max(be.batch_sizes) <= 4
+        assert sum(be.batch_sizes) == 10
+
+    def test_batch_size_one_baseline(self):
+        be = InstrumentedBackend(FakeBackend())
+        with ServingEngine(be, max_batch=1) as eng:
+            for i in range(5):
+                res = eng.search(np.full(D, i, dtype=np.float32), K)
+                assert res.batch_size == 1
+        assert be.batch_sizes == [1] * 5
+
+    def test_mixed_k_nprobe_grouped_separately(self):
+        be = InstrumentedBackend(FakeBackend())
+        with ServingEngine(be, max_batch=16, max_wait_us=100_000.0) as eng:
+            f1 = eng.submit(np.ones(D, dtype=np.float32), 3)
+            f2 = eng.submit(np.ones(D, dtype=np.float32), 7)
+            f3 = eng.submit(np.full(D, 2.0, dtype=np.float32), 3)
+            r1, r2, r3 = (f.result(timeout=30) for f in (f1, f2, f3))
+        assert r1.ids.shape == (3,)
+        assert r2.ids.shape == (7,)  # its own group, its own k
+        assert r3.ids.shape == (3,)
+        assert r1.batch_size == 2 and r3.batch_size == 2  # same (k, nprobe) group
+        assert r2.batch_size == 1
+        assert sorted(be.batch_sizes) == [1, 2]
+
+    def test_latency_breakdown_populated(self):
+        with ServingEngine(FakeBackend(delay_s=0.01), max_batch=4) as eng:
+            res = eng.search(np.zeros(D, dtype=np.float32), K)
+        assert res.exec_us >= 10_000 * 0.5  # the 10 ms backend delay
+        assert res.queue_us >= 0
+        assert res.total_us == pytest.approx(res.queue_us + res.exec_us)
+        assert not res.cache_hit
+
+
+class TestAdmissionControl:
+    def test_shed_raises_when_full(self):
+        be = FakeBackend(delay_s=0.2)
+        with ServingEngine(
+            be, max_batch=1, queue_depth=2, policy="shed"
+        ) as eng:
+            first = eng.submit(np.zeros(D, dtype=np.float32), K)
+            time.sleep(0.05)  # let the worker dequeue it and block in exec
+            eng.submit(np.zeros(D, dtype=np.float32), K)
+            eng.submit(np.zeros(D, dtype=np.float32), K)
+            with pytest.raises(AdmissionError, match="shed"):
+                eng.submit(np.zeros(D, dtype=np.float32), K)
+            assert eng.metrics.snapshot().counters["shed"] == 1
+            first.result(timeout=30)
+
+    def test_block_policy_never_sheds(self):
+        be = FakeBackend(delay_s=0.01)
+        with ServingEngine(
+            be, max_batch=4, queue_depth=2, policy="block"
+        ) as eng:
+            futs = [eng.submit(np.zeros(D, dtype=np.float32), K) for _ in range(12)]
+            for f in futs:
+                f.result(timeout=30)
+        assert eng.metrics.snapshot().counters["completed"] == 12
+        assert eng.metrics.snapshot().counters.get("shed", 0) == 0
+
+    def test_stop_drains_queued_requests(self):
+        be = FakeBackend(delay_s=0.02)
+        eng = ServingEngine(be, max_batch=2).start()
+        futs = [eng.submit(np.zeros(D, dtype=np.float32), K) for _ in range(6)]
+        eng.stop()  # must serve everything already admitted
+        for f in futs:
+            assert f.result(timeout=1).ids.shape == (K,)
+        with pytest.raises(RuntimeError, match="not running"):
+            eng.submit(np.zeros(D, dtype=np.float32), K)
+
+
+class TestErrorPropagation:
+    def test_wrong_dim_rejected_at_submit_when_backend_advertises_d(
+        self, small_index
+    ):
+        """Backends exposing .d let submit() reject the offender alone,
+        before it can poison a co-batched group."""
+        index, queries = small_index
+        with ServingEngine(index, max_batch=8, max_wait_us=50_000.0) as eng:
+            ok = eng.submit(queries[0], K, NPROBE)
+            with pytest.raises(ValueError, match="dim"):
+                eng.submit(np.zeros(D + 1, dtype=np.float32), K, NPROBE)
+            assert ok.result(timeout=30).ids.shape == (K,)  # unaffected
+
+    def test_malformed_query_fails_batch_but_not_worker(self):
+        """Mismatched query dims break np.stack inside the batch: the
+        affected futures get the exception and the worker keeps serving."""
+        be = FakeBackend()
+        with ServingEngine(be, max_batch=8, max_wait_us=100_000.0) as eng:
+            f_ok = eng.submit(np.zeros(D, dtype=np.float32), K)
+            f_bad = eng.submit(np.zeros(2 * D, dtype=np.float32), K)  # wrong d
+            with pytest.raises(ValueError):
+                f_bad.result(timeout=30)
+            with pytest.raises(ValueError):
+                f_ok.result(timeout=30)  # same batch, same failure
+            res = eng.search(np.zeros(D, dtype=np.float32), K)  # worker alive
+            assert res.ids.shape == (K,)
+
+    def test_wrong_backend_row_count_rejected(self):
+        class Short(FakeBackend):
+            def search_batch(self, queries, k, nprobe=None):
+                ids, dists = super().search_batch(queries, k, nprobe)
+                return ids[:-1], dists[:-1]  # one row short
+
+        with ServingEngine(Short(), max_batch=4) as eng:
+            with pytest.raises(RuntimeError, match="rows for"):
+                eng.search(np.zeros(D, dtype=np.float32), K)
+            assert eng.metrics.snapshot().counters["errors"] == 1
+
+    def test_backend_error_reaches_future_and_engine_survives(self):
+        be = FakeBackend()
+        with ServingEngine(be, max_batch=4) as eng:
+            be.fail = True
+            with pytest.raises(RuntimeError, match="exploded"):
+                eng.search(np.zeros(D, dtype=np.float32), K)
+            be.fail = False
+            res = eng.search(np.zeros(D, dtype=np.float32), K)  # still serving
+            assert res.ids.shape == (K,)
+        assert eng.metrics.snapshot().counters["errors"] == 1
+
+
+class TestCacheIntegration:
+    def test_repeat_query_hits_cache_bit_identically(self, small_index):
+        index, queries = small_index
+        q = queries[0]
+        with ServingEngine(
+            index, max_batch=4, cache=QueryResultCache(16)
+        ) as eng:
+            miss = eng.search(q, K, NPROBE)
+            hit = eng.search(q, K, NPROBE)
+        assert not miss.cache_hit and hit.cache_hit
+        assert hit.total_us == 0.0
+        np.testing.assert_array_equal(miss.ids, hit.ids)
+        np.testing.assert_array_equal(miss.dists, hit.dists)
+        ref_ids, ref_dists = index.search(q[None, :], K, NPROBE)
+        np.testing.assert_array_equal(hit.ids, ref_ids[0])
+        np.testing.assert_array_equal(hit.dists, ref_dists[0])
+
+    def test_different_params_do_not_collide(self, small_index):
+        index, queries = small_index
+        q = queries[0]
+        with ServingEngine(index, cache=QueryResultCache(16)) as eng:
+            a = eng.search(q, K, NPROBE)
+            b = eng.search(q, K, NPROBE + 1)  # different nprobe -> miss
+        assert not b.cache_hit
+        assert a.ids.shape == b.ids.shape
+
+    def test_invalidate_cache(self, small_index):
+        index, queries = small_index
+        cache = QueryResultCache(16)
+        with ServingEngine(index, cache=cache) as eng:
+            eng.search(queries[0], K, NPROBE)
+            assert len(cache) == 1
+            eng.invalidate_cache()
+            assert len(cache) == 0
+            assert not eng.search(queries[0], K, NPROBE).cache_hit
+
+    def test_metrics_track_hits_and_misses(self, small_index):
+        index, queries = small_index
+        with ServingEngine(index, cache=QueryResultCache(16)) as eng:
+            eng.search(queries[0], K, NPROBE)
+            eng.search(queries[0], K, NPROBE)
+            eng.search(queries[1], K, NPROBE)
+        counters = eng.metrics.snapshot().counters
+        assert counters["cache_hits"] == 1
+        assert counters["cache_misses"] == 2

@@ -43,3 +43,30 @@ class TestClusterService:
     def test_percentiles(self, cluster, small_dataset):
         out = cluster.search(small_dataset.queries[:10])
         assert out.latency_percentile(95) >= out.latency_percentile(50)
+
+
+class TestClusterServing:
+    def test_search_batch_enforces_deployed_design(self, cluster, small_dataset):
+        q = small_dataset.queries[:4]
+        with pytest.raises(ValueError, match="k=5"):
+            cluster.search_batch(q, 7)
+        with pytest.raises(ValueError, match="nprobe"):
+            cluster.search_batch(q, 5, nprobe=1)
+
+    def test_search_batch_matches_search(self, cluster, small_dataset):
+        q = small_dataset.queries[:6]
+        ids, dists = cluster.search_batch(q, 5)
+        out = cluster.search(q)
+        np.testing.assert_array_equal(ids, out.ids)
+        np.testing.assert_array_equal(dists, out.dists)
+
+    def test_serves_through_engine(self, cluster, small_dataset):
+        from repro.serve import ServingEngine
+
+        q = small_dataset.queries[:8]
+        ref = cluster.search(q)
+        with ServingEngine(cluster, max_batch=8, max_wait_us=50_000.0) as eng:
+            futs = [eng.submit(row, 5) for row in q]
+            got = [f.result(timeout=60) for f in futs]
+        np.testing.assert_array_equal(np.stack([g.ids for g in got]), ref.ids)
+        np.testing.assert_array_equal(np.stack([g.dists for g in got]), ref.dists)

@@ -1,0 +1,171 @@
+"""DynamicVectorService behind the serving engine: mutations mid-stream.
+
+The deployment loop of §4 mutates the collection (insert / delete / merge)
+while it serves.  These tests drive the service through the micro-batching
+scheduler and assert the serving-visible semantics: deletions are masked
+immediately, inserts become findable immediately, and a merge() concurrent
+with queued requests neither corrupts results nor drops requests.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_clustered
+from repro.serve import QueryResultCache, ServingEngine
+from repro.service.dynamic import DynamicVectorService
+
+D = 16
+K = 5
+
+
+@pytest.fixture()
+def svc_and_data():
+    vecs = make_clustered(2100, D, n_clusters=24, intrinsic_dim=5, seed=6)
+    base, extra, queries = vecs[:1600], vecs[1600:2000], vecs[2000:]
+    svc = DynamicVectorService(d=D, nlist=16, m=4, ksub=32, nprobe=8, seed=0)
+    ids = svc.bootstrap(base)
+    return svc, base, extra, queries, ids
+
+
+class TestServingSemantics:
+    def test_deletions_masked_mid_stream(self, svc_and_data):
+        svc, base, extra, queries, ids = svc_and_data
+        victims = ids[:200]
+        with ServingEngine(svc, max_batch=8, max_wait_us=1000.0) as eng:
+            before = [eng.search(q, K) for q in queries[:10]]
+            assert any(np.isin(r.ids, victims).any() for r in before)
+            svc.delete(victims)  # mutation between requests of one stream
+            after = [eng.search(q, K) for q in queries]
+            assert not any(np.isin(r.ids, victims).any() for r in after)
+
+    def test_insert_then_query_visibility(self, svc_and_data):
+        svc, base, extra, queries, ids = svc_and_data
+        with ServingEngine(svc, max_batch=8, max_wait_us=1000.0) as eng:
+            new_ids = svc.insert(extra[:100])
+            results = [eng.search(q, 1) for q in extra[:10]]
+            hit = np.array([np.isin(r.ids[0], new_ids) for r in results])
+            assert hit.mean() >= 0.8  # freshly inserted vectors findable
+
+    def test_stale_cache_must_be_invalidated_on_delete(self, svc_and_data):
+        svc, base, extra, queries, ids = svc_and_data
+        q = queries[0]
+        with ServingEngine(svc, max_batch=4, cache=QueryResultCache(64)) as eng:
+            first = eng.search(q, K)
+            victims = first.ids[first.ids >= 0]
+            svc.delete(victims)
+            eng.invalidate_cache()  # the documented mutation contract
+            fresh = eng.search(q, K)
+            assert not fresh.cache_hit
+            assert not np.isin(fresh.ids, victims).any()
+
+    def test_merge_with_queued_requests(self, svc_and_data):
+        """merge() while the scheduler holds queued requests: every request
+        completes with valid results and deleted ids stay masked across the
+        generation switch."""
+        svc, base, extra, queries, ids = svc_and_data
+        svc.insert(extra)
+        victims = ids[:100]
+        svc.delete(victims)
+        # A wide batch window holds submitted requests in the queue long
+        # enough for merge() to start while they wait.
+        with ServingEngine(svc, max_batch=64, max_wait_us=100_000.0) as eng:
+            futs = [eng.submit(q, K) for q in queries]
+            # More submissions than one batch can hold: the overflow is
+            # still queued while the first batch waits out its window.
+            assert eng.depth > 0
+            merged = {}
+
+            def do_merge():
+                merged["stats"] = svc.merge()
+
+            t = threading.Thread(target=do_merge)
+            t.start()
+            results = [f.result(timeout=60) for f in futs]
+            t.join(timeout=60)
+        assert not t.is_alive()
+        assert merged["stats"].generation == 1
+        assert merged["stats"].deleted_since == 100
+        for r in results:
+            assert r.ids.shape == (K,)
+            valid = r.ids[r.ids >= 0]
+            assert valid.size > 0
+            # Whether a request ran pre- or post-merge, tombstoned ids
+            # never surface (masked before, physically removed after).
+            assert not np.isin(valid, victims).any()
+
+    def test_merge_rebuild_does_not_block_serving(self, svc_and_data, monkeypatch):
+        """Phase 2 of merge() (the retrain) holds no lock: searches keep
+        completing mid-rebuild, pre-merge inserts stay visible via the
+        frozen delta, and mid-rebuild inserts survive into the next cycle."""
+        svc, base, extra, queries, ids = svc_and_data
+        pre_merge_ids = svc.insert(extra[:50])
+
+        in_rebuild = threading.Event()
+        release = threading.Event()
+        orig_train = type(svc.primary).train
+
+        def slow_train(index, x):
+            in_rebuild.set()
+            assert release.wait(timeout=60)  # hold the rebuild open
+            return orig_train(index, x)
+
+        monkeypatch.setattr(type(svc.primary), "train", slow_train)
+        merger = threading.Thread(target=svc.merge)
+        merger.start()
+        try:
+            assert in_rebuild.wait(timeout=60)
+            with pytest.raises(RuntimeError, match="already in progress"):
+                svc.merge()
+            # Mid-rebuild: serving proceeds and pre-merge inserts are
+            # findable (they live in the frozen delta, not the primary).
+            out_ids, _ = svc.search(extra[:10], 1)
+            assert np.isin(out_ids[:, 0], pre_merge_ids).mean() >= 0.8
+            mid_ids = svc.insert(extra[50:80])
+            assert svc.ntotal == len(base) + 50 + 30
+        finally:
+            release.set()
+            merger.join(timeout=120)
+        assert not merger.is_alive()
+        assert svc.generation == 1
+        # The mid-rebuild inserts carried over into the live delta.
+        assert svc.delta.ntotal == 30
+        out_ids, _ = svc.search(extra[50:60], 1)
+        assert np.isin(out_ids[:, 0], mid_ids).mean() >= 0.8
+        # And the next merge folds them.
+        monkeypatch.setattr(type(svc.primary), "train", orig_train)
+        stats = svc.merge()
+        assert stats.generation == 2
+        assert stats.inserted_since == 30
+
+    def test_failed_merge_rolls_back_and_can_retry(self, svc_and_data, monkeypatch):
+        """A rebuild failure leaves the old generation serving everything
+        (pre-merge and mid-rebuild inserts) and a later merge() succeeds."""
+        svc, base, extra, queries, ids = svc_and_data
+        pre_ids = svc.insert(extra[:40])
+        orig_train = type(svc.primary).train
+
+        def boom(index, x):
+            raise MemoryError("rebuild died")
+
+        monkeypatch.setattr(type(svc.primary), "train", boom)
+        with pytest.raises(MemoryError):
+            svc.merge()
+        monkeypatch.setattr(type(svc.primary), "train", orig_train)
+        assert svc.generation == 0
+        assert svc._frozen_delta is None
+        assert svc.ntotal == len(base) + 40
+        out_ids, _ = svc.search(extra[:10], 1)
+        assert np.isin(out_ids[:, 0], pre_ids).mean() >= 0.8  # still served
+        stats = svc.merge()  # retry folds everything
+        assert stats.generation == 1
+        assert stats.inserted_since == 40
+
+    def test_search_accepts_nprobe_override(self, svc_and_data):
+        svc, base, extra, queries, ids = svc_and_data
+        ids_a, _ = svc.search(queries[:4], K)
+        ids_b, _ = svc.search(queries[:4], K, nprobe=16)
+        assert ids_a.shape == ids_b.shape == (4, K)
+        ids_c, _ = svc.search_batch(queries[:4], K, nprobe=svc.nprobe)
+        np.testing.assert_array_equal(ids_a, ids_c)
