@@ -1,0 +1,98 @@
+"""Replicated / sharded serving benchmark: the scale-out serving tier.
+
+Measures the R×S serving grid end to end through the real scheduler and
+routing stack — micro-batching engine with one dispatcher per replica,
+least-loaded :class:`~repro.serve.routing.ReplicaSet` routing, exact
+scatter-gather :class:`~repro.serve.routing.ShardedBackend` merge — over
+simulated accelerator devices (exact results, wall time padded to a
+modeled device service time plus a LogGP network hop), and records
+``BENCH_replicated_serve.json`` at the repo root.
+
+Acceptance (the scale-out claims the serving tier must deliver):
+
+- results through the full replicated+sharded stack are **bit-identical**
+  to direct unpartitioned ``IVFPQIndex.search``;
+- at a fixed closed-loop load, 3 replicas serve **>= 2x the QPS** of one
+  replica with **p99 no worse than 1.5x**;
+- replica routing balances: no replica takes more than twice its fair
+  share of dispatched batches.
+
+Run: ``python -m pytest benchmarks/test_bench_replicated_serve.py -s``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness import serve_bench
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_replicated_serve.json"
+
+REPLICAS = (1, 2, 3)
+SHARDS = (1, 2, 4)
+N_CLIENTS = 32
+N_REQUESTS = 600
+
+
+def _row_record(row) -> dict:
+    r = row.report
+    return {
+        "replicas": row.replicas,
+        "shards": row.shards,
+        "policy": row.policy,
+        "qps": round(r.achieved_qps, 1),
+        "p50_us": round(r.total.p50_us, 1),
+        "p99_us": round(r.total.p99_us, 1),
+        "p99_plus_net_us": round(r.total.p99_us + row.net_us, 1),
+        "modeled_device_us": round(row.device_us, 1),
+        "modeled_net_us": round(row.net_us, 1),
+        "mean_batch": round(r.mean_batch_size, 2),
+        "dispatch_counts": row.dispatch_counts,
+    }
+
+
+def test_replica_scaling_at_flat_tail():
+    result = serve_bench.run_replicated(
+        replicas=REPLICAS, shards=SHARDS,
+        n_clients=N_CLIENTS, n_requests=N_REQUESTS,
+    )
+
+    # Functional agreement first — a fast wrong answer is not a speedup.
+    assert result.bit_identical, (
+        "replicated/sharded serving diverged from direct search"
+    )
+
+    record = {
+        "benchmark": "replicated_serve",
+        "params": {
+            **result.params,
+            "n_clients": N_CLIENTS, "n_requests": N_REQUESTS,
+        },
+        "bit_identical_to_direct_search": result.bit_identical,
+        "grid": [_row_record(r) for r in result.rows],
+        "replica_speedup_at_3x1": round(result.replica_speedup(3), 2),
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{result.format()}\n-> {ARTIFACT.name}")
+
+    base = result.row(1, 1).report
+    scaled = result.row(3, 1).report
+
+    # Throughput must scale with the replica count...
+    speedup = result.replica_speedup(3)
+    assert speedup >= 2.0, (
+        f"3 replicas gave only {speedup:.2f}x the single-replica QPS"
+    )
+    # ...without inflating the tail (same offered load, more capacity).
+    assert scaled.total.p99_us <= 1.5 * base.total.p99_us, (
+        f"p99 grew from {base.total.p99_us:.0f}us to {scaled.total.p99_us:.0f}us "
+        "with 3 replicas"
+    )
+
+    # Routing balance: no replica hoards the work (fair share is 1/3).
+    counts = result.row(3, 1).dispatch_counts
+    assert len(counts) == 3 and sum(counts) > 0
+    assert max(counts) <= 2 * (sum(counts) / len(counts)), (
+        f"least-loaded routing is lopsided: {counts}"
+    )

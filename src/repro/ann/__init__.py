@@ -10,6 +10,10 @@ Implements every algorithmic piece the paper depends on, in vectorized NumPy:
 - :mod:`repro.ann.invlists` — packed CSR inverted-list storage (contiguous
   code/id slabs, zero-copy sharding) — the layout the accelerator streams.
 - :mod:`repro.ann.ivf` — the IVF-PQ index (train / add / batched search).
+- :mod:`repro.ann.partition` — zero-copy shard and replica views of one
+  trained index (the multi-accelerator layout).
+- :mod:`repro.ann.merge` — exact top-K merge of partial results under the
+  canonical (distance, id) candidate order (the scatter-gather reduce).
 - :mod:`repro.ann.stages` — the six query-time search stages, individually
   callable and instrumented (the unit the hardware accelerates).
 - :mod:`repro.ann.recall` — recall@K evaluation.
@@ -21,7 +25,9 @@ from repro.ann.invlists import InvListBuilder, PackedInvLists
 from repro.ann.io import load_index, load_index_dir, save_index, save_index_dir
 from repro.ann.ivf import IVFPQIndex
 from repro.ann.kmeans import KMeans, kmeans_fit
+from repro.ann.merge import merge_partial_topk, merge_topk
 from repro.ann.opq import OPQTransform
+from repro.ann.partition import partition_index, replicate_index
 from repro.ann.pq import ProductQuantizer
 from repro.ann.recall import recall_at_k
 from repro.ann.stages import SearchStageTrace, StagedSearcher
@@ -41,7 +47,12 @@ __all__ = [
     "kmeans_fit",
     "load_index",
     "load_index_dir",
+    "merge_partial_topk",
+    "merge_topk",
+    "partition_index",
     "recall_at_k",
+    "replicate_index",
     "save_index",
     "save_index_dir",
 ]
+

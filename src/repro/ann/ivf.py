@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.ann.distances import l2_sq_blocked, topk_smallest
 from repro.ann.invlists import InvListBuilder, PackedInvLists
+from repro.ann.merge import merge_topk
 from repro.ann.kmeans import kmeans_fit
 from repro.ann.opq import OPQTransform
 from repro.ann.pq import ProductQuantizer
@@ -251,17 +252,19 @@ class IVFPQIndex:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Stage SelK: the K smallest distances with their vector ids.
 
+        Selection follows the repo's **canonical candidate order**:
+        ascending distance, ties broken by ascending id.  The tie-break is
+        what makes distributed search exact — every shard of a partitioned
+        index ranks candidates by the same total order, so merging partial
+        top-K lists (:mod:`repro.ann.merge`) reproduces the unpartitioned
+        result bit for bit, ties included.
+
         Pads with (-1, +inf) when fewer than K candidates were scanned.
         """
         if dists.shape[0] == 0:
             return (np.full(k, -1, dtype=np.int64), np.full(k, np.inf, dtype=np.float32))
-        idx, vals = topk_smallest(dists, k)
-        out_ids = ids[idx]
-        if len(out_ids) < k:
-            pad = k - len(out_ids)
-            out_ids = np.concatenate([out_ids, np.full(pad, -1, dtype=np.int64)])
-            vals = np.concatenate([vals, np.full(pad, np.inf, dtype=vals.dtype)])
-        return out_ids, vals
+        out_ids, out_dists = merge_topk(ids[None, :], dists[None, :], k)
+        return out_ids[0], out_dists[0]
 
     # ------------------------------------------------------------------ #
     # Batched stages: same arithmetic as the per-query stages, evaluated

@@ -1,0 +1,101 @@
+"""Exact top-K merging of partial results under the canonical order.
+
+Scatter-gather search (shards of one index, the cluster service, the
+snapshot+delta dynamic service) produces several partial top-K lists per
+query that must merge into one — the reduce step of the paper's
+multi-accelerator deployment (§7.3.2, "merging partial results from two
+nodes").
+
+Merging is only *exact* if every producer ranks candidates by the same
+total order.  The repo's canonical candidate order is **(distance, id)**:
+ascending float32 distance, ties broken by ascending vector id (see
+:meth:`repro.ann.ivf.IVFPQIndex.stage_select_k`).  Because ids are unique
+across shards of one index, the order is total, so the K best of the union
+of per-shard top-K lists *is* the global top-K — bit-identical to searching
+the unpartitioned index, ties included.
+
+:func:`merge_topk` implements that reduce as a vectorized kernel: an
+``argpartition`` prefilter narrows each row to K candidates in O(columns),
+and a ``lexsort`` over the (distance, id) key orders the survivors.  Rows
+whose K-th distance value is tied across the partition boundary fall back
+to a full lexsort of that row, so boundary ties are still resolved by id —
+the partition alone cannot see ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["merge_partial_topk", "merge_topk"]
+
+
+def merge_topk(
+    ids: np.ndarray, dists: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """K smallest (distance, id) pairs per row of a candidate matrix.
+
+    Parameters
+    ----------
+    ids : (nq, c) int64 candidate ids; ``-1`` marks padding.
+    dists : (nq, c) float32 candidate distances; padding rows carry ``inf``.
+    k : results per query.
+
+    Returns ``(ids (nq, k), dists (nq, k))`` sorted ascending by
+    (distance, id) — rows with fewer than ``k`` finite candidates are padded
+    with ``(-1, inf)``, matching ``IVFPQIndex.stage_select_k``.
+    """
+    ids = np.atleast_2d(np.asarray(ids, dtype=np.int64))
+    dists = np.atleast_2d(np.asarray(dists, dtype=np.float32))
+    if ids.shape != dists.shape:
+        raise ValueError(f"ids shape {ids.shape} != dists shape {dists.shape}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    nq, c = dists.shape
+    if c <= k:
+        # Fewer candidates than requested: order them all, pad the rest.
+        order = np.lexsort((ids, dists), axis=1)
+        out_i = np.take_along_axis(ids, order, axis=1)
+        out_d = np.take_along_axis(dists, order, axis=1)
+        if c < k:
+            out_i = np.pad(out_i, ((0, 0), (0, k - c)), constant_values=-1)
+            out_d = np.pad(out_d, ((0, 0), (0, k - c)), constant_values=np.inf)
+        out_i[~np.isfinite(out_d)] = -1
+        return out_i, out_d
+
+    # O(c) prefilter: the k smallest distance *values* per row.
+    part = np.argpartition(dists, k - 1, axis=1)[:, :k]
+    d_blk = np.take_along_axis(dists, part, axis=1)
+    i_blk = np.take_along_axis(ids, part, axis=1)
+    # A row is exact iff every candidate tied with its boundary value (the
+    # k-th smallest distance) landed inside the block; otherwise the id
+    # tie-break must arbitrate across the partition boundary.
+    boundary = d_blk.max(axis=1, keepdims=True)
+    at_boundary_total = (dists == boundary).sum(axis=1)
+    at_boundary_blk = (d_blk == boundary).sum(axis=1)
+    order = np.lexsort((i_blk, d_blk), axis=1)
+    out_i = np.take_along_axis(i_blk, order, axis=1)
+    out_d = np.take_along_axis(d_blk, order, axis=1)
+    inexact = np.flatnonzero(at_boundary_total > at_boundary_blk)
+    if inexact.size:
+        full = np.lexsort((ids[inexact], dists[inexact]), axis=1)[:, :k]
+        out_i[inexact] = np.take_along_axis(ids[inexact], full, axis=1)
+        out_d[inexact] = np.take_along_axis(dists[inexact], full, axis=1)
+    # Normalize padding: anything non-finite is a "no candidate" slot.
+    out_i[~np.isfinite(out_d)] = -1
+    return out_i, out_d
+
+
+def merge_partial_topk(
+    parts: list[tuple[np.ndarray, np.ndarray]], k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-producer ``(ids, dists)`` partial top-K lists row-wise.
+
+    ``parts`` holds one ``(ids (nq, k_p), dists (nq, k_p))`` pair per
+    producer (shard / node / index), rows aligned by query.  Concatenates
+    along the candidate axis and reduces with :func:`merge_topk`.
+    """
+    if not parts:
+        raise ValueError("parts must be non-empty")
+    cat_i = np.concatenate([np.atleast_2d(p[0]) for p in parts], axis=1)
+    cat_d = np.concatenate([np.atleast_2d(p[1]) for p in parts], axis=1)
+    return merge_topk(cat_i, cat_d, k)

@@ -1,0 +1,79 @@
+"""Shard and replica views of a trained IVF-PQ index.
+
+The multi-accelerator layout of §7.3.2: every node runs the *same* FANNS
+design (same coarse centroids, PQ codebooks, OPQ rotation) over its own
+disjoint slice of the dataset.  :func:`partition_index` produces that
+layout as ``n_parts`` zero-copy shard views — each shard holds a
+contiguous ``1/n_parts`` slice of every packed cell slab, so partitioning
+a paper-scale index moves no data (see
+:meth:`repro.ann.invlists.PackedInvLists.shard`).
+
+Two invariants make sharded scatter-gather exact (see
+:mod:`repro.ann.merge`):
+
+- shards share the trained quantizers by reference, so every shard probes
+  bit-identically the same cells for a given query;
+- each stored vector lands in exactly one shard, so candidate sets
+  partition the unpartitioned index's candidate set and ids stay unique
+  across shards.
+
+:func:`replicate_index` is the throughput-scaling counterpart: views over
+the *same* data that share the packed storage but carry independent
+per-object mutable state (stats counters, gather caches), so concurrent
+searcher threads never race on one object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ann.ivf import IVFPQIndex, IVFStats
+
+__all__ = ["partition_index", "replicate_index"]
+
+
+def partition_index(index: IVFPQIndex, n_parts: int) -> list[IVFPQIndex]:
+    """Split one trained index into ``n_parts`` disjoint shards.
+
+    All shards share the trained quantizers (coarse centroids, PQ, OPQ) and
+    slice every packed cell slab contiguously — the multi-accelerator layout
+    of §7.3.2 where every node runs the same index over its own partition.
+    Slicing is **zero-copy**: shards are CSR views into the parent's packed
+    code/id arrays, so partitioning a paper-scale index moves no data.
+    """
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    lists = index.invlists
+    return [
+        dataclasses.replace(
+            index,
+            _invlists=lists.shard(part, n_parts),
+            _pending=None,
+            stats=IVFStats(),
+        )
+        for part in range(n_parts)
+    ]
+
+
+def replicate_index(index: IVFPQIndex, n_replicas: int) -> list[IVFPQIndex]:
+    """``n_replicas`` independently-searchable views over the same data.
+
+    Replicas share the packed inverted lists and trained quantizers by
+    reference (zero-copy — replication moves no vectors), but each view is
+    its own :class:`~repro.ann.ivf.IVFPQIndex` object with fresh stats and
+    per-object search caches, so replicas may serve concurrent threads
+    without racing on shared mutable state.  This is the software analogue
+    of deploying the same accelerator design on N devices over one shard.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    lists = index.invlists  # flush pending adds once, share the snapshot
+    return [
+        dataclasses.replace(
+            index,
+            _invlists=lists,
+            _pending=None,
+            stats=IVFStats(),
+        )
+        for _ in range(n_replicas)
+    ]

@@ -11,11 +11,15 @@ Analytic experiments (fig03, fig09) run in seconds; dataset-backed ones
 (about a minute of index training on first use).
 
 ``serve-bench`` exercises the online serving subsystem instead of a paper
-figure: it builds a small index and compares batch-size-1 serving against
+figure.  Without topology flags it compares batch-size-1 serving against
 the dynamic micro-batching scheduler (and the query cache) under
-closed-loop load::
+closed-loop load; with ``--replicas`` / ``--shards`` it measures the
+replicated, sharded serving matrix over simulated accelerator devices::
 
     python -m repro.harness.cli serve-bench
+    python -m repro.harness.cli serve-bench --replicas 1,2,3 --shards 1,2,4
+
+Every flag is documented in the README's CLI reference table.
 """
 
 from __future__ import annotations
@@ -27,22 +31,55 @@ import time
 from repro.harness import fig01, fig03, fig09, fig10, fig11, fig12, tab03, tab04
 from repro.harness import serve_bench
 from repro.harness.context import small_context
+from repro.serve.routing import POLICIES
 
-#: name -> (needs_context, runner)
+#: name -> (needs_context, runner(ctx, args))
 EXPERIMENTS = {
-    "fig03": (False, lambda ctx: fig03.run()),
-    "fig09": (False, lambda ctx: fig09.run()),
-    "tab03": (True, lambda ctx: tab03.run(ctx)),
-    "tab04": (True, lambda ctx: tab04.run(ctx)),
-    "fig01": (True, lambda ctx: fig01.run(ctx)),
-    "fig10": (True, lambda ctx: fig10.run(ctx)),
-    "fig11": (True, lambda ctx: fig11.run(ctx)),
-    "fig12": (True, lambda ctx: fig12.run(ctx)),
-    "serve-bench": (False, lambda ctx: serve_bench.run()),
+    "fig03": (False, lambda ctx, args: fig03.run()),
+    "fig09": (False, lambda ctx, args: fig09.run()),
+    "tab03": (True, lambda ctx, args: tab03.run(ctx)),
+    "tab04": (True, lambda ctx, args: tab04.run(ctx)),
+    "fig01": (True, lambda ctx, args: fig01.run(ctx)),
+    "fig10": (True, lambda ctx, args: fig10.run(ctx)),
+    "fig11": (True, lambda ctx, args: fig11.run(ctx)),
+    "fig12": (True, lambda ctx, args: fig12.run(ctx)),
+    "serve-bench": (False, lambda ctx, args: _run_serve_bench(args)),
 }
 
 
+def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
+    """Parse a ``1,2,3``-style comma list of positive ints."""
+    try:
+        counts = tuple(int(part) for part in spec.split(","))
+    except ValueError:
+        raise SystemExit(f"{flag} expects a comma-separated int list, got {spec!r}")
+    if not counts or any(c < 1 for c in counts):
+        raise SystemExit(f"{flag} counts must be >= 1, got {spec!r}")
+    return counts
+
+
+def _run_serve_bench(args: argparse.Namespace):
+    """Dispatch serve-bench to the basic or the replicated-matrix runner."""
+    overrides = {}
+    if args.clients is not None:
+        overrides["n_clients"] = args.clients
+    if args.requests is not None:
+        overrides["n_requests"] = args.requests
+    if args.replicas is None and args.shards is None:
+        return serve_bench.run(seed=args.seed, **overrides)
+    replicas = _parse_counts(args.replicas or "1,2,3", "--replicas")
+    shards = _parse_counts(args.shards or "1", "--shards")
+    return serve_bench.run_replicated(
+        replicas=replicas,
+        shards=shards,
+        policy=args.policy,
+        seed=args.seed,
+        **overrides,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
         description="Regenerate the paper's tables and figures.",
@@ -52,6 +89,40 @@ def main(argv: list[str] | None = None) -> int:
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment ids (or 'all')",
+    )
+    serve = parser.add_argument_group("serve-bench options")
+    serve.add_argument(
+        "--replicas",
+        default=None,
+        metavar="R1,R2,...",
+        help="replica counts for the serving matrix (enables replicated mode)",
+    )
+    serve.add_argument(
+        "--shards",
+        default=None,
+        metavar="S1,S2,...",
+        help="shard counts for the serving matrix (enables replicated mode)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="least-loaded",
+        choices=POLICIES,
+        help="replica routing policy (default: least-loaded)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="closed-loop client threads (default: 16 basic / 32 replicated)",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="requests per configuration (default: 400 basic / 600 replicated)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default: 0)"
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -63,7 +134,7 @@ def main(argv: list[str] | None = None) -> int:
             print("building experiment context (datasets + index grids)...")
             ctx = small_context()
         t0 = time.perf_counter()
-        result = runner(ctx)
+        result = runner(ctx, args)
         elapsed = time.perf_counter() - t0
         print(f"\n### {name} ({elapsed:.1f}s)\n")
         print(result.format())

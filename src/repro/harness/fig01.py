@@ -13,12 +13,13 @@ partial top-K.  Reproduced claims:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.ann.ivf import IVFPQIndex, IVFStats
+# Re-exported for backward compatibility: partition_index now lives in the
+# ann layer (it is an index operation, not an experiment).
+from repro.ann.partition import partition_index
 from repro.baselines.gpu import GPUBaseline
 from repro.core.config import AlgorithmParams
 from repro.harness.context import ExperimentContext
@@ -27,29 +28,6 @@ from repro.net.scaleout import simulate_cluster_latencies
 from repro.sim.accelerator import AcceleratorSimulator
 
 __all__ = ["Fig01Result", "partition_index", "run"]
-
-
-def partition_index(index: IVFPQIndex, n_parts: int) -> list[IVFPQIndex]:
-    """Split one trained index into ``n_parts`` disjoint shards.
-
-    All shards share the trained quantizers (coarse centroids, PQ, OPQ) and
-    slice every packed cell slab contiguously — the multi-accelerator layout
-    of §7.3.2 where every node runs the same index over its own partition.
-    Slicing is **zero-copy**: shards are CSR views into the parent's packed
-    code/id arrays, so partitioning a paper-scale index moves no data.
-    """
-    if n_parts < 1:
-        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
-    lists = index.invlists
-    return [
-        dataclasses.replace(
-            index,
-            _invlists=lists.shard(part, n_parts),
-            _pending=None,
-            stats=IVFStats(),
-        )
-        for part in range(n_parts)
-    ]
 
 
 @dataclass

@@ -1,8 +1,8 @@
-"""Serving benchmark: micro-batching vs batch-size-1 online serving.
+"""Serving benchmarks: micro-batching, replication, and sharding.
 
 The deployment story of Figure 1 implies queries arriving one at a time
-from many clients; PR 1's batched query engine is fastest on batches.  This
-experiment quantifies what the dynamic micro-batching scheduler buys when
+from many clients; PR 1's batched query engine is fastest on batches.
+:func:`run` quantifies what the dynamic micro-batching scheduler buys when
 bridging the two: closed-loop throughput and tail latency for
 
 - a **batch-size-1 baseline** (every request served alone — the seed's
@@ -11,8 +11,21 @@ bridging the two: closed-loop throughput and tail latency for
 - micro-batching **plus the LRU query cache** on a skewed (repeating)
   query stream.
 
-Results are verified bit-identical to direct ``IVFPQIndex.search`` before
-any timing is reported — a fast wrong answer is not a speedup.
+:func:`run_replicated` measures the scale-out tier on top of that: an
+R×S grid of **simulated accelerator devices**
+(:class:`~repro.serve.backends.SimulatedDeviceBackend` — exact results,
+wall time padded to a modeled device service time plus a LogGP network
+hop), replicated behind least-loaded routing and sharded behind exact
+scatter-gather merge.  Throughput should scale with the replica count at
+flat-or-better tail latency, and per-device service time should shrink
+with the shard count — the paper's scale-out claims, measured through the
+real scheduler/routing stack.  The scatter/gather collectives for S
+shards are additionally modeled with the binary-tree LogGP estimator
+(:mod:`repro.net.collectives`) and reported alongside the measured
+percentiles.
+
+All results are verified bit-identical to direct ``IVFPQIndex.search``
+before any timing is reported — a fast wrong answer is not a speedup.
 """
 
 from __future__ import annotations
@@ -24,12 +37,23 @@ import numpy as np
 from repro.ann.ivf import IVFPQIndex
 from repro.data.synthetic import make_clustered
 from repro.harness.formatting import format_table
-from repro.serve.backends import InstrumentedBackend
+from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_us
+from repro.net.loggp import point_to_point_us
+from repro.serve.backends import InstrumentedBackend, SimulatedDeviceBackend
 from repro.serve.cache import QueryResultCache
 from repro.serve.loadgen import LoadReport, run_closed_loop
+from repro.serve.routing import build_topology
 from repro.serve.scheduler import ServingEngine
 
-__all__ = ["ServeBenchResult", "ServeConfigRow", "build_serving_index", "run"]
+__all__ = [
+    "ReplicatedConfigRow",
+    "ReplicatedServeResult",
+    "ServeBenchResult",
+    "ServeConfigRow",
+    "build_serving_index",
+    "run",
+    "run_replicated",
+]
 
 #: Serving workload shape (small enough to train in seconds, large enough
 #: that a batched scan beats per-query dispatch).
@@ -178,5 +202,240 @@ def run(
             "n_base": N_BASE, "d": D, "nlist": NLIST, "m": M, "ksub": KSUB,
             "k": k, "nprobe": nprobe, "max_batch": max_batch,
             "windows_us": list(windows_us), "query_pool": N_QUERY_POOL,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Replicated / sharded serving matrix.
+
+#: Modeled device service time: pipeline fill plus per-query issue
+#: interval; a shard scans 1/S of the data, so the per-query term scales.
+#: Sized so modeled device time dominates the host's shard-emulation
+#: compute (~1 ms/batch/shard here) the way a real accelerator's scan
+#: dominates its host's dispatch work.
+DEVICE_FILL_US = 2000.0
+DEVICE_PER_QUERY_US = 1000.0
+
+
+def device_service_us(batch: int, shards: int) -> float:
+    """Modeled accelerator time for one batch over a 1/``shards`` slice."""
+    return DEVICE_FILL_US + DEVICE_PER_QUERY_US * batch / shards
+
+
+def device_hop_us(d: int = D, k: int = K) -> float:
+    """LogGP wire time per device call: query in, top-K result out."""
+    return point_to_point_us(4 * d) + point_to_point_us(12 * k)
+
+
+def collective_us(shards: int, d: int = D, k: int = K) -> float:
+    """Modeled binary-tree scatter/gather cost across ``shards`` (0 for 1)."""
+    if shards <= 1:
+        return 0.0
+    return binary_tree_broadcast_us(shards, 4 * d) + binary_tree_reduce_us(
+        shards, 12 * k
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedConfigRow:
+    """One (replicas, shards) grid point's measured outcome."""
+
+    replicas: int
+    shards: int
+    policy: str
+    report: LoadReport
+    #: Modeled per-device service time for a full batch at this shard count.
+    device_us: float
+    #: Modeled binary-tree scatter/gather collectives for this shard count.
+    net_us: float
+    #: Batches dispatched per replica of shard 0 (routing balance).
+    dispatch_counts: list[int]
+
+    def cells(self) -> list:
+        """Row cells for the result table."""
+        r = self.report
+        balance = "/".join(str(c) for c in self.dispatch_counts)
+        return [
+            f"R={self.replicas} S={self.shards}",
+            r.achieved_qps, r.total.p50_us, r.total.p99_us,
+            r.total.p99_us + self.net_us,
+            r.mean_batch_size, self.device_us, balance,
+        ]
+
+
+@dataclass
+class ReplicatedServeResult:
+    """Outcome of the replicas × shards serving matrix."""
+
+    rows: list[ReplicatedConfigRow]
+    bit_identical: bool
+    n_clients: int
+    n_requests: int
+    params: dict = field(default_factory=dict)
+
+    def row(self, replicas: int, shards: int) -> ReplicatedConfigRow:
+        """The grid point measured at (``replicas``, ``shards``)."""
+        for r in self.rows:
+            if r.replicas == replicas and r.shards == shards:
+                return r
+        raise KeyError(
+            f"no measured grid point (replicas={replicas}, shards={shards}); "
+            f"measured: {[(r.replicas, r.shards) for r in self.rows]}"
+        )
+
+    def replica_speedup(self, replicas: int, shards: int = 1) -> float:
+        """QPS of (replicas, shards) over the single-replica column."""
+        return (
+            self.row(replicas, shards).report.achieved_qps
+            / max(self.row(1, shards).report.achieved_qps, 1e-9)
+        )
+
+    def format(self) -> str:
+        """Human-readable matrix table plus the headline scaling numbers."""
+        headers = [
+            "topology", "QPS", "p50_us", "p99_us", "p99+net_us",
+            "mean_batch", "device_us", "dispatched",
+        ]
+        table = format_table(
+            headers, [r.cells() for r in self.rows],
+            title=(
+                f"replicated serve: closed loop, {self.n_clients} clients, "
+                f"{self.n_requests} requests/config, simulated devices "
+                f"(bit-identical to direct search: {self.bit_identical})"
+            ),
+        )
+        shards_1 = sorted({r.replicas for r in self.rows if r.shards == 1})
+        lines = [table]
+        # Headline requires both the R=1 baseline and a larger R at S=1;
+        # a grid measured without them (e.g. --replicas 2,3) skips it.
+        if len(shards_1) > 1 and shards_1[0] == 1:
+            top = shards_1[-1]
+            base = self.row(1, 1).report
+            best = self.row(top, 1).report
+            lines.append(
+                f"\n{top} replicas: {self.replica_speedup(top):.2f}x QPS of 1 "
+                f"replica at {base.total.p99_us / max(best.total.p99_us, 1e-9):.2f}x "
+                f"lower p99"
+            )
+        return "".join(lines)
+
+
+def _verify_topology_bit_identical(
+    index: IVFPQIndex,
+    queries: np.ndarray,
+    *,
+    replicas: int,
+    shards: int,
+    policy: str,
+    k: int,
+    nprobe: int,
+) -> bool:
+    """Serve through the full R×S engine stack; compare bits to search()."""
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+    topo = build_topology(
+        index,
+        replicas=replicas,
+        shards=shards,
+        policy=policy,
+        wrap=lambda v: SimulatedDeviceBackend(v, 0.0),
+    )
+    with ServingEngine(
+        topo, max_batch=8, max_wait_us=2000.0, dispatchers=replicas
+    ) as eng:
+        futs = [eng.submit(q, k, nprobe) for q in queries]
+        got = [f.result() for f in futs]
+    ids = np.stack([g.ids for g in got])
+    dists = np.stack([g.dists for g in got])
+    return bool(np.array_equal(ids, ref_ids) and np.array_equal(dists, ref_dists))
+
+
+def run_replicated(
+    ctx=None,
+    *,
+    replicas: tuple[int, ...] = (1, 2, 3),
+    shards: tuple[int, ...] = (1, 2, 4),
+    n_clients: int = 32,
+    n_requests: int = 600,
+    max_batch: int = 8,
+    max_wait_us: float = 500.0,
+    policy: str = "least-loaded",
+    k: int = K,
+    nprobe: int = NPROBE,
+    seed: int = 0,
+) -> ReplicatedServeResult:
+    """Measure the replicas × shards grid (ctx unused; self-built index).
+
+    Each grid point serves the same closed-loop load through a
+    :func:`~repro.serve.routing.build_topology` backend of simulated
+    devices, with one engine dispatcher per replica so the replica tier
+    can actually hold R micro-batches in flight.  ``n_clients`` stays
+    fixed across the grid — scaling must come from the topology, not from
+    offered load.
+    """
+    index, queries = build_serving_index(seed=seed)
+    # Every grid point (including the collapsed R=1 / S=1 topologies,
+    # which take different code paths) must agree with direct search
+    # before any of them is timed.
+    bit_identical = all(
+        _verify_topology_bit_identical(
+            index, queries[:32],
+            replicas=r, shards=s, policy=policy, k=k, nprobe=nprobe,
+        )
+        for s in shards
+        for r in replicas
+    )
+
+    hop = device_hop_us(D, k)
+    rows: list[ReplicatedConfigRow] = []
+    for s in shards:
+        def svc(batch: int, shards: int = s) -> float:
+            return device_service_us(batch, shards)
+
+        for r in replicas:
+            topo = build_topology(
+                index,
+                replicas=r,
+                shards=s,
+                policy=policy,
+                wrap=lambda v: SimulatedDeviceBackend(v, svc, hop_us=hop),
+                seed=seed,
+            )
+            with ServingEngine(
+                topo, max_batch=max_batch, max_wait_us=max_wait_us, dispatchers=r
+            ) as engine:
+                report = run_closed_loop(
+                    engine, queries, k, nprobe,
+                    n_clients=n_clients, n_requests=n_requests,
+                )
+            # Routing balance of shard 0's replica set (all shards behave
+            # alike; with one shard the topology *is* the replica set).
+            if r > 1:
+                rs = topo.shards[0] if s > 1 else topo
+                counts = list(rs.dispatch_counts)
+            else:
+                counts = [int(engine.metrics.snapshot().counters.get("batches", 0))]
+            rows.append(
+                ReplicatedConfigRow(
+                    replicas=r, shards=s, policy=policy, report=report,
+                    device_us=device_service_us(max_batch, s),
+                    net_us=collective_us(s, D, k),
+                    dispatch_counts=counts,
+                )
+            )
+
+    return ReplicatedServeResult(
+        rows=rows,
+        bit_identical=bit_identical,
+        n_clients=n_clients,
+        n_requests=n_requests,
+        params={
+            "n_base": N_BASE, "d": D, "nlist": NLIST, "m": M, "ksub": KSUB,
+            "k": k, "nprobe": nprobe, "max_batch": max_batch,
+            "max_wait_us": max_wait_us, "policy": policy,
+            "replicas": list(replicas), "shards": list(shards),
+            "device_fill_us": DEVICE_FILL_US,
+            "device_per_query_us": DEVICE_PER_QUERY_US,
+            "device_hop_us": hop,
         },
     )

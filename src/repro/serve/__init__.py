@@ -9,9 +9,20 @@ service), optionally short-circuited by an LRU result cache
 (:mod:`repro.serve.cache`), and measured by a metrics registry
 (:mod:`repro.serve.metrics`) and open/closed-loop load generators
 (:mod:`repro.serve.loadgen`).
+
+Past one device, :mod:`repro.serve.routing` composes backends into the
+paper's scale-out topology: :class:`ReplicaSet` spreads micro-batches over
+N replicas by live load, :class:`ShardedBackend` scatter-gathers each
+batch across disjoint shards and merges partial top-K exactly
+(bit-identical to the unpartitioned index), and :func:`build_topology`
+assembles the full R×S grid from one trained index.
 """
 
-from repro.serve.backends import InstrumentedBackend, SearchBackend
+from repro.serve.backends import (
+    InstrumentedBackend,
+    SearchBackend,
+    SimulatedDeviceBackend,
+)
 from repro.serve.cache import QueryResultCache, query_key
 from repro.serve.loadgen import (
     LoadReport,
@@ -20,6 +31,7 @@ from repro.serve.loadgen import (
     run_open_loop,
 )
 from repro.serve.metrics import LatencyStats, MetricsRegistry, MetricsSnapshot
+from repro.serve.routing import ReplicaSet, ShardedBackend, build_topology
 from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
 
 __all__ = [
@@ -30,9 +42,13 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "QueryResultCache",
+    "ReplicaSet",
     "SearchBackend",
     "ServeResult",
     "ServingEngine",
+    "ShardedBackend",
+    "SimulatedDeviceBackend",
+    "build_topology",
     "poisson_arrivals",
     "query_key",
     "run_closed_loop",

@@ -10,21 +10,56 @@ A backend is anything with the uniform batched entry point::
 :class:`~repro.service.dynamic.DynamicVectorService` all implement it
 natively (see their modules), so the scheduler routes micro-batches to a
 single accelerator index, a sharded cluster, or the mutable snapshot+delta
-service without knowing which it has.
+service without knowing which it has.  :class:`~repro.serve.routing.ReplicaSet`
+and :class:`~repro.serve.routing.ShardedBackend` compose backends into
+replicated / sharded topologies behind the same protocol.
+
+**Invariant**: a backend must compute every query independently of its
+batch-mates, so the scheduler's coalescing never changes what a request
+returns — only when it runs.
 
 :class:`InstrumentedBackend` wraps any backend to count calls and batch
 sizes — the load harness uses it to verify that micro-batching actually
 coalesced requests (and tests use it to assert batch shapes).
+
+:class:`SimulatedDeviceBackend` wraps any backend to behave like a remote
+accelerator: answers are computed exactly (bit-identical), but each call's
+wall time is padded to a modeled device service time plus a network hop
+(e.g. from :mod:`repro.net.loggp`).  Because the pad is a sleep, service
+times on *different* devices overlap in real time — which is what lets a
+replicated tier on one host exhibit true device-level concurrency.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Protocol, runtime_checkable
+import time
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["InstrumentedBackend", "SearchBackend"]
+__all__ = [
+    "InstrumentedBackend",
+    "SearchBackend",
+    "SimulatedDeviceBackend",
+    "forward_invalidation_listener",
+]
+
+
+def forward_invalidation_listener(targets, listener) -> None:
+    """Register ``listener`` with every target that supports invalidation.
+
+    The one place the registration-forwarding protocol lives: wrapper
+    backends (instrumentation, simulated devices, replica sets, sharded
+    scatter-gather) call this on their inner backend(s) so a mutating
+    service anywhere in the topology reaches the engine's cache hook.
+    Targets without ``add_invalidation_listener`` are immutable and are
+    skipped.
+    """
+    for target in targets:
+        hook = getattr(target, "add_invalidation_listener", None)
+        if hook is not None:
+            hook(listener)
 
 
 @runtime_checkable
@@ -55,18 +90,98 @@ class InstrumentedBackend:
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Record the call, then delegate to the inner backend."""
         queries = np.atleast_2d(queries)
         with self._lock:
             self.calls += 1
             self.batch_sizes.append(queries.shape[0])
         return self.inner.search_batch(queries, k, nprobe)
 
+    def add_invalidation_listener(self, listener) -> None:
+        """Forward cache-invalidation registration to the inner backend."""
+        forward_invalidation_listener([self.inner], listener)
+
     @property
     def queries_served(self) -> int:
+        """Total queries across all recorded batches."""
         with self._lock:
             return sum(self.batch_sizes)
 
     @property
     def mean_batch_size(self) -> float:
+        """Mean coalesced batch size over the backend's lifetime."""
         with self._lock:
             return sum(self.batch_sizes) / len(self.batch_sizes) if self.batch_sizes else 0.0
+
+
+class SimulatedDeviceBackend:
+    """Exact results at a modeled device's pace.
+
+    Wraps an in-process backend (typically an
+    :class:`~repro.ann.ivf.IVFPQIndex` shard or replica view) so that each
+    ``search_batch`` call takes at least the modeled wall time of the
+    device that would serve it — accelerator service time plus network hop.
+    Results are whatever the inner backend computes, so all bit-identity
+    guarantees pass through untouched; only timing changes.
+
+    Parameters
+    ----------
+    inner : the backend that actually computes results.
+    service_us : modeled device time for one batch — either a constant or
+        a callable ``(batch_size) -> microseconds`` (e.g. pipeline fill +
+        per-query interval from the performance model).
+    hop_us : modeled network time added per call (e.g. LogGP
+        request/response point-to-points, :mod:`repro.net.loggp`).
+
+    The pad is ``max(0, modeled - host_compute)``: a host slower than the
+    model is never sped up, and the sleep releases the GIL, so N wrapped
+    devices genuinely serve N batches concurrently.
+    """
+
+    def __init__(
+        self,
+        inner: SearchBackend,
+        service_us: float | Callable[[int], float],
+        *,
+        hop_us: float = 0.0,
+    ):
+        if hop_us < 0:
+            raise ValueError(f"hop_us must be >= 0, got {hop_us}")
+        self.inner = inner
+        self.service_us = service_us
+        self.hop_us = hop_us
+        self._lock = threading.Lock()
+        self.calls = 0
+        #: Total modeled microseconds across calls (device busy-time proxy).
+        self.busy_us = 0.0
+
+    @property
+    def d(self) -> int | None:
+        """Inner backend's query dimensionality (for engine validation)."""
+        return getattr(self.inner, "d", None)
+
+    def modeled_us(self, batch_size: int) -> float:
+        """Modeled wall time (service + hop) for one batch, in µs."""
+        svc = self.service_us
+        svc_us = float(svc(batch_size)) if callable(svc) else float(svc)
+        return svc_us + self.hop_us
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute exact results, then pad to the modeled device time."""
+        queries = np.atleast_2d(queries)
+        t0 = time.perf_counter()
+        out = self.inner.search_batch(queries, k, nprobe)
+        target_us = self.modeled_us(queries.shape[0])
+        with self._lock:
+            self.calls += 1
+            self.busy_us += target_us
+        remaining_s = target_us * 1e-6 - (time.perf_counter() - t0)
+        if remaining_s > 0:
+            time.sleep(remaining_s)
+        return out
+
+    def add_invalidation_listener(self, listener) -> None:
+        """Forward cache-invalidation registration to the inner backend."""
+        forward_invalidation_listener([self.inner], listener)

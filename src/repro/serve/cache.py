@@ -7,9 +7,16 @@ O(1) hits that never occupy a batch slot.  Keys are
 query, so a hit is by construction bit-identical to re-running the search
 against an unchanged index.
 
-The cache must be explicitly invalidated (:meth:`QueryResultCache.clear`)
-when the underlying index mutates (insert/delete/merge of the dynamic
-service); the engine exposes this as ``ServingEngine.invalidate_cache()``.
+**Invariant (epoch-guarded invalidation).**  The cache must be invalidated
+(:meth:`QueryResultCache.clear`) when the underlying index mutates; the
+engine exposes this as ``ServingEngine.invalidate_cache()`` and registers
+it automatically with mutating backends that support
+``add_invalidation_listener`` (the dynamic service's insert/delete/merge
+then invalidate without caller help).  ``clear()`` bumps an **epoch**, and
+every writer passes the epoch it observed at lookup time — a result
+computed against pre-mutation data can therefore never repopulate an
+invalidated cache, no matter how the clear interleaves with in-flight
+batches.
 """
 
 from __future__ import annotations
@@ -105,5 +112,6 @@ class QueryResultCache:
     # ------------------------------------------------------------------ #
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when nothing was looked up)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -66,6 +66,7 @@ class LoadReport:
 
     @property
     def achieved_qps(self) -> float:
+        """Completed requests per wall-clock second over the whole run."""
         return self.n_completed / self.wall_s if self.wall_s > 0 else 0.0
 
     def percentile_rows(self) -> list[list]:
@@ -193,6 +194,7 @@ def run_closed_loop(
     errors = [0]
 
     def client() -> None:
+        """One synchronous client: draw, submit, wait, repeat."""
         while True:
             with counter_lock:
                 i = counter["next"]

@@ -42,6 +42,7 @@ class LatencyStats:
 
     @staticmethod
     def from_samples(samples_us: np.ndarray) -> "LatencyStats":
+        """Summarize a raw sample array (empty input yields all zeros)."""
         s = np.asarray(samples_us, dtype=np.float64)
         if s.size == 0:
             return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
@@ -70,6 +71,7 @@ class MetricsSnapshot:
 
     @property
     def mean_batch_size(self) -> float:
+        """Mean coalesced batch size over the histogram (0.0 if empty)."""
         n = sum(self.batch_histogram.values())
         if n == 0:
             return 0.0
@@ -77,6 +79,7 @@ class MetricsSnapshot:
 
     @property
     def cache_hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 when no cache was consulted)."""
         hits = self.counters.get("cache_hits", 0)
         misses = self.counters.get("cache_misses", 0)
         if hits + misses == 0:
@@ -109,6 +112,7 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------ #
     def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter."""
         with self._lock:
             self._counters[name] += n
 
@@ -125,12 +129,14 @@ class MetricsRegistry:
             self._t_last = now
 
     def observe_batch(self, size: int) -> None:
+        """Record one dispatched micro-batch of ``size`` requests."""
         with self._lock:
             self._counters["batches"] += 1
             self._batch_sizes[size] += 1
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> MetricsSnapshot:
+        """Consistent point-in-time copy of counters, stats, and QPS."""
         with self._lock:
             counters = dict(self._counters)
             total = np.asarray(self._total_us)

@@ -1,0 +1,307 @@
+"""Replicated, sharded serving topologies: routing and scatter-gather.
+
+The paper scales ANN search past one accelerator by fanning a query out
+across partitioned inverted lists on many devices and merging partial
+top-K results on the way back (§7.3.2).  This module gives the serving
+engine that topology as two composable backends, both implementing the
+uniform ``search_batch`` protocol of :mod:`repro.serve.backends`:
+
+- :class:`ReplicaSet` — N backends holding the *same* data; each
+  micro-batch routes to one replica chosen by a load-aware policy
+  (least-loaded, power-of-two-choices, or round-robin) over live in-flight
+  counts.  Scales throughput: with a multi-dispatcher
+  :class:`~repro.serve.scheduler.ServingEngine`, up to N micro-batches are
+  in flight at once.
+- :class:`ShardedBackend` — S backends each holding a *disjoint shard*;
+  every micro-batch scatters to all shards and the partial top-K lists
+  gather through the exact merge kernel (:func:`repro.ann.merge.merge_topk`).
+  Scales capacity: each device stores and scans 1/S of the data.
+
+**Invariant (bit-identical results).**  For shards produced by
+:func:`repro.ann.partition.partition_index`, the scatter-gather result is
+bit-identical to searching the unpartitioned index — shards share the
+trained quantizers (identical probed cells), partition the candidate set,
+and rank candidates by the canonical (distance, id) order that makes the
+top-K merge exact, ties included.  Replication never changes results at
+all: every replica serves the same data.
+
+The two compose: a ``ShardedBackend`` over ``ReplicaSet`` shards is the
+full R×S grid (every shard replicated R times), and a ``ReplicaSet`` of
+``ShardedBackend`` rows is its dual; :func:`build_topology` assembles the
+former from a single trained index.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.merge import merge_partial_topk
+from repro.ann.partition import partition_index, replicate_index
+from repro.serve.backends import SearchBackend, forward_invalidation_listener
+
+__all__ = ["ReplicaSet", "ShardedBackend", "build_topology"]
+
+#: Routing policies a :class:`ReplicaSet` accepts.
+POLICIES = ("least-loaded", "p2c", "round-robin")
+
+
+class ReplicaSet:
+    """Routes each ``search_batch`` call to one of N equivalent replicas.
+
+    Parameters
+    ----------
+    replicas : backends serving the **same** data (results must not depend
+        on which replica answers — this is the caller's contract; views
+        from :func:`repro.ann.partition.replicate_index` satisfy it).
+    policy : ``"least-loaded"`` picks the replica with the fewest in-flight
+        batches (ties rotate round-robin so an idle tier still spreads);
+        ``"p2c"`` is power-of-two-choices — sample two distinct replicas,
+        send to the less loaded, giving near-least-loaded balance with O(1)
+        sampled state; ``"round-robin"`` ignores load entirely.
+    seed : seeds the p2c sampler (deterministic routing traces in tests).
+
+    In-flight counts are maintained under a lock around the dispatch, so
+    concurrent dispatcher threads observe each other's outstanding batches
+    — that is what steers load away from a slow or busy replica.
+
+    Each replica additionally serializes its own dispatches on a
+    per-replica lock: a backend never sees concurrent ``search_batch``
+    calls, upholding :class:`~repro.ann.ivf.IVFPQIndex`'s single-searcher
+    contract even under policies that ignore load (round-robin, and p2c's
+    unlucky draws).  Least-loaded with ``dispatchers <= replicas`` never
+    contends the lock; for the other policies a doubled-up dispatch queues
+    at the replica — the behaviour of a busy physical device.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[SearchBackend],
+        *,
+        policy: str = "least-loaded",
+        seed: int = 0,
+    ):
+        replicas = list(replicas)
+        if not replicas:
+            raise ValueError("ReplicaSet needs at least one replica")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self.replicas = replicas
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._replica_locks = [threading.Lock() for _ in replicas]
+        self._inflight = [0] * len(replicas)
+        #: Lifetime dispatch count per replica (routing observability).
+        self.dispatch_counts = [0] * len(replicas)
+        self._rr = 0
+        self._rng = random.Random(seed)
+
+    @property
+    def d(self) -> int | None:
+        """Query dimensionality advertised by the replicas."""
+        return getattr(self.replicas[0], "d", None)
+
+    @property
+    def inflight(self) -> list[int]:
+        """Snapshot of in-flight batch counts per replica."""
+        with self._lock:
+            return list(self._inflight)
+
+    def _pick(self) -> int:
+        """Choose a replica index under the lock (policy dispatch)."""
+        n = len(self.replicas)
+        if n == 1:
+            return 0
+        if self.policy == "round-robin":
+            i = self._rr % n
+            self._rr += 1
+            return i
+        if self.policy == "p2c":
+            a = self._rng.randrange(n)
+            b = self._rng.randrange(n - 1)
+            if b >= a:
+                b += 1
+            return a if self._inflight[a] <= self._inflight[b] else b
+        # least-loaded: among the minimum in-flight counts, rotate so
+        # consecutive idle-tier dispatches don't all pile on replica 0.
+        lo = min(self._inflight)
+        candidates = [i for i, c in enumerate(self._inflight) if c == lo]
+        i = candidates[self._rr % len(candidates)]
+        self._rr += 1
+        return i
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Route one micro-batch to a replica chosen by the policy."""
+        with self._lock:
+            i = self._pick()
+            self._inflight[i] += 1
+            self.dispatch_counts[i] += 1
+        try:
+            # In-flight counts include dispatches queued on this lock, so
+            # load-aware policies see the true outstanding work.
+            with self._replica_locks[i]:
+                return self.replicas[i].search_batch(queries, k, nprobe)
+        finally:
+            with self._lock:
+                self._inflight[i] -= 1
+
+    def add_invalidation_listener(self, listener) -> None:
+        """Forward cache-invalidation registration to every replica."""
+        forward_invalidation_listener(self.replicas, listener)
+
+
+class ShardedBackend:
+    """Scatter-gathers each micro-batch across disjoint shard backends.
+
+    Every ``search_batch`` call fans out to all S shards (each shard
+    searches the full batch over its 1/S of the data) and the partial
+    top-K lists reduce through the exact (distance, id) merge kernel —
+    bit-identical to searching the unpartitioned index when the shards
+    come from :func:`repro.ann.partition.partition_index`.
+
+    Parameters
+    ----------
+    shards : backends over disjoint partitions of one logical index.
+    parallel : scatter with one thread per shard.  Worth it when shards
+        block on modeled device/network time
+        (:class:`~repro.serve.backends.SimulatedDeviceBackend`) so their
+        service times overlap like real devices; leave off for in-process
+        NumPy shards, where threads only add overhead.
+    scatter_workers : size of the persistent scatter thread pool.  Must
+        cover ``concurrent dispatchers x shards`` or scatters queue behind
+        one another; defaults to ``4 x shards`` (enough for 4 dispatchers
+        — pass the real product when running more).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[SearchBackend],
+        *,
+        parallel: bool = False,
+        scatter_workers: int | None = None,
+    ):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("ShardedBackend needs at least one shard")
+        if scatter_workers is not None and scatter_workers < len(shards):
+            raise ValueError(
+                f"scatter_workers must cover one scatter "
+                f"({len(shards)} shards), got {scatter_workers}"
+            )
+        self.shards = shards
+        self.parallel = parallel
+        self.scatter_workers = (
+            scatter_workers if scatter_workers is not None else 4 * len(shards)
+        )
+        #: Lazily-created persistent scatter pool (threads are reused across
+        #: calls; per-call spawning costs ~1 ms on slow hosts).
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _scatter_pool(self) -> ThreadPoolExecutor:
+        """The shared scatter pool, created on first parallel call."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.scatter_workers,
+                    thread_name_prefix="shard-scatter",
+                )
+            return self._pool
+
+    @classmethod
+    def from_index(
+        cls, index: IVFPQIndex, n_shards: int, *, parallel: bool = False
+    ) -> "ShardedBackend":
+        """Partition ``index`` into ``n_shards`` zero-copy shard views."""
+        return cls(partition_index(index, n_shards), parallel=parallel)
+
+    @property
+    def d(self) -> int | None:
+        """Query dimensionality advertised by the shards."""
+        return getattr(self.shards[0], "d", None)
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter the batch to every shard, gather and merge top-K."""
+        queries = np.atleast_2d(queries)
+        if len(self.shards) == 1:
+            return self.shards[0].search_batch(queries, k, nprobe)
+        if self.parallel:
+            futures = [
+                self._scatter_pool().submit(shard.search_batch, queries, k, nprobe)
+                for shard in self.shards
+            ]
+            parts = [f.result() for f in futures]
+        else:
+            parts = [
+                shard.search_batch(queries, k, nprobe) for shard in self.shards
+            ]
+        return merge_partial_topk(parts, k)
+
+    def add_invalidation_listener(self, listener) -> None:
+        """Forward cache-invalidation registration to every shard."""
+        forward_invalidation_listener(self.shards, listener)
+
+
+def build_topology(
+    index: IVFPQIndex,
+    *,
+    replicas: int = 1,
+    shards: int = 1,
+    policy: str = "least-loaded",
+    wrap=None,
+    parallel_scatter: bool | None = None,
+    seed: int = 0,
+):
+    """Assemble the R×S serving grid over one trained index.
+
+    Partitions ``index`` into ``shards`` zero-copy shard views, replicates
+    each shard ``replicas`` times (independent view objects, shared packed
+    storage), and wires them as a :class:`ShardedBackend` of
+    :class:`ReplicaSet` columns — each scatter picks the least-loaded
+    replica of every shard independently.  Degenerate dimensions collapse:
+    R=1 S=1 returns a plain replica view, R=1 is pure sharding, S=1 is pure
+    replication.
+
+    ``wrap``, when given, is applied to every leaf index view (e.g.
+    ``SimulatedDeviceBackend`` to model device service time).
+    ``parallel_scatter`` defaults to True exactly when ``wrap`` is set —
+    wrapped leaves are assumed to block on modeled time that should
+    overlap across shards.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if parallel_scatter is None:
+        parallel_scatter = wrap is not None
+
+    def leaves(shard_view: IVFPQIndex) -> list:
+        """R wrapped replica views of one shard."""
+        views = replicate_index(shard_view, replicas)
+        return [wrap(v) if wrap is not None else v for v in views]
+
+    shard_views = partition_index(index, shards) if shards > 1 else [index]
+    columns = []
+    for sv in shard_views:
+        col = leaves(sv)
+        columns.append(
+            col[0] if replicas == 1 else ReplicaSet(col, policy=policy, seed=seed)
+        )
+    if shards == 1:
+        return columns[0]
+    # One engine dispatcher per replica is the intended pairing, so R
+    # scatters of S tasks each can be in flight at once.
+    return ShardedBackend(
+        columns,
+        parallel=parallel_scatter,
+        scatter_workers=max(replicas, 4) * shards,
+    )

@@ -7,19 +7,32 @@ policy (Triton / Faiss-serving style):
 
 - requests enter a bounded admission queue (``block`` or ``shed`` on
   overflow — backpressure instead of unbounded memory growth);
-- a worker thread coalesces up to ``max_batch`` requests, waiting at most
-  ``max_wait_us`` after the first dequeued request for stragglers — the
-  knob trading per-request latency for batch efficiency;
+- a dispatcher thread coalesces up to ``max_batch`` requests, waiting at
+  most ``max_wait_us`` after the first dequeued request for stragglers —
+  the knob trading per-request latency for batch efficiency;
 - each micro-batch is grouped by ``(k, nprobe)`` and routed to the
   backend's ``search_batch``; per-request results come back with a
   queue/exec latency breakdown.
 
-Because the batched engine computes every query independently (verified
-bit-for-bit in tests/ann), coalescing never changes results: a request's
+**Invariant (bit-identical results).**  Because every backend computes
+each query independently of its batch-mates (verified bit-for-bit in
+tests/ann and tests/serve), coalescing never changes results: a request's
 answer is bit-identical to calling ``IVFPQIndex.search`` on it alone.
 
+**Replication.**  ``dispatchers=N`` runs N dispatcher threads draining the
+same admission queue, so up to N micro-batches are in flight at once —
+the way to keep a replicated backend tier
+(:class:`~repro.serve.routing.ReplicaSet`) busy.  With one backend the
+default single dispatcher is right: concurrent batches on one in-process
+index would only contend.
+
 An optional :class:`~repro.serve.cache.QueryResultCache` short-circuits
-repeat queries at submit time, before they occupy a batch slot.
+repeat queries at submit time, before they occupy a batch slot.  If the
+backend supports mutation-invalidation registration
+(``add_invalidation_listener``, see
+:class:`~repro.service.dynamic.DynamicVectorService`), the engine
+registers its cache automatically: inserts/deletes/merges then drop stale
+entries without any caller involvement.
 """
 
 from __future__ import annotations
@@ -56,6 +69,7 @@ class ServeResult:
 
     @property
     def total_us(self) -> float:
+        """End-to-end latency: queueing plus batch execution."""
         return self.queue_us + self.exec_us
 
 
@@ -93,6 +107,10 @@ class ServingEngine:
         raises :class:`AdmissionError` when full).
     cache : optional :class:`QueryResultCache` consulted at submit time.
     metrics : optional external registry (one is created if omitted).
+    dispatchers : dispatcher threads draining the admission queue.  Size
+        it to the backend's useful concurrency (e.g. the replica count of
+        a :class:`~repro.serve.routing.ReplicaSet`); the default 1
+        preserves single-backend behaviour.
     """
 
     def __init__(
@@ -105,6 +123,7 @@ class ServingEngine:
         policy: str = "block",
         cache: QueryResultCache | None = None,
         metrics: MetricsRegistry | None = None,
+        dispatchers: int = 1,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -114,6 +133,8 @@ class ServingEngine:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         if policy not in ("block", "shed"):
             raise ValueError(f"policy must be 'block' or 'shed', got {policy!r}")
+        if dispatchers < 1:
+            raise ValueError(f"dispatchers must be >= 1, got {dispatchers}")
         self.backend = backend
         #: Query dimensionality, when the backend advertises one (all the
         #: in-repo backends do).  Lets submit() reject a malformed query
@@ -125,39 +146,56 @@ class ServingEngine:
         self.policy = policy
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.dispatchers = dispatchers
         self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=queue_depth)
-        self._worker: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
         self._stopping = False
         #: Orders submit() against stop(): no request may enter the queue
-        #: after the _STOP sentinel, or its future would never resolve.
+        #: after the _STOP sentinels, or its future would never resolve.
         self._admission_lock = threading.Lock()
+        # Mutating backends (the dynamic service, or topologies over it)
+        # advertise invalidation registration; hook the cache up so
+        # insert/delete/merge drop stale entries without caller help.
+        if cache is not None:
+            hook = getattr(backend, "add_invalidation_listener", None)
+            if hook is not None:
+                hook(self.invalidate_cache)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     def start(self) -> "ServingEngine":
-        if self._worker is not None:
+        """Spawn the dispatcher thread(s); returns self for chaining."""
+        if self._workers:
             raise RuntimeError("engine already started")
         self._stopping = False
-        self._worker = threading.Thread(
-            target=self._run, name="serve-worker", daemon=True
-        )
-        self._worker.start()
+        self._workers = [
+            threading.Thread(target=self._run, name=f"serve-dispatch-{i}", daemon=True)
+            for i in range(self.dispatchers)
+        ]
+        for w in self._workers:
+            w.start()
         return self
 
     def stop(self) -> None:
-        """Drain queued requests, then stop the worker (idempotent)."""
-        if self._worker is None:
+        """Drain queued requests, then stop every dispatcher (idempotent)."""
+        if not self._workers:
             return
         with self._admission_lock:
             self._stopping = True
-            self._queue.put(_STOP)
-        self._worker.join()
-        self._worker = None
+            # One sentinel per dispatcher: each consumes exactly one and
+            # exits; all admitted requests precede them in FIFO order.
+            for _ in self._workers:
+                self._queue.put(_STOP)
+        for w in self._workers:
+            w.join()
+        self._workers = []
 
     def __enter__(self) -> "ServingEngine":
+        """Context-manager entry: start the engine."""
         return self.start()
 
     def __exit__(self, *exc) -> None:
+        """Context-manager exit: drain and stop the engine."""
         self.stop()
 
     @property
@@ -182,7 +220,7 @@ class ServingEngine:
         (callers are expected to back off — open-loop load counts these as
         shed requests).
         """
-        if self._worker is None or self._stopping:
+        if not self._workers or self._stopping:
             raise RuntimeError("engine is not running (call start())")
         query = np.ascontiguousarray(query, dtype=np.float32).reshape(-1)
         if self._backend_d is not None and query.shape[0] != self._backend_d:

@@ -3,8 +3,15 @@
 Combines the sharded index layout (every node runs the same FANNS design
 over its dataset partition), per-node accelerator simulators, and the
 binary-tree collective cost model into one searchable object: queries fan
-out to all shards, partial top-K results merge by distance, and the
+out to all shards, partial top-K results merge on the way back, and the
 reported latency is the slowest shard plus the network collectives.
+
+**Invariant (bit-identical results).**  Shards share the trained
+quantizers and rank candidates by the canonical (distance, id) order, and
+the gather step is the exact merge kernel
+(:func:`repro.ann.merge.merge_topk`) — so with the same deployed (k,
+nprobe) the merged cluster result equals searching the unpartitioned
+index bit for bit, ties included.
 """
 
 from __future__ import annotations
@@ -14,8 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ann.ivf import IVFPQIndex
+from repro.ann.merge import merge_partial_topk
+from repro.ann.partition import partition_index
 from repro.core.config import AcceleratorConfig
-from repro.harness.fig01 import partition_index
 from repro.net.loggp import LogGPParams, PAPER_LOGGP
 from repro.net.scaleout import simulate_cluster_latencies
 from repro.sim.accelerator import AcceleratorSimulator
@@ -33,6 +41,7 @@ class ClusterSearchResult:
     per_node_qps: list[float]
 
     def latency_percentile(self, q: float) -> float:
+        """P``q`` of the per-query distributed latency distribution (µs)."""
         return float(np.percentile(self.latencies_us, q))
 
 
@@ -74,13 +83,10 @@ class FPGAClusterService:
             sim.run_batch(queries, arrival_us=arrival_us, overhead_us=0.0)
             for sim in self.sims
         ]
-        # Batched top-K merge: one stable argsort over the (nq, k * n_shards)
-        # concatenation replaces the per-query Python reduce loop.
-        cat_i = np.concatenate([o.ids for o in outs], axis=1)
-        cat_d = np.concatenate([o.dists for o in outs], axis=1)
-        order = np.argsort(cat_d, axis=1, kind="stable")[:, :k]
-        ids = np.take_along_axis(cat_i, order, axis=1)
-        dists = np.take_along_axis(cat_d, order, axis=1)
+        # Gather: the exact (distance, id) top-K merge shared with the
+        # serving tier's ShardedBackend — bit-identical to the
+        # unpartitioned index, ties included.
+        ids, dists = merge_partial_topk([(o.ids, o.dists) for o in outs], k)
         lat = simulate_cluster_latencies(
             np.vstack([o.latencies_us for o in outs]), d=d, k=k, params=self.loggp
         )

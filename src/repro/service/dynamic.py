@@ -21,11 +21,26 @@ The service is safe to mutate while it serves: ``search``/``search_batch``,
 serving engine's worker thread can keep answering queries while another
 thread folds the next snapshot — each request sees either the old or the new
 generation, never a half-merged state.
+
+**Lock discipline.**  The reentrant service lock guards every multi-field
+read and mutation; the expensive ``merge`` rebuild runs *outside* it (only
+its freeze and swap phases lock).  Invalidation listeners are notified
+with no lock held, so a listener may re-enter the service or take its own
+locks (e.g. a query cache's) without deadlock risk.
+
+**Cache invalidation.**  Serving engines register their query caches via
+:meth:`DynamicVectorService.add_invalidation_listener` (the
+:class:`~repro.serve.scheduler.ServingEngine` does this automatically at
+construction); every ``insert``/``delete``/``merge``/``bootstrap`` that
+changes visible results then fires the listeners, so cached results can
+never outlive the data generation they were computed against.  Listeners
+are held weakly: a garbage-collected engine unregisters itself.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -83,6 +98,43 @@ class DynamicVectorService:
         #: During a merge() rebuild the pre-merge delta is frozen here and
         #: stays searchable; new inserts go to a fresh ``delta``.
         self._frozen_delta: NSWGraphIndex | None = None
+        #: Weak references to callables fired after every visible mutation
+        #: (attached engines' cache invalidation; see module docstring).
+        self._invalidation_listeners: list = []
+
+    # ------------------------------------------------------------------ #
+    def add_invalidation_listener(self, listener) -> None:
+        """Register a callable fired after every visible mutation.
+
+        Bound methods (the common case — an engine's ``invalidate_cache``)
+        are held via :class:`weakref.WeakMethod`, so registering never
+        keeps an engine alive; other callables are held strongly.
+        """
+        try:
+            ref = weakref.WeakMethod(listener)
+        except TypeError:
+            def _strong_ref(listener=listener):
+                return listener
+            ref = _strong_ref
+        with self._lock:
+            self._invalidation_listeners.append(ref)
+
+    def _notify_invalidation(self) -> None:
+        """Fire every live listener (no lock held), pruning dead ones."""
+        with self._lock:
+            refs = list(self._invalidation_listeners)
+        dead = []
+        for r in refs:
+            cb = r()
+            if cb is None:
+                dead.append(r)
+            else:
+                cb()
+        if dead:
+            with self._lock:
+                self._invalidation_listeners = [
+                    r for r in self._invalidation_listeners if r not in dead
+                ]
 
     # ------------------------------------------------------------------ #
     @property
@@ -102,7 +154,9 @@ class DynamicVectorService:
     def bootstrap(self, x: np.ndarray, train_vectors: np.ndarray | None = None) -> np.ndarray:
         """Create the initial snapshot; returns the assigned ids."""
         with self._lock:
-            return self._bootstrap_locked(x, train_vectors)
+            ids = self._bootstrap_locked(x, train_vectors)
+        self._notify_invalidation()
+        return ids
 
     def _bootstrap_locked(
         self, x: np.ndarray, train_vectors: np.ndarray | None
@@ -120,23 +174,37 @@ class DynamicVectorService:
         return ids
 
     def insert(self, x: np.ndarray) -> np.ndarray:
-        """Insert new vectors into the incremental index; returns their ids."""
+        """Insert new vectors into the incremental index; returns their ids.
+
+        Fires the invalidation listeners: the new vectors are immediately
+        visible to searches, so cached pre-insert results are stale.
+        """
         with self._lock:
             if self.primary is None:
                 raise RuntimeError("bootstrap() must run before insert()")
             x = np.ascontiguousarray(np.atleast_2d(x), dtype=np.float32)
             ids = self._allocate_ids(x.shape[0])
             self.delta.add(x, ids=ids)
-            return ids
+        if ids.shape[0]:
+            self._notify_invalidation()
+        return ids
 
     def delete(self, ids) -> int:
-        """Mark ids deleted (bitmap); returns how many were newly marked."""
+        """Mark ids deleted (bitmap); returns how many were newly marked.
+
+        Fires the invalidation listeners when anything was newly marked
+        (re-deleting an already-deleted id changes nothing, so it stays
+        silent).
+        """
         with self._lock:
             before = len(self.deleted)
             self.deleted.update(
                 int(i) for i in np.atleast_1d(np.asarray(ids, dtype=np.int64))
             )
-            return len(self.deleted) - before
+            newly = len(self.deleted) - before
+        if newly:
+            self._notify_invalidation()
+        return newly
 
     # ------------------------------------------------------------------ #
     def search(
@@ -273,9 +341,13 @@ class DynamicVectorService:
             # arrived during the rebuild stay masked into the next cycle.
             self.deleted -= folded_deleted
             self.generation += 1
-            return SnapshotStats(
+            stats = SnapshotStats(
                 snapshot_size=len(new_ids),
                 inserted_since=inserted,
                 deleted_since=n_deleted,
                 generation=self.generation,
             )
+        # The fold changed the physical layout (and retrained quantizers
+        # may rank differently): attached caches must drop everything.
+        self._notify_invalidation()
+        return stats

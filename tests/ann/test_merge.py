@@ -1,0 +1,104 @@
+"""Tests for the exact (distance, id) top-K merge kernel."""
+
+import numpy as np
+import pytest
+
+from repro.ann.merge import merge_partial_topk, merge_topk
+
+
+def _reference(ids, dists, k):
+    """Per-row lexsort reference: k smallest (dist, id) pairs."""
+    out_i = np.empty((ids.shape[0], k), dtype=np.int64)
+    out_d = np.empty((ids.shape[0], k), dtype=np.float32)
+    for qi in range(ids.shape[0]):
+        order = np.lexsort((ids[qi], dists[qi]))[:k]
+        row_i, row_d = ids[qi][order], dists[qi][order]
+        pad = k - len(row_i)
+        if pad > 0:
+            row_i = np.concatenate([row_i, np.full(pad, -1, dtype=np.int64)])
+            row_d = np.concatenate([row_d, np.full(pad, np.inf, dtype=np.float32)])
+        row_i[~np.isfinite(row_d)] = -1
+        out_i[qi], out_d[qi] = row_i, row_d
+    return out_i, out_d
+
+
+class TestMergeTopK:
+    def test_matches_lexsort_reference_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            nq, c, k = rng.integers(1, 8), int(rng.integers(1, 40)), int(rng.integers(1, 12))
+            dists = rng.random((nq, c)).astype(np.float32)
+            ids = rng.permutation(nq * c)[: nq * c].reshape(nq, c).astype(np.int64)
+            got_i, got_d = merge_topk(ids, dists, k)
+            ref_i, ref_d = _reference(ids, dists, k)
+            np.testing.assert_array_equal(got_i, ref_i)
+            np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_heavy_ties_resolved_by_id(self):
+        """Quantized distances collide constantly; ids must arbitrate."""
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            nq, c, k = 4, 30, 7
+            # Draw from only 3 distinct distance values: ties everywhere,
+            # including across the argpartition boundary.
+            dists = rng.choice(
+                np.array([0.25, 0.5, 1.0], dtype=np.float32), size=(nq, c)
+            )
+            ids = np.stack([rng.permutation(c) for _ in range(nq)]).astype(np.int64)
+            got_i, got_d = merge_topk(ids, dists, k)
+            ref_i, ref_d = _reference(ids, dists, k)
+            np.testing.assert_array_equal(got_i, ref_i)
+            np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_all_equal_distances(self):
+        dists = np.full((2, 9), 2.0, dtype=np.float32)
+        ids = np.array([[4, 8, 0, 2, 6, 1, 7, 5, 3],
+                        [10, 30, 20, 50, 40, 70, 60, 90, 80]], dtype=np.int64)
+        got_i, got_d = merge_topk(ids, dists, 4)
+        np.testing.assert_array_equal(got_i, [[0, 1, 2, 3], [10, 20, 30, 40]])
+        assert (got_d == 2.0).all()
+
+    def test_fewer_candidates_than_k_pads(self):
+        ids = np.array([[3, 1]], dtype=np.int64)
+        dists = np.array([[0.5, 0.5]], dtype=np.float32)
+        got_i, got_d = merge_topk(ids, dists, 4)
+        np.testing.assert_array_equal(got_i, [[1, 3, -1, -1]])
+        np.testing.assert_array_equal(got_d, [[0.5, 0.5, np.inf, np.inf]])
+
+    def test_padding_inputs_stay_padding(self):
+        """(-1, inf) pads from shards with short cells sort last and
+        normalize to -1 ids."""
+        ids = np.array([[7, -1, -1, 2]], dtype=np.int64)
+        dists = np.array([[1.0, np.inf, np.inf, 0.5]], dtype=np.float32)
+        got_i, got_d = merge_topk(ids, dists, 3)
+        np.testing.assert_array_equal(got_i, [[2, 7, -1]])
+        np.testing.assert_array_equal(got_d, [[0.5, 1.0, np.inf]])
+
+    def test_k_equals_candidate_count(self):
+        ids = np.array([[2, 0, 1]], dtype=np.int64)
+        dists = np.array([[0.3, 0.2, 0.1]], dtype=np.float32)
+        got_i, _ = merge_topk(ids, dists, 3)
+        np.testing.assert_array_equal(got_i, [[1, 0, 2]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            merge_topk(np.zeros((1, 2), dtype=np.int64),
+                       np.zeros((1, 2), dtype=np.float32), 0)
+        with pytest.raises(ValueError, match="shape"):
+            merge_topk(np.zeros((1, 3), dtype=np.int64),
+                       np.zeros((1, 2), dtype=np.float32), 1)
+
+
+class TestMergePartialTopK:
+    def test_merges_aligned_rows(self):
+        a = (np.array([[1, 5]], dtype=np.int64),
+             np.array([[0.1, 0.9]], dtype=np.float32))
+        b = (np.array([[2, 7]], dtype=np.int64),
+             np.array([[0.2, 0.3]], dtype=np.float32))
+        ids, dists = merge_partial_topk([a, b], 3)
+        np.testing.assert_array_equal(ids, [[1, 2, 7]])
+        np.testing.assert_array_equal(dists, np.array([[0.1, 0.2, 0.3]], dtype=np.float32))
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            merge_partial_topk([], 3)

@@ -1,0 +1,40 @@
+"""Markdown link integrity for README.md, ROADMAP.md, and docs/."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_links  # noqa: E402  (needs the tools/ path above)
+
+
+class TestDocLinks:
+    def test_no_broken_links_in_tracked_docs(self):
+        files = check_links.collect_markdown(
+            ["README.md", "ROADMAP.md", "docs"], REPO_ROOT
+        )
+        assert files, "expected markdown files to check"
+        problems = []
+        for f in files:
+            problems.extend(check_links.check_file(f, REPO_ROOT))
+        assert not problems, "\n".join(problems)
+
+    def test_slugging_matches_github(self):
+        assert check_links.github_slug("Where to add a backend") == (
+            "where-to-add-a-backend"
+        )
+        assert check_links.github_slug("CLI reference") == "cli-reference"
+        assert check_links.github_slug("`code` & Symbols!") == "code--symbols"
+
+    def test_detects_broken_link(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text("see [gone](./missing.md) and [ok](#here)\n\n# Here\n")
+        problems = check_links.check_file(md, tmp_path)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_detects_broken_anchor(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text("[bad](#nope)\n\n# Yes\n")
+        problems = check_links.check_file(md, tmp_path)
+        assert len(problems) == 1 and "nope" in problems[0]

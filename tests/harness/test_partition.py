@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.harness.fig01 import partition_index
+from repro.ann.merge import merge_partial_topk
+from repro.ann.partition import partition_index, replicate_index
 
 
 class TestPartitionIndex:
@@ -25,21 +26,18 @@ class TestPartitionIndex:
         counts = [s.ntotal for s in shards]
         assert max(counts) - min(counts) <= trained_ivf.nlist
 
-    def test_shard_search_union_equals_global(self, trained_ivf, small_dataset):
-        """Merging shard top-k by distance must equal the global top-k."""
-        k, nprobe = 5, trained_ivf.nlist  # probe everything: no probe noise
+    def test_shard_search_merge_equals_global_bitwise(self, trained_ivf, small_dataset):
+        """Merging per-shard top-k through the exact (distance, id) kernel
+        must reproduce the global top-k bit for bit — at full probing AND
+        at partial probing (shards probe the same cells by construction)."""
         shards = partition_index(trained_ivf, 3)
         q = small_dataset.queries[:8]
-        global_ids, _ = trained_ivf.search(q, k, nprobe)
-        ids = [s.search(q, k, nprobe)[0] for s in shards]
-        dists = [s.search(q, k, nprobe)[1] for s in shards]
-        merged = []
-        for qi in range(q.shape[0]):
-            cat_i = np.concatenate([i[qi] for i in ids])
-            cat_d = np.concatenate([d[qi] for d in dists])
-            merged.append(cat_i[np.argsort(cat_d, kind="stable")][:k])
-        np.testing.assert_array_equal(np.sort(np.vstack(merged), axis=1),
-                                      np.sort(global_ids, axis=1))
+        for k, nprobe in [(5, trained_ivf.nlist), (5, 2), (11, 4)]:
+            global_ids, global_dists = trained_ivf.search(q, k, nprobe)
+            parts = [s.search(q, k, nprobe) for s in shards]
+            ids, dists = merge_partial_topk(parts, k)
+            np.testing.assert_array_equal(ids, global_ids)
+            np.testing.assert_array_equal(dists, global_dists)
 
     def test_invalid_parts(self, trained_ivf):
         with pytest.raises(ValueError, match="n_parts"):
@@ -49,3 +47,30 @@ class TestPartitionIndex:
         shards = partition_index(trained_ivf, 2)
         shards[0].search(small_dataset.queries[:2], 3, 2)
         assert shards[1].stats.n_queries == 0
+
+    def test_reexported_from_fig01(self):
+        from repro.harness.fig01 import partition_index as legacy
+        assert legacy is partition_index
+
+
+class TestReplicateIndex:
+    def test_replicas_share_storage_not_state(self, trained_ivf, small_dataset):
+        reps = replicate_index(trained_ivf, 3)
+        assert len(reps) == 3
+        for r in reps:
+            assert r.invlists is trained_ivf.invlists
+            assert r.centroids is trained_ivf.centroids
+        reps[0].search(small_dataset.queries[:2], 3, 2)
+        assert reps[1].stats.n_queries == 0
+
+    def test_replica_results_identical(self, trained_ivf, small_dataset):
+        q = small_dataset.queries[:6]
+        ref = trained_ivf.search(q, 5, 4)
+        for r in replicate_index(trained_ivf, 2):
+            got = r.search(q, 5, 4)
+            np.testing.assert_array_equal(got[0], ref[0])
+            np.testing.assert_array_equal(got[1], ref[1])
+
+    def test_invalid_count(self, trained_ivf):
+        with pytest.raises(ValueError, match="n_replicas"):
+            replicate_index(trained_ivf, 0)

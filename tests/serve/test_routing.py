@@ -1,0 +1,243 @@
+"""Tests for the replicated / sharded serving tier."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFPQIndex
+from repro.ann.partition import replicate_index
+from repro.data.synthetic import make_clustered
+from repro.serve import (
+    ReplicaSet,
+    ServingEngine,
+    ShardedBackend,
+    SimulatedDeviceBackend,
+    build_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def tied_index():
+    """Index with every vector stored three times: exact distance ties."""
+    base_u = make_clustered(800, 16, n_clusters=16, seed=2)
+    base = np.repeat(base_u, 3, axis=0)
+    idx = IVFPQIndex(d=16, nlist=16, m=4, ksub=16, seed=0)
+    idx.train(base)
+    idx.add(base)
+    idx.invlists
+    return idx
+
+
+@pytest.fixture(scope="module")
+def tied_queries():
+    rng = np.random.default_rng(9)
+    base_u = make_clustered(800, 16, n_clusters=16, seed=2)
+    return (base_u[:40] + rng.normal(0, 0.01, (40, 16))).astype(np.float32)
+
+
+class TestShardedBackend:
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_bit_identical_across_grid_with_ties(
+        self, tied_index, tied_queries, n_shards
+    ):
+        """Scatter-gather == unpartitioned search for every (k, nprobe),
+        including rows full of exact PQ-distance ties."""
+        backend = ShardedBackend.from_index(tied_index, n_shards)
+        for k in (1, 5, 17):
+            for nprobe in (1, 4, 16):
+                ref_i, ref_d = tied_index.search(tied_queries, k, nprobe)
+                got_i, got_d = backend.search_batch(tied_queries, k, nprobe)
+                np.testing.assert_array_equal(got_i, ref_i)
+                np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_parallel_scatter_same_results(self, tied_index, tied_queries):
+        seq = ShardedBackend.from_index(tied_index, 4, parallel=False)
+        par = ShardedBackend.from_index(tied_index, 4, parallel=True)
+        s_i, s_d = seq.search_batch(tied_queries, 5, 4)
+        p_i, p_d = par.search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(s_i, p_i)
+        np.testing.assert_array_equal(s_d, p_d)
+
+    def test_single_shard_passthrough(self, tied_index, tied_queries):
+        backend = ShardedBackend.from_index(tied_index, 1)
+        ref = tied_index.search(tied_queries, 5, 4)
+        got = backend.search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(got[0], ref[0])
+
+    def test_d_property_and_validation(self, tied_index):
+        assert ShardedBackend.from_index(tied_index, 2).d == tied_index.d
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedBackend([])
+
+    def test_through_engine_bit_identical(self, tied_index, tied_queries):
+        backend = ShardedBackend.from_index(tied_index, 3)
+        ref_i, ref_d = tied_index.search(tied_queries, 5, 4)
+        with ServingEngine(backend, max_batch=8, max_wait_us=2000.0) as eng:
+            futs = [eng.submit(q, 5, 4) for q in tied_queries]
+            got = [f.result(timeout=60) for f in futs]
+        np.testing.assert_array_equal(np.stack([g.ids for g in got]), ref_i)
+        np.testing.assert_array_equal(np.stack([g.dists for g in got]), ref_d)
+
+
+class _CountingBackend:
+    """Minimal backend: constant answer, optional service delay."""
+
+    def __init__(self, delay_s=0.0, d=4):
+        self.delay_s = delay_s
+        self.d = d
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def search_batch(self, queries, k, nprobe=None):
+        with self._lock:
+            self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        nq = np.atleast_2d(queries).shape[0]
+        return (np.zeros((nq, k), dtype=np.int64),
+                np.zeros((nq, k), dtype=np.float32))
+
+
+class TestReplicaSet:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ReplicaSet([])
+        with pytest.raises(ValueError, match="policy"):
+            ReplicaSet([_CountingBackend()], policy="random")
+
+    def test_round_robin_cycles(self):
+        reps = [_CountingBackend() for _ in range(3)]
+        rs = ReplicaSet(reps, policy="round-robin")
+        q = np.zeros((1, 4), dtype=np.float32)
+        for _ in range(9):
+            rs.search_batch(q, 1)
+        assert rs.dispatch_counts == [3, 3, 3]
+
+    def test_least_loaded_spreads_when_idle(self):
+        reps = [_CountingBackend() for _ in range(3)]
+        rs = ReplicaSet(reps, policy="least-loaded")
+        q = np.zeros((1, 4), dtype=np.float32)
+        for _ in range(9):
+            rs.search_batch(q, 1)
+        assert rs.dispatch_counts == [3, 3, 3]
+
+    def test_p2c_roughly_balances(self):
+        reps = [_CountingBackend() for _ in range(4)]
+        rs = ReplicaSet(reps, policy="p2c", seed=3)
+        q = np.zeros((1, 4), dtype=np.float32)
+        for _ in range(200):
+            rs.search_batch(q, 1)
+        assert sum(rs.dispatch_counts) == 200
+        # Sequential idle-tier p2c is uniform-random over pairs; every
+        # replica must land well away from starvation or hoarding.
+        assert min(rs.dispatch_counts) > 20
+        assert max(rs.dispatch_counts) < 90
+
+    def test_least_loaded_avoids_busy_replica_under_skew(self):
+        """One slow device + concurrent dispatch: the in-flight count must
+        steer load to the fast replicas."""
+        slow = _CountingBackend(delay_s=0.05)
+        fasts = [_CountingBackend(delay_s=0.002) for _ in range(2)]
+        rs = ReplicaSet([slow, *fasts], policy="least-loaded")
+        q = np.zeros(4, dtype=np.float32)
+        with ServingEngine(rs, max_batch=1, max_wait_us=0.0, dispatchers=3) as eng:
+            futs = [eng.submit(q, 1) for _ in range(60)]
+            for f in futs:
+                f.result(timeout=60)
+        assert sum(rs.dispatch_counts) == 60
+        # The slow replica's share collapses: each fast replica serves
+        # strictly more, and the slow one stays well under fair share (20).
+        assert rs.dispatch_counts[0] < 12, rs.dispatch_counts
+        for fast_count in rs.dispatch_counts[1:]:
+            assert fast_count > rs.dispatch_counts[0]
+
+    def test_inflight_snapshot_settles_to_zero(self):
+        rs = ReplicaSet([_CountingBackend(), _CountingBackend()])
+        rs.search_batch(np.zeros((1, 4), dtype=np.float32), 1)
+        assert rs.inflight == [0, 0]
+
+    def test_replicas_return_identical_results(self, tied_index, tied_queries):
+        rs = ReplicaSet(replicate_index(tied_index, 3), policy="round-robin")
+        ref_i, ref_d = tied_index.search(tied_queries, 5, 4)
+        for _ in range(3):  # one pass per replica
+            got_i, got_d = rs.search_batch(tied_queries, 5, 4)
+            np.testing.assert_array_equal(got_i, ref_i)
+            np.testing.assert_array_equal(got_d, ref_d)
+
+
+class TestSimulatedDeviceBackend:
+    def test_exact_results_padded_time(self, tied_index, tied_queries):
+        dev = SimulatedDeviceBackend(tied_index, 20_000.0, hop_us=1_000.0)
+        assert dev.modeled_us(8) == 21_000.0
+        t0 = time.perf_counter()
+        got_i, got_d = dev.search_batch(tied_queries[:8], 5, 4)
+        elapsed_us = (time.perf_counter() - t0) * 1e6
+        ref_i, ref_d = tied_index.search(tied_queries[:8], 5, 4)
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+        assert elapsed_us >= 20_000.0
+        assert dev.calls == 1 and dev.busy_us == 21_000.0
+
+    def test_callable_service_model(self):
+        inner = _CountingBackend()
+        dev = SimulatedDeviceBackend(inner, lambda batch: 10.0 * batch)
+        assert dev.modeled_us(4) == 40.0
+        with pytest.raises(ValueError, match="hop_us"):
+            SimulatedDeviceBackend(inner, 0.0, hop_us=-1.0)
+
+
+class TestBuildTopology:
+    def test_validation(self, tied_index):
+        with pytest.raises(ValueError, match="replicas"):
+            build_topology(tied_index, replicas=0)
+        with pytest.raises(ValueError, match="shards"):
+            build_topology(tied_index, shards=0)
+
+    def test_degenerate_dimensions_collapse(self, tied_index):
+        assert isinstance(build_topology(tied_index), IVFPQIndex)
+        assert isinstance(build_topology(tied_index, replicas=3), ReplicaSet)
+        assert isinstance(build_topology(tied_index, shards=2), ShardedBackend)
+
+    def test_full_grid_bit_identical_through_engine(self, tied_index, tied_queries):
+        """R=2 x S=3 with concurrent dispatchers: still exact."""
+        topo = build_topology(tied_index, replicas=2, shards=3)
+        ref_i, ref_d = tied_index.search(tied_queries, 5, 4)
+        with ServingEngine(
+            topo, max_batch=4, max_wait_us=500.0, dispatchers=2
+        ) as eng:
+            futs = [eng.submit(q, 5, 4) for q in tied_queries]
+            got = [f.result(timeout=60) for f in futs]
+        np.testing.assert_array_equal(np.stack([g.ids for g in got]), ref_i)
+        np.testing.assert_array_equal(np.stack([g.dists for g in got]), ref_d)
+
+    def test_wrap_applies_to_leaves(self, tied_index):
+        topo = build_topology(
+            tied_index, replicas=2, shards=2,
+            wrap=lambda v: SimulatedDeviceBackend(v, 100.0),
+        )
+        assert topo.parallel  # wrapped leaves default to parallel scatter
+        for column in topo.shards:
+            assert all(
+                isinstance(r, SimulatedDeviceBackend) for r in column.replicas
+            )
+
+
+class TestEngineDispatchers:
+    def test_validation(self, tied_index):
+        with pytest.raises(ValueError, match="dispatchers"):
+            ServingEngine(tied_index, dispatchers=0)
+
+    def test_multi_dispatcher_serves_all_and_stops_clean(self, tied_index, tied_queries):
+        ref_i, _ = tied_index.search(tied_queries, 5, 4)
+        rs = ReplicaSet(replicate_index(tied_index, 3))
+        eng = ServingEngine(rs, max_batch=4, max_wait_us=200.0, dispatchers=3)
+        with eng:
+            futs = [eng.submit(q, 5, 4) for q in tied_queries]
+            got_i = np.stack([f.result(timeout=60).ids for f in futs])
+        np.testing.assert_array_equal(got_i, ref_i)
+        # Idempotent stop, restartable after stop.
+        eng.stop()
+        with eng:
+            assert eng.search(tied_queries[0], 5, 4).ids.shape == (5,)

@@ -1,0 +1,99 @@
+"""Tests for automatic cache invalidation on dynamic-service mutations."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_clustered
+from repro.serve import InstrumentedBackend, QueryResultCache, ServingEngine
+from repro.service.dynamic import DynamicVectorService
+
+
+@pytest.fixture()
+def service():
+    svc = DynamicVectorService(d=16, nlist=8, m=4, ksub=16, nprobe=4, seed=0)
+    svc.bootstrap(make_clustered(600, 16, n_clusters=8, seed=1))
+    return svc
+
+
+def _engine(service):
+    return ServingEngine(
+        service, max_batch=4, max_wait_us=0.0, cache=QueryResultCache(64)
+    )
+
+
+class TestAutoInvalidation:
+    def test_insert_invalidates_attached_cache(self, service):
+        q = make_clustered(600, 16, n_clusters=8, seed=1)[0]
+        with _engine(service) as eng:
+            eng.search(q, 3)
+            assert len(eng.cache) == 1
+            service.insert(np.tile(q, (4, 1)))
+            assert len(eng.cache) == 0
+            # The re-served result reflects the inserted duplicates.
+            ids = eng.search(q, 3).ids
+            assert len(eng.cache) == 1
+            direct_ids, _ = service.search(q, 3)
+            np.testing.assert_array_equal(ids, direct_ids[0])
+
+    def test_delete_invalidates_only_when_new(self, service):
+        q = make_clustered(600, 16, n_clusters=8, seed=1)[1]
+        with _engine(service) as eng:
+            top = eng.search(q, 3).ids
+            assert len(eng.cache) == 1
+            assert service.delete([int(top[0])]) == 1
+            assert len(eng.cache) == 0
+            eng.search(q, 3)
+            assert len(eng.cache) == 1
+            # Re-deleting the same id changes nothing: cache survives.
+            assert service.delete([int(top[0])]) == 0
+            assert len(eng.cache) == 1
+
+    def test_merge_invalidates(self, service):
+        q = make_clustered(600, 16, n_clusters=8, seed=1)[2]
+        with _engine(service) as eng:
+            eng.search(q, 3)
+            service.insert(make_clustered(20, 16, n_clusters=8, seed=9))
+            service.merge()
+            assert len(eng.cache) == 0
+
+    def test_served_results_never_stale_after_delete(self, service):
+        """The end-to-end property the hooks exist for: a cached answer
+        must never resurface a deleted id."""
+        q = make_clustered(600, 16, n_clusters=8, seed=1)[3]
+        with _engine(service) as eng:
+            first = eng.search(q, 3)
+            victim = int(first.ids[0])
+            service.delete([victim])
+            again = eng.search(q, 3)
+            assert victim not in again.ids.tolist()
+
+    def test_listener_forwarding_through_wrappers(self, service):
+        """InstrumentedBackend forwards registration to the service."""
+        wrapped = InstrumentedBackend(service)
+        with ServingEngine(
+            wrapped, max_batch=2, max_wait_us=0.0, cache=QueryResultCache(16)
+        ) as eng:
+            q = make_clustered(600, 16, n_clusters=8, seed=1)[4]
+            eng.search(q, 3)
+            assert len(eng.cache) == 1
+            service.insert(q[None, :])
+            assert len(eng.cache) == 0
+
+    def test_dead_engines_unregister_via_weakref(self, service):
+        for _ in range(3):
+            eng = _engine(service)  # registers at construction
+            del eng
+        gc.collect()
+        service.insert(make_clustered(4, 16, n_clusters=2, seed=3))
+        # Dead listeners were pruned rather than fired.
+        assert all(
+            ref() is not None for ref in service._invalidation_listeners
+        ) or not service._invalidation_listeners
+
+    def test_manual_listener(self, service):
+        fired = []
+        service.add_invalidation_listener(lambda: fired.append(True))
+        service.insert(make_clustered(2, 16, n_clusters=2, seed=5))
+        assert fired

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs.
+
+Validates every ``[text](target)`` link in the given markdown files or
+directories:
+
+- relative file links must point at an existing file or directory
+  (resolved against the containing file);
+- ``#anchor`` fragments (bare or after a file target) must match a
+  heading in the target document, using GitHub's slug rules;
+- external links (http/https/mailto) are recognized but **not** fetched —
+  the check stays deterministic and offline.
+
+Exit status is the number of broken links (0 = all good), so CI can run
+``python tools/check_links.py README.md ROADMAP.md docs`` directly.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — target captured without surrounding whitespace/title.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens (backticks and markdown emphasis stripped first)."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs defined by a markdown file's headings."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every markdown link in ``path``."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Return a list of human-readable problems for one markdown file."""
+    problems: list[str] = []
+    for lineno, target in iter_links(path):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue  # external: recognized, deliberately not fetched
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{path.relative_to(repo_root)}:{lineno}: broken link "
+                    f"-> {target} (no such file)"
+                )
+                continue
+        else:
+            dest = path
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown targets: skip
+            if anchor.lower() not in heading_slugs(dest):
+                problems.append(
+                    f"{path.relative_to(repo_root)}:{lineno}: broken anchor "
+                    f"-> {target} (no heading '#{anchor}')"
+                )
+    return problems
+
+
+def collect_markdown(args: list[str], repo_root: Path) -> list[Path]:
+    """Expand file/directory arguments into a markdown file list."""
+    files: list[Path] = []
+    for arg in args:
+        p = (repo_root / arg).resolve() if not Path(arg).is_absolute() else Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"warning: {arg} does not exist, skipping", file=sys.stderr)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    """Check all given files/dirs; returns the number of broken links."""
+    repo_root = Path(__file__).resolve().parents[1]
+    targets = argv or ["README.md", "ROADMAP.md", "docs"]
+    problems: list[str] = []
+    files = collect_markdown(targets, repo_root)
+    for f in files:
+        problems.extend(check_file(f, repo_root))
+    for p in problems:
+        print(p)
+    print(f"checked {len(files)} markdown file(s): {len(problems)} broken link(s)")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
