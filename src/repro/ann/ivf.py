@@ -328,18 +328,8 @@ class IVFPQIndex:
         counts_sorted = counts[order]
         cm_starts = np.cumsum(counts_sorted) - counts_sorted
         d_cm = np.empty(total, dtype=np.float32)  # distances, cell-major
-        # Flattened per-cell gather indices into each (m, ksub) table
-        # (j*ksub + code), cached per invlist snapshot: any add() flush
-        # produces a new PackedInvLists object, which invalidates the cache.
-        # Stored at the narrowest dtype that can address m*ksub so the cache
-        # stays within ~2x of the uint8 code store even when every cell of a
-        # memory-mapped index has been probed.
-        cache = getattr(self, "_gather_cache", None)
-        if cache is None or cache[0] is not lists:
-            cache = (lists, {})
-            self._gather_cache = cache
-        gather_per_cell = cache[1]
-        gather_dtype = np.uint16 if self.m * self.ksub <= 1 << 16 else np.int32
+        gather_per_cell = self._gather_table(lists)
+        gather_dtype = self._gather_dtype()
         jj = np.arange(self.m)[None, :]
         for g0, g1 in zip(group_bounds[:-1], group_bounds[1:]):
             cell = int(sorted_cells[g0])
@@ -348,12 +338,7 @@ class IVFPQIndex:
                 continue
             gather = gather_per_cell.get(cell)
             if gather is None:
-                # np.take over these keeps the gather C-contiguous, so the
-                # float32 reduction order matches per-query pq.adc() bit
-                # for bit.
-                gather = (
-                    (jj * self.ksub + lists.cell_codes(cell)).ravel().astype(gather_dtype)
-                )
+                gather = self._gather_entry(lists, cell, jj, gather_dtype)
                 gather_per_cell[cell] = gather
             c0 = cm_starts[g0]
             chunk = max(1, _ADC_CHUNK_ELEMS // (nc * self.m))
@@ -370,6 +355,70 @@ class IVFPQIndex:
             np.repeat(run_starts[order] - cm_starts, counts_sorted) + np.arange(total)
         ] = d_cm
         return out_d, out_i, bounds
+
+    def _gather_table(self, lists) -> dict:
+        """The per-invlist-snapshot gather cache dict, (re)keyed to ``lists``.
+
+        Flattened per-cell gather indices into each (m, ksub) LUT, cached
+        per invlist snapshot: any add() flush produces a new
+        PackedInvLists object, which invalidates the cache.
+        """
+        cache = getattr(self, "_gather_cache", None)
+        if cache is None or cache[0] is not lists:
+            cache = (lists, {})
+            self._gather_cache = cache
+        return cache[1]
+
+    def _gather_dtype(self):
+        """Narrowest dtype that can address every ``m * ksub`` LUT entry,
+        so the cache stays within ~2x of the uint8 code store even when
+        every cell of a memory-mapped index has been probed."""
+        return np.uint16 if self.m * self.ksub <= 1 << 16 else np.int32
+
+    def _gather_entry(self, lists, cell: int, jj, gather_dtype) -> np.ndarray:
+        """One cell's flattened LUT-gather indices (``j*ksub + code``).
+
+        The **single** construction site for gather tables: the lazy path
+        in :meth:`stage_pq_dist_batch` and the eager
+        :meth:`warm_gather_cache` both call this, so warm and cold entries
+        are identical by construction.  ``np.take`` over these keeps the
+        gather C-contiguous, so the float32 reduction order matches
+        per-query ``pq.adc()`` bit for bit.
+        """
+        return (jj * self.ksub + lists.cell_codes(cell)).ravel().astype(gather_dtype)
+
+    def warm_gather_cache(self, cells=None) -> int:
+        """Prime the per-cell ADC gather tables ahead of serving.
+
+        :meth:`stage_pq_dist_batch` builds each probed cell's flattened
+        LUT-gather index lazily on first touch; a freshly-built replica
+        view (see :func:`repro.ann.partition.replicate_index`) therefore
+        pays that build cost on its first queries — N replicas cold-start
+        N times.  This primes the same cache eagerly through the shared
+        :meth:`_gather_entry` construction (search results and performance
+        are unchanged except the first-touch cost moving here).
+
+        Parameters
+        ----------
+        cells : iterable of cell ids to warm; default all non-empty cells.
+
+        Returns the number of gather tables built (already-warm or empty
+        cells are skipped).
+        """
+        lists = self.invlists
+        gather_per_cell = self._gather_table(lists)
+        gather_dtype = self._gather_dtype()
+        jj = np.arange(self.m)[None, :]
+        sizes = lists.sizes
+        built = 0
+        cell_iter = range(len(sizes)) if cells is None else cells
+        for cell in cell_iter:
+            cell = int(cell)
+            if sizes[cell] == 0 or cell in gather_per_cell:
+                continue
+            gather_per_cell[cell] = self._gather_entry(lists, cell, jj, gather_dtype)
+            built += 1
+        return built
 
     def stage_select_k_batch(
         self, dists: np.ndarray, ids: np.ndarray, bounds: np.ndarray, k: int

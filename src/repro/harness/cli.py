@@ -14,10 +14,14 @@ Analytic experiments (fig03, fig09) run in seconds; dataset-backed ones
 figure.  Without topology flags it compares batch-size-1 serving against
 the dynamic micro-batching scheduler (and the query cache) under
 closed-loop load; with ``--replicas`` / ``--shards`` it measures the
-replicated, sharded serving matrix over simulated accelerator devices::
+replicated, sharded serving matrix over simulated accelerator devices;
+with ``--qos`` it runs the multi-tenant QoS matrix (noisy-neighbor
+isolation under weighted fair queueing + admission quotas, and the
+adaptive batch window against fixed windows)::
 
     python -m repro.harness.cli serve-bench
     python -m repro.harness.cli serve-bench --replicas 1,2,3 --shards 1,2,4
+    python -m repro.harness.cli serve-bench --qos --tenants 2 --slo-us 40000
 
 Every flag is documented in the README's CLI reference table.
 """
@@ -59,20 +63,41 @@ def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
 
 
 def _run_serve_bench(args: argparse.Namespace):
-    """Dispatch serve-bench to the basic or the replicated-matrix runner."""
+    """Dispatch serve-bench to the basic, replicated, or QoS runner."""
+    if args.qos:
+        if (
+            args.replicas is not None
+            or args.shards is not None
+            or args.policy is not None
+        ):
+            raise SystemExit(
+                "--qos and --replicas/--shards/--policy are exclusive modes"
+            )
+        if args.clients is not None or args.requests is not None:
+            raise SystemExit(
+                "--qos takes no --clients/--requests (its load matrix is "
+                "derived from modeled capacity; tune --tenants/--slo-us)"
+            )
+        return serve_bench.run_qos(
+            victims=args.tenants,
+            slo_us=args.slo_us,
+            seed=args.seed,
+        )
     overrides = {}
     if args.clients is not None:
         overrides["n_clients"] = args.clients
     if args.requests is not None:
         overrides["n_requests"] = args.requests
     if args.replicas is None and args.shards is None:
+        if args.policy is not None:
+            raise SystemExit("--policy applies to the replicated mode only")
         return serve_bench.run(seed=args.seed, **overrides)
     replicas = _parse_counts(args.replicas or "1,2,3", "--replicas")
     shards = _parse_counts(args.shards or "1", "--shards")
     return serve_bench.run_replicated(
         replicas=replicas,
         shards=shards,
-        policy=args.policy,
+        policy=args.policy if args.policy is not None else "least-loaded",
         seed=args.seed,
         **overrides,
     )
@@ -105,9 +130,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve.add_argument(
         "--policy",
-        default="least-loaded",
+        default=None,
         choices=POLICIES,
-        help="replica routing policy (default: least-loaded)",
+        help="replica routing policy, replicated mode only (default: least-loaded)",
     )
     serve.add_argument(
         "--clients",
@@ -120,6 +145,25 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="requests per configuration (default: 400 basic / 600 replicated)",
+    )
+    serve.add_argument(
+        "--qos",
+        action="store_true",
+        help="run the multi-tenant QoS matrix (noisy neighbor + adaptive window)",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=2,
+        metavar="N",
+        help="victim tenants beside the aggressor in QoS mode (default: 2)",
+    )
+    serve.add_argument(
+        "--slo-us",
+        type=float,
+        default=40_000.0,
+        metavar="US",
+        help="p99 SLO for the adaptive batch window in QoS mode (default: 40000)",
     )
     serve.add_argument(
         "--seed", type=int, default=0, help="workload seed (default: 0)"

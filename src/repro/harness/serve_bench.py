@@ -41,17 +41,29 @@ from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_u
 from repro.net.loggp import point_to_point_us
 from repro.serve.backends import InstrumentedBackend, SimulatedDeviceBackend
 from repro.serve.cache import QueryResultCache
-from repro.serve.loadgen import LoadReport, run_closed_loop
+from repro.serve.loadgen import (
+    LoadReport,
+    TenantWorkload,
+    run_closed_loop,
+    run_multi_tenant,
+    run_open_loop,
+    tile_stream,
+)
+from repro.serve.qos import AdaptiveBatchWindow, TenantPolicy, WFQDiscipline
 from repro.serve.routing import build_topology
 from repro.serve.scheduler import ServingEngine
 
 __all__ = [
+    "QosBenchResult",
+    "QosTenantRow",
     "ReplicatedConfigRow",
     "ReplicatedServeResult",
     "ServeBenchResult",
     "ServeConfigRow",
+    "WindowRow",
     "build_serving_index",
     "run",
+    "run_qos",
     "run_replicated",
 ]
 
@@ -437,5 +449,331 @@ def run_replicated(
             "device_fill_us": DEVICE_FILL_US,
             "device_per_query_us": DEVICE_PER_QUERY_US,
             "device_hop_us": hop,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Multi-tenant QoS benchmark: noisy neighbor + adaptive batch window.
+
+#: Modeled device for the QoS scenarios: a large per-batch fill cost makes
+#: batch efficiency matter (the adaptive window's job) and a bounded
+#: capacity makes the queue the contended resource (the fair queue's job).
+QOS_FILL_US = 6000.0
+QOS_PER_QUERY_US = 250.0
+QOS_MAX_BATCH = 16
+
+
+def qos_service_us(batch: int) -> float:
+    """Modeled accelerator time for one batch in the QoS scenarios."""
+    return QOS_FILL_US + QOS_PER_QUERY_US * batch
+
+
+def qos_capacity_qps() -> float:
+    """Max sustainable throughput of the modeled device (full batches)."""
+    return QOS_MAX_BATCH / (qos_service_us(QOS_MAX_BATCH) * 1e-6)
+
+
+@dataclass(frozen=True)
+class QosTenantRow:
+    """One tenant's measured outcome under one scheduling mode."""
+
+    mode: str  # "isolated" | "fifo" | "qos"
+    tenant: str
+    offered_qps: float
+    report: LoadReport
+
+    def cells(self) -> list:
+        """Row cells for the noisy-neighbor table."""
+        r = self.report
+        return [
+            self.mode, self.tenant, self.offered_qps,
+            r.n_completed, r.n_shed,
+            r.total.p50_us, r.total.p99_us,
+        ]
+
+
+@dataclass(frozen=True)
+class WindowRow:
+    """One (load level, window config) point of the adaptive-window sweep."""
+
+    load: str  # "low" | "high"
+    config: str  # "w=0" | "w=fixed" | "adaptive"
+    rate_qps: float
+    report: LoadReport
+    #: Modeled device busy time per completed request — the batch-
+    #: efficiency axis of the frontier (deterministic, unlike wall time).
+    busy_us_per_req: float
+    final_window_us: float
+
+    def cells(self) -> list:
+        """Row cells for the window-sweep table."""
+        r = self.report
+        return [
+            self.load, self.config, self.rate_qps,
+            r.total.p50_us, r.total.p99_us,
+            r.mean_batch_size, self.busy_us_per_req, self.final_window_us,
+        ]
+
+
+@dataclass
+class QosBenchResult:
+    """Outcome of the multi-tenant QoS benchmark."""
+
+    tenant_rows: list[QosTenantRow]
+    window_rows: list[WindowRow]
+    bit_identical: bool
+    params: dict = field(default_factory=dict)
+
+    # -- noisy neighbor ------------------------------------------------ #
+    def victim_p99(self, mode: str) -> float:
+        """Worst victim-tenant p99 under ``mode`` (aggressor excluded)."""
+        p99s = [
+            row.report.total.p99_us
+            for row in self.tenant_rows
+            if row.mode == mode and row.tenant != "aggressor"
+        ]
+        if not p99s:
+            raise KeyError(f"no victim rows measured for mode {mode!r}")
+        return max(p99s)
+
+    # -- adaptive window ----------------------------------------------- #
+    def window_row(self, load: str, config: str) -> WindowRow:
+        """The sweep point measured at (``load``, ``config``)."""
+        for row in self.window_rows:
+            if row.load == load and row.config == config:
+                return row
+        raise KeyError(f"no window row ({load!r}, {config!r})")
+
+    def format(self) -> str:
+        """Human-readable tables plus the headline isolation numbers."""
+        t1 = format_table(
+            ["mode", "tenant", "offered_qps", "done", "shed", "p50_us", "p99_us"],
+            [r.cells() for r in self.tenant_rows],
+            title=(
+                "noisy neighbor: victims + 2x-overload aggressor "
+                f"(bit-identical to direct search: {self.bit_identical})"
+            ),
+        )
+        t2 = format_table(
+            ["load", "config", "rate_qps", "p50_us", "p99_us",
+             "mean_batch", "busy_us/req", "window_us"],
+            [r.cells() for r in self.window_rows],
+            title="adaptive batch window: fixed windows vs SLO controller",
+        )
+        iso, fifo, qos = (
+            self.victim_p99(m) for m in ("isolated", "fifo", "qos")
+        )
+        lines = [
+            t1, "\n\n", t2,
+            f"\n\nvictim p99: isolated {iso:.0f}us | FIFO under burst "
+            f"{fifo:.0f}us ({fifo / max(iso, 1e-9):.1f}x) | QoS under burst "
+            f"{qos:.0f}us ({qos / max(iso, 1e-9):.1f}x)",
+        ]
+        return "".join(lines)
+
+
+def verify_qos_bit_identical(
+    index: IVFPQIndex, queries: np.ndarray, *, k: int = K, nprobe: int = NPROBE
+) -> bool:
+    """Serve through WFQ + quotas + adaptive window; compare bits to search().
+
+    Tenants rotate across requests (distinct weights, one priority lane)
+    so fair-queueing genuinely reorders the stream before it is compared.
+    """
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+    discipline = WFQDiscipline(
+        {
+            "gold": TenantPolicy(weight=4.0, priority=True),
+            "silver": TenantPolicy(weight=2.0),
+            "bronze": TenantPolicy(weight=1.0, rate_qps=1e9),
+        },
+        depth=4 * len(queries),
+    )
+    window = AdaptiveBatchWindow(slo_p99_us=50_000.0, max_us=2000.0)
+    tenants = ("gold", "silver", "bronze")
+    with ServingEngine(
+        index, max_batch=8, discipline=discipline, adaptive_window=window
+    ) as eng:
+        futs = [
+            eng.submit(
+                q, k, nprobe,
+                tenant=tenants[i % 3], priority=(i % 3 == 0),
+            )
+            for i, q in enumerate(queries)
+        ]
+        got = [f.result() for f in futs]
+    ids = np.stack([g.ids for g in got])
+    dists = np.stack([g.dists for g in got])
+    return bool(np.array_equal(ids, ref_ids) and np.array_equal(dists, ref_dists))
+
+
+def run_qos(
+    ctx=None,
+    *,
+    victims: int = 2,
+    victim_share: float = 0.15,
+    aggressor_mult: float = 2.0,
+    duration_s: float = 1.25,
+    slo_us: float = 40_000.0,
+    max_wait_us: float = 2000.0,
+    window_fixed_us: float = 15_000.0,
+    low_rate_qps: float = 30.0,
+    high_utilization: float = 0.75,
+    k: int = K,
+    nprobe: int = NPROBE,
+    seed: int = 0,
+) -> QosBenchResult:
+    """Measure the QoS tier (ctx unused; the index is self-built).
+
+    Two scenarios over a modeled accelerator of known capacity C:
+
+    - **noisy neighbor** — ``victims`` tenants at ``victim_share``·C each,
+      measured (a) isolated, (b) against an ``aggressor_mult``·C aggressor
+      burst through the plain FIFO engine, and (c) through the QoS engine
+      (WFQ + a 0.5·C token-bucket quota on the aggressor).  QoS must hold
+      the victims' p99 near isolated where FIFO lets it grow with the
+      backlog.
+    - **adaptive window** — one tenant at a low rate and at
+      ``high_utilization``·C, served with a greedy window (0), a fixed
+      large window, and the :class:`~repro.serve.qos.AdaptiveBatchWindow`
+      controller.  The controller must match the greedy window's latency
+      when idle and the large window's batch efficiency under load —
+      the frontier neither fixed setting reaches alone.
+    """
+    if victims < 1:
+        raise ValueError(f"victims must be >= 1, got {victims}")
+    index, queries = build_serving_index(seed=seed)
+    bit_identical = verify_qos_bit_identical(index, queries[:60], k=k, nprobe=nprobe)
+
+    capacity = qos_capacity_qps()
+    victim_rate = victim_share * capacity
+    aggressor_rate = aggressor_mult * capacity
+    victim_names = [f"tenant-{chr(ord('a') + i)}" for i in range(victims)]
+
+    def victim_loads() -> list[TenantWorkload]:
+        """One open-loop workload per victim tenant."""
+        return [
+            TenantWorkload(
+                name, rate_qps=victim_rate,
+                n_requests=max(int(victim_rate * duration_s), 16),
+                k=k, nprobe=nprobe, seed=seed + 17 * (i + 1),
+            )
+            for i, name in enumerate(victim_names)
+        ]
+
+    aggressor_load = TenantWorkload(
+        "aggressor", rate_qps=aggressor_rate,
+        n_requests=max(int(aggressor_rate * duration_s), 16),
+        k=k, nprobe=nprobe, seed=seed + 101,
+    )
+    total_requests = sum(
+        w.n_requests for w in (*victim_loads(), aggressor_load)
+    )
+
+    tenant_rows: list[QosTenantRow] = []
+
+    def record(mode: str, reports: dict[str, LoadReport]) -> None:
+        """Append one measured row per tenant of a scenario run."""
+        for name, rep in sorted(reports.items()):
+            offered = aggressor_rate if name == "aggressor" else victim_rate
+            tenant_rows.append(QosTenantRow(mode, name, offered, rep))
+
+    def fresh_engine(discipline=None) -> ServingEngine:
+        """A new engine over a fresh simulated device (busy stats reset)."""
+        backend = SimulatedDeviceBackend(index, qos_service_us)
+        return ServingEngine(
+            backend,
+            max_batch=QOS_MAX_BATCH,
+            max_wait_us=max_wait_us,
+            queue_depth=4 * total_requests,
+            policy="shed" if discipline is not None else "block",
+            discipline=discipline,
+        )
+
+    # (a.1) victims alone: the isolated baseline every mode is judged by.
+    with fresh_engine() as engine:
+        record("isolated", run_multi_tenant(engine, queries, victim_loads()))
+
+    # (a.2) FIFO under the burst: one shared queue, no isolation.
+    with fresh_engine() as engine:
+        record(
+            "fifo",
+            run_multi_tenant(engine, queries, [*victim_loads(), aggressor_load]),
+        )
+
+    # (a.3) QoS under the same burst: fair queue + aggressor quota.
+    policies = {name: TenantPolicy(weight=1.0) for name in victim_names}
+    policies["aggressor"] = TenantPolicy(
+        weight=1.0, rate_qps=0.5 * capacity, burst=64
+    )
+    discipline = WFQDiscipline(policies, depth=4 * total_requests)
+    with fresh_engine(discipline) as engine:
+        record(
+            "qos",
+            run_multi_tenant(engine, queries, [*victim_loads(), aggressor_load]),
+        )
+
+    # (b) adaptive batch window across the load range.
+    high_rate = high_utilization * capacity
+    window_rows: list[WindowRow] = []
+    for load, rate in (("low", low_rate_qps), ("high", high_rate)):
+        n_req = max(int(rate * duration_s), 48)
+        # Tile the pool to exactly n_req arrivals so duration_s actually
+        # governs how long each sweep point offers load.
+        stream = tile_stream(queries, n_req)
+        for config in ("w=0", "w=fixed", "adaptive"):
+            backend = SimulatedDeviceBackend(index, qos_service_us)
+            window = None
+            wait = {"w=0": 0.0, "w=fixed": window_fixed_us}.get(config, 0.0)
+            if config == "adaptive":
+                window = AdaptiveBatchWindow(
+                    slo_p99_us=slo_us,
+                    max_us=window_fixed_us,
+                    target_batch=QOS_MAX_BATCH,
+                )
+            with ServingEngine(
+                backend,
+                max_batch=QOS_MAX_BATCH,
+                max_wait_us=wait,
+                queue_depth=4 * n_req,
+                adaptive_window=window,
+            ) as engine:
+                report = run_open_loop(
+                    engine, stream, k, nprobe,
+                    rate_qps=rate, seed=seed + 7,
+                )
+            window_rows.append(
+                WindowRow(
+                    load=load,
+                    config=config,
+                    rate_qps=rate,
+                    report=report,
+                    busy_us_per_req=(
+                        backend.busy_us / max(report.n_completed, 1)
+                    ),
+                    final_window_us=(
+                        window.current_us() if window is not None else wait
+                    ),
+                )
+            )
+
+    return QosBenchResult(
+        tenant_rows=tenant_rows,
+        window_rows=window_rows,
+        bit_identical=bit_identical,
+        params={
+            "n_base": N_BASE, "d": D, "nlist": NLIST, "m": M, "ksub": KSUB,
+            "k": k, "nprobe": nprobe,
+            "qos_fill_us": QOS_FILL_US, "qos_per_query_us": QOS_PER_QUERY_US,
+            "qos_max_batch": QOS_MAX_BATCH,
+            "capacity_qps": capacity,
+            "victims": victims, "victim_share": victim_share,
+            "aggressor_mult": aggressor_mult, "duration_s": duration_s,
+            "slo_us": slo_us, "max_wait_us": max_wait_us,
+            "window_fixed_us": window_fixed_us,
+            "low_rate_qps": low_rate_qps,
+            "high_utilization": high_utilization,
+            "aggressor_quota_qps": 0.5 * capacity,
         },
     )

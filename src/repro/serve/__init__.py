@@ -14,27 +14,62 @@ Past one device, :mod:`repro.serve.routing` composes backends into the
 paper's scale-out topology: :class:`ReplicaSet` spreads micro-batches over
 N replicas by live load, :class:`ShardedBackend` scatter-gathers each
 batch across disjoint shards and merges partial top-K exactly
-(bit-identical to the unpartitioned index), and :func:`build_topology`
-assembles the full R×S grid from one trained index.
+(bit-identical to the unpartitioned index; degraded mode keeps serving
+from surviving shards with flagged partial coverage), and
+:func:`build_topology` assembles the full R×S grid from one trained index
+(``warm=True`` primes every replica view's gather cache).
+
+Multi-tenant QoS lives in :mod:`repro.serve.qos`: per-tenant token-bucket
+admission quotas (:class:`TokenBucket` / :class:`TenantPolicy`), weighted
+fair queueing with a strict-priority lane (:class:`WFQDiscipline` — a
+drop-in admission-queue discipline for the engine), and an SLO-driven
+adaptive batch window (:class:`AdaptiveBatchWindow`).
 """
 
 from repro.serve.backends import (
     InstrumentedBackend,
     SearchBackend,
     SimulatedDeviceBackend,
+    backend_coverage,
 )
 from repro.serve.cache import QueryResultCache, query_key
 from repro.serve.loadgen import (
     LoadReport,
+    TenantWorkload,
     poisson_arrivals,
     run_closed_loop,
+    run_multi_tenant,
     run_open_loop,
 )
-from repro.serve.metrics import LatencyStats, MetricsRegistry, MetricsSnapshot
-from repro.serve.routing import ReplicaSet, ShardedBackend, build_topology
-from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
+from repro.serve.metrics import (
+    LatencyStats,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TenantStats,
+)
+from repro.serve.qos import (
+    AdaptiveBatchWindow,
+    TenantPolicy,
+    TokenBucket,
+    WFQDiscipline,
+    class_label,
+    default_cost,
+)
+from repro.serve.routing import (
+    ReplicaSet,
+    ShardedBackend,
+    build_topology,
+    warm_topology,
+)
+from repro.serve.scheduler import (
+    AdmissionError,
+    QuotaExceededError,
+    ServeResult,
+    ServingEngine,
+)
 
 __all__ = [
+    "AdaptiveBatchWindow",
     "AdmissionError",
     "InstrumentedBackend",
     "LatencyStats",
@@ -42,15 +77,26 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "QueryResultCache",
+    "QuotaExceededError",
     "ReplicaSet",
     "SearchBackend",
     "ServeResult",
     "ServingEngine",
     "ShardedBackend",
     "SimulatedDeviceBackend",
+    "TenantPolicy",
+    "TenantStats",
+    "TenantWorkload",
+    "TokenBucket",
+    "WFQDiscipline",
+    "backend_coverage",
     "build_topology",
+    "class_label",
+    "default_cost",
     "poisson_arrivals",
     "query_key",
     "run_closed_loop",
+    "run_multi_tenant",
     "run_open_loop",
+    "warm_topology",
 ]

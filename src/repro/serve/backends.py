@@ -42,8 +42,22 @@ __all__ = [
     "InstrumentedBackend",
     "SearchBackend",
     "SimulatedDeviceBackend",
+    "backend_coverage",
     "forward_invalidation_listener",
 ]
+
+
+def backend_coverage(backend) -> float:
+    """Coverage of ``backend``'s most recent call on this thread.
+
+    The degraded-mode protocol: backends that can answer from a subset of
+    their data (a :class:`~repro.serve.routing.ShardedBackend` in degrade
+    mode) expose ``last_coverage() -> float`` — per call and thread-local,
+    so it must be read on the thread that made the ``search_batch`` call.
+    Backends without the hook always serve everything: coverage 1.0.
+    """
+    hook = getattr(backend, "last_coverage", None)
+    return float(hook()) if hook is not None else 1.0
 
 
 def forward_invalidation_listener(targets, listener) -> None:
@@ -96,6 +110,10 @@ class InstrumentedBackend:
             self.calls += 1
             self.batch_sizes.append(queries.shape[0])
         return self.inner.search_batch(queries, k, nprobe)
+
+    def last_coverage(self) -> float:
+        """Forward the inner backend's degraded-mode coverage report."""
+        return backend_coverage(self.inner)
 
     def add_invalidation_listener(self, listener) -> None:
         """Forward cache-invalidation registration to the inner backend."""
@@ -181,6 +199,10 @@ class SimulatedDeviceBackend:
         if remaining_s > 0:
             time.sleep(remaining_s)
         return out
+
+    def last_coverage(self) -> float:
+        """Forward the inner backend's degraded-mode coverage report."""
+        return backend_coverage(self.inner)
 
     def add_invalidation_listener(self, listener) -> None:
         """Forward cache-invalidation registration to the inner backend."""

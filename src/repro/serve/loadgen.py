@@ -14,21 +14,49 @@ Both replay a query set through a running :class:`ServingEngine` and
 summarize the per-request :class:`ServeResult` breakdowns into a
 :class:`LoadReport` (QPS, total/queue/exec percentiles, batching and cache
 behaviour).
+
+:func:`run_multi_tenant` composes open-loop generators into the QoS
+scenario: one Poisson arrival process per :class:`TenantWorkload` (its own
+rate, ``(k, nprobe)`` class, priority flag, and seed), all submitting
+concurrently against one engine, reported per tenant — the harness the
+noisy-neighbor benchmark drives.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import zlib
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.serve.metrics import LatencyStats
+from repro.serve.qos import DEFAULT_TENANT
 from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
 
-__all__ = ["LoadReport", "poisson_arrivals", "run_closed_loop", "run_open_loop"]
+__all__ = [
+    "LoadReport",
+    "TenantWorkload",
+    "poisson_arrivals",
+    "run_closed_loop",
+    "run_multi_tenant",
+    "run_open_loop",
+    "tile_stream",
+]
+
+
+def tile_stream(queries: np.ndarray, n: int) -> np.ndarray:
+    """Exactly ``n`` request rows drawn round-robin from a query pool."""
+    queries = np.atleast_2d(queries)
+    if queries.shape[0] == 0:
+        raise ValueError("query pool is empty")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    reps = -(-n // queries.shape[0])  # ceil division
+    return np.tile(queries, (reps, 1))[:n]
 
 
 def poisson_arrivals(rate_qps: float, n: int, seed: int = 0) -> np.ndarray:
@@ -122,6 +150,8 @@ def run_open_loop(
     *,
     rate_qps: float = 1000.0,
     seed: int = 0,
+    tenant: str = DEFAULT_TENANT,
+    priority: bool = False,
 ) -> LoadReport:
     """Replay ``queries`` at Poisson arrivals of ``rate_qps`` (open loop).
 
@@ -148,7 +178,9 @@ def run_open_loop(
         if delay > 0:
             time.sleep(delay)
         try:
-            futures.append(engine.submit(queries[i], k, nprobe))
+            futures.append(
+                engine.submit(queries[i], k, nprobe, tenant=tenant, priority=priority)
+            )
         except AdmissionError:
             n_shed += 1
     # A failed future (backend error poisoning its batch) must not abort
@@ -175,12 +207,15 @@ def run_closed_loop(
     *,
     n_clients: int = 8,
     n_requests: int | None = None,
+    tenant: str = DEFAULT_TENANT,
+    priority: bool = False,
 ) -> LoadReport:
     """Drive the engine with ``n_clients`` synchronous clients (closed loop).
 
     Requests are drawn round-robin from ``queries`` until ``n_requests``
-    total (default: one pass over the query set).  Achieved QPS at this
-    concurrency is the throughput number the serving benchmark tracks.
+    total (default: one pass over the query set), all tagged ``tenant``
+    (and ``priority`` when set).  Achieved QPS at this concurrency is the
+    throughput number the serving benchmark tracks.
     """
     queries = np.atleast_2d(queries)
     if n_clients < 1:
@@ -203,7 +238,7 @@ def run_closed_loop(
                 counter["next"] = i + 1
             q = queries[i % queries.shape[0]]
             try:
-                res = engine.search(q, k, nprobe)
+                res = engine.search(q, k, nprobe, tenant=tenant, priority=priority)
             except AdmissionError:
                 with results_lock:
                     shed[0] += 1
@@ -229,3 +264,83 @@ def run_closed_loop(
         "closed", results, n_total, shed[0], errors[0], wall, achieved,
         engine.cache is not None,
     )
+
+
+@dataclass(frozen=True)
+class TenantWorkload:
+    """One tenant's open-loop traffic spec for :func:`run_multi_tenant`.
+
+    ``n_requests`` arrivals on a Poisson process at ``rate_qps``, all
+    tagged ``tenant`` (and ``priority`` when set), drawn round-robin from
+    the tenant's shuffled view of the shared query pool.  The tenant name
+    is mixed into ``seed``, so tenants send distinct query orders and
+    arrival schedules even at the default seed.
+    """
+
+    tenant: str
+    rate_qps: float
+    n_requests: int
+    k: int
+    nprobe: int | None = None
+    priority: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        """Validate rate and request count."""
+        if self.rate_qps <= 0:
+            raise ValueError(f"rate_qps must be positive, got {self.rate_qps}")
+        if self.n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {self.n_requests}")
+
+
+def run_multi_tenant(
+    engine: ServingEngine,
+    queries: np.ndarray,
+    workloads: Sequence[TenantWorkload],
+) -> dict[str, LoadReport]:
+    """Drive one engine with concurrent per-tenant open-loop generators.
+
+    Each workload runs :func:`run_open_loop` on its own thread — its own
+    Poisson schedule, its own ``(k, nprobe)`` class and priority flag, all
+    submitting into the same engine — so tenants contend exactly as
+    independent clients would.  Returns one :class:`LoadReport` per
+    tenant (keyed by tenant name; shed counts include per-tenant quota
+    sheds).  Tenant names must be unique or reports would collide.
+    """
+    workloads = list(workloads)
+    if not workloads:
+        raise ValueError("run_multi_tenant needs at least one workload")
+    names = [w.tenant for w in workloads]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in workloads: {names}")
+    queries = np.atleast_2d(queries)
+    reports: dict[str, LoadReport] = {}
+    reports_lock = threading.Lock()
+
+    def drive(w: TenantWorkload) -> None:
+        """One tenant's open-loop generator."""
+        # Mix the tenant name into the seed: tenants sharing a seed (the
+        # default) must still send distinct query orders and schedules.
+        tseed = (w.seed + zlib.crc32(w.tenant.encode())) % (1 << 31)
+        rng = np.random.default_rng(tseed)
+        # Each tenant replays its own shuffled view of the shared pool so
+        # streams differ without needing per-tenant query sets.
+        pool = queries[rng.permutation(queries.shape[0])]
+        stream = tile_stream(pool, w.n_requests)
+        report = run_open_loop(
+            engine, stream, w.k, w.nprobe,
+            rate_qps=w.rate_qps, seed=tseed,
+            tenant=w.tenant, priority=w.priority,
+        )
+        with reports_lock:
+            reports[w.tenant] = report
+
+    threads = [
+        threading.Thread(target=drive, args=(w,), name=f"tenant-{w.tenant}")
+        for w in workloads
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return reports

@@ -12,6 +12,11 @@ reservoir are what the load harness compares across scheduler configs.
 Reservoirs are bounded ring buffers (default 1 M samples, a few tens of MB)
 so a long-running engine never grows without limit; once full, percentiles
 describe the most recent window.
+
+Requests tagged with a ``tenant`` and a ``(k, nprobe)`` class additionally
+feed per-tenant and per-class total-latency reservoirs plus per-tenant
+counters (``completed``, ``shed``) — the breakdown the multi-tenant QoS
+tier needs to show that one tenant's burst did not inflate another's p99.
 """
 
 from __future__ import annotations
@@ -19,11 +24,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencyStats", "MetricsRegistry", "MetricsSnapshot"]
+__all__ = ["LatencyStats", "MetricsRegistry", "MetricsSnapshot", "TenantStats"]
 
 #: Percentiles every latency summary reports.
 PERCENTILES = (50.0, 95.0, 99.0)
@@ -58,6 +63,24 @@ class LatencyStats:
 
 
 @dataclass(frozen=True)
+class TenantStats:
+    """One tenant's slice of a snapshot: latency summary plus counters."""
+
+    total: LatencyStats
+    counters: dict[str, int]
+
+    @property
+    def completed(self) -> int:
+        """Requests completed for this tenant."""
+        return self.counters.get("completed", 0)
+
+    @property
+    def shed(self) -> int:
+        """Requests shed for this tenant (quota or queue overflow)."""
+        return self.counters.get("shed", 0)
+
+
+@dataclass(frozen=True)
 class MetricsSnapshot:
     """Point-in-time copy of a registry, safe to read without the lock."""
 
@@ -68,6 +91,12 @@ class MetricsSnapshot:
     batch_histogram: dict[int, int]
     qps: float
     elapsed_s: float
+    #: Per-tenant latency/counter breakdown (empty when requests carry no
+    #: tenant tag).
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
+    #: Per-(k, nprobe)-class total-latency summaries, keyed by the
+    #: canonical class label (see :func:`repro.serve.qos.class_label`).
+    classes: dict[str, LatencyStats] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -96,17 +125,54 @@ class MetricsRegistry:
     ``reservoir_size`` bounds each latency series (sliding window of the
     most recent observations); counters and the batch histogram are exact
     over the engine's whole lifetime.
+
+    The per-tenant / per-class breakdowns are bounded on both axes:
+    ``breakdown_reservoir_size`` caps each key's latency series (tails
+    are compared across recent windows, not lifetimes) and
+    ``max_tracked_keys`` caps key cardinality per breakdown — tenant
+    names can be client-supplied, and an unbounded dict of deques in a
+    long-lived engine is a leak.  Past the cap, new keys fold into the
+    ``"(other)"`` bucket (totals stay correct; only attribution coarsens).
     """
 
-    def __init__(self, reservoir_size: int = 1_000_000) -> None:
+    #: Overflow bucket for breakdown keys past ``max_tracked_keys``.
+    OVERFLOW_KEY = "(other)"
+
+    def __init__(
+        self,
+        reservoir_size: int = 1_000_000,
+        *,
+        breakdown_reservoir_size: int = 16_384,
+        max_tracked_keys: int = 256,
+    ) -> None:
         if reservoir_size < 1:
             raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        if breakdown_reservoir_size < 1:
+            raise ValueError(
+                f"breakdown_reservoir_size must be >= 1, got "
+                f"{breakdown_reservoir_size}"
+            )
+        if max_tracked_keys < 1:
+            raise ValueError(
+                f"max_tracked_keys must be >= 1, got {max_tracked_keys}"
+            )
         self._lock = threading.Lock()
+        self._reservoir_size = reservoir_size
+        self._breakdown_size = breakdown_reservoir_size
+        self._max_keys = max_tracked_keys
         self._counters: Counter[str] = Counter()
         self._total_us: deque[float] = deque(maxlen=reservoir_size)
         self._queue_us: deque[float] = deque(maxlen=reservoir_size)
         self._exec_us: deque[float] = deque(maxlen=reservoir_size)
         self._batch_sizes: Counter[int] = Counter()
+        self._tenant_total: dict[str, deque[float]] = {}
+        self._tenant_counters: dict[str, Counter[str]] = {}
+        self._class_total: dict[str, deque[float]] = {}
+        #: Admitted breakdown keys — ONE fold decision per tenant/class,
+        #: shared by the counter and latency stores, so a tenant's
+        #: counters and latencies can never land under different keys.
+        self._tracked_tenants: set[str] = set()
+        self._tracked_classes: set[str] = set()
         self._t_first: float | None = None
         self._t_last: float | None = None
 
@@ -116,14 +182,65 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] += n
 
-    def observe_request(self, queue_us: float, exec_us: float, total_us: float) -> None:
-        """Record one completed request's latency breakdown."""
+    def inc_tenant(self, tenant: str, name: str, n: int = 1) -> None:
+        """Add ``n`` to ``tenant``'s named counter."""
+        with self._lock:
+            tenant = self._resolve_key_locked(self._tracked_tenants, tenant)
+            self._tenant_counter_locked(tenant)[name] += n
+
+    def _resolve_key_locked(self, tracked: set[str], key: str) -> str:
+        """Admit ``key`` to a breakdown, or fold it into the overflow
+        bucket once the tracked-key cap is reached."""
+        if key in tracked:
+            return key
+        if len(tracked) < self._max_keys:
+            tracked.add(key)
+            return key
+        return self.OVERFLOW_KEY
+
+    def _tenant_counter_locked(self, tenant: str) -> Counter:
+        counters = self._tenant_counters.get(tenant)
+        if counters is None:
+            counters = Counter()
+            self._tenant_counters[tenant] = counters
+        return counters
+
+    def _series_locked(
+        self, store: dict[str, deque], key: str
+    ) -> deque:
+        series = store.get(key)
+        if series is None:
+            series = deque(maxlen=self._breakdown_size)
+            store[key] = series
+        return series
+
+    def observe_request(
+        self,
+        queue_us: float,
+        exec_us: float,
+        total_us: float,
+        *,
+        tenant: str | None = None,
+        cls: str | None = None,
+    ) -> None:
+        """Record one completed request's latency breakdown.
+
+        ``tenant`` and ``cls`` (the ``(k, nprobe)`` class label), when
+        given, additionally feed the per-tenant and per-class series.
+        """
         now = time.perf_counter()
         with self._lock:
             self._counters["completed"] += 1
             self._queue_us.append(queue_us)
             self._exec_us.append(exec_us)
             self._total_us.append(total_us)
+            if tenant is not None:
+                tenant = self._resolve_key_locked(self._tracked_tenants, tenant)
+                self._tenant_counter_locked(tenant)["completed"] += 1
+                self._series_locked(self._tenant_total, tenant).append(total_us)
+            if cls is not None:
+                cls = self._resolve_key_locked(self._tracked_classes, cls)
+                self._series_locked(self._class_total, cls).append(total_us)
             if self._t_first is None:
                 self._t_first = now
             self._t_last = now
@@ -143,6 +260,20 @@ class MetricsRegistry:
             queue = np.asarray(self._queue_us)
             exc = np.asarray(self._exec_us)
             hist = dict(sorted(self._batch_sizes.items()))
+            tenant_names = set(self._tenant_total) | set(self._tenant_counters)
+            tenants = {
+                t: TenantStats(
+                    total=LatencyStats.from_samples(
+                        np.asarray(self._tenant_total.get(t, ()))
+                    ),
+                    counters=dict(self._tenant_counters.get(t, ())),
+                )
+                for t in sorted(tenant_names)
+            }
+            classes = {
+                c: LatencyStats.from_samples(np.asarray(s))
+                for c, s in sorted(self._class_total.items())
+            }
             if self._t_first is not None and self._t_last is not None:
                 elapsed = max(self._t_last - self._t_first, 1e-9)
             else:
@@ -159,4 +290,6 @@ class MetricsRegistry:
             batch_histogram=hist,
             qps=qps,
             elapsed_s=elapsed,
+            tenants=tenants,
+            classes=classes,
         )

@@ -1,0 +1,699 @@
+"""Multi-tenant QoS scheduling: quotas, fair queueing, adaptive windows.
+
+The serving engine of :mod:`repro.serve.scheduler` admits every request
+into one shared FIFO, so a single tenant's burst (or one expensive
+``(k, nprobe)`` class) inflates every other tenant's tail latency — the
+classic noisy-neighbor failure.  This module is the policy layer that
+prevents it, as three composable pieces:
+
+- :class:`TokenBucket` / :class:`TenantPolicy` — **admission quotas**.
+  Each tenant is rate-limited at the front door (block or shed *that
+  tenant*, never the whole engine), so an aggressor runs out of tokens
+  before it can occupy the queue.
+- :class:`WFQDiscipline` — **weighted fair queueing** over the admission
+  queue, a drop-in replacement for the engine's FIFO (same duck-typed
+  ``put``/``get`` surface as :class:`queue.Queue`).  It implements
+  start-time fair queueing (SFQ): each tenant is a flow with a weight;
+  a request's *cost* (from its ``(k, nprobe)`` class, via ``cost_fn``)
+  advances the tenant's virtual finish time, and the flow with the
+  smallest virtual start tag is served next.  Under saturation every
+  backlogged tenant therefore receives service proportional to its
+  weight, regardless of how much traffic anyone *offers*.  Within one
+  tenant, distinct ``(k, nprobe)`` classes occupy separate lanes served
+  round-robin, so a cheap class is never stuck behind an expensive one's
+  backlog.  A strict-**priority lane** (policy-gated) bypasses virtual
+  time entirely for latency-critical traffic.
+- :class:`AdaptiveBatchWindow` — an **SLO controller** for the engine's
+  batch window.  It estimates the arrival rate online (EWMA of
+  inter-arrival gaps) and retunes ``max_wait_us`` each batch: shrink to
+  ~0 when idle (waiting buys no batch-mates, only latency), grow toward
+  the time needed to coalesce ``target_batch`` requests under load, and
+  multiplicatively back off whenever the observed p99 crosses the SLO.
+
+**Invariant (bit-identical results).**  QoS changes *when* requests are
+served, never *what* they return: the discipline only reorders requests
+between the admission queue and the dispatcher, and every backend
+computes each query independently of its batch-mates.
+
+**Work conservation.**  ``get`` returns a request whenever any lane is
+non-empty — the device never idles while work is queued; fairness is
+enforced purely through ordering (and quotas through admission), never
+by parking capacity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue as queue_mod
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "AdaptiveBatchWindow",
+    "TenantPolicy",
+    "TokenBucket",
+    "WFQDiscipline",
+    "class_label",
+    "default_cost",
+]
+
+#: Tenant name used when a request does not specify one.
+DEFAULT_TENANT = "default"
+
+
+def class_label(k: int, nprobe: int | None) -> str:
+    """Canonical display key of a ``(k, nprobe)`` cost class."""
+    return f"k{k}/np{'-' if nprobe is None else nprobe}"
+
+
+#: Probe count charged when a request leaves ``nprobe`` unset (services
+#: that bake nprobe into their config submit ``None``).  Deliberately at
+#: the high end of the repo's serving configs: under-billing an unset
+#: nprobe would hand that tenant an outsized fair-queueing share, which
+#: is the failure WFQ exists to prevent — over-billing only costs it some
+#: of its own.  Deployments mixing ``None`` and explicit ``nprobe`` on
+#: one engine should pass a ``cost_fn`` that knows the backend's default.
+DEFAULT_NPROBE_COST = 16.0
+
+
+def default_cost(k: int, nprobe: int | None) -> float:
+    """Relative service cost of one query of class ``(k, nprobe)``.
+
+    A proxy for the batched engine's per-query work: PQDist scan volume
+    scales with the probed-cell count (``None`` is billed at
+    :data:`DEFAULT_NPROBE_COST`), and SelK grows mildly with ``k``.  Only
+    *ratios* matter to fair queueing — the unit is arbitrary.
+    """
+    scan = float(nprobe) if nprobe is not None else DEFAULT_NPROBE_COST
+    return max(1.0, scan) * (1.0 + k / 128.0)
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant QoS contract.
+
+    Parameters
+    ----------
+    weight : fair-queueing weight — under saturation a backlogged tenant
+        receives service proportional to its weight.
+    rate_qps : token-bucket admission rate (requests/second); ``None``
+        means unmetered (fair queueing still applies).
+    burst : bucket capacity (requests admitted back-to-back after idle);
+        defaults to one second's worth of tokens, at least 1.
+    priority : whether this tenant may use the strict-priority lane;
+        ``submit(..., priority=True)`` from a non-entitled tenant is
+        demoted to its best-effort flow (and counted).
+    """
+
+    weight: float = 1.0
+    rate_qps: float | None = None
+    burst: float | None = None
+    priority: bool = False
+
+    def __post_init__(self):
+        """Validate weight/rate/burst ranges."""
+        if not self.weight > 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.rate_qps is not None and not self.rate_qps > 0:
+            raise ValueError(f"rate_qps must be > 0, got {self.rate_qps}")
+        if self.burst is not None and not self.burst >= 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    The bucket starts full (a quiet tenant may burst up to ``burst``
+    requests back to back) and refills continuously.  ``clock`` is
+    injectable so tests drive time deterministically.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not rate > 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst) if burst is not None else float(rate))
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after refill) — observability only."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def refund(self, n: float = 1.0) -> None:
+        """Return ``n`` tokens (capped at ``burst``) — for a caller whose
+        admitted request was then refused downstream (e.g. queue full)."""
+        with self._lock:
+            self._refill_locked()
+            self._tokens = min(self.burst, self._tokens + n)
+
+    def acquire(self, n: float = 1.0, timeout: float | None = None) -> bool:
+        """Take ``n`` tokens, sleeping until they accrue (or ``timeout``).
+
+        Blocking is per-bucket — one tenant waiting for tokens never
+        stalls another tenant's admission.  Uses real sleeps, so pair it
+        with the default wall clock (tests with injected clocks should
+        use :meth:`try_acquire`).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                self._refill_locked()
+                if self._tokens >= n:
+                    self._tokens -= n
+                    return True
+                wait_s = (n - self._tokens) / self.rate
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                wait_s = min(wait_s, remaining)
+            time.sleep(wait_s)
+
+
+class _TenantFlow:
+    """One tenant's backlog: class lanes served round-robin, SFQ tags."""
+
+    __slots__ = ("tenant", "weight", "finish", "lanes")
+
+    def __init__(self, tenant: str, weight: float):
+        self.tenant = tenant
+        self.weight = weight
+        #: Virtual finish tag of the last request scheduled from this flow.
+        self.finish = 0.0
+        #: class key -> deque of (request, cost); OrderedDict order is the
+        #: round-robin rotation (served lane moves to the back).
+        self.lanes: OrderedDict[tuple, deque] = OrderedDict()
+
+    @property
+    def backlogged(self) -> bool:
+        return bool(self.lanes)
+
+    def push(self, key: tuple, item, cost: float) -> None:
+        lane = self.lanes.get(key)
+        if lane is None:
+            lane = deque()
+            self.lanes[key] = lane
+        lane.append((item, cost))
+
+    def head_cost(self) -> float:
+        """Cost of the request the round-robin will serve next."""
+        lane = next(iter(self.lanes.values()))
+        return lane[0][1]
+
+    def pop(self):
+        """Pop the next request (round-robin across class lanes)."""
+        key, lane = next(iter(self.lanes.items()))
+        item, cost = lane.popleft()
+        if lane:
+            self.lanes.move_to_end(key)
+        else:
+            del self.lanes[key]
+        return item, cost
+
+
+class WFQDiscipline:
+    """Weighted fair queue discipline for the serving engine.
+
+    Duck-type compatible with the subset of :class:`queue.Queue` the
+    engine uses (``put``/``put_nowait``/``get``/``get_nowait``/``qsize``/
+    ``maxsize``), so ``ServingEngine(..., discipline=WFQDiscipline(...))``
+    swaps scheduling policy without touching the dispatch loop.  Items
+    without a ``tenant`` attribute (the engine's stop sentinels) go to a
+    drain lane that is only served once every request has been dequeued —
+    preserving the engine's drain-then-stop contract.
+
+    Dequeue order: strict-priority lane first, then start-time fair
+    queueing across tenant flows (smallest virtual start tag wins; ties
+    resolve in becoming-backlogged order), then sentinels.
+
+    Parameters
+    ----------
+    policies : per-tenant :class:`TenantPolicy`; tenants not listed get
+        ``default_policy``.
+    default_policy : contract for unlisted tenants (weight 1, unmetered).
+    cost_fn : ``(k, nprobe) -> float`` relative cost of one request;
+        defaults to :func:`default_cost`.
+    depth : bound on queued requests across all lanes (the engine's
+        block/shed policy applies when full), like ``queue_depth``.
+    clock : time source for the admission token buckets.
+    """
+
+    def __init__(
+        self,
+        policies: dict[str, TenantPolicy] | None = None,
+        *,
+        default_policy: TenantPolicy | None = None,
+        cost_fn: Callable[[int, int | None], float] | None = None,
+        depth: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy or TenantPolicy()
+        self.cost_fn = cost_fn or default_cost
+        self.depth = depth
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._flows: dict[str, _TenantFlow] = {}
+        #: Min-heap of (start_tag, seq, flow); one live entry per
+        #: backlogged flow (pushed when it becomes schedulable, re-pushed
+        #: after each dequeue while it stays backlogged).
+        self._active: list = []
+        self._vtime = 0.0
+        self._seq = 0
+        self._priority: deque = deque()
+        self._drain: deque = deque()
+        self._size = 0
+        self._clock = clock
+        self._buckets = {
+            t: TokenBucket(p.rate_qps, p.burst, clock=clock)
+            for t, p in self.policies.items()
+            if p.rate_qps is not None
+        }
+        #: Guards lazy bucket creation for default-policy-metered tenants.
+        self._bucket_lock = threading.Lock()
+        #: Enqueue counter driving the periodic sweep of drained state.
+        self._ops_since_sweep = 0
+        #: Requests flagged priority by tenants not entitled to the lane.
+        self.priority_demoted = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    @property
+    def maxsize(self) -> int:
+        """Queue bound, mirroring ``queue.Queue.maxsize``."""
+        return self.depth
+
+    def qsize(self) -> int:
+        """Requests currently queued across every lane."""
+        with self._mutex:
+            return self._size
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The effective policy of ``tenant`` (default if unlisted)."""
+        return self.policies.get(tenant, self.default_policy)
+
+    def backlog(self) -> dict[str, int]:
+        """Queued request count per tenant (priority lane under ``"!"``)."""
+        with self._mutex:
+            out = {
+                f.tenant: sum(len(lane) for lane in f.lanes.values())
+                for f in self._flows.values()
+                if f.backlogged
+            }
+            if self._priority:
+                out["!"] = len(self._priority)
+            return out
+
+    # ------------------------------------------------------------------ #
+    # Admission quota (consulted by the engine before enqueueing)
+    def _bucket_for_locked(self, tenant: str | None) -> TokenBucket | None:
+        """``tenant``'s admission bucket (``_bucket_lock`` held), or None
+        when it is unmetered.
+
+        Tenants covered by a *metered default policy* get their own
+        bucket lazily on first sight — a blanket ``default_policy`` quota
+        is per tenant, not shared.  A tenant listed in ``policies``
+        without ``rate_qps`` is explicitly unmetered.
+        """
+        tenant = tenant if tenant is not None else DEFAULT_TENANT
+        bucket = self._buckets.get(tenant)
+        if (
+            bucket is None
+            and tenant not in self.policies
+            and self.default_policy.rate_qps is not None
+        ):
+            p = self.default_policy
+            bucket = TokenBucket(p.rate_qps, p.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str | None, *, block: bool = True) -> bool:
+        """Charge one token against ``tenant``'s admission quota.
+
+        Returns True when admitted.  Unmetered tenants always pass.  With
+        ``block=True`` the call sleeps (on that tenant's bucket only)
+        until a token accrues; with ``block=False`` it returns False —
+        the engine turns that into a per-tenant shed.
+        """
+        # The fast-path charge happens under the registry lock so the
+        # sweep can never retire a bucket between lookup and charge.
+        with self._bucket_lock:
+            bucket = self._bucket_for_locked(tenant)
+            if bucket is None:
+                return True
+            if bucket.try_acquire():
+                return True
+            if not block:
+                return False
+        # Slow path: wait for tokens outside the registry lock (this can
+        # sleep).  The bucket is not full — try_acquire just failed — so
+        # the full-bucket sweep will not retire it while we wait.
+        return bucket.acquire()
+
+    def refund(self, tenant: str | None) -> None:
+        """Return one admission token to ``tenant`` (no-op if unmetered).
+
+        The engine calls this when a quota-admitted request is then shed
+        by the full queue — overload must not double-penalize the tenant
+        by also burning its quota.
+        """
+        with self._bucket_lock:
+            bucket = self._bucket_for_locked(tenant)
+            if bucket is not None:
+                bucket.refund()
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    def put(self, item, block: bool = True, timeout: float | None = None) -> None:
+        """Enqueue a request (or sentinel); blocks or raises when full."""
+        if not hasattr(item, "tenant"):
+            # Engine sentinel: drain lane, exempt from the depth bound so
+            # stop() can never deadlock against a full queue.
+            with self._mutex:
+                self._drain.append(item)
+                self._not_empty.notify_all()
+            return
+        with self._not_full:
+            if self._size >= self.depth:
+                if not block:
+                    raise queue_mod.Full
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while self._size >= self.depth:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise queue_mod.Full
+                    self._not_full.wait(remaining)
+            self._enqueue_locked(item)
+            self._not_empty.notify()
+
+    def put_nowait(self, item) -> None:
+        """Enqueue without blocking; raises :class:`queue.Full` when full."""
+        self.put(item, block=False)
+
+    #: Enqueues between sweeps of drained per-tenant state.
+    _SWEEP_EVERY = 256
+
+    def _sweep_locked(self) -> None:
+        """Drop per-tenant state that no longer affects behaviour.
+
+        Tenant names can be unbounded (client-supplied), so retaining a
+        flow or lazily-created bucket per name forever is a leak.  Safe
+        to drop: a drained flow whose finish tag the virtual clock has
+        passed (a re-arrival would start at ``max(V, F) = V`` either
+        way), and a default-policy bucket sitting at full burst (it is
+        indistinguishable from a fresh one).  Bucket retirement holds
+        ``_bucket_lock``, which every charge path also holds — except a
+        blocking ``acquire`` sleeping on a *non-full* bucket, which the
+        full-bucket condition cannot retire; the residual race (bucket
+        fills in the instant between that sleeper's wake and its charge)
+        costs at most one token of quota drift.
+        """
+        dead = [
+            t for t, f in self._flows.items()
+            if not f.backlogged and f.finish <= self._vtime
+        ]
+        for t in dead:
+            del self._flows[t]
+        with self._bucket_lock:
+            full = [
+                t for t, b in self._buckets.items()
+                if t not in self.policies and b.tokens >= b.burst
+            ]
+            for t in full:
+                del self._buckets[t]
+
+    def _enqueue_locked(self, item) -> None:
+        self._ops_since_sweep += 1
+        if self._ops_since_sweep >= self._SWEEP_EVERY:
+            self._ops_since_sweep = 0
+            self._sweep_locked()
+        tenant = getattr(item, "tenant", None) or DEFAULT_TENANT
+        policy = self.policy_for(tenant)
+        if getattr(item, "priority", False):
+            if policy.priority:
+                self._priority.append(item)
+                self._size += 1
+                return
+            self.priority_demoted += 1
+        cost = max(float(self.cost_fn(item.k, item.nprobe)), 1e-9)
+        flow = self._flows.get(tenant)
+        if flow is None:
+            flow = _TenantFlow(tenant, policy.weight)
+            self._flows[tenant] = flow
+        was_backlogged = flow.backlogged
+        flow.push((item.k, item.nprobe), item, cost)
+        if not was_backlogged:
+            # SFQ: a newly-backlogged flow starts at max(virtual time,
+            # its own last finish tag) — it gets no credit for idling.
+            start = max(self._vtime, flow.finish)
+            flow.finish = start + flow.head_cost() / flow.weight
+            self._seq += 1
+            heapq.heappush(self._active, (start, self._seq, flow))
+        self._size += 1
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    def _reset_if_drained_locked(self) -> None:
+        """On the last pop of a busy period, reset the virtual clock and
+        drop all flow state.  SFQ fairness is defined over backlogged
+        periods, so inter-busy-period memory changes nothing — and
+        without the reset, one-shot tenant names would accumulate forever
+        (their finish tags sit ahead of a clock that only advances while
+        flows stay backlogged)."""
+        if self._size == 0:
+            self._flows.clear()
+            self._active.clear()  # empty already by invariant; defensive
+            self._vtime = 0.0
+
+    def _pop_locked(self):
+        """Next item under the mutex; raises :class:`queue.Empty`."""
+        if self._priority:
+            item = self._priority.popleft()
+            self._size -= 1
+            self._reset_if_drained_locked()
+            self._not_full.notify()
+            return item
+        if self._active:
+            start, _, flow = heapq.heappop(self._active)
+            # Virtual time tracks the start tag of the request in
+            # service — the SFQ clock that new arrivals stamp against.
+            self._vtime = max(self._vtime, start)
+            item, _cost = flow.pop()
+            if flow.backlogged:
+                start = flow.finish
+                flow.finish = start + flow.head_cost() / flow.weight
+                self._seq += 1
+                heapq.heappush(self._active, (start, self._seq, flow))
+            self._size -= 1
+            self._reset_if_drained_locked()
+            self._not_full.notify()
+            return item
+        if self._drain:
+            return self._drain.popleft()
+        raise queue_mod.Empty
+
+    def _empty_locked(self) -> bool:
+        return self._size == 0 and not self._drain
+
+    def get(self, block: bool = True, timeout: float | None = None):
+        """Dequeue in QoS order; blocks (bounded by ``timeout``) when empty."""
+        with self._not_empty:
+            if not block:
+                return self._pop_locked()
+            if timeout is None:
+                while self._empty_locked():
+                    self._not_empty.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while self._empty_locked():
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise queue_mod.Empty
+                    self._not_empty.wait(remaining)
+            return self._pop_locked()
+
+    def get_nowait(self):
+        """Dequeue without blocking; raises :class:`queue.Empty` when empty."""
+        return self.get(block=False)
+
+
+class AdaptiveBatchWindow:
+    """Online controller for the engine's batch window (``max_wait_us``).
+
+    The batch window trades per-request latency for batch efficiency, and
+    its right value depends on load: when idle, waiting buys no
+    batch-mates (the lone request just eats the window); under load, a
+    window long enough to coalesce ``target_batch`` arrivals amortizes
+    the device's per-batch fill cost.  This controller retunes the window
+    online:
+
+    - **arrival tracking** — ``observe_arrival()`` (called by the engine
+      at submit) maintains an EWMA of inter-arrival gaps; the implied
+      rate sets the *fill target* ``(target_batch - 1) / rate``.
+    - **idle shrink** — when the expected arrivals within even the
+      maximum window fall below one (or arrivals stop), the target drops
+      to ``min_us``: there is nobody to wait for.
+    - **SLO guard** — ``observe_latency()`` (called per completed
+      request) feeds a sliding latency window; whenever its p99 exceeds
+      ``slo_p99_us``, the window shrinks multiplicatively regardless of
+      the fill target — latency headroom outranks batch efficiency.
+    - **smoothing** — ``update()`` (called by the dispatcher after each
+      batch) moves the window geometrically toward the target, so both
+      growth under rising load and decay toward idle converge in a few
+      batches without oscillating.
+
+    All time sources are injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        slo_p99_us: float | None = None,
+        min_us: float = 0.0,
+        max_us: float = 10_000.0,
+        target_batch: int = 16,
+        gain: float = 0.3,
+        shrink: float = 0.5,
+        ewma_alpha: float = 0.2,
+        idle_after_s: float = 0.25,
+        latency_window: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if min_us < 0 or max_us < min_us:
+            raise ValueError(
+                f"need 0 <= min_us <= max_us, got [{min_us}, {max_us}]"
+            )
+        if target_batch < 2:
+            raise ValueError(f"target_batch must be >= 2, got {target_batch}")
+        if not 0 < gain <= 1 or not 0 < shrink < 1 or not 0 < ewma_alpha <= 1:
+            raise ValueError("gain/shrink/ewma_alpha must be in (0, 1]")
+        if slo_p99_us is not None and slo_p99_us <= 0:
+            raise ValueError(f"slo_p99_us must be > 0, got {slo_p99_us}")
+        self.slo_p99_us = slo_p99_us
+        self.min_us = float(min_us)
+        self.max_us = float(max_us)
+        self.target_batch = int(target_batch)
+        self.gain = float(gain)
+        self.shrink = float(shrink)
+        self.ewma_alpha = float(ewma_alpha)
+        self.idle_after_s = float(idle_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._window_us = self.min_us
+        self._gap_ewma_s: float | None = None
+        self._last_arrival: float | None = None
+        self._lats: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------ #
+    def observe_arrival(self) -> None:
+        """Record one request arrival (engine calls this at submit)."""
+        now = self._clock()
+        with self._lock:
+            if self._last_arrival is not None:
+                gap = max(now - self._last_arrival, 1e-9)
+                if gap > self.idle_after_s:
+                    # First arrival after an idle period: collapse the
+                    # window *now* — the dispatcher reads it right after
+                    # this arrival, and a stale grown window would make
+                    # the lone request pay it in full.  The stale rate
+                    # estimate resets with it: the EWMA measured the old
+                    # busy period, and the idle gap itself measures
+                    # silence, not load.
+                    self._window_us = self.min_us
+                    self._gap_ewma_s = None
+                elif self._gap_ewma_s is None:
+                    self._gap_ewma_s = gap
+                else:
+                    a = self.ewma_alpha
+                    self._gap_ewma_s = (1 - a) * self._gap_ewma_s + a * gap
+            self._last_arrival = now
+
+    def observe_latency(self, total_us: float) -> None:
+        """Record one completed request's total latency (for the SLO guard)."""
+        with self._lock:
+            self._lats.append(float(total_us))
+
+    def current_us(self) -> float:
+        """The window the dispatcher should use for its next batch."""
+        with self._lock:
+            return self._window_us
+
+    @property
+    def rate_qps(self) -> float:
+        """Estimated arrival rate from the inter-arrival EWMA (0 = unknown)."""
+        with self._lock:
+            return self._rate_locked()
+
+    def _rate_locked(self) -> float:
+        if self._gap_ewma_s is None or self._gap_ewma_s <= 0:
+            return 0.0
+        return 1.0 / self._gap_ewma_s
+
+    # ------------------------------------------------------------------ #
+    def update(self) -> float:
+        """Recompute the window from current estimates; returns it (µs)."""
+        now = self._clock()
+        with self._lock:
+            rate = self._rate_locked()
+            idle = (
+                self._last_arrival is None
+                or (now - self._last_arrival) > self.idle_after_s
+            )
+            if idle or rate <= 0 or rate * self.max_us * 1e-6 < 1.0:
+                # Nobody to wait for: even a full-length window would not
+                # catch one straggler, so waiting is pure added latency.
+                target = self.min_us
+            else:
+                fill_us = (self.target_batch - 1) / rate * 1e6
+                target = min(max(fill_us, self.min_us), self.max_us)
+            if (
+                self.slo_p99_us is not None
+                and len(self._lats) >= 8
+                and float(np.percentile(np.fromiter(self._lats, dtype=np.float64), 99))
+                > self.slo_p99_us
+            ):
+                # Over SLO: back off multiplicatively below both the
+                # current window and the fill target.
+                self._window_us = max(
+                    self.min_us, min(self._window_us, target) * self.shrink
+                )
+            else:
+                self._window_us += self.gain * (target - self._window_us)
+                self._window_us = min(max(self._window_us, self.min_us), self.max_us)
+            return self._window_us

@@ -29,6 +29,21 @@ The two compose: a ``ShardedBackend`` over ``ReplicaSet`` shards is the
 full R×S grid (every shard replicated R times), and a ``ReplicaSet`` of
 ``ShardedBackend`` rows is its dual; :func:`build_topology` assembles the
 former from a single trained index.
+
+**Degraded mode.**  Scatter-gather normally assumes every shard answers;
+with ``on_shard_error="degrade"`` a :class:`ShardedBackend` instead
+serves from the surviving shards when one raises — partial top-K lists
+merge exactly as usual, and the call is flagged as *partial coverage*
+through the ``last_coverage()`` hook (the serving engine stamps it on the
+:class:`~repro.serve.scheduler.ServeResult` and refuses to cache partial
+answers).  Availability degrades gracefully instead of failing the whole
+batch; a recovered shard resumes full coverage with no intervention.
+
+**Warm-up.**  Replica views carry independent ADC gather caches (see
+:func:`repro.ann.partition.replicate_index`), so a freshly-built R×S grid
+cold-starts R×S times.  :func:`warm_topology` walks any topology and
+primes every leaf index's gather tables up front;
+``build_topology(..., warm=True)`` does it at assembly time.
 """
 
 from __future__ import annotations
@@ -43,9 +58,13 @@ import numpy as np
 from repro.ann.ivf import IVFPQIndex
 from repro.ann.merge import merge_partial_topk
 from repro.ann.partition import partition_index, replicate_index
-from repro.serve.backends import SearchBackend, forward_invalidation_listener
+from repro.serve.backends import (
+    SearchBackend,
+    backend_coverage,
+    forward_invalidation_listener,
+)
 
-__all__ = ["ReplicaSet", "ShardedBackend", "build_topology"]
+__all__ = ["ReplicaSet", "ShardedBackend", "build_topology", "warm_topology"]
 
 #: Routing policies a :class:`ReplicaSet` accepts.
 POLICIES = ("least-loaded", "p2c", "round-robin")
@@ -100,6 +119,7 @@ class ReplicaSet:
         self.dispatch_counts = [0] * len(replicas)
         self._rr = 0
         self._rng = random.Random(seed)
+        self._tls = threading.local()
 
     @property
     def d(self) -> int | None:
@@ -147,14 +167,79 @@ class ReplicaSet:
             # In-flight counts include dispatches queued on this lock, so
             # load-aware policies see the true outstanding work.
             with self._replica_locks[i]:
-                return self.replicas[i].search_batch(queries, k, nprobe)
+                out = self.replicas[i].search_batch(queries, k, nprobe)
+            self._tls.coverage = backend_coverage(self.replicas[i])
+            return out
         finally:
             with self._lock:
                 self._inflight[i] -= 1
 
+    def last_coverage(self) -> float:
+        """Coverage reported by the replica that served this thread's call."""
+        return getattr(self._tls, "coverage", 1.0)
+
     def add_invalidation_listener(self, listener) -> None:
         """Forward cache-invalidation registration to every replica."""
         forward_invalidation_listener(self.replicas, listener)
+
+
+def _backend_ntotal(backend) -> int | None:
+    """Vector count behind a backend, probed through wrapper layers.
+
+    Looks for an ``ntotal`` attribute on the backend itself, its ``inner``
+    (instrumentation / simulated-device wrappers), or its first replica
+    (replicas hold the same data).  None when nothing advertises a count.
+    """
+    seen = 0
+    while backend is not None and seen < 8:  # defensive depth bound
+        n = getattr(backend, "ntotal", None)
+        if n is not None:
+            return int(n)
+        replicas = getattr(backend, "replicas", None)
+        backend = replicas[0] if replicas else getattr(backend, "inner", None)
+        seen += 1
+    return None
+
+
+def _weighted_coverage(weights: Sequence[float], covs: Sequence[float]) -> float:
+    """Combine per-shard sub-coverages under the shard weights.
+
+    Exact at the healthy fixed point: normalized float weights can sum to
+    0.999...8, and a fully-covered topology reporting anything below 1.0
+    would flag *every* result partial (and disable caching) on a healthy
+    cluster — so full coverage short-circuits to exactly 1.0, and the
+    weighted sum is clamped from above.
+    """
+    if all(c >= 1.0 for c in covs):
+        return 1.0
+    return min(1.0, sum(w * c for w, c in zip(weights, covs)))
+
+
+def _coverage_weights(
+    shards: Sequence, explicit: Sequence[float] | None
+) -> list[float]:
+    """Normalized data fraction per shard, for coverage accounting.
+
+    Explicit weights win; otherwise advertised vector counts (when every
+    shard exposes one, so a big shard's failure reports a proportionally
+    bigger coverage hole); otherwise uniform.
+    """
+    if explicit is not None:
+        weights = [float(w) for w in explicit]
+        if len(weights) != len(shards):
+            raise ValueError(
+                f"shard_weights has {len(weights)} entries for "
+                f"{len(shards)} shards"
+            )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError(f"shard_weights must be non-negative, got {weights}")
+    else:
+        counts = [_backend_ntotal(s) for s in shards]
+        if any(c is None for c in counts) or sum(c or 0 for c in counts) == 0:
+            return [1.0 / len(shards)] * len(shards)
+        weights = [float(c) for c in counts]
+    total = sum(weights)
+    return [w / total for w in weights]
 
 
 class ShardedBackend:
@@ -178,7 +263,27 @@ class ShardedBackend:
         cover ``concurrent dispatchers x shards`` or scatters queue behind
         one another; defaults to ``4 x shards`` (enough for 4 dispatchers
         — pass the real product when running more).
+    on_shard_error : ``"raise"`` (default) propagates a shard failure to
+        the whole batch; ``"degrade"`` merges the surviving shards'
+        partials instead, flags the call as partial coverage
+        (:meth:`last_coverage`), and counts the failure in
+        :attr:`shard_errors`.  Only when **every** shard fails does the
+        call raise.
+    shard_weights : data fraction behind each shard, for coverage
+        accounting (normalized; must match ``shards`` in length).  By
+        default weights are inferred from each shard's advertised vector
+        count (``ntotal``, looked up through wrapper backends) and fall
+        back to uniform when no shard advertises one — pass them
+        explicitly for unevenly-sized shards behind opaque backends.
+        Inferred weights are a **construction-time snapshot**: over
+        mutable shards (e.g. dynamic services under insert/delete) the
+        stamped coverage fraction drifts as sizes diverge — rebuild the
+        backend or pass explicit weights when that precision matters
+        (the partial *flag* and the never-cache rule are unaffected).
     """
+
+    #: Accepted shard-failure handling modes.
+    ERROR_MODES = ("raise", "degrade")
 
     def __init__(
         self,
@@ -186,6 +291,8 @@ class ShardedBackend:
         *,
         parallel: bool = False,
         scatter_workers: int | None = None,
+        on_shard_error: str = "raise",
+        shard_weights: Sequence[float] | None = None,
     ):
         shards = list(shards)
         if not shards:
@@ -195,11 +302,23 @@ class ShardedBackend:
                 f"scatter_workers must cover one scatter "
                 f"({len(shards)} shards), got {scatter_workers}"
             )
+        if on_shard_error not in self.ERROR_MODES:
+            raise ValueError(
+                f"on_shard_error must be one of {self.ERROR_MODES}, "
+                f"got {on_shard_error!r}"
+            )
         self.shards = shards
         self.parallel = parallel
         self.scatter_workers = (
             scatter_workers if scatter_workers is not None else 4 * len(shards)
         )
+        self.on_shard_error = on_shard_error
+        self.shard_weights = _coverage_weights(shards, shard_weights)
+        #: Lifetime failure count per shard (degraded-mode observability).
+        self.shard_errors = [0] * len(shards)
+        #: Guards shard_errors against concurrent dispatcher threads.
+        self._stats_lock = threading.Lock()
+        self._tls = threading.local()
         #: Lazily-created persistent scatter pool (threads are reused across
         #: calls; per-call spawning costs ~1 ms on slow hosts).
         self._pool: ThreadPoolExecutor | None = None
@@ -230,25 +349,102 @@ class ShardedBackend:
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Scatter the batch to every shard, gather and merge top-K."""
+        """Scatter the batch to every shard, gather and merge top-K.
+
+        In degraded mode a failing shard is dropped from the merge (its
+        error is recorded in :attr:`shard_errors`) and the call's
+        :meth:`last_coverage` reports the surviving fraction; results stay
+        exact *over the data that answered*.
+        """
         queries = np.atleast_2d(queries)
-        if len(self.shards) == 1:
-            return self.shards[0].search_batch(queries, k, nprobe)
-        if self.parallel:
+        degrade = self.on_shard_error == "degrade"
+
+        def call(shard):
+            """One shard's (result, sub-coverage), read on the calling
+            thread — coverage hooks are thread-local, so it must be read
+            where the call ran (the pool thread under parallel scatter)."""
+            out = shard.search_batch(queries, k, nprobe)
+            return out, backend_coverage(shard)
+
+        # Scatter, collecting (result, exception) per shard.  In raise
+        # mode the first failure propagates untouched (the pre-degraded
+        # contract); in degrade mode failures become coverage holes.
+        if self.parallel and len(self.shards) > 1:
             futures = [
-                self._scatter_pool().submit(shard.search_batch, queries, k, nprobe)
-                for shard in self.shards
+                self._scatter_pool().submit(call, shard) for shard in self.shards
             ]
-            parts = [f.result() for f in futures]
+            thunks = [f.result for f in futures]
         else:
-            parts = [
-                shard.search_batch(queries, k, nprobe) for shard in self.shards
+            thunks = [
+                (lambda shard=shard: call(shard)) for shard in self.shards
             ]
+        outcomes = []
+        for thunk in thunks:
+            try:
+                outcomes.append((thunk(), None))
+            except Exception as exc:
+                if not degrade:
+                    raise
+                outcomes.append((None, exc))
+
+        # Gather: merge whoever answered, flag any coverage hole (each
+        # shard weighted by its data fraction, so a big shard's failure
+        # reports a proportionally bigger hole; a failed shard counts 0).
+        # Sub-coverage compounds: a shard that itself degraded (e.g. a
+        # nested sharded tier) contributes only its surviving slice.
+        parts, covs, last_exc = [], [], None
+        for i, (result, exc) in enumerate(outcomes):
+            if exc is not None:
+                with self._stats_lock:
+                    self.shard_errors[i] += 1
+                last_exc = exc
+                covs.append(0.0)
+                continue
+            out, sub_cov = result
+            parts.append(out)
+            covs.append(sub_cov)
+        if not parts:
+            raise RuntimeError(
+                f"all {len(self.shards)} shards failed"
+            ) from last_exc
+        self._tls.coverage = _weighted_coverage(self.shard_weights, covs)
+        if len(self.shards) == 1:
+            return parts[0]  # single shard: pass through, no merge
         return merge_partial_topk(parts, k)
+
+    def last_coverage(self) -> float:
+        """Data fraction behind this thread's most recent call (1.0 = all)."""
+        return getattr(self._tls, "coverage", 1.0)
 
     def add_invalidation_listener(self, listener) -> None:
         """Forward cache-invalidation registration to every shard."""
         forward_invalidation_listener(self.shards, listener)
+
+
+def warm_topology(backend) -> int:
+    """Prime every leaf index's ADC gather cache in a serving topology.
+
+    Walks wrapper backends (``inner`` of instrumentation / simulated
+    devices, ``replicas`` of a :class:`ReplicaSet`, ``shards`` of a
+    :class:`ShardedBackend`) down to anything exposing
+    ``warm_gather_cache`` (see
+    :meth:`repro.ann.ivf.IVFPQIndex.warm_gather_cache`) and warms it.
+    Because replica views carry *independent* gather caches, an R×S grid
+    would otherwise cold-start R×S times on first traffic.  Returns the
+    total gather tables built; backends with no warmable leaves are a
+    no-op.
+    """
+    warm = getattr(backend, "warm_gather_cache", None)
+    if warm is not None:
+        return int(warm())
+    total = 0
+    inner = getattr(backend, "inner", None)
+    if inner is not None:
+        total += warm_topology(inner)
+    for attr in ("replicas", "shards"):
+        for child in getattr(backend, attr, ()) or ():
+            total += warm_topology(child)
+    return total
 
 
 def build_topology(
@@ -260,6 +456,7 @@ def build_topology(
     wrap=None,
     parallel_scatter: bool | None = None,
     seed: int = 0,
+    warm: bool = False,
 ):
     """Assemble the R×S serving grid over one trained index.
 
@@ -275,7 +472,9 @@ def build_topology(
     ``SimulatedDeviceBackend`` to model device service time).
     ``parallel_scatter`` defaults to True exactly when ``wrap`` is set —
     wrapped leaves are assumed to block on modeled time that should
-    overlap across shards.
+    overlap across shards.  ``warm=True`` runs :func:`warm_topology` on
+    the assembled grid so no replica view cold-starts its ADC gather
+    cache on first traffic.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -297,11 +496,15 @@ def build_topology(
             col[0] if replicas == 1 else ReplicaSet(col, policy=policy, seed=seed)
         )
     if shards == 1:
-        return columns[0]
-    # One engine dispatcher per replica is the intended pairing, so R
-    # scatters of S tasks each can be in flight at once.
-    return ShardedBackend(
-        columns,
-        parallel=parallel_scatter,
-        scatter_workers=max(replicas, 4) * shards,
-    )
+        topo = columns[0]
+    else:
+        # One engine dispatcher per replica is the intended pairing, so R
+        # scatters of S tasks each can be in flight at once.
+        topo = ShardedBackend(
+            columns,
+            parallel=parallel_scatter,
+            scatter_workers=max(replicas, 4) * shards,
+        )
+    if warm:
+        warm_topology(topo)
+    return topo

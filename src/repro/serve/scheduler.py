@@ -33,6 +33,24 @@ backend supports mutation-invalidation registration
 :class:`~repro.service.dynamic.DynamicVectorService`), the engine
 registers its cache automatically: inserts/deletes/merges then drop stale
 entries without any caller involvement.
+
+**QoS.**  The admission queue is a pluggable *discipline*: anything with
+the ``put``/``get``/``qsize`` surface of :class:`queue.Queue` (the
+default FIFO) can order requests between submit and dispatch.
+:class:`~repro.serve.qos.WFQDiscipline` adds per-tenant weighted fair
+queueing, a strict-priority lane, and token-bucket admission quotas —
+``submit`` carries ``tenant=``/``priority=`` tags, and a tenant over its
+quota is blocked or shed *individually* (:class:`QuotaExceededError`)
+instead of globally.  An optional
+:class:`~repro.serve.qos.AdaptiveBatchWindow` retunes the batch window
+online toward a p99 SLO.  None of this changes results: disciplines only
+reorder requests, so every answer stays bit-identical to direct search.
+
+**Degraded coverage.**  Backends that can answer from a subset of their
+data (a :class:`~repro.serve.routing.ShardedBackend` in degraded mode)
+report per-call coverage through a ``last_coverage()`` hook; the engine
+stamps it on the :class:`ServeResult` (``coverage < 1`` flags a partial
+answer) and never caches partial results.
 """
 
 from __future__ import annotations
@@ -48,12 +66,26 @@ import numpy as np
 from repro.serve.backends import SearchBackend
 from repro.serve.cache import QueryResultCache, query_key
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.qos import DEFAULT_TENANT, AdaptiveBatchWindow, class_label
 
-__all__ = ["AdmissionError", "ServeResult", "ServingEngine"]
+__all__ = [
+    "AdmissionError",
+    "QuotaExceededError",
+    "ServeResult",
+    "ServingEngine",
+]
 
 
 class AdmissionError(RuntimeError):
     """Raised by ``submit`` when the queue is full under the shed policy."""
+
+
+class QuotaExceededError(AdmissionError):
+    """Raised by ``submit`` when one tenant's admission quota runs dry.
+
+    A per-tenant shed: only the offending tenant is refused — the queue
+    may be otherwise empty and other tenants keep being admitted.
+    """
 
 
 @dataclass(frozen=True)
@@ -66,11 +98,20 @@ class ServeResult:
     exec_us: float
     batch_size: int  # size of the backend batch that served this request
     cache_hit: bool = False
+    #: Fraction of the backend's data that answered (1.0 = full coverage;
+    #: < 1.0 = a degraded-mode backend served from surviving shards).
+    coverage: float = 1.0
+    tenant: str = DEFAULT_TENANT
 
     @property
     def total_us(self) -> float:
         """End-to-end latency: queueing plus batch execution."""
         return self.queue_us + self.exec_us
+
+    @property
+    def partial(self) -> bool:
+        """True when the answer came from a subset of the data."""
+        return self.coverage < 1.0
 
 
 @dataclass
@@ -85,6 +126,8 @@ class _Request:
     #: lands while this request is in flight (stale results must not be
     #: written back).
     cache_epoch: int = 0
+    tenant: str = DEFAULT_TENANT
+    priority: bool = False
 
 
 #: Sentinel that tells the worker to drain out and exit.
@@ -104,13 +147,25 @@ class ServingEngine:
         ``max_batch=1`` (the window is then irrelevant).
     queue_depth : admission-queue bound (backpressure threshold).
     policy : ``"block"`` (submit blocks when full) or ``"shed"`` (submit
-        raises :class:`AdmissionError` when full).
+        raises :class:`AdmissionError` when full).  The same policy
+        governs per-tenant quotas when the discipline meters admission:
+        ``block`` waits on the tenant's bucket alone, ``shed`` raises
+        :class:`QuotaExceededError`.
     cache : optional :class:`QueryResultCache` consulted at submit time.
     metrics : optional external registry (one is created if omitted).
     dispatchers : dispatcher threads draining the admission queue.  Size
         it to the backend's useful concurrency (e.g. the replica count of
         a :class:`~repro.serve.routing.ReplicaSet`); the default 1
         preserves single-backend behaviour.
+    discipline : optional queue discipline replacing the default FIFO —
+        any object with the ``put``/``put_nowait``/``get``/``get_nowait``
+        /``qsize``/``maxsize`` surface of :class:`queue.Queue` (e.g.
+        :class:`~repro.serve.qos.WFQDiscipline`).  When given, its own
+        ``depth`` bound applies and ``queue_depth`` is ignored.
+    adaptive_window : optional :class:`~repro.serve.qos.AdaptiveBatchWindow`;
+        when given, the dispatcher reads its window before every batch
+        (``max_wait_us`` then only seeds the comparison baseline) and
+        feeds it arrivals and completion latencies.
     """
 
     def __init__(
@@ -124,6 +179,8 @@ class ServingEngine:
         cache: QueryResultCache | None = None,
         metrics: MetricsRegistry | None = None,
         dispatchers: int = 1,
+        discipline=None,
+        adaptive_window: AdaptiveBatchWindow | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -147,7 +204,16 @@ class ServingEngine:
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.dispatchers = dispatchers
-        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=queue_depth)
+        self.window = adaptive_window
+        self._queue = (
+            discipline
+            if discipline is not None
+            else queue_mod.Queue(maxsize=queue_depth)
+        )
+        #: Per-tenant admission-quota hook, when the discipline has one.
+        self._admit = getattr(self._queue, "admit", None)
+        #: Per-call coverage hook, when the backend reports degraded mode.
+        self._coverage = getattr(backend, "last_coverage", None)
         self._workers: list[threading.Thread] = []
         self._stopping = False
         #: Orders submit() against stop(): no request may enter the queue
@@ -208,17 +274,32 @@ class ServingEngine:
         if self.cache is not None:
             self.cache.clear()
 
+    def _refund_quota(self, tenant: str) -> None:
+        """Return a charged admission token after a downstream refusal."""
+        refund = getattr(self._queue, "refund", None)
+        if self._admit is not None and refund is not None:
+            refund(tenant)
+
     # ------------------------------------------------------------------ #
     # Client side
     def submit(
-        self, query: np.ndarray, k: int, nprobe: int | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: bool = False,
     ) -> "Future[ServeResult]":
         """Enqueue one query; returns a future resolving to a ServeResult.
 
-        Cache hits resolve immediately without entering the queue.  Under
-        the ``shed`` policy a full queue raises :class:`AdmissionError`
-        (callers are expected to back off — open-loop load counts these as
-        shed requests).
+        Cache hits resolve immediately without entering the queue (and
+        without charging the tenant's quota).  Under the ``shed`` policy a
+        full queue raises :class:`AdmissionError` and an exhausted tenant
+        quota raises :class:`QuotaExceededError` (callers are expected to
+        back off — open-loop load counts these as shed requests).
+        ``tenant``/``priority`` tag the request for QoS disciplines; the
+        default FIFO ignores them.
         """
         if not self._workers or self._stopping:
             raise RuntimeError("engine is not running (call start())")
@@ -240,18 +321,41 @@ class ServingEngine:
                 self.metrics.inc("cache_hits")
                 # Hits are completed requests too: record them (at ~zero
                 # latency) so snapshot().qps matches the true served rate.
-                self.metrics.observe_request(0.0, 0.0, 0.0)
+                self.metrics.observe_request(
+                    0.0, 0.0, 0.0, tenant=tenant, cls=class_label(k, nprobe)
+                )
                 fut.set_result(
                     ServeResult(
                         ids=ids, dists=dists, queue_us=0.0, exec_us=0.0,
-                        batch_size=0, cache_hit=True,
+                        batch_size=0, cache_hit=True, tenant=tenant,
                     )
                 )
                 return fut
             self.metrics.inc("cache_misses")
+        # Per-tenant admission quota, ahead of the (global) admission
+        # lock: a tenant blocking on its own bucket must never stall
+        # other tenants' submits.
+        if self._admit is not None and not self._admit(
+            tenant, block=(self.policy == "block")
+        ):
+            self.metrics.inc("shed")
+            self.metrics.inc_tenant(tenant, "shed")
+            raise QuotaExceededError(
+                f"tenant {tenant!r} admission quota exhausted; request shed"
+            )
+        # Arrival is observed here — after the cache and quota gates, so
+        # hits and quota sheds never inflate the window's fill target,
+        # but BEFORE the enqueue: the idle-collapse in observe_arrival
+        # must land before the dispatcher (woken by the put) reads the
+        # window, or a post-idle straggler pays the stale grown window.
+        # (A queue-full shed below still counts one arrival; that only
+        # happens under overload, where the estimate is saturated anyway.)
+        if self.window is not None:
+            self.window.observe_arrival()
         req = _Request(
             query=query, k=k, nprobe=nprobe, future=fut,
             t_submit=time.perf_counter(), key=key, cache_epoch=cache_epoch,
+            tenant=tenant, priority=priority,
         )
         # The admission lock orders this enqueue against stop(): a request
         # admitted here is guaranteed to precede the _STOP sentinel, so the
@@ -260,12 +364,20 @@ class ServingEngine:
         # draining independently, so it always frees up.)
         with self._admission_lock:
             if self._stopping:
+                # Admitted by quota but refused by the stopping engine:
+                # give the token back, like the queue-full path below.
+                self._refund_quota(tenant)
                 raise RuntimeError("engine is not running (call start())")
             if self.policy == "shed":
                 try:
                     self._queue.put_nowait(req)
                 except queue_mod.Full:
                     self.metrics.inc("shed")
+                    self.metrics.inc_tenant(tenant, "shed")
+                    # The quota token was charged for a request the queue
+                    # then refused — give it back, or overload would also
+                    # shrink the tenant's quota.
+                    self._refund_quota(tenant)
                     raise AdmissionError(
                         f"admission queue full ({self._queue.maxsize}); request shed"
                     ) from None
@@ -274,10 +386,18 @@ class ServingEngine:
         return fut
 
     def search(
-        self, query: np.ndarray, k: int, nprobe: int | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: bool = False,
     ) -> ServeResult:
         """Blocking convenience wrapper: submit and wait for the result."""
-        return self.submit(query, k, nprobe).result()
+        return self.submit(
+            query, k, nprobe, tenant=tenant, priority=priority
+        ).result()
 
     # ------------------------------------------------------------------ #
     # Worker side
@@ -287,7 +407,11 @@ class ServingEngine:
             if first is _STOP:
                 return
             batch = [first]
-            deadline = time.perf_counter() + self.max_wait_us * 1e-6
+            wait_us = (
+                self.window.current_us() if self.window is not None
+                else self.max_wait_us
+            )
+            deadline = time.perf_counter() + wait_us * 1e-6
             stop_after = False
             while len(batch) < self.max_batch:
                 remaining = deadline - time.perf_counter()
@@ -308,6 +432,8 @@ class ServingEngine:
                 for r in batch:
                     if not r.future.done():
                         r.future.set_exception(exc)
+            if self.window is not None:
+                self.window.update()
             if stop_after:
                 return
 
@@ -339,12 +465,26 @@ class ServingEngine:
                 continue
             t1 = time.perf_counter()
             exec_us = (t1 - t0) * 1e6
+            # Coverage is per call and thread-local in the backend, so it
+            # must be read here, on the thread that made the call.
+            coverage = float(self._coverage()) if self._coverage is not None else 1.0
+            if coverage < 1.0:
+                self.metrics.inc("partial", len(reqs))
             self.metrics.observe_batch(len(reqs))
+            cls = class_label(k, nprobe)
             for i, r in enumerate(reqs):
-                if self.cache is not None and r.key is not None:
+                # Partial answers (degraded-mode backends) must never be
+                # cached: they would keep serving the hole in coverage
+                # long after the failed shard recovered.
+                if self.cache is not None and r.key is not None and coverage >= 1.0:
                     self.cache.put(r.key, ids[i], dists[i], epoch=r.cache_epoch)
                 queue_us = (t0 - r.t_submit) * 1e6
-                self.metrics.observe_request(queue_us, exec_us, queue_us + exec_us)
+                self.metrics.observe_request(
+                    queue_us, exec_us, queue_us + exec_us,
+                    tenant=r.tenant, cls=cls,
+                )
+                if self.window is not None:
+                    self.window.observe_latency(queue_us + exec_us)
                 r.future.set_result(
                     ServeResult(
                         ids=np.array(ids[i], dtype=np.int64, copy=True),
@@ -352,5 +492,7 @@ class ServingEngine:
                         queue_us=queue_us,
                         exec_us=exec_us,
                         batch_size=len(reqs),
+                        coverage=coverage,
+                        tenant=r.tenant,
                     )
                 )

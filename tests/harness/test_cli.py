@@ -20,3 +20,21 @@ class TestCLI:
     def test_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["figXX"])
+
+    def test_qos_mode_rejects_inapplicable_flags(self):
+        """--qos is exclusive with the replicated-matrix flags and takes
+        no --clients/--requests (its load matrix is capacity-derived)."""
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["serve-bench", "--qos", "--replicas", "1,2"])
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["serve-bench", "--qos", "--shards", "2"])
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(["serve-bench", "--qos", "--policy", "p2c"])
+        with pytest.raises(SystemExit, match="clients"):
+            main(["serve-bench", "--qos", "--clients", "8"])
+        with pytest.raises(SystemExit, match="clients"):
+            main(["serve-bench", "--qos", "--requests", "100"])
+
+    def test_policy_rejected_outside_replicated_mode(self):
+        with pytest.raises(SystemExit, match="replicated"):
+            main(["serve-bench", "--policy", "p2c"])

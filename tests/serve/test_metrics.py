@@ -62,3 +62,73 @@ class TestMetricsRegistry:
         snap = m.snapshot()
         m.observe_request(100.0, 1.0, 101.0)
         assert snap.total.count == 1  # later writes invisible to old snapshot
+
+
+class TestTenantAndClassBreakdowns:
+    def test_per_tenant_series_and_counters(self):
+        m = MetricsRegistry()
+        for i in range(4):
+            m.observe_request(1.0, 2.0, 3.0 + i, tenant="a", cls="k5/np4")
+        m.observe_request(1.0, 2.0, 100.0, tenant="b", cls="k5/np8")
+        m.inc_tenant("a", "shed", 2)
+        snap = m.snapshot()
+        assert snap.tenants["a"].completed == 4
+        assert snap.tenants["a"].shed == 2
+        assert snap.tenants["a"].total.count == 4
+        assert snap.tenants["b"].total.max_us == 100.0
+        assert snap.classes["k5/np4"].count == 4
+        assert snap.classes["k5/np8"].count == 1
+
+    def test_untagged_requests_leave_breakdowns_empty(self):
+        m = MetricsRegistry()
+        m.observe_request(1.0, 1.0, 2.0)
+        snap = m.snapshot()
+        assert snap.tenants == {} and snap.classes == {}
+
+    def test_shed_only_tenant_still_reported(self):
+        """A tenant whose every request was shed must appear in the
+        breakdown (its latency series is just empty)."""
+        m = MetricsRegistry()
+        m.inc_tenant("quiet", "shed")
+        snap = m.snapshot()
+        assert snap.tenants["quiet"].shed == 1
+        assert snap.tenants["quiet"].total.count == 0
+
+    def test_breakdown_key_cardinality_bounded(self):
+        """Client-supplied tenant names past the cap fold into the
+        overflow bucket instead of growing the registry forever."""
+        m = MetricsRegistry(max_tracked_keys=8)
+        for i in range(50):
+            m.observe_request(1.0, 1.0, 2.0, tenant=f"t{i}", cls=f"c{i}")
+            m.inc_tenant(f"t{i}", "shed")
+        snap = m.snapshot()
+        assert len(snap.tenants) <= 9  # 8 tracked + "(other)"
+        assert len(snap.classes) <= 9
+        other = snap.tenants[MetricsRegistry.OVERFLOW_KEY]
+        assert other.completed == 50 - 8  # totals preserved, coarsened
+        assert other.shed == 50 - 8
+        # Existing keys keep attributing exactly.
+        m.observe_request(1.0, 1.0, 2.0, tenant="t3", cls="c3")
+        assert m.snapshot().tenants["t3"].completed == 2
+
+    def test_breakdown_validation(self):
+        import pytest
+        with pytest.raises(ValueError, match="breakdown_reservoir_size"):
+            MetricsRegistry(breakdown_reservoir_size=0)
+        with pytest.raises(ValueError, match="max_tracked_keys"):
+            MetricsRegistry(max_tracked_keys=0)
+
+    def test_overflow_fold_consistent_across_stores(self):
+        """One fold decision per tenant: counters and latencies can never
+        land under different keys for the same tenant."""
+        m = MetricsRegistry(max_tracked_keys=4)
+        # Fill the tracked set through the counter path only.
+        for i in range(4):
+            m.inc_tenant(f"t{i}", "shed")
+        # A new tenant completing a request folds BOTH series together.
+        m.observe_request(1.0, 1.0, 2.0, tenant="late", cls="c0")
+        snap = m.snapshot()
+        assert "late" not in snap.tenants
+        other = snap.tenants[MetricsRegistry.OVERFLOW_KEY]
+        assert other.completed == 1
+        assert other.total.count == 1  # latency followed the counter

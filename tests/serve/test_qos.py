@@ -1,0 +1,476 @@
+"""Tests for the multi-tenant QoS layer: quotas, WFQ, adaptive window."""
+
+import queue as queue_mod
+import time
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFPQIndex
+from repro.data.synthetic import make_clustered
+from repro.serve import (
+    AdaptiveBatchWindow,
+    QuotaExceededError,
+    ServingEngine,
+    TenantPolicy,
+    TokenBucket,
+    WFQDiscipline,
+)
+from repro.serve.qos import class_label, default_cost
+
+D = 16
+K = 5
+NPROBE = 4
+
+
+class Req:
+    """Minimal request stand-in carrying the QoS-relevant attributes."""
+
+    def __init__(self, tenant, k=K, nprobe=NPROBE, priority=False, tag=None):
+        self.tenant = tenant
+        self.k = k
+        self.nprobe = nprobe
+        self.priority = priority
+        self.tag = tag
+
+
+class FakeClock:
+    """Manually-advanced clock for deterministic bucket/window tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture(scope="module")
+def small_index():
+    vecs = make_clustered(2200, D, n_clusters=32, seed=11)
+    index = IVFPQIndex(d=D, nlist=32, m=4, ksub=32, seed=0)
+    index.train(vecs[:2000])
+    index.add(vecs[:2000])
+    index.invlists
+    return index, vecs[2000:]
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True] * 3 + [False]
+        clock.advance(0.1)  # one token accrues at 10/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_burst_caps_accrual(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, burst=5, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_blocking_acquire_waits_for_tokens(self):
+        bucket = TokenBucket(1000.0, burst=1)
+        assert bucket.try_acquire()
+        t0 = time.perf_counter()
+        assert bucket.acquire()  # ~1ms until the next token
+        assert time.perf_counter() - t0 < 1.0
+
+    def test_acquire_timeout(self):
+        bucket = TokenBucket(0.1, burst=1)
+        assert bucket.try_acquire()
+        assert not bucket.acquire(timeout=0.01)
+
+    def test_refund_returns_tokens_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(0.001, burst=3, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        bucket.refund()
+        assert bucket.try_acquire()
+        bucket.refund(10.0)  # cannot exceed burst
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(0.0)
+
+
+class TestTenantPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            TenantPolicy(weight=0.0)
+        with pytest.raises(ValueError, match="rate_qps"):
+            TenantPolicy(rate_qps=-1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TenantPolicy(rate_qps=1.0, burst=0.5)
+
+
+class TestWFQDiscipline:
+    def test_weighted_share_under_saturation(self):
+        """Backlogged tenants drain proportionally to their weights."""
+        d = WFQDiscipline(
+            {"a": TenantPolicy(weight=2.0), "b": TenantPolicy(weight=1.0)},
+            depth=10_000,
+        )
+        for _ in range(600):
+            d.put(Req("a"))
+            d.put(Req("b"))
+        served = [d.get_nowait().tenant for _ in range(300)]
+        share_a = served.count("a") / len(served)
+        # Exact fair share is 2/3; allow a small discretization band.
+        assert 0.6 <= share_a <= 0.73, share_a
+
+    def test_work_conservation(self):
+        """get_nowait always yields a request while any lane is backlogged."""
+        d = WFQDiscipline(depth=1000)
+        for i in range(100):
+            d.put(Req(f"t{i % 7}", priority=(i % 11 == 0)))
+        for _ in range(100):
+            d.get_nowait()  # must never raise Empty
+        with pytest.raises(queue_mod.Empty):
+            d.get_nowait()
+
+    def test_priority_lane_never_waits_behind_best_effort(self):
+        d = WFQDiscipline({"gold": TenantPolicy(priority=True)}, depth=1000)
+        for i in range(50):
+            d.put(Req("bulk", tag=f"be{i}"))
+        d.put(Req("gold", priority=True, tag="urgent"))
+        assert d.get_nowait().tag == "urgent"
+
+    def test_priority_demoted_without_entitlement(self):
+        """priority=True from a non-entitled tenant joins its normal flow."""
+        d = WFQDiscipline(depth=100)  # default policy: no priority
+        d.put(Req("bulk", tag="first"))
+        d.put(Req("bulk", priority=True, tag="pushy"))
+        assert d.get_nowait().tag == "first"  # FIFO within the flow
+        assert d.priority_demoted == 1
+
+    def test_cost_classes_charge_the_tenant(self):
+        """A tenant sending 8x-cost requests gets ~1/8th the requests
+        through at equal weight — fairness is in service, not count."""
+        d = WFQDiscipline(depth=10_000, cost_fn=lambda k, nprobe: float(nprobe))
+        for _ in range(400):
+            d.put(Req("cheap", nprobe=1))
+            d.put(Req("heavy", nprobe=8))
+        served = [d.get_nowait().tenant for _ in range(180)]
+        cheap = served.count("cheap")
+        assert cheap / len(served) == pytest.approx(8 / 9, abs=0.05)
+
+    def test_classes_within_tenant_round_robin(self):
+        """A cheap class is not stuck behind the same tenant's expensive
+        backlog: lanes alternate."""
+        d = WFQDiscipline(depth=1000)
+        for i in range(10):
+            d.put(Req("t", nprobe=32, tag=f"big{i}"))
+        d.put(Req("t", nprobe=1, tag="small"))
+        tags = [d.get_nowait().tag for _ in range(3)]
+        assert "small" in tags, tags
+
+    def test_sentinels_drain_after_all_requests(self):
+        d = WFQDiscipline(depth=100)
+        sentinel = object()
+        d.put(Req("a"))
+        d.put(sentinel)
+        d.put(Req("b"))
+        first, second, third = (d.get_nowait() for _ in range(3))
+        assert isinstance(first, Req) and isinstance(second, Req)
+        assert third is sentinel
+        with pytest.raises(queue_mod.Empty):
+            d.get_nowait()
+
+    def test_depth_bound_sheds(self):
+        d = WFQDiscipline(depth=2)
+        d.put_nowait(Req("a"))
+        d.put_nowait(Req("a"))
+        with pytest.raises(queue_mod.Full):
+            d.put_nowait(Req("b"))
+        assert d.qsize() == 2 and d.maxsize == 2
+
+    def test_get_timeout_raises_empty(self):
+        d = WFQDiscipline(depth=10)
+        t0 = time.perf_counter()
+        with pytest.raises(queue_mod.Empty):
+            d.get(timeout=0.02)
+        assert time.perf_counter() - t0 >= 0.015
+
+    def test_backlog_breakdown(self):
+        d = WFQDiscipline({"gold": TenantPolicy(priority=True)}, depth=100)
+        d.put(Req("a"))
+        d.put(Req("a"))
+        d.put(Req("gold", priority=True))
+        assert d.backlog() == {"a": 2, "!": 1}
+
+    def test_metered_default_policy_applies_to_unlisted_tenants(self):
+        """A blanket default-policy quota meters every unlisted tenant —
+        each with its OWN bucket, not a shared one."""
+        clock = FakeClock()
+        d = WFQDiscipline(
+            {"vip": TenantPolicy()},  # listed, no rate: explicitly unmetered
+            default_policy=TenantPolicy(rate_qps=10.0, burst=2),
+            clock=clock,
+        )
+        assert d.admit("anon1", block=False)
+        assert d.admit("anon1", block=False)
+        assert not d.admit("anon1", block=False)  # anon1's burst spent
+        assert d.admit("anon2", block=False)  # anon2 has its own bucket
+        for _ in range(10):
+            assert d.admit("vip", block=False)  # listed tenant stays unmetered
+        d.refund("anon1")
+        assert d.admit("anon1", block=False)  # refund reached anon1's bucket
+
+    def test_admit_unmetered_and_metered(self):
+        clock = FakeClock()
+        d = WFQDiscipline(
+            {"lim": TenantPolicy(rate_qps=10.0, burst=2)}, clock=clock
+        )
+        assert d.admit("anyone")  # unmetered: always admitted
+        assert d.admit("lim", block=False)
+        assert d.admit("lim", block=False)
+        assert not d.admit("lim", block=False)  # burst spent
+        clock.advance(0.1)
+        assert d.admit("lim", block=False)
+
+    def test_drain_reset_regardless_of_final_lane(self):
+        """Whenever the system drains, flow state and the virtual clock
+        reset — whichever lane the final pop came through."""
+        d = WFQDiscipline({"gold": TenantPolicy(priority=True)}, depth=100)
+        d.put(Req("worker", nprobe=64))  # expensive: large finish tag
+        d.put(Req("gold", priority=True))
+        assert d.get_nowait().tenant == "gold"  # priority first
+        assert d._flows  # worker still backlogged: state retained
+        d.get_nowait()  # last item drains via the SFQ lane
+        assert not d._flows and d._vtime == 0.0
+        d.put(Req("gold", priority=True))  # sole occupant: priority lane
+        d.get_nowait()
+        assert not d._flows and d._vtime == 0.0
+
+    def test_drained_tenant_state_swept(self):
+        """Unbounded tenant-name cardinality must not leak flows or
+        default-policy buckets: drained state is swept periodically."""
+        clock = FakeClock()
+        d = WFQDiscipline(
+            default_policy=TenantPolicy(rate_qps=1000.0, burst=4),
+            depth=100_000, clock=clock,
+        )
+        n = 40 * d._SWEEP_EVERY
+        for i in range(n):
+            assert d.admit(f"t{i}", block=False)  # lazy bucket per tenant
+            d.put(Req(f"t{i}"))
+            d.get_nowait()  # drain immediately: flow is dead weight
+            clock.advance(0.01)  # buckets refill back to full burst
+        assert len(d._flows) < n / 4, len(d._flows)
+        assert len(d._buckets) < n / 4, len(d._buckets)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="depth"):
+            WFQDiscipline(depth=0)
+
+
+class TestAdaptiveBatchWindow:
+    def make(self, clock, **kw):
+        defaults = dict(
+            min_us=0.0, max_us=10_000.0, target_batch=16,
+            idle_after_s=0.25, clock=clock,
+        )
+        defaults.update(kw)
+        return AdaptiveBatchWindow(**defaults)
+
+    def feed_arrivals(self, win, clock, gap_s, n):
+        for _ in range(n):
+            clock.advance(gap_s)
+            win.observe_arrival()
+
+    def test_grows_under_load(self):
+        """Sustained 1 kqps arrivals pull the window up toward the time
+        needed to coalesce a full batch."""
+        clock = FakeClock()
+        win = self.make(clock)
+        assert win.current_us() == 0.0
+        self.feed_arrivals(win, clock, 0.001, 50)  # 1000 qps
+        for _ in range(30):
+            win.update()
+        # Fill target: (16 - 1) / 1000 qps = 15 ms, capped at max 10 ms.
+        assert win.current_us() == pytest.approx(10_000.0, rel=0.05)
+
+    def test_shrinks_when_idle(self):
+        clock = FakeClock()
+        win = self.make(clock)
+        self.feed_arrivals(win, clock, 0.001, 50)
+        for _ in range(30):
+            win.update()
+        assert win.current_us() > 5_000.0
+        clock.advance(5.0)  # arrivals stop
+        for _ in range(40):
+            win.update()
+        assert win.current_us() < 100.0  # decayed back toward min
+
+    def test_low_rate_means_no_waiting(self):
+        """When not even one straggler fits in the max window, waiting is
+        pure latency: the target collapses to min."""
+        clock = FakeClock()
+        win = self.make(clock)
+        # 20 qps: rate * max_window = 0.2 expected arrivals < 1.
+        self.feed_arrivals(win, clock, 0.05, 30)
+        for _ in range(10):
+            win.update()
+        assert win.current_us() < 100.0
+
+    def test_first_arrival_after_idle_sees_collapsed_window(self):
+        """The lone request ending an idle period must not pay the stale
+        grown window — it collapses at arrival time, before the
+        dispatcher reads it (update() only runs after a batch)."""
+        clock = FakeClock()
+        win = self.make(clock)
+        self.feed_arrivals(win, clock, 0.001, 50)
+        for _ in range(30):
+            win.update()
+        assert win.current_us() > 5_000.0
+        clock.advance(120.0)  # minutes of silence, no update() calls
+        win.observe_arrival()  # the straggler that ends the idle period
+        assert win.current_us() == win.min_us
+        # The stale busy-period rate estimate reset with it.
+        assert win.rate_qps == 0.0
+
+    def test_slo_guard_shrinks_multiplicatively(self):
+        clock = FakeClock()
+        win = self.make(clock, slo_p99_us=5_000.0)
+        self.feed_arrivals(win, clock, 0.001, 50)
+        for _ in range(30):
+            win.update()
+        grown = win.current_us()
+        assert grown > 5_000.0
+        for _ in range(20):
+            win.observe_latency(50_000.0)  # way over SLO
+        win.update()
+        assert win.current_us() <= 0.55 * grown
+        for _ in range(10):
+            win.update()
+        assert win.current_us() < 100.0
+
+    def test_rate_estimate(self):
+        clock = FakeClock()
+        win = self.make(clock)
+        self.feed_arrivals(win, clock, 0.002, 100)
+        assert win.rate_qps == pytest.approx(500.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_us"):
+            AdaptiveBatchWindow(min_us=10.0, max_us=5.0)
+        with pytest.raises(ValueError, match="target_batch"):
+            AdaptiveBatchWindow(target_batch=1)
+        with pytest.raises(ValueError, match="slo_p99_us"):
+            AdaptiveBatchWindow(slo_p99_us=0.0)
+
+
+class TestHelpers:
+    def test_class_label(self):
+        assert class_label(10, 8) == "k10/np8"
+        assert class_label(3, None) == "k3/np-"
+
+    def test_default_cost_monotone(self):
+        assert default_cost(10, 16) > default_cost(10, 8)
+        assert default_cost(100, 8) > default_cost(10, 8)
+        assert default_cost(1, None) >= 1.0
+
+
+class TestEngineIntegration:
+    def test_bit_identical_through_wfq_and_window(self, small_index):
+        """QoS reorders requests but never changes answers."""
+        index, queries = small_index
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        discipline = WFQDiscipline(
+            {
+                "gold": TenantPolicy(weight=4.0, priority=True),
+                "bulk": TenantPolicy(weight=1.0),
+            },
+            depth=4096,
+        )
+        window = AdaptiveBatchWindow(slo_p99_us=100_000.0, max_us=2_000.0)
+        with ServingEngine(
+            index, max_batch=8, discipline=discipline, adaptive_window=window
+        ) as eng:
+            futs = [
+                eng.submit(
+                    q, K, NPROBE,
+                    tenant="gold" if i % 3 == 0 else "bulk",
+                    priority=(i % 3 == 0),
+                )
+                for i, q in enumerate(queries)
+            ]
+            got = [f.result(timeout=30) for f in futs]
+        np.testing.assert_array_equal(np.stack([g.ids for g in got]), ref_ids)
+        np.testing.assert_array_equal(np.stack([g.dists for g in got]), ref_dists)
+
+    def test_quota_sheds_one_tenant_not_others(self, small_index):
+        index, queries = small_index
+        discipline = WFQDiscipline(
+            {"metered": TenantPolicy(rate_qps=1.0, burst=2)}, depth=1024
+        )
+        with ServingEngine(
+            index, max_batch=8, policy="shed", discipline=discipline
+        ) as eng:
+            assert eng.search(queries[0], K, NPROBE, tenant="metered").ids.shape
+            assert eng.search(queries[0], K, NPROBE, tenant="metered").ids.shape
+            with pytest.raises(QuotaExceededError, match="metered"):
+                eng.submit(queries[0], K, NPROBE, tenant="metered")
+            # Other tenants are unaffected by the metered tenant's shed.
+            assert eng.search(queries[1], K, NPROBE, tenant="free").ids.shape
+        snap = eng.metrics.snapshot()
+        assert snap.tenants["metered"].shed == 1
+        assert snap.tenants["metered"].completed == 2
+        assert snap.tenants["free"].shed == 0
+
+    def test_queue_full_shed_refunds_quota_token(self, small_index):
+        """A quota-admitted request refused by the full queue gives its
+        token back — overload must not also drain the tenant's quota."""
+        index, queries = small_index
+
+        class Gated:
+            d = D
+
+            def __init__(self):
+                import threading
+                self.gate = threading.Event()
+
+            def search_batch(self, q, k, nprobe=None):
+                self.gate.wait(timeout=30)
+                return index.search_batch(np.atleast_2d(q), k, nprobe)
+
+        clock = FakeClock()
+        discipline = WFQDiscipline(
+            {"m": TenantPolicy(rate_qps=0.001, burst=10)},
+            depth=1, clock=clock,
+        )
+        be = Gated()
+        with ServingEngine(
+            be, max_batch=1, policy="shed", discipline=discipline
+        ) as eng:
+            f1 = eng.submit(queries[0], K, NPROBE, tenant="m")  # in service
+            time.sleep(0.05)  # let the worker dequeue it and park
+            eng.submit(queries[1], K, NPROBE, tenant="m")  # fills depth=1
+            from repro.serve.scheduler import AdmissionError
+            with pytest.raises(AdmissionError, match="queue full"):
+                eng.submit(queries[2], K, NPROBE, tenant="m")
+            # 3 charges, 1 refund (the clock is frozen: no refills).
+            assert discipline._buckets["m"].tokens == pytest.approx(8.0)
+            be.gate.set()
+            f1.result(timeout=30)
+
+    def test_per_tenant_and_class_metrics(self, small_index):
+        index, queries = small_index
+        with ServingEngine(index, max_batch=8) as eng:
+            for i in range(6):
+                eng.search(queries[i], K, NPROBE, tenant="a")
+            for i in range(3):
+                eng.search(queries[i], K, NPROBE + 1, tenant="b")
+        snap = eng.metrics.snapshot()
+        assert snap.tenants["a"].completed == 6
+        assert snap.tenants["b"].completed == 3
+        assert snap.tenants["a"].total.count == 6
+        assert set(snap.classes) == {
+            class_label(K, NPROBE), class_label(K, NPROBE + 1)
+        }
+        assert snap.classes[class_label(K, NPROBE)].count == 6

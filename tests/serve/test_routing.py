@@ -7,14 +7,17 @@ import numpy as np
 import pytest
 
 from repro.ann.ivf import IVFPQIndex
-from repro.ann.partition import replicate_index
+from repro.ann.partition import partition_index, replicate_index
 from repro.data.synthetic import make_clustered
 from repro.serve import (
+    InstrumentedBackend,
+    QueryResultCache,
     ReplicaSet,
     ServingEngine,
     ShardedBackend,
     SimulatedDeviceBackend,
     build_topology,
+    warm_topology,
 )
 
 
@@ -241,3 +244,209 @@ class TestEngineDispatchers:
         eng.stop()
         with eng:
             assert eng.search(tied_queries[0], 5, 4).ids.shape == (5,)
+
+
+class _FailingBackend:
+    """Backend that raises while ``broken`` is set (a dead shard)."""
+
+    def __init__(self, inner, broken=True):
+        self.inner = inner
+        self.broken = broken
+        self.d = getattr(inner, "d", None)
+
+    def search_batch(self, queries, k, nprobe=None):
+        if self.broken:
+            raise RuntimeError("shard down")
+        return self.inner.search_batch(queries, k, nprobe)
+
+
+def _survivor_coverage(parts, alive) -> float:
+    """Data fraction held by the surviving shards (ntotal-weighted)."""
+    total = sum(p.ntotal for p in parts)
+    return sum(parts[i].ntotal for i in alive) / total
+
+
+class TestDegradedShardMode:
+    @pytest.fixture()
+    def parts(self, tied_index):
+        return partition_index(tied_index, 3)
+
+    def test_raise_mode_propagates_by_default(self, parts, tied_queries):
+        backend = ShardedBackend([parts[0], _FailingBackend(parts[1]), parts[2]])
+        with pytest.raises(RuntimeError, match="shard down"):
+            backend.search_batch(tied_queries, 5, 4)
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_degrade_serves_from_survivors(self, parts, tied_queries, parallel):
+        """Merged result equals scatter-gather over the surviving shards
+        alone, and the call is flagged as partial coverage — weighted by
+        the data fraction each shard holds, not the shard count."""
+        backend = ShardedBackend(
+            [parts[0], _FailingBackend(parts[1]), parts[2]],
+            on_shard_error="degrade", parallel=parallel,
+        )
+        got_i, got_d = backend.search_batch(tied_queries, 5, 4)
+        assert backend.last_coverage() == pytest.approx(
+            _survivor_coverage(parts, [0, 2])
+        )
+        assert backend.shard_errors == [0, 1, 0]
+        ref_i, ref_d = ShardedBackend([parts[0], parts[2]]).search_batch(
+            tied_queries, 5, 4
+        )
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_recovery_restores_full_coverage(self, parts, tied_index, tied_queries):
+        flaky = _FailingBackend(parts[1])
+        backend = ShardedBackend(
+            [parts[0], flaky, parts[2]], on_shard_error="degrade"
+        )
+        backend.search_batch(tied_queries, 5, 4)
+        assert backend.last_coverage() < 1.0
+        flaky.broken = False  # shard comes back
+        got_i, got_d = backend.search_batch(tied_queries, 5, 4)
+        assert backend.last_coverage() == 1.0
+        ref_i, ref_d = tied_index.search(tied_queries, 5, 4)
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_all_shards_failed_raises(self, parts, tied_queries):
+        backend = ShardedBackend(
+            [_FailingBackend(p) for p in parts], on_shard_error="degrade"
+        )
+        with pytest.raises(RuntimeError, match="all 3 shards failed"):
+            backend.search_batch(tied_queries, 5, 4)
+
+    def test_validation(self, parts):
+        with pytest.raises(ValueError, match="on_shard_error"):
+            ShardedBackend(parts, on_shard_error="retry")
+        with pytest.raises(ValueError, match="shard_weights"):
+            ShardedBackend(parts, shard_weights=[0.5, 0.5])
+        with pytest.raises(ValueError, match="shard_weights"):
+            ShardedBackend(parts, shard_weights=[1.0, -1.0, 1.0])
+
+    def test_coverage_weights_follow_data_not_shard_count(self, parts):
+        """Inferred weights are each shard's ntotal fraction; explicit
+        weights override them."""
+        backend = ShardedBackend(parts)
+        total = sum(p.ntotal for p in parts)
+        assert backend.shard_weights == pytest.approx(
+            [p.ntotal / total for p in parts]
+        )
+        explicit = ShardedBackend(parts, shard_weights=[6.0, 3.0, 1.0])
+        assert explicit.shard_weights == pytest.approx([0.6, 0.3, 0.1])
+
+    def test_opaque_shards_fall_back_to_uniform_weights(self):
+        backends = [_CountingBackend() for _ in range(4)]  # no ntotal
+        assert ShardedBackend(backends).shard_weights == [0.25] * 4
+
+    @pytest.mark.parametrize("n_shards", [3, 6, 7])
+    def test_healthy_coverage_is_exactly_one(self, n_shards):
+        """Normalized float weights can sum below 1.0 (e.g. 6 x 1/6);
+        a healthy topology must still report coverage exactly 1.0, or
+        every result would be flagged partial and nothing ever cached."""
+        backends = [_CountingBackend() for _ in range(n_shards)]
+        sharded = ShardedBackend(backends, on_shard_error="degrade")
+        sharded.search_batch(np.zeros((2, 4), dtype=np.float32), 1)
+        assert sharded.last_coverage() == 1.0
+        cache = QueryResultCache(16)
+        with ServingEngine(sharded, max_batch=2, cache=cache) as eng:
+            res = eng.search(np.zeros(4, dtype=np.float32), 1)
+            hit = eng.search(np.zeros(4, dtype=np.float32), 1)
+        assert res.coverage == 1.0 and not res.partial
+        assert hit.cache_hit  # full-coverage results stay cacheable
+        assert "partial" not in eng.metrics.snapshot().counters
+
+    def test_single_shard_degrade_counts_failure_and_raises(self, parts):
+        flaky = _FailingBackend(parts[0])
+        backend = ShardedBackend([flaky], on_shard_error="degrade")
+        with pytest.raises(RuntimeError, match="all 1 shards failed"):
+            backend.search_batch(np.zeros((1, 16), dtype=np.float32), 5, 4)
+        assert backend.shard_errors == [1]
+        flaky.broken = False  # recovery at S=1 restores full coverage
+        backend.search_batch(np.zeros((1, 16), dtype=np.float32), 5, 4)
+        assert backend.last_coverage() == 1.0
+
+    def test_engine_flags_partial_and_skips_cache(self, parts, tied_queries):
+        backend = ShardedBackend(
+            [parts[0], _FailingBackend(parts[1]), parts[2]],
+            on_shard_error="degrade",
+        )
+        cache = QueryResultCache(64)
+        with ServingEngine(backend, max_batch=4, cache=cache) as eng:
+            res = eng.search(tied_queries[0], 5, 4)
+        assert res.partial
+        assert res.coverage == pytest.approx(_survivor_coverage(parts, [0, 2]))
+        assert len(cache) == 0  # partial answers must never be cached
+        assert eng.metrics.snapshot().counters["partial"] == 1
+
+    def test_full_coverage_results_are_cached(self, parts, tied_queries):
+        backend = ShardedBackend(parts, on_shard_error="degrade")
+        cache = QueryResultCache(64)
+        with ServingEngine(backend, max_batch=4, cache=cache) as eng:
+            res = eng.search(tied_queries[0], 5, 4)
+            hit = eng.search(tied_queries[0], 5, 4)
+        assert not res.partial and res.coverage == 1.0
+        assert hit.cache_hit
+        assert len(cache) == 1
+
+    def test_coverage_forwards_through_wrappers(self, parts, tied_queries):
+        deg = ShardedBackend(
+            [parts[0], _FailingBackend(parts[1]), parts[2]],
+            on_shard_error="degrade",
+        )
+        wrapped = SimulatedDeviceBackend(InstrumentedBackend(deg), 0.0)
+        wrapped.search_batch(tied_queries[:4], 5, 4)
+        assert wrapped.last_coverage() == pytest.approx(
+            _survivor_coverage(parts, [0, 2])
+        )
+
+
+class TestWarmup:
+    def test_warm_matches_lazy_results_bit_identically(
+        self, tied_index, tied_queries
+    ):
+        """An eagerly-warmed replica answers exactly like a cold one."""
+        cold, warm = replicate_index(tied_index, 2)
+        built = warm.warm_gather_cache()
+        assert built > 0
+        ref_i, ref_d = cold.search(tied_queries, 5, 16)
+        got_i, got_d = warm.search(tied_queries, 5, 16)
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_warm_is_idempotent_and_complete(self, tied_index):
+        view = replicate_index(tied_index, 1)[0]
+        n_nonempty = int((view.invlists.sizes > 0).sum())
+        assert view.warm_gather_cache() == n_nonempty
+        assert view.warm_gather_cache() == 0  # everything already built
+
+    def test_warm_subset_of_cells(self, tied_index):
+        view = replicate_index(tied_index, 1)[0]
+        nonempty = np.flatnonzero(view.invlists.sizes > 0)[:3]
+        assert view.warm_gather_cache(cells=nonempty) == len(nonempty)
+        assert view.warm_gather_cache(cells=nonempty) == 0
+
+    def test_warm_topology_reaches_every_leaf(self, tied_index):
+        """R x S grid with wrapped leaves: all R*S gather caches prime."""
+        topo = build_topology(
+            tied_index, replicas=2, shards=2,
+            wrap=lambda v: SimulatedDeviceBackend(v, 0.0),
+        )
+        built = warm_topology(topo)
+        per_shard = [
+            int((col.replicas[0].inner.invlists.sizes > 0).sum())
+            for col in topo.shards
+        ]
+        assert built == 2 * sum(per_shard)  # 2 replicas of every shard
+        assert warm_topology(topo) == 0  # second pass: nothing left cold
+
+    def test_build_topology_warm_flag(self, tied_index, tied_queries):
+        topo = build_topology(tied_index, replicas=2, shards=2, warm=True)
+        assert warm_topology(topo) == 0  # already primed at build time
+        ref_i, _ = tied_index.search(tied_queries, 5, 4)
+        got_i, _ = topo.search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(got_i, ref_i)
+
+    def test_warm_topology_noop_on_unwarmable_backend(self):
+        assert warm_topology(_CountingBackend()) == 0

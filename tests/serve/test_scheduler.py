@@ -1,5 +1,6 @@
 """Tests for the dynamic micro-batching serving engine."""
 
+import threading
 import time
 
 import numpy as np
@@ -180,6 +181,82 @@ class TestAdmissionControl:
             assert f.result(timeout=1).ids.shape == (K,)
         with pytest.raises(RuntimeError, match="not running"):
             eng.submit(np.zeros(D, dtype=np.float32), K)
+
+
+class GatedBackend(FakeBackend):
+    """Backend whose calls block on an event — deterministic occupancy."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Semaphore(0)
+
+    def search_batch(self, queries, k, nprobe=None):
+        self.entered.release()
+        assert self.gate.wait(timeout=30), "gate never opened"
+        return super().search_batch(queries, k, nprobe)
+
+
+class TestMultiDispatcherBackpressure:
+    """Shed/backpressure and drain behaviour with ``dispatchers > 1``.
+
+    With N dispatchers, N requests can be *in service* (dequeued) on top
+    of the ``queue_depth`` waiting slots — the gated backend makes that
+    occupancy deterministic so the shed point is exact.
+    """
+
+    def test_bounded_queue_sheds_deterministically(self):
+        be = GatedBackend()
+        with ServingEngine(
+            be, max_batch=1, queue_depth=2, policy="shed", dispatchers=2
+        ) as eng:
+            q = np.zeros(D, dtype=np.float32)
+            in_service = [eng.submit(q, K) for _ in range(2)]
+            # Both dispatchers must have dequeued one request and parked
+            # inside the backend before the queue slots are counted.
+            assert be.entered.acquire(timeout=30)
+            assert be.entered.acquire(timeout=30)
+            queued = [eng.submit(q, K) for _ in range(2)]  # fills depth=2
+            with pytest.raises(AdmissionError, match="shed"):
+                eng.submit(q, K)
+            with pytest.raises(AdmissionError, match="shed"):
+                eng.submit(q, K)  # still full: deterministic, not racy
+            assert eng.metrics.snapshot().counters["shed"] == 2
+            be.gate.set()
+            for f in in_service + queued:
+                assert f.result(timeout=30).ids.shape == (K,)
+        assert eng.metrics.snapshot().counters["completed"] == 4
+
+    @pytest.mark.parametrize("dispatchers", [2, 3])
+    def test_stop_drains_all_sentinels_and_requests(self, dispatchers):
+        be = FakeBackend(delay_s=0.005)
+        eng = ServingEngine(be, max_batch=2, dispatchers=dispatchers).start()
+        futs = [eng.submit(np.zeros(D, dtype=np.float32), K) for _ in range(12)]
+        eng.stop()  # joins every dispatcher: each consumed one sentinel
+        assert eng._workers == []  # all threads exited
+        for f in futs:
+            assert f.result(timeout=1).ids.shape == (K,)
+        assert eng.depth == 0  # no sentinel or request left behind
+        with pytest.raises(RuntimeError, match="not running"):
+            eng.submit(np.zeros(D, dtype=np.float32), K)
+        eng.stop()  # idempotent after a multi-dispatcher drain
+
+    def test_stop_while_dispatchers_blocked_in_backend(self):
+        """Sentinels queue behind in-flight work; stop() still joins all
+        workers once the backend unblocks, and nothing is lost."""
+        be = GatedBackend()
+        eng = ServingEngine(be, max_batch=1, dispatchers=2).start()
+        q = np.zeros(D, dtype=np.float32)
+        futs = [eng.submit(q, K) for _ in range(4)]
+        assert be.entered.acquire(timeout=30)
+        assert be.entered.acquire(timeout=30)
+        stopper = threading.Thread(target=eng.stop)
+        stopper.start()
+        be.gate.set()
+        stopper.join(timeout=30)
+        assert not stopper.is_alive()
+        for f in futs:
+            assert f.result(timeout=1).ids.shape == (K,)
 
 
 class TestErrorPropagation:

@@ -1,0 +1,1 @@
+"""Tests for the repo's standalone tools/ scripts."""

@@ -1,0 +1,107 @@
+"""Tests for the benchmark drift report tool (tools/check_bench.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_bench  # noqa: E402  (needs the tools/ path above)
+
+
+class TestNumericLeaves:
+    def test_flattens_nested_structures(self):
+        obj = {"a": 1, "b": {"c": 2.5, "d": [{"qps": 10}, {"qps": 20}]}}
+        leaves = check_bench.numeric_leaves(obj)
+        assert leaves == {
+            "a": 1.0, "b.c": 2.5, "b.d[0].qps": 10.0, "b.d[1].qps": 20.0,
+        }
+
+    def test_skips_bools_and_strings(self):
+        leaves = check_bench.numeric_leaves({"ok": True, "name": "x", "n": 3})
+        assert leaves == {"n": 3.0}
+
+
+class TestDriftRows:
+    def test_reports_percentage_drift_for_matching_metrics(self):
+        old = {"qps": 100.0, "p99_us": 2000.0, "note": 7}
+        new = {"qps": 110.0, "p99_us": 1000.0, "note": 9}
+        rows = check_bench.drift_rows(old, new)
+        by_key = {k: (b, c, d) for k, b, c, d in rows}
+        assert set(by_key) == {"qps", "p99_us"}  # 'note' filtered out
+        assert by_key["qps"][2] == 10.0
+        assert by_key["p99_us"][2] == -50.0
+
+    def test_added_and_removed_metrics(self):
+        rows = check_bench.drift_rows({"old_qps": 5.0}, {"new_qps": 6.0})
+        by_key = {k: (b, c, d) for k, b, c, d in rows}
+        assert by_key["old_qps"] == (5.0, None, None)
+        assert by_key["new_qps"] == (None, 6.0, None)
+
+    def test_zero_baseline_has_no_drift(self):
+        rows = check_bench.drift_rows({"qps": 0.0}, {"qps": 5.0})
+        assert rows == [("qps", 0.0, 5.0, None)]
+
+    def test_custom_metric_filter(self):
+        rows = check_bench.drift_rows(
+            {"recall": 0.9, "qps": 1.0}, {"recall": 0.8, "qps": 2.0},
+            metrics_re="recall",
+        )
+        assert [k for k, *_ in rows] == ["recall"]
+
+    def test_max_abs_drift(self):
+        rows = check_bench.drift_rows(
+            {"qps": 100.0, "grid": [{"p99_us": 10.0}]},
+            {"qps": 90.0, "grid": [{"p99_us": 12.0}]},
+        )
+        assert check_bench.max_abs_drift(rows) == 20.0
+
+
+class TestFormatReport:
+    def test_sections_per_file(self):
+        report = check_bench.format_report(
+            {
+                "BENCH_a.json": [("qps", 100.0, 120.0, 20.0)],
+                "BENCH_new.json": None,
+            }
+        )
+        assert "== BENCH_a.json" in report
+        assert "+20.0%" in report
+        assert "no committed baseline" in report
+
+
+class TestCommittedBaseline:
+    def test_reads_committed_version(self):
+        """The committed BENCH_serve.json parses through git show."""
+        path = REPO_ROOT / "BENCH_serve.json"
+        committed = check_bench.committed_json(path, "HEAD", REPO_ROOT)
+        assert committed is not None and "benchmark" in committed
+
+    def test_uncommitted_file_has_no_baseline(self):
+        ghost = REPO_ROOT / "BENCH_does_not_exist.json"
+        assert check_bench.committed_json(ghost, "HEAD", REPO_ROOT) is None
+
+    def test_path_outside_repo_has_no_baseline(self, tmp_path):
+        """A downloaded artifact outside the repo is a baseline miss, not
+        a crash."""
+        outside = tmp_path / "BENCH_artifact.json"
+        outside.write_text(json.dumps({"qps": 1.0}))
+        assert check_bench.committed_json(outside, "HEAD", REPO_ROOT) is None
+
+
+class TestMainWarnOnly:
+    def test_exit_zero_despite_drift(self, capsys):
+        """Default mode never fails the build, whatever the numbers do."""
+        rc = check_bench.main([str(REPO_ROOT / "BENCH_serve.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "benchmark drift vs HEAD" in out
+
+    def test_report_file_written(self, tmp_path, capsys):
+        report = tmp_path / "drift.txt"
+        rc = check_bench.main(
+            [str(REPO_ROOT / "BENCH_serve.json"), "--report", str(report)]
+        )
+        assert rc == 0
+        assert report.read_text().startswith("benchmark drift vs HEAD")

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Benchmark drift report: committed ``BENCH_*.json`` vs the current run.
+
+Benchmark tests rewrite the ``BENCH_*.json`` artifacts at the repo root on
+every run; this tool diffs the headline metrics (any numeric field whose
+key contains ``qps`` or ``p99``, configurable with ``--metrics``) of the
+freshly-written files against the versions committed at a git ref
+(default ``HEAD``), and prints a drift table::
+
+    python tools/check_bench.py                    # all BENCH_*.json vs HEAD
+    python tools/check_bench.py BENCH_serve.json --baseline origin/main
+    python tools/check_bench.py --report drift.txt # also write to a file
+
+It is **warn-only by design**: exit status is 0 regardless of drift
+(shared CI runners are noisy; gating a build on wall-clock numbers makes
+the build flaky, while a visible report makes regressions reviewable).
+Pass ``--fail-over PCT`` to opt into a hard gate.  Files with no committed
+baseline (a brand-new benchmark) are reported as such, not failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+#: Default pattern of metric keys worth tracking across runs.
+DEFAULT_METRICS = r"(qps|p99)"
+
+
+def numeric_leaves(obj, prefix: str = "") -> dict[str, float]:
+    """Flatten a parsed-JSON tree to ``dotted.path -> float`` leaves.
+
+    Lists index with ``[i]``; booleans are skipped (JSON ``true`` is not a
+    metric); non-numeric leaves are ignored.
+    """
+    out: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, val in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(numeric_leaves(val, path))
+    elif isinstance(obj, list):
+        for i, val in enumerate(obj):
+            out.update(numeric_leaves(val, f"{prefix}[{i}]"))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix] = float(obj)
+    return out
+
+
+def drift_rows(
+    baseline: dict, current: dict, metrics_re: str = DEFAULT_METRICS
+) -> list[tuple[str, float | None, float | None, float | None]]:
+    """Compare two parsed benchmark records.
+
+    Returns ``(metric_path, baseline, current, drift_pct)`` rows for every
+    leaf matching ``metrics_re`` in either record, sorted by path.  A
+    missing side reports ``None`` (metric added/removed); ``drift_pct`` is
+    ``None`` when it cannot be computed (missing side or zero baseline).
+    """
+    pattern = re.compile(metrics_re, re.IGNORECASE)
+    old = {k: v for k, v in numeric_leaves(baseline).items() if pattern.search(k)}
+    new = {k: v for k, v in numeric_leaves(current).items() if pattern.search(k)}
+    rows = []
+    for key in sorted(set(old) | set(new)):
+        b, c = old.get(key), new.get(key)
+        if b is not None and c is not None and b != 0:
+            drift = 100.0 * (c - b) / abs(b)
+        else:
+            drift = None
+        rows.append((key, b, c, drift))
+    return rows
+
+
+def max_abs_drift(rows) -> float:
+    """Largest absolute drift percentage across comparable rows (0 if none)."""
+    drifts = [abs(d) for _, _, _, d in rows if d is not None]
+    return max(drifts, default=0.0)
+
+
+def format_report(per_file: dict[str, list | None]) -> str:
+    """Render the drift table: one section per benchmark file.
+
+    ``None`` rows mean the file had no committed baseline.
+    """
+    lines = []
+    for name, rows in sorted(per_file.items()):
+        lines.append(f"== {name}")
+        if rows is None:
+            lines.append("  (no committed baseline — new benchmark)")
+            continue
+        if not rows:
+            lines.append("  (no matching metrics)")
+            continue
+        width = max(len(key) for key, *_ in rows)
+        for key, b, c, drift in rows:
+            b_s = "-" if b is None else f"{b:,.1f}"
+            c_s = "-" if c is None else f"{c:,.1f}"
+            d_s = "n/a" if drift is None else f"{drift:+.1f}%"
+            lines.append(f"  {key:<{width}}  {b_s:>12} -> {c_s:>12}  {d_s:>8}")
+        lines.append(f"  max |drift|: {max_abs_drift(rows):.1f}%")
+    return "\n".join(lines)
+
+
+def committed_json(path: Path, ref: str, repo_root: Path) -> dict | None:
+    """The file's parsed content at ``ref``; None if not committed there.
+
+    A path outside the repo (e.g. a downloaded CI artifact) has no
+    committed counterpart and reports None like any other baseline miss.
+    """
+    try:
+        rel = path.resolve().relative_to(repo_root.resolve())
+    except ValueError:
+        return None
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel.as_posix()}"],
+        cwd=repo_root, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; exit code is 0 unless ``--fail-over`` is exceeded."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*",
+        help="benchmark JSON files (default: BENCH_*.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline", default="HEAD", metavar="REF",
+        help="git ref holding the committed baselines (default: HEAD)",
+    )
+    parser.add_argument(
+        "--metrics", default=DEFAULT_METRICS, metavar="REGEX",
+        help=f"metric-key filter (default: {DEFAULT_METRICS!r})",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the report to this file (CI artifact)",
+    )
+    parser.add_argument(
+        "--fail-over", type=float, default=None, metavar="PCT",
+        help="exit non-zero when any |drift| exceeds PCT (default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = Path(__file__).resolve().parents[1]
+    files = (
+        [Path(f) for f in args.files]
+        if args.files
+        else sorted(repo_root.glob("BENCH_*.json"))
+    )
+    if not files:
+        print("no BENCH_*.json files found — run the benchmarks first")
+        return 0
+
+    per_file: dict[str, list | None] = {}
+    worst = 0.0
+    for path in files:
+        current = json.loads(Path(path).read_text())
+        baseline = committed_json(Path(path), args.baseline, repo_root)
+        if baseline is None:
+            per_file[Path(path).name] = None
+            continue
+        rows = drift_rows(baseline, current, args.metrics)
+        per_file[Path(path).name] = rows
+        worst = max(worst, max_abs_drift(rows))
+
+    report = format_report(per_file)
+    header = (
+        f"benchmark drift vs {args.baseline} "
+        f"(metrics: {args.metrics!r}, worst |drift|: {worst:.1f}%)"
+    )
+    text = f"{header}\n{report}\n"
+    print(text, end="")
+    if args.report:
+        Path(args.report).write_text(text)
+    if args.fail_over is not None and worst > args.fail_over:
+        print(f"FAIL: worst drift {worst:.1f}% exceeds --fail-over {args.fail_over}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
