@@ -17,11 +17,13 @@ closed-loop load; with ``--replicas`` / ``--shards`` it measures the
 replicated, sharded serving matrix over simulated accelerator devices;
 with ``--qos`` it runs the multi-tenant QoS matrix (noisy-neighbor
 isolation under weighted fair queueing + admission quotas, and the
-adaptive batch window against fixed windows)::
+adaptive batch window against fixed windows); with ``--async`` it sweeps
+connection counts over the thread-based vs asyncio socket front ends::
 
     python -m repro.harness.cli serve-bench
     python -m repro.harness.cli serve-bench --replicas 1,2,3 --shards 1,2,4
     python -m repro.harness.cli serve-bench --qos --tenants 2 --slo-us 40000
+    python -m repro.harness.cli serve-bench --async --connections 64,512,4096
 
 Every flag is documented in the README's CLI reference table.
 """
@@ -63,7 +65,27 @@ def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
 
 
 def _run_serve_bench(args: argparse.Namespace):
-    """Dispatch serve-bench to the basic, replicated, or QoS runner."""
+    """Dispatch serve-bench to the basic, replicated, QoS, or async runner."""
+    if args.async_bench:
+        if (
+            args.qos
+            or args.replicas is not None
+            or args.shards is not None
+            or args.policy is not None
+        ):
+            raise SystemExit(
+                "--async and --qos/--replicas/--shards/--policy are "
+                "exclusive modes"
+            )
+        if args.clients is not None or args.requests is not None:
+            raise SystemExit(
+                "--async takes no --clients/--requests (concurrency comes "
+                "from --connections; each connection runs its own closed loop)"
+            )
+        connections = _parse_counts(args.connections or "64,512,4096", "--connections")
+        return serve_bench.run_async(connections=connections, seed=args.seed)
+    if args.connections is not None:
+        raise SystemExit("--connections applies to the --async mode only")
     if args.qos:
         if (
             args.replicas is not None
@@ -164,6 +186,18 @@ def main(argv: list[str] | None = None) -> int:
         default=40_000.0,
         metavar="US",
         help="p99 SLO for the adaptive batch window in QoS mode (default: 40000)",
+    )
+    serve.add_argument(
+        "--async",
+        action="store_true",
+        dest="async_bench",
+        help="sweep connection counts over thread vs asyncio front ends",
+    )
+    serve.add_argument(
+        "--connections",
+        default=None,
+        metavar="C1,C2,...",
+        help="connection counts for the async sweep (default: 64,512,4096)",
     )
     serve.add_argument(
         "--seed", type=int, default=0, help="workload seed (default: 0)"

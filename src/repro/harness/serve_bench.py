@@ -24,12 +24,22 @@ shards are additionally modeled with the binary-tree LogGP estimator
 (:mod:`repro.net.collectives`) and reported alongside the measured
 percentiles.
 
+:func:`run_async` measures the **asyncio connection tier** against the
+thread-based front end: C concurrent connections (C up to thousands —
+far past what a thread per connection affords) drive the same engine
+over a simulated device, threads via :func:`run_closed_loop`, async via
+real localhost TCP through :class:`~repro.serve.aio.VectorSearchServer`
+/ :class:`~repro.serve.aio.AsyncClient` speaking the binary protocol.
+
 All results are verified bit-identical to direct ``IVFPQIndex.search``
 before any timing is reported — a fast wrong answer is not a speedup.
 """
 
 from __future__ import annotations
 
+import asyncio
+import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +49,7 @@ from repro.data.synthetic import make_clustered
 from repro.harness.formatting import format_table
 from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_us
 from repro.net.loggp import point_to_point_us
+from repro.serve.aio import AsyncClient, AsyncServingEngine, VectorSearchServer
 from repro.serve.backends import InstrumentedBackend, SimulatedDeviceBackend
 from repro.serve.cache import QueryResultCache
 from repro.serve.loadgen import (
@@ -49,11 +60,14 @@ from repro.serve.loadgen import (
     run_open_loop,
     tile_stream,
 )
+from repro.serve.metrics import LatencyStats
 from repro.serve.qos import AdaptiveBatchWindow, TenantPolicy, WFQDiscipline
 from repro.serve.routing import build_topology
-from repro.serve.scheduler import ServingEngine
+from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
 
 __all__ = [
+    "AsyncConfigRow",
+    "AsyncServeResult",
     "QosBenchResult",
     "QosTenantRow",
     "ReplicatedConfigRow",
@@ -63,6 +77,7 @@ __all__ = [
     "WindowRow",
     "build_serving_index",
     "run",
+    "run_async",
     "run_qos",
     "run_replicated",
 ]
@@ -775,5 +790,387 @@ def run_qos(
             "low_rate_qps": low_rate_qps,
             "high_utilization": high_utilization,
             "aggressor_quota_qps": 0.5 * capacity,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Async connection-tier benchmark: thread-based vs asyncio front end.
+
+#: Modeled device for the connection-tier scenarios.  Sized like a real
+#: accelerator batch (milliseconds): while the device runs, its modeled
+#: sleep releases the GIL, so each front end's per-request CPU work
+#: (thread wake-ups vs event-loop frame handling) overlaps device time
+#: exactly as it would in production — the benchmark measures what the
+#: front end *adds*, at a realistic device-to-overhead ratio.
+ASYNC_FILL_US = 1000.0
+ASYNC_PER_QUERY_US = 200.0
+ASYNC_MAX_BATCH = 256
+
+#: Concurrent TCP connects while ramping up a connection sweep (past the
+#: kernel accept backlog, SYN retries would serialize the ramp anyway).
+CONNECT_CONCURRENCY = 128
+
+
+def async_service_us(batch: int) -> float:
+    """Modeled accelerator time for one batch in the async scenarios."""
+    return ASYNC_FILL_US + ASYNC_PER_QUERY_US * batch
+
+
+@dataclass(frozen=True)
+class AsyncConfigRow:
+    """One (front end, connection count) point's measured outcome."""
+
+    frontend: str  # "threads" | "async"
+    connections: int
+    report: LoadReport | None  # None: point skipped (see note)
+    #: Seconds to establish every connection (async rows; 0 for threads).
+    connect_s: float = 0.0
+    note: str = ""
+
+    def cells(self) -> list:
+        """Row cells for the result table."""
+        if self.report is None:
+            return [self.frontend, self.connections, "-", "-", "-", "-", "-",
+                    self.note]
+        r = self.report
+        return [
+            self.frontend, self.connections,
+            r.achieved_qps, r.total.p50_us, r.total.p99_us,
+            r.mean_batch_size, round(self.connect_s, 2), self.note,
+        ]
+
+
+@dataclass
+class AsyncServeResult:
+    """Outcome of the connection-count sweep over both front ends."""
+
+    rows: list[AsyncConfigRow]
+    bit_identical: bool
+    requests_per_conn: int
+    params: dict = field(default_factory=dict)
+
+    def row(self, frontend: str, connections: int) -> AsyncConfigRow:
+        """The sweep point measured at (``frontend``, ``connections``)."""
+        for r in self.rows:
+            if r.frontend == frontend and r.connections == connections:
+                return r
+        raise KeyError(
+            f"no measured point ({frontend!r}, {connections}); measured: "
+            f"{[(r.frontend, r.connections) for r in self.rows]}"
+        )
+
+    def p99_ratio(self, connections: int) -> float | None:
+        """Async p99 over thread p99 at one connection count (None if
+        either side was skipped)."""
+        try:
+            a = self.row("async", connections).report
+            t = self.row("threads", connections).report
+        except KeyError:
+            return None
+        if a is None or t is None:
+            return None
+        return a.total.p99_us / max(t.total.p99_us, 1e-9)
+
+    def max_async_connections(self) -> int:
+        """Largest connection count the async front end completed."""
+        done = [
+            r.connections for r in self.rows
+            if r.frontend == "async" and r.report is not None
+            and r.report.n_completed == r.report.n_issued
+        ]
+        return max(done, default=0)
+
+    def format(self) -> str:
+        """Human-readable sweep table plus the headline numbers."""
+        table = format_table(
+            ["frontend", "conns", "QPS", "p50_us", "p99_us", "mean_batch",
+             "connect_s", "note"],
+            [r.cells() for r in self.rows],
+            title=(
+                f"async serve: closed loop per connection, "
+                f"{self.requests_per_conn} requests/conn, simulated device "
+                f"(bit-identical through the socket protocol: "
+                f"{self.bit_identical})"
+            ),
+        )
+        lines = [table]
+        lines.append(
+            f"\n\nasync front end held {self.max_async_connections()} "
+            f"concurrent connections in one process"
+        )
+        smallest = min(
+            (r.connections for r in self.rows if r.frontend == "threads"
+             and r.report is not None),
+            default=None,
+        )
+        if smallest is not None and (ratio := self.p99_ratio(smallest)) is not None:
+            lines.append(
+                f"; p99 at C={smallest}: async/threads = {ratio:.2f}x"
+            )
+        return "".join(lines)
+
+
+def _drive_thread_closed_loop(
+    engine: ServingEngine,
+    queries: np.ndarray,
+    k: int,
+    nprobe: int | None,
+    *,
+    connections: int,
+    requests_per_conn: int,
+) -> LoadReport:
+    """C client threads, each a closed loop, client-observed latency.
+
+    Mirrors :func:`_drive_async_closed_loop` measurement-for-measurement
+    (wall time around each blocking ``search``, thread wake-up included)
+    so the thread and async rows compare the same quantity.
+    """
+    results: list[ServeResult] = []
+    lat_us: list[float] = []
+    lock = threading.Lock()
+    shed = [0]
+    errors = [0]
+
+    def drive(ci: int) -> None:
+        for r in range(requests_per_conn):
+            q = queries[(ci * requests_per_conn + r) % queries.shape[0]]
+            t0 = time.perf_counter()
+            try:
+                res = engine.search(q, k, nprobe)
+            except AdmissionError:
+                with lock:
+                    shed[0] += 1
+                continue
+            except Exception:
+                with lock:
+                    errors[0] += 1
+                continue
+            dt_us = (time.perf_counter() - t0) * 1e6
+            with lock:
+                lat_us.append(dt_us)
+                results.append(res)
+
+    threads = [
+        threading.Thread(target=drive, args=(i,)) for i in range(connections)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return LoadReport(
+        mode="closed",
+        n_issued=connections * requests_per_conn,
+        n_completed=len(results),
+        n_shed=shed[0],
+        n_errors=errors[0],
+        wall_s=wall,
+        offered_qps=len(results) / wall if wall > 0 else 0.0,
+        total=LatencyStats.from_samples(np.array(lat_us)),
+        queue=LatencyStats.from_samples(np.array([r.queue_us for r in results])),
+        exec=LatencyStats.from_samples(np.array([r.exec_us for r in results])),
+        mean_batch_size=(
+            float(np.mean([r.batch_size for r in results])) if results else 0.0
+        ),
+        cache_hits=0,
+        cache_misses=0,
+    )
+
+
+async def _connect_clients(host: str, port: int, n: int) -> list[AsyncClient]:
+    """Open ``n`` client connections, ``CONNECT_CONCURRENCY`` at a time."""
+    sem = asyncio.Semaphore(CONNECT_CONCURRENCY)
+
+    async def one() -> AsyncClient:
+        async with sem:
+            return await AsyncClient.connect(host, port)
+
+    return list(await asyncio.gather(*(one() for _ in range(n))))
+
+
+async def _drive_async_closed_loop(
+    engine: ServingEngine,
+    queries: np.ndarray,
+    k: int,
+    nprobe: int | None,
+    *,
+    connections: int,
+    requests_per_conn: int,
+) -> tuple[LoadReport, float]:
+    """C connections, each a closed loop over real localhost TCP.
+
+    Latency is **client-observed wall time** (submit to response frame),
+    so the protocol and event-loop overhead the async tier adds is *in*
+    the numbers — :func:`_drive_thread_closed_loop` measures the same
+    quantity around its blocking calls, so the two rows compare like for
+    like.  Returns the report plus the connection-ramp seconds.
+    """
+    results: list[ServeResult] = []
+    lat_us: list[float] = []
+    n_shed = 0
+    n_errors = 0
+    async with VectorSearchServer(
+        AsyncServingEngine(engine), backlog=max(connections, 128)
+    ) as server:
+        host, port = server.address
+        t_conn = time.perf_counter()
+        clients = await _connect_clients(host, port, connections)
+        connect_s = time.perf_counter() - t_conn
+
+        async def drive(ci: int, client: AsyncClient) -> None:
+            nonlocal n_shed, n_errors
+            for r in range(requests_per_conn):
+                q = queries[(ci * requests_per_conn + r) % queries.shape[0]]
+                t0 = time.perf_counter()
+                try:
+                    res = await client.search(q, k, nprobe)
+                except AdmissionError:
+                    n_shed += 1
+                    continue
+                except Exception:
+                    n_errors += 1
+                    continue
+                lat_us.append((time.perf_counter() - t0) * 1e6)
+                results.append(res)
+
+        t0 = time.perf_counter()
+        try:
+            await asyncio.gather(
+                *(drive(i, c) for i, c in enumerate(clients))
+            )
+            wall = time.perf_counter() - t0
+        finally:
+            await asyncio.gather(*(c.close() for c in clients))
+    n_total = connections * requests_per_conn
+    report = LoadReport(
+        mode="closed",
+        n_issued=n_total,
+        n_completed=len(results),
+        n_shed=n_shed,
+        n_errors=n_errors,
+        wall_s=wall,
+        offered_qps=len(results) / wall if wall > 0 else 0.0,
+        total=LatencyStats.from_samples(np.array(lat_us)),
+        queue=LatencyStats.from_samples(np.array([r.queue_us for r in results])),
+        exec=LatencyStats.from_samples(np.array([r.exec_us for r in results])),
+        mean_batch_size=(
+            float(np.mean([r.batch_size for r in results])) if results else 0.0
+        ),
+        cache_hits=0,
+        cache_misses=0,
+    )
+    return report, connect_s
+
+
+def _verify_async_bit_identical(
+    index: IVFPQIndex, queries: np.ndarray, *, k: int, nprobe: int
+) -> bool:
+    """Serve through server + client + protocol; compare bits to search()."""
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+
+    async def serve() -> tuple[np.ndarray, np.ndarray]:
+        engine = ServingEngine(
+            index, max_batch=16, max_wait_us=2000.0, policy="shed",
+            queue_depth=4 * len(queries),
+        )
+        async with AsyncServingEngine(engine) as aeng:
+            async with VectorSearchServer(aeng) as srv:
+                host, port = srv.address
+                async with await AsyncClient.connect(host, port) as client:
+                    # Pipelined, not sequential: every query in flight on
+                    # one connection at once — the protocol's id
+                    # correlation is what this exercises.
+                    futs = [client.submit(q, k, nprobe) for q in queries]
+                    await client._writer.drain()
+                    got = await asyncio.gather(*futs)
+        ids = np.stack([g.ids for g in got])
+        dists = np.stack([g.dists for g in got])
+        return ids, dists
+
+    ids, dists = asyncio.run(serve())
+    return bool(np.array_equal(ids, ref_ids) and np.array_equal(dists, ref_dists))
+
+
+def run_async(
+    ctx=None,
+    *,
+    connections: tuple[int, ...] = (64, 512, 4096),
+    requests_per_conn: int = 4,
+    thread_cap: int = 512,
+    max_batch: int = ASYNC_MAX_BATCH,
+    max_wait_us: float = 200.0,
+    k: int = K,
+    nprobe: int = NPROBE,
+    seed: int = 0,
+) -> AsyncServeResult:
+    """Measure thread vs async front ends across connection counts.
+
+    Each sweep point drives one engine (fresh simulated device) with C
+    concurrent closed-loop clients: the thread front end uses C client
+    threads calling the blocking ``engine.search``; the async front end
+    opens C real TCP connections to a :class:`VectorSearchServer` on one
+    event loop.  Thread points beyond ``thread_cap`` are skipped — a
+    thread per connection at that scale is exactly the limitation the
+    async tier exists to remove (ctx unused; the index is self-built).
+    """
+    if requests_per_conn < 1:
+        raise ValueError(f"requests_per_conn must be >= 1, got {requests_per_conn}")
+    index, queries = build_serving_index(seed=seed)
+    bit_identical = _verify_async_bit_identical(
+        index, queries[:64], k=k, nprobe=nprobe
+    )
+
+    rows: list[AsyncConfigRow] = []
+    for conns in connections:
+
+        def fresh_engine() -> ServingEngine:
+            backend = SimulatedDeviceBackend(index, async_service_us)
+            return ServingEngine(
+                backend,
+                max_batch=max_batch,
+                max_wait_us=max_wait_us,
+                queue_depth=2 * conns + 16,
+                policy="shed",
+            )
+
+        if conns <= thread_cap:
+            with fresh_engine() as engine:
+                report = _drive_thread_closed_loop(
+                    engine, queries, k, nprobe,
+                    connections=conns,
+                    requests_per_conn=requests_per_conn,
+                )
+            rows.append(AsyncConfigRow("threads", conns, report))
+        else:
+            rows.append(
+                AsyncConfigRow(
+                    "threads", conns, None,
+                    note=f"skipped: thread per connection past cap {thread_cap}",
+                )
+            )
+
+        with fresh_engine() as engine:
+            report, connect_s = asyncio.run(
+                _drive_async_closed_loop(
+                    engine, queries, k, nprobe,
+                    connections=conns,
+                    requests_per_conn=requests_per_conn,
+                )
+            )
+        rows.append(AsyncConfigRow("async", conns, report, connect_s=connect_s))
+
+    return AsyncServeResult(
+        rows=rows,
+        bit_identical=bit_identical,
+        requests_per_conn=requests_per_conn,
+        params={
+            "n_base": N_BASE, "d": D, "nlist": NLIST, "m": M, "ksub": KSUB,
+            "k": k, "nprobe": nprobe, "max_batch": max_batch,
+            "max_wait_us": max_wait_us, "connections": list(connections),
+            "requests_per_conn": requests_per_conn, "thread_cap": thread_cap,
+            "async_fill_us": ASYNC_FILL_US,
+            "async_per_query_us": ASYNC_PER_QUERY_US,
         },
     )

@@ -10,13 +10,18 @@ Implements the exact estimation method of §7.3.2 / Figure 12:
   direct client→FPGA queries (≈5 µs RTT, §7.3.2);
 - :mod:`repro.net.scaleout` — distributed-query latency: sample one latency
   per accelerator from a measured history, take the max, add the collective
-  costs (Fig. 12), or run the 8-node prototype simulation (Fig. 1).
+  costs (Fig. 12), or run the 8-node prototype simulation (Fig. 1);
+- :mod:`repro.net.wire` — the serving protocol's frame constants and
+  message-size calculators, shared between the real asyncio socket front
+  end (:mod:`repro.serve.protocol`) and these timing models so modeled
+  byte counts match the actual wire format.
 """
 
 from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_us
 from repro.net.loggp import LogGPParams, PAPER_LOGGP, point_to_point_us
 from repro.net.scaleout import DistributedSearchEstimator, simulate_cluster_latencies
 from repro.net.tcp import HardwareTCPStack
+from repro.net.wire import result_frame_bytes, search_frame_bytes
 
 __all__ = [
     "DistributedSearchEstimator",
@@ -26,5 +31,7 @@ __all__ = [
     "binary_tree_broadcast_us",
     "binary_tree_reduce_us",
     "point_to_point_us",
+    "result_frame_bytes",
+    "search_frame_bytes",
     "simulate_cluster_latencies",
 ]

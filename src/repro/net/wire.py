@@ -1,0 +1,95 @@
+"""Wire-format constants shared by the real and the modeled network path.
+
+The serving tier speaks one length-prefixed binary protocol in two places:
+
+- the **real** asyncio socket front end (:mod:`repro.serve.protocol` /
+  :mod:`repro.serve.aio`) encodes actual frames with these structs;
+- the **modeled** hardware network path (:class:`repro.net.tcp.HardwareTCPStack`,
+  the LogGP estimators) charges per-query wire time from message *sizes*.
+
+Keeping the constants here — below both — guarantees the two agree: the
+byte counts the timing models charge are exactly the byte counts the real
+protocol puts on the wire (:func:`search_frame_bytes` /
+:func:`result_frame_bytes`).
+
+Every frame is an 8-byte header followed by a payload::
+
+    magic (u16) | version (u8) | type (u8) | payload_len (u32, LE)
+
+The header is versioned: a peer speaking a different protocol revision is
+rejected at the first frame, not mid-stream.  Payload layouts live with
+the codec in :mod:`repro.serve.protocol`; only their *sizes* are computed
+here so the models need no import from the serving layer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "ERR_INTERNAL",
+    "ERR_QUOTA",
+    "ERR_SHED",
+    "FRAME_ERROR",
+    "FRAME_HEADER",
+    "FRAME_RESULT",
+    "FRAME_SEARCH",
+    "MAX_FRAME_BYTES",
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "error_frame_bytes",
+    "result_frame_bytes",
+    "search_frame_bytes",
+]
+
+#: Frame-header magic: rejects peers that are not speaking this protocol.
+WIRE_MAGIC = 0xF5A9
+#: Protocol revision; bumped on any layout change.
+WIRE_VERSION = 1
+
+#: ``<`` little-endian: magic u16, version u8, frame type u8, payload u32.
+FRAME_HEADER = struct.Struct("<HBBI")
+
+#: Frame types.
+FRAME_SEARCH = 0x01  # client -> server: one query
+FRAME_RESULT = 0x02  # server -> client: one answer
+FRAME_ERROR = 0x03  # server -> client: shed / quota / failure
+
+#: Upper bound on any payload; a corrupt or hostile length prefix must
+#: never make a peer buffer gigabytes (a 4096-d f32 query is ~16 KiB).
+MAX_FRAME_BYTES = 1 << 24
+
+#: Error codes carried by :data:`FRAME_ERROR` payloads.
+ERR_SHED = 0x01  # admission queue full; request shed
+ERR_QUOTA = 0x02  # per-tenant quota exhausted (retry_after_s meaningful)
+ERR_INTERNAL = 0x03  # backend / server failure
+
+#: Fixed (pre-tenant, pre-vector) part of a search payload:
+#: request_id u32, k u16, nprobe i32 (-1 = None), flags u8, tenant_len u8,
+#: d u32.
+SEARCH_FIXED = struct.Struct("<IHiBBI")
+#: Fixed part of a result payload: request_id u32, k u16, flags u8,
+#: batch_size u32, queue_us f32, exec_us f32, coverage f32.
+RESULT_FIXED = struct.Struct("<IHBIfff")
+#: Fixed part of an error payload: request_id u32, code u8,
+#: retry_after_s f32, message_len u16.
+ERROR_FIXED = struct.Struct("<IBfH")
+
+
+def search_frame_bytes(d: int, tenant_bytes: int = 0) -> int:
+    """Total on-wire bytes of one search frame for a ``d``-dim f32 query."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    return FRAME_HEADER.size + SEARCH_FIXED.size + tenant_bytes + 4 * d
+
+
+def result_frame_bytes(k: int) -> int:
+    """Total on-wire bytes of one result frame carrying ``k`` (id, dist)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return FRAME_HEADER.size + RESULT_FIXED.size + 12 * k
+
+
+def error_frame_bytes(message_bytes: int = 0) -> int:
+    """Total on-wire bytes of one error frame with a ``message_bytes`` text."""
+    return FRAME_HEADER.size + ERROR_FIXED.size + message_bytes

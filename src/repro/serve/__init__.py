@@ -24,8 +24,22 @@ admission quotas (:class:`TokenBucket` / :class:`TenantPolicy`), weighted
 fair queueing with a strict-priority lane (:class:`WFQDiscipline` — a
 drop-in admission-queue discipline for the engine), and an SLO-driven
 adaptive batch window (:class:`AdaptiveBatchWindow`).
+
+The asyncio connection tier lives in :mod:`repro.serve.aio`:
+:class:`AsyncServingEngine` (awaitable facade bridging the engine's
+futures onto the event loop), :class:`VectorSearchServer` /
+:class:`AsyncClient` (a length-prefixed binary socket protocol,
+:mod:`repro.serve.protocol`, whose framing constants are shared with the
+hardware network models via :mod:`repro.net.wire`) — one process holding
+thousands of open connections over the same batching engine.
 """
 
+from repro.serve.aio import (
+    AsyncClient,
+    AsyncServingEngine,
+    RemoteServeError,
+    VectorSearchServer,
+)
 from repro.serve.backends import (
     InstrumentedBackend,
     SearchBackend,
@@ -71,6 +85,8 @@ from repro.serve.scheduler import (
 __all__ = [
     "AdaptiveBatchWindow",
     "AdmissionError",
+    "AsyncClient",
+    "AsyncServingEngine",
     "InstrumentedBackend",
     "LatencyStats",
     "LoadReport",
@@ -78,10 +94,12 @@ __all__ = [
     "MetricsSnapshot",
     "QueryResultCache",
     "QuotaExceededError",
+    "RemoteServeError",
     "ReplicaSet",
     "SearchBackend",
     "ServeResult",
     "ServingEngine",
+    "VectorSearchServer",
     "ShardedBackend",
     "SimulatedDeviceBackend",
     "TenantPolicy",

@@ -1,0 +1,535 @@
+"""Asyncio serving front end: thousands of connections, one process.
+
+The :class:`~repro.serve.scheduler.ServingEngine` is thread-based — a
+blocking client occupies a thread for the life of its request, so one
+process holds only as many open connections as it affords threads.  This
+module is the **connection tier** that removes that cap: an event loop
+multiplexes any number of open sockets onto the same engine, whose
+dispatcher threads keep batching exactly as before.
+
+Three pieces:
+
+- :class:`AsyncServingEngine` — an awaitable facade over a running
+  engine.  ``submit`` returns an :class:`asyncio.Future` resolved from
+  the engine's done-callbacks via ``loop.call_soon_threadsafe`` (no
+  executor threads on the request path), preserving tenant/priority
+  tags, backpressure (a shed raises out of the ``await``), and
+  bit-identical results.  Cancelling the awaitable (a vanished client)
+  cancels the queued engine request; the dispatcher drops it at batch
+  time without touching its batch-mates.
+- :class:`VectorSearchServer` — an ``asyncio.start_server`` front end
+  speaking the length-prefixed binary protocol of
+  :mod:`repro.serve.protocol` (framing constants shared with the
+  hardware network models in :mod:`repro.net.wire`).  Connections
+  pipeline freely: every request becomes its own task and responses
+  return in completion order, correlated by request id.  Quota sheds
+  answer with an error frame carrying the token bucket's
+  ``retry_after_s``.
+- :class:`AsyncClient` — the matching client: ``submit`` pipelines,
+  ``search`` awaits one answer, remote sheds re-raise as the same
+  :class:`~repro.serve.scheduler.AdmissionError` /
+  :class:`~repro.serve.scheduler.QuotaExceededError` the local engine
+  uses (``retry_after_s`` included), so callers cannot tell a local
+  engine from a remote one.
+
+**Pair the engine with ``policy="shed"``.**  The facade calls
+``engine.submit`` on the event loop; under the ``block`` policy a full
+queue (or an exhausted quota) would park the whole loop — every
+connection, not just the offender.  Shed turns backpressure into an
+exception on exactly the request that hit it, which is the only
+per-connection signal an event loop can deliver.
+
+**Invariant (bit-identical results).**  The async tier changes how bytes
+reach the engine, never what it computes; ids/dists cross the wire as
+raw i64/f32, so a remote answer equals direct ``IVFPQIndex.search`` bit
+for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.net.wire import (
+    ERR_INTERNAL,
+    ERR_QUOTA,
+    ERR_SHED,
+    FRAME_ERROR,
+    FRAME_RESULT,
+    FRAME_SEARCH,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    SearchFrame,
+    decode_error,
+    decode_result,
+    decode_search,
+    encode_error,
+    encode_result,
+    encode_search,
+    read_frame,
+)
+from repro.serve.qos import DEFAULT_TENANT
+from repro.serve.scheduler import (
+    AdmissionError,
+    QuotaExceededError,
+    ServeResult,
+    ServingEngine,
+)
+
+__all__ = [
+    "AsyncClient",
+    "AsyncServingEngine",
+    "RemoteServeError",
+    "VectorSearchServer",
+]
+
+
+class RemoteServeError(RuntimeError):
+    """A server-side failure reported through an error frame."""
+
+
+class AsyncServingEngine:
+    """Awaitable facade over a (running) :class:`ServingEngine`.
+
+    Wraps the engine's ``concurrent.futures`` completion into asyncio
+    futures on the calling loop — the request path never touches an
+    executor thread; only lifecycle helpers (``stop``) hop to a thread,
+    because joining dispatcher threads must not block the loop.
+
+    One facade serves one event loop at a time (the loop is captured per
+    ``submit``); the underlying engine may simultaneously serve blocking
+    threads — both fronts share the same admission queue and QoS
+    discipline.
+    """
+
+    def __init__(self, engine: ServingEngine):
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    def start(self) -> "AsyncServingEngine":
+        """Start the wrapped engine (idempotent if already running)."""
+        if not self.engine._workers:
+            self.engine.start()
+        return self
+
+    async def stop(self) -> None:
+        """Drain and stop the engine without blocking the event loop.
+
+        ``ServingEngine.stop`` serves every admitted request before the
+        dispatchers exit, so every pending ``await`` resolves — with its
+        answer, not a cancellation.
+        """
+        await asyncio.to_thread(self.engine.stop)
+
+    async def __aenter__(self) -> "AsyncServingEngine":
+        """Async context entry: start the engine."""
+        return self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        """Async context exit: drain and stop the engine."""
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    def submit(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: bool = False,
+    ) -> "asyncio.Future[ServeResult]":
+        """Enqueue one query; returns an asyncio future for its result.
+
+        Must be called on a running event loop.  Backpressure surfaces
+        synchronously: on a ``shed``-policy engine a full queue raises
+        :class:`AdmissionError` and an exhausted tenant quota raises
+        :class:`QuotaExceededError` (with ``retry_after_s``) from this
+        call, before anything is awaited.  Cancelling the returned
+        future cancels the queued engine request — the dispatcher skips
+        it at batch time, so an abandoned connection costs no backend
+        work and never poisons co-batched requests.
+        """
+        loop = asyncio.get_running_loop()
+        afut: asyncio.Future = loop.create_future()
+        cfut = self.engine.submit(query, k, nprobe, tenant=tenant, priority=priority)
+
+        def _transfer() -> None:
+            # Runs on the loop: move the engine future's outcome over.
+            if afut.done():
+                return  # waiter cancelled in the meantime; drop the result
+            if cfut.cancelled():
+                afut.cancel()
+            elif (exc := cfut.exception()) is not None:
+                afut.set_exception(exc)
+            else:
+                afut.set_result(cfut.result())
+
+        def _on_engine_done(_cf) -> None:
+            # Runs on a dispatcher thread (or inline for cache hits).
+            try:
+                loop.call_soon_threadsafe(_transfer)
+            except RuntimeError:
+                pass  # loop already closed; nobody is waiting
+
+        cfut.add_done_callback(_on_engine_done)
+
+        def _on_waiter_done(af: asyncio.Future) -> None:
+            if af.cancelled():
+                # Still queued -> the cancel sticks and the dispatcher
+                # drops it; already resolving -> cancel fails, harmless.
+                cfut.cancel()
+
+        afut.add_done_callback(_on_waiter_done)
+        return afut
+
+    async def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: bool = False,
+    ) -> ServeResult:
+        """Submit one query and await its :class:`ServeResult`."""
+        return await self.submit(query, k, nprobe, tenant=tenant, priority=priority)
+
+
+class VectorSearchServer:
+    """Socket front end: the binary protocol over ``asyncio.start_server``.
+
+    Each accepted connection runs one reader loop; each decoded search
+    frame becomes its own task awaiting the engine, so a single
+    connection can pipeline any number of requests and receives
+    responses in completion order (request ids correlate them).  A
+    client that disconnects mid-request cancels its in-flight tasks —
+    the queued engine requests are dropped at batch time, batch-mates
+    unaffected.
+
+    Parameters
+    ----------
+    engine : a :class:`ServingEngine` (wrapped automatically) or an
+        :class:`AsyncServingEngine`.  Start/stop of the engine stays
+        with the caller; the server only owns sockets.
+    host, port : listen address; port 0 picks a free port (see
+        :attr:`address` after :meth:`start`).
+    backlog : listen backlog — size it to the expected connection storm
+        (an accept burst beyond it retries in the kernel, slowly).
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine | AsyncServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 1024,
+    ):
+        self.aengine = (
+            engine
+            if isinstance(engine, AsyncServingEngine)
+            else AsyncServingEngine(engine)
+        )
+        self.host = host
+        self.port = port
+        self.backlog = backlog
+        self._server: asyncio.AbstractServer | None = None
+        #: Open-connection registry: handler task -> its stream writer.
+        self._conns: dict[asyncio.Task, asyncio.StreamWriter] = {}
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not running (call start())")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "VectorSearchServer":
+        """Bind and start accepting connections; returns self."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, backlog=self.backlog
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drop every open connection (idempotent).
+
+        Connections are dropped by closing their transports (the reader
+        loops then exit on EOF and cancel their own in-flight request
+        tasks) rather than by cancelling the handler tasks — asyncio's
+        stream machinery logs a cancelled handler as an error.
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        conns = dict(self._conns)
+        for writer in conns.values():
+            writer.close()
+        if conns:
+            await asyncio.gather(*conns.keys(), return_exceptions=True)
+
+    async def __aenter__(self) -> "VectorSearchServer":
+        """Async context entry: start listening."""
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        """Async context exit: stop listening and drop connections."""
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read frames, fan out request tasks."""
+        conn = asyncio.current_task()
+        if conn is not None:
+            self._conns[conn] = writer
+        tasks: set[asyncio.Task] = set()
+        # Serializes frame writes: interleaved drain() calls from
+        # concurrent request tasks are not allowed on one transport.
+        wlock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError:
+                    break  # garbage or mid-frame EOF: drop the connection
+                if frame is None:
+                    break  # clean close
+                ftype, payload = frame
+                if ftype != FRAME_SEARCH:
+                    break  # clients may only send search frames
+                try:
+                    req = decode_search(payload)
+                except ProtocolError:
+                    break
+                task = asyncio.create_task(self._serve_one(req, writer, wlock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # Disconnect (or server stop): abandon this connection's
+            # in-flight requests.  Cancelling the tasks cancels their
+            # engine futures; the dispatcher drops them at batch time.
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if conn is not None:
+                self._conns.pop(conn, None)
+
+    async def _serve_one(
+        self, req: SearchFrame, writer: asyncio.StreamWriter, wlock: asyncio.Lock
+    ) -> None:
+        """Serve one request task: await the engine, write one frame."""
+        try:
+            res = await self.aengine.search(
+                req.query, req.k, req.nprobe,
+                tenant=req.tenant, priority=req.priority,
+            )
+            frame = encode_result(
+                req.request_id, res.ids, res.dists,
+                queue_us=res.queue_us, exec_us=res.exec_us,
+                batch_size=res.batch_size, cache_hit=res.cache_hit,
+                coverage=res.coverage,
+            )
+        except QuotaExceededError as exc:
+            frame = encode_error(
+                req.request_id, ERR_QUOTA,
+                retry_after_s=exc.retry_after_s or 0.0, message=str(exc),
+            )
+        except AdmissionError as exc:
+            frame = encode_error(req.request_id, ERR_SHED, message=str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            frame = encode_error(
+                req.request_id, ERR_INTERNAL,
+                message=f"{type(exc).__name__}: {exc}",
+            )
+        try:
+            async with wlock:
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer vanished between compute and write; nothing to do
+
+
+class AsyncClient:
+    """Protocol client: pipelined requests over one connection.
+
+    ``submit`` sends a frame and returns an :class:`asyncio.Future`;
+    ``search`` awaits one answer.  A background reader task correlates
+    responses by request id, so any number of requests may be in flight.
+    Remote sheds raise the same exceptions the local engine raises —
+    :class:`AdmissionError` for a full queue, :class:`QuotaExceededError`
+    (with ``retry_after_s`` from the server's token bucket) for quota —
+    and server failures raise :class:`RemoteServeError`.
+
+    Closing the client abandons its in-flight requests: pending futures
+    fail with :class:`ConnectionResetError` locally, and the server
+    cancels the matching engine requests.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, tuple[asyncio.Future, str]] = {}
+        self._next_id = 0
+        self._closed = False
+        self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncClient":
+        """Open a connection to a :class:`VectorSearchServer`."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: bool = False,
+    ) -> "asyncio.Future[ServeResult]":
+        """Send one request; returns a future for its (remote) result."""
+        if self._closed:
+            raise ConnectionResetError("client is closed")
+        rid = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = (fut, tenant)
+        self._writer.write(
+            encode_search(rid, query, k, nprobe, tenant=tenant, priority=priority)
+        )
+        return fut
+
+    async def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        priority: bool = False,
+    ) -> ServeResult:
+        """Submit one query and await its :class:`ServeResult`."""
+        fut = self.submit(query, k, nprobe, tenant=tenant, priority=priority)
+        await self._writer.drain()
+        return await fut
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail locally."""
+        if self._closed:
+            return
+        self._closed = True
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(ConnectionResetError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        """Async context entry: the connected client."""
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Async context exit: close the connection."""
+        await self.close()
+
+    @property
+    def in_flight(self) -> int:
+        """Requests sent but not yet answered."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for fut, _tenant in pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+
+    def _dispatch(self, ftype: int, payload: bytes) -> None:
+        """Resolve the pending future a response frame addresses."""
+        if ftype not in (FRAME_RESULT, FRAME_ERROR):
+            raise ProtocolError(f"server sent frame type 0x{ftype:02x}")
+        if ftype == FRAME_ERROR:
+            err = decode_error(payload)
+            entry = self._pending.pop(err.request_id, None)
+            if entry is None:
+                return  # response to an abandoned request; drop
+            fut, _tenant = entry
+            if fut.done():
+                return
+            if err.code == ERR_QUOTA:
+                fut.set_exception(
+                    QuotaExceededError(
+                        err.message, retry_after_s=err.retry_after_s
+                    )
+                )
+            elif err.code == ERR_SHED:
+                fut.set_exception(AdmissionError(err.message))
+            else:
+                fut.set_exception(RemoteServeError(err.message))
+            return
+        decoded = decode_result(payload)
+        entry = self._pending.pop(decoded.request_id, None)
+        if entry is None:
+            return
+        fut, tenant = entry
+        if fut.done():
+            return
+        fut.set_result(
+            ServeResult(
+                ids=np.array(decoded.ids, dtype=np.int64, copy=True),
+                dists=np.array(decoded.dists, dtype=np.float32, copy=True),
+                queue_us=decoded.queue_us,
+                exec_us=decoded.exec_us,
+                batch_size=decoded.batch_size,
+                cache_hit=decoded.cache_hit,
+                coverage=decoded.coverage,
+                tenant=tenant,
+            )
+        )
+
+    async def _read_loop(self) -> None:
+        """Background reader: frames in, pending futures resolved."""
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    self._fail_pending(ConnectionResetError("server closed"))
+                    self._closed = True
+                    return
+                self._dispatch(*frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # protocol or socket error: fail waiters
+            self._fail_pending(
+                exc if isinstance(exc, ConnectionError) else ConnectionError(str(exc))
+            )
+            self._closed = True

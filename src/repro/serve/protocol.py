@@ -1,0 +1,306 @@
+"""Length-prefixed binary protocol for the asyncio serving front end.
+
+Frames are the wire format of :mod:`repro.net.wire` (shared with the
+hardware-network timing models, so modeled byte counts match reality):
+an 8-byte versioned header (magic, version, type, payload length) and a
+type-specific payload.
+
+- **search** (client → server): request id, ``k``/``nprobe``, priority
+  flag, tenant tag, and the raw f32 query vector.
+- **result** (server → client): request id, the ``(ids, dists)`` top-K
+  (raw i64/f32 bytes — results survive the wire bit for bit), and the
+  :class:`~repro.serve.scheduler.ServeResult` latency/batch metadata.
+- **error** (server → client): request id, an error code (shed / quota /
+  internal), a ``retry_after_s`` hint (quota sheds carry the token
+  bucket's refill time, so well-behaved clients can back off precisely
+  instead of polling), and a short message.
+
+Request ids correlate responses to requests: a connection may pipeline
+many requests and the server answers in completion order, not arrival
+order.  Ids are per-connection and chosen by the client; the server
+echoes them opaquely.
+
+Encoding is pure (bytes in, frames out) so it is testable without
+sockets; :func:`read_frame` is the one asyncio-aware helper, reading one
+validated frame from a :class:`asyncio.StreamReader`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.wire import (
+    ERROR_FIXED,
+    FRAME_ERROR,
+    FRAME_HEADER,
+    FRAME_RESULT,
+    FRAME_SEARCH,
+    MAX_FRAME_BYTES,
+    RESULT_FIXED,
+    SEARCH_FIXED,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+)
+from repro.serve.qos import DEFAULT_TENANT
+
+__all__ = [
+    "ErrorFrame",
+    "ProtocolError",
+    "ResultFrame",
+    "SearchFrame",
+    "decode_error",
+    "decode_result",
+    "decode_search",
+    "encode_error",
+    "encode_result",
+    "encode_search",
+    "read_frame",
+]
+
+#: Flag bits of a search frame.
+FLAG_PRIORITY = 0x01
+#: Flag bits of a result frame.
+FLAG_CACHE_HIT = 0x01
+FLAG_PARTIAL = 0x02
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, truncated, or wrong-version frame."""
+
+
+@dataclass(frozen=True)
+class SearchFrame:
+    """One decoded search request."""
+
+    request_id: int
+    query: np.ndarray  # (d,) float32
+    k: int
+    nprobe: int | None
+    tenant: str
+    priority: bool
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """One decoded answer (bit-identical ids/dists plus metadata)."""
+
+    request_id: int
+    ids: np.ndarray  # (k,) int64
+    dists: np.ndarray  # (k,) float32
+    queue_us: float
+    exec_us: float
+    batch_size: int
+    cache_hit: bool
+    coverage: float
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """One decoded error response (shed / quota / internal failure)."""
+
+    request_id: int
+    code: int
+    retry_after_s: float
+    message: str
+
+
+def _frame(ftype: int, payload: bytes) -> bytes:
+    return FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, ftype, len(payload)) + payload
+
+
+def encode_search(
+    request_id: int,
+    query: np.ndarray,
+    k: int,
+    nprobe: int | None = None,
+    *,
+    tenant: str = DEFAULT_TENANT,
+    priority: bool = False,
+) -> bytes:
+    """Encode one search request into a complete frame."""
+    q = np.ascontiguousarray(query, dtype=np.float32).reshape(-1)
+    tenant_b = tenant.encode("utf-8")
+    if len(tenant_b) > 255:
+        raise ValueError(f"tenant name too long for the wire ({len(tenant_b)} bytes)")
+    if not 1 <= k <= 0xFFFF:
+        raise ValueError(f"k must be in [1, 65535], got {k}")
+    flags = FLAG_PRIORITY if priority else 0
+    payload = (
+        SEARCH_FIXED.pack(
+            request_id & 0xFFFFFFFF,
+            k,
+            -1 if nprobe is None else int(nprobe),
+            flags,
+            len(tenant_b),
+            q.shape[0],
+        )
+        + tenant_b
+        + q.tobytes()
+    )
+    return _frame(FRAME_SEARCH, payload)
+
+
+def decode_search(payload: bytes) -> SearchFrame:
+    """Decode a search payload; raises :class:`ProtocolError` when malformed."""
+    if len(payload) < SEARCH_FIXED.size:
+        raise ProtocolError(f"search payload truncated ({len(payload)} bytes)")
+    request_id, k, nprobe, flags, tenant_len, d = SEARCH_FIXED.unpack_from(payload)
+    off = SEARCH_FIXED.size
+    want = off + tenant_len + 4 * d
+    if len(payload) != want:
+        raise ProtocolError(
+            f"search payload is {len(payload)} bytes, header implies {want}"
+        )
+    tenant = payload[off : off + tenant_len].decode("utf-8")
+    query = np.frombuffer(payload, dtype=np.float32, count=d, offset=off + tenant_len)
+    return SearchFrame(
+        request_id=request_id,
+        query=query,
+        k=k,
+        nprobe=None if nprobe < 0 else nprobe,
+        tenant=tenant or DEFAULT_TENANT,
+        priority=bool(flags & FLAG_PRIORITY),
+    )
+
+
+def encode_result(
+    request_id: int,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    *,
+    queue_us: float = 0.0,
+    exec_us: float = 0.0,
+    batch_size: int = 0,
+    cache_hit: bool = False,
+    coverage: float = 1.0,
+) -> bytes:
+    """Encode one answer; ids/dists travel as raw i64/f32 (bit-exact)."""
+    ids = np.ascontiguousarray(ids, dtype=np.int64).reshape(-1)
+    dists = np.ascontiguousarray(dists, dtype=np.float32).reshape(-1)
+    if ids.shape != dists.shape:
+        raise ValueError(f"ids/dists shapes differ: {ids.shape} vs {dists.shape}")
+    flags = (FLAG_CACHE_HIT if cache_hit else 0) | (
+        FLAG_PARTIAL if coverage < 1.0 else 0
+    )
+    payload = (
+        RESULT_FIXED.pack(
+            request_id & 0xFFFFFFFF,
+            ids.shape[0],
+            flags,
+            batch_size,
+            queue_us,
+            exec_us,
+            coverage,
+        )
+        + ids.tobytes()
+        + dists.tobytes()
+    )
+    return _frame(FRAME_RESULT, payload)
+
+
+def decode_result(payload: bytes) -> ResultFrame:
+    """Decode a result payload; raises :class:`ProtocolError` when malformed."""
+    if len(payload) < RESULT_FIXED.size:
+        raise ProtocolError(f"result payload truncated ({len(payload)} bytes)")
+    request_id, k, flags, batch_size, queue_us, exec_us, coverage = (
+        RESULT_FIXED.unpack_from(payload)
+    )
+    off = RESULT_FIXED.size
+    want = off + 12 * k
+    if len(payload) != want:
+        raise ProtocolError(
+            f"result payload is {len(payload)} bytes, header implies {want}"
+        )
+    ids = np.frombuffer(payload, dtype=np.int64, count=k, offset=off)
+    dists = np.frombuffer(payload, dtype=np.float32, count=k, offset=off + 8 * k)
+    return ResultFrame(
+        request_id=request_id,
+        ids=ids,
+        dists=dists,
+        queue_us=queue_us,
+        exec_us=exec_us,
+        batch_size=batch_size,
+        cache_hit=bool(flags & FLAG_CACHE_HIT),
+        coverage=coverage,
+    )
+
+
+def encode_error(
+    request_id: int,
+    code: int,
+    *,
+    retry_after_s: float = 0.0,
+    message: str = "",
+) -> bytes:
+    """Encode one error response (shed / quota / internal)."""
+    msg_b = message.encode("utf-8")[:0xFFFF]
+    payload = (
+        ERROR_FIXED.pack(request_id & 0xFFFFFFFF, code, retry_after_s, len(msg_b))
+        + msg_b
+    )
+    return _frame(FRAME_ERROR, payload)
+
+
+def decode_error(payload: bytes) -> ErrorFrame:
+    """Decode an error payload; raises :class:`ProtocolError` when malformed."""
+    if len(payload) < ERROR_FIXED.size:
+        raise ProtocolError(f"error payload truncated ({len(payload)} bytes)")
+    request_id, code, retry_after_s, msg_len = ERROR_FIXED.unpack_from(payload)
+    off = ERROR_FIXED.size
+    if len(payload) != off + msg_len:
+        raise ProtocolError(
+            f"error payload is {len(payload)} bytes, header implies {off + msg_len}"
+        )
+    return ErrorFrame(
+        request_id=request_id,
+        code=code,
+        retry_after_s=retry_after_s,
+        message=payload[off:].decode("utf-8", errors="replace"),
+    )
+
+
+#: payload decoder per frame type (used by :func:`read_frame` callers).
+DECODERS = {
+    FRAME_SEARCH: decode_search,
+    FRAME_RESULT: decode_result,
+    FRAME_ERROR: decode_error,
+}
+
+
+async def read_frame(reader) -> tuple[int, bytes] | None:
+    """Read one validated ``(frame_type, payload)`` from a stream reader.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer closed
+    the connection between frames).  Raises :class:`ProtocolError` on a
+    bad magic, an unsupported version, an oversized length prefix, or an
+    EOF mid-frame.
+    """
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} bytes)"
+        ) from None
+    magic, version, ftype, length = FRAME_HEADER.unpack(header)
+    if magic != WIRE_MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:04x}")
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol v{version}, this end v{WIRE_VERSION}"
+        )
+    if ftype not in DECODERS:
+        raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-payload ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return ftype, payload

@@ -177,6 +177,17 @@ class TokenBucket:
             self._refill_locked()
             self._tokens = min(self.burst, self._tokens + n)
 
+    def time_until(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have accrued (0 if available now).
+
+        The retry-after hint shed responses carry: at the bucket's refill
+        rate, a client backing off exactly this long finds a token waiting
+        instead of being shed again — precise backoff, not polling.
+        """
+        with self._lock:
+            self._refill_locked()
+            return max(0.0, (n - self._tokens) / self.rate)
+
     def acquire(self, n: float = 1.0, timeout: float | None = None) -> bool:
         """Take ``n`` tokens, sleeping until they accrue (or ``timeout``).
 
@@ -395,6 +406,19 @@ class WFQDiscipline:
             bucket = self._bucket_for_locked(tenant)
             if bucket is not None:
                 bucket.refund()
+
+    def retry_after_s(self, tenant: str | None) -> float | None:
+        """Seconds until ``tenant``'s bucket refills one token.
+
+        The engine stamps this on :class:`QuotaExceededError` after a
+        failed ``admit`` so shed responses (and the async protocol's
+        error frames) tell the client exactly how long to back off.
+        ``None`` for unmetered tenants — their sheds are queue-full, not
+        quota, and carry no refill schedule.
+        """
+        with self._bucket_lock:
+            bucket = self._bucket_for_locked(tenant)
+            return None if bucket is None else bucket.time_until(1.0)
 
     # ------------------------------------------------------------------ #
     # Producer side

@@ -58,7 +58,7 @@ from __future__ import annotations
 import queue as queue_mod
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
 
 import numpy as np
@@ -85,7 +85,17 @@ class QuotaExceededError(AdmissionError):
 
     A per-tenant shed: only the offending tenant is refused — the queue
     may be otherwise empty and other tenants keep being admitted.
+    ``retry_after_s`` (when the discipline can derive one from its token
+    bucket's refill rate) is how long the tenant should back off before
+    one token will have accrued — shed responses surface it so
+    well-behaved clients retry precisely instead of polling.
     """
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        #: Seconds until the tenant's bucket refills one token (None when
+        #: the discipline cannot say).
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -132,6 +142,33 @@ class _Request:
 
 #: Sentinel that tells the worker to drain out and exit.
 _STOP = object()
+
+
+def _resolve(fut: Future, result) -> None:
+    """Resolve a request future, tolerating client-side cancellation.
+
+    Front ends that multiplex many clients (the asyncio tier) cancel a
+    request's future when its client goes away; the request may already
+    be coalesced into a batch by then.  A cancelled future is simply
+    skipped — its batch-mates must never see an ``InvalidStateError``
+    from the dispatcher trying to fulfil an abandoned request.
+    """
+    if fut.cancelled():
+        return
+    try:
+        fut.set_result(result)
+    except InvalidStateError:
+        pass  # cancelled between the check and the set — same skip
+
+
+def _reject(fut: Future, exc: BaseException) -> None:
+    """Fail a request future, tolerating client-side cancellation."""
+    if fut.done():
+        return
+    try:
+        fut.set_exception(exc)
+    except InvalidStateError:
+        pass
 
 
 class ServingEngine:
@@ -212,6 +249,9 @@ class ServingEngine:
         )
         #: Per-tenant admission-quota hook, when the discipline has one.
         self._admit = getattr(self._queue, "admit", None)
+        #: Quota-shed feedback hook: seconds until the tenant's bucket
+        #: refills one token, when the discipline can derive it.
+        self._retry_after = getattr(self._queue, "retry_after_s", None)
         #: Per-call coverage hook, when the backend reports degraded mode.
         self._coverage = getattr(backend, "last_coverage", None)
         self._workers: list[threading.Thread] = []
@@ -341,7 +381,12 @@ class ServingEngine:
             self.metrics.inc("shed")
             self.metrics.inc_tenant(tenant, "shed")
             raise QuotaExceededError(
-                f"tenant {tenant!r} admission quota exhausted; request shed"
+                f"tenant {tenant!r} admission quota exhausted; request shed",
+                retry_after_s=(
+                    self._retry_after(tenant)
+                    if self._retry_after is not None
+                    else None
+                ),
             )
         # Arrival is observed here — after the cache and quota gates, so
         # hits and quota sheds never inflate the window's fill target,
@@ -430,17 +475,24 @@ class ServingEngine:
                 self._execute(batch)
             except Exception as exc:  # safety net: the worker must survive
                 for r in batch:
-                    if not r.future.done():
-                        r.future.set_exception(exc)
+                    _reject(r.future, exc)
             if self.window is not None:
                 self.window.update()
             if stop_after:
                 return
 
     def _execute(self, batch: list[_Request]) -> None:
-        """Serve one micro-batch, grouped by (k, nprobe)."""
+        """Serve one micro-batch, grouped by (k, nprobe).
+
+        Requests whose future was cancelled while queued (a disconnected
+        async client) are dropped here, before any backend work is spent
+        on them — the cancellation can never poison their batch-mates.
+        """
+        live = [r for r in batch if not r.future.cancelled()]
+        if len(live) < len(batch):
+            self.metrics.inc("cancelled", len(batch) - len(live))
         groups: dict[tuple[int, int | None], list[_Request]] = {}
-        for req in batch:
+        for req in live:
             groups.setdefault((req.k, req.nprobe), []).append(req)
         for (k, nprobe), reqs in groups.items():
             t0 = time.perf_counter()
@@ -461,7 +513,7 @@ class ServingEngine:
             except Exception as exc:  # propagate to every waiter, keep serving
                 self.metrics.inc("errors", len(reqs))
                 for r in reqs:
-                    r.future.set_exception(exc)
+                    _reject(r.future, exc)
                 continue
             t1 = time.perf_counter()
             exec_us = (t1 - t0) * 1e6
@@ -485,7 +537,8 @@ class ServingEngine:
                 )
                 if self.window is not None:
                     self.window.observe_latency(queue_us + exec_us)
-                r.future.set_result(
+                _resolve(
+                    r.future,
                     ServeResult(
                         ids=np.array(ids[i], dtype=np.int64, copy=True),
                         dists=np.array(dists[i], dtype=np.float32, copy=True),
@@ -494,5 +547,5 @@ class ServingEngine:
                         batch_size=len(reqs),
                         coverage=coverage,
                         tenant=r.tenant,
-                    )
+                    ),
                 )

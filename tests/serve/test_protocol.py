@@ -1,0 +1,214 @@
+"""Tests for the binary wire protocol (repro/serve/protocol.py)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.net.wire import (
+    ERR_QUOTA,
+    FRAME_ERROR,
+    FRAME_HEADER,
+    FRAME_RESULT,
+    FRAME_SEARCH,
+    MAX_FRAME_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    error_frame_bytes,
+    result_frame_bytes,
+    search_frame_bytes,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_error,
+    decode_result,
+    decode_search,
+    encode_error,
+    encode_result,
+    encode_search,
+    read_frame,
+)
+
+
+def _payload(frame: bytes) -> bytes:
+    return frame[FRAME_HEADER.size :]
+
+
+class TestSearchRoundTrip:
+    def test_all_fields_survive(self):
+        q = np.arange(24, dtype=np.float32) * 0.125 - 1.0
+        frame = encode_search(
+            7, q, 10, 16, tenant="gold", priority=True
+        )
+        req = decode_search(_payload(frame))
+        assert req.request_id == 7
+        assert req.k == 10 and req.nprobe == 16
+        assert req.tenant == "gold" and req.priority
+        np.testing.assert_array_equal(req.query, q)
+
+    def test_nprobe_none_and_defaults(self):
+        frame = encode_search(0, np.zeros(4, dtype=np.float32), 1)
+        req = decode_search(_payload(frame))
+        assert req.nprobe is None
+        assert req.tenant == "default" and not req.priority
+
+    def test_query_bits_exact(self):
+        """Denormals, infs, and negative zero cross the wire untouched."""
+        q = np.array([1e-42, -0.0, np.inf, -np.inf, np.nan], dtype=np.float32)
+        got = decode_search(_payload(encode_search(1, q, 5))).query
+        assert got.tobytes() == q.tobytes()
+
+    def test_wire_size_matches_model(self):
+        """The byte count the net/ timing models charge is the real one."""
+        q = np.zeros(32, dtype=np.float32)
+        frame = encode_search(1, q, 10, 8, tenant="abc")
+        assert len(frame) == search_frame_bytes(32, tenant_bytes=3)
+
+    def test_validation(self):
+        q = np.zeros(4, dtype=np.float32)
+        with pytest.raises(ValueError, match="tenant"):
+            encode_search(1, q, 5, tenant="x" * 256)
+        with pytest.raises(ValueError, match="k must"):
+            encode_search(1, q, 0)
+
+    def test_truncated_and_length_mismatch(self):
+        frame = encode_search(1, np.zeros(8, dtype=np.float32), 5)
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_search(_payload(frame)[:4])
+        with pytest.raises(ProtocolError, match="implies"):
+            decode_search(_payload(frame)[:-2])
+
+
+class TestResultRoundTrip:
+    def test_all_fields_survive(self):
+        ids = np.array([5, -1, 123456789012], dtype=np.int64)
+        dists = np.array([0.25, np.inf, -0.0], dtype=np.float32)
+        frame = encode_result(
+            42, ids, dists, queue_us=12.5, exec_us=100.0,
+            batch_size=8, cache_hit=True, coverage=0.75,
+        )
+        res = decode_result(_payload(frame))
+        assert res.request_id == 42
+        assert res.ids.tobytes() == ids.tobytes()
+        assert res.dists.tobytes() == dists.tobytes()
+        assert res.queue_us == pytest.approx(12.5)
+        assert res.exec_us == pytest.approx(100.0)
+        assert res.batch_size == 8
+        assert res.cache_hit and res.coverage == pytest.approx(0.75)
+
+    def test_full_coverage_not_partial(self):
+        frame = encode_result(
+            1, np.zeros(2, dtype=np.int64), np.zeros(2, dtype=np.float32)
+        )
+        res = decode_result(_payload(frame))
+        assert not res.cache_hit and res.coverage == 1.0
+
+    def test_wire_size_matches_model(self):
+        frame = encode_result(
+            1, np.zeros(10, dtype=np.int64), np.zeros(10, dtype=np.float32)
+        )
+        assert len(frame) == result_frame_bytes(10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            encode_result(
+                1, np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.float32)
+            )
+
+    def test_length_mismatch(self):
+        frame = encode_result(
+            1, np.zeros(4, dtype=np.int64), np.zeros(4, dtype=np.float32)
+        )
+        with pytest.raises(ProtocolError, match="implies"):
+            decode_result(_payload(frame)[:-1])
+
+
+class TestErrorRoundTrip:
+    def test_all_fields_survive(self):
+        frame = encode_error(
+            9, ERR_QUOTA, retry_after_s=1.5, message="quota exhausted"
+        )
+        err = decode_error(_payload(frame))
+        assert err.request_id == 9 and err.code == ERR_QUOTA
+        assert err.retry_after_s == pytest.approx(1.5)
+        assert err.message == "quota exhausted"
+
+    def test_wire_size_matches_model(self):
+        frame = encode_error(1, ERR_QUOTA, message="abc")
+        assert len(frame) == error_frame_bytes(3)
+
+    def test_truncated(self):
+        frame = encode_error(1, ERR_QUOTA, message="hello")
+        with pytest.raises(ProtocolError, match="implies"):
+            decode_error(_payload(frame)[:-1])
+
+
+def _read_one(data: bytes):
+    """Feed bytes + EOF into a StreamReader and read one frame."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadFrame:
+    def test_reads_a_valid_frame(self):
+        frame = encode_search(3, np.zeros(4, dtype=np.float32), 5, 2)
+        ftype, payload = _read_one(frame)
+        assert ftype == FRAME_SEARCH
+        assert decode_search(payload).request_id == 3
+
+    def test_clean_eof_returns_none(self):
+        assert _read_one(b"") is None
+
+    def test_eof_mid_header(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            _read_one(b"\x01\x02\x03")
+
+    def test_eof_mid_payload(self):
+        frame = encode_search(1, np.zeros(8, dtype=np.float32), 5)
+        with pytest.raises(ProtocolError, match="mid-payload"):
+            _read_one(frame[:-4])
+
+    def test_bad_magic(self):
+        bad = FRAME_HEADER.pack(0xDEAD, WIRE_VERSION, FRAME_RESULT, 0)
+        with pytest.raises(ProtocolError, match="magic"):
+            _read_one(bad)
+
+    def test_version_mismatch(self):
+        bad = FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION + 1, FRAME_ERROR, 0)
+        with pytest.raises(ProtocolError, match="protocol v"):
+            _read_one(bad)
+
+    def test_unknown_frame_type(self):
+        bad = FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, 0x7F, 0)
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            _read_one(bad)
+
+    def test_oversized_length_rejected_before_buffering(self):
+        bad = FRAME_HEADER.pack(
+            WIRE_MAGIC, WIRE_VERSION, FRAME_SEARCH, MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            _read_one(bad)
+
+    def test_back_to_back_frames(self):
+        f1 = encode_search(1, np.zeros(4, dtype=np.float32), 5)
+        f2 = encode_error(2, ERR_QUOTA)
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(f1 + f2)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        (t1, _), (t2, p2), t3 = asyncio.run(go())
+        assert t1 == FRAME_SEARCH and t2 == FRAME_ERROR and t3 is None
+        assert decode_error(p2).request_id == 2

@@ -97,6 +97,17 @@ class TestTokenBucket:
         with pytest.raises(ValueError, match="rate"):
             TokenBucket(0.0)
 
+    def test_time_until_tracks_refill_schedule(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, burst=1, clock=clock)
+        assert bucket.time_until() == 0.0  # starts full
+        assert bucket.try_acquire()
+        assert bucket.time_until() == pytest.approx(0.5)  # 1 token at 2/s
+        clock.advance(0.25)
+        assert bucket.time_until() == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.time_until() == 0.0
+
 
 class TestTenantPolicy:
     def test_validation(self):
@@ -232,6 +243,18 @@ class TestWFQDiscipline:
         assert not d.admit("lim", block=False)  # burst spent
         clock.advance(0.1)
         assert d.admit("lim", block=False)
+
+    def test_retry_after_follows_the_refill_rate(self):
+        clock = FakeClock()
+        d = WFQDiscipline(
+            {"lim": TenantPolicy(rate_qps=10.0, burst=1)}, clock=clock
+        )
+        assert d.retry_after_s("anyone") is None  # unmetered: no schedule
+        assert d.retry_after_s("lim") == 0.0  # bucket starts full
+        assert d.admit("lim", block=False)
+        assert d.retry_after_s("lim") == pytest.approx(0.1)  # 1 token at 10/s
+        clock.advance(0.04)
+        assert d.retry_after_s("lim") == pytest.approx(0.06)
 
     def test_drain_reset_regardless_of_final_lane(self):
         """Whenever the system drains, flow state and the virtual clock
@@ -414,8 +437,11 @@ class TestEngineIntegration:
         ) as eng:
             assert eng.search(queries[0], K, NPROBE, tenant="metered").ids.shape
             assert eng.search(queries[0], K, NPROBE, tenant="metered").ids.shape
-            with pytest.raises(QuotaExceededError, match="metered"):
+            with pytest.raises(QuotaExceededError, match="metered") as exc_info:
                 eng.submit(queries[0], K, NPROBE, tenant="metered")
+            # The shed carries the bucket's refill time: 2 tokens burned
+            # at 1 qps means ~1 s until the next (minus elapsed serving).
+            assert exc_info.value.retry_after_s == pytest.approx(1.0, abs=0.5)
             # Other tenants are unaffected by the metered tenant's shed.
             assert eng.search(queries[1], K, NPROBE, tenant="free").ids.shape
         snap = eng.metrics.snapshot()

@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.sim.pipeline import simulate_pipeline
 
-pos = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+# Subnormals excluded: a denormal cycle count (~5e-324) underflows to 0
+# under the frequency division, voiding the exact-rescaling property for
+# inputs no real occupancy model produces.
+pos = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_subnormal=False
+)
 
 
 @st.composite

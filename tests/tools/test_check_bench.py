@@ -105,3 +105,97 @@ class TestMainWarnOnly:
         )
         assert rc == 0
         assert report.read_text().startswith("benchmark drift vs HEAD")
+
+
+class TestHistory:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        check_bench.append_history(
+            path, {"BENCH_a.json": {"qps": 100.0}}, commit="aaa", timestamp=1.0
+        )
+        check_bench.append_history(
+            path, {"BENCH_a.json": {"qps": 110.0}}, commit="bbb", timestamp=2.0
+        )
+        entries = check_bench.load_history(path)
+        assert [e["commit"] for e in entries] == ["aaa", "bbb"]
+        assert entries[1]["files"]["BENCH_a.json"]["qps"] == 110.0
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        """A truncated artifact tail must not poison later appends."""
+        path = tmp_path / "hist.jsonl"
+        check_bench.append_history(
+            path, {"BENCH_a.json": {"qps": 1.0}}, commit="aaa"
+        )
+        with path.open("a") as fh:
+            fh.write('{"commit": "bbb", "files": {"BENCH_a.js')  # cut mid-line
+        assert len(check_bench.load_history(path)) == 1
+        check_bench.append_history(
+            path, {"BENCH_a.json": {"qps": 2.0}}, commit="ccc"
+        )
+        # The corrupt line also breaks "ccc" (no newline before it), so
+        # only further intact appends land — the file stays usable.
+        check_bench.append_history(
+            path, {"BENCH_a.json": {"qps": 3.0}}, commit="ddd"
+        )
+        entries = check_bench.load_history(path)
+        assert [e["commit"] for e in entries] == ["aaa", "ddd"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert check_bench.load_history(tmp_path / "none.jsonl") == []
+
+    def test_format_history_shows_series_and_drift(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        for i, (commit, qps) in enumerate(
+            [("aaa", 100.0), ("bbb", 98.0), ("ccc", 96.0)]
+        ):
+            check_bench.append_history(
+                path, {"BENCH_a.json": {"qps": qps, "p99_us": 10.0 + i}},
+                commit=commit, timestamp=float(i),
+            )
+        text = check_bench.format_history(check_bench.load_history(path))
+        assert "aaa -> bbb -> ccc" in text
+        assert "100.0 | 98.0 | 96.0" in text
+        # The slow-drift signal: small per-run, visible vs first.
+        assert "-2.0% vs prev" in text
+        assert "-4.0% vs first" in text
+
+    def test_format_history_handles_metric_gaps(self):
+        """A metric added mid-history shows '-' for runs without it."""
+        entries = [
+            {"commit": "aaa", "files": {"BENCH_a.json": {"qps": 1.0}}},
+            {"commit": "bbb", "files": {"BENCH_a.json": {"qps": 2.0, "p99": 5.0}}},
+        ]
+        text = check_bench.format_history(entries)
+        assert "- | 5.0" in text
+
+    def test_trend_window_bounded_to_newest_runs(self):
+        entries = [
+            {"commit": f"c{i}", "files": {"BENCH_a.json": {"qps": float(i)}}}
+            for i in range(20)
+        ]
+        text = check_bench.format_history(entries, max_runs=4)
+        header = text.split("\n")[0]
+        assert header == "trend over 4 run(s): c16 -> c17 -> c18 -> c19"
+
+    def test_main_with_history_appends_and_prints_trend(self, tmp_path, capsys):
+        hist = tmp_path / "bench_history.jsonl"
+        for _ in range(2):
+            rc = check_bench.main(
+                [str(REPO_ROOT / "BENCH_serve.json"), "--history", str(hist)]
+            )
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench history" in out and "2 recorded run(s)" in out
+        assert len(check_bench.load_history(hist)) == 2
+
+    def test_history_included_in_report_file(self, tmp_path):
+        hist = tmp_path / "hist.jsonl"
+        report = tmp_path / "drift.txt"
+        rc = check_bench.main(
+            [
+                str(REPO_ROOT / "BENCH_serve.json"),
+                "--history", str(hist), "--report", str(report),
+            ]
+        )
+        assert rc == 0
+        assert "bench history" in report.read_text()

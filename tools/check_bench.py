@@ -16,6 +16,15 @@ It is **warn-only by design**: exit status is 0 regardless of drift
 the build flaky, while a visible report makes regressions reviewable).
 Pass ``--fail-over PCT`` to opt into a hard gate.  Files with no committed
 baseline (a brand-new benchmark) are reported as such, not failed.
+
+Single-commit diffs miss slow drifts — a metric decaying 2% per commit
+never trips any one report.  ``--history PATH`` keeps a rolling record:
+each run appends one JSON line (commit, timestamp, the qps/p99 leaves of
+every benchmark file) to ``PATH`` and prints a trend table over the
+recorded runs.  CI round-trips the file through a ``bench-history``
+artifact, so the record survives across workflow runs::
+
+    python tools/check_bench.py --history bench_history.jsonl
 """
 
 from __future__ import annotations
@@ -25,10 +34,14 @@ import json
 import re
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 #: Default pattern of metric keys worth tracking across runs.
 DEFAULT_METRICS = r"(qps|p99)"
+
+#: Most recent runs shown per metric in the trend table.
+TREND_RUNS = 8
 
 
 def numeric_leaves(obj, prefix: str = "") -> dict[str, float]:
@@ -106,6 +119,111 @@ def format_report(per_file: dict[str, list | None]) -> str:
     return "\n".join(lines)
 
 
+def current_commit(repo_root: Path) -> str:
+    """The commit to stamp history entries with (CI env, then git)."""
+    import os
+
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    proc = subprocess.run(
+        ["git", "rev-parse", "--short=12", "HEAD"],
+        cwd=repo_root, capture_output=True, text=True,
+    )
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def append_history(
+    path: Path,
+    metrics_per_file: dict[str, dict[str, float]],
+    *,
+    commit: str,
+    timestamp: float | None = None,
+) -> dict:
+    """Append one run's metric leaves to the JSONL history; returns the entry.
+
+    The file is append-only JSON-lines so CI can re-upload it as a
+    rolling artifact; a corrupt tail (truncated upload) never poisons
+    subsequent appends.
+    """
+    entry = {
+        "commit": commit,
+        "ts": round(timestamp if timestamp is not None else time.time(), 3),
+        "files": {
+            name: dict(sorted(metrics.items()))
+            for name, metrics in sorted(metrics_per_file.items())
+        },
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    return entry
+
+
+def load_history(path: Path) -> list[dict]:
+    """Parse the JSONL history, skipping unparseable lines (truncated
+    artifact tails) rather than failing the report."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("files"), dict):
+            entries.append(entry)
+    return entries
+
+
+def format_history(entries: list[dict], max_runs: int = TREND_RUNS) -> str:
+    """Render the trend table: per metric, the last ``max_runs`` values.
+
+    The last column shows drift of the newest run vs the previous one and
+    vs the oldest shown — the slow-drift signal single-commit diffs miss.
+    """
+    if not entries:
+        return "(history empty)"
+    window = entries[-max_runs:]
+    commits = [str(e.get("commit", "?"))[:12] for e in window]
+    lines = [
+        f"trend over {len(window)} run(s): " + " -> ".join(commits)
+    ]
+    files = sorted({name for e in window for name in e["files"]})
+    for name in files:
+        lines.append(f"== {name}")
+        metrics = sorted({
+            m for e in window for m in e["files"].get(name, {})
+        })
+        width = max((len(m) for m in metrics), default=0)
+        for metric in metrics:
+            series = [
+                e["files"].get(name, {}).get(metric) for e in window
+            ]
+            cells = " | ".join(
+                "-" if v is None else f"{v:,.1f}" for v in series
+            )
+            present = [v for v in series if v is not None]
+            tail = ""
+            if len(present) >= 2 and series[-1] is not None:
+                prev = next(
+                    (v for v in reversed(series[:-1]) if v is not None), None
+                )
+                drifts = []
+                if prev not in (None, 0):
+                    drifts.append(f"{100 * (series[-1] - prev) / abs(prev):+.1f}% vs prev")
+                if len(present) >= 3 and present[0] != 0:
+                    drifts.append(
+                        f"{100 * (series[-1] - present[0]) / abs(present[0]):+.1f}% vs first"
+                    )
+                if drifts:
+                    tail = "  (" + ", ".join(drifts) + ")"
+            lines.append(f"  {metric:<{width}}  {cells}{tail}")
+    return "\n".join(lines)
+
+
 def committed_json(path: Path, ref: str, repo_root: Path) -> dict | None:
     """The file's parsed content at ``ref``; None if not committed there.
 
@@ -148,6 +266,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the report to this file (CI artifact)",
     )
     parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help=(
+            "append this run's metric leaves to a JSONL history file and "
+            "print a trend table over the recorded runs (CI artifact)"
+        ),
+    )
+    parser.add_argument(
         "--fail-over", type=float, default=None, metavar="PCT",
         help="exit non-zero when any |drift| exceeds PCT (default: warn only)",
     )
@@ -163,16 +288,22 @@ def main(argv: list[str] | None = None) -> int:
         print("no BENCH_*.json files found — run the benchmarks first")
         return 0
 
+    pattern = re.compile(args.metrics, re.IGNORECASE)
     per_file: dict[str, list | None] = {}
+    current_metrics: dict[str, dict[str, float]] = {}
     worst = 0.0
     for path in files:
         current = json.loads(Path(path).read_text())
+        name = Path(path).name
+        current_metrics[name] = {
+            k: v for k, v in numeric_leaves(current).items() if pattern.search(k)
+        }
         baseline = committed_json(Path(path), args.baseline, repo_root)
         if baseline is None:
-            per_file[Path(path).name] = None
+            per_file[name] = None
             continue
         rows = drift_rows(baseline, current, args.metrics)
-        per_file[Path(path).name] = rows
+        per_file[name] = rows
         worst = max(worst, max_abs_drift(rows))
 
     report = format_report(per_file)
@@ -181,6 +312,16 @@ def main(argv: list[str] | None = None) -> int:
         f"(metrics: {args.metrics!r}, worst |drift|: {worst:.1f}%)"
     )
     text = f"{header}\n{report}\n"
+    if args.history:
+        hpath = Path(args.history)
+        append_history(
+            hpath, current_metrics, commit=current_commit(repo_root)
+        )
+        entries = load_history(hpath)
+        text += (
+            f"\nbench history ({hpath.name}, {len(entries)} recorded run(s))\n"
+            f"{format_history(entries)}\n"
+        )
     print(text, end="")
     if args.report:
         Path(args.report).write_text(text)
