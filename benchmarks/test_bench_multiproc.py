@@ -1,0 +1,112 @@
+"""Multi-process data-plane benchmark: mmap shard workers, preselect-once.
+
+Sweeps worker-process counts over one saved index directory
+(:func:`repro.harness.serve_bench.run_multiproc`) and records
+``BENCH_multiproc.json`` at the repo root:
+
+- every worker mmaps the same directory read-only and serves one
+  contiguous shard over the length-prefixed socket protocol;
+- the router computes OPQ/coarse/cell-selection **once per batch** and
+  scatters the plan (preselect frames), so shard count multiplies scan
+  throughput without multiplying coarse work;
+- each sweep point is first checked bit-identical to direct
+  ``IVFPQIndex.search`` through the full socket path, then load-tested
+  closed-loop.
+
+Acceptance: bit-identical answers at every worker count, coarse planned
+exactly once per batch (planner counters), zero failed requests, and —
+**on hosts with >= 4 CPUs** — >= 2.5x QPS at 4 workers over 1.  On
+smaller hosts real parallel scaling cannot physically manifest, so the
+speedup assertion is skipped while the measured ratio and the host CPU
+count are still recorded honestly in the artifact.
+
+Run: ``python -m pytest benchmarks/test_bench_multiproc.py -s``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import serve_bench
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_multiproc.json"
+
+WORKERS = (1, 2, 4)
+N_CLIENTS = 8
+N_REQUESTS = 240
+#: The >= 2.5x acceptance target at 4 workers, asserted only when the
+#: host has enough CPUs for real parallelism.
+SPEEDUP_TARGET = 2.5
+MIN_CPUS_FOR_SCALING = 4
+
+
+def _row_record(row) -> dict:
+    r = row.report
+    return {
+        "workers": row.workers,
+        "qps": round(r.achieved_qps, 1),
+        "p50_us": round(r.total.p50_us, 1),
+        "p99_us": round(r.total.p99_us, 1),
+        "mean_batch": round(r.mean_batch_size, 2),
+        "completed": r.n_completed,
+        "issued": r.n_issued,
+        "errors": r.n_errors,
+        "coarse_runs": row.preselect_batches,
+        "planned_queries": row.preselect_queries,
+        "scatter_bytes": row.scatter_bytes,
+        "worker_codes_scanned": row.worker_codes_scanned,
+    }
+
+
+def test_multiproc_scaling_with_preselect_once_scatter():
+    result = serve_bench.run_multiproc(
+        workers=WORKERS, n_clients=N_CLIENTS, n_requests=N_REQUESTS
+    )
+
+    # Functional agreement first — a fast wrong answer is not a speedup.
+    assert result.bit_identical, (
+        "scatter-gather through worker processes diverged from direct search"
+    )
+    # The tentpole invariant: coarse quantization ran once per batch at
+    # the router, for every worker count (planner counters, not timing).
+    assert result.coarse_once, (
+        "preselect planner counters do not match the batch/request counts"
+    )
+
+    speedup = result.speedup(WORKERS[-1]) if len(WORKERS) > 1 else 1.0
+    record = {
+        "benchmark": "multiproc_serve",
+        "params": result.params,
+        "bit_identical_through_workers": result.bit_identical,
+        "coarse_once_per_batch": result.coarse_once,
+        "rows": [_row_record(r) for r in result.rows],
+        "host_cpus": result.host_cpus,
+        f"speedup_qps_{WORKERS[-1]}w_over_1w": round(speedup, 3),
+        "speedup_asserted": result.host_cpus >= MIN_CPUS_FOR_SCALING,
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{result.format()}\n-> {ARTIFACT.name}")
+
+    # Every request at every sweep point completed; none failed.
+    for row in result.rows:
+        assert row.report.n_errors == 0, (
+            f"{row.report.n_errors} failed requests at {row.workers} workers"
+        )
+        assert row.report.n_completed == row.report.n_issued
+
+    # Real parallel scaling needs real CPUs; on a 1-2 core runner the
+    # workers time-slice one core and the ratio is meaningless, so the
+    # bound is only enforced where it can physically hold.
+    if result.host_cpus < MIN_CPUS_FOR_SCALING:
+        pytest.skip(
+            f"host has {result.host_cpus} CPUs (< {MIN_CPUS_FOR_SCALING}); "
+            f"measured {speedup:.2f}x at {WORKERS[-1]} workers, recorded "
+            f"in {ARTIFACT.name} without asserting the scaling bound"
+        )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"{WORKERS[-1]} workers reached only {speedup:.2f}x the 1-worker "
+        f"QPS on {result.host_cpus} CPUs (target {SPEEDUP_TARGET}x)"
+    )

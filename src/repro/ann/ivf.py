@@ -51,6 +51,12 @@ class IVFStats:
     n_queries: int = 0
     cells_scanned: int = 0
     codes_scanned: int = 0
+    #: Coarse-quantization (OPQ + IVFDist + SelCells) invocations.  In a
+    #: preselect-once scatter topology the *router's* counters grow while
+    #: every shard's stay at zero — the observable proof that the coarse
+    #: stage ran once per batch regardless of shard count.
+    preselect_batches: int = 0
+    preselect_queries: int = 0
 
     @property
     def codes_per_query(self) -> float:
@@ -280,7 +286,11 @@ class IVFPQIndex:
         centroids, pq = self._require_trained()
         nq, nprobe = probed.shape
         if self.by_residual:
-            residuals = queries_t[:, None, :] - centroids[probed]  # (nq, nprobe, d)
+            # -1-padded slots (cells pruned for this shard) still get a
+            # table built against centroid 0 — it is never consumed, the
+            # padded pair scans zero codes — but must not index negative.
+            cells = np.maximum(probed, 0)
+            residuals = queries_t[:, None, :] - centroids[cells]  # (nq, nprobe, d)
             luts = pq.build_luts(residuals.reshape(nq * nprobe, self.d))
             return luts.reshape(nq, nprobe, self.m, self.ksub)
         luts = pq.build_luts(queries_t)  # (nq, m, ksub)
@@ -302,7 +312,11 @@ class IVFPQIndex:
         lists = self.invlists
         nq, nprobe = probed.shape
         sizes = lists.sizes
-        pair_sizes = sizes[probed]  # (nq, nprobe)
+        # ``-1`` entries are pruned slots (cells empty on this shard):
+        # they contribute zero candidates, so the flat gather below skips
+        # them through their zero pair count.
+        safe_cells = np.where(probed >= 0, probed, 0)
+        pair_sizes = np.where(probed >= 0, sizes[safe_cells], 0)  # (nq, nprobe)
         bounds = np.zeros(nq + 1, dtype=np.int64)
         np.cumsum(pair_sizes.sum(axis=1), out=bounds[1:])
         total = int(bounds[-1])
@@ -316,7 +330,10 @@ class IVFPQIndex:
         run_starts = np.cumsum(counts) - counts
         # Candidate ids resolve with one flat gather over the packed array:
         # candidate e of pair p is packed element starts[cell_p] + offset.
-        elem = np.repeat(lists.starts[flat_cells] - run_starts, counts) + np.arange(total)
+        elem = (
+            np.repeat(lists.starts[safe_cells.ravel()] - run_starts, counts)
+            + np.arange(total)
+        )
         out_i = np.asarray(lists.ids)[elem]
         # Group (query, cell) pairs by cell: one vectorized ADC per slab.
         order = np.argsort(flat_cells, kind="stable")
@@ -333,6 +350,8 @@ class IVFPQIndex:
         jj = np.arange(self.m)[None, :]
         for g0, g1 in zip(group_bounds[:-1], group_bounds[1:]):
             cell = int(sorted_cells[g0])
+            if cell < 0:
+                continue  # pruned slots: no candidates by construction
             nc = int(sizes[cell])
             if nc == 0:
                 continue
@@ -444,15 +463,36 @@ class IVFPQIndex:
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        queries_t = self.stage_opq(queries)
-        cell_dists = self.stage_ivf_dist(queries_t)
-        probed = self.stage_select_cells(cell_dists, nprobe)
+        queries_t, probed = self.preselect(queries, nprobe)
         out_ids, out_dists, codes_scanned = self.search_preselected(queries_t, probed, k)
         nq = queries_t.shape[0]
         self.stats.n_queries += nq
         self.stats.cells_scanned += nq * nprobe
         self.stats.codes_scanned += codes_scanned
         return out_ids, out_dists
+
+    def preselect(
+        self, queries: np.ndarray, nprobe: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The host-side coarse plan: OPQ + IVFDist + SelCells, exported.
+
+        Returns ``(queries_t, probed)`` — the rotated queries and the
+        ``(nq, nprobe)`` probed cell ids — exactly the inputs
+        :meth:`search_preselected` consumes.  Shards of a partitioned
+        index share the trained quantizers, so a router computes this
+        plan **once** per batch and scatters it to every shard instead
+        of each shard redoing identical coarse work
+        (:class:`repro.serve.routing.ShardedBackend` with a planner).
+        The ``preselect_batches`` / ``preselect_queries`` stats counters
+        record every invocation (including the ones inside
+        :meth:`search`), making coarse-once topologies observable.
+        """
+        queries_t = self.stage_opq(queries)
+        cell_dists = self.stage_ivf_dist(queries_t)
+        probed = self.stage_select_cells(cell_dists, nprobe)
+        self.stats.preselect_batches += 1
+        self.stats.preselect_queries += queries_t.shape[0]
+        return queries_t, probed
 
     def lut_block_queries(self, nprobe: int) -> int:
         """Queries per block such that one block's LUT tensor stays bounded
@@ -484,6 +524,43 @@ class IVFPQIndex:
             )
             codes_scanned += int(bounds[-1])
         return out_ids, out_dists, codes_scanned
+
+    def search_batch_preselected(
+        self, queries_t: np.ndarray, probed: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serving entry for a router-computed preselect plan.
+
+        The shard-side half of the preselect-once scatter: validates the
+        plan, runs the fused BuildLUT + PQDist + SelK scan over this
+        index's (shard's) data, and updates the workload stats.  ``-1``
+        entries in ``probed`` are pruned slots (cells the router knows
+        are empty on this shard) and scan nothing.  Results are
+        bit-identical to :meth:`search` when the plan came from
+        :meth:`preselect` on an index sharing these quantizers.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries_t = np.ascontiguousarray(np.atleast_2d(queries_t), dtype=np.float32)
+        if queries_t.shape[1] != self.d:
+            raise ValueError(f"expected dim {self.d}, got {queries_t.shape[1]}")
+        probed = np.ascontiguousarray(np.atleast_2d(probed), dtype=np.int64)
+        if probed.shape[0] != queries_t.shape[0]:
+            raise ValueError(
+                f"probed rows ({probed.shape[0]}) != queries rows "
+                f"({queries_t.shape[0]})"
+            )
+        if probed.size == 0 or probed.max() >= self.nlist:
+            raise ValueError(
+                f"probed cells must lie in [-1, nlist={self.nlist})"
+            )
+        out_ids, out_dists, codes_scanned = self.search_preselected(
+            queries_t, probed, k
+        )
+        nq = queries_t.shape[0]
+        self.stats.n_queries += nq
+        self.stats.cells_scanned += int((probed >= 0).sum())
+        self.stats.codes_scanned += codes_scanned
+        return out_ids, out_dists
 
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int | None = None

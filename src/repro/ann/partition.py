@@ -27,9 +27,16 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.ann.ivf import IVFPQIndex, IVFStats
 
-__all__ = ["partition_index", "replicate_index"]
+__all__ = [
+    "partition_index",
+    "prune_probed_cells",
+    "replicate_index",
+    "shard_cell_sizes",
+]
 
 
 def partition_index(index: IVFPQIndex, n_parts: int) -> list[IVFPQIndex]:
@@ -53,6 +60,42 @@ def partition_index(index: IVFPQIndex, n_parts: int) -> list[IVFPQIndex]:
         )
         for part in range(n_parts)
     ]
+
+
+def shard_cell_sizes(sizes: np.ndarray, part: int, n_parts: int) -> np.ndarray:
+    """Per-cell sizes of shard ``part`` of ``n_parts``, computed locally.
+
+    Mirrors :meth:`repro.ann.invlists.PackedInvLists.shard`'s slicing
+    arithmetic (``lo = starts + (sizes * part) // n``), so a router can
+    derive any shard's cell occupancy from the *unpartitioned* index's
+    sizes alone — no data transfer, no shard handle.  That is what lets
+    the preselect-once scatter prune each shard's cell list without ever
+    asking the shard.
+    """
+    if n_parts < 1:
+        raise ValueError(f"n_parts must be >= 1, got {n_parts}")
+    if not 0 <= part < n_parts:
+        raise ValueError(f"part must be in [0, {n_parts}), got {part}")
+    sizes = np.asarray(sizes, dtype=np.int64)
+    return (sizes * (part + 1)) // n_parts - (sizes * part) // n_parts
+
+
+def prune_probed_cells(probed: np.ndarray, cell_sizes: np.ndarray) -> np.ndarray:
+    """Replace probed cells that are empty under ``cell_sizes`` with ``-1``.
+
+    The router-side half of per-shard cell-subset scatter: given one
+    batch's (nq, nprobe) preselect plan and a shard's per-cell sizes,
+    mark the slots that shard cannot contribute to (its slice of the
+    cell is empty) so the worker skips their LUT/scan work entirely.
+    Slot order is preserved — the scan's candidate order, and therefore
+    the bit-exact merge, is unchanged.
+    """
+    probed = np.atleast_2d(np.asarray(probed, dtype=np.int64))
+    cell_sizes = np.asarray(cell_sizes, dtype=np.int64)
+    keep = probed >= 0
+    safe = np.where(keep, probed, 0)
+    keep &= cell_sizes[safe] > 0
+    return np.where(keep, probed, -1)
 
 
 def replicate_index(index: IVFPQIndex, n_replicas: int) -> list[IVFPQIndex]:

@@ -18,12 +18,17 @@ replicated, sharded serving matrix over simulated accelerator devices;
 with ``--qos`` it runs the multi-tenant QoS matrix (noisy-neighbor
 isolation under weighted fair queueing + admission quotas, and the
 adaptive batch window against fixed windows); with ``--async`` it sweeps
-connection counts over the thread-based vs asyncio socket front ends::
+connection counts over the thread-based vs asyncio socket front ends;
+with ``--workers`` it sweeps worker-process counts over the
+multi-process data plane (mmap shard workers + preselect-once scatter —
+the only mode whose scaling needs real CPU cores)::
 
     python -m repro.harness.cli serve-bench
     python -m repro.harness.cli serve-bench --replicas 1,2,3 --shards 1,2,4
     python -m repro.harness.cli serve-bench --qos --tenants 2 --slo-us 40000
     python -m repro.harness.cli serve-bench --async --connections 64,512,4096
+    python -m repro.harness.cli serve-bench --workers 1,2,4
+    python -m repro.harness.cli serve-bench --workers 1,2 --quick
 
 Every flag is documented in the README's CLI reference table.
 """
@@ -65,7 +70,32 @@ def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
 
 
 def _run_serve_bench(args: argparse.Namespace):
-    """Dispatch serve-bench to the basic, replicated, QoS, or async runner."""
+    """Dispatch serve-bench to the basic, replicated, QoS, async, or
+    multi-process runner."""
+    if args.workers is not None:
+        if (
+            args.async_bench
+            or args.qos
+            or args.replicas is not None
+            or args.shards is not None
+            or args.policy is not None
+            or args.connections is not None
+        ):
+            raise SystemExit(
+                "--workers and --async/--qos/--replicas/--shards/--policy/"
+                "--connections are exclusive modes"
+            )
+        workers = _parse_counts(args.workers, "--workers")
+        overrides = dict(serve_bench.MP_QUICK) if args.quick else {}
+        if args.clients is not None:
+            overrides["n_clients"] = args.clients
+        if args.requests is not None:
+            overrides["n_requests"] = args.requests
+        return serve_bench.run_multiproc(
+            workers=workers, seed=args.seed, **overrides
+        )
+    if args.quick:
+        raise SystemExit("--quick applies to the --workers mode only")
     if args.async_bench:
         if (
             args.qos
@@ -198,6 +228,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="C1,C2,...",
         help="connection counts for the async sweep (default: 64,512,4096)",
+    )
+    serve.add_argument(
+        "--workers",
+        default=None,
+        metavar="N1,N2,...",
+        help=(
+            "worker-process counts for the multi-process data plane sweep "
+            "(mmap shard workers + preselect-once scatter)"
+        ),
+    )
+    serve.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-scale corpus preset for the --workers sweep (CI smoke)",
     )
     serve.add_argument(
         "--seed", type=int, default=0, help="workload seed (default: 0)"

@@ -31,6 +31,16 @@ over a simulated device, threads via :func:`run_closed_loop`, async via
 real localhost TCP through :class:`~repro.serve.aio.VectorSearchServer`
 / :class:`~repro.serve.aio.AsyncClient` speaking the binary protocol.
 
+:func:`run_multiproc` measures the **multi-process data plane**: N
+worker processes (:class:`~repro.serve.workers.WorkerPool`) each mmap
+the same saved index directory and scan their shard with their own GIL,
+while the router runs coarse quantization **once per batch** and ships
+each worker its pruned cell subset over one preselect frame
+(:class:`~repro.serve.routing.ShardedBackend` with a planner).  Unlike
+every other mode here, the workers burn real CPU — QPS scaling with N
+requires actual cores, so the result records the host's CPU count
+alongside the measured curve.
+
 All results are verified bit-identical to direct ``IVFPQIndex.search``
 before any timing is reported — a fast wrong answer is not a speedup.
 """
@@ -38,17 +48,26 @@ before any timing is reported — a fast wrong answer is not a speedup.
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.ann.io import load_index_dir, save_index_dir
 from repro.ann.ivf import IVFPQIndex
 from repro.data.synthetic import make_clustered
 from repro.harness.formatting import format_table
 from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_us
 from repro.net.loggp import point_to_point_us
+from repro.net.wire import (
+    batch_result_frame_bytes,
+    preselect_frame_bytes,
+    result_frame_bytes,
+    search_frame_bytes,
+)
 from repro.serve.aio import AsyncClient, AsyncServingEngine, VectorSearchServer
 from repro.serve.backends import InstrumentedBackend, SimulatedDeviceBackend
 from repro.serve.cache import QueryResultCache
@@ -64,10 +83,13 @@ from repro.serve.metrics import LatencyStats
 from repro.serve.qos import AdaptiveBatchWindow, TenantPolicy, WFQDiscipline
 from repro.serve.routing import build_topology
 from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
+from repro.serve.workers import WorkerPool
 
 __all__ = [
     "AsyncConfigRow",
     "AsyncServeResult",
+    "MultiprocConfigRow",
+    "MultiprocServeResult",
     "QosBenchResult",
     "QosTenantRow",
     "ReplicatedConfigRow",
@@ -78,6 +100,7 @@ __all__ = [
     "build_serving_index",
     "run",
     "run_async",
+    "run_multiproc",
     "run_qos",
     "run_replicated",
 ]
@@ -251,17 +274,28 @@ def device_service_us(batch: int, shards: int) -> float:
 
 
 def device_hop_us(d: int = D, k: int = K) -> float:
-    """LogGP wire time per device call: query in, top-K result out."""
-    return point_to_point_us(4 * d) + point_to_point_us(12 * k)
+    """LogGP wire time per device call: query in, top-K result out.
+
+    Charges full on-wire frame sizes (header + fixed fields + payload,
+    :func:`repro.net.wire.search_frame_bytes` /
+    :func:`~repro.net.wire.result_frame_bytes`), not bare payload bytes —
+    the same framing every byte of the real socket tier pays.
+    """
+    return point_to_point_us(search_frame_bytes(d)) + point_to_point_us(
+        result_frame_bytes(k)
+    )
 
 
 def collective_us(shards: int, d: int = D, k: int = K) -> float:
-    """Modeled binary-tree scatter/gather cost across ``shards`` (0 for 1)."""
+    """Modeled binary-tree scatter/gather cost across ``shards`` (0 for 1).
+
+    Like :func:`device_hop_us`, charges full framed wire sizes.
+    """
     if shards <= 1:
         return 0.0
-    return binary_tree_broadcast_us(shards, 4 * d) + binary_tree_reduce_us(
-        shards, 12 * k
-    )
+    return binary_tree_broadcast_us(
+        shards, search_frame_bytes(d)
+    ) + binary_tree_reduce_us(shards, result_frame_bytes(k))
 
 
 @dataclass(frozen=True)
@@ -1172,5 +1206,235 @@ def run_async(
             "requests_per_conn": requests_per_conn, "thread_cap": thread_cap,
             "async_fill_us": ASYNC_FILL_US,
             "async_per_query_us": ASYNC_PER_QUERY_US,
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Multi-process data plane: mmap shard workers + preselect-once scatter.
+
+#: Multiproc workload shape.  Deliberately scan-heavy (larger corpus,
+#: wider vectors, more PQ segments, deeper probes than the single-process
+#: modes): the point is real CPU work per shard, so that adding worker
+#: processes adds throughput the GIL could never yield in one process.
+MP_N_BASE = 40_000
+MP_D = 48
+MP_NLIST = 128
+MP_M = 16
+MP_KSUB = 32
+MP_K = 10
+MP_NPROBE = 16
+
+#: Seconds-scale preset for CI smoke runs (``--workers`` + ``--quick``).
+MP_QUICK = {"n_base": 6_000, "d": 32, "nlist": 64, "m": 8, "ksub": 32,
+            "nprobe": 8}
+
+
+def host_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class MultiprocConfigRow:
+    """One worker count's measured outcome."""
+
+    workers: int
+    report: LoadReport
+    #: Coarse-stage runs / queries planned at the router during the load
+    #: phase — the preselect-once evidence (queries must equal completed
+    #: requests *regardless of the worker count*).
+    preselect_batches: int
+    preselect_queries: int
+    #: Modeled on-wire bytes of one full-batch scatter to one worker:
+    #: preselect frame out, batched partial-top-K frame back.
+    scatter_bytes: int
+    #: Codes each worker reported scanning (sums to the single-process
+    #: scan count — shards partition the work, they don't repeat it).
+    worker_codes_scanned: list[int]
+
+    def cells(self) -> list:
+        """Row cells for the result table."""
+        r = self.report
+        return [
+            self.workers, r.achieved_qps, r.total.p50_us, r.total.p99_us,
+            r.mean_batch_size, self.preselect_batches,
+            self.preselect_queries, self.scatter_bytes,
+            sum(self.worker_codes_scanned),
+        ]
+
+
+@dataclass
+class MultiprocServeResult:
+    """Outcome of the worker-count sweep over the multi-process plane."""
+
+    rows: list[MultiprocConfigRow]
+    bit_identical: bool
+    coarse_once: bool
+    n_clients: int
+    n_requests: int
+    host_cpus: int
+    params: dict = field(default_factory=dict)
+
+    def row(self, workers: int) -> MultiprocConfigRow:
+        """The sweep point measured at ``workers`` processes."""
+        for r in self.rows:
+            if r.workers == workers:
+                return r
+        raise KeyError(
+            f"no measured point at workers={workers}; measured: "
+            f"{[r.workers for r in self.rows]}"
+        )
+
+    def speedup(self, workers: int) -> float:
+        """QPS at ``workers`` processes over the 1-worker point."""
+        return (
+            self.row(workers).report.achieved_qps
+            / max(self.row(1).report.achieved_qps, 1e-9)
+        )
+
+    def format(self) -> str:
+        """Human-readable sweep table plus the headline scaling numbers."""
+        table = format_table(
+            ["workers", "QPS", "p50_us", "p99_us", "mean_batch",
+             "coarse_runs", "planned_q", "scatter_B", "codes_scanned"],
+            [r.cells() for r in self.rows],
+            title=(
+                f"multiproc serve: closed loop, {self.n_clients} clients, "
+                f"{self.n_requests} requests/config, {self.host_cpus} host "
+                f"CPUs (bit-identical to direct search: {self.bit_identical}; "
+                f"coarse ran once per batch: {self.coarse_once})"
+            ),
+        )
+        lines = [table]
+        counts = sorted(r.workers for r in self.rows)
+        if len(counts) > 1 and counts[0] == 1:
+            top = counts[-1]
+            lines.append(
+                f"\n\n{top} workers: {self.speedup(top):.2f}x QPS of 1 worker "
+                f"on {self.host_cpus} CPUs"
+            )
+            if self.host_cpus < top:
+                lines.append(
+                    f" (host has fewer CPUs than workers — scaling is "
+                    f"GIL-relief only, not real parallelism)"
+                )
+        return "".join(lines)
+
+
+def run_multiproc(
+    ctx=None,
+    *,
+    workers: tuple[int, ...] = (1, 2, 4),
+    n_clients: int = 8,
+    n_requests: int = 240,
+    max_batch: int = 16,
+    max_wait_us: float = 500.0,
+    n_base: int = MP_N_BASE,
+    d: int = MP_D,
+    nlist: int = MP_NLIST,
+    m: int = MP_M,
+    ksub: int = MP_KSUB,
+    k: int = MP_K,
+    nprobe: int = MP_NPROBE,
+    seed: int = 0,
+) -> MultiprocServeResult:
+    """Measure the multi-process data plane across worker counts.
+
+    One index is trained and saved to a temporary directory; every sweep
+    point spawns a fresh :class:`~repro.serve.workers.WorkerPool` of N
+    processes over that directory (each mmaps the same physical arrays)
+    and serves the same closed-loop load through a router-side
+    :class:`~repro.serve.scheduler.ServingEngine` over
+    ``pool.sharded_backend(preselect=planner)`` — so every micro-batch
+    is coarse-quantized once at the router and scattered as pruned cell
+    subsets, and the workers spend their CPUs purely on LUT + scan work
+    (ctx unused; the index is self-built).
+
+    Before timing, each sweep point's scatter answers are compared bit
+    for bit against direct ``IVFPQIndex.search``; after timing, the
+    planner's stage counters must show exactly one coarse run per
+    dispatched batch and one planned query per completed request.
+    """
+    if any(w < 1 for w in workers):
+        raise ValueError(f"worker counts must be >= 1, got {workers}")
+    index, queries = build_serving_index(
+        n_base=n_base, d=d, nlist=nlist, m=m, ksub=ksub, seed=seed
+    )
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+
+    rows: list[MultiprocConfigRow] = []
+    bit_identical = True
+    coarse_once = True
+    with tempfile.TemporaryDirectory(prefix="repro-multiproc-") as tmp:
+        save_index_dir(index, tmp)
+        for n in workers:
+            # Fresh planner per point: its stage counters are this
+            # point's coarse-once evidence.
+            planner = load_index_dir(tmp, mmap=True)
+            with WorkerPool(
+                tmp, n, max_batch=max_batch, max_wait_us=0.0
+            ) as pool:
+                router = pool.sharded_backend(preselect=planner)
+                got_ids, got_dists = router.search_batch(queries, k, nprobe)
+                bit_identical &= bool(
+                    np.array_equal(got_ids, ref_ids)
+                    and np.array_equal(got_dists, ref_dists)
+                )
+                # Timing starts here: counter baselines exclude the
+                # verification pass above.
+                b0 = planner.stats.preselect_batches
+                q0 = planner.stats.preselect_queries
+                s0 = router.preselect_scatters
+                c0 = [b.codes_scanned for b in router.shards]
+                with ServingEngine(
+                    router,
+                    max_batch=max_batch,
+                    max_wait_us=max_wait_us,
+                    dispatchers=2,
+                ) as engine:
+                    report = run_closed_loop(
+                        engine, queries, k, nprobe,
+                        n_clients=n_clients, n_requests=n_requests,
+                    )
+                planned_batches = planner.stats.preselect_batches - b0
+                planned_queries = planner.stats.preselect_queries - q0
+                coarse_once &= (
+                    planned_batches == router.preselect_scatters - s0
+                    and planned_queries == report.n_completed
+                )
+                rows.append(
+                    MultiprocConfigRow(
+                        workers=n,
+                        report=report,
+                        preselect_batches=planned_batches,
+                        preselect_queries=planned_queries,
+                        scatter_bytes=(
+                            preselect_frame_bytes(max_batch, nprobe, d)
+                            + batch_result_frame_bytes(max_batch, k)
+                        ),
+                        worker_codes_scanned=[
+                            b.codes_scanned - c for b, c in
+                            zip(router.shards, c0)
+                        ],
+                    )
+                )
+
+    return MultiprocServeResult(
+        rows=rows,
+        bit_identical=bit_identical,
+        coarse_once=coarse_once,
+        n_clients=n_clients,
+        n_requests=n_requests,
+        host_cpus=host_cpus(),
+        params={
+            "n_base": n_base, "d": d, "nlist": nlist, "m": m, "ksub": ksub,
+            "k": k, "nprobe": nprobe, "max_batch": max_batch,
+            "max_wait_us": max_wait_us, "workers": list(workers),
+            "n_clients": n_clients, "n_requests": n_requests,
+            "host_cpus": host_cpus(),
         },
     )

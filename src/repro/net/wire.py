@@ -30,14 +30,18 @@ __all__ = [
     "ERR_INTERNAL",
     "ERR_QUOTA",
     "ERR_SHED",
+    "FRAME_BATCH_RESULT",
     "FRAME_ERROR",
     "FRAME_HEADER",
+    "FRAME_PRESELECT",
     "FRAME_RESULT",
     "FRAME_SEARCH",
     "MAX_FRAME_BYTES",
     "WIRE_MAGIC",
     "WIRE_VERSION",
+    "batch_result_frame_bytes",
     "error_frame_bytes",
+    "preselect_frame_bytes",
     "result_frame_bytes",
     "search_frame_bytes",
 ]
@@ -54,6 +58,8 @@ FRAME_HEADER = struct.Struct("<HBBI")
 FRAME_SEARCH = 0x01  # client -> server: one query
 FRAME_RESULT = 0x02  # server -> client: one answer
 FRAME_ERROR = 0x03  # server -> client: shed / quota / failure
+FRAME_PRESELECT = 0x04  # router -> shard worker: preselected query batch
+FRAME_BATCH_RESULT = 0x05  # shard worker -> router: batched partial top-K
 
 #: Upper bound on any payload; a corrupt or hostile length prefix must
 #: never make a peer buffer gigabytes (a 4096-d f32 query is ~16 KiB).
@@ -74,6 +80,14 @@ RESULT_FIXED = struct.Struct("<IHBIfff")
 #: Fixed part of an error payload: request_id u32, code u8,
 #: retry_after_s f32, message_len u16.
 ERROR_FIXED = struct.Struct("<IBfH")
+#: Fixed part of a preselect payload: request_id u32, k u16, flags u8,
+#: nq u32, nprobe u16, d u32.  Followed by the (nq, nprobe) i32 probed
+#: cell ids (-1 pads pruned slots) and the (nq, d) f32 rotated queries.
+PRESELECT_FIXED = struct.Struct("<IHBIHI")
+#: Fixed part of a batch-result payload: request_id u32, nq u32, k u16,
+#: flags u8, exec_us f32, codes_scanned u64.  Followed by the (nq, k)
+#: i64 ids and the (nq, k) f32 distances.
+BATCH_RESULT_FIXED = struct.Struct("<IIHBfQ")
 
 
 def search_frame_bytes(d: int, tenant_bytes: int = 0) -> int:
@@ -93,3 +107,29 @@ def result_frame_bytes(k: int) -> int:
 def error_frame_bytes(message_bytes: int = 0) -> int:
     """Total on-wire bytes of one error frame with a ``message_bytes`` text."""
     return FRAME_HEADER.size + ERROR_FIXED.size + message_bytes
+
+
+def preselect_frame_bytes(nq: int, nprobe: int, d: int) -> int:
+    """Total on-wire bytes of one preselect-scatter frame.
+
+    The frame the router sends each shard worker: ``nq`` rotated f32
+    queries plus the ``(nq, nprobe)`` i32 preselected cell list — the
+    *real* scatter payload the preselect-once data plane puts on the
+    wire, so the LogGP/TCP models charge cell lists, not just vectors.
+    """
+    if nq < 1:
+        raise ValueError(f"nq must be >= 1, got {nq}")
+    if nprobe < 1:
+        raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    return FRAME_HEADER.size + PRESELECT_FIXED.size + 4 * nq * nprobe + 4 * nq * d
+
+
+def batch_result_frame_bytes(nq: int, k: int) -> int:
+    """Total on-wire bytes of one batched partial-top-K result frame."""
+    if nq < 1:
+        raise ValueError(f"nq must be >= 1, got {nq}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return FRAME_HEADER.size + BATCH_RESULT_FIXED.size + 12 * nq * k

@@ -32,6 +32,14 @@ futures onto the event loop), :class:`VectorSearchServer` /
 :mod:`repro.serve.protocol`, whose framing constants are shared with the
 hardware network models via :mod:`repro.net.wire`) — one process holding
 thousands of open connections over the same batching engine.
+
+The multi-process data plane lives in :mod:`repro.serve.workers`:
+:class:`WorkerPool` spawns one OS process per shard, each memory-mapping
+the same saved index directory read-only and serving the binary protocol,
+and :class:`RemoteBackend` plugs those worker sockets into
+:class:`ShardedBackend` — including the preselect-once scatter, where the
+router runs coarse quantization once per batch and ships each worker its
+pruned cell subset over a single preselect frame.
 """
 
 from repro.serve.aio import (
@@ -81,6 +89,7 @@ from repro.serve.scheduler import (
     ServeResult,
     ServingEngine,
 )
+from repro.serve.workers import RemoteBackend, WorkerInfo, WorkerPool
 
 __all__ = [
     "AdaptiveBatchWindow",
@@ -94,6 +103,7 @@ __all__ = [
     "MetricsSnapshot",
     "QueryResultCache",
     "QuotaExceededError",
+    "RemoteBackend",
     "RemoteServeError",
     "ReplicaSet",
     "SearchBackend",
@@ -107,6 +117,8 @@ __all__ = [
     "TenantWorkload",
     "TokenBucket",
     "WFQDiscipline",
+    "WorkerInfo",
+    "WorkerPool",
     "backend_coverage",
     "build_topology",
     "class_label",

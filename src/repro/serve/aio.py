@@ -48,6 +48,8 @@ for bit.
 from __future__ import annotations
 
 import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -56,15 +58,19 @@ from repro.net.wire import (
     ERR_QUOTA,
     ERR_SHED,
     FRAME_ERROR,
+    FRAME_PRESELECT,
     FRAME_RESULT,
     FRAME_SEARCH,
 )
 from repro.serve.protocol import (
+    PreselectFrame,
     ProtocolError,
     SearchFrame,
     decode_error,
+    decode_preselect,
     decode_result,
     decode_search,
+    encode_batch_result,
     encode_error,
     encode_result,
     encode_search,
@@ -220,6 +226,25 @@ class VectorSearchServer:
         :attr:`address` after :meth:`start`).
     backlog : listen backlog — size it to the expected connection storm
         (an accept burst beyond it retries in the kernel, slowly).
+    preselect_backend : optional backend exposing
+        ``search_batch_preselected(queries_t, probed, k)`` (an
+        :class:`~repro.ann.ivf.IVFPQIndex` shard view).  When set, the
+        server additionally accepts **preselect frames** — a router's
+        already-coarse-quantized query batch plus per-shard cell subset
+        — and answers each with one batch-result frame.  Preselect
+        batches bypass the engine's admission queue (they arrive
+        pre-batched from a trusted router, not from open clients) and
+        run on a dedicated single-thread executor, upholding the
+        index's single-searcher contract; give the engine its own
+        replica view (:func:`repro.ann.partition.replicate_index`) so
+        the two paths never share one index object.
+
+    **Connection metrics.**  The engine's metrics registry additionally
+    records this front end's per-connection traffic: the
+    ``connections_opened`` / ``frames_in`` / ``frames_out`` /
+    ``protocol_errors`` counters and the ``connections_open`` /
+    ``connections_peak`` gauges, all visible in
+    :meth:`~repro.serve.metrics.MetricsRegistry.snapshot`.
     """
 
     def __init__(
@@ -229,6 +254,7 @@ class VectorSearchServer:
         port: int = 0,
         *,
         backlog: int = 1024,
+        preselect_backend=None,
     ):
         self.aengine = (
             engine
@@ -238,9 +264,16 @@ class VectorSearchServer:
         self.host = host
         self.port = port
         self.backlog = backlog
+        self.preselect_backend = preselect_backend
+        #: The engine's registry; this front end adds connection traffic.
+        self.metrics = self.aengine.engine.metrics
         self._server: asyncio.AbstractServer | None = None
         #: Open-connection registry: handler task -> its stream writer.
         self._conns: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        #: Serializes preselect scans (single-searcher index contract).
+        self._pre_pool: ThreadPoolExecutor | None = None
+        self._open = 0
+        self._peak = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -278,6 +311,9 @@ class VectorSearchServer:
             writer.close()
         if conns:
             await asyncio.gather(*conns.keys(), return_exceptions=True)
+        if self._pre_pool is not None:
+            self._pre_pool.shutdown(wait=False)
+            self._pre_pool = None
 
     async def __aenter__(self) -> "VectorSearchServer":
         """Async context entry: start listening."""
@@ -295,6 +331,14 @@ class VectorSearchServer:
         conn = asyncio.current_task()
         if conn is not None:
             self._conns[conn] = writer
+        m = self.metrics
+        # The handler runs on the event loop, so _open/_peak mutate
+        # single-threaded; the registry copies them out as gauges.
+        self._open += 1
+        self._peak = max(self._peak, self._open)
+        m.inc("connections_opened")
+        m.set_gauge("connections_open", self._open)
+        m.max_gauge("connections_peak", self._peak)
         tasks: set[asyncio.Task] = set()
         # Serializes frame writes: interleaved drain() calls from
         # concurrent request tasks are not allowed on one transport.
@@ -304,17 +348,31 @@ class VectorSearchServer:
                 try:
                     frame = await read_frame(reader)
                 except ProtocolError:
+                    m.inc("protocol_errors")
                     break  # garbage or mid-frame EOF: drop the connection
                 if frame is None:
                     break  # clean close
                 ftype, payload = frame
-                if ftype != FRAME_SEARCH:
-                    break  # clients may only send search frames
                 try:
-                    req = decode_search(payload)
+                    if ftype == FRAME_SEARCH:
+                        req = decode_search(payload)
+                        coro = self._serve_one(req, writer, wlock)
+                    elif (
+                        ftype == FRAME_PRESELECT
+                        and self.preselect_backend is not None
+                    ):
+                        req = decode_preselect(payload)
+                        coro = self._serve_preselect(req, writer, wlock)
+                    else:
+                        # Response frames (or preselect at a server not
+                        # configured for it) are not valid client traffic.
+                        m.inc("protocol_errors")
+                        break
                 except ProtocolError:
+                    m.inc("protocol_errors")
                     break
-                task = asyncio.create_task(self._serve_one(req, writer, wlock))
+                m.inc("frames_in")
+                task = asyncio.create_task(coro)
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         finally:
@@ -332,6 +390,8 @@ class VectorSearchServer:
                 pass
             if conn is not None:
                 self._conns.pop(conn, None)
+            self._open -= 1
+            m.set_gauge("connections_open", self._open)
 
     async def _serve_one(
         self, req: SearchFrame, writer: asyncio.StreamWriter, wlock: asyncio.Lock
@@ -366,6 +426,62 @@ class VectorSearchServer:
             async with wlock:
                 writer.write(frame)
                 await writer.drain()
+            self.metrics.inc("frames_out")
+        except (ConnectionError, OSError):
+            pass  # peer vanished between compute and write; nothing to do
+
+    def _preselect_executor(self) -> ThreadPoolExecutor:
+        """The lazily-created single-thread preselect scan executor."""
+        if self._pre_pool is None:
+            self._pre_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="preselect-scan"
+            )
+        return self._pre_pool
+
+    async def _serve_preselect(
+        self, req: PreselectFrame, writer: asyncio.StreamWriter, wlock: asyncio.Lock
+    ) -> None:
+        """Serve one preselect batch: scan off-loop, write one frame.
+
+        The scan runs on the dedicated single-thread executor, so
+        concurrent preselect frames (and the engine's own dispatcher,
+        which owns a *different* replica view) never violate the
+        index's single-searcher contract.
+        """
+        backend = self.preselect_backend
+
+        def scan() -> tuple[np.ndarray, np.ndarray, int, float]:
+            stats = getattr(backend, "stats", None)
+            c0 = stats.codes_scanned if stats is not None else 0
+            t0 = time.perf_counter()
+            ids, dists = backend.search_batch_preselected(
+                req.queries_t, req.probed, req.k
+            )
+            exec_us = (time.perf_counter() - t0) * 1e6
+            c1 = stats.codes_scanned if stats is not None else 0
+            return ids, dists, c1 - c0, exec_us
+
+        try:
+            loop = asyncio.get_running_loop()
+            ids, dists, codes, exec_us = await loop.run_in_executor(
+                self._preselect_executor(), scan
+            )
+            frame = encode_batch_result(
+                req.request_id, ids, dists,
+                exec_us=exec_us, codes_scanned=codes,
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            frame = encode_error(
+                req.request_id, ERR_INTERNAL,
+                message=f"{type(exc).__name__}: {exc}",
+            )
+        try:
+            async with wlock:
+                writer.write(frame)
+                await writer.drain()
+            self.metrics.inc("frames_out")
         except (ConnectionError, OSError):
             pass  # peer vanished between compute and write; nothing to do
 

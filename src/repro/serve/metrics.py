@@ -97,6 +97,10 @@ class MetricsSnapshot:
     #: Per-(k, nprobe)-class total-latency summaries, keyed by the
     #: canonical class label (see :func:`repro.serve.qos.class_label`).
     classes: dict[str, LatencyStats] = field(default_factory=dict)
+    #: Last-value gauges (e.g. the socket front end's open/peak
+    #: connection counts) — point-in-time levels, unlike the monotonic
+    #: counters.
+    gauges: dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -161,6 +165,7 @@ class MetricsRegistry:
         self._breakdown_size = breakdown_reservoir_size
         self._max_keys = max_tracked_keys
         self._counters: Counter[str] = Counter()
+        self._gauges: dict[str, float] = {}
         self._total_us: deque[float] = deque(maxlen=reservoir_size)
         self._queue_us: deque[float] = deque(maxlen=reservoir_size)
         self._exec_us: deque[float] = deque(maxlen=reservoir_size)
@@ -181,6 +186,18 @@ class MetricsRegistry:
         """Add ``n`` to the named counter."""
         with self._lock:
             self._counters[name] += n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Raise the named gauge to ``value`` if higher (peak tracking)."""
+        with self._lock:
+            value = float(value)
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
 
     def inc_tenant(self, tenant: str, name: str, n: int = 1) -> None:
         """Add ``n`` to ``tenant``'s named counter."""
@@ -256,6 +273,7 @@ class MetricsRegistry:
         """Consistent point-in-time copy of counters, stats, and QPS."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             total = np.asarray(self._total_us)
             queue = np.asarray(self._queue_us)
             exc = np.asarray(self._exec_us)
@@ -292,4 +310,5 @@ class MetricsRegistry:
             elapsed_s=elapsed,
             tenants=tenants,
             classes=classes,
+            gauges=gauges,
         )

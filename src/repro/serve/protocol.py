@@ -33,12 +33,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.wire import (
+    BATCH_RESULT_FIXED,
     ERROR_FIXED,
+    FRAME_BATCH_RESULT,
     FRAME_ERROR,
     FRAME_HEADER,
+    FRAME_PRESELECT,
     FRAME_RESULT,
     FRAME_SEARCH,
     MAX_FRAME_BYTES,
+    PRESELECT_FIXED,
     RESULT_FIXED,
     SEARCH_FIXED,
     WIRE_MAGIC,
@@ -47,14 +51,20 @@ from repro.net.wire import (
 from repro.serve.qos import DEFAULT_TENANT
 
 __all__ = [
+    "BatchResultFrame",
     "ErrorFrame",
+    "PreselectFrame",
     "ProtocolError",
     "ResultFrame",
     "SearchFrame",
+    "decode_batch_result",
     "decode_error",
+    "decode_preselect",
     "decode_result",
     "decode_search",
+    "encode_batch_result",
     "encode_error",
+    "encode_preselect",
     "encode_result",
     "encode_search",
     "read_frame",
@@ -95,6 +105,33 @@ class ResultFrame:
     batch_size: int
     cache_hit: bool
     coverage: float
+
+
+@dataclass(frozen=True)
+class PreselectFrame:
+    """One decoded preselect-scatter batch (router → shard worker).
+
+    Carries the router's already-computed coarse stage: the rotated
+    queries and the probed cell ids (``-1`` pads slots pruned away for
+    this shard), so the worker skips straight to BuildLUT + PQDist +
+    SelK over its slice.
+    """
+
+    request_id: int
+    queries_t: np.ndarray  # (nq, d) float32, already OPQ-rotated
+    probed: np.ndarray  # (nq, nprobe) int32; -1 = pruned slot
+    k: int
+
+
+@dataclass(frozen=True)
+class BatchResultFrame:
+    """One decoded batched partial top-K (shard worker → router)."""
+
+    request_id: int
+    ids: np.ndarray  # (nq, k) int64
+    dists: np.ndarray  # (nq, k) float32
+    exec_us: float
+    codes_scanned: int
 
 
 @dataclass(frozen=True)
@@ -262,11 +299,123 @@ def decode_error(payload: bytes) -> ErrorFrame:
     )
 
 
+def encode_preselect(
+    request_id: int,
+    queries_t: np.ndarray,
+    probed: np.ndarray,
+    k: int,
+) -> bytes:
+    """Encode one preselect-scatter batch into a complete frame.
+
+    ``queries_t`` is the (nq, d) OPQ-rotated query block and ``probed``
+    the (nq, nprobe) preselected cell ids; ``-1`` entries mark slots
+    pruned for the receiving shard (empty on its slice).
+    """
+    q = np.ascontiguousarray(np.atleast_2d(queries_t), dtype=np.float32)
+    cells = np.ascontiguousarray(np.atleast_2d(probed), dtype=np.int32)
+    if q.shape[0] != cells.shape[0]:
+        raise ValueError(
+            f"queries_t rows ({q.shape[0]}) != probed rows ({cells.shape[0]})"
+        )
+    nq, d = q.shape
+    nprobe = cells.shape[1]
+    if nq < 1:
+        raise ValueError("preselect frame needs at least one query")
+    if not 1 <= k <= 0xFFFF:
+        raise ValueError(f"k must be in [1, 65535], got {k}")
+    if not 1 <= nprobe <= 0xFFFF:
+        raise ValueError(f"nprobe must be in [1, 65535], got {nprobe}")
+    payload = (
+        PRESELECT_FIXED.pack(request_id & 0xFFFFFFFF, k, 0, nq, nprobe, d)
+        + cells.tobytes()
+        + q.tobytes()
+    )
+    return _frame(FRAME_PRESELECT, payload)
+
+
+def decode_preselect(payload: bytes) -> PreselectFrame:
+    """Decode a preselect payload; raises :class:`ProtocolError` when malformed."""
+    if len(payload) < PRESELECT_FIXED.size:
+        raise ProtocolError(f"preselect payload truncated ({len(payload)} bytes)")
+    request_id, k, _flags, nq, nprobe, d = PRESELECT_FIXED.unpack_from(payload)
+    off = PRESELECT_FIXED.size
+    want = off + 4 * nq * nprobe + 4 * nq * d
+    if len(payload) != want:
+        raise ProtocolError(
+            f"preselect payload is {len(payload)} bytes, header implies {want}"
+        )
+    probed = np.frombuffer(
+        payload, dtype=np.int32, count=nq * nprobe, offset=off
+    ).reshape(nq, nprobe)
+    queries_t = np.frombuffer(
+        payload, dtype=np.float32, count=nq * d, offset=off + 4 * nq * nprobe
+    ).reshape(nq, d)
+    return PreselectFrame(
+        request_id=request_id, queries_t=queries_t, probed=probed, k=k
+    )
+
+
+def encode_batch_result(
+    request_id: int,
+    ids: np.ndarray,
+    dists: np.ndarray,
+    *,
+    exec_us: float = 0.0,
+    codes_scanned: int = 0,
+) -> bytes:
+    """Encode one batched partial top-K; ids/dists travel bit-exact."""
+    ids = np.ascontiguousarray(np.atleast_2d(ids), dtype=np.int64)
+    dists = np.ascontiguousarray(np.atleast_2d(dists), dtype=np.float32)
+    if ids.shape != dists.shape:
+        raise ValueError(f"ids/dists shapes differ: {ids.shape} vs {dists.shape}")
+    nq, k = ids.shape
+    payload = (
+        BATCH_RESULT_FIXED.pack(
+            request_id & 0xFFFFFFFF, nq, k, 0, exec_us, max(int(codes_scanned), 0)
+        )
+        + ids.tobytes()
+        + dists.tobytes()
+    )
+    return _frame(FRAME_BATCH_RESULT, payload)
+
+
+def decode_batch_result(payload: bytes) -> BatchResultFrame:
+    """Decode a batch-result payload; raises :class:`ProtocolError` when malformed."""
+    if len(payload) < BATCH_RESULT_FIXED.size:
+        raise ProtocolError(
+            f"batch-result payload truncated ({len(payload)} bytes)"
+        )
+    request_id, nq, k, _flags, exec_us, codes_scanned = (
+        BATCH_RESULT_FIXED.unpack_from(payload)
+    )
+    off = BATCH_RESULT_FIXED.size
+    want = off + 12 * nq * k
+    if len(payload) != want:
+        raise ProtocolError(
+            f"batch-result payload is {len(payload)} bytes, header implies {want}"
+        )
+    ids = np.frombuffer(payload, dtype=np.int64, count=nq * k, offset=off).reshape(
+        nq, k
+    )
+    dists = np.frombuffer(
+        payload, dtype=np.float32, count=nq * k, offset=off + 8 * nq * k
+    ).reshape(nq, k)
+    return BatchResultFrame(
+        request_id=request_id,
+        ids=ids,
+        dists=dists,
+        exec_us=exec_us,
+        codes_scanned=codes_scanned,
+    )
+
+
 #: payload decoder per frame type (used by :func:`read_frame` callers).
 DECODERS = {
     FRAME_SEARCH: decode_search,
     FRAME_RESULT: decode_result,
     FRAME_ERROR: decode_error,
+    FRAME_PRESELECT: decode_preselect,
+    FRAME_BATCH_RESULT: decode_batch_result,
 }
 
 

@@ -57,7 +57,11 @@ import numpy as np
 
 from repro.ann.ivf import IVFPQIndex
 from repro.ann.merge import merge_partial_topk
-from repro.ann.partition import partition_index, replicate_index
+from repro.ann.partition import (
+    partition_index,
+    prune_probed_cells,
+    replicate_index,
+)
 from repro.serve.backends import (
     SearchBackend,
     backend_coverage,
@@ -280,6 +284,21 @@ class ShardedBackend:
         stamped coverage fraction drifts as sizes diverge — rebuild the
         backend or pass explicit weights when that precision matters
         (the partial *flag* and the never-cache rule are unaffected).
+    preselect : a coarse planner — anything exposing
+        ``preselect(queries, nprobe) -> (queries_t, probed)`` (an
+        :class:`~repro.ann.ivf.IVFPQIndex` sharing the shards' trained
+        quantizers, typically the mmap-loaded unpartitioned index).
+        When set, each scatter computes OPQ/coarse distances/cell
+        selection **once** and sends every shard the precomputed plan
+        through its ``search_batch_preselected`` entry, with the cell
+        list pruned per shard (slots empty on that shard's slice become
+        ``-1``) when the shard advertises ``cell_sizes``.  Shards
+        without the preselected entry fall back to plain
+        ``search_batch`` — results are bit-identical either way, only
+        duplicated per-shard coarse work disappears.  Planner calls are
+        serialized on an internal lock (the
+        :class:`~repro.ann.ivf.IVFPQIndex` single-searcher contract), so
+        one planner safely serves concurrent dispatchers.
     """
 
     #: Accepted shard-failure handling modes.
@@ -293,6 +312,7 @@ class ShardedBackend:
         scatter_workers: int | None = None,
         on_shard_error: str = "raise",
         shard_weights: Sequence[float] | None = None,
+        preselect=None,
     ):
         shards = list(shards)
         if not shards:
@@ -314,6 +334,17 @@ class ShardedBackend:
         )
         self.on_shard_error = on_shard_error
         self.shard_weights = _coverage_weights(shards, shard_weights)
+        if preselect is not None and not callable(
+            getattr(preselect, "preselect", None)
+        ):
+            raise ValueError(
+                "preselect planner must expose preselect(queries, nprobe)"
+            )
+        self.preselect = preselect
+        #: Serializes planner calls across dispatcher threads.
+        self._preselect_lock = threading.Lock()
+        #: Scatters served from a router-computed preselect plan.
+        self.preselect_scatters = 0
         #: Lifetime failure count per shard (degraded-mode observability).
         self.shard_errors = [0] * len(shards)
         #: Guards shard_errors against concurrent dispatcher threads.
@@ -359,11 +390,27 @@ class ShardedBackend:
         queries = np.atleast_2d(queries)
         degrade = self.on_shard_error == "degrade"
 
+        # Preselect-once: compute the coarse plan here, per batch, and
+        # ship it to every shard — S shards, one OPQ/IVFDist/SelCells.
+        plan = None
+        if self.preselect is not None and nprobe is not None:
+            with self._preselect_lock:
+                plan = self.preselect.preselect(queries, nprobe)
+                self.preselect_scatters += 1
+
         def call(shard):
             """One shard's (result, sub-coverage), read on the calling
             thread — coverage hooks are thread-local, so it must be read
             where the call ran (the pool thread under parallel scatter)."""
-            out = shard.search_batch(queries, k, nprobe)
+            preselected = getattr(shard, "search_batch_preselected", None)
+            if plan is not None and preselected is not None:
+                queries_t, probed = plan
+                cell_sizes = getattr(shard, "cell_sizes", None)
+                if cell_sizes is not None:
+                    probed = prune_probed_cells(probed, cell_sizes)
+                out = preselected(queries_t, probed, k)
+            else:
+                out = shard.search_batch(queries, k, nprobe)
             return out, backend_coverage(shard)
 
         # Scatter, collecting (result, exception) per shard.  In raise

@@ -1,0 +1,733 @@
+"""Multi-process data plane: mmap shard workers behind local sockets.
+
+Every serving tier so far — packed CSR scans, R×S topologies, QoS, the
+asyncio front end — runs in one GIL-bound process, so real CPU-bound ADC
+scans serialize no matter how many "devices" the topology models.  This
+module is the honest software analogue of the paper's one-accelerator-
+per-shard layout: **one OS process per shard**, each memory-mapping the
+same format-v2 index directory read-only (:func:`repro.ann.io.load_index_dir`)
+so all workers share a single physical copy of the packed arrays, and
+serving the existing length-prefixed protocol
+(:mod:`repro.serve.protocol`) over local TCP.
+
+Three pieces:
+
+- :func:`worker_main` — the worker process entry point
+  (``python -m repro.serve.workers``): mmap the index directory, take
+  shard ``i`` of ``n`` (:func:`repro.ann.partition.partition_index` —
+  deterministic, so every process derives the same layout from the same
+  arguments), wrap it in a :class:`~repro.serve.scheduler.ServingEngine`
+  + :class:`~repro.serve.aio.VectorSearchServer`, print one JSON
+  readiness line on stdout, and serve until stdin closes (graceful) or
+  SIGTERM.
+- :class:`WorkerPool` — the supervisor: spawns N workers, performs the
+  readiness handshake (bound port, dimensionality, shard size), detects
+  crashed workers (:meth:`WorkerPool.poll`), injects faults
+  (:meth:`WorkerPool.kill`), and shuts down gracefully by closing each
+  worker's stdin before escalating to terminate/kill.
+- :class:`RemoteBackend` — the router-side client: a blocking socket
+  speaking the binary protocol, satisfying the uniform ``search_batch``
+  contract of :mod:`repro.serve.backends` so a
+  :class:`~repro.serve.routing.ShardedBackend` scatter-gathers to worker
+  processes exactly as it does to in-process shards — including
+  **preselect-once scatter** (``search_batch_preselected`` over one
+  preselect frame) and degraded mode (a dead worker's socket errors
+  become coverage holes, not failed requests).
+
+**Invariant (bit-identical results).**  Workers run the same engine over
+:func:`partition_index` shard views of the same saved index, and
+ids/dists cross the wire as raw i64/f32 — a scatter-gathered answer
+equals single-process ``IVFPQIndex.search`` bit for bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann.io import load_index_dir
+from repro.ann.partition import partition_index, replicate_index, shard_cell_sizes
+from repro.net.wire import (
+    ERR_QUOTA,
+    ERR_SHED,
+    FRAME_BATCH_RESULT,
+    FRAME_ERROR,
+    FRAME_HEADER,
+    FRAME_RESULT,
+    MAX_FRAME_BYTES,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+)
+from repro.serve.aio import RemoteServeError, VectorSearchServer
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_batch_result,
+    decode_error,
+    decode_result,
+    encode_preselect,
+    encode_search,
+)
+from repro.serve.routing import ShardedBackend
+from repro.serve.scheduler import (
+    AdmissionError,
+    QuotaExceededError,
+    ServingEngine,
+)
+
+__all__ = ["RemoteBackend", "WorkerInfo", "WorkerPool", "worker_main"]
+
+#: Default socket timeout for router<->worker exchanges, seconds.  Local
+#: sockets answer in microseconds; anything near this bound means the
+#: worker is wedged and the call should fail into degraded mode.
+DEFAULT_RPC_TIMEOUT_S = 120.0
+
+
+def _raise_error_frame(err) -> None:
+    """Re-raise a decoded error frame as the matching local exception."""
+    if err.code == ERR_QUOTA:
+        raise QuotaExceededError(err.message, retry_after_s=err.retry_after_s)
+    if err.code == ERR_SHED:
+        raise AdmissionError(err.message)
+    raise RemoteServeError(err.message)
+
+
+class RemoteBackend:
+    """Blocking protocol client for one shard worker's socket.
+
+    Satisfies the uniform ``search_batch`` backend contract (and the
+    preselect extension ``search_batch_preselected``), so routing tiers
+    treat a worker process exactly like an in-process shard.  One
+    connection, one outstanding exchange: calls are serialized on an
+    internal lock — the :class:`~repro.serve.routing.ShardedBackend`
+    scatter gives each shard its own thread, and socket I/O releases the
+    GIL, so S remote shards genuinely compute in parallel even though
+    each backend object is serial.
+
+    Parameters
+    ----------
+    host, port : the worker's bound address (from the pool handshake).
+    d : advertised query dimensionality (engine-side validation).
+    ntotal : advertised vector count (coverage weights).
+    cell_sizes : per-cell sizes of the worker's shard; when given, the
+        preselect path prunes each plan to the cells this shard can
+        actually contribute to (empty slots become ``-1`` on the wire).
+    timeout_s : socket timeout per exchange; a wedged worker fails the
+        call (degraded mode turns that into a coverage hole).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        d: int | None = None,
+        ntotal: int | None = None,
+        cell_sizes: np.ndarray | None = None,
+        timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+    ):
+        self.host = host
+        self.port = port
+        self.d = d
+        self.ntotal = ntotal
+        self.cell_sizes = cell_sizes
+        self._lock = threading.Lock()
+        self._rid = 0
+        self._closed = False
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.settimeout(timeout_s)
+        # Frames are small and latency-bound: never wait for Nagle.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        #: Lifetime counters (observability; read without a lock).
+        self.calls = 0
+        self.codes_scanned = 0
+
+    # ------------------------------------------------------------------ #
+    def _read_exact(self, n: int) -> bytes:
+        """Read exactly ``n`` bytes or raise ``ConnectionResetError``."""
+        chunks = []
+        while n:
+            try:
+                b = self._sock.recv(min(n, 1 << 20))
+            except socket.timeout:
+                raise TimeoutError(
+                    f"worker {self.host}:{self.port} did not answer in time"
+                ) from None
+            if not b:
+                raise ConnectionResetError(
+                    f"worker {self.host}:{self.port} closed the connection"
+                )
+            chunks.append(b)
+            n -= len(b)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> tuple[int, bytes]:
+        """Read one validated ``(frame_type, payload)`` (blocking)."""
+        magic, version, ftype, length = FRAME_HEADER.unpack(
+            self._read_exact(FRAME_HEADER.size)
+        )
+        if magic != WIRE_MAGIC:
+            raise ProtocolError(f"bad frame magic 0x{magic:04x}")
+        if version != WIRE_VERSION:
+            raise ProtocolError(
+                f"peer speaks protocol v{version}, this end v{WIRE_VERSION}"
+            )
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+        return ftype, self._read_exact(length)
+
+    def _next_rids(self, n: int) -> list[int]:
+        """Allocate ``n`` request ids (caller holds the lock)."""
+        rids = [(self._rid + i) & 0xFFFFFFFF for i in range(n)]
+        self._rid = (self._rid + n) & 0xFFFFFFFF
+        return rids
+
+    # ------------------------------------------------------------------ #
+    def search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one batch remotely: pipelined search frames, one answer each.
+
+        All ``nq`` requests are written back to back (the worker's engine
+        coalesces them into micro-batches) and responses are collected by
+        request id.  A shed/quota/internal error on any request fails the
+        whole batch — after draining the remaining responses, so the
+        connection stays frame-aligned for the next call.
+        """
+        queries = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float32))
+        nq = queries.shape[0]
+        out_ids = np.empty((nq, k), dtype=np.int64)
+        out_dists = np.empty((nq, k), dtype=np.float32)
+        with self._lock:
+            self.calls += 1
+            rids = self._next_rids(nq)
+            buf = bytearray()
+            for rid, q in zip(rids, queries):
+                buf += encode_search(rid, q, k, nprobe)
+            self._sock.sendall(buf)
+            pending = {rid: i for i, rid in enumerate(rids)}
+            first_err = None
+            while pending:
+                ftype, payload = self._read_frame()
+                if ftype == FRAME_ERROR:
+                    err = decode_error(payload)
+                    if pending.pop(err.request_id, None) is not None:
+                        first_err = first_err or err
+                    continue
+                if ftype != FRAME_RESULT:
+                    raise ProtocolError(
+                        f"worker sent frame type 0x{ftype:02x} to a search"
+                    )
+                res = decode_result(payload)
+                i = pending.pop(res.request_id, None)
+                if i is None:
+                    continue  # stale response from an earlier failed call
+                if res.ids.shape[0] != k:
+                    raise RemoteServeError(
+                        f"worker answered k={res.ids.shape[0]}, wanted {k}"
+                    )
+                out_ids[i] = res.ids
+                out_dists[i] = res.dists
+        if first_err is not None:
+            _raise_error_frame(first_err)
+        return out_ids, out_dists
+
+    def search_batch_preselected(
+        self, queries_t: np.ndarray, probed: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve one router-preselected batch over a single scatter frame.
+
+        The plan is pruned to this shard's cells when the backend knows
+        them (:attr:`cell_sizes`), charged on the wire as one preselect
+        frame in and one batch-result frame out — the preselect-once
+        data path (coarse quantization already happened, once, at the
+        router).
+        """
+        from repro.ann.partition import prune_probed_cells
+
+        if self.cell_sizes is not None:
+            probed = prune_probed_cells(probed, self.cell_sizes)
+        with self._lock:
+            self.calls += 1
+            (rid,) = self._next_rids(1)
+            self._sock.sendall(encode_preselect(rid, queries_t, probed, k))
+            while True:
+                ftype, payload = self._read_frame()
+                if ftype == FRAME_ERROR:
+                    err = decode_error(payload)
+                    if err.request_id == rid:
+                        _raise_error_frame(err)
+                    continue
+                if ftype != FRAME_BATCH_RESULT:
+                    continue  # stale single-result from an earlier failed call
+                res = decode_batch_result(payload)
+                if res.request_id != rid:
+                    continue
+                self.codes_scanned += res.codes_scanned
+                # Copy out of the payload buffer: callers may hold these
+                # past the next exchange.
+                return (
+                    np.array(res.ids, dtype=np.int64),
+                    np.array(res.dists, dtype=np.float32),
+                )
+
+    def close(self) -> None:
+        """Close the socket (idempotent); later calls raise ``OSError``."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+
+
+# --------------------------------------------------------------------- #
+# Supervisor.
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """One spawned worker's handshake: where it listens, what it holds."""
+
+    shard: int
+    host: str
+    port: int
+    d: int
+    ntotal: int
+
+
+def _worker_env(blas_threads: int | None = 1) -> dict[str, str]:
+    """Child-process environment: importable ``repro``, bounded BLAS.
+
+    The package root is prepended to ``PYTHONPATH`` (tests run with
+    ``sys.path`` injection, which children do not inherit), and BLAS
+    thread pools are pinned so N workers do not oversubscribe the host
+    with N×threads — the scan path is single-threaded NumPy; parallelism
+    comes from the processes themselves.
+    """
+    env = os.environ.copy()
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    parts = [pkg_root]
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    if blas_threads is not None:
+        for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+            env[var] = str(blas_threads)
+    return env
+
+
+class WorkerPool:
+    """Spawns and supervises N mmap shard-worker processes.
+
+    ``start()`` (or entering the context manager) launches one
+    ``python -m repro.serve.workers`` process per shard over the same
+    saved index directory and blocks until every worker's readiness
+    handshake (a JSON line on its stdout carrying the bound port) or the
+    startup timeout.  Because shard layout is deterministic in
+    ``(index_dir, shard, n_workers)``, no index data ever crosses the
+    control channel — each worker memory-maps the one physical copy.
+
+    Shutdown is graceful-first: :meth:`stop` closes each worker's stdin
+    (the worker drains its engine and exits 0), then escalates to
+    SIGTERM and SIGKILL on the stragglers.  :meth:`kill` is the fault
+    injector — SIGKILL mid-run, as a crash regression test needs — and
+    :meth:`poll` reports workers that died for any reason.
+    """
+
+    def __init__(
+        self,
+        index_dir: str | Path,
+        n_workers: int,
+        *,
+        host: str = "127.0.0.1",
+        max_batch: int = 64,
+        max_wait_us: float = 0.0,
+        queue_depth: int = 8192,
+        mmap: bool = True,
+        blas_threads: int | None = 1,
+        startup_timeout_s: float = 120.0,
+        rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.index_dir = Path(index_dir)
+        if not (self.index_dir / "meta.npz").exists():
+            raise FileNotFoundError(
+                f"{self.index_dir} is not a saved index directory "
+                f"(missing meta.npz; see repro.ann.io.save_index_dir)"
+            )
+        self.n_workers = n_workers
+        self.host = host
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.queue_depth = queue_depth
+        self.mmap = mmap
+        self.blas_threads = blas_threads
+        self.startup_timeout_s = startup_timeout_s
+        self.rpc_timeout_s = rpc_timeout_s
+        self._procs: list[subprocess.Popen] = []
+        self.workers: list[WorkerInfo] = []
+        self._backends: list[RemoteBackend] = []
+        self._cell_sizes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        """Whether the pool has completed its readiness handshake."""
+        return bool(self.workers)
+
+    #: Worker bootstrap: ``-c`` rather than ``-m repro.serve.workers``,
+    #: because runpy would re-execute a module the ``repro.serve``
+    #: package already imported (and warn about it on every spawn).
+    _BOOTSTRAP = (
+        "import sys; from repro.serve.workers import worker_main; "
+        "sys.exit(worker_main(sys.argv[1:]))"
+    )
+
+    def _spawn_cmd(self, shard: int) -> list[str]:
+        """The child-process command line for one shard worker."""
+        cmd = [
+            sys.executable, "-c", self._BOOTSTRAP,
+            "--index-dir", str(self.index_dir),
+            "--shard", str(shard),
+            "--workers", str(self.n_workers),
+            "--host", self.host,
+            "--port", "0",
+            "--max-batch", str(self.max_batch),
+            "--max-wait-us", str(self.max_wait_us),
+            "--queue-depth", str(self.queue_depth),
+        ]
+        if not self.mmap:
+            cmd.append("--no-mmap")
+        return cmd
+
+    @staticmethod
+    def _read_line(proc: subprocess.Popen, timeout_s: float) -> str | None:
+        """One stdout line from ``proc`` within ``timeout_s`` (else None).
+
+        A daemon thread does the blocking read: if the deadline passes,
+        the supervisor kills the worker, which EOFs the pipe and lets
+        the thread exit — no file-descriptor tricks needed.
+        """
+        box: dict[str, str] = {}
+
+        def read() -> None:
+            box["line"] = proc.stdout.readline()
+
+        t = threading.Thread(target=read, daemon=True)
+        t.start()
+        t.join(timeout_s)
+        return box.get("line")
+
+    def start(self) -> "WorkerPool":
+        """Spawn every worker and complete the readiness handshake."""
+        if self.started:
+            raise RuntimeError("pool already started")
+        env = _worker_env(self.blas_threads)
+        for shard in range(self.n_workers):
+            self._procs.append(
+                subprocess.Popen(
+                    self._spawn_cmd(shard),
+                    stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE,
+                    env=env,
+                    text=True,
+                )
+            )
+        deadline = time.perf_counter() + self.startup_timeout_s
+        infos: list[WorkerInfo] = []
+        try:
+            for shard, proc in enumerate(self._procs):
+                remaining = deadline - time.perf_counter()
+                line = (
+                    self._read_line(proc, remaining) if remaining > 0 else None
+                )
+                if not line:
+                    raise RuntimeError(
+                        f"worker {shard} did not become ready within "
+                        f"{self.startup_timeout_s:.0f}s "
+                        f"(exit code {proc.poll()})"
+                    )
+                try:
+                    ready = json.loads(line)
+                except json.JSONDecodeError:
+                    raise RuntimeError(
+                        f"worker {shard} sent a bad readiness line: {line!r}"
+                    ) from None
+                infos.append(
+                    WorkerInfo(
+                        shard=shard,
+                        host=ready["host"],
+                        port=int(ready["port"]),
+                        d=int(ready["d"]),
+                        ntotal=int(ready["ntotal"]),
+                    )
+                )
+        except BaseException:
+            self._terminate_all()
+            raise
+        self.workers = infos
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        """Context entry: start the pool."""
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        """Context exit: stop every worker."""
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    def _shard_sizes(self, shard: int) -> np.ndarray:
+        """Shard ``shard``'s per-cell sizes, from the saved offsets alone."""
+        if self._cell_sizes is None:
+            offsets = np.load(self.index_dir / "offsets.npy", mmap_mode="r")
+            self._cell_sizes = np.diff(np.asarray(offsets, dtype=np.int64))
+        return shard_cell_sizes(self._cell_sizes, shard, self.n_workers)
+
+    def backends(self, *, prune_cells: bool = True) -> list[RemoteBackend]:
+        """One connected :class:`RemoteBackend` per worker (cached).
+
+        ``prune_cells`` attaches each shard's per-cell sizes (derived
+        locally from the saved offsets — shard layout is deterministic)
+        so preselect scatters carry per-shard cell subsets.
+        """
+        if not self.started:
+            raise RuntimeError("pool is not started")
+        if not self._backends:
+            self._backends = [
+                RemoteBackend(
+                    w.host, w.port,
+                    d=w.d, ntotal=w.ntotal,
+                    cell_sizes=(
+                        self._shard_sizes(w.shard) if prune_cells else None
+                    ),
+                    timeout_s=self.rpc_timeout_s,
+                )
+                for w in self.workers
+            ]
+        return self._backends
+
+    def sharded_backend(
+        self,
+        *,
+        preselect=None,
+        on_shard_error: str = "raise",
+        scatter_workers: int | None = None,
+        prune_cells: bool = True,
+    ) -> ShardedBackend:
+        """The routing tier over this pool's workers.
+
+        ``preselect`` is the router-side coarse planner (typically
+        ``load_index_dir(pool.index_dir)`` — the same saved quantizers
+        the workers mmap); with it, every scatter ships the coarse plan
+        instead of raw coarse work.  Single-worker pools still go
+        through :class:`~repro.serve.routing.ShardedBackend` so the
+        preselect/degrade machinery behaves identically at every N.
+        """
+        return ShardedBackend(
+            self.backends(prune_cells=prune_cells),
+            parallel=True,
+            scatter_workers=scatter_workers,
+            on_shard_error=on_shard_error,
+            shard_weights=[w.ntotal for w in self.workers],
+            preselect=preselect,
+        )
+
+    # ------------------------------------------------------------------ #
+    def poll(self) -> dict[int, int]:
+        """Exit codes of workers that have died, keyed by shard id."""
+        return {
+            shard: code
+            for shard, proc in enumerate(self._procs)
+            if (code := proc.poll()) is not None
+        }
+
+    @property
+    def alive(self) -> list[bool]:
+        """Liveness per shard (True while the process runs)."""
+        return [proc.poll() is None for proc in self._procs]
+
+    def kill(self, shard: int) -> None:
+        """SIGKILL one worker (fault injection for crash tests)."""
+        proc = self._procs[shard]
+        proc.kill()
+        proc.wait()
+
+    def _terminate_all(self) -> None:
+        """Hard-stop every worker (startup failure path)."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in self._procs:
+            proc.wait()
+            self._close_pipes(proc)
+
+    @staticmethod
+    def _close_pipes(proc: subprocess.Popen) -> None:
+        """Close a finished worker's pipe handles."""
+        for pipe in (proc.stdin, proc.stdout):
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:
+                    pass
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop every worker: stdin-close handshake, then escalate.
+
+        Closing stdin asks the worker to drain its engine and exit 0;
+        workers still running after ``timeout_s`` get SIGTERM, then
+        SIGKILL.  Idempotent, and safe to call with workers already
+        dead (crashed workers are simply reaped).
+        """
+        for backend in self._backends:
+            backend.close()
+        self._backends = []
+        for proc in self._procs:
+            if proc.poll() is None and proc.stdin is not None:
+                try:
+                    proc.stdin.close()
+                except OSError:
+                    pass
+        deadline = time.perf_counter() + timeout_s
+        for escalate in (None, "terminate", "kill"):
+            for proc in self._procs:
+                if proc.poll() is None and escalate is not None:
+                    getattr(proc, escalate)()
+            for proc in self._procs:
+                if proc.poll() is None:
+                    try:
+                        proc.wait(max(deadline - time.perf_counter(), 0.1))
+                    except subprocess.TimeoutExpired:
+                        pass
+            if all(proc.poll() is not None for proc in self._procs):
+                break
+        for proc in self._procs:
+            self._close_pipes(proc)
+        self.workers = []
+        self._procs = []
+
+
+# --------------------------------------------------------------------- #
+# Worker process entry point.
+
+
+def _parse_worker_args(argv: list[str] | None) -> argparse.Namespace:
+    """Parse the worker process command line."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.workers",
+        description=(
+            "One shard worker of the multi-process data plane: mmap an "
+            "index directory, serve shard i of n over the binary protocol."
+        ),
+    )
+    parser.add_argument("--index-dir", required=True, help="saved index directory")
+    parser.add_argument("--shard", type=int, required=True, help="shard id (0-based)")
+    parser.add_argument("--workers", type=int, required=True, help="total shards")
+    parser.add_argument("--host", default="127.0.0.1", help="listen host")
+    parser.add_argument("--port", type=int, default=0, help="listen port (0 = any)")
+    parser.add_argument("--max-batch", type=int, default=64, help="engine max batch")
+    parser.add_argument(
+        "--max-wait-us", type=float, default=0.0, help="engine batch window"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=8192, help="engine admission queue depth"
+    )
+    parser.add_argument(
+        "--no-mmap", action="store_true",
+        help="load arrays into private heap memory instead of mmap",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1 or not 0 <= args.shard < args.workers:
+        parser.error(f"--shard must be in [0, --workers={args.workers})")
+    return args
+
+
+async def _serve_until_stopped(engine_view, preselect_view, args) -> None:
+    """Run one worker's engine + server until stdin EOF or SIGTERM."""
+    engine = ServingEngine(
+        engine_view,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        policy="shed",
+        queue_depth=args.queue_depth,
+    )
+    engine.start()
+    server = VectorSearchServer(
+        engine, args.host, args.port, preselect_backend=preselect_view
+    )
+    await server.start()
+    host, port = server.address
+    print(
+        json.dumps(
+            {
+                "ready": True,
+                "shard": args.shard,
+                "workers": args.workers,
+                "host": host,
+                "port": port,
+                "d": engine_view.d,
+                "ntotal": int(engine_view.ntotal),
+            }
+        ),
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    stop_ev = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_ev.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread / platform without signal support
+
+    def watch_stdin() -> None:
+        # Supervisor shutdown handshake: stdin EOF means "drain and
+        # exit".  A daemon thread (not the default executor) does the
+        # blocking read, so loop teardown never joins a stuck read.
+        try:
+            sys.stdin.buffer.read()
+        except OSError:
+            pass
+        try:
+            loop.call_soon_threadsafe(stop_ev.set)
+        except RuntimeError:
+            pass  # loop already closed
+
+    threading.Thread(target=watch_stdin, daemon=True).start()
+    await stop_ev.wait()
+    await server.stop()
+    await asyncio.to_thread(engine.stop)
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    """Worker process entry: load, shard, serve (see module docstring)."""
+    args = _parse_worker_args(argv)
+    index = load_index_dir(args.index_dir, mmap=not args.no_mmap)
+    if args.workers > 1:
+        shard = partition_index(index, args.workers)[args.shard]
+    else:
+        shard = index
+    # Two independent views over the same mmap'd storage: the engine's
+    # dispatcher thread and the preselect executor are separate
+    # searchers, and IVFPQIndex is single-searcher per view.
+    engine_view, preselect_view = replicate_index(shard, 2)
+    asyncio.run(_serve_until_stopped(engine_view, preselect_view, args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(worker_main())

@@ -1,0 +1,130 @@
+"""Tests that mmap-loaded index directories truly share one physical copy.
+
+The multi-process data plane's memory story rests on two properties of
+``load_index_dir(mmap=True)``: (a) independent reader processes get
+bit-identical answers from the same directory, and (b) the packed arrays
+are *mapped*, not copied — a worker never dirties private pages for the
+code/id slabs, so N workers cost one corpus in RAM, not N.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ann.io import save_index_dir
+from repro.ann.ivf import IVFPQIndex
+from repro.data.synthetic import make_clustered
+
+#: Script run in each reader subprocess: load mmap'd, search, report a
+#: results digest plus how many private-dirty KB the codes mapping holds.
+READER = r"""
+import hashlib, json, sys
+import numpy as np
+from repro.ann.io import load_index_dir
+
+index_dir, = sys.argv[1:]
+index = load_index_dir(index_dir, mmap=True)
+lists = index.invlists
+assert isinstance(lists.codes, np.memmap), type(lists.codes)
+assert isinstance(lists.ids, np.memmap), type(lists.ids)
+assert not lists.codes.flags.writeable
+
+queries = np.load(index_dir + "/queries.npy")
+ids, dists = index.search(queries, 10, 8)
+
+# Inspect the codes.npy mapping: it must be a read-only *shared* file
+# mapping (r--s) with zero anonymous pages — anonymous KB would mean the
+# scan copied slab pages into process-private memory.  (Private_Dirty is
+# useless here: on tmpfs, file pages are permanently "dirty".)
+perms = []
+anonymous_kb = None
+in_codes_mapping = False
+try:
+    lines = open("/proc/self/smaps").read().splitlines()
+except OSError:
+    lines = []
+for line in lines:
+    if line.endswith("codes.npy"):
+        in_codes_mapping = True
+        perms.append(line.split()[1])
+        anonymous_kb = anonymous_kb or 0
+    elif in_codes_mapping and line.startswith("Anonymous:"):
+        anonymous_kb += int(line.split()[1])
+        in_codes_mapping = False
+
+print(json.dumps({
+    "digest": hashlib.sha256(ids.tobytes() + dists.tobytes()).hexdigest(),
+    "codes_map_perms": perms,
+    "codes_anonymous_kb": anonymous_kb,
+}))
+"""
+
+
+def _reader_env() -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    return env
+
+
+def _run_reader(path: Path) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", READER, str(path)],
+        capture_output=True, text=True, timeout=120, env=_reader_env(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.fixture(scope="module")
+def saved_dir(tmp_path_factory):
+    """A saved index directory plus its query file and reference digest."""
+    vecs = make_clustered(2050, 32, n_clusters=32, intrinsic_dim=6, seed=3)
+    base, queries = vecs[:2000], vecs[2000:2032]
+    index = IVFPQIndex(d=32, nlist=16, m=4, ksub=64, seed=5)
+    index.train(base)
+    index.add(base)
+    path = tmp_path_factory.mktemp("mmap-share") / "index"
+    save_index_dir(index, path)
+    np.save(path / "queries.npy", queries)
+    ids, dists = index.search(queries, 10, 8)
+    digest = hashlib.sha256(ids.tobytes() + dists.tobytes()).hexdigest()
+    return path, digest
+
+
+class TestConcurrentMmapReaders:
+    def test_two_processes_bit_identical(self, saved_dir):
+        """Two concurrent reader processes over one directory agree with
+        the in-process builder bit for bit."""
+        path, ref_digest = saved_dir
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", READER, str(path)],
+                stdout=subprocess.PIPE, text=True, env=_reader_env(),
+            )
+            for _ in range(2)
+        ]
+        outs = [p.communicate(timeout=120)[0] for p in procs]
+        assert all(p.returncode == 0 for p in procs)
+        digests = [json.loads(o)["digest"] for o in outs]
+        assert digests == [ref_digest, ref_digest]
+
+    @pytest.mark.skipif(
+        sys.platform != "linux", reason="/proc/self/smaps is Linux-only"
+    )
+    def test_mapping_shared_not_copied(self, saved_dir):
+        """The codes slab must be a read-only shared file mapping with no
+        anonymous (copied-on-write) pages — the scan reads through the
+        page cache, it does not copy the slab onto the reader's heap."""
+        path, _ = saved_dir
+        report = _run_reader(path)
+        assert report["codes_map_perms"], "codes.npy not found in smaps"
+        for perms in report["codes_map_perms"]:
+            assert perms[0] == "r" and perms[1] == "-", perms  # read-only
+            assert perms[3] == "s", perms  # MAP_SHARED, not a private copy
+        assert report["codes_anonymous_kb"] == 0

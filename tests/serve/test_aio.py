@@ -364,3 +364,154 @@ class TestSocketServer:
         server = VectorSearchServer(ServingEngine(FakeBackend()))
         with pytest.raises(RuntimeError, match="not running"):
             server.address
+
+
+class TestConnectionMetrics:
+    def test_connection_and_frame_counters(self):
+        """The registry sees opens, peak concurrency, and frame flow."""
+        snap_open = {}
+
+        async def go():
+            engine = ServingEngine(FakeBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with _free_server(aeng) as server:
+                    host, port = server.address
+                    c1 = await AsyncClient.connect(host, port)
+                    c2 = await AsyncClient.connect(host, port)
+                    q = np.zeros(D, dtype=np.float32)
+                    await c1.search(q, K)
+                    await c2.search(q, K)
+                    await asyncio.sleep(0.02)  # both handlers registered
+                    snap_open["mid"] = server.metrics.snapshot()
+                    await c1.close()
+                    await c2.close()
+                    await asyncio.sleep(0.05)  # handlers observed the EOFs
+                    snap_open["end"] = server.metrics.snapshot()
+
+        asyncio.run(go())
+        mid, end = snap_open["mid"], snap_open["end"]
+        assert mid.counters["connections_opened"] == 2
+        assert mid.gauges["connections_open"] == 2
+        assert mid.gauges["connections_peak"] == 2
+        assert mid.counters["frames_in"] == 2
+        assert mid.counters["frames_out"] == 2
+        assert end.gauges["connections_open"] == 0
+        assert end.gauges["connections_peak"] == 2
+        assert "protocol_errors" not in end.counters
+
+    def test_garbage_counts_as_protocol_error(self):
+        counters = {}
+
+        async def go():
+            engine = ServingEngine(FakeBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with _free_server(aeng) as server:
+                    host, port = server.address
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(b"\x00" * 32)
+                    await writer.drain()
+                    assert await reader.read() == b""
+                    writer.close()
+                    await writer.wait_closed()
+                    counters.update(server.metrics.snapshot().counters)
+
+        asyncio.run(go())
+        assert counters["protocol_errors"] == 1
+
+    def test_unexpected_frame_type_counts_and_drops(self):
+        """A well-formed frame the server cannot serve (a RESULT sent *to*
+        it) is a protocol error, not a crash."""
+        from repro.serve.protocol import encode_result
+
+        counters = {}
+
+        async def go():
+            engine = ServingEngine(FakeBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with _free_server(aeng) as server:
+                    host, port = server.address
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(
+                        encode_result(
+                            1, np.zeros(K, dtype=np.int64),
+                            np.zeros(K, dtype=np.float32),
+                        )
+                    )
+                    await writer.drain()
+                    assert await reader.read() == b""
+                    writer.close()
+                    await writer.wait_closed()
+                    counters.update(server.metrics.snapshot().counters)
+
+        asyncio.run(go())
+        assert counters["protocol_errors"] == 1
+
+
+class TestPreselectFrames:
+    def test_preselect_frame_served_bit_identical(self, small_index):
+        """A raw preselect frame answers exactly like the in-process
+        preselected scan."""
+        from repro.ann.partition import replicate_index
+        from repro.serve.protocol import (
+            decode_batch_result,
+            encode_preselect,
+            read_frame,
+        )
+
+        index, queries = small_index
+        engine_view, scan_view, plan_view = replicate_index(index, 3)
+        queries_t, probed = plan_view.preselect(queries[:12], NPROBE)
+        ref_ids, ref_dists = scan_view.search_batch_preselected(
+            queries_t, probed, K
+        )
+
+        async def go():
+            engine = ServingEngine(engine_view, max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                server = VectorSearchServer(aeng, preselect_backend=scan_view)
+                async with server:
+                    host, port = server.address
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(encode_preselect(9, queries_t, probed, K))
+                    await writer.drain()
+                    ftype, payload = await read_frame(reader)
+                    writer.close()
+                    await writer.wait_closed()
+                    return ftype, decode_batch_result(payload)
+
+        ftype, res = asyncio.run(go())
+        from repro.net.wire import FRAME_BATCH_RESULT
+
+        assert ftype == FRAME_BATCH_RESULT
+        assert res.request_id == 9
+        np.testing.assert_array_equal(res.ids, ref_ids)
+        np.testing.assert_array_equal(res.dists, ref_dists)
+        assert res.codes_scanned > 0
+
+    def test_preselect_frame_rejected_without_backend(self):
+        """Servers not configured for the preselect path treat the frame
+        as a protocol error rather than guessing."""
+        from repro.serve.protocol import encode_preselect
+
+        counters = {}
+
+        async def go():
+            engine = ServingEngine(FakeBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with _free_server(aeng) as server:
+                    host, port = server.address
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(
+                        encode_preselect(
+                            1, np.zeros((1, D), dtype=np.float32),
+                            np.zeros((1, 2), dtype=np.int64), K,
+                        )
+                    )
+                    await writer.drain()
+                    assert await reader.read() == b""
+                    writer.close()
+                    await writer.wait_closed()
+                    counters.update(server.metrics.snapshot().counters)
+
+        asyncio.run(go())
+        assert counters["protocol_errors"] == 1

@@ -7,23 +7,31 @@ import pytest
 
 from repro.net.wire import (
     ERR_QUOTA,
+    FRAME_BATCH_RESULT,
     FRAME_ERROR,
     FRAME_HEADER,
+    FRAME_PRESELECT,
     FRAME_RESULT,
     FRAME_SEARCH,
     MAX_FRAME_BYTES,
     WIRE_MAGIC,
     WIRE_VERSION,
+    batch_result_frame_bytes,
     error_frame_bytes,
+    preselect_frame_bytes,
     result_frame_bytes,
     search_frame_bytes,
 )
 from repro.serve.protocol import (
     ProtocolError,
+    decode_batch_result,
     decode_error,
+    decode_preselect,
     decode_result,
     decode_search,
+    encode_batch_result,
     encode_error,
+    encode_preselect,
     encode_result,
     encode_search,
     read_frame,
@@ -141,6 +149,81 @@ class TestErrorRoundTrip:
         frame = encode_error(1, ERR_QUOTA, message="hello")
         with pytest.raises(ProtocolError, match="implies"):
             decode_error(_payload(frame)[:-1])
+
+
+class TestPreselectRoundTrip:
+    def test_all_fields_survive(self):
+        qt = np.arange(2 * 8, dtype=np.float32).reshape(2, 8) * 0.5 - 3.0
+        probed = np.array([[3, 0, -1], [7, -1, -1]], dtype=np.int64)
+        frame = encode_preselect(11, qt, probed, 5)
+        req = decode_preselect(_payload(frame))
+        assert req.request_id == 11 and req.k == 5
+        assert req.queries_t.tobytes() == qt.tobytes()
+        np.testing.assert_array_equal(req.probed, probed)
+        assert req.probed.dtype == np.int32
+
+    def test_frame_type_and_wire_size_match_model(self):
+        """The byte count the net/ timing models charge is the real one."""
+        qt = np.zeros((16, 48), dtype=np.float32)
+        probed = np.zeros((16, 8), dtype=np.int64)
+        frame = encode_preselect(1, qt, probed, 10)
+        header = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+        assert header[2] == FRAME_PRESELECT
+        assert len(frame) == preselect_frame_bytes(16, 8, 48)
+
+    def test_validation(self):
+        qt = np.zeros((2, 4), dtype=np.float32)
+        probed = np.zeros((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="k must"):
+            encode_preselect(1, qt, probed, 0)
+        with pytest.raises(ValueError, match="rows"):
+            encode_preselect(1, qt, probed[:1], 5)
+
+    def test_length_mismatch(self):
+        frame = encode_preselect(
+            1, np.zeros((2, 4), dtype=np.float32),
+            np.zeros((2, 3), dtype=np.int64), 5,
+        )
+        with pytest.raises(ProtocolError, match="truncated|implies"):
+            decode_preselect(_payload(frame)[:-2])
+
+
+class TestBatchResultRoundTrip:
+    def test_all_fields_survive(self):
+        ids = np.array([[5, -1], [123456789012, 8]], dtype=np.int64)
+        dists = np.array([[0.25, np.inf], [-0.0, 1.5]], dtype=np.float32)
+        frame = encode_batch_result(
+            21, ids, dists, exec_us=340.0, codes_scanned=9876
+        )
+        res = decode_batch_result(_payload(frame))
+        assert res.request_id == 21
+        assert res.ids.tobytes() == ids.tobytes()
+        assert res.dists.tobytes() == dists.tobytes()
+        assert res.exec_us == pytest.approx(340.0)
+        assert res.codes_scanned == 9876
+
+    def test_frame_type_and_wire_size_match_model(self):
+        ids = np.zeros((16, 10), dtype=np.int64)
+        dists = np.zeros((16, 10), dtype=np.float32)
+        frame = encode_batch_result(1, ids, dists)
+        header = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+        assert header[2] == FRAME_BATCH_RESULT
+        assert len(frame) == batch_result_frame_bytes(16, 10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            encode_batch_result(
+                1, np.zeros((2, 3), dtype=np.int64),
+                np.zeros((2, 2), dtype=np.float32),
+            )
+
+    def test_length_mismatch(self):
+        frame = encode_batch_result(
+            1, np.zeros((2, 4), dtype=np.int64),
+            np.zeros((2, 4), dtype=np.float32),
+        )
+        with pytest.raises(ProtocolError, match="truncated|implies"):
+            decode_batch_result(_payload(frame)[:-1])
 
 
 def _read_one(data: bytes):

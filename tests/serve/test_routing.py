@@ -450,3 +450,113 @@ class TestWarmup:
 
     def test_warm_topology_noop_on_unwarmable_backend(self):
         assert warm_topology(_CountingBackend()) == 0
+
+
+class _PlainShard:
+    """Wrapper hiding ``search_batch_preselected``: a legacy shard that
+    only understands per-query search frames."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.d = inner.d
+        self.ntotal = inner.ntotal
+
+    def search_batch(self, queries, k, nprobe=None):
+        return self.inner.search_batch(queries, k, nprobe)
+
+
+class TestPreselectRouting:
+    @pytest.fixture()
+    def planner(self, tied_index):
+        """A coarse-plan view sharing the shards' trained quantizers."""
+        return replicate_index(tied_index, 1)[0]
+
+    def test_preselect_scatter_bit_identical(
+        self, tied_index, tied_queries, planner
+    ):
+        ref_i, ref_d = tied_index.search(tied_queries, 5, 4)
+        backend = ShardedBackend(
+            partition_index(tied_index, 3), preselect=planner
+        )
+        got_i, got_d = backend.search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_coarse_runs_once_per_scatter(
+        self, tied_index, tied_queries, planner
+    ):
+        """S shards, one plan: the planner's batch counter moves once per
+        scatter and the shards never run their own coarse stage."""
+        shards = partition_index(tied_index, 3)
+        backend = ShardedBackend(shards, preselect=planner)
+        b0 = planner.stats.preselect_batches
+        for _ in range(4):
+            backend.search_batch(tied_queries, 5, 4)
+        assert planner.stats.preselect_batches == b0 + 4
+        assert backend.preselect_scatters == 4
+        for s in shards:
+            assert s.stats.preselect_batches == 0
+
+    def test_parallel_preselect_scatter_same_results(
+        self, tied_index, tied_queries, planner
+    ):
+        seq = ShardedBackend(
+            partition_index(tied_index, 4), preselect=planner
+        )
+        par = ShardedBackend(
+            partition_index(tied_index, 4),
+            preselect=replicate_index(tied_index, 1)[0], parallel=True,
+        )
+        s_i, s_d = seq.search_batch(tied_queries, 5, 4)
+        p_i, p_d = par.search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(s_i, p_i)
+        np.testing.assert_array_equal(s_d, p_d)
+
+    def test_plain_shards_fall_back_bit_identically(
+        self, tied_index, tied_queries, planner
+    ):
+        """A mixed fleet — some shards lack the preselected entry — still
+        answers exactly; the plan is simply unused on the legacy ones."""
+        parts = partition_index(tied_index, 3)
+        backend = ShardedBackend(
+            [parts[0], _PlainShard(parts[1]), parts[2]], preselect=planner
+        )
+        ref_i, ref_d = tied_index.search(tied_queries, 5, 4)
+        got_i, got_d = backend.search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_no_nprobe_skips_planner(self, planner):
+        """Without an explicit nprobe there is no plan to compute — the
+        scatter goes out as plain search frames."""
+        backend = ShardedBackend(
+            [_CountingBackend(d=16) for _ in range(2)], preselect=planner
+        )
+        b0 = planner.stats.preselect_batches
+        backend.search_batch(np.zeros((3, 16), dtype=np.float32), 5)
+        assert planner.stats.preselect_batches == b0
+        assert backend.preselect_scatters == 0
+
+    def test_degrade_mode_composes_with_preselect(
+        self, tied_index, tied_queries, planner
+    ):
+        parts = partition_index(tied_index, 3)
+        backend = ShardedBackend(
+            [parts[0], _FailingBackend(parts[1]), parts[2]],
+            preselect=planner, on_shard_error="degrade",
+        )
+        got_i, got_d = backend.search_batch(tied_queries, 5, 4)
+        assert backend.last_coverage() == pytest.approx(
+            _survivor_coverage(parts, [0, 2])
+        )
+        ref_i, ref_d = ShardedBackend(
+            [parts[0], parts[2]]
+        ).search_batch(tied_queries, 5, 4)
+        np.testing.assert_array_equal(got_i, ref_i)
+        np.testing.assert_array_equal(got_d, ref_d)
+
+    def test_non_planner_rejected(self, tied_index):
+        with pytest.raises(ValueError, match="preselect"):
+            ShardedBackend(
+                partition_index(tied_index, 2), preselect=object()
+            )

@@ -1,0 +1,169 @@
+"""Tests for the multi-process data plane (repro/serve/workers.py).
+
+Real subprocesses, real sockets: a :class:`WorkerPool` over a saved
+index directory must answer bit-identically to in-process search through
+both scatter paths (per-query search frames and the preselect-once
+frame), survive a SIGKILL'd worker in degraded mode with zero failed
+requests, and shut down gracefully on the stdin-close handshake.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.io import load_index_dir, save_index_dir
+from repro.ann.ivf import IVFPQIndex
+from repro.data.synthetic import make_clustered
+from repro.serve.scheduler import ServingEngine
+from repro.serve.workers import WorkerPool
+
+K = 5
+NPROBE = 6
+D = 16
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A small trained index, its saved directory, and query block."""
+    vecs = make_clustered(2060, D, n_clusters=32, intrinsic_dim=6, seed=13)
+    base, queries = vecs[:2000], vecs[2000:2048]
+    index = IVFPQIndex(d=D, nlist=32, m=4, ksub=16, use_opq=True, seed=3)
+    index.train(base)
+    index.add(base)
+    return index, queries
+
+
+@pytest.fixture(scope="module")
+def saved_dir(corpus, tmp_path_factory):
+    index, _ = corpus
+    path = tmp_path_factory.mktemp("workers") / "index"
+    save_index_dir(index, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def pool(saved_dir):
+    """One 3-worker pool shared by the non-destructive tests."""
+    with WorkerPool(saved_dir, 3, startup_timeout_s=120) as p:
+        yield p
+
+
+class TestPoolLifecycle:
+    def test_handshake_reports_shards(self, pool, corpus):
+        index, _ = corpus
+        assert [w.shard for w in pool.workers] == [0, 1, 2]
+        assert all(w.d == D for w in pool.workers)
+        assert sum(w.ntotal for w in pool.workers) == index.ntotal
+        assert pool.alive == [True, True, True]
+        assert pool.poll() == {}
+
+    def test_missing_index_dir_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="meta.npz"):
+            WorkerPool(tmp_path / "nope", 2)
+
+    def test_bad_worker_count_rejected(self, saved_dir):
+        with pytest.raises(ValueError, match="n_workers"):
+            WorkerPool(saved_dir, 0)
+
+    def test_graceful_stop_exits_zero(self, saved_dir):
+        pool = WorkerPool(saved_dir, 2).start()
+        procs = list(pool._procs)
+        pool.stop()
+        assert [p.returncode for p in procs] == [0, 0]
+
+
+class TestRemoteScatter:
+    def test_search_frames_bit_identical(self, pool, corpus):
+        index, queries = corpus
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        router = pool.sharded_backend()
+        ids, dists = router.search_batch(queries, K, NPROBE)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(dists, ref_dists)
+
+    def test_preselect_scatter_bit_identical(self, pool, saved_dir, corpus):
+        index, queries = corpus
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        planner = load_index_dir(saved_dir, mmap=True)
+        router = pool.sharded_backend(preselect=planner)
+        ids, dists = router.search_batch(queries, K, NPROBE)
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(dists, ref_dists)
+
+    def test_coarse_runs_once_per_batch_at_router(self, pool, saved_dir, corpus):
+        """The preselect-once contract: one coarse run per scatter at the
+        router, none at the workers (their codes-scanned totals account
+        for exactly the scan work, which partitions across shards)."""
+        index, queries = corpus
+        planner = load_index_dir(saved_dir, mmap=True)
+        router = pool.sharded_backend(preselect=planner)
+        c0 = [b.codes_scanned for b in router.shards]
+        for lo in range(0, 48, 16):
+            router.search_batch(queries[lo : lo + 16], K, NPROBE)
+        assert planner.stats.preselect_batches == 3
+        assert planner.stats.preselect_queries == 48
+        assert router.preselect_scatters == 3
+        # The same workload, single-process, scans this many codes:
+        fresh = load_index_dir(saved_dir, mmap=True)
+        s0 = fresh.stats.codes_scanned
+        fresh.search(queries, K, NPROBE)
+        per_search = fresh.stats.codes_scanned - s0
+        scanned = sum(
+            b.codes_scanned - c for b, c in zip(router.shards, c0)
+        )
+        assert scanned == per_search
+
+    def test_engine_over_remote_router_bit_identical(self, pool, saved_dir, corpus):
+        """The full serving pipeline — engine micro-batching over the
+        preselect scatter — still answers bit for bit."""
+        index, queries = corpus
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        planner = load_index_dir(saved_dir, mmap=True)
+        router = pool.sharded_backend(preselect=planner)
+        with ServingEngine(router, max_batch=8, max_wait_us=2000.0) as eng:
+            futs = [eng.submit(q, K, NPROBE) for q in queries]
+            got = [f.result() for f in futs]
+        np.testing.assert_array_equal(np.stack([g.ids for g in got]), ref_ids)
+        np.testing.assert_array_equal(
+            np.stack([g.dists for g in got]), ref_dists
+        )
+        assert all(g.coverage == 1.0 for g in got)
+
+
+class TestWorkerCrash:
+    def test_kill_mid_run_degrades_without_failures(self, saved_dir, corpus):
+        """SIGKILL one worker mid-load: every request completes (zero
+        errors), later answers carry partial coverage, and the pool
+        reports the dead worker."""
+        index, queries = corpus
+        planner = load_index_dir(saved_dir, mmap=True)
+        with WorkerPool(saved_dir, 3, startup_timeout_s=120) as pool:
+            router = pool.sharded_backend(
+                preselect=planner, on_shard_error="degrade"
+            )
+            with ServingEngine(router, max_batch=8, max_wait_us=0.0) as eng:
+                before = [f.result() for f in
+                          [eng.submit(q, K, NPROBE) for q in queries[:16]]]
+                pool.kill(1)
+                after = [f.result() for f in
+                         [eng.submit(q, K, NPROBE) for q in queries[16:]]]
+            assert all(r.coverage == 1.0 for r in before)
+            # No request failed; everything after the crash is answered
+            # from the surviving shards and stamped partial.
+            assert len(after) == len(queries) - 16
+            assert all(0.0 < r.coverage < 1.0 for r in after)
+            dead_weight = pool.workers[1].ntotal / index.ntotal
+            assert after[-1].coverage == pytest.approx(1.0 - dead_weight)
+            assert router.shard_errors[1] > 0
+            assert pool.poll() == {1: -9}
+            assert pool.alive == [True, False, True]
+            # Surviving shards still answer *exactly* over their data:
+            # the degraded result equals an in-process merge over the
+            # two live shards.
+            from repro.ann.merge import merge_partial_topk
+            from repro.ann.partition import partition_index
+
+            shards = partition_index(index, 3)
+            parts = [shards[p].search(queries[-1:], K, NPROBE) for p in (0, 2)]
+            ref_ids, ref_dists = merge_partial_topk(parts, K)
+            np.testing.assert_array_equal(after[-1].ids, ref_ids[0])
+            np.testing.assert_array_equal(after[-1].dists, ref_dists[0])
