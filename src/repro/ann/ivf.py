@@ -30,6 +30,7 @@ from repro.ann.merge import merge_topk
 from repro.ann.kmeans import kmeans_fit
 from repro.ann.opq import OPQTransform
 from repro.ann.pq import ProductQuantizer
+from repro.obs.trace import current_span, now_us
 
 __all__ = ["IVFPQIndex", "IVFStats"]
 
@@ -487,9 +488,18 @@ class IVFPQIndex:
         record every invocation (including the ones inside
         :meth:`search`), making coarse-once topologies observable.
         """
+        # Stage timers hang off the caller's active span (NOOP when no
+        # request is being traced — one falsy check, no timestamping).
+        span = current_span()
+        t0 = now_us() if span else 0
         queries_t = self.stage_opq(queries)
         cell_dists = self.stage_ivf_dist(queries_t)
         probed = self.stage_select_cells(cell_dists, nprobe)
+        if span:
+            span.interval(
+                "ivf_coarse", t0, now_us(),
+                args={"nq": int(queries_t.shape[0]), "nprobe": int(nprobe)},
+            )
         self.stats.preselect_batches += 1
         self.stats.preselect_queries += queries_t.shape[0]
         return queries_t, probed
@@ -515,13 +525,25 @@ class IVFPQIndex:
         out_ids = np.empty((nq, k), dtype=np.int64)
         out_dists = np.empty((nq, k), dtype=np.float32)
         codes_scanned = 0
+        # Per-block stage timers hang off the caller's active span (NOOP
+        # when untraced: one falsy check per block, no timestamping).
+        span = current_span()
         for s in range(0, nq, block):
             sub = probed[s : s + block]
+            t0 = now_us() if span else 0
             luts = self.stage_build_luts_batch(queries_t[s : s + block], sub)
+            t1 = now_us() if span else 0
             dists_f, ids_f, bounds = self.stage_pq_dist_batch(luts, sub)
+            t2 = now_us() if span else 0
             out_ids[s : s + block], out_dists[s : s + block] = self.stage_select_k_batch(
                 dists_f, ids_f, bounds, k
             )
+            if span:
+                span.interval("ivf_build_lut", t0, t1)
+                span.interval(
+                    "ivf_pq_scan", t1, t2, args={"codes": int(bounds[-1])}
+                )
+                span.interval("ivf_select_k", t2, now_us())
             codes_scanned += int(bounds[-1])
         return out_ids, out_dists, codes_scanned
 

@@ -30,6 +30,16 @@ the only mode whose scaling needs real CPU cores)::
     python -m repro.harness.cli serve-bench --workers 1,2,4
     python -m repro.harness.cli serve-bench --workers 1,2 --quick
 
+The basic and ``--workers`` modes also take ``--trace out.trace.json``
+(plus ``--trace-sample``) to record an end-to-end request trace — one
+merged Chrome/Perfetto JSON spanning router and worker processes — and
+``--metrics-out metrics.json`` to dump the full metrics registries.
+``trace-report`` analyzes a recorded trace offline (per-stage latency
+percentiles and the critical path)::
+
+    python -m repro.harness.cli serve-bench --workers 2 --trace out.trace.json
+    python -m repro.harness.cli trace-report --trace out.trace.json
+
 Every flag is documented in the README's CLI reference table.
 """
 
@@ -42,6 +52,8 @@ import time
 from repro.harness import fig01, fig03, fig09, fig10, fig11, fig12, tab03, tab04
 from repro.harness import serve_bench
 from repro.harness.context import small_context
+from repro.obs.export import load_chrome_trace
+from repro.obs.report import TraceReport
 from repro.serve.routing import POLICIES
 
 #: name -> (needs_context, runner(ctx, args))
@@ -55,7 +67,12 @@ EXPERIMENTS = {
     "fig11": (True, lambda ctx, args: fig11.run(ctx)),
     "fig12": (True, lambda ctx, args: fig12.run(ctx)),
     "serve-bench": (False, lambda ctx, args: _run_serve_bench(args)),
+    "trace-report": (False, lambda ctx, args: _run_trace_report(args)),
 }
+
+#: Experiments excluded from ``all`` (they analyze prior output instead
+#: of producing their own).
+NOT_IN_ALL = {"trace-report"}
 
 
 def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
@@ -69,9 +86,31 @@ def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
     return counts
 
 
+def _run_trace_report(args: argparse.Namespace) -> TraceReport:
+    """Analyze a Chrome trace written by ``serve-bench --trace``."""
+    if args.trace is None:
+        raise SystemExit(
+            "trace-report requires --trace PATH (a Chrome trace written by "
+            "serve-bench --trace)"
+        )
+    return TraceReport.from_chrome(load_chrome_trace(args.trace))
+
+
+def _obs_overrides(args: argparse.Namespace) -> dict:
+    """Tracing/metrics kwargs shared by the basic and --workers modes."""
+    obs: dict = {}
+    if args.trace is not None:
+        obs["trace_path"] = args.trace
+        obs["trace_sample"] = args.trace_sample
+    if args.metrics_out is not None:
+        obs["metrics_out"] = args.metrics_out
+    return obs
+
+
 def _run_serve_bench(args: argparse.Namespace):
     """Dispatch serve-bench to the basic, replicated, QoS, async, or
     multi-process runner."""
+    obs = _obs_overrides(args)
     if args.workers is not None:
         if (
             args.async_bench
@@ -92,10 +131,20 @@ def _run_serve_bench(args: argparse.Namespace):
         if args.requests is not None:
             overrides["n_requests"] = args.requests
         return serve_bench.run_multiproc(
-            workers=workers, seed=args.seed, **overrides
+            workers=workers, seed=args.seed, **overrides, **obs
         )
     if args.quick:
         raise SystemExit("--quick applies to the --workers mode only")
+    if obs and (
+        args.async_bench
+        or args.qos
+        or args.replicas is not None
+        or args.shards is not None
+    ):
+        raise SystemExit(
+            "--trace/--trace-sample/--metrics-out apply to the basic and "
+            "--workers modes only"
+        )
     if args.async_bench:
         if (
             args.qos
@@ -143,7 +192,7 @@ def _run_serve_bench(args: argparse.Namespace):
     if args.replicas is None and args.shards is None:
         if args.policy is not None:
             raise SystemExit("--policy applies to the replicated mode only")
-        return serve_bench.run(seed=args.seed, **overrides)
+        return serve_bench.run(seed=args.seed, **overrides, **obs)
     replicas = _parse_counts(args.replicas or "1,2,3", "--replicas")
     shards = _parse_counts(args.shards or "1", "--shards")
     return serve_bench.run_replicated(
@@ -246,8 +295,40 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--seed", type=int, default=0, help="workload seed (default: 0)"
     )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a merged Chrome/Perfetto trace of the serve-bench run "
+            "here (basic and --workers modes); for trace-report, the trace "
+            "file to analyze"
+        ),
+    )
+    obs.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-sampling probability for --trace (default: 1.0)",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="dump the full metrics-registry snapshot(s) as JSON here",
+    )
     args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise SystemExit(
+            f"--trace-sample must be in [0, 1], got {args.trace_sample}"
+        )
+    names = (
+        sorted(set(EXPERIMENTS) - NOT_IN_ALL)
+        if "all" in args.experiments
+        else args.experiments
+    )
 
     ctx = None
     for name in names:

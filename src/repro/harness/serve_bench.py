@@ -48,11 +48,13 @@ before any timing is reported — a fast wrong answer is not a speedup.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -68,6 +70,8 @@ from repro.net.wire import (
     result_frame_bytes,
     search_frame_bytes,
 )
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import Tracer
 from repro.serve.aio import AsyncClient, AsyncServingEngine, VectorSearchServer
 from repro.serve.backends import InstrumentedBackend, SimulatedDeviceBackend
 from repro.serve.cache import QueryResultCache
@@ -193,6 +197,20 @@ def build_serving_index(
     return index, queries
 
 
+def _make_tracer(
+    trace_path: str | None, trace_sample: float, seed: int
+) -> Tracer | None:
+    """A seeded tracer when a trace file was requested, else None."""
+    if trace_path is None:
+        return None
+    return Tracer(sample_rate=trace_sample, seed=seed)
+
+
+def _write_metrics(path, payload: dict) -> None:
+    """Dump a full metrics-registry payload as pretty JSON."""
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
 def verify_bit_identical(
     index: IVFPQIndex, queries: np.ndarray, *, max_batch: int = 16,
     max_wait_us: float = 2000.0, k: int = K, nprobe: int = NPROBE,
@@ -217,10 +235,21 @@ def run(
     k: int = K,
     nprobe: int = NPROBE,
     seed: int = 0,
+    trace_path: str | None = None,
+    trace_sample: float = 1.0,
+    metrics_out: str | None = None,
 ) -> ServeBenchResult:
-    """Run the serving comparison (ctx unused; the index is self-built)."""
+    """Run the serving comparison (ctx unused; the index is self-built).
+
+    With ``trace_path`` every configuration serves through one shared
+    :class:`~repro.obs.trace.Tracer` (head-sampled at ``trace_sample``)
+    and the merged Chrome/Perfetto trace is written there at the end;
+    with ``metrics_out`` each configuration's full metrics-registry
+    snapshot is dumped as JSON.
+    """
     index, queries = build_serving_index(seed=seed)
     bit_identical = verify_bit_identical(index, queries[:64], k=k, nprobe=nprobe)
+    tracer = _make_tracer(trace_path, trace_sample, seed)
 
     configs: list[tuple[str, int, float, bool]] = [
         ("batch-1", 1, 0.0, False),
@@ -231,17 +260,24 @@ def run(
     configs.append(("batched + cache", max_batch, windows_us[-1], True))
 
     rows: list[ServeConfigRow] = []
+    config_metrics: dict[str, dict] = {}
     for name, mb, wait, use_cache in configs:
         backend = InstrumentedBackend(index)
         cache = QueryResultCache(capacity=4 * N_QUERY_POOL) if use_cache else None
         with ServingEngine(
-            backend, max_batch=mb, max_wait_us=wait, cache=cache
+            backend, max_batch=mb, max_wait_us=wait, cache=cache, tracer=tracer
         ) as engine:
             report = run_closed_loop(
                 engine, queries, k, nprobe,
                 n_clients=n_clients, n_requests=n_requests,
             )
+        config_metrics[name] = engine.metrics.snapshot().to_dict()
         rows.append(ServeConfigRow(name, mb, wait, use_cache, report))
+
+    if tracer is not None:
+        write_chrome_trace(trace_path, tracer.spans(), dropped=tracer.dropped)
+    if metrics_out is not None:
+        _write_metrics(metrics_out, {"mode": "basic", "configs": config_metrics})
 
     return ServeBenchResult(
         rows=rows,
@@ -1341,6 +1377,9 @@ def run_multiproc(
     k: int = MP_K,
     nprobe: int = MP_NPROBE,
     seed: int = 0,
+    trace_path: str | None = None,
+    trace_sample: float = 1.0,
+    metrics_out: str | None = None,
 ) -> MultiprocServeResult:
     """Measure the multi-process data plane across worker counts.
 
@@ -1358,6 +1397,13 @@ def run_multiproc(
     for bit against direct ``IVFPQIndex.search``; after timing, the
     planner's stage counters must show exactly one coarse run per
     dispatched batch and one planned query per completed request.
+
+    With ``trace_path`` the router-side engine traces sampled requests
+    end to end; after each sweep point the workers' span buffers are
+    drained over the stats frame and merged into one Chrome/Perfetto
+    trace whose worker lanes carry the worker pids.  With
+    ``metrics_out`` each point dumps the router registry plus every
+    worker's scraped registry snapshot.
     """
     if any(w < 1 for w in workers):
         raise ValueError(f"worker counts must be >= 1, got {workers}")
@@ -1365,6 +1411,9 @@ def run_multiproc(
         n_base=n_base, d=d, nlist=nlist, m=m, ksub=ksub, seed=seed
     )
     ref_ids, ref_dists = index.search(queries, k, nprobe)
+    tracer = _make_tracer(trace_path, trace_sample, seed)
+    worker_dropped = 0
+    point_metrics: dict[str, dict] = {}
 
     rows: list[MultiprocConfigRow] = []
     bit_identical = True
@@ -1395,11 +1444,29 @@ def run_multiproc(
                     max_batch=max_batch,
                     max_wait_us=max_wait_us,
                     dispatchers=2,
+                    tracer=tracer,
                 ) as engine:
                     report = run_closed_loop(
                         engine, queries, k, nprobe,
                         n_clients=n_clients, n_requests=n_requests,
                     )
+                if tracer is not None or metrics_out is not None:
+                    # Scrape the workers while they are still alive:
+                    # drain any spans not already piggybacked on result
+                    # frames, and collect each worker's registry.
+                    scrape = pool.stats(drain_spans=tracer is not None)
+                    if tracer is not None:
+                        for w in scrape["workers"]:
+                            tracer.ingest(w.get("spans") or ())
+                            worker_dropped += int(w.get("dropped_spans", 0))
+                    point_metrics[f"workers={n}"] = {
+                        "router": engine.metrics.snapshot().to_dict(),
+                        "workers": [
+                            {"pid": w.get("pid"), "metrics": w.get("metrics")}
+                            for w in scrape["workers"]
+                        ],
+                        "counters": scrape["counters"],
+                    }
                 planned_batches = planner.stats.preselect_batches - b0
                 planned_queries = planner.stats.preselect_queries - q0
                 coarse_once &= (
@@ -1422,6 +1489,13 @@ def run_multiproc(
                         ],
                     )
                 )
+
+    if tracer is not None:
+        write_chrome_trace(
+            trace_path, tracer.spans(), dropped=tracer.dropped + worker_dropped
+        )
+    if metrics_out is not None:
+        _write_metrics(metrics_out, {"mode": "multiproc", "points": point_metrics})
 
     return MultiprocServeResult(
         rows=rows,

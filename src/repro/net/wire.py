@@ -36,7 +36,10 @@ __all__ = [
     "FRAME_PRESELECT",
     "FRAME_RESULT",
     "FRAME_SEARCH",
+    "FRAME_STATS",
+    "FRAME_STATS_REQUEST",
     "MAX_FRAME_BYTES",
+    "TRACE_CTX",
     "WIRE_MAGIC",
     "WIRE_VERSION",
     "batch_result_frame_bytes",
@@ -44,6 +47,8 @@ __all__ = [
     "preselect_frame_bytes",
     "result_frame_bytes",
     "search_frame_bytes",
+    "stats_frame_bytes",
+    "stats_request_frame_bytes",
 ]
 
 #: Frame-header magic: rejects peers that are not speaking this protocol.
@@ -60,6 +65,8 @@ FRAME_RESULT = 0x02  # server -> client: one answer
 FRAME_ERROR = 0x03  # server -> client: shed / quota / failure
 FRAME_PRESELECT = 0x04  # router -> shard worker: preselected query batch
 FRAME_BATCH_RESULT = 0x05  # shard worker -> router: batched partial top-K
+FRAME_STATS_REQUEST = 0x06  # router -> worker: scrape metrics (+ drain spans)
+FRAME_STATS = 0x07  # worker -> router: metrics snapshot + drained spans
 
 #: Upper bound on any payload; a corrupt or hostile length prefix must
 #: never make a peer buffer gigabytes (a 4096-d f32 query is ~16 KiB).
@@ -86,15 +93,31 @@ ERROR_FIXED = struct.Struct("<IBfH")
 PRESELECT_FIXED = struct.Struct("<IHBIHI")
 #: Fixed part of a batch-result payload: request_id u32, nq u32, k u16,
 #: flags u8, exec_us f32, codes_scanned u64.  Followed by the (nq, k)
-#: i64 ids and the (nq, k) f32 distances.
+#: i64 ids and the (nq, k) f32 distances, then (when the spans flag is
+#: set) a u32 blob length and that many bytes of JSON span records.
 BATCH_RESULT_FIXED = struct.Struct("<IIHBfQ")
+#: Optional trace context appended to search/preselect payloads when the
+#: frame's ``traced`` flag bit is set: trace_id u64, parent_span_id u64.
+#: The flag bit itself carries the head-sampling decision, so an
+#: untraced frame is byte-identical to the pre-tracing layout.
+TRACE_CTX = struct.Struct("<QQ")
+#: Stats-request payload: request_id u32, flags u8 (bit 0 = drain spans).
+STATS_REQUEST_FIXED = struct.Struct("<IB")
+#: Stats payload: request_id u32, followed by a JSON snapshot blob
+#: (length implied by the frame's payload length).
+STATS_FIXED = struct.Struct("<I")
 
 
-def search_frame_bytes(d: int, tenant_bytes: int = 0) -> int:
-    """Total on-wire bytes of one search frame for a ``d``-dim f32 query."""
+def search_frame_bytes(d: int, tenant_bytes: int = 0, traced: bool = False) -> int:
+    """Total on-wire bytes of one search frame for a ``d``-dim f32 query.
+
+    ``traced`` charges the optional trace-context tail — the exact delta
+    a sampled request adds on the wire.
+    """
     if d < 1:
         raise ValueError(f"d must be >= 1, got {d}")
-    return FRAME_HEADER.size + SEARCH_FIXED.size + tenant_bytes + 4 * d
+    base = FRAME_HEADER.size + SEARCH_FIXED.size + tenant_bytes + 4 * d
+    return base + (TRACE_CTX.size if traced else 0)
 
 
 def result_frame_bytes(k: int) -> int:
@@ -109,13 +132,16 @@ def error_frame_bytes(message_bytes: int = 0) -> int:
     return FRAME_HEADER.size + ERROR_FIXED.size + message_bytes
 
 
-def preselect_frame_bytes(nq: int, nprobe: int, d: int) -> int:
+def preselect_frame_bytes(
+    nq: int, nprobe: int, d: int, traced: bool = False
+) -> int:
     """Total on-wire bytes of one preselect-scatter frame.
 
     The frame the router sends each shard worker: ``nq`` rotated f32
     queries plus the ``(nq, nprobe)`` i32 preselected cell list — the
     *real* scatter payload the preselect-once data plane puts on the
     wire, so the LogGP/TCP models charge cell lists, not just vectors.
+    ``traced`` charges the optional trace-context tail.
     """
     if nq < 1:
         raise ValueError(f"nq must be >= 1, got {nq}")
@@ -123,13 +149,31 @@ def preselect_frame_bytes(nq: int, nprobe: int, d: int) -> int:
         raise ValueError(f"nprobe must be >= 1, got {nprobe}")
     if d < 1:
         raise ValueError(f"d must be >= 1, got {d}")
-    return FRAME_HEADER.size + PRESELECT_FIXED.size + 4 * nq * nprobe + 4 * nq * d
+    base = FRAME_HEADER.size + PRESELECT_FIXED.size + 4 * nq * nprobe + 4 * nq * d
+    return base + (TRACE_CTX.size if traced else 0)
 
 
-def batch_result_frame_bytes(nq: int, k: int) -> int:
-    """Total on-wire bytes of one batched partial-top-K result frame."""
+def batch_result_frame_bytes(nq: int, k: int, span_bytes: int = 0) -> int:
+    """Total on-wire bytes of one batched partial-top-K result frame.
+
+    ``span_bytes`` charges the optional piggybacked span blob (u32
+    length prefix + JSON records) a traced scatter ships back.
+    """
     if nq < 1:
         raise ValueError(f"nq must be >= 1, got {nq}")
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    return FRAME_HEADER.size + BATCH_RESULT_FIXED.size + 12 * nq * k
+    base = FRAME_HEADER.size + BATCH_RESULT_FIXED.size + 12 * nq * k
+    return base + (4 + span_bytes if span_bytes else 0)
+
+
+def stats_request_frame_bytes() -> int:
+    """Total on-wire bytes of one stats-request frame."""
+    return FRAME_HEADER.size + STATS_REQUEST_FIXED.size
+
+
+def stats_frame_bytes(blob_bytes: int) -> int:
+    """Total on-wire bytes of one stats frame with a ``blob_bytes`` JSON body."""
+    if blob_bytes < 0:
+        raise ValueError(f"blob_bytes must be >= 0, got {blob_bytes}")
+    return FRAME_HEADER.size + STATS_FIXED.size + blob_bytes

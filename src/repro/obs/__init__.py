@@ -1,0 +1,26 @@
+"""Observability: request tracing, trace export, and critical-path reports.
+
+The package is deliberately dependency-free (stdlib only) so every tier —
+the asyncio front end, the micro-batching engine, the scatter-gather
+router, the IVF-PQ kernels, and the worker processes — can import it
+without cost.  ``trace`` holds the tracer core, ``export`` the
+JSONL/Chrome-trace sinks, ``report`` the critical-path analyzer.
+"""
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    current_span,
+    now_us,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "current_span",
+    "now_us",
+]

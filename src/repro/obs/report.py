@@ -1,0 +1,152 @@
+"""Critical-path analysis over recorded spans.
+
+Answers the question aggregate percentiles cannot: *where* does a slow
+request spend its time?  Two views:
+
+- **Stage table** — per span name, count and p50/p99/max duration, plus
+  the *amortized* duration for batched stages: a span carrying a
+  ``batch_size`` argument (the engine's ``exec`` span) did work for
+  ``batch_size`` requests at once, so its per-request attribution is
+  ``dur / batch_size``.  Comparing raw vs amortized columns shows how
+  much of the measured stage cost micro-batching actually amortizes.
+- **Critical path** — per root span, its direct children partition the
+  request's wall time; the residue (root duration minus the union of
+  child intervals) is reported as ``(untracked)``.  Aggregated across
+  roots this is the per-stage breakdown of end-to-end latency.
+
+Input is either raw span dicts (``Span.to_dict`` shape) or a Chrome
+trace file produced by :mod:`repro.obs.export` — the exporter preserves
+span identity in event ``args`` precisely so this module can rebuild
+the tree offline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["StageStats", "TraceReport"]
+
+
+def _pct(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+@dataclass
+class StageStats:
+    """Duration distribution for one span name."""
+
+    name: str
+    durs_us: list = field(default_factory=list)
+    amortized_us: list = field(default_factory=list)
+
+    def row(self) -> tuple:
+        """(name, count, p50, p99, max, amortized-p50 or None)."""
+        durs = sorted(self.durs_us)
+        amort = sorted(self.amortized_us)
+        return (
+            self.name,
+            len(durs),
+            _pct(durs, 0.50),
+            _pct(durs, 0.99),
+            durs[-1] if durs else 0.0,
+            _pct(amort, 0.50) if amort else None,
+        )
+
+
+class TraceReport:
+    """Stage timing + critical-path breakdown built from span records."""
+
+    def __init__(self, spans):
+        self.spans = [s for s in spans if s.get("dur") is not None]
+        self.stages: dict[str, StageStats] = {}
+        self.path_us: dict[str, list] = defaultdict(list)
+        self.n_traces = 0
+        self._analyze()
+
+    @classmethod
+    def from_chrome(cls, trace: dict) -> "TraceReport":
+        """Build from a parsed Chrome trace (re-lifting span ids from args)."""
+        spans = []
+        for ev in trace.get("traceEvents", []):
+            if ev.get("ph") != "X":
+                continue
+            args = dict(ev.get("args") or {})
+            spans.append(
+                {
+                    "name": ev["name"],
+                    "trace": args.pop("trace", None),
+                    "span": args.pop("span", None),
+                    "parent": args.pop("parent", None),
+                    "pid": ev.get("pid"),
+                    "tid": ev.get("tid"),
+                    "ts": ev.get("ts", 0),
+                    "dur": ev.get("dur", 0),
+                    "args": args,
+                }
+            )
+        return cls(spans)
+
+    def _analyze(self) -> None:
+        children = defaultdict(list)
+        roots = []
+        for s in self.spans:
+            name = s["name"]
+            dur = float(s.get("dur", 0))
+            stage = self.stages.setdefault(name, StageStats(name))
+            stage.durs_us.append(dur)
+            batch = (s.get("args") or {}).get("batch_size")
+            if batch:
+                stage.amortized_us.append(dur / max(1, int(batch)))
+            if s.get("parent") is None:
+                roots.append(s)
+            else:
+                children[s["parent"]].append(s)
+        self.n_traces = len(roots)
+        for root in roots:
+            kids = sorted(children.get(root["span"], []), key=lambda c: c["ts"])
+            covered = 0.0
+            for kid in kids:
+                dur = float(kid.get("dur", 0))
+                self.path_us[kid["name"]].append(dur)
+                covered += dur
+            self.path_us["(untracked)"].append(
+                max(0.0, float(root.get("dur", 0)) - covered)
+            )
+
+    def format(self) -> str:
+        """Render the stage table and the critical-path breakdown."""
+        lines = [
+            f"{len(self.spans)} span(s), {self.n_traces} sampled request(s)",
+            "",
+            "stage durations (us)",
+            f"  {'span':<24} {'count':>6} {'p50':>10} {'p99':>10} "
+            f"{'max':>10} {'amort p50':>10}",
+        ]
+        for name in sorted(self.stages):
+            _, count, p50, p99, mx, amort = self.stages[name].row()
+            amort_s = f"{amort:10.1f}" if amort is not None else f"{'-':>10}"
+            lines.append(
+                f"  {name:<24} {count:>6} {p50:>10.1f} {p99:>10.1f} "
+                f"{mx:>10.1f} {amort_s}"
+            )
+        if self.path_us:
+            lines += [
+                "",
+                "critical path per request (direct children of the root span, us)",
+                f"  {'stage':<24} {'count':>6} {'p50':>10} {'p99':>10} {'share':>7}",
+            ]
+            totals = {k: sum(v) for k, v in self.path_us.items()}
+            grand = sum(totals.values()) or 1.0
+            for name in sorted(self.path_us, key=lambda k: -totals[k]):
+                vals = sorted(self.path_us[name])
+                share = 100.0 * totals[name] / grand
+                lines.append(
+                    f"  {name:<24} {len(vals):>6} {_pct(vals, 0.5):>10.1f} "
+                    f"{_pct(vals, 0.99):>10.1f} {share:>6.1f}%"
+                )
+        return "\n".join(lines)

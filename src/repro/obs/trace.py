@@ -1,0 +1,349 @@
+"""Request tracer: spans, cross-process context, head sampling.
+
+Design constraints, in priority order:
+
+1. **Zero cost when off.**  Instrumentation sites run unconditionally in
+   hot paths (scheduler dispatch, scatter-gather, the IVF stage loop),
+   so the disabled path must not branch into timestamping.  Every
+   "make me a span" call returns the shared :data:`NOOP_SPAN` singleton
+   when tracing is off or the request was not sampled; all of its
+   methods are empty and it is falsy, so call sites pay one attribute
+   lookup and nothing else.
+2. **Monotonic, cross-process-comparable timestamps.**  Span times are
+   ``time.perf_counter_ns() // 1000`` microseconds.  On Linux
+   ``perf_counter`` is ``CLOCK_MONOTONIC``, whose epoch (boot) is shared
+   by every process on the host, so router and worker spans land on one
+   timeline without clock negotiation.
+3. **Head sampling.**  The sampling decision is made once, where the
+   root span opens (:meth:`Tracer.start_trace`); every downstream tier —
+   including worker processes on the far side of a socket — inherits it
+   through :class:`SpanContext`, never re-rolls it.
+4. **Bounded memory.**  Finished spans land in a fixed-capacity buffer;
+   overflow increments a drop counter instead of growing or corrupting
+   the buffer.
+
+Span identity is ``(pid << 32) | counter`` — unique across live
+processes without coordination, deterministic within a process, and
+readable when debugging (the owning pid is visible in the id).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "current_span",
+    "now_us",
+]
+
+
+def now_us() -> int:
+    """Current monotonic time in integer microseconds (host-wide clock)."""
+    return time.perf_counter_ns() // 1_000
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The portable identity of a span: what crosses threads and the wire.
+
+    ``span_id`` names the span that remote/child work should parent
+    under; ``sampled`` carries the head-sampling decision so downstream
+    tiers never re-roll it.
+    """
+
+    trace_id: int
+    span_id: int
+    sampled: bool = True
+
+
+class _NoopSpan:
+    """Inert stand-in returned when tracing is off or a request is unsampled.
+
+    Falsy, immutable, and shared: every method is a no-op returning
+    ``self`` (or ``None`` where a real value would leak), so call sites
+    can be written unconditionally.
+    """
+
+    __slots__ = ()
+    sampled = False
+    trace_id = 0
+    span_id = 0
+    tracer = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def child(self, name, args=None, t0_us=None):
+        """Return the no-op span itself (children of nothing are nothing)."""
+        return self
+
+    def interval(self, name, t0_us, t1_us, args=None):
+        """Discard the retroactive interval."""
+        return self
+
+    def annotate(self, **kwargs) -> None:
+        """Discard annotations."""
+
+    def context(self):
+        """No context: callers must not propagate an unsampled span."""
+        return None
+
+    def end(self, t_us=None) -> None:
+        """Nothing to finish."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared inert span; the only _NoopSpan instance that should ever exist.
+NOOP_SPAN = _NoopSpan()
+
+_ACTIVE = threading.local()
+
+
+def current_span():
+    """The span activated on this thread (via ``with span:``), else NOOP_SPAN.
+
+    Thread-locality is deliberate: pool threads do **not** inherit the
+    submitting thread's span — cross-thread hops must capture a span
+    object (or its :class:`SpanContext`) explicitly and re-activate it.
+    """
+    span = getattr(_ACTIVE, "span", None)
+    return span if span is not None else NOOP_SPAN
+
+
+class Span:
+    """One timed operation in a trace; records itself to the tracer on end.
+
+    Entering a span as a context manager *activates* it on the current
+    thread (so :func:`current_span` children nest under it) and ends it
+    on exit.  ``end`` is idempotent: the first call stamps the duration
+    and buffers the span, later calls are ignored.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "pid",
+        "tid",
+        "tname",
+        "t0_us",
+        "dur_us",
+        "args",
+        "_prev",
+    )
+
+    sampled = True
+
+    def __init__(self, tracer, name, trace_id, span_id, parent_id, t0_us=None, args=None):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = os.getpid()
+        thread = threading.current_thread()
+        self.tid = thread.ident or 0
+        self.tname = thread.name
+        self.t0_us = now_us() if t0_us is None else t0_us
+        self.dur_us = None
+        self.args = dict(args) if args else {}
+        self._prev = None
+
+    @property
+    def tracer(self):
+        """The tracer this span records to (used to ingest remote spans)."""
+        return self._tracer
+
+    def context(self) -> SpanContext:
+        """Portable identity for propagating this span across the wire."""
+        return SpanContext(self.trace_id, self.span_id, True)
+
+    def child(self, name, args=None, t0_us=None) -> "Span":
+        """Open a child span (same trace, parented under this span)."""
+        return Span(
+            self._tracer, name, self.trace_id, self._tracer._new_id(),
+            parent_id=self.span_id, t0_us=t0_us, args=args,
+        )
+
+    def interval(self, name, t0_us, t1_us, args=None) -> "Span":
+        """Record a retroactive child covering ``[t0_us, t1_us]``.
+
+        Used for phases whose boundaries were measured before the span
+        tree existed (e.g. queue wait stamped from ``perf_counter``
+        readings taken at submit and dequeue time).
+        """
+        span = self.child(name, args=args, t0_us=t0_us)
+        span.end(t_us=max(t0_us, t1_us))
+        return span
+
+    def annotate(self, **kwargs) -> None:
+        """Attach key/value arguments (visible in the exported trace)."""
+        self.args.update(kwargs)
+
+    def end(self, t_us=None) -> None:
+        """Stamp the duration and buffer the span; idempotent."""
+        if self.dur_us is not None:
+            return
+        t1 = now_us() if t_us is None else t_us
+        self.dur_us = max(0, t1 - self.t0_us)
+        self._tracer._record(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (the buffer/wire/export representation)."""
+        d = {
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "tname": self.tname,
+            "ts": self.t0_us,
+            "dur": self.dur_us if self.dur_us is not None else 0,
+        }
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __enter__(self) -> "Span":
+        self._prev = getattr(_ACTIVE, "span", None)
+        _ACTIVE.span = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.span = self._prev
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        self.end()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id:#x}, "
+            f"span={self.span_id:#x}, parent={self.parent_id})"
+        )
+
+
+class Tracer:
+    """Sampling decisions, span identity, and the bounded span buffer.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability that :meth:`start_trace` samples a new root span
+        (head sampling).  ``0.0`` disables local sampling entirely;
+        remote continuations via :meth:`continue_trace` still work —
+        they honor the *caller's* decision, which is what lets a worker
+        process run with ``sample_rate=0`` yet record spans for traced
+        requests arriving over the wire.
+    capacity:
+        Buffer bound.  Finished spans past the bound are counted in
+        :attr:`dropped` and discarded; buffered spans are never touched.
+    seed:
+        Seeds the sampling RNG for deterministic tests.  ``None`` uses
+        OS entropy.  Span ids do not consume RNG state (they are
+        ``(pid << 32) | counter``), so sampling sequences are stable
+        regardless of how many spans each trace produces.
+    """
+
+    def __init__(self, sample_rate: float = 0.0, capacity: int = 65_536, seed=None):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sample_rate = float(sample_rate)
+        self.capacity = int(capacity)
+        self._rng = random.Random(seed)
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self._buf: list[dict] = []
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer can originate new sampled traces."""
+        return self.sample_rate > 0.0
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because the buffer was full."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buf)
+
+    def _new_id(self) -> int:
+        # next() on itertools.count is atomic under the GIL.
+        return (os.getpid() << 32) | (next(self._counter) & 0xFFFF_FFFF)
+
+    def start_trace(self, name, args=None):
+        """Open a root span, rolling the head-sampling dice.
+
+        Returns :data:`NOOP_SPAN` when the trace is not sampled.
+        """
+        if self.sample_rate <= 0.0 or self._rng.random() >= self.sample_rate:
+            return NOOP_SPAN
+        trace_id = self._new_id()
+        return Span(self, name, trace_id, self._new_id(), parent_id=None, args=args)
+
+    def continue_trace(self, ctx, name, args=None):
+        """Open a span continuing a remote trace; honors ``ctx.sampled``.
+
+        Never re-rolls sampling: presence of a sampled context *is* the
+        decision, made once at the root.
+        """
+        if ctx is None or not ctx.sampled:
+            return NOOP_SPAN
+        return Span(
+            self, name, ctx.trace_id, self._new_id(), parent_id=ctx.span_id, args=args,
+        )
+
+    def _record(self, span: Span) -> None:
+        record = span.to_dict()
+        with self._lock:
+            if len(self._buf) < self.capacity:
+                self._buf.append(record)
+            else:
+                self._dropped += 1
+
+    def ingest(self, records) -> None:
+        """Buffer foreign span dicts (e.g. shipped back from a worker)."""
+        with self._lock:
+            for record in records:
+                if len(self._buf) < self.capacity:
+                    self._buf.append(record)
+                else:
+                    self._dropped += 1
+
+    def spans(self) -> list[dict]:
+        """Snapshot copy of the buffered span records."""
+        with self._lock:
+            return list(self._buf)
+
+    def drain(self, trace_id=None) -> list[dict]:
+        """Remove and return buffered spans (optionally one trace only)."""
+        with self._lock:
+            if trace_id is None:
+                out, self._buf = self._buf, []
+            else:
+                out = [s for s in self._buf if s["trace"] == trace_id]
+                self._buf = [s for s in self._buf if s["trace"] != trace_id]
+        return out

@@ -48,6 +48,7 @@ for bit.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -61,19 +62,24 @@ from repro.net.wire import (
     FRAME_PRESELECT,
     FRAME_RESULT,
     FRAME_SEARCH,
+    FRAME_STATS_REQUEST,
 )
+from repro.obs.trace import NOOP_SPAN, SpanContext
 from repro.serve.protocol import (
     PreselectFrame,
     ProtocolError,
     SearchFrame,
+    StatsRequestFrame,
     decode_error,
     decode_preselect,
     decode_result,
     decode_search,
+    decode_stats_request,
     encode_batch_result,
     encode_error,
     encode_result,
     encode_search,
+    encode_stats,
     read_frame,
 )
 from repro.serve.qos import DEFAULT_TENANT
@@ -148,6 +154,7 @@ class AsyncServingEngine:
         *,
         tenant: str = DEFAULT_TENANT,
         priority: bool = False,
+        trace: SpanContext | None = None,
     ) -> "asyncio.Future[ServeResult]":
         """Enqueue one query; returns an asyncio future for its result.
 
@@ -158,11 +165,14 @@ class AsyncServingEngine:
         call, before anything is awaited.  Cancelling the returned
         future cancels the queued engine request — the dispatcher skips
         it at batch time, so an abandoned connection costs no backend
-        work and never poisons co-batched requests.
+        work and never poisons co-batched requests.  ``trace`` continues
+        a remote trace context (from a traced search frame).
         """
         loop = asyncio.get_running_loop()
         afut: asyncio.Future = loop.create_future()
-        cfut = self.engine.submit(query, k, nprobe, tenant=tenant, priority=priority)
+        cfut = self.engine.submit(
+            query, k, nprobe, tenant=tenant, priority=priority, trace=trace
+        )
 
         def _transfer() -> None:
             # Runs on the loop: move the engine future's outcome over.
@@ -201,9 +211,12 @@ class AsyncServingEngine:
         *,
         tenant: str = DEFAULT_TENANT,
         priority: bool = False,
+        trace: SpanContext | None = None,
     ) -> ServeResult:
         """Submit one query and await its :class:`ServeResult`."""
-        return await self.submit(query, k, nprobe, tenant=tenant, priority=priority)
+        return await self.submit(
+            query, k, nprobe, tenant=tenant, priority=priority, trace=trace
+        )
 
 
 class VectorSearchServer:
@@ -363,6 +376,9 @@ class VectorSearchServer:
                     ):
                         req = decode_preselect(payload)
                         coro = self._serve_preselect(req, writer, wlock)
+                    elif ftype == FRAME_STATS_REQUEST:
+                        sreq = decode_stats_request(payload)
+                        coro = self._serve_stats(sreq, writer, wlock)
                     else:
                         # Response frames (or preselect at a server not
                         # configured for it) are not valid client traffic.
@@ -400,7 +416,7 @@ class VectorSearchServer:
         try:
             res = await self.aengine.search(
                 req.query, req.k, req.nprobe,
-                tenant=req.tenant, priority=req.priority,
+                tenant=req.tenant, priority=req.priority, trace=req.trace,
             )
             frame = encode_result(
                 req.request_id, res.ids, res.dists,
@@ -447,16 +463,32 @@ class VectorSearchServer:
         concurrent preselect frames (and the engine's own dispatcher,
         which owns a *different* replica view) never violate the
         index's single-searcher contract.
+
+        A traced frame (one carrying a trace-context tail) continues the
+        router's trace here: the scan runs under a ``worker_scan`` span
+        (IVF stage timers nest beneath it), and this trace's spans ship
+        back piggybacked on the batch-result frame.
         """
         backend = self.preselect_backend
+        tracer = getattr(self.aengine.engine, "tracer", None)
+        traced = tracer is not None and req.trace is not None
 
         def scan() -> tuple[np.ndarray, np.ndarray, int, float]:
             stats = getattr(backend, "stats", None)
             c0 = stats.codes_scanned if stats is not None else 0
-            t0 = time.perf_counter()
-            ids, dists = backend.search_batch_preselected(
-                req.queries_t, req.probed, req.k
+            span = (
+                tracer.continue_trace(
+                    req.trace, "worker_scan",
+                    args={"nq": int(req.queries_t.shape[0])},
+                )
+                if traced
+                else NOOP_SPAN
             )
+            t0 = time.perf_counter()
+            with span:
+                ids, dists = backend.search_batch_preselected(
+                    req.queries_t, req.probed, req.k
+                )
             exec_us = (time.perf_counter() - t0) * 1e6
             c1 = stats.codes_scanned if stats is not None else 0
             return ids, dists, c1 - c0, exec_us
@@ -466,9 +498,10 @@ class VectorSearchServer:
             ids, dists, codes, exec_us = await loop.run_in_executor(
                 self._preselect_executor(), scan
             )
+            spans = tracer.drain(req.trace.trace_id) if traced else None
             frame = encode_batch_result(
                 req.request_id, ids, dists,
-                exec_us=exec_us, codes_scanned=codes,
+                exec_us=exec_us, codes_scanned=codes, spans=spans,
             )
         except asyncio.CancelledError:
             raise
@@ -477,6 +510,36 @@ class VectorSearchServer:
                 req.request_id, ERR_INTERNAL,
                 message=f"{type(exc).__name__}: {exc}",
             )
+        try:
+            async with wlock:
+                writer.write(frame)
+                await writer.drain()
+            self.metrics.inc("frames_out")
+        except (ConnectionError, OSError):
+            pass  # peer vanished between compute and write; nothing to do
+
+    async def _serve_stats(
+        self, req: StatsRequestFrame, writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+    ) -> None:
+        """Answer one metrics scrape: registry snapshot, optional spans.
+
+        The worker side of ``WorkerPool.stats()``: ships this process's
+        full :class:`~repro.serve.metrics.MetricsRegistry` snapshot (plus
+        pid, so the scraper can label lanes) and — when the request asks
+        — drains the tracer's buffered spans into the reply, which is how
+        engine-path worker spans reach the router-side trace file.
+        """
+        tracer = getattr(self.aengine.engine, "tracer", None)
+        data: dict = {
+            "pid": os.getpid(),
+            "metrics": self.metrics.snapshot().to_dict(),
+        }
+        if tracer is not None:
+            data["dropped_spans"] = tracer.dropped
+            if req.drain_spans:
+                data["spans"] = tracer.drain()
+        frame = encode_stats(req.request_id, data)
         try:
             async with wlock:
                 writer.write(frame)
@@ -525,8 +588,13 @@ class AsyncClient:
         *,
         tenant: str = DEFAULT_TENANT,
         priority: bool = False,
+        trace: SpanContext | None = None,
     ) -> "asyncio.Future[ServeResult]":
-        """Send one request; returns a future for its (remote) result."""
+        """Send one request; returns a future for its (remote) result.
+
+        A sampled ``trace`` rides the frame's trace-context tail, so the
+        server continues the caller's trace (and sampling decision).
+        """
         if self._closed:
             raise ConnectionResetError("client is closed")
         rid = self._next_id
@@ -534,7 +602,10 @@ class AsyncClient:
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = (fut, tenant)
         self._writer.write(
-            encode_search(rid, query, k, nprobe, tenant=tenant, priority=priority)
+            encode_search(
+                rid, query, k, nprobe, tenant=tenant, priority=priority,
+                trace=trace,
+            )
         )
         return fut
 
@@ -546,9 +617,12 @@ class AsyncClient:
         *,
         tenant: str = DEFAULT_TENANT,
         priority: bool = False,
+        trace: SpanContext | None = None,
     ) -> ServeResult:
         """Submit one query and await its :class:`ServeResult`."""
-        fut = self.submit(query, k, nprobe, tenant=tenant, priority=priority)
+        fut = self.submit(
+            query, k, nprobe, tenant=tenant, priority=priority, trace=trace
+        )
         await self._writer.drain()
         return await fut
 

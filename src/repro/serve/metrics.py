@@ -9,9 +9,17 @@ Latencies are kept as raw per-request observations (microseconds) rather
 than pre-bucketed histograms: the paper's serving argument is about *tail*
 latency (P99 at scale, Figures 11/12), and exact percentiles over the
 reservoir are what the load harness compares across scheduler configs.
-Reservoirs are bounded ring buffers (default 1 M samples, a few tens of MB)
-so a long-running engine never grows without limit; once full, percentiles
-describe the most recent window.
+
+Each latency series is a fixed-size **uniform reservoir** (Vitter's
+Algorithm R, :class:`ReservoirSample`): once full, each new observation
+replaces a uniformly-chosen slot with probability ``capacity / seen``,
+so every observation of the run has equal probability
+``min(1, capacity / seen)`` of being retained.  Percentiles over the
+reservoir are therefore unbiased estimates of the *whole-lifetime*
+distribution (not a recency window), memory stays bounded for soak
+runs, and the replacement RNG is seeded so tests are deterministic.
+The observation count and the maximum are tracked exactly alongside the
+sample.
 
 Requests tagged with a ``tenant`` and a ``(k, nprobe)`` class additionally
 feed per-tenant and per-class total-latency reservoirs plus per-tenant
@@ -21,17 +29,78 @@ tier needs to show that one tenant's burst did not inflate another's p99.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from collections import Counter, deque
-from dataclasses import dataclass, field
+import zlib
+from collections import Counter
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencyStats", "MetricsRegistry", "MetricsSnapshot", "TenantStats"]
+__all__ = [
+    "LatencyStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ReservoirSample",
+    "TenantStats",
+]
 
 #: Percentiles every latency summary reports.
 PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class ReservoirSample:
+    """Fixed-size uniform sample of a stream (Vitter's Algorithm R).
+
+    The first ``capacity`` observations are kept verbatim; observation
+    number ``n > capacity`` replaces a uniformly-chosen slot with
+    probability ``capacity / n``.  By induction every observation ends
+    up retained with equal probability ``min(1, capacity / seen)``, so
+    statistics over :meth:`values` estimate the full-lifetime
+    distribution — there is no recency bias, and memory is O(capacity)
+    regardless of run length.  ``seen`` and ``max_value`` are exact.
+
+    Not internally locked: callers (the registry) serialize access.
+    The replacement RNG is seeded for deterministic tests.
+    """
+
+    __slots__ = ("capacity", "seen", "max_value", "_values", "_rng")
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self.max_value = float("-inf")
+        self._values: list[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Offer one observation to the reservoir."""
+        value = float(value)
+        self.seen += 1
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self.seen)
+            if slot < self.capacity:
+                self._values[slot] = value
+
+    def values(self) -> np.ndarray:
+        """Copy of the retained sample (order is not meaningful)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def stats(self) -> "LatencyStats":
+        """Lifetime summary: percentiles estimated from the sample,
+        ``count`` and ``max`` exact."""
+        if self.seen == 0:
+            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencyStats.from_samples(
+            self.values(), count=self.seen, max_us=self.max_value
+        )
 
 
 @dataclass(frozen=True)
@@ -46,15 +115,26 @@ class LatencyStats:
     max_us: float
 
     @staticmethod
-    def from_samples(samples_us: np.ndarray) -> "LatencyStats":
-        """Summarize a raw sample array (empty input yields all zeros)."""
+    def from_samples(
+        samples_us: np.ndarray,
+        count: int | None = None,
+        max_us: float | None = None,
+    ) -> "LatencyStats":
+        """Summarize a raw sample array (empty input yields all zeros).
+
+        ``count`` and ``max_us`` override the sample-derived values when
+        the array is a reservoir *sample* of a longer stream whose true
+        observation count and maximum are known exactly.
+        """
         s = np.asarray(samples_us, dtype=np.float64)
         if s.size == 0:
-            return LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return LatencyStats(int(count or 0), 0.0, 0.0, 0.0, 0.0, 0.0)
         p50, p95, p99 = (float(np.percentile(s, q)) for q in PERCENTILES)
         return LatencyStats(
-            count=int(s.size), mean_us=float(s.mean()),
-            p50_us=p50, p95_us=p95, p99_us=p99, max_us=float(s.max()),
+            count=int(count if count is not None else s.size),
+            mean_us=float(s.mean()),
+            p50_us=p50, p95_us=p95, p99_us=p99,
+            max_us=float(max_us if max_us is not None else s.max()),
         )
 
     def row(self) -> list[float]:
@@ -119,6 +199,26 @@ class MetricsSnapshot:
             return 0.0
         return hits / (hits + misses)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (``serve-bench --metrics-out``, stats frames)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "qps": self.qps,
+            "elapsed_s": self.elapsed_s,
+            "mean_batch_size": self.mean_batch_size,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batch_histogram": {str(k): v for k, v in self.batch_histogram.items()},
+            "total": asdict(self.total),
+            "queue": asdict(self.queue),
+            "exec": asdict(self.exec),
+            "tenants": {
+                t: {"counters": dict(ts.counters), "total": asdict(ts.total)}
+                for t, ts in self.tenants.items()
+            },
+            "classes": {c: asdict(s) for c, s in self.classes.items()},
+        }
+
 
 class MetricsRegistry:
     """Thread-safe serving counters + latency reservoirs.
@@ -126,15 +226,18 @@ class MetricsRegistry:
     Counters in use by the engine: ``completed``, ``shed``, ``errors``,
     ``cache_hits``, ``cache_misses``, ``batches``.
 
-    ``reservoir_size`` bounds each latency series (sliding window of the
-    most recent observations); counters and the batch histogram are exact
-    over the engine's whole lifetime.
+    ``reservoir_size`` bounds each latency series.  A series is a seeded
+    :class:`ReservoirSample` — a *uniform lifetime* sample, not a
+    sliding window — so percentile snapshots stay O(reservoir_size) in
+    memory on soak runs while still estimating the whole run's
+    distribution (counts and maxima stay exact).  ``seed`` makes the
+    reservoir's replacement choices deterministic; each series derives
+    its own sub-seed from its name, so creation order does not matter.
 
     The per-tenant / per-class breakdowns are bounded on both axes:
-    ``breakdown_reservoir_size`` caps each key's latency series (tails
-    are compared across recent windows, not lifetimes) and
+    ``breakdown_reservoir_size`` caps each key's latency sample and
     ``max_tracked_keys`` caps key cardinality per breakdown — tenant
-    names can be client-supplied, and an unbounded dict of deques in a
+    names can be client-supplied, and an unbounded dict of samples in a
     long-lived engine is a leak.  Past the cap, new keys fold into the
     ``"(other)"`` bucket (totals stay correct; only attribution coarsens).
     """
@@ -148,6 +251,7 @@ class MetricsRegistry:
         *,
         breakdown_reservoir_size: int = 16_384,
         max_tracked_keys: int = 256,
+        seed: int = 0,
     ) -> None:
         if reservoir_size < 1:
             raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
@@ -164,15 +268,16 @@ class MetricsRegistry:
         self._reservoir_size = reservoir_size
         self._breakdown_size = breakdown_reservoir_size
         self._max_keys = max_tracked_keys
+        self._seed = seed
         self._counters: Counter[str] = Counter()
         self._gauges: dict[str, float] = {}
-        self._total_us: deque[float] = deque(maxlen=reservoir_size)
-        self._queue_us: deque[float] = deque(maxlen=reservoir_size)
-        self._exec_us: deque[float] = deque(maxlen=reservoir_size)
+        self._total_us = self._reservoir("total", reservoir_size)
+        self._queue_us = self._reservoir("queue", reservoir_size)
+        self._exec_us = self._reservoir("exec", reservoir_size)
         self._batch_sizes: Counter[int] = Counter()
-        self._tenant_total: dict[str, deque[float]] = {}
+        self._tenant_total: dict[str, ReservoirSample] = {}
         self._tenant_counters: dict[str, Counter[str]] = {}
-        self._class_total: dict[str, deque[float]] = {}
+        self._class_total: dict[str, ReservoirSample] = {}
         #: Admitted breakdown keys — ONE fold decision per tenant/class,
         #: shared by the counter and latency stores, so a tenant's
         #: counters and latencies can never land under different keys.
@@ -222,12 +327,18 @@ class MetricsRegistry:
             self._tenant_counters[tenant] = counters
         return counters
 
+    def _reservoir(self, name: str, capacity: int) -> ReservoirSample:
+        """Series reservoir with a name-derived sub-seed (order-independent)."""
+        return ReservoirSample(
+            capacity, seed=self._seed ^ zlib.crc32(name.encode("utf-8"))
+        )
+
     def _series_locked(
-        self, store: dict[str, deque], key: str
-    ) -> deque:
+        self, store: dict[str, ReservoirSample], key: str
+    ) -> ReservoirSample:
         series = store.get(key)
         if series is None:
-            series = deque(maxlen=self._breakdown_size)
+            series = self._reservoir(key, self._breakdown_size)
             store[key] = series
         return series
 
@@ -248,16 +359,16 @@ class MetricsRegistry:
         now = time.perf_counter()
         with self._lock:
             self._counters["completed"] += 1
-            self._queue_us.append(queue_us)
-            self._exec_us.append(exec_us)
-            self._total_us.append(total_us)
+            self._queue_us.add(queue_us)
+            self._exec_us.add(exec_us)
+            self._total_us.add(total_us)
             if tenant is not None:
                 tenant = self._resolve_key_locked(self._tracked_tenants, tenant)
                 self._tenant_counter_locked(tenant)["completed"] += 1
-                self._series_locked(self._tenant_total, tenant).append(total_us)
+                self._series_locked(self._tenant_total, tenant).add(total_us)
             if cls is not None:
                 cls = self._resolve_key_locked(self._tracked_classes, cls)
-                self._series_locked(self._class_total, cls).append(total_us)
+                self._series_locked(self._class_total, cls).add(total_us)
             if self._t_first is None:
                 self._t_first = now
             self._t_last = now
@@ -271,26 +382,28 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
     def snapshot(self) -> MetricsSnapshot:
         """Consistent point-in-time copy of counters, stats, and QPS."""
+        empty = LatencyStats(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
-            total = np.asarray(self._total_us)
-            queue = np.asarray(self._queue_us)
-            exc = np.asarray(self._exec_us)
+            total = self._total_us.stats()
+            queue = self._queue_us.stats()
+            exc = self._exec_us.stats()
             hist = dict(sorted(self._batch_sizes.items()))
             tenant_names = set(self._tenant_total) | set(self._tenant_counters)
             tenants = {
                 t: TenantStats(
-                    total=LatencyStats.from_samples(
-                        np.asarray(self._tenant_total.get(t, ()))
+                    total=(
+                        self._tenant_total[t].stats()
+                        if t in self._tenant_total
+                        else empty
                     ),
                     counters=dict(self._tenant_counters.get(t, ())),
                 )
                 for t in sorted(tenant_names)
             }
             classes = {
-                c: LatencyStats.from_samples(np.asarray(s))
-                for c, s in sorted(self._class_total.items())
+                c: s.stats() for c, s in sorted(self._class_total.items())
             }
             if self._t_first is not None and self._t_last is not None:
                 elapsed = max(self._t_last - self._t_first, 1e-9)
@@ -302,9 +415,9 @@ class MetricsRegistry:
         qps = completed / elapsed if completed >= 2 and elapsed > 0 else 0.0
         return MetricsSnapshot(
             counters=counters,
-            total=LatencyStats.from_samples(total),
-            queue=LatencyStats.from_samples(queue),
-            exec=LatencyStats.from_samples(exc),
+            total=total,
+            queue=queue,
+            exec=exc,
             batch_histogram=hist,
             qps=qps,
             elapsed_s=elapsed,

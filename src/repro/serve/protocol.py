@@ -20,6 +20,15 @@ many requests and the server answers in completion order, not arrival
 order.  Ids are per-connection and chosen by the client; the server
 echoes them opaquely.
 
+Trace context is an *optional* tail on search and preselect payloads,
+gated by a flag bit: an untraced frame is byte-identical to the
+pre-tracing layout, and the flag bit itself carries the head-sampling
+decision across the process boundary.  Traced scatters ship the
+worker-side spans back piggybacked on the batch-result frame (a
+length-prefixed JSON blob, also flag-gated); everything else a worker
+records drains through the stats frame pair, which doubles as the
+metrics-scrape channel for ``WorkerPool.stats()``.
+
 Encoding is pure (bytes in, frames out) so it is testable without
 sockets; :func:`read_frame` is the one asyncio-aware helper, reading one
 validated frame from a :class:`asyncio.StreamReader`.
@@ -28,6 +37,7 @@ validated frame from a :class:`asyncio.StreamReader`.
 from __future__ import annotations
 
 import asyncio
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,13 +51,19 @@ from repro.net.wire import (
     FRAME_PRESELECT,
     FRAME_RESULT,
     FRAME_SEARCH,
+    FRAME_STATS,
+    FRAME_STATS_REQUEST,
     MAX_FRAME_BYTES,
     PRESELECT_FIXED,
     RESULT_FIXED,
     SEARCH_FIXED,
+    STATS_FIXED,
+    STATS_REQUEST_FIXED,
+    TRACE_CTX,
     WIRE_MAGIC,
     WIRE_VERSION,
 )
+from repro.obs.trace import SpanContext
 from repro.serve.qos import DEFAULT_TENANT
 
 __all__ = [
@@ -57,24 +73,37 @@ __all__ = [
     "ProtocolError",
     "ResultFrame",
     "SearchFrame",
+    "StatsFrame",
+    "StatsRequestFrame",
     "decode_batch_result",
     "decode_error",
     "decode_preselect",
     "decode_result",
     "decode_search",
+    "decode_stats",
+    "decode_stats_request",
     "encode_batch_result",
     "encode_error",
     "encode_preselect",
     "encode_result",
     "encode_search",
+    "encode_stats",
+    "encode_stats_request",
     "read_frame",
 ]
 
 #: Flag bits of a search frame.
 FLAG_PRIORITY = 0x01
+FLAG_TRACED = 0x02  # payload ends with a TRACE_CTX tail
 #: Flag bits of a result frame.
 FLAG_CACHE_HIT = 0x01
 FLAG_PARTIAL = 0x02
+#: Flag bits of a preselect frame.
+PRESELECT_FLAG_TRACED = 0x01  # payload ends with a TRACE_CTX tail
+#: Flag bits of a batch-result frame.
+BATCH_FLAG_SPANS = 0x01  # payload ends with a span JSON blob
+#: Flag bits of a stats-request frame.
+STATS_FLAG_DRAIN_SPANS = 0x01  # also drain + return buffered spans
 
 
 class ProtocolError(RuntimeError):
@@ -91,6 +120,7 @@ class SearchFrame:
     nprobe: int | None
     tenant: str
     priority: bool
+    trace: SpanContext | None = None
 
 
 @dataclass(frozen=True)
@@ -121,6 +151,7 @@ class PreselectFrame:
     queries_t: np.ndarray  # (nq, d) float32, already OPQ-rotated
     probed: np.ndarray  # (nq, nprobe) int32; -1 = pruned slot
     k: int
+    trace: SpanContext | None = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +163,7 @@ class BatchResultFrame:
     dists: np.ndarray  # (nq, k) float32
     exec_us: float
     codes_scanned: int
+    spans: tuple = ()  # piggybacked worker span dicts (traced scatters)
 
 
 @dataclass(frozen=True)
@@ -156,15 +188,22 @@ def encode_search(
     *,
     tenant: str = DEFAULT_TENANT,
     priority: bool = False,
+    trace: SpanContext | None = None,
 ) -> bytes:
-    """Encode one search request into a complete frame."""
+    """Encode one search request into a complete frame.
+
+    A sampled ``trace`` appends the 16-byte trace-context tail and sets
+    :data:`FLAG_TRACED`; otherwise the frame is byte-identical to an
+    untraced one.
+    """
     q = np.ascontiguousarray(query, dtype=np.float32).reshape(-1)
     tenant_b = tenant.encode("utf-8")
     if len(tenant_b) > 255:
         raise ValueError(f"tenant name too long for the wire ({len(tenant_b)} bytes)")
     if not 1 <= k <= 0xFFFF:
         raise ValueError(f"k must be in [1, 65535], got {k}")
-    flags = FLAG_PRIORITY if priority else 0
+    traced = trace is not None and trace.sampled
+    flags = (FLAG_PRIORITY if priority else 0) | (FLAG_TRACED if traced else 0)
     payload = (
         SEARCH_FIXED.pack(
             request_id & 0xFFFFFFFF,
@@ -177,6 +216,8 @@ def encode_search(
         + tenant_b
         + q.tobytes()
     )
+    if traced:
+        payload += TRACE_CTX.pack(trace.trace_id, trace.span_id)
     return _frame(FRAME_SEARCH, payload)
 
 
@@ -186,13 +227,18 @@ def decode_search(payload: bytes) -> SearchFrame:
         raise ProtocolError(f"search payload truncated ({len(payload)} bytes)")
     request_id, k, nprobe, flags, tenant_len, d = SEARCH_FIXED.unpack_from(payload)
     off = SEARCH_FIXED.size
-    want = off + tenant_len + 4 * d
+    traced = bool(flags & FLAG_TRACED)
+    want = off + tenant_len + 4 * d + (TRACE_CTX.size if traced else 0)
     if len(payload) != want:
         raise ProtocolError(
             f"search payload is {len(payload)} bytes, header implies {want}"
         )
     tenant = payload[off : off + tenant_len].decode("utf-8")
     query = np.frombuffer(payload, dtype=np.float32, count=d, offset=off + tenant_len)
+    trace = None
+    if traced:
+        trace_id, span_id = TRACE_CTX.unpack_from(payload, want - TRACE_CTX.size)
+        trace = SpanContext(trace_id, span_id, True)
     return SearchFrame(
         request_id=request_id,
         query=query,
@@ -200,6 +246,7 @@ def decode_search(payload: bytes) -> SearchFrame:
         nprobe=None if nprobe < 0 else nprobe,
         tenant=tenant or DEFAULT_TENANT,
         priority=bool(flags & FLAG_PRIORITY),
+        trace=trace,
     )
 
 
@@ -304,12 +351,15 @@ def encode_preselect(
     queries_t: np.ndarray,
     probed: np.ndarray,
     k: int,
+    *,
+    trace: SpanContext | None = None,
 ) -> bytes:
     """Encode one preselect-scatter batch into a complete frame.
 
     ``queries_t`` is the (nq, d) OPQ-rotated query block and ``probed``
     the (nq, nprobe) preselected cell ids; ``-1`` entries mark slots
-    pruned for the receiving shard (empty on its slice).
+    pruned for the receiving shard (empty on its slice).  A sampled
+    ``trace`` appends the trace-context tail (flag-gated, like search).
     """
     q = np.ascontiguousarray(np.atleast_2d(queries_t), dtype=np.float32)
     cells = np.ascontiguousarray(np.atleast_2d(probed), dtype=np.int32)
@@ -325,11 +375,15 @@ def encode_preselect(
         raise ValueError(f"k must be in [1, 65535], got {k}")
     if not 1 <= nprobe <= 0xFFFF:
         raise ValueError(f"nprobe must be in [1, 65535], got {nprobe}")
+    traced = trace is not None and trace.sampled
+    flags = PRESELECT_FLAG_TRACED if traced else 0
     payload = (
-        PRESELECT_FIXED.pack(request_id & 0xFFFFFFFF, k, 0, nq, nprobe, d)
+        PRESELECT_FIXED.pack(request_id & 0xFFFFFFFF, k, flags, nq, nprobe, d)
         + cells.tobytes()
         + q.tobytes()
     )
+    if traced:
+        payload += TRACE_CTX.pack(trace.trace_id, trace.span_id)
     return _frame(FRAME_PRESELECT, payload)
 
 
@@ -337,9 +391,10 @@ def decode_preselect(payload: bytes) -> PreselectFrame:
     """Decode a preselect payload; raises :class:`ProtocolError` when malformed."""
     if len(payload) < PRESELECT_FIXED.size:
         raise ProtocolError(f"preselect payload truncated ({len(payload)} bytes)")
-    request_id, k, _flags, nq, nprobe, d = PRESELECT_FIXED.unpack_from(payload)
+    request_id, k, flags, nq, nprobe, d = PRESELECT_FIXED.unpack_from(payload)
     off = PRESELECT_FIXED.size
-    want = off + 4 * nq * nprobe + 4 * nq * d
+    traced = bool(flags & PRESELECT_FLAG_TRACED)
+    want = off + 4 * nq * nprobe + 4 * nq * d + (TRACE_CTX.size if traced else 0)
     if len(payload) != want:
         raise ProtocolError(
             f"preselect payload is {len(payload)} bytes, header implies {want}"
@@ -350,8 +405,12 @@ def decode_preselect(payload: bytes) -> PreselectFrame:
     queries_t = np.frombuffer(
         payload, dtype=np.float32, count=nq * d, offset=off + 4 * nq * nprobe
     ).reshape(nq, d)
+    trace = None
+    if traced:
+        trace_id, span_id = TRACE_CTX.unpack_from(payload, want - TRACE_CTX.size)
+        trace = SpanContext(trace_id, span_id, True)
     return PreselectFrame(
-        request_id=request_id, queries_t=queries_t, probed=probed, k=k
+        request_id=request_id, queries_t=queries_t, probed=probed, k=k, trace=trace
     )
 
 
@@ -362,20 +421,30 @@ def encode_batch_result(
     *,
     exec_us: float = 0.0,
     codes_scanned: int = 0,
+    spans=None,
 ) -> bytes:
-    """Encode one batched partial top-K; ids/dists travel bit-exact."""
+    """Encode one batched partial top-K; ids/dists travel bit-exact.
+
+    ``spans`` (a list of span dicts) piggybacks the worker-side spans of
+    a traced scatter back to the router as a length-prefixed JSON blob,
+    flag-gated so untraced replies stay byte-identical.
+    """
     ids = np.ascontiguousarray(np.atleast_2d(ids), dtype=np.int64)
     dists = np.ascontiguousarray(np.atleast_2d(dists), dtype=np.float32)
     if ids.shape != dists.shape:
         raise ValueError(f"ids/dists shapes differ: {ids.shape} vs {dists.shape}")
     nq, k = ids.shape
+    flags = BATCH_FLAG_SPANS if spans else 0
     payload = (
         BATCH_RESULT_FIXED.pack(
-            request_id & 0xFFFFFFFF, nq, k, 0, exec_us, max(int(codes_scanned), 0)
+            request_id & 0xFFFFFFFF, nq, k, flags, exec_us, max(int(codes_scanned), 0)
         )
         + ids.tobytes()
         + dists.tobytes()
     )
+    if spans:
+        blob = json.dumps(list(spans), separators=(",", ":")).encode("utf-8")
+        payload += len(blob).to_bytes(4, "little") + blob
     return _frame(FRAME_BATCH_RESULT, payload)
 
 
@@ -385,14 +454,34 @@ def decode_batch_result(payload: bytes) -> BatchResultFrame:
         raise ProtocolError(
             f"batch-result payload truncated ({len(payload)} bytes)"
         )
-    request_id, nq, k, _flags, exec_us, codes_scanned = (
+    request_id, nq, k, flags, exec_us, codes_scanned = (
         BATCH_RESULT_FIXED.unpack_from(payload)
     )
     off = BATCH_RESULT_FIXED.size
-    want = off + 12 * nq * k
-    if len(payload) != want:
+    arrays_end = off + 12 * nq * k
+    spans: tuple = ()
+    if flags & BATCH_FLAG_SPANS:
+        if len(payload) < arrays_end + 4:
+            raise ProtocolError(
+                f"batch-result payload is {len(payload)} bytes, span blob "
+                f"length prefix implies >= {arrays_end + 4}"
+            )
+        blob_len = int.from_bytes(payload[arrays_end : arrays_end + 4], "little")
+        want = arrays_end + 4 + blob_len
+        if len(payload) != want:
+            raise ProtocolError(
+                f"batch-result payload is {len(payload)} bytes, header implies {want}"
+            )
+        try:
+            spans = tuple(
+                json.loads(payload[arrays_end + 4 :].decode("utf-8"))
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"bad span blob in batch result: {exc}") from None
+    elif len(payload) != arrays_end:
         raise ProtocolError(
-            f"batch-result payload is {len(payload)} bytes, header implies {want}"
+            f"batch-result payload is {len(payload)} bytes, header implies "
+            f"{arrays_end}"
         )
     ids = np.frombuffer(payload, dtype=np.int64, count=nq * k, offset=off).reshape(
         nq, k
@@ -406,7 +495,72 @@ def decode_batch_result(payload: bytes) -> BatchResultFrame:
         dists=dists,
         exec_us=exec_us,
         codes_scanned=codes_scanned,
+        spans=spans,
     )
+
+
+@dataclass(frozen=True)
+class StatsRequestFrame:
+    """One decoded metrics-scrape request (router → worker)."""
+
+    request_id: int
+    drain_spans: bool
+
+
+@dataclass(frozen=True)
+class StatsFrame:
+    """One decoded metrics snapshot (worker → router).
+
+    ``data`` is the worker's JSON-encoded view: pid, registry counters
+    and gauges, scan counters, and any drained span records.
+    """
+
+    request_id: int
+    data: dict
+
+
+def encode_stats_request(request_id: int, *, drain_spans: bool = False) -> bytes:
+    """Encode a stats-scrape request; ``drain_spans`` also empties the
+    worker's span buffer into the reply."""
+    flags = STATS_FLAG_DRAIN_SPANS if drain_spans else 0
+    return _frame(
+        FRAME_STATS_REQUEST,
+        STATS_REQUEST_FIXED.pack(request_id & 0xFFFFFFFF, flags),
+    )
+
+
+def decode_stats_request(payload: bytes) -> StatsRequestFrame:
+    """Decode a stats-request payload."""
+    if len(payload) != STATS_REQUEST_FIXED.size:
+        raise ProtocolError(
+            f"stats-request payload is {len(payload)} bytes, "
+            f"expected {STATS_REQUEST_FIXED.size}"
+        )
+    request_id, flags = STATS_REQUEST_FIXED.unpack(payload)
+    return StatsRequestFrame(
+        request_id=request_id,
+        drain_spans=bool(flags & STATS_FLAG_DRAIN_SPANS),
+    )
+
+
+def encode_stats(request_id: int, data: dict) -> bytes:
+    """Encode one worker stats snapshot (JSON blob after the request id)."""
+    blob = json.dumps(data, separators=(",", ":")).encode("utf-8")
+    return _frame(FRAME_STATS, STATS_FIXED.pack(request_id & 0xFFFFFFFF) + blob)
+
+
+def decode_stats(payload: bytes) -> StatsFrame:
+    """Decode a stats payload; raises :class:`ProtocolError` when malformed."""
+    if len(payload) < STATS_FIXED.size:
+        raise ProtocolError(f"stats payload truncated ({len(payload)} bytes)")
+    (request_id,) = STATS_FIXED.unpack_from(payload)
+    try:
+        data = json.loads(payload[STATS_FIXED.size :].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad stats blob: {exc}") from None
+    if not isinstance(data, dict):
+        raise ProtocolError("stats blob must decode to an object")
+    return StatsFrame(request_id=request_id, data=data)
 
 
 #: payload decoder per frame type (used by :func:`read_frame` callers).
@@ -416,6 +570,8 @@ DECODERS = {
     FRAME_ERROR: decode_error,
     FRAME_PRESELECT: decode_preselect,
     FRAME_BATCH_RESULT: decode_batch_result,
+    FRAME_STATS_REQUEST: decode_stats_request,
+    FRAME_STATS: decode_stats,
 }
 
 

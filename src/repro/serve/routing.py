@@ -62,6 +62,7 @@ from repro.ann.partition import (
     prune_probed_cells,
     replicate_index,
 )
+from repro.obs.trace import current_span
 from repro.serve.backends import (
     SearchBackend,
     backend_coverage,
@@ -167,11 +168,16 @@ class ReplicaSet:
             i = self._pick()
             self._inflight[i] += 1
             self.dispatch_counts[i] += 1
+        # Traced requests get a dispatch span covering any wait on the
+        # per-replica lock (queueing at a busy replica); NOOP_SPAN when
+        # the calling thread carries no active span.
+        span = current_span().child("replica_dispatch", args={"replica": i})
         try:
             # In-flight counts include dispatches queued on this lock, so
             # load-aware policies see the true outstanding work.
-            with self._replica_locks[i]:
-                out = self.replicas[i].search_batch(queries, k, nprobe)
+            with span:
+                with self._replica_locks[i]:
+                    out = self.replicas[i].search_batch(queries, k, nprobe)
             self._tls.coverage = backend_coverage(self.replicas[i])
             return out
         finally:
@@ -389,28 +395,38 @@ class ShardedBackend:
         """
         queries = np.atleast_2d(queries)
         degrade = self.on_shard_error == "degrade"
+        # Scatter span for traced requests (nested under the engine's
+        # active exec span).  Pool threads do not inherit thread-local
+        # context, so each shard RPC below re-activates a child of this
+        # span explicitly inside its closure.
+        scatter = current_span().child(
+            "scatter",
+            args={"shards": len(self.shards), "nq": int(queries.shape[0])},
+        )
 
         # Preselect-once: compute the coarse plan here, per batch, and
         # ship it to every shard — S shards, one OPQ/IVFDist/SelCells.
         plan = None
         if self.preselect is not None and nprobe is not None:
             with self._preselect_lock:
-                plan = self.preselect.preselect(queries, nprobe)
+                with scatter.child("preselect"):
+                    plan = self.preselect.preselect(queries, nprobe)
                 self.preselect_scatters += 1
 
-        def call(shard):
+        def call(idx, shard):
             """One shard's (result, sub-coverage), read on the calling
             thread — coverage hooks are thread-local, so it must be read
             where the call ran (the pool thread under parallel scatter)."""
             preselected = getattr(shard, "search_batch_preselected", None)
-            if plan is not None and preselected is not None:
-                queries_t, probed = plan
-                cell_sizes = getattr(shard, "cell_sizes", None)
-                if cell_sizes is not None:
-                    probed = prune_probed_cells(probed, cell_sizes)
-                out = preselected(queries_t, probed, k)
-            else:
-                out = shard.search_batch(queries, k, nprobe)
+            with scatter.child("shard_rpc", args={"shard": idx}):
+                if plan is not None and preselected is not None:
+                    queries_t, probed = plan
+                    cell_sizes = getattr(shard, "cell_sizes", None)
+                    if cell_sizes is not None:
+                        probed = prune_probed_cells(probed, cell_sizes)
+                    out = preselected(queries_t, probed, k)
+                else:
+                    out = shard.search_batch(queries, k, nprobe)
             return out, backend_coverage(shard)
 
         # Scatter, collecting (result, exception) per shard.  In raise
@@ -418,12 +434,14 @@ class ShardedBackend:
         # contract); in degrade mode failures become coverage holes.
         if self.parallel and len(self.shards) > 1:
             futures = [
-                self._scatter_pool().submit(call, shard) for shard in self.shards
+                self._scatter_pool().submit(call, i, shard)
+                for i, shard in enumerate(self.shards)
             ]
             thunks = [f.result for f in futures]
         else:
             thunks = [
-                (lambda shard=shard: call(shard)) for shard in self.shards
+                (lambda i=i, shard=shard: call(i, shard))
+                for i, shard in enumerate(self.shards)
             ]
         outcomes = []
         for thunk in thunks:
@@ -431,6 +449,8 @@ class ShardedBackend:
                 outcomes.append((thunk(), None))
             except Exception as exc:
                 if not degrade:
+                    scatter.annotate(error=type(exc).__name__)
+                    scatter.end()
                     raise
                 outcomes.append((None, exc))
 
@@ -451,13 +471,19 @@ class ShardedBackend:
             parts.append(out)
             covs.append(sub_cov)
         if not parts:
+            scatter.annotate(error="all_shards_failed")
+            scatter.end()
             raise RuntimeError(
                 f"all {len(self.shards)} shards failed"
             ) from last_exc
         self._tls.coverage = _weighted_coverage(self.shard_weights, covs)
         if len(self.shards) == 1:
+            scatter.end()
             return parts[0]  # single shard: pass through, no merge
-        return merge_partial_topk(parts, k)
+        with scatter.child("merge", args={"parts": len(parts)}):
+            merged = merge_partial_topk(parts, k)
+        scatter.end()
+        return merged
 
     def last_coverage(self) -> float:
         """Data fraction behind this thread's most recent call (1.0 = all)."""

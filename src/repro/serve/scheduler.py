@@ -63,6 +63,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.trace import NOOP_SPAN, SpanContext, Tracer
 from repro.serve.backends import SearchBackend
 from repro.serve.cache import QueryResultCache, query_key
 from repro.serve.metrics import MetricsRegistry
@@ -138,6 +139,8 @@ class _Request:
     cache_epoch: int = 0
     tenant: str = DEFAULT_TENANT
     priority: bool = False
+    #: Sampled root span of a traced request (None when untraced).
+    span: object | None = None
 
 
 #: Sentinel that tells the worker to drain out and exit.
@@ -203,6 +206,13 @@ class ServingEngine:
         when given, the dispatcher reads its window before every batch
         (``max_wait_us`` then only seeds the comparison baseline) and
         feeds it arrivals and completion latencies.
+    tracer : optional :class:`~repro.obs.trace.Tracer`.  ``submit`` then
+        opens the root span of each sampled request (head sampling at the
+        tracer's rate, or continuation of a remote context arriving over
+        the wire) and the dispatcher records queue / batch-assembly /
+        exec child spans.  Tracing never changes results — spans only
+        observe the existing control flow — and an unsampled request
+        follows the exact untraced code path.
     """
 
     def __init__(
@@ -218,6 +228,7 @@ class ServingEngine:
         dispatchers: int = 1,
         discipline=None,
         adaptive_window: AdaptiveBatchWindow | None = None,
+        tracer: Tracer | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -242,6 +253,7 @@ class ServingEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.dispatchers = dispatchers
         self.window = adaptive_window
+        self.tracer = tracer
         self._queue = (
             discipline
             if discipline is not None
@@ -330,6 +342,7 @@ class ServingEngine:
         *,
         tenant: str = DEFAULT_TENANT,
         priority: bool = False,
+        trace: SpanContext | None = None,
     ) -> "Future[ServeResult]":
         """Enqueue one query; returns a future resolving to a ServeResult.
 
@@ -339,7 +352,9 @@ class ServingEngine:
         quota raises :class:`QuotaExceededError` (callers are expected to
         back off — open-loop load counts these as shed requests).
         ``tenant``/``priority`` tag the request for QoS disciplines; the
-        default FIFO ignores them.
+        default FIFO ignores them.  ``trace`` continues a remote trace
+        context (a traced search frame): the caller's sampling decision
+        is honored, never re-rolled.
         """
         if not self._workers or self._stopping:
             raise RuntimeError("engine is not running (call start())")
@@ -397,10 +412,24 @@ class ServingEngine:
         # happens under overload, where the estimate is saturated anyway.)
         if self.window is not None:
             self.window.observe_arrival()
+        span = None
+        if self.tracer is not None:
+            # Continue a remote context when one arrived over the wire
+            # (honoring its sampling decision); otherwise head-sample here.
+            root = (
+                self.tracer.continue_trace(trace, "request")
+                if trace is not None
+                else self.tracer.start_trace("request")
+            )
+            if root:
+                root.annotate(k=int(k), tenant=tenant)
+                if nprobe is not None:
+                    root.annotate(nprobe=int(nprobe))
+                span = root
         req = _Request(
             query=query, k=k, nprobe=nprobe, future=fut,
             t_submit=time.perf_counter(), key=key, cache_epoch=cache_epoch,
-            tenant=tenant, priority=priority,
+            tenant=tenant, priority=priority, span=span,
         )
         # The admission lock orders this enqueue against stop(): a request
         # admitted here is guaranteed to precede the _STOP sentinel, so the
@@ -412,6 +441,9 @@ class ServingEngine:
                 # Admitted by quota but refused by the stopping engine:
                 # give the token back, like the queue-full path below.
                 self._refund_quota(tenant)
+                if span is not None:
+                    span.annotate(outcome="rejected_stopping")
+                    span.end()
                 raise RuntimeError("engine is not running (call start())")
             if self.policy == "shed":
                 try:
@@ -423,6 +455,9 @@ class ServingEngine:
                     # then refused — give it back, or overload would also
                     # shrink the tenant's quota.
                     self._refund_quota(tenant)
+                    if span is not None:
+                        span.annotate(outcome="shed")
+                        span.end()
                     raise AdmissionError(
                         f"admission queue full ({self._queue.maxsize}); request shed"
                     ) from None
@@ -451,6 +486,9 @@ class ServingEngine:
             first = self._queue.get()
             if first is _STOP:
                 return
+            # Batch window opens here: per-request "queue" spans end at
+            # this instant, "batch_assembly" covers coalescing from here.
+            t_first = time.perf_counter()
             batch = [first]
             wait_us = (
                 self.window.current_us() if self.window is not None
@@ -472,7 +510,7 @@ class ServingEngine:
                     break
                 batch.append(nxt)
             try:
-                self._execute(batch)
+                self._execute(batch, t_first)
             except Exception as exc:  # safety net: the worker must survive
                 for r in batch:
                     _reject(r.future, exc)
@@ -481,12 +519,16 @@ class ServingEngine:
             if stop_after:
                 return
 
-    def _execute(self, batch: list[_Request]) -> None:
+    def _execute(self, batch: list[_Request], t_first: float | None = None) -> None:
         """Serve one micro-batch, grouped by (k, nprobe).
 
         Requests whose future was cancelled while queued (a disconnected
         async client) are dropped here, before any backend work is spent
         on them — the cancellation can never poison their batch-mates.
+
+        ``t_first`` is the dispatcher's dequeue instant for the batch's
+        first request: the boundary between per-request "queue" time and
+        the shared "batch_assembly" window on traced spans.
         """
         live = [r for r in batch if not r.future.cancelled()]
         if len(live) < len(batch):
@@ -495,6 +537,16 @@ class ServingEngine:
         for req in live:
             groups.setdefault((req.k, req.nprobe), []).append(req)
         for (k, nprobe), reqs in groups.items():
+            traced = [r for r in reqs if r.span is not None]
+            # One *deep* exec span per group: activated around the backend
+            # call so downstream spans (scatter, shard RPCs, IVF stages)
+            # nest under it.  Other traced batch-mates get a flat shared
+            # exec interval below — the work happened once for all of them.
+            exec_span = (
+                traced[0].span.child("exec", args={"batch_size": len(reqs), "k": int(k)})
+                if traced
+                else NOOP_SPAN
+            )
             t0 = time.perf_counter()
             try:
                 # Everything request-shaped stays inside the try: a
@@ -502,7 +554,8 @@ class ServingEngine:
                 # or a misbehaving backend (wrong row count) must fail the
                 # affected requests, never kill the worker thread.
                 queries = np.stack([r.query for r in reqs])
-                ids, dists = self.backend.search_batch(queries, k, nprobe)
+                with exec_span:
+                    ids, dists = self.backend.search_batch(queries, k, nprobe)
                 ids = np.asarray(ids)
                 dists = np.asarray(dists)
                 if ids.shape[0] != len(reqs) or dists.shape[0] != len(reqs):
@@ -512,7 +565,15 @@ class ServingEngine:
                     )
             except Exception as exc:  # propagate to every waiter, keep serving
                 self.metrics.inc("errors", len(reqs))
+                if exec_span and exec_span.dur_us is None:
+                    # np.stack failed before the span was entered (the
+                    # context manager otherwise stamps the error itself).
+                    exec_span.annotate(error=type(exc).__name__)
+                    exec_span.end()
                 for r in reqs:
+                    if r.span is not None:
+                        r.span.annotate(error=type(exc).__name__)
+                        r.span.end()
                     _reject(r.future, exc)
                 continue
             t1 = time.perf_counter()
@@ -549,3 +610,25 @@ class ServingEngine:
                         tenant=r.tenant,
                     ),
                 )
+                if r.span is not None:
+                    # perf_counter readings land on the span timeline
+                    # (both are CLOCK_MONOTONIC microseconds).  A request
+                    # coalesced into an already-open batch window arrived
+                    # after t_first; its assembly wait starts at its own
+                    # submit, never before its root span.
+                    ts_submit = int(r.t_submit * 1e6)
+                    ts_first = max(
+                        int((t_first if t_first is not None else t0) * 1e6),
+                        ts_submit,
+                    )
+                    r.span.interval("queue", ts_submit, ts_first)
+                    r.span.interval("batch_assembly", ts_first, int(t0 * 1e6))
+                    if r is not traced[0]:
+                        # Batch-mates share the one deep exec span's work;
+                        # a flat interval keeps their critical path honest.
+                        r.span.interval(
+                            "exec", int(t0 * 1e6), int(t1 * 1e6),
+                            args={"batch_size": len(reqs), "shared": True},
+                        )
+                    r.span.annotate(coverage=coverage)
+                    r.span.end()

@@ -66,18 +66,22 @@ from repro.net.wire import (
     FRAME_ERROR,
     FRAME_HEADER,
     FRAME_RESULT,
+    FRAME_STATS,
     MAX_FRAME_BYTES,
     WIRE_MAGIC,
     WIRE_VERSION,
 )
+from repro.obs.trace import Tracer, current_span
 from repro.serve.aio import RemoteServeError, VectorSearchServer
 from repro.serve.protocol import (
     ProtocolError,
     decode_batch_result,
     decode_error,
     decode_result,
+    decode_stats,
     encode_preselect,
     encode_search,
+    encode_stats_request,
 )
 from repro.serve.routing import ShardedBackend
 from repro.serve.scheduler import (
@@ -209,12 +213,17 @@ class RemoteBackend:
         nq = queries.shape[0]
         out_ids = np.empty((nq, k), dtype=np.int64)
         out_dists = np.empty((nq, k), dtype=np.float32)
+        # A traced caller (an active span on this thread — the scatter's
+        # shard_rpc) rides every frame's trace-context tail, so the
+        # worker's engine continues the same trace on its side.
+        span = current_span()
+        ctx = span.context() if span else None
         with self._lock:
             self.calls += 1
             rids = self._next_rids(nq)
             buf = bytearray()
             for rid, q in zip(rids, queries):
-                buf += encode_search(rid, q, k, nprobe)
+                buf += encode_search(rid, q, k, nprobe, trace=ctx)
             self._sock.sendall(buf)
             pending = {rid: i for i, rid in enumerate(rids)}
             first_err = None
@@ -258,10 +267,16 @@ class RemoteBackend:
 
         if self.cell_sizes is not None:
             probed = prune_probed_cells(probed, self.cell_sizes)
+        # Propagate the active span (the scatter's shard_rpc) over the
+        # wire; the worker's spans come back piggybacked on the reply.
+        span = current_span()
+        ctx = span.context() if span else None
         with self._lock:
             self.calls += 1
             (rid,) = self._next_rids(1)
-            self._sock.sendall(encode_preselect(rid, queries_t, probed, k))
+            self._sock.sendall(
+                encode_preselect(rid, queries_t, probed, k, trace=ctx)
+            )
             while True:
                 ftype, payload = self._read_frame()
                 if ftype == FRAME_ERROR:
@@ -275,12 +290,35 @@ class RemoteBackend:
                 if res.request_id != rid:
                     continue
                 self.codes_scanned += res.codes_scanned
+                if res.spans and span:
+                    span.tracer.ingest(res.spans)
                 # Copy out of the payload buffer: callers may hold these
                 # past the next exchange.
                 return (
                     np.array(res.ids, dtype=np.int64),
                     np.array(res.dists, dtype=np.float32),
                 )
+
+    def stats(self, *, drain_spans: bool = False) -> dict:
+        """Scrape the worker's metrics snapshot over the stats frame pair.
+
+        Returns the worker's JSON view: its pid, its full
+        :class:`~repro.serve.metrics.MetricsRegistry` snapshot, and —
+        with ``drain_spans`` — every span buffered in the worker's
+        tracer (engine-path spans of traced search frames, which have no
+        reply to piggyback on, drain through here).
+        """
+        with self._lock:
+            (rid,) = self._next_rids(1)
+            self._sock.sendall(encode_stats_request(rid, drain_spans=drain_spans))
+            while True:
+                ftype, payload = self._read_frame()
+                if ftype != FRAME_STATS:
+                    continue  # stale response from an earlier failed call
+                res = decode_stats(payload)
+                if res.request_id != rid:
+                    continue
+                return res.data
 
     def close(self) -> None:
         """Close the socket (idempotent); later calls raise ``OSError``."""
@@ -547,6 +585,28 @@ class WorkerPool:
             preselect=preselect,
         )
 
+    def stats(self, *, drain_spans: bool = False) -> dict:
+        """Aggregate every live worker's metrics scrape.
+
+        Returns ``{"workers": [per-worker data...], "counters": {...}}``
+        — the per-worker entries are each worker's own
+        :meth:`RemoteBackend.stats` view (pid, registry snapshot,
+        optionally drained spans) and ``counters`` sums the registries'
+        counters across workers.  Workers that fail to answer (crashed
+        mid-scrape) are skipped rather than failing the whole scrape.
+        """
+        per: list[dict] = []
+        for backend in self.backends():
+            try:
+                per.append(backend.stats(drain_spans=drain_spans))
+            except (OSError, TimeoutError, ProtocolError):
+                continue  # dead or wedged worker: scrape the survivors
+        counters: dict[str, int] = {}
+        for w in per:
+            for name, val in (w.get("metrics", {}).get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + int(val)
+        return {"workers": per, "counters": counters}
+
     # ------------------------------------------------------------------ #
     def poll(self) -> dict[int, int]:
         """Exit codes of workers that have died, keyed by shard id."""
@@ -665,6 +725,10 @@ async def _serve_until_stopped(engine_view, preselect_view, args) -> None:
         max_wait_us=args.max_wait_us,
         policy="shed",
         queue_depth=args.queue_depth,
+        # sample_rate=0: the worker never originates traces, but it
+        # continues (and buffers spans for) traced frames from the
+        # router, whose sampling decision rides the wire.
+        tracer=Tracer(sample_rate=0.0),
     )
     engine.start()
     server = VectorSearchServer(

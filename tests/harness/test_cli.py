@@ -9,7 +9,7 @@ class TestCLI:
     def test_all_experiment_ids_registered(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig03", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04",
-            "serve-bench",
+            "serve-bench", "trace-report",
         }
 
     def test_runs_analytic_experiment(self, capsys):
@@ -38,3 +38,46 @@ class TestCLI:
     def test_policy_rejected_outside_replicated_mode(self):
         with pytest.raises(SystemExit, match="replicated"):
             main(["serve-bench", "--policy", "p2c"])
+
+
+class TestObservabilityFlags:
+    def test_trace_rejected_in_modeled_modes(self, tmp_path):
+        """Tracing instruments the real engine/worker tiers; the modeled
+        qos/async/replicated sweeps refuse the flags instead of silently
+        producing a partial trace."""
+        out = str(tmp_path / "t.json")
+        for extra in (["--qos"], ["--async"], ["--replicas", "1,2"]):
+            with pytest.raises(SystemExit, match="--trace"):
+                main(["serve-bench", *extra, "--trace", out])
+        with pytest.raises(SystemExit, match="--trace"):
+            main(["serve-bench", "--qos", "--metrics-out", out])
+
+    def test_trace_sample_validated(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace-sample"):
+            main(["serve-bench", "--trace", str(tmp_path / "t.json"),
+                  "--trace-sample", "1.5"])
+
+    def test_trace_report_requires_trace_path(self):
+        with pytest.raises(SystemExit, match="requires --trace"):
+            main(["trace-report"])
+
+    def test_trace_report_reads_a_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import spans_to_chrome
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(sample_rate=1.0, seed=0)
+        root = tracer.start_trace("request")
+        root.interval("queue", root.t0_us, root.t0_us + 10)
+        root.end()
+        path = tmp_path / "t.trace.json"
+        path.write_text(json.dumps(spans_to_chrome(tracer.spans())))
+        assert main(["trace-report", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage durations" in out and "queue" in out
+
+    def test_all_excludes_trace_report(self):
+        from repro.harness.cli import NOT_IN_ALL
+
+        assert "trace-report" in NOT_IN_ALL

@@ -1,0 +1,266 @@
+"""Tests for the tracer core, the exporters, and the report analyzer."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.export import (
+    load_chrome_trace,
+    spans_to_chrome,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.report import TraceReport
+from repro.obs.trace import NOOP_SPAN, SpanContext, Tracer, current_span, now_us
+
+
+class TestNoopSpan:
+    def test_falsy_and_inert(self):
+        assert not NOOP_SPAN
+        assert NOOP_SPAN.child("x") is NOOP_SPAN
+        assert NOOP_SPAN.interval("x", 0, 10) is NOOP_SPAN
+        assert NOOP_SPAN.context() is None
+        NOOP_SPAN.annotate(k=1)
+        NOOP_SPAN.end()
+
+    def test_context_manager_does_not_activate(self):
+        with NOOP_SPAN as s:
+            assert s is NOOP_SPAN
+            assert current_span() is NOOP_SPAN
+
+    def test_unsampled_tracer_returns_noop(self):
+        t = Tracer(sample_rate=0.0, seed=0)
+        assert not t.enabled
+        assert t.start_trace("request") is NOOP_SPAN
+        assert len(t) == 0
+
+
+class TestSampling:
+    def test_rate_one_always_samples(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        assert all(bool(t.start_trace("r")) for _ in range(20))
+
+    def test_seeded_sampling_deterministic(self):
+        def decisions(seed):
+            t = Tracer(sample_rate=0.3, seed=seed)
+            return [bool(t.start_trace("r")) for _ in range(200)]
+
+        assert decisions(5) == decisions(5)
+        assert decisions(5) != decisions(6)
+        rate = sum(decisions(5)) / 200
+        assert 0.15 < rate < 0.45
+
+    def test_span_ids_do_not_consume_sampling_rng(self):
+        """A sampled trace producing many spans must not perturb the
+        sampling sequence of later requests."""
+
+        def decisions(extra_spans):
+            t = Tracer(sample_rate=0.5, seed=11)
+            out = []
+            for _ in range(50):
+                span = t.start_trace("r")
+                out.append(bool(span))
+                if span:
+                    for _ in range(extra_spans):
+                        span.child("c").end()
+                    span.end()
+            return out
+
+        assert decisions(0) == decisions(10)
+
+    def test_continue_trace_honors_remote_decision(self):
+        t = Tracer(sample_rate=0.0, seed=0)  # worker-style: never originates
+        ctx = SpanContext(trace_id=7, span_id=3, sampled=True)
+        span = t.continue_trace(ctx, "worker_scan")
+        assert span and span.trace_id == 7 and span.parent_id == 3
+        assert t.continue_trace(None, "x") is NOOP_SPAN
+        unsampled = SpanContext(trace_id=7, span_id=3, sampled=False)
+        assert t.continue_trace(unsampled, "x") is NOOP_SPAN
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+
+class TestSpanLifecycle:
+    def test_tree_identity_and_record_shape(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        root = t.start_trace("request", args={"k": 10})
+        child = root.child("exec", args={"batch_size": 4})
+        child.end()
+        root.end()
+        recs = t.spans()
+        assert [r["name"] for r in recs] == ["exec", "request"]
+        exec_r, root_r = recs
+        assert root_r["parent"] is None
+        assert exec_r["parent"] == root_r["span"]
+        assert exec_r["trace"] == root_r["trace"]
+        assert root_r["pid"] == os.getpid()
+        assert root_r["args"] == {"k": 10}
+        assert root_r["dur"] >= 0 and exec_r["ts"] >= root_r["ts"]
+
+    def test_end_is_idempotent(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        span = t.start_trace("r")
+        span.end(t_us=span.t0_us + 5)
+        dur = span.dur_us
+        span.end(t_us=span.t0_us + 500)
+        assert span.dur_us == dur and len(t) == 1
+
+    def test_interval_clamps_negative_duration(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        root = t.start_trace("r")
+        iv = root.interval("queue", 1000, 900)
+        assert iv.dur_us == 0 and iv.t0_us == 1000
+
+    def test_activation_nesting(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        root = t.start_trace("r")
+        assert current_span() is NOOP_SPAN
+        with root:
+            assert current_span() is root
+            with current_span().child("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is root
+        assert current_span() is NOOP_SPAN
+
+    def test_exit_annotates_error(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        with pytest.raises(RuntimeError):
+            with t.start_trace("r"):
+                raise RuntimeError("boom")
+        (rec,) = t.spans()
+        assert rec["args"]["error"] == "RuntimeError"
+
+    def test_threads_do_not_inherit_activation(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        seen = []
+        with t.start_trace("r"):
+            th = threading.Thread(target=lambda: seen.append(current_span()))
+            th.start()
+            th.join()
+        assert seen == [NOOP_SPAN]
+
+
+class TestBufferBounds:
+    def test_overflow_drops_and_counts_without_corruption(self):
+        t = Tracer(sample_rate=1.0, capacity=8, seed=0)
+        for i in range(20):
+            t.start_trace(f"r{i}").end()
+        assert len(t) == 8
+        assert t.dropped == 12
+        names = [s["name"] for s in t.spans()]
+        assert names == [f"r{i}" for i in range(8)]  # earliest kept intact
+
+    def test_overflow_under_concurrent_writers(self):
+        t = Tracer(sample_rate=1.0, capacity=100, seed=0)
+        n_threads, per_thread = 8, 50
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(per_thread):
+                t.start_trace("r").end()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t) == 100
+        assert t.dropped == n_threads * per_thread - 100
+        assert all(s["dur"] >= 0 for s in t.spans())
+
+    def test_drain_by_trace_id(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        a = t.start_trace("a")
+        a.child("a1").end()
+        a.end()
+        b = t.start_trace("b")
+        b.end()
+        got = t.drain(a.trace_id)
+        assert {s["name"] for s in got} == {"a", "a1"}
+        assert [s["name"] for s in t.spans()] == ["b"]
+        assert t.drain() == [{**s} for s in [b.to_dict()]]
+        assert len(t) == 0
+
+    def test_ingest_respects_capacity(self):
+        t = Tracer(sample_rate=1.0, capacity=3, seed=0)
+        t.ingest({"name": f"w{i}", "trace": 1, "span": i, "parent": None,
+                  "pid": 9, "tid": 1, "ts": i, "dur": 1} for i in range(5))
+        assert len(t) == 3 and t.dropped == 2
+
+
+class TestExport:
+    def _spans(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        root = t.start_trace("request")
+        with root:
+            root.child("exec", args={"batch_size": 2}).end()
+        return t.spans()
+
+    def test_chrome_shape_and_rebase(self):
+        trace = spans_to_chrome(self._spans(), dropped=3)
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert trace["otherData"]["dropped_spans"] == 3
+        assert min(e["ts"] for e in events) == 0  # re-based
+        assert all({"trace", "span", "parent"} <= set(e["args"]) for e in events)
+        kinds = {m["name"] for m in meta}
+        assert "process_name" in kinds and "thread_name" in kinds
+        proc = next(m for m in meta if m["name"] == "process_name")
+        assert proc["args"]["name"].startswith("router")  # root-owning pid
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", self._spans(), dropped=1)
+        loaded = load_chrome_trace(path)
+        assert loaded["otherData"]["dropped_spans"] == 1
+        names = {e["name"] for e in loaded["traceEvents"] if e["ph"] == "X"}
+        assert names == {"request", "exec"}
+
+    def test_jsonl_sink(self, tmp_path):
+        spans = self._spans()
+        path = write_jsonl(tmp_path / "t.jsonl", spans)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == spans
+
+
+class TestReport:
+    def _recorded(self):
+        t = Tracer(sample_rate=1.0, seed=0)
+        for i in range(4):
+            base = now_us()
+            root = t.start_trace("request")
+            root.interval("queue", base, base + 100)
+            root.interval(
+                "exec", base + 100, base + 300, args={"batch_size": 2}
+            )
+            root.end(t_us=base + 350)
+        return t.spans()
+
+    def test_stage_and_critical_path(self):
+        rep = TraceReport(self._recorded())
+        assert rep.n_traces == 4
+        assert rep.stages["queue"].row()[1] == 4
+        # exec spans carry batch_size=2: amortized p50 is half the raw.
+        _, _, p50, _, _, amort = rep.stages["exec"].row()
+        assert amort == pytest.approx(p50 / 2)
+        assert len(rep.path_us["(untracked)"]) == 4
+
+    def test_from_chrome_matches_direct(self):
+        spans = self._recorded()
+        direct = TraceReport(spans)
+        via_chrome = TraceReport.from_chrome(spans_to_chrome(spans))
+        assert sorted(direct.stages) == sorted(via_chrome.stages)
+        for name in direct.stages:
+            assert direct.stages[name].row()[1] == via_chrome.stages[name].row()[1]
+        assert direct.n_traces == via_chrome.n_traces
+
+    def test_format_is_textual(self):
+        text = TraceReport(self._recorded()).format()
+        assert "stage durations" in text and "critical path" in text
+        assert "(untracked)" in text

@@ -1,8 +1,10 @@
 """Tests for the serving metrics registry."""
 
+import threading
+
 import numpy as np
 
-from repro.serve.metrics import LatencyStats, MetricsRegistry
+from repro.serve.metrics import LatencyStats, MetricsRegistry, ReservoirSample
 
 
 class TestLatencyStats:
@@ -118,6 +120,18 @@ class TestTenantAndClassBreakdowns:
         with pytest.raises(ValueError, match="max_tracked_keys"):
             MetricsRegistry(max_tracked_keys=0)
 
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        m = MetricsRegistry()
+        m.inc("completed", 3)
+        m.set_gauge("open_connections", 7)
+        m.observe_request(10.0, 5.0, 15.0, tenant="a", cls="k5/np4")
+        m.observe_batch(4)
+        d = json.loads(json.dumps(m.snapshot().to_dict()))
+        assert d["counters"]["completed"] == 4  # 3 + the observed request
+        assert d["gauges"]["open_connections"] == 7
+
     def test_overflow_fold_consistent_across_stores(self):
         """One fold decision per tenant: counters and latencies can never
         land under different keys for the same tenant."""
@@ -132,3 +146,119 @@ class TestTenantAndClassBreakdowns:
         other = snap.tenants[MetricsRegistry.OVERFLOW_KEY]
         assert other.completed == 1
         assert other.total.count == 1  # latency followed the counter
+
+
+class TestReservoirSample:
+    def test_below_capacity_keeps_everything(self):
+        r = ReservoirSample(capacity=100)
+        for v in range(50):
+            r.add(float(v))
+        assert r.seen == 50
+        assert sorted(r.values().tolist()) == [float(v) for v in range(50)]
+
+    def test_memory_bounded_and_exact_count_max(self):
+        """The fix for the unbounded latency-sample growth: O(capacity)
+        retained values over an arbitrarily long stream, with the stream's
+        count and max still exact."""
+        r = ReservoirSample(capacity=64, seed=7)
+        for v in range(10_000):
+            r.add(float(v))
+        assert len(r.values()) == 64
+        assert r.seen == 10_000
+        assert r.max_value == 9999.0
+        s = r.stats()
+        assert s.count == 10_000 and s.max_us == 9999.0
+
+    def test_sample_is_representative(self):
+        """Percentiles estimated from the sample land near the truth for a
+        uniform stream (Algorithm R keeps every element with equal
+        probability — no recency bias)."""
+        r = ReservoirSample(capacity=512, seed=3)
+        for v in range(20_000):
+            r.add(float(v))
+        p50 = float(np.percentile(r.values(), 50))
+        assert abs(p50 - 10_000) < 2_500
+
+    def test_seeded_determinism(self):
+        a, b = ReservoirSample(17, seed=5), ReservoirSample(17, seed=5)
+        for v in range(1000):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.values().tolist() == b.values().tolist()
+
+    def test_registry_reservoirs_deterministic_per_seed(self):
+        def fill(seed):
+            m = MetricsRegistry(seed=seed)
+            for i in range(5000):
+                m.observe_request(float(i), 1.0, float(i) + 1.0)
+            return m.snapshot()
+
+        s1, s2, s3 = fill(0), fill(0), fill(9)
+        assert s1.total.p50_us == s2.total.p50_us
+        assert s1.total.count == s3.total.count == 5000
+        # Different per-series seeds: queue and total reservoirs must not
+        # replace in lockstep (that would correlate their estimates).
+        m = MetricsRegistry(seed=0)
+        for i in range(5000):
+            m.observe_request(float(i), float(i), 2.0 * i)
+        snap = m.snapshot()
+        assert snap.queue.p50_us != snap.total.p50_us
+
+
+class TestThreadedConsistency:
+    """Satellite check: the registry under concurrent writers."""
+
+    def test_counters_and_gauges_from_many_threads(self):
+        m = MetricsRegistry()
+        n_threads, n_ops = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(n_ops):
+                m.inc("completed")
+                m.inc("shed", 2)
+                m.set_gauge("open_connections", float(tid * n_ops + i))
+                m.observe_batch(4)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = m.snapshot()
+        assert snap.counters["completed"] == n_threads * n_ops
+        assert snap.counters["shed"] == 2 * n_threads * n_ops
+        assert snap.counters["batches"] == n_threads * n_ops
+        # The gauge holds one of the written values, uncorrupted.
+        assert snap.gauges["open_connections"] in {
+            float(v) for v in range(n_threads * n_ops)
+        }
+
+    def test_per_tenant_series_from_many_threads(self):
+        m = MetricsRegistry()
+        tenants = [f"t{i}" for i in range(4)]
+        n_threads, n_ops = 8, 400
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(n_ops):
+                tenant = tenants[(tid + i) % len(tenants)]
+                m.observe_request(1.0, 2.0, 3.0, tenant=tenant, cls="k5")
+                m.inc_tenant(tenant, "shed")
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = m.snapshot()
+        total = n_threads * n_ops
+        assert sum(t.completed for t in snap.tenants.values()) == total
+        assert sum(t.shed for t in snap.tenants.values()) == total
+        assert sum(t.total.count for t in snap.tenants.values()) == total
+        assert snap.classes["k5"].count == total
+        # Every thread touched every tenant equally.
+        for t in tenants:
+            assert snap.tenants[t].completed == total // len(tenants)

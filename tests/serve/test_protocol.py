@@ -13,6 +13,8 @@ from repro.net.wire import (
     FRAME_PRESELECT,
     FRAME_RESULT,
     FRAME_SEARCH,
+    FRAME_STATS,
+    FRAME_STATS_REQUEST,
     MAX_FRAME_BYTES,
     WIRE_MAGIC,
     WIRE_VERSION,
@@ -21,7 +23,10 @@ from repro.net.wire import (
     preselect_frame_bytes,
     result_frame_bytes,
     search_frame_bytes,
+    stats_frame_bytes,
+    stats_request_frame_bytes,
 )
+from repro.obs.trace import SpanContext
 from repro.serve.protocol import (
     ProtocolError,
     decode_batch_result,
@@ -29,11 +34,15 @@ from repro.serve.protocol import (
     decode_preselect,
     decode_result,
     decode_search,
+    decode_stats,
+    decode_stats_request,
     encode_batch_result,
     encode_error,
     encode_preselect,
     encode_result,
     encode_search,
+    encode_stats,
+    encode_stats_request,
     read_frame,
 )
 
@@ -224,6 +233,136 @@ class TestBatchResultRoundTrip:
         )
         with pytest.raises(ProtocolError, match="truncated|implies"):
             decode_batch_result(_payload(frame)[:-1])
+
+
+class TestTracedFrames:
+    """The flag-gated trace-context tail on search/preselect frames."""
+
+    CTX = SpanContext(trace_id=0x1234_5678_9ABC_DEF0, span_id=(1 << 63) | 7)
+
+    def test_search_trace_context_survives(self):
+        q = np.arange(8, dtype=np.float32)
+        frame = encode_search(3, q, 5, 4, tenant="t", trace=self.CTX)
+        req = decode_search(_payload(frame))
+        assert req.trace == self.CTX and req.trace.sampled
+        np.testing.assert_array_equal(req.query, q)
+        assert req.tenant == "t"
+
+    def test_preselect_trace_context_survives(self):
+        qt = np.zeros((2, 4), dtype=np.float32)
+        probed = np.zeros((2, 3), dtype=np.int64)
+        frame = encode_preselect(4, qt, probed, 5, trace=self.CTX)
+        req = decode_preselect(_payload(frame))
+        assert req.trace == self.CTX
+
+    def test_untraced_frames_byte_identical(self):
+        """An unsampled or absent context adds zero bytes to the wire."""
+        q = np.zeros(8, dtype=np.float32)
+        plain = encode_search(1, q, 5)
+        unsampled = SpanContext(trace_id=9, span_id=9, sampled=False)
+        assert encode_search(1, q, 5, trace=unsampled) == plain
+        assert decode_search(_payload(plain)).trace is None
+
+    def test_traced_wire_size_matches_model(self):
+        q = np.zeros(16, dtype=np.float32)
+        frame = encode_search(1, q, 5, tenant="ab", trace=self.CTX)
+        assert len(frame) == search_frame_bytes(16, tenant_bytes=2, traced=True)
+        qt = np.zeros((4, 16), dtype=np.float32)
+        probed = np.zeros((4, 6), dtype=np.int64)
+        pframe = encode_preselect(1, qt, probed, 5, trace=self.CTX)
+        assert len(pframe) == preselect_frame_bytes(4, 6, 16, traced=True)
+
+    def test_traced_truncation_rejected(self):
+        frame = encode_search(1, np.zeros(4, dtype=np.float32), 5, trace=self.CTX)
+        with pytest.raises(ProtocolError, match="truncated|implies"):
+            decode_search(_payload(frame)[:-3])
+
+
+class TestBatchResultSpans:
+    """The piggybacked worker-span blob on batch-result frames."""
+
+    SPANS = (
+        {"name": "worker_scan", "trace": 1, "span": 2, "parent": None,
+         "pid": 99, "tid": 1, "ts": 1000, "dur": 50},
+        {"name": "ivf_pq_scan", "trace": 1, "span": 3, "parent": 2,
+         "pid": 99, "tid": 1, "ts": 1010, "dur": 20, "args": {"codes": 7}},
+    )
+
+    def test_spans_survive(self):
+        ids = np.zeros((2, 4), dtype=np.int64)
+        dists = np.zeros((2, 4), dtype=np.float32)
+        frame = encode_batch_result(1, ids, dists, spans=self.SPANS)
+        res = decode_batch_result(_payload(frame))
+        assert list(res.spans) == list(self.SPANS)
+        assert res.ids.tobytes() == ids.tobytes()
+
+    def test_no_spans_is_byte_identical_to_pre_trace_wire(self):
+        ids = np.zeros((2, 4), dtype=np.int64)
+        dists = np.zeros((2, 4), dtype=np.float32)
+        plain = encode_batch_result(1, ids, dists)
+        assert encode_batch_result(1, ids, dists, spans=()) == plain
+        assert decode_batch_result(_payload(plain)).spans == ()
+
+    def test_wire_size_matches_model(self):
+        import json as _json
+
+        ids = np.zeros((3, 5), dtype=np.int64)
+        dists = np.zeros((3, 5), dtype=np.float32)
+        frame = encode_batch_result(1, ids, dists, spans=self.SPANS)
+        blob = len(_json.dumps(list(self.SPANS), separators=(",", ":")).encode())
+        assert len(frame) == batch_result_frame_bytes(3, 5, span_bytes=blob)
+
+    def test_corrupt_span_blob_rejected(self):
+        ids = np.zeros((1, 2), dtype=np.int64)
+        dists = np.zeros((1, 2), dtype=np.float32)
+        frame = bytearray(encode_batch_result(1, ids, dists, spans=self.SPANS))
+        frame[-5] ^= 0xFF  # flip a byte inside the JSON blob
+        with pytest.raises(ProtocolError):
+            decode_batch_result(_payload(bytes(frame)))
+
+
+class TestStatsFrames:
+    """The stats request/response pair (metrics scrape + span drain)."""
+
+    def test_request_round_trip(self):
+        frame = encode_stats_request(17, drain_spans=True)
+        header = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+        assert header[2] == FRAME_STATS_REQUEST
+        req = decode_stats_request(_payload(frame))
+        assert req.request_id == 17 and req.drain_spans
+        assert not decode_stats_request(
+            _payload(encode_stats_request(17))
+        ).drain_spans
+
+    def test_response_round_trip(self):
+        data = {"pid": 123, "metrics": {"counters": {"completed": 4}},
+                "spans": [{"name": "worker_scan", "span": 1}]}
+        frame = encode_stats(17, data)
+        header = FRAME_HEADER.unpack(frame[: FRAME_HEADER.size])
+        assert header[2] == FRAME_STATS
+        res = decode_stats(_payload(frame))
+        assert res.request_id == 17 and res.data == data
+
+    def test_wire_sizes_match_model(self):
+        import json as _json
+
+        assert len(encode_stats_request(1)) == stats_request_frame_bytes()
+        data = {"pid": 1}
+        blob = len(_json.dumps(data, separators=(",", ":")).encode())
+        assert len(encode_stats(1, data)) == stats_frame_bytes(blob)
+
+    def test_non_dict_payload_rejected(self):
+        frame = encode_stats(1, {"ok": True})
+        payload = bytearray(_payload(frame))
+        bad = payload.replace(b'{"ok":true}', b'["ok",true]')
+        with pytest.raises(ProtocolError):
+            decode_stats(bytes(bad))
+
+    def test_read_frame_dispatches_stats_types(self):
+        frame = encode_stats_request(5, drain_spans=True)
+        ftype, payload = _read_one(frame)
+        assert ftype == FRAME_STATS_REQUEST
+        assert decode_stats_request(payload).drain_spans
 
 
 def _read_one(data: bytes):

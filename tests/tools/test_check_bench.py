@@ -199,3 +199,19 @@ class TestHistory:
         )
         assert rc == 0
         assert "bench history" in report.read_text()
+
+
+class TestTolerantLoading:
+    def test_unreadable_input_skipped_not_fatal(self, tmp_path, capsys):
+        """A non-benchmark JSON (or garbage) passed alongside real files —
+        e.g. a serve-bench metrics.json swept up by a glob — is skipped
+        with a note instead of crashing the report."""
+        bad = tmp_path / "BENCH_bogus.json"
+        bad.write_text("{not valid json")
+        missing = tmp_path / "BENCH_gone.json"
+        rc = check_bench.main([str(bad), str(missing),
+                               str(REPO_ROOT / "BENCH_serve.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("skipping") == 2
+        assert "BENCH_serve.json" in out

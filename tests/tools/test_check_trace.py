@@ -1,0 +1,126 @@
+"""Tests for the trace validator tool (tools/check_trace.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_trace  # noqa: E402  (needs the tools/ path above)
+
+
+def span(name, trace, sid, parent, pid, ts, dur=10, tid=1):
+    return {
+        "name": name, "ph": "X", "ts": ts, "dur": dur, "pid": pid, "tid": tid,
+        "args": {"trace": trace, "span": sid, "parent": parent},
+    }
+
+
+def write(tmp_path, events):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    return path
+
+
+def multiproc_trace():
+    """A minimal complete cross-process trace (router pid 1, workers 2/3)."""
+    ev = [
+        span("request", 1, 10, None, 1, 0, dur=100),
+        span("exec", 1, 11, 10, 1, 5, dur=90),
+        span("scatter", 1, 12, 11, 1, 6, dur=80),
+        span("shard_rpc", 1, 13, 12, 1, 10, dur=40),
+        span("shard_rpc", 1, 14, 12, 1, 10, dur=40),
+        span("worker_scan", 1, 15, 13, 2, 12, dur=30),
+        span("worker_scan", 1, 16, 14, 3, 12, dur=30),
+        span("merge", 1, 17, 12, 1, 60, dur=10),
+    ]
+    return ev
+
+
+class TestValidate:
+    def test_clean_single_process_trace(self, tmp_path):
+        path = write(tmp_path, [
+            span("request", 1, 10, None, 1, 0, dur=100),
+            span("queue", 1, 11, 10, 1, 2, dur=20),
+        ])
+        assert check_trace.validate(path) == []
+
+    def test_clean_multiproc_trace(self, tmp_path):
+        path = write(tmp_path, multiproc_trace())
+        assert check_trace.validate(path, expect_workers=2) == []
+
+    def test_missing_parent_flagged(self, tmp_path):
+        path = write(tmp_path, [
+            span("request", 1, 10, None, 1, 0),
+            span("queue", 1, 11, 999, 1, 2),
+        ])
+        errs = check_trace.validate(path)
+        assert any("parent span 999" in e for e in errs)
+
+    def test_cross_trace_parent_flagged(self, tmp_path):
+        path = write(tmp_path, [
+            span("request", 1, 10, None, 1, 0),
+            span("queue", 2, 11, 10, 1, 2),
+        ])
+        errs = check_trace.validate(path)
+        assert any("different trace id" in e for e in errs)
+
+    def test_negative_timestamp_and_duration_flagged(self, tmp_path):
+        path = write(tmp_path, [
+            span("request", 1, 10, None, 1, -5),
+            span("queue", 1, 11, 10, 1, 2, dur=-1),
+        ])
+        errs = check_trace.validate(path)
+        assert any("negative" in e and "ts" in e for e in errs)
+        assert any("negative" in e and "dur" in e for e in errs)
+
+    def test_child_before_parent_flagged(self, tmp_path):
+        path = write(tmp_path, [
+            span("request", 1, 10, None, 1, 1000, dur=100),
+            span("queue", 1, 11, 10, 1, 200, dur=20),
+        ])
+        errs = check_trace.validate(path, slack_us=10.0)
+        assert any("before its parent" in e for e in errs)
+
+    def test_duplicate_span_id_flagged(self, tmp_path):
+        path = write(tmp_path, [
+            span("request", 1, 10, None, 1, 0),
+            span("request", 2, 10, None, 1, 0),
+        ])
+        errs = check_trace.validate(path)
+        assert any("duplicate span id" in e for e in errs)
+
+    def test_missing_worker_pids_flagged(self, tmp_path):
+        path = write(tmp_path, [span("request", 1, 10, None, 1, 0)])
+        errs = check_trace.validate(path, expect_workers=2)
+        assert any("worker pid" in e for e in errs)
+        assert any("stage chain" in e for e in errs)
+
+    def test_incomplete_stage_chain_flagged(self, tmp_path):
+        events = [e for e in multiproc_trace() if e["name"] != "merge"]
+        path = write(tmp_path, events)
+        errs = check_trace.validate(path, expect_workers=2)
+        assert any("stage chain" in e for e in errs)
+
+    def test_schema_violations_flagged(self, tmp_path):
+        path = write(tmp_path, [{"ph": "X", "name": "x"}])
+        errs = check_trace.validate(path)
+        assert errs and any("missing" in e or "span identity" in e for e in errs)
+
+    def test_unreadable_file(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{not json")
+        errs = check_trace.validate(bad)
+        assert errs and "unreadable" in errs[0]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = write(tmp_path, multiproc_trace())
+        assert check_trace.main([str(good), "--expect-workers", "2"]) == 0
+        assert "OK" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [
+            span("queue", 1, 11, 999, 1, 2),
+        ]}))
+        assert check_trace.main([str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -293,7 +293,14 @@ def main(argv: list[str] | None = None) -> int:
     current_metrics: dict[str, dict[str, float]] = {}
     worst = 0.0
     for path in files:
-        current = json.loads(Path(path).read_text())
+        # Tolerate unreadable or non-JSON inputs (e.g. a metrics.json or
+        # trace file swept up by a glob): skip with a note, don't fail
+        # the whole report.
+        try:
+            current = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: not a readable benchmark JSON ({exc})")
+            continue
         name = Path(path).name
         current_metrics[name] = {
             k: v for k, v in numeric_leaves(current).items() if pattern.search(k)
