@@ -1,0 +1,106 @@
+"""Chaos benchmark: availability and tails through a kill/recover cycle.
+
+Runs the fault-injection serving mode
+(:func:`repro.harness.serve_bench.run_chaos`): an R×S replicated worker
+grid under supervised restart serves closed-loop load while workers are
+SIGKILLed on a seeded schedule, and records ``BENCH_chaos.json`` at the
+repo root:
+
+- **availability** — the fraction of completed requests answered with
+  full shard coverage (R=2 over one shard: replica failover should keep
+  this at exactly 1.0);
+- **p50/p99 latency and QPS** through the whole cycle, kills included;
+- per-kill **time to restored coverage**, from the supervisor's clock;
+- the leak audit (every spawned process reaped after stop).
+
+Acceptance: zero failed requests, every kill recovered within the
+budget, answers bit-identical to direct search before the first kill
+and after the last recovery, no leaked processes.  Latency numbers are
+recorded, not asserted — a 1-CPU CI runner's tails are noise.
+
+Run: ``python -m pytest benchmarks/test_bench_chaos.py -s``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness import serve_bench
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_chaos.json"
+
+REPLICAS = 2
+SHARDS = 1
+KILLS = 2
+N_CLIENTS = 6
+N_REQUESTS = 240
+#: Generous per-kill recovery budget for slow, oversubscribed CI hosts.
+RECOVERY_BUDGET_S = 30.0
+
+
+def test_chaos_kill_recover_cycle_availability():
+    result = serve_bench.run_chaos(
+        replicas=REPLICAS,
+        shards=SHARDS,
+        kills=KILLS,
+        n_clients=N_CLIENTS,
+        n_requests=N_REQUESTS,
+        **serve_bench.MP_QUICK,
+    )
+
+    record = {
+        "benchmark": "chaos_serve",
+        "params": result.params,
+        "availability": round(result.availability, 4),
+        "qps": round(result.report.achieved_qps, 1),
+        "p50_us": round(result.report.total.p50_us, 1),
+        "p99_us": round(result.report.total.p99_us, 1),
+        "completed": result.report.n_completed,
+        "errors": result.report.n_errors,
+        "partial_results": result.partial_results,
+        "worker_restarts": result.worker_restarts,
+        "coverage_lost": result.coverage_lost,
+        "coverage_restored": result.coverage_restored,
+        "bit_identical_before": result.bit_identical_before,
+        "bit_identical_after": result.bit_identical_after,
+        "kills": [
+            {
+                "worker": f"{k.shard}.{k.replica}",
+                "t_kill_s": round(k.t_kill_s, 3),
+                "recovered": k.recovered,
+                "attempts": k.attempts,
+                "coverage_restored_ms": round(k.coverage_restored_us / 1e3, 1),
+            }
+            for k in result.kills
+        ],
+        "leaked_pids": result.leaked_pids,
+        "host_cpus": result.host_cpus,
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{result.format()}\n-> {ARTIFACT.name}")
+
+    # The fault-tolerance contract, end to end.
+    assert result.report.n_errors == 0, (
+        f"{result.report.n_errors} requests failed during the chaos run"
+    )
+    assert result.report.n_completed == N_REQUESTS
+    assert len(result.kills) == KILLS, (
+        f"killer landed {len(result.kills)}/{KILLS} strikes"
+    )
+    assert result.all_recovered, f"unrecovered kills: {result.kills}"
+    assert result.worker_restarts == KILLS
+    for kill in result.kills:
+        assert kill.coverage_restored_us < RECOVERY_BUDGET_S * 1e6, (
+            f"recovery of worker {kill.shard}.{kill.replica} took "
+            f"{kill.coverage_restored_us / 1e6:.1f}s"
+        )
+    # R=2 over one shard: the surviving replica keeps coverage at 1.0
+    # for every request, so availability is exact.
+    assert result.partial_results == 0
+    assert result.availability == 1.0
+    # Byte-exact before the first kill and after the last recovery.
+    assert result.bit_identical_before
+    assert result.bit_identical_after
+    # Every process ever spawned (grid + respawns) was reaped.
+    assert result.leaked_pids == []

@@ -21,7 +21,11 @@ adaptive batch window against fixed windows); with ``--async`` it sweeps
 connection counts over the thread-based vs asyncio socket front ends;
 with ``--workers`` it sweeps worker-process counts over the
 multi-process data plane (mmap shard workers + preselect-once scatter —
-the only mode whose scaling needs real CPU cores)::
+the only mode whose scaling needs real CPU cores); with ``--workers R,S
+--chaos`` it runs the fault-injection mode instead — an R×S replicated
+worker grid under supervised restart, with workers SIGKILLed on a seeded
+schedule mid-load (zero failed requests, bounded recovery, bit-identical
+answers after)::
 
     python -m repro.harness.cli serve-bench
     python -m repro.harness.cli serve-bench --replicas 1,2,3 --shards 1,2,4
@@ -29,6 +33,8 @@ the only mode whose scaling needs real CPU cores)::
     python -m repro.harness.cli serve-bench --async --connections 64,512,4096
     python -m repro.harness.cli serve-bench --workers 1,2,4
     python -m repro.harness.cli serve-bench --workers 1,2 --quick
+    python -m repro.harness.cli serve-bench --workers 2,2 --chaos --kills 3
+    python -m repro.harness.cli serve-bench --workers 2,1 --chaos --quick
 
 The basic and ``--workers`` modes also take ``--trace out.trace.json``
 (plus ``--trace-sample``) to record an end-to-end request trace — one
@@ -130,9 +136,26 @@ def _run_serve_bench(args: argparse.Namespace):
             overrides["n_clients"] = args.clients
         if args.requests is not None:
             overrides["n_requests"] = args.requests
+        if args.chaos:
+            if len(workers) != 2:
+                raise SystemExit(
+                    "--chaos reads --workers as R,S (replicas,shards) and "
+                    f"needs exactly two counts, got {args.workers!r}"
+                )
+            if "trace_path" in obs:
+                raise SystemExit("--trace does not apply to the --chaos mode")
+            if args.kills < 1:
+                raise SystemExit(f"--kills must be >= 1, got {args.kills}")
+            replicas, shards = workers
+            return serve_bench.run_chaos(
+                replicas=replicas, shards=shards, kills=args.kills,
+                seed=args.seed, **overrides, **obs
+            )
         return serve_bench.run_multiproc(
             workers=workers, seed=args.seed, **overrides, **obs
         )
+    if args.chaos:
+        raise SystemExit("--chaos requires --workers R,S (replicas,shards)")
     if args.quick:
         raise SystemExit("--quick applies to the --workers mode only")
     if obs and (
@@ -288,9 +311,28 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "fault-injection mode: read --workers as R,S (replicas,shards), "
+            "SIGKILL workers on a seeded schedule under load, measure "
+            "supervised recovery"
+        ),
+    )
+    serve.add_argument(
+        "--kills",
+        type=int,
+        default=2,
+        metavar="N",
+        help="workers to SIGKILL during a --chaos run (default: 2)",
+    )
+    serve.add_argument(
         "--quick",
         action="store_true",
-        help="seconds-scale corpus preset for the --workers sweep (CI smoke)",
+        help=(
+            "seconds-scale corpus preset for the --workers sweep and "
+            "--chaos mode (CI smoke)"
+        ),
     )
     serve.add_argument(
         "--seed", type=int, default=0, help="workload seed (default: 0)"

@@ -50,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import tempfile
 import threading
 import time
@@ -92,6 +93,8 @@ from repro.serve.workers import WorkerPool
 __all__ = [
     "AsyncConfigRow",
     "AsyncServeResult",
+    "ChaosKillRow",
+    "ChaosServeResult",
     "MultiprocConfigRow",
     "MultiprocServeResult",
     "QosBenchResult",
@@ -104,6 +107,7 @@ __all__ = [
     "build_serving_index",
     "run",
     "run_async",
+    "run_chaos",
     "run_multiproc",
     "run_qos",
     "run_replicated",
@@ -1512,3 +1516,316 @@ def run_multiproc(
             "host_cpus": host_cpus(),
         },
     )
+
+
+# --------------------------------------------------------------------- #
+# Chaos / fault-injection mode.
+
+#: Time budget for one supervised recovery during a chaos run.  Generous:
+#: a respawned worker re-loads the saved index from page cache, which is
+#: fast, but CI hosts are slow and oversubscribed.
+CHAOS_RECOVER_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class ChaosKillRow:
+    """One injected kill and its supervised recovery."""
+
+    shard: int
+    replica: int
+    #: Seconds into the load phase when SIGKILL was delivered.
+    t_kill_s: float
+    #: Whether the supervisor brought the slot back (False means the
+    #: retry budget ran out — never expected in a healthy chaos run).
+    recovered: bool
+    #: Spawn attempts the recovery took (1 = first respawn came up).
+    attempts: int
+    #: Microseconds from kill detection to the backend re-registered.
+    coverage_restored_us: float
+
+    def cells(self) -> list:
+        """Row cells for the result table."""
+        return [
+            f"{self.shard}.{self.replica}", f"{self.t_kill_s:.2f}",
+            "yes" if self.recovered else "NO", self.attempts,
+            f"{self.coverage_restored_us / 1e3:.1f}",
+        ]
+
+
+@dataclass
+class ChaosServeResult:
+    """Outcome of a kill/recover cycle under live closed-loop load."""
+
+    report: LoadReport
+    kills: list[ChaosKillRow]
+    replicas: int
+    shards: int
+    #: Fraction of completed requests answered with full shard coverage.
+    availability: float
+    partial_results: int
+    worker_restarts: int
+    coverage_lost: int
+    coverage_restored: int
+    bit_identical_before: bool
+    bit_identical_after: bool
+    #: Pids still running after ``pool.stop()`` — must be empty.
+    leaked_pids: list[int]
+    host_cpus: int
+    params: dict = field(default_factory=dict)
+
+    @property
+    def all_recovered(self) -> bool:
+        """Every injected kill ended in a completed supervised restart."""
+        return all(k.recovered for k in self.kills)
+
+    def format(self) -> str:
+        """Human-readable kill table plus the availability headline."""
+        r = self.report
+        table = format_table(
+            ["worker", "t_kill_s", "recovered", "attempts", "restore_ms"],
+            [k.cells() for k in self.kills],
+            title=(
+                f"chaos serve: {self.replicas}x{self.shards} "
+                f"(replicas x shards), {len(self.kills)} kills under load, "
+                f"{self.host_cpus} host CPUs"
+            ),
+        )
+        lines = [
+            table,
+            f"\n\nrequests: {r.n_completed} completed, {r.n_errors} failed, "
+            f"{self.partial_results} partial "
+            f"(availability {self.availability:.4f})",
+            f"\nlatency: p50 {r.total.p50_us:.0f}us, "
+            f"p99 {r.total.p99_us:.0f}us at {r.achieved_qps:.0f} QPS",
+            f"\ncoverage transitions: {self.coverage_lost} lost, "
+            f"{self.coverage_restored} restored; "
+            f"{self.worker_restarts} supervised restarts",
+            f"\nbit-identical to direct search: "
+            f"before={self.bit_identical_before} "
+            f"after={self.bit_identical_after}",
+        ]
+        if self.leaked_pids:
+            lines.append(f"\nLEAKED PROCESSES: {self.leaked_pids}")
+        return "".join(lines)
+
+
+def _chaos_killer(
+    pool: WorkerPool,
+    *,
+    kills: int,
+    n_requests: int,
+    progress,
+    seed: int,
+    stop_ev: threading.Event,
+    kill_times: list,
+) -> None:
+    """Kill ``kills`` random live workers on a seeded schedule.
+
+    The schedule is progress-driven, not wall-clock: kill ``i`` fires
+    once ``progress()`` (completed requests) crosses
+    ``(i+1) * n_requests / (kills+1)``, so every strike lands while the
+    load is actually running regardless of host speed.  Each kill then
+    waits for the supervisor to finish (or give up on) that recovery
+    before striking again, so the router never loses more than one
+    worker at a time and every ``RestartRecord`` pairs with exactly one
+    kill.  ``stop_ev`` aborts the schedule (load phase failed).
+    """
+    rng = random.Random(seed)
+    t0 = time.perf_counter()
+    for i in range(kills):
+        threshold = (i + 1) * n_requests // (kills + 1)
+        while progress() < threshold:
+            if stop_ev.wait(0.005):
+                return
+        live = [
+            (s, r)
+            for s in range(pool.n_workers)
+            for r in range(pool.replicas)
+            if pool.alive[s * pool.replicas + r]
+        ]
+        if not live:  # pragma: no cover - supervisor lost every slot
+            return
+        shard, replica = rng.choice(live)
+        done_before = len(pool.restart_log) + len(pool.restart_failures)
+        kill_times.append((shard, replica, time.perf_counter() - t0))
+        pool.kill(shard, replica)
+        deadline = time.monotonic() + CHAOS_RECOVER_TIMEOUT_S
+        while time.monotonic() < deadline and not stop_ev.is_set():
+            if len(pool.restart_log) + len(pool.restart_failures) > done_before:
+                break
+            time.sleep(0.01)
+
+
+def run_chaos(
+    ctx=None,
+    *,
+    replicas: int = 2,
+    shards: int = 2,
+    kills: int = 2,
+    n_clients: int = 8,
+    n_requests: int = 240,
+    max_batch: int = 16,
+    max_wait_us: float = 500.0,
+    n_base: int = MP_N_BASE,
+    d: int = MP_D,
+    nlist: int = MP_NLIST,
+    m: int = MP_M,
+    ksub: int = MP_KSUB,
+    k: int = MP_K,
+    nprobe: int = MP_NPROBE,
+    seed: int = 0,
+    metrics_out: str | None = None,
+) -> ChaosServeResult:
+    """Kill workers on a seeded schedule under live load; measure recovery.
+
+    An R×S :class:`~repro.serve.workers.WorkerPool` (``replicas``
+    processes per shard) serves a closed loop through the router-side
+    engine with ``on_shard_error="degrade"`` while the pool's supervisor
+    runs.  A killer thread SIGKILLs ``kills`` randomly chosen live
+    workers, one at a time, waiting for each supervised recovery to land
+    before the next strike.  The run asserts the fault-tolerance
+    contract end to end:
+
+    - **zero failed requests** — with R >= 2 the replica set fails over
+      mid-call; with R == 1 the sharded router degrades to an exact
+      merge over the survivors (``coverage < 1`` stamps the answer
+      partial, it never errors);
+    - **bit-identical answers** before the first kill and after the last
+      recovery — a restarted worker mmaps the same saved arrays, so
+      recovery is byte-exact, not merely "healthy";
+    - **bounded time to full coverage** — every kill's
+      ``coverage_restored_us`` comes from the supervisor's own clock;
+    - **no leaks** — after ``pool.stop()`` every process ever spawned
+      (including mid-run respawns) must be reaped.
+
+    Availability here is result completeness, not uptime: the fraction
+    of completed requests answered with every shard present.
+    """
+    if replicas < 1 or shards < 1:
+        raise ValueError(f"need replicas,shards >= 1, got {replicas},{shards}")
+    if replicas * shards < 2:
+        raise ValueError("chaos needs at least 2 workers (one must survive)")
+    if kills < 1:
+        raise ValueError(f"need kills >= 1, got {kills}")
+
+    index, queries = build_serving_index(
+        n_base=n_base, d=d, nlist=nlist, m=m, ksub=ksub, seed=seed
+    )
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+
+    kill_times: list = []
+    stop_ev = threading.Event()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        save_index_dir(index, tmp)
+        planner = load_index_dir(tmp, mmap=True)
+        with WorkerPool(
+            tmp, shards, replicas=replicas, max_batch=max_batch,
+            max_wait_us=0.0,
+        ) as pool:
+            router = pool.sharded_backend(
+                preselect=planner, on_shard_error="degrade"
+            )
+            got = router.search_batch(queries, k, nprobe)
+            bit_before = bool(
+                np.array_equal(got[0], ref_ids)
+                and np.array_equal(got[1], ref_dists)
+            )
+            with ServingEngine(
+                router, max_batch=max_batch, max_wait_us=max_wait_us,
+                dispatchers=2,
+            ) as engine:
+                pool.start_supervisor(metrics=engine.metrics)
+
+                def progress() -> int:
+                    snap = engine.metrics.snapshot()
+                    return int(snap.counters.get("completed", 0))
+
+                killer = threading.Thread(
+                    target=_chaos_killer,
+                    kwargs=dict(
+                        pool=pool, kills=kills, n_requests=n_requests,
+                        progress=progress, seed=seed + 1,
+                        stop_ev=stop_ev, kill_times=kill_times,
+                    ),
+                    name="chaos-killer",
+                    daemon=True,
+                )
+                killer.start()
+                try:
+                    report = run_closed_loop(
+                        engine, queries, k, nprobe,
+                        n_clients=n_clients, n_requests=n_requests,
+                    )
+                except BaseException:
+                    stop_ev.set()
+                    raise
+                finally:
+                    # The remaining schedule fires immediately once the
+                    # load has completed past its thresholds, so a
+                    # bounded join always collects every kill.
+                    killer.join(timeout=(kills + 1) * CHAOS_RECOVER_TIMEOUT_S)
+                    stop_ev.set()
+                # Load is done; give any in-flight recovery time to land
+                # so the post-recovery identity check sees a full grid.
+                deadline = time.monotonic() + CHAOS_RECOVER_TIMEOUT_S
+                while time.monotonic() < deadline:
+                    done = len(pool.restart_log) + len(pool.restart_failures)
+                    if done >= len(kill_times) and all(pool.alive):
+                        break
+                    time.sleep(0.01)
+                got = router.search_batch(queries, k, nprobe)
+                bit_after = bool(
+                    np.array_equal(got[0], ref_ids)
+                    and np.array_equal(got[1], ref_dists)
+                )
+                snap = engine.metrics.snapshot().to_dict()
+            pool.stop_supervisor()
+        leaked = [p.pid for p in pool.spawned_procs if p.poll() is None]
+
+    # Pair kills with recoveries in order: one supervisor thread handles
+    # them serially, and the killer waits each one out before the next.
+    rows: list[ChaosKillRow] = []
+    for i, (shard, replica, t_kill) in enumerate(kill_times):
+        rec = pool.restart_log[i] if i < len(pool.restart_log) else None
+        rows.append(
+            ChaosKillRow(
+                shard=shard,
+                replica=replica,
+                t_kill_s=t_kill,
+                recovered=rec is not None,
+                attempts=rec.attempts if rec is not None else 0,
+                coverage_restored_us=(
+                    rec.coverage_restored_us if rec is not None else 0.0
+                ),
+            )
+        )
+
+    counters = snap.get("counters", {})
+    partial = int(counters.get("partial", 0))
+    completed = max(report.n_completed, 1)
+    result = ChaosServeResult(
+        report=report,
+        kills=rows,
+        replicas=replicas,
+        shards=shards,
+        availability=1.0 - partial / completed,
+        partial_results=partial,
+        worker_restarts=int(counters.get("worker_restarts", 0)),
+        coverage_lost=int(counters.get("coverage_lost", 0)),
+        coverage_restored=int(counters.get("coverage_restored", 0)),
+        bit_identical_before=bit_before,
+        bit_identical_after=bit_after,
+        leaked_pids=leaked,
+        host_cpus=host_cpus(),
+        params={
+            "n_base": n_base, "d": d, "nlist": nlist, "m": m, "ksub": ksub,
+            "k": k, "nprobe": nprobe, "max_batch": max_batch,
+            "max_wait_us": max_wait_us, "replicas": replicas,
+            "shards": shards, "kills": kills, "n_clients": n_clients,
+            "n_requests": n_requests, "seed": seed,
+            "host_cpus": host_cpus(),
+        },
+    )
+    if metrics_out is not None:
+        _write_metrics(metrics_out, {"mode": "chaos", "router": snap})
+    return result

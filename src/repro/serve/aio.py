@@ -65,6 +65,7 @@ from repro.net.wire import (
     FRAME_STATS_REQUEST,
 )
 from repro.obs.trace import NOOP_SPAN, SpanContext
+from repro.serve.backends import BackendUnavailableError
 from repro.serve.protocol import (
     PreselectFrame,
     ProtocolError,
@@ -712,14 +713,18 @@ class AsyncClient:
             while True:
                 frame = await read_frame(self._reader)
                 if frame is None:
-                    self._fail_pending(ConnectionResetError("server closed"))
+                    self._fail_pending(
+                        BackendUnavailableError("server closed the connection")
+                    )
                     self._closed = True
                     return
                 self._dispatch(*frame)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # protocol or socket error: fail waiters
-            self._fail_pending(
-                exc if isinstance(exc, ConnectionError) else ConnectionError(str(exc))
-            )
+            # Typed shard-error signal: waiters see the same
+            # BackendUnavailableError a blocking RemoteBackend raises, so
+            # replica failover and degrade mode engage identically on the
+            # async path.
+            self._fail_pending(BackendUnavailableError(str(exc)))
             self._closed = True

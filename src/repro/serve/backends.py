@@ -39,12 +39,31 @@ from typing import Callable, Protocol, runtime_checkable
 import numpy as np
 
 __all__ = [
+    "BackendUnavailableError",
     "InstrumentedBackend",
     "SearchBackend",
     "SimulatedDeviceBackend",
     "backend_coverage",
     "forward_invalidation_listener",
 ]
+
+
+class BackendUnavailableError(ConnectionError):
+    """A backend cannot be reached — the typed shard-error signal.
+
+    Remote backends (:class:`~repro.serve.workers.RemoteBackend`) map
+    *every* transport failure — reset, refused connection, broken pipe,
+    timeout, misaligned frame stream — to this one exception, so the
+    layers above see a single, typed signal:
+
+    - a :class:`~repro.serve.routing.ReplicaSet` fails over to another
+      live replica of the same shard,
+    - a :class:`~repro.serve.routing.ShardedBackend` in degrade mode
+      turns it into a coverage hole instead of a failed request.
+
+    Subclassing :class:`ConnectionError` keeps existing ``except OSError``
+    call sites working unchanged.
+    """
 
 
 def backend_coverage(backend) -> float:

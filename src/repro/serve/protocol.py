@@ -233,7 +233,12 @@ def decode_search(payload: bytes) -> SearchFrame:
         raise ProtocolError(
             f"search payload is {len(payload)} bytes, header implies {want}"
         )
-    tenant = payload[off : off + tenant_len].decode("utf-8")
+    try:
+        tenant = payload[off : off + tenant_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        # A bit-flipped tenant must kill (at most) this connection via the
+        # typed protocol path, not leak a UnicodeDecodeError upstream.
+        raise ProtocolError(f"search tenant is not valid UTF-8: {exc}") from None
     query = np.frombuffer(payload, dtype=np.float32, count=d, offset=off + tenant_len)
     trace = None
     if traced:
@@ -473,11 +478,14 @@ def decode_batch_result(payload: bytes) -> BatchResultFrame:
                 f"batch-result payload is {len(payload)} bytes, header implies {want}"
             )
         try:
-            spans = tuple(
-                json.loads(payload[arrays_end + 4 :].decode("utf-8"))
-            )
+            blob = json.loads(payload[arrays_end + 4 :].decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ProtocolError(f"bad span blob in batch result: {exc}") from None
+        if not isinstance(blob, list):
+            # A bit-flipped blob can still be valid JSON of the wrong
+            # shape; that too is a protocol error, not a TypeError.
+            raise ProtocolError("span blob must decode to a list")
+        spans = tuple(blob)
     elif len(payload) != arrays_end:
         raise ProtocolError(
             f"batch-result payload is {len(payload)} bytes, header implies "

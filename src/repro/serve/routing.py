@@ -64,6 +64,7 @@ from repro.ann.partition import (
 )
 from repro.obs.trace import current_span
 from repro.serve.backends import (
+    BackendUnavailableError,
     SearchBackend,
     backend_coverage,
     forward_invalidation_listener,
@@ -101,7 +102,35 @@ class ReplicaSet:
     unlucky draws).  Least-loaded with ``dispatchers <= replicas`` never
     contends the lock; for the other policies a doubled-up dispatch queues
     at the replica — the behaviour of a busy physical device.
+
+    **Liveness and failover.**  Replicas carry a live flag.  A dispatch
+    that fails with a transport error (``OSError`` — which covers
+    :class:`~repro.serve.backends.BackendUnavailableError`, the typed
+    signal remote backends raise for every socket failure) marks the
+    replica down and retries the call on another live replica, so one
+    dead process never fails a request while a sibling can serve it.
+    Only when every replica is down (or has failed this call) does the
+    set raise — as ``BackendUnavailableError``, which a
+    :class:`ShardedBackend` in degrade mode turns into a coverage hole.
+    Down is sticky: a recovery agent (the
+    :class:`~repro.serve.workers.WorkerPool` supervisor) calls
+    :meth:`mark_up` — or :meth:`set_replica` to swap in a replacement —
+    once the backend is reachable again.
+
+    **Membership invariants.**  :meth:`set_replica` swaps one slot's
+    backend under the routing lock: dispatches already in flight to the
+    old object finish against it (and still decrement the slot's
+    in-flight count — counts survive the swap, never going negative),
+    while every dispatch after the swap sees the new object.  The set's
+    size is fixed at construction; recovery is re-point-and-mark-up, not
+    grow/shrink.
     """
+
+    #: Exceptions that mark a replica down and fail over instead of
+    #: failing the call.  ``OSError`` covers the whole socket-error family
+    #: plus ``BackendUnavailableError`` and ``TimeoutError`` — application
+    #: errors (shed, quota, bad-request) propagate untouched.
+    FAILOVER_ERRORS = (OSError,)
 
     def __init__(
         self,
@@ -122,6 +151,9 @@ class ReplicaSet:
         self._inflight = [0] * len(replicas)
         #: Lifetime dispatch count per replica (routing observability).
         self.dispatch_counts = [0] * len(replicas)
+        #: Dispatches that failed over away from each replica.
+        self.failover_counts = [0] * len(replicas)
+        self._live = [True] * len(replicas)
         self._rr = 0
         self._rng = random.Random(seed)
         self._tls = threading.local()
@@ -137,13 +169,54 @@ class ReplicaSet:
         with self._lock:
             return list(self._inflight)
 
-    def _pick(self) -> int:
-        """Choose a replica index under the lock (policy dispatch)."""
-        n = len(self.replicas)
+    @property
+    def live(self) -> list[bool]:
+        """Snapshot of per-replica live flags."""
+        with self._lock:
+            return list(self._live)
+
+    def mark_down(self, i: int) -> None:
+        """Take replica ``i`` out of routing (sticky until marked up)."""
+        with self._lock:
+            self._live[i] = False
+
+    def mark_up(self, i: int) -> None:
+        """Return replica ``i`` to routing (recovery complete)."""
+        with self._lock:
+            self._live[i] = True
+
+    def set_replica(self, i: int, backend: SearchBackend) -> None:
+        """Atomically swap slot ``i``'s backend and mark it live.
+
+        In-flight dispatches against the old object finish against it;
+        their slot in-flight counts survive the swap (the decrement in
+        the dispatch's ``finally`` targets the slot, not the object), so
+        load accounting never goes negative across a membership change.
+        """
+        with self._lock:
+            self.replicas[i] = backend
+            self._live[i] = True
+
+    def _pick(self, exclude=()) -> int:
+        """Choose a live replica index under the lock (policy dispatch).
+
+        ``exclude`` removes replicas that already failed *this* call.
+        Raises :class:`BackendUnavailableError` when no candidate is
+        left.  With every replica live and nothing excluded the policy
+        sequences are identical to the pre-liveness behaviour.
+        """
+        candidates = [
+            i
+            for i in range(len(self.replicas))
+            if self._live[i] and i not in exclude
+        ]
+        if not candidates:
+            raise BackendUnavailableError("no live replica available")
+        n = len(candidates)
         if n == 1:
-            return 0
+            return candidates[0]
         if self.policy == "round-robin":
-            i = self._rr % n
+            i = candidates[self._rr % n]
             self._rr += 1
             return i
         if self.policy == "p2c":
@@ -151,38 +224,90 @@ class ReplicaSet:
             b = self._rng.randrange(n - 1)
             if b >= a:
                 b += 1
+            a, b = candidates[a], candidates[b]
             return a if self._inflight[a] <= self._inflight[b] else b
         # least-loaded: among the minimum in-flight counts, rotate so
         # consecutive idle-tier dispatches don't all pile on replica 0.
-        lo = min(self._inflight)
-        candidates = [i for i, c in enumerate(self._inflight) if c == lo]
-        i = candidates[self._rr % len(candidates)]
+        lo = min(self._inflight[i] for i in candidates)
+        lows = [i for i in candidates if self._inflight[i] == lo]
+        i = lows[self._rr % len(lows)]
         self._rr += 1
         return i
+
+    def _dispatch(self, call):
+        """Route one call to a live replica, failing over on dead ones.
+
+        ``call(replica)`` runs under the slot's per-replica lock.  A
+        transport failure (:attr:`FAILOVER_ERRORS`) marks the replica
+        down, counts the failover, and retries on the next live replica
+        not yet tried by this call; application errors propagate.  When
+        nobody is left the last transport error chains out of a
+        :class:`BackendUnavailableError`.
+        """
+        tried: set[int] = set()
+        last: Exception | None = None
+        while True:
+            with self._lock:
+                try:
+                    i = self._pick(exclude=tried)
+                except BackendUnavailableError as exc:
+                    raise BackendUnavailableError(
+                        f"no live replica left of {len(self.replicas)} "
+                        f"(this call tried {sorted(tried)})"
+                    ) from (last or exc.__cause__)
+                self._inflight[i] += 1
+                self.dispatch_counts[i] += 1
+                replica = self.replicas[i]
+            # Traced requests get a dispatch span covering any wait on the
+            # per-replica lock (queueing at a busy replica); NOOP_SPAN when
+            # the calling thread carries no active span.
+            span = current_span().child("replica_dispatch", args={"replica": i})
+            try:
+                # In-flight counts include dispatches queued on this lock,
+                # so load-aware policies see the true outstanding work.
+                with span:
+                    with self._replica_locks[i]:
+                        out = call(replica)
+                self._tls.coverage = backend_coverage(replica)
+                return out
+            except self.FAILOVER_ERRORS as exc:
+                last = exc
+                tried.add(i)
+                with self._lock:
+                    self._live[i] = False
+                    self.failover_counts[i] += 1
+            finally:
+                with self._lock:
+                    self._inflight[i] -= 1
 
     def search_batch(
         self, queries: np.ndarray, k: int, nprobe: int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Route one micro-batch to a replica chosen by the policy."""
-        with self._lock:
-            i = self._pick()
-            self._inflight[i] += 1
-            self.dispatch_counts[i] += 1
-        # Traced requests get a dispatch span covering any wait on the
-        # per-replica lock (queueing at a busy replica); NOOP_SPAN when
-        # the calling thread carries no active span.
-        span = current_span().child("replica_dispatch", args={"replica": i})
-        try:
-            # In-flight counts include dispatches queued on this lock, so
-            # load-aware policies see the true outstanding work.
-            with span:
-                with self._replica_locks[i]:
-                    out = self.replicas[i].search_batch(queries, k, nprobe)
-            self._tls.coverage = backend_coverage(self.replicas[i])
-            return out
-        finally:
-            with self._lock:
-                self._inflight[i] -= 1
+        return self._dispatch(lambda r: r.search_batch(queries, k, nprobe))
+
+    @property
+    def supports_preselected(self) -> bool:
+        """Whether every replica accepts router-preselected plans."""
+        return all(
+            getattr(r, "search_batch_preselected", None) is not None
+            for r in self.replicas
+        )
+
+    def search_batch_preselected(
+        self, queries_t: np.ndarray, probed: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Route one router-preselected batch (same policy + failover).
+
+        Only meaningful when :attr:`supports_preselected` — a
+        :class:`ShardedBackend` checks that before taking this path.
+        Per-shard cell pruning stays with the replica backends (each
+        :class:`~repro.serve.workers.RemoteBackend` prunes to its own
+        ``cell_sizes``), so the plan forwarded here is untouched.
+        """
+        return self._dispatch(
+            lambda r: r.search_batch_preselected(queries_t, probed, k)
+        )
 
     def last_coverage(self) -> float:
         """Coverage reported by the replica that served this thread's call."""
@@ -418,6 +543,13 @@ class ShardedBackend:
             thread — coverage hooks are thread-local, so it must be read
             where the call ran (the pool thread under parallel scatter)."""
             preselected = getattr(shard, "search_batch_preselected", None)
+            if preselected is not None and not getattr(
+                shard, "supports_preselected", True
+            ):
+                # A ReplicaSet always has the entry point, but its members
+                # may not (in-process replicas behind opaque wrappers):
+                # fall back to plain search_batch for the whole column.
+                preselected = None
             with scatter.child("shard_rpc", args={"shard": idx}):
                 if plan is not None and preselected is not None:
                     queries_t, probed = plan

@@ -266,6 +266,13 @@ class ServingEngine:
         self._retry_after = getattr(self._queue, "retry_after_s", None)
         #: Per-call coverage hook, when the backend reports degraded mode.
         self._coverage = getattr(backend, "last_coverage", None)
+        #: Coverage-transition state (guarded: dispatchers race on it).
+        #: Entering an outage window increments ``coverage_lost``;
+        #: returning to full coverage increments ``coverage_restored`` —
+        #: the re-stamping evidence a recovery (e.g. a supervised worker
+        #: restart) completed under live load.
+        self._cov_lock = threading.Lock()
+        self._cov_state = 1.0
         self._workers: list[threading.Thread] = []
         self._stopping = False
         #: Orders submit() against stop(): no request may enter the queue
@@ -583,6 +590,16 @@ class ServingEngine:
             coverage = float(self._coverage()) if self._coverage is not None else 1.0
             if coverage < 1.0:
                 self.metrics.inc("partial", len(reqs))
+            if self._coverage is not None:
+                # Re-stamp coverage transitions: the gauge tracks the
+                # latest batch, the counters mark outage entry/exit.
+                with self._cov_lock:
+                    prev, self._cov_state = self._cov_state, coverage
+                if coverage < 1.0 and prev >= 1.0:
+                    self.metrics.inc("coverage_lost")
+                elif coverage >= 1.0 and prev < 1.0:
+                    self.metrics.inc("coverage_restored")
+                self.metrics.set_gauge("coverage", coverage)
             self.metrics.observe_batch(len(reqs))
             cls = class_label(k, nprobe)
             for i, r in enumerate(reqs):

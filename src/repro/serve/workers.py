@@ -20,10 +20,13 @@ Three pieces:
   + :class:`~repro.serve.aio.VectorSearchServer`, print one JSON
   readiness line on stdout, and serve until stdin closes (graceful) or
   SIGTERM.
-- :class:`WorkerPool` — the supervisor: spawns N workers, performs the
-  readiness handshake (bound port, dimensionality, shard size), detects
-  crashed workers (:meth:`WorkerPool.poll`), injects faults
-  (:meth:`WorkerPool.kill`), and shuts down gracefully by closing each
+- :class:`WorkerPool` — the supervisor: spawns the R×S worker grid
+  (S shards × R replicas per shard), performs the readiness handshake
+  (bound port, dimensionality, shard size), detects crashed workers
+  (:meth:`WorkerPool.poll`), injects faults (:meth:`WorkerPool.kill`),
+  runs the optional recovery loop (:meth:`WorkerPool.start_supervisor` —
+  respawn with crash-loop backoff, re-handshake, atomically re-register
+  the recovered backend), and shuts down gracefully by closing each
   worker's stdin before escalating to terminate/kill.
 - :class:`RemoteBackend` — the router-side client: a blocking socket
   speaking the binary protocol, satisfying the uniform ``search_batch``
@@ -83,14 +86,21 @@ from repro.serve.protocol import (
     encode_search,
     encode_stats_request,
 )
-from repro.serve.routing import ShardedBackend
+from repro.serve.backends import BackendUnavailableError
+from repro.serve.routing import ReplicaSet, ShardedBackend
 from repro.serve.scheduler import (
     AdmissionError,
     QuotaExceededError,
     ServingEngine,
 )
 
-__all__ = ["RemoteBackend", "WorkerInfo", "WorkerPool", "worker_main"]
+__all__ = [
+    "RemoteBackend",
+    "RestartRecord",
+    "WorkerInfo",
+    "WorkerPool",
+    "worker_main",
+]
 
 #: Default socket timeout for router<->worker exchanges, seconds.  Local
 #: sockets answer in microseconds; anything near this bound means the
@@ -129,6 +139,20 @@ class RemoteBackend:
         actually contribute to (empty slots become ``-1`` on the wire).
     timeout_s : socket timeout per exchange; a wedged worker fails the
         call (degraded mode turns that into a coverage hole).
+    reconnect_attempts : extra exchange attempts after a transport
+        failure, each on a freshly-dialed connection.  A dropped
+        connection to a *live* worker (e.g. the worker shed the socket
+        after a protocol error on it) heals transparently instead of
+        failing the scatter; a dead worker refuses the dial immediately,
+        so retries stay cheap.
+    reconnect_backoff_s : base sleep between reconnect attempts
+        (doubled per attempt).
+
+    **Typed errors**: every transport failure — reset, refused dial,
+    broken pipe, timeout, misaligned frames — surfaces as
+    :class:`~repro.serve.backends.BackendUnavailableError` after the
+    retry budget, never as a raw socket exception, so replica failover
+    and ``on_shard_error="degrade"`` always engage.
     """
 
     def __init__(
@@ -140,24 +164,108 @@ class RemoteBackend:
         ntotal: int | None = None,
         cell_sizes: np.ndarray | None = None,
         timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+        reconnect_attempts: int = 1,
+        reconnect_backoff_s: float = 0.05,
     ):
+        if reconnect_attempts < 0:
+            raise ValueError(
+                f"reconnect_attempts must be >= 0, got {reconnect_attempts}"
+            )
         self.host = host
         self.port = port
         self.d = d
         self.ntotal = ntotal
         self.cell_sizes = cell_sizes
+        self.timeout_s = timeout_s
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff_s = reconnect_backoff_s
         self._lock = threading.Lock()
         self._rid = 0
         self._closed = False
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._sock.settimeout(timeout_s)
-        # Frames are small and latency-bound: never wait for Nagle.
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock: socket.socket | None = None
+        self._connect()
         #: Lifetime counters (observability; read without a lock).
         self.calls = 0
         self.codes_scanned = 0
+        self.reconnects = 0
 
     # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        """Dial the worker (caller holds the lock, or is ``__init__``)."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.settimeout(self.timeout_s)
+        # Frames are small and latency-bound: never wait for Nagle.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+
+    def _drop_socket(self) -> None:
+        """Close a (possibly broken) connection; next exchange re-dials."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def reconnect(self, host: str | None = None, port: int | None = None) -> None:
+        """Re-point at a (re)spawned worker and dial it eagerly.
+
+        The supervisor's re-registration hook: a respawned worker binds a
+        fresh port, so after its readiness handshake the pool re-points
+        the *same* backend object here — every routing tier holding a
+        reference (replica sets, sharded scatter) recovers atomically,
+        with no membership surgery.  Also clears a prior :meth:`close`.
+        """
+        with self._lock:
+            self._drop_socket()
+            if host is not None:
+                self.host = host
+            if port is not None:
+                self.port = port
+            self._closed = False
+            self._connect()
+            self.reconnects += 1
+
+    def _exchange(self, body):
+        """Run one framed exchange with reconnect-on-transport-failure.
+
+        Serializes on the backend lock, dialing lazily.  Transport
+        failures (socket errors and frame-alignment errors alike) drop
+        the connection and retry on a fresh dial up to the budget, then
+        raise :class:`BackendUnavailableError`.  A timeout means the
+        worker is wedged, not gone — retrying would double the stall, so
+        it fails straight into the typed path.  Application errors
+        (shed/quota/server-side failures) pass through untouched.
+        """
+        with self._lock:
+            last: Exception | None = None
+            for attempt in range(self.reconnect_attempts + 1):
+                if self._closed:
+                    raise BackendUnavailableError(
+                        f"backend {self.host}:{self.port} is closed"
+                    )
+                if attempt:
+                    time.sleep(self.reconnect_backoff_s * (1 << (attempt - 1)))
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    return body()
+                except TimeoutError as exc:
+                    self._drop_socket()
+                    raise BackendUnavailableError(
+                        f"worker {self.host}:{self.port} did not answer "
+                        f"within {self.timeout_s:.0f}s"
+                    ) from exc
+                except (OSError, ProtocolError) as exc:
+                    last = exc
+                    self._drop_socket()
+            raise BackendUnavailableError(
+                f"worker {self.host}:{self.port} unavailable after "
+                f"{self.reconnect_attempts + 1} attempt(s): {last}"
+            ) from last
+
     def _read_exact(self, n: int) -> bytes:
         """Read exactly ``n`` bytes or raise ``ConnectionResetError``."""
         chunks = []
@@ -211,14 +319,15 @@ class RemoteBackend:
         """
         queries = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float32))
         nq = queries.shape[0]
-        out_ids = np.empty((nq, k), dtype=np.int64)
-        out_dists = np.empty((nq, k), dtype=np.float32)
         # A traced caller (an active span on this thread — the scatter's
         # shard_rpc) rides every frame's trace-context tail, so the
         # worker's engine continues the same trace on its side.
         span = current_span()
         ctx = span.context() if span else None
-        with self._lock:
+
+        def body():
+            out_ids = np.empty((nq, k), dtype=np.int64)
+            out_dists = np.empty((nq, k), dtype=np.float32)
             self.calls += 1
             rids = self._next_rids(nq)
             buf = bytearray()
@@ -248,9 +357,11 @@ class RemoteBackend:
                     )
                 out_ids[i] = res.ids
                 out_dists[i] = res.dists
-        if first_err is not None:
-            _raise_error_frame(first_err)
-        return out_ids, out_dists
+            if first_err is not None:
+                _raise_error_frame(first_err)
+            return out_ids, out_dists
+
+        return self._exchange(body)
 
     def search_batch_preselected(
         self, queries_t: np.ndarray, probed: np.ndarray, k: int
@@ -271,7 +382,8 @@ class RemoteBackend:
         # wire; the worker's spans come back piggybacked on the reply.
         span = current_span()
         ctx = span.context() if span else None
-        with self._lock:
+
+        def body():
             self.calls += 1
             (rid,) = self._next_rids(1)
             self._sock.sendall(
@@ -299,6 +411,8 @@ class RemoteBackend:
                     np.array(res.dists, dtype=np.float32),
                 )
 
+        return self._exchange(body)
+
     def stats(self, *, drain_spans: bool = False) -> dict:
         """Scrape the worker's metrics snapshot over the stats frame pair.
 
@@ -308,7 +422,7 @@ class RemoteBackend:
         tracer (engine-path spans of traced search frames, which have no
         reply to piggyback on, drain through here).
         """
-        with self._lock:
+        def body():
             (rid,) = self._next_rids(1)
             self._sock.sendall(encode_stats_request(rid, drain_spans=drain_spans))
             while True:
@@ -320,15 +434,14 @@ class RemoteBackend:
                     continue
                 return res.data
 
+        return self._exchange(body)
+
     def close(self) -> None:
-        """Close the socket (idempotent); later calls raise ``OSError``."""
+        """Close the connection (idempotent); later calls raise
+        :class:`BackendUnavailableError` until :meth:`reconnect`."""
         with self._lock:
-            if not self._closed:
-                self._closed = True
-                try:
-                    self._sock.close()
-                except OSError:
-                    pass
+            self._closed = True
+            self._drop_socket()
 
 
 # --------------------------------------------------------------------- #
@@ -344,6 +457,22 @@ class WorkerInfo:
     port: int
     d: int
     ntotal: int
+    replica: int = 0
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One completed supervised restart (observability + chaos asserts)."""
+
+    shard: int
+    replica: int
+    #: SIGKILL → -9 etc.: how the dead worker exited.
+    exit_code: int
+    #: Spawn attempts the restart took (> 1 means crash-loop backoff ran).
+    attempts: int
+    #: Death detected → recovered backend re-registered, microseconds —
+    #: the router's time back to full coverage for this worker's shard.
+    coverage_restored_us: float
 
 
 def _worker_env(blas_threads: int | None = 1) -> dict[str, str]:
@@ -368,19 +497,37 @@ def _worker_env(blas_threads: int | None = 1) -> dict[str, str]:
 
 
 class WorkerPool:
-    """Spawns and supervises N mmap shard-worker processes.
+    """Spawns and supervises an R×S grid of mmap worker processes.
 
-    ``start()`` (or entering the context manager) launches one
-    ``python -m repro.serve.workers`` process per shard over the same
+    ``n_workers`` is the shard count S; ``replicas`` spawns R identical
+    processes per shard (each derives the *same* deterministic shard
+    from the same arguments), so the grid holds R×S workers.  ``start()``
+    (or entering the context manager) launches them all over the same
     saved index directory and blocks until every worker's readiness
     handshake (a JSON line on its stdout carrying the bound port) or the
     startup timeout.  Because shard layout is deterministic in
     ``(index_dir, shard, n_workers)``, no index data ever crosses the
     control channel — each worker memory-maps the one physical copy.
 
+    :meth:`sharded_backend` wires the grid behind the routing tier: with
+    R > 1 each shard column becomes a :class:`~repro.serve.routing.ReplicaSet`
+    of :class:`RemoteBackend` clients, so a dead replica fails over
+    inside its column without costing coverage.
+
+    :meth:`start_supervisor` runs the recovery loop: poll for dead
+    workers, respawn each with crash-loop backoff under a capped retry
+    budget, re-run the readiness handshake, then atomically re-register
+    the recovered worker by re-pointing its existing backend object at
+    the new port (:meth:`RemoteBackend.reconnect`) — the router returns
+    to full coverage with zero failed requests, and every completed
+    recovery is recorded in :attr:`restart_log` (``worker_restarts`` /
+    ``coverage_restored_us`` land in the supervisor's metrics registry
+    when one is given).
+
     Shutdown is graceful-first: :meth:`stop` closes each worker's stdin
     (the worker drains its engine and exits 0), then escalates to
-    SIGTERM and SIGKILL on the stragglers.  :meth:`kill` is the fault
+    SIGTERM and SIGKILL on the stragglers — including any half-started
+    respawn the supervisor had in flight.  :meth:`kill` is the fault
     injector — SIGKILL mid-run, as a crash regression test needs — and
     :meth:`poll` reports workers that died for any reason.
     """
@@ -390,6 +537,7 @@ class WorkerPool:
         index_dir: str | Path,
         n_workers: int,
         *,
+        replicas: int = 1,
         host: str = "127.0.0.1",
         max_batch: int = 64,
         max_wait_us: float = 0.0,
@@ -401,6 +549,8 @@ class WorkerPool:
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.index_dir = Path(index_dir)
         if not (self.index_dir / "meta.npz").exists():
             raise FileNotFoundError(
@@ -408,6 +558,7 @@ class WorkerPool:
                 f"(missing meta.npz; see repro.ann.io.save_index_dir)"
             )
         self.n_workers = n_workers
+        self.replicas = replicas
         self.host = host
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
@@ -416,10 +567,34 @@ class WorkerPool:
         self.blas_threads = blas_threads
         self.startup_timeout_s = startup_timeout_s
         self.rpc_timeout_s = rpc_timeout_s
+        #: Current occupant of each worker slot, shard-major
+        #: (``wid = shard * replicas + replica``).
         self._procs: list[subprocess.Popen] = []
+        #: Every process this pool ever spawned, including replaced ones
+        #: (leak audits: all must be reaped after :meth:`stop`).
+        self.spawned_procs: list[subprocess.Popen] = []
         self.workers: list[WorkerInfo] = []
         self._backends: list[RemoteBackend] = []
         self._cell_sizes: np.ndarray | None = None
+        self._env: dict[str, str] | None = None
+        #: Per-shard replica groups built by :meth:`sharded_backend`
+        #: (R > 1 only) — the supervisor's mark-down/mark-up targets.
+        self._groups: list[ReplicaSet] | None = None
+        # Supervisor state.
+        self._supervisor: threading.Thread | None = None
+        self._stop_ev = threading.Event()
+        #: Serializes spawns against stop(): no respawn may slip in after
+        #: the shutdown sweep starts.
+        self._spawn_lock = threading.Lock()
+        #: Completed supervised recoveries, in completion order.
+        self.restart_log: list[RestartRecord] = []
+        #: Slots the supervisor gave up on (retry budget exhausted).
+        self.restart_failures: list[dict] = []
+        self._given_up: set[int] = set()
+        self._sup_metrics = None
+        self._sup_tracer = None
+        self._sup_max_restarts = 5
+        self._sup_backoff_s = 0.05
 
     # ------------------------------------------------------------------ #
     @property
@@ -470,50 +645,78 @@ class WorkerPool:
         t.join(timeout_s)
         return box.get("line")
 
+    # ------------------------------------------------------------------ #
+    @property
+    def n_procs(self) -> int:
+        """Total worker processes in the grid (shards × replicas)."""
+        return self.n_workers * self.replicas
+
+    def _wid(self, shard: int, replica: int = 0) -> int:
+        """Flat slot index of worker ``(shard, replica)`` (shard-major)."""
+        if not 0 <= shard < self.n_workers:
+            raise IndexError(f"shard {shard} not in [0, {self.n_workers})")
+        if not 0 <= replica < self.replicas:
+            raise IndexError(f"replica {replica} not in [0, {self.replicas})")
+        return shard * self.replicas + replica
+
+    def _slot(self, wid: int) -> tuple[int, int]:
+        """``(shard, replica)`` of flat slot ``wid``."""
+        return divmod(wid, self.replicas)
+
+    def _spawn(self, shard: int) -> subprocess.Popen:
+        """Launch one worker process for ``shard`` (any replica slot)."""
+        if self._env is None:
+            self._env = _worker_env(self.blas_threads)
+        proc = subprocess.Popen(
+            self._spawn_cmd(shard),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=self._env,
+            text=True,
+        )
+        self.spawned_procs.append(proc)
+        return proc
+
+    def _handshake(
+        self, proc: subprocess.Popen, shard: int, replica: int, timeout_s: float
+    ) -> WorkerInfo:
+        """Read one worker's readiness line; raise ``RuntimeError`` if it
+        dies, times out, or answers garbage before becoming ready."""
+        line = self._read_line(proc, timeout_s) if timeout_s > 0 else None
+        if not line:
+            raise RuntimeError(
+                f"worker {shard}.{replica} did not become ready within "
+                f"{max(timeout_s, 0):.0f}s (exit code {proc.poll()})"
+            )
+        try:
+            ready = json.loads(line)
+        except json.JSONDecodeError:
+            raise RuntimeError(
+                f"worker {shard}.{replica} sent a bad readiness line: {line!r}"
+            ) from None
+        return WorkerInfo(
+            shard=shard,
+            replica=replica,
+            host=ready["host"],
+            port=int(ready["port"]),
+            d=int(ready["d"]),
+            ntotal=int(ready["ntotal"]),
+        )
+
     def start(self) -> "WorkerPool":
-        """Spawn every worker and complete the readiness handshake."""
+        """Spawn the full R×S grid and complete every readiness handshake."""
         if self.started:
             raise RuntimeError("pool already started")
-        env = _worker_env(self.blas_threads)
         for shard in range(self.n_workers):
-            self._procs.append(
-                subprocess.Popen(
-                    self._spawn_cmd(shard),
-                    stdin=subprocess.PIPE,
-                    stdout=subprocess.PIPE,
-                    env=env,
-                    text=True,
-                )
-            )
+            for _replica in range(self.replicas):
+                self._procs.append(self._spawn(shard))
         deadline = time.perf_counter() + self.startup_timeout_s
         infos: list[WorkerInfo] = []
         try:
-            for shard, proc in enumerate(self._procs):
+            for wid, proc in enumerate(self._procs):
+                shard, replica = self._slot(wid)
                 remaining = deadline - time.perf_counter()
-                line = (
-                    self._read_line(proc, remaining) if remaining > 0 else None
-                )
-                if not line:
-                    raise RuntimeError(
-                        f"worker {shard} did not become ready within "
-                        f"{self.startup_timeout_s:.0f}s "
-                        f"(exit code {proc.poll()})"
-                    )
-                try:
-                    ready = json.loads(line)
-                except json.JSONDecodeError:
-                    raise RuntimeError(
-                        f"worker {shard} sent a bad readiness line: {line!r}"
-                    ) from None
-                infos.append(
-                    WorkerInfo(
-                        shard=shard,
-                        host=ready["host"],
-                        port=int(ready["port"]),
-                        d=int(ready["d"]),
-                        ntotal=int(ready["ntotal"]),
-                    )
-                )
+                infos.append(self._handshake(proc, shard, replica, remaining))
         except BaseException:
             self._terminate_all()
             raise
@@ -539,9 +742,10 @@ class WorkerPool:
     def backends(self, *, prune_cells: bool = True) -> list[RemoteBackend]:
         """One connected :class:`RemoteBackend` per worker (cached).
 
-        ``prune_cells`` attaches each shard's per-cell sizes (derived
-        locally from the saved offsets — shard layout is deterministic)
-        so preselect scatters carry per-shard cell subsets.
+        Flat, shard-major (``wid`` order).  ``prune_cells`` attaches each
+        shard's per-cell sizes (derived locally from the saved offsets —
+        shard layout is deterministic) so preselect scatters carry
+        per-shard cell subsets.
         """
         if not self.started:
             raise RuntimeError("pool is not started")
@@ -566,6 +770,8 @@ class WorkerPool:
         on_shard_error: str = "raise",
         scatter_workers: int | None = None,
         prune_cells: bool = True,
+        policy: str = "least-loaded",
+        seed: int = 0,
     ) -> ShardedBackend:
         """The routing tier over this pool's workers.
 
@@ -575,13 +781,37 @@ class WorkerPool:
         instead of raw coarse work.  Single-worker pools still go
         through :class:`~repro.serve.routing.ShardedBackend` so the
         preselect/degrade machinery behaves identically at every N.
+
+        With ``replicas > 1`` each shard column becomes a
+        :class:`~repro.serve.routing.ReplicaSet` under ``policy``: a
+        scatter picks one live replica per shard, fails over inside the
+        column on a dead one, and only a fully-dead column becomes a
+        coverage hole.  The columns are remembered so the supervisor can
+        mark replicas down on death and up on recovery.
         """
+        backs = self.backends(prune_cells=prune_cells)
+        if self.replicas == 1:
+            shards: list = list(backs)
+            self._groups = None
+        else:
+            self._groups = [
+                ReplicaSet(
+                    backs[self._wid(s, 0):self._wid(s, 0) + self.replicas],
+                    policy=policy,
+                    seed=seed + s,
+                )
+                for s in range(self.n_workers)
+            ]
+            shards = list(self._groups)
         return ShardedBackend(
-            self.backends(prune_cells=prune_cells),
+            shards,
             parallel=True,
             scatter_workers=scatter_workers,
             on_shard_error=on_shard_error,
-            shard_weights=[w.ntotal for w in self.workers],
+            shard_weights=[
+                self.workers[self._wid(s, 0)].ntotal
+                for s in range(self.n_workers)
+            ],
             preselect=preselect,
         )
 
@@ -608,24 +838,217 @@ class WorkerPool:
         return {"workers": per, "counters": counters}
 
     # ------------------------------------------------------------------ #
-    def poll(self) -> dict[int, int]:
-        """Exit codes of workers that have died, keyed by shard id."""
-        return {
-            shard: code
-            for shard, proc in enumerate(self._procs)
-            if (code := proc.poll()) is not None
-        }
+    def poll(self) -> dict:
+        """Exit codes of workers that have died.
+
+        Keyed by shard id for single-replica pools (the historical
+        shape), by ``(shard, replica)`` tuples when ``replicas > 1``.
+        Supervised restarts replace the slot's process, so a recovered
+        worker stops appearing here.
+        """
+        out = {}
+        for wid, proc in enumerate(self._procs):
+            code = proc.poll()
+            if code is not None:
+                shard, replica = self._slot(wid)
+                out[shard if self.replicas == 1 else (shard, replica)] = code
+        return out
 
     @property
     def alive(self) -> list[bool]:
-        """Liveness per shard (True while the process runs)."""
+        """Liveness per worker slot, shard-major (``wid`` order)."""
         return [proc.poll() is None for proc in self._procs]
 
-    def kill(self, shard: int) -> None:
-        """SIGKILL one worker (fault injection for crash tests)."""
-        proc = self._procs[shard]
+    def kill(self, shard: int, replica: int = 0) -> None:
+        """SIGKILL one worker (fault injection for crash/chaos tests)."""
+        proc = self._procs[self._wid(shard, replica)]
         proc.kill()
         proc.wait()
+
+    # ------------------------------------------------------------------ #
+    # Supervised restart.
+
+    @property
+    def supervised(self) -> bool:
+        """Whether the recovery loop is currently running."""
+        return self._supervisor is not None and self._supervisor.is_alive()
+
+    @property
+    def worker_restarts(self) -> int:
+        """Completed supervised recoveries over the pool's lifetime."""
+        return len(self.restart_log)
+
+    def start_supervisor(
+        self,
+        *,
+        poll_interval_s: float = 0.05,
+        max_restarts: int = 5,
+        backoff_s: float = 0.05,
+        metrics=None,
+        tracer: Tracer | None = None,
+    ) -> "WorkerPool":
+        """Run the recovery loop: poll → respawn → handshake → re-register.
+
+        Parameters
+        ----------
+        poll_interval_s : how often the loop scans :meth:`poll` for dead
+            workers.
+        max_restarts : spawn-attempt budget per recovery.  A crash-looping
+            worker (respawns then immediately dies, or dies during its
+            readiness handshake) is retried with exponential backoff up
+            to this many times, then abandoned — recorded in
+            :attr:`restart_failures`, its slot left down.
+        backoff_s : base crash-loop backoff, doubled per failed attempt.
+        metrics : optional :class:`~repro.serve.metrics.MetricsRegistry`;
+            each recovery increments ``worker_restarts`` and stamps the
+            ``coverage_restored_us`` gauge.
+        tracer : optional :class:`~repro.obs.trace.Tracer`; each recovery
+            records a ``worker_restart`` span covering death-detection to
+            re-registration.
+        """
+        if not self.started:
+            raise RuntimeError("pool is not started")
+        if self.supervised:
+            raise RuntimeError("supervisor already running")
+        if max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1, got {max_restarts}")
+        self._sup_metrics = metrics
+        self._sup_tracer = tracer
+        self._sup_max_restarts = max_restarts
+        self._sup_backoff_s = backoff_s
+        self._stop_ev = threading.Event()
+        self._supervisor = threading.Thread(
+            target=self._supervise,
+            args=(poll_interval_s,),
+            name="worker-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+        return self
+
+    def stop_supervisor(self, timeout_s: float = 30.0) -> None:
+        """Stop the recovery loop (the workers keep serving).
+
+        Any in-flight recovery finishes its current step and exits; a
+        respawn already in the slot is left running (and will be torn
+        down by :meth:`stop` like every other worker).
+        """
+        self._stop_ev.set()
+        with self._spawn_lock:
+            pass  # barrier: no spawn may start after this point
+        if self._supervisor is not None:
+            self._supervisor.join(timeout_s)
+            self._supervisor = None
+
+    def _supervise(self, poll_interval_s: float) -> None:
+        """Supervisor thread body: scan for deaths, recover each."""
+        while not self._stop_ev.wait(poll_interval_s):
+            for wid in range(len(self._procs)):
+                if self._stop_ev.is_set():
+                    return
+                if wid in self._given_up:
+                    continue
+                code = self._procs[wid].poll()
+                if code is not None:
+                    self._restart(wid, code)
+
+    def _restart(self, wid: int, exit_code: int) -> None:
+        """Recover one dead worker slot (supervisor thread only)."""
+        shard, replica = self._slot(wid)
+        t0 = time.perf_counter()
+        tracer = self._sup_tracer
+        span = (
+            tracer.start_trace(
+                "worker_restart", args={"shard": shard, "replica": replica}
+            )
+            if tracer is not None
+            else None
+        )
+        # Take the dead replica out of routing immediately: its column
+        # serves from survivors (or degrades) while we respawn.
+        group = self._groups[shard] if self._groups is not None else None
+        if group is not None:
+            group.mark_down(replica)
+        self._close_pipes(self._procs[wid])
+        attempts = 0
+        while True:
+            if self._stop_ev.is_set():
+                if span is not None:
+                    span.annotate(aborted="stop")
+                    span.end()
+                return
+            if attempts >= self._sup_max_restarts:
+                # Crash loop: budget exhausted, leave the slot down.
+                self.restart_failures.append(
+                    {
+                        "shard": shard,
+                        "replica": replica,
+                        "attempts": attempts,
+                        "exit_code": exit_code,
+                    }
+                )
+                self._given_up.add(wid)
+                if span is not None:
+                    span.annotate(error="retry_budget_exhausted", attempts=attempts)
+                    span.end()
+                return
+            if attempts and self._stop_ev.wait(
+                self._sup_backoff_s * (1 << (attempts - 1))
+            ):
+                continue  # woken by stop; top of loop exits
+            attempts += 1
+            with self._spawn_lock:
+                if self._stop_ev.is_set():
+                    continue
+                proc = self._spawn(shard)
+                self._procs[wid] = proc
+            try:
+                info = self._handshake(
+                    proc, shard, replica, self.startup_timeout_s
+                )
+            except RuntimeError:
+                # Died during the handshake (or spoke garbage): reap it
+                # and go around the crash-loop backoff.
+                if proc.poll() is None:
+                    proc.kill()
+                proc.wait()
+                self._close_pipes(proc)
+                continue
+            self.workers[wid] = info
+            backend = self._backends[wid] if self._backends else None
+            if backend is not None:
+                try:
+                    # Atomic re-registration: the routing tier holds this
+                    # object; re-pointing it swaps every reference at once.
+                    backend.reconnect(info.host, info.port)
+                except OSError:
+                    # Respawned then immediately died: reap and retry.
+                    if proc.poll() is None:
+                        proc.kill()
+                    proc.wait()
+                    self._close_pipes(proc)
+                    continue
+            if group is not None:
+                group.mark_up(replica)
+            restored_us = (time.perf_counter() - t0) * 1e6
+            self.restart_log.append(
+                RestartRecord(
+                    shard=shard,
+                    replica=replica,
+                    exit_code=exit_code,
+                    attempts=attempts,
+                    coverage_restored_us=restored_us,
+                )
+            )
+            if self._sup_metrics is not None:
+                self._sup_metrics.inc("worker_restarts")
+                self._sup_metrics.set_gauge("coverage_restored_us", restored_us)
+            if span is not None:
+                span.annotate(
+                    attempts=attempts, coverage_restored_us=int(restored_us)
+                )
+                span.end()
+            return
 
     def _terminate_all(self) -> None:
         """Hard-stop every worker (startup failure path)."""
@@ -652,8 +1075,19 @@ class WorkerPool:
         Closing stdin asks the worker to drain its engine and exit 0;
         workers still running after ``timeout_s`` get SIGTERM, then
         SIGKILL.  Idempotent, and safe to call with workers already
-        dead (crashed workers are simply reaped).
+        dead (crashed workers are simply reaped) or with the supervisor
+        mid-restart: the stop event plus the spawn barrier guarantee no
+        respawn slips in after the shutdown sweep starts, so a
+        half-started recovery's process is reaped like any other and
+        the supervisor thread exits promptly (its pending handshake
+        reads EOF once the sweep kills the child).
         """
+        # Fence the supervisor out first: after the barrier, _procs is
+        # ours alone.  The thread is joined at the end, once the sweep
+        # has EOF'd any handshake read it may be blocked on.
+        self._stop_ev.set()
+        with self._spawn_lock:
+            pass
         for backend in self._backends:
             backend.close()
         self._backends = []
@@ -678,8 +1112,13 @@ class WorkerPool:
                 break
         for proc in self._procs:
             self._close_pipes(proc)
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=max(timeout_s, 10.0))
+            self._supervisor = None
         self.workers = []
         self._procs = []
+        self._groups = None
+        self._given_up = set()
 
 
 # --------------------------------------------------------------------- #

@@ -434,3 +434,84 @@ class TestReadFrame:
         (t1, _), (t2, p2), t3 = asyncio.run(go())
         assert t1 == FRAME_SEARCH and t2 == FRAME_ERROR and t3 is None
         assert decode_error(p2).request_id == 2
+
+
+class _EchoBackend:
+    """Deterministic stand-in: ids derive from the query's first value."""
+
+    def search_batch(self, queries, k, nprobe=None):
+        queries = np.atleast_2d(queries)
+        base = queries[:, 0].astype(np.int64)[:, None]
+        ids = base * 100 + np.arange(k, dtype=np.int64)[None, :]
+        dists = np.tile(np.arange(k, dtype=np.float32), (queries.shape[0], 1))
+        return ids, dists
+
+
+class TestServerFrameFuzz:
+    def test_corrupt_frames_cost_at_most_their_own_connection(self):
+        """Seeded truncation/bit-flip fuzz against a live server: every
+        corrupt frame either still parses (the flip hit a don't-care
+        byte — the request is served) or drops exactly that connection
+        with one protocol error counted.  The server survives all of it
+        and keeps serving well-formed clients."""
+        import random
+
+        from repro.serve.aio import (
+            AsyncClient,
+            AsyncServingEngine,
+            VectorSearchServer,
+        )
+        from repro.serve.scheduler import ServingEngine
+
+        rng = random.Random(0xC0FFEE)
+        base = encode_search(7, np.ones(8, dtype=np.float32), 5, 2)
+        variants = []
+        for _ in range(16):
+            b = bytearray(base)
+            if rng.random() < 0.4:
+                del b[rng.randrange(1, len(b)) :]  # truncate
+            else:
+                b[rng.randrange(len(b))] ^= 1 << rng.randrange(8)  # flip
+            variants.append(bytes(b))
+
+        outcomes = {"served": 0, "dropped": 0}
+
+        async def go():
+            engine = ServingEngine(_EchoBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with VectorSearchServer(aeng) as server:
+                    host, port = server.address
+                    for corrupt in variants:
+                        reader, writer = await asyncio.open_connection(
+                            host, port
+                        )
+                        writer.write(corrupt)
+                        if len(corrupt) < len(base):
+                            # Truncated frame: the server is waiting for
+                            # the rest; EOF it to force the judgement.
+                            writer.write_eof()
+                        await writer.drain()
+                        reply = await read_frame(reader)
+                        if reply is None:
+                            outcomes["dropped"] += 1
+                        else:
+                            outcomes["served"] += 1
+                            assert reply[0] in (FRAME_RESULT, FRAME_ERROR)
+                        writer.close()
+                        await writer.wait_closed()
+                    # After all that abuse: still serving, bit-exact.
+                    async with await AsyncClient.connect(host, port) as client:
+                        res = await client.search(
+                            np.ones(8, dtype=np.float32), 5
+                        )
+                        np.testing.assert_array_equal(
+                            res.ids, 100 + np.arange(5, dtype=np.int64)
+                        )
+                    counters = dict(server.metrics.snapshot().counters)
+            return counters
+
+        counters = asyncio.run(go())
+        assert outcomes["served"] + outcomes["dropped"] == len(variants)
+        assert outcomes["dropped"] > 0  # the corpus really corrupted frames
+        # One protocol error per dropped connection, none extra.
+        assert counters.get("protocol_errors", 0) == outcomes["dropped"]

@@ -560,3 +560,126 @@ class TestPreselectRouting:
             ShardedBackend(
                 partition_index(tied_index, 2), preselect=object()
             )
+
+
+class _FlakyBackend:
+    """Backend whose transport "dies" on demand (raises ``OSError``)."""
+
+    def __init__(self, inner, tag=0):
+        self.inner = inner
+        self.tag = tag
+        self.broken = False
+        self.calls = 0
+        self.d = getattr(inner, "d", None)
+
+    def search_batch(self, queries, k, nprobe=None):
+        self.calls += 1
+        if self.broken:
+            raise ConnectionResetError(f"replica {self.tag} died")
+        return self.inner.search_batch(queries, k, nprobe)
+
+
+class TestReplicaLiveness:
+    """mark_down/mark_up/set_replica/failover — the supervisor's view."""
+
+    def test_mark_down_routes_around_dead_replica(self):
+        backs = [_CountingBackend(), _CountingBackend()]
+        rs = ReplicaSet(backs, policy="round-robin")
+        rs.mark_down(0)
+        assert rs.live == [False, True]
+        for _ in range(4):
+            rs.search_batch(np.zeros((1, 4), dtype=np.float32), 3)
+        assert backs[0].calls == 0
+        assert backs[1].calls == 4
+        rs.mark_up(0)
+        assert rs.live == [True, True]
+        for _ in range(4):
+            rs.search_batch(np.zeros((1, 4), dtype=np.float32), 3)
+        assert backs[0].calls == 2
+        assert backs[1].calls == 6
+
+    def test_failover_completes_call_and_sticks(self, tied_index, tied_queries):
+        """A replica dying mid-call is retried on a survivor — same
+        answer, no exception — and stays down for later calls."""
+        flaky = _FlakyBackend(tied_index, tag=0)
+        rs = ReplicaSet([flaky, tied_index], policy="round-robin", seed=0)
+        ref = tied_index.search(tied_queries, 5, 4)
+        flaky.broken = True
+        for _ in range(3):
+            got = rs.search_batch(tied_queries, 5, 4)
+            np.testing.assert_array_equal(got[0], ref[0])
+            np.testing.assert_array_equal(got[1], ref[1])
+        # First call hit the flaky replica, failed over, marked it down;
+        # later calls never touched it again.
+        assert flaky.calls == 1
+        assert rs.failover_counts[0] == 1
+        assert rs.live == [False, True]
+
+    def test_all_replicas_dead_raises_typed_error(self):
+        from repro.serve.backends import BackendUnavailableError
+
+        b0, b1 = _FlakyBackend(None, 0), _FlakyBackend(None, 1)
+        b0.broken = b1.broken = True
+        rs = ReplicaSet([b0, b1], policy="round-robin")
+        with pytest.raises(BackendUnavailableError, match="no live replica"):
+            rs.search_batch(np.zeros((1, 4), dtype=np.float32), 3)
+        # Both are marked down now; an immediate retry fails fast
+        # without touching either backend.
+        calls = (b0.calls, b1.calls)
+        with pytest.raises(BackendUnavailableError):
+            rs.search_batch(np.zeros((1, 4), dtype=np.float32), 3)
+        assert (b0.calls, b1.calls) == calls
+
+    def test_set_replica_swaps_membership_atomically(self, tied_index, tied_queries):
+        """The recovery path: a dead slot is re-pointed at a fresh
+        backend and immediately serves bit-identical answers."""
+        flaky = _FlakyBackend(tied_index, tag=0)
+        flaky.broken = True
+        rs = ReplicaSet([flaky, tied_index], policy="round-robin", seed=0)
+        ref = tied_index.search(tied_queries, 5, 4)
+        rs.search_batch(tied_queries, 5, 4)  # fails over, marks 0 down
+        assert rs.live == [False, True]
+        replacement = _CountingBackend(d=tied_index.d)
+        replacement.search_batch = tied_index.search_batch  # exact twin
+        rs.set_replica(0, replacement)
+        assert rs.live == [True, True]
+        for _ in range(4):
+            got = rs.search_batch(tied_queries, 5, 4)
+            np.testing.assert_array_equal(got[0], ref[0])
+        assert rs.replicas[0] is replacement
+
+    def test_inflight_survives_swap_under_live_load(self, tied_index):
+        """Swapping a replica while a call is executing on it must not
+        corrupt the in-flight accounting (decrement targets the slot,
+        not the object)."""
+        slow = _CountingBackend(delay_s=0.2, d=4)
+        rs = ReplicaSet([slow, _CountingBackend(d=4)], policy="least-loaded")
+        t = threading.Thread(
+            target=rs.search_batch,
+            args=(np.zeros((1, 4), dtype=np.float32), 3),
+        )
+        t.start()
+        # Wait until the slow call is actually in flight on slot 0.
+        deadline = time.monotonic() + 5.0
+        while rs.inflight[0] == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert rs.inflight[0] == 1
+        rs.set_replica(0, _CountingBackend(d=4))
+        t.join()
+        assert rs.inflight == [0, 0]
+
+    def test_supports_preselected_reflects_replicas(self, tied_index):
+        assert ReplicaSet([tied_index]).supports_preselected
+        assert not ReplicaSet([_CountingBackend()]).supports_preselected
+
+    def test_preselected_scatter_through_replica_group(self, tied_index, tied_queries):
+        """search_batch_preselected dispatches like any call: bit-equal
+        to the direct path and following the routing policy."""
+        rs = ReplicaSet([tied_index, tied_index], policy="round-robin")
+        nprobe = 4
+        queries_t, probed = tied_index.preselect(tied_queries, nprobe)
+        ref = tied_index.search_batch_preselected(queries_t, probed, 5)
+        got = rs.search_batch_preselected(queries_t, probed, 5)
+        np.testing.assert_array_equal(got[0], ref[0])
+        np.testing.assert_array_equal(got[1], ref[1])
+        assert sum(rs.dispatch_counts) == 1

@@ -167,3 +167,112 @@ class TestWorkerCrash:
             ref_ids, ref_dists = merge_partial_topk(parts, K)
             np.testing.assert_array_equal(after[-1].ids, ref_ids[0])
             np.testing.assert_array_equal(after[-1].dists, ref_dists[0])
+
+
+class TestReplicatedGrid:
+    """R×S topology: replica groups behind each shard."""
+
+    def test_grid_spawns_and_reports_slots(self, saved_dir, corpus):
+        index, _ = corpus
+        with WorkerPool(saved_dir, 2, replicas=2, startup_timeout_s=120) as pool:
+            assert pool.n_workers == 2
+            assert pool.replicas == 2
+            assert pool.n_procs == 4
+            assert [(w.shard, w.replica) for w in pool.workers] == [
+                (0, 0), (0, 1), (1, 0), (1, 1)
+            ]
+            # Replicas of a shard hold the same slice of the data.
+            assert pool.workers[0].ntotal == pool.workers[1].ntotal
+            assert (
+                pool.workers[0].ntotal + pool.workers[2].ntotal
+                == index.ntotal
+            )
+            assert pool.alive == [True] * 4
+            assert pool.poll() == {}
+
+    def test_poll_keys_by_slot_when_replicated(self, saved_dir):
+        with WorkerPool(saved_dir, 1, replicas=2, startup_timeout_s=120) as pool:
+            pool.kill(0, 1)
+            assert pool.poll() == {(0, 1): -9}
+            assert pool.alive == [True, False]
+
+    def test_bad_replica_count_rejected(self, saved_dir):
+        with pytest.raises(ValueError, match="replicas"):
+            WorkerPool(saved_dir, 2, replicas=0)
+
+    def test_grid_bit_identical_through_replica_columns(self, saved_dir, corpus):
+        """Every replica column answers bit-identically: force traffic
+        through each column via round-robin and compare all sweeps."""
+        index, queries = corpus
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        with WorkerPool(saved_dir, 2, replicas=2, startup_timeout_s=120) as pool:
+            router = pool.sharded_backend(policy="round-robin")
+            for _ in range(2):  # lands on each replica column once
+                ids, dists = router.search_batch(queries, K, NPROBE)
+                np.testing.assert_array_equal(ids, ref_ids)
+                np.testing.assert_array_equal(dists, ref_dists)
+            groups = router.shards
+            assert all(sum(g.dispatch_counts) == 2 for g in groups)
+
+    def test_replica_kill_fails_over_with_full_coverage(self, saved_dir, corpus):
+        """With R=2, losing one replica of a shard costs nothing: the
+        group fails over mid-call and coverage never drops."""
+        index, queries = corpus
+        ref_ids, ref_dists = index.search(queries, K, NPROBE)
+        planner = load_index_dir(saved_dir, mmap=True)
+        with WorkerPool(saved_dir, 2, replicas=2, startup_timeout_s=120) as pool:
+            router = pool.sharded_backend(
+                preselect=planner, on_shard_error="degrade"
+            )
+            pool.kill(0, 0)
+            for _ in range(3):
+                ids, dists = router.search_batch(queries, K, NPROBE)
+                np.testing.assert_array_equal(ids, ref_ids)
+                np.testing.assert_array_equal(dists, ref_dists)
+            assert router.last_coverage() == 1.0
+            assert router.shard_errors == [0, 0]
+            assert router.shards[0].live == [False, True]
+
+
+class TestTypedShardErrors:
+    def test_killed_worker_raises_backend_unavailable(self, saved_dir, corpus):
+        """Every transport failure surfaces as the typed shard-error
+        signal — never a raw socket exception — so degrade mode always
+        engages."""
+        from repro.serve.backends import BackendUnavailableError
+
+        _, queries = corpus
+        with WorkerPool(saved_dir, 2, startup_timeout_s=120) as pool:
+            router = pool.sharded_backend()
+            pool.kill(1)
+            dead = router.shards[1]
+            for _ in range(2):  # connected socket first, then reconnect
+                with pytest.raises(BackendUnavailableError):
+                    dead.search_batch(queries[:4], K, NPROBE)
+            assert isinstance(
+                BackendUnavailableError("x"), (ConnectionError, OSError)
+            )
+
+    def test_closed_backend_raises_typed_error(self, saved_dir, corpus):
+        _, queries = corpus
+        from repro.serve.backends import BackendUnavailableError
+
+        with WorkerPool(saved_dir, 2, startup_timeout_s=120) as pool:
+            backend = pool.sharded_backend().shards[0]
+            backend.close()
+            with pytest.raises(BackendUnavailableError, match="closed"):
+                backend.search_batch(queries[:4], K, NPROBE)
+
+    def test_reconnect_revives_closed_backend(self, saved_dir, corpus):
+        """reconnect() is the supervisor's re-registration primitive:
+        after it, the same object serves from the new address."""
+        index, queries = corpus
+        ref = index.search(queries, K, NPROBE)
+        with WorkerPool(saved_dir, 1, startup_timeout_s=120) as pool:
+            backend = pool.sharded_backend().shards[0]
+            backend.close()
+            backend.reconnect(pool.workers[0].host, pool.workers[0].port)
+            ids, dists = backend.search_batch(queries, K, NPROBE)
+            np.testing.assert_array_equal(ids, ref[0])
+            np.testing.assert_array_equal(dists, ref[1])
+            assert backend.reconnects == 1
