@@ -1,20 +1,25 @@
 """Observability overhead benchmark: what does tracing cost the hot path?
 
-Measures closed-loop engine throughput under four tracing configurations
-and records ``BENCH_obs.json`` at the repo root:
+Measures closed-loop engine throughput under five observability
+configurations and records ``BENCH_obs.json`` at the repo root:
 
 - **baseline** — no tracer object at all (the pre-tracing engine);
 - **disabled** — a tracer with ``sample_rate=0``: the instrumentation
   sites run but every span call hits the NOOP singleton;
 - **sampled_1pct** — head sampling at 1% (the production setting);
-- **sampled_100pct** — every request traced (the debugging setting).
+- **sampled_100pct** — every request traced (the debugging setting);
+- **collector** — no tracer, but the live telemetry plane on: an
+  :class:`~repro.obs.events.EventLog` journal wired into the engine and
+  a :class:`~repro.obs.timeline.TelemetryCollector` (with an SLO
+  monitor) scraping the metrics registry at its default interval.
 
 Each configuration runs ``REPEATS`` interleaved rounds and keeps the best
 round (the one least disturbed by scheduler noise on a shared runner).
 
 Acceptance: the disabled configuration sits within noise of the
-baseline, and 1% sampling costs at most 5% QPS — the overhead budget
-documented in docs/ARCHITECTURE.md.
+baseline, 1% sampling costs at most 5% QPS, and the timeline collector
+costs at most 5% QPS (collector/baseline >= 0.95) — the overhead
+budgets documented in docs/ARCHITECTURE.md.
 
 Run: ``python -m pytest benchmarks/test_bench_obs.py -s``
 """
@@ -27,6 +32,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.harness import serve_bench
+from repro.obs.events import EventLog
+from repro.obs.timeline import BurnRateRule, SLOMonitor, TelemetryCollector
 from repro.obs.trace import Tracer
 from repro.serve.loadgen import run_closed_loop
 from repro.serve.scheduler import ServingEngine
@@ -43,26 +50,50 @@ NPROBE = serve_bench.NPROBE
 #: Acceptance bounds on best-of-repeats QPS ratios.
 DISABLED_NOISE_FLOOR = 0.93   # disabled/baseline: within runner noise
 SAMPLED_1PCT_FLOOR = 0.95     # 1% sampling costs at most 5% QPS
+COLLECTOR_FLOOR = 0.95        # timeline collector costs at most 5% QPS
 
 CONFIGS = (
     ("baseline", None),
     ("disabled", 0.0),
     ("sampled_1pct", 0.01),
     ("sampled_100pct", 1.0),
+    ("collector", "collector"),
 )
 
 
 def _measure(index, queries, sample_rate, seed):
-    """One closed-loop round; returns (report, tracer-or-None)."""
-    tracer = None if sample_rate is None else Tracer(sample_rate=sample_rate, seed=seed)
+    """One closed-loop round; returns (report, tracer-or-None, ticks)."""
+    tracer = None
+    events = None
+    if sample_rate == "collector":
+        events = EventLog()
+    elif sample_rate is not None:
+        tracer = Tracer(sample_rate=sample_rate, seed=seed)
+    ticks = 0
     with ServingEngine(
-        index, max_batch=MAX_BATCH, max_wait_us=0.0, tracer=tracer
+        index, max_batch=MAX_BATCH, max_wait_us=0.0, tracer=tracer,
+        events=events,
     ) as engine:
-        report = run_closed_loop(
-            engine, queries, K, NPROBE,
-            n_clients=N_CLIENTS, n_requests=N_REQUESTS,
-        )
-    return report, tracer
+        collector = None
+        if events is not None:
+            slo = SLOMonitor(
+                [BurnRateRule("p99_slo", "p99_us", ">", 1e9, window=3)],
+                events=events,
+            )
+            collector = TelemetryCollector(
+                engine.metrics, events=events, slo=slo
+            )
+            collector.start()
+        try:
+            report = run_closed_loop(
+                engine, queries, K, NPROBE,
+                n_clients=N_CLIENTS, n_requests=N_REQUESTS,
+            )
+        finally:
+            if collector is not None:
+                collector.stop()
+                ticks = len(collector.ticks())
+    return report, tracer, ticks
 
 
 def test_tracing_overhead_budget():
@@ -83,10 +114,12 @@ def test_tracing_overhead_budget():
     # of the runner hits every configuration equally.
     qps: dict[str, list[float]] = {name: [] for name, _ in CONFIGS}
     spans: dict[str, int] = {name: 0 for name, _ in CONFIGS}
+    ticks: dict[str, int] = {name: 0 for name, _ in CONFIGS}
     for rep in range(REPEATS):
         for name, rate in CONFIGS:
-            report, tracer = _measure(index, queries, rate, seed=rep)
+            report, tracer, n_ticks = _measure(index, queries, rate, seed=rep)
             qps[name].append(report.achieved_qps)
+            ticks[name] = max(ticks[name], n_ticks)
             if tracer is not None:
                 spans[name] = max(spans[name], len(tracer) + tracer.dropped)
 
@@ -95,6 +128,7 @@ def test_tracing_overhead_budget():
         "disabled_vs_baseline": best["disabled"] / best["baseline"],
         "sampled_1pct_vs_disabled": best["sampled_1pct"] / best["disabled"],
         "sampled_100pct_vs_disabled": best["sampled_100pct"] / best["disabled"],
+        "collector_vs_baseline": best["collector"] / best["baseline"],
     }
 
     record = {
@@ -105,13 +139,15 @@ def test_tracing_overhead_budget():
             "k": K, "nprobe": NPROBE,
             "disabled_noise_floor": DISABLED_NOISE_FLOOR,
             "sampled_1pct_floor": SAMPLED_1PCT_FLOOR,
+            "collector_floor": COLLECTOR_FLOOR,
         },
         "configs": {
             name: {
-                "sample_rate": rate,
+                "sample_rate": None if rate == "collector" else rate,
                 "qps_runs": [round(v, 1) for v in qps[name]],
                 "qps": round(best[name], 1),
                 "spans_recorded": spans[name],
+                "ticks_recorded": ticks[name],
             }
             for name, rate in CONFIGS
         },
@@ -137,4 +173,11 @@ def test_tracing_overhead_budget():
     assert ratios["sampled_1pct_vs_disabled"] >= SAMPLED_1PCT_FLOOR, (
         f"1% sampling costs more than the 5% budget: "
         f"{ratios['sampled_1pct_vs_disabled']:.3f}"
+    )
+
+    # The collector demonstrably ran (ticks buffered) within its budget.
+    assert ticks["collector"] > 0
+    assert ratios["collector_vs_baseline"] >= COLLECTOR_FLOOR, (
+        f"timeline collector costs more than the 5% budget: "
+        f"{ratios['collector_vs_baseline']:.3f}"
     )

@@ -46,6 +46,18 @@ percentiles and the critical path)::
     python -m repro.harness.cli serve-bench --workers 2 --trace out.trace.json
     python -m repro.harness.cli trace-report --trace out.trace.json
 
+The ``--chaos`` and ``--qos`` modes take ``--timeline out.jsonl`` to run
+the live telemetry plane during the bench — a background
+:class:`~repro.obs.timeline.TelemetryCollector` tick stream merged with
+the typed operational event journal (worker restarts, coverage
+transitions, sheds, SLO alerts) into one JSONL timeline.  ``serve-top``
+renders a recorded timeline as a terminal dashboard (``--once`` for a
+single CI-friendly frame; otherwise it refreshes in place)::
+
+    python -m repro.harness.cli serve-bench --workers 2,1 --chaos --quick \\
+        --timeline timeline.jsonl
+    python -m repro.harness.cli serve-top --timeline timeline.jsonl --once
+
 Every flag is documented in the README's CLI reference table.
 """
 
@@ -60,6 +72,7 @@ from repro.harness import serve_bench
 from repro.harness.context import small_context
 from repro.obs.export import load_chrome_trace
 from repro.obs.report import TraceReport
+from repro.obs.timeline import load_timeline, render_dashboard
 from repro.serve.routing import POLICIES
 
 #: name -> (needs_context, runner(ctx, args))
@@ -74,11 +87,12 @@ EXPERIMENTS = {
     "fig12": (True, lambda ctx, args: fig12.run(ctx)),
     "serve-bench": (False, lambda ctx, args: _run_serve_bench(args)),
     "trace-report": (False, lambda ctx, args: _run_trace_report(args)),
+    "serve-top": (False, lambda ctx, args: _run_serve_top(args)),
 }
 
 #: Experiments excluded from ``all`` (they analyze prior output instead
 #: of producing their own).
-NOT_IN_ALL = {"trace-report"}
+NOT_IN_ALL = {"trace-report", "serve-top"}
 
 
 def _parse_counts(spec: str, flag: str) -> tuple[int, ...]:
@@ -102,6 +116,49 @@ def _run_trace_report(args: argparse.Namespace) -> TraceReport:
     return TraceReport.from_chrome(load_chrome_trace(args.trace))
 
 
+class _ServeTopFrame:
+    """One rendered serve-top frame, shaped like an experiment result."""
+
+    def __init__(self, frame: str):
+        self.frame = frame
+
+    def format(self) -> str:
+        """The rendered dashboard text."""
+        return self.frame
+
+
+def _run_serve_top(args: argparse.Namespace) -> _ServeTopFrame:
+    """Render the serve-top dashboard from a ``--timeline`` JSONL file.
+
+    With ``--once`` it renders a single frame (the newest tick plus the
+    event ticker) and exits — the CI smoke path.  Otherwise it clears
+    and redraws the terminal every ``--refresh`` seconds, re-reading the
+    timeline file so a bench writing it concurrently shows up live;
+    Ctrl-C leaves the last frame as the result.
+    """
+    if args.timeline is None:
+        raise SystemExit(
+            "serve-top requires --timeline PATH (a timeline written by "
+            "serve-bench --timeline)"
+        )
+
+    def frame() -> str:
+        try:
+            _meta, ticks, events = load_timeline(args.timeline)
+        except FileNotFoundError:
+            raise SystemExit(f"timeline file not found: {args.timeline}")
+        return render_dashboard(ticks, events)
+
+    if not args.once:
+        try:
+            while True:
+                print("\x1b[2J\x1b[H" + frame(), end="", flush=True)
+                time.sleep(args.refresh)
+        except KeyboardInterrupt:
+            pass
+    return _ServeTopFrame(frame())
+
+
 def _obs_overrides(args: argparse.Namespace) -> dict:
     """Tracing/metrics kwargs shared by the basic and --workers modes."""
     obs: dict = {}
@@ -117,6 +174,10 @@ def _run_serve_bench(args: argparse.Namespace):
     """Dispatch serve-bench to the basic, replicated, QoS, async, or
     multi-process runner."""
     obs = _obs_overrides(args)
+    if args.timeline is not None and not (args.chaos or args.qos):
+        raise SystemExit(
+            "--timeline applies to the --chaos and --qos modes only"
+        )
     if args.workers is not None:
         if (
             args.async_bench
@@ -149,7 +210,8 @@ def _run_serve_bench(args: argparse.Namespace):
             replicas, shards = workers
             return serve_bench.run_chaos(
                 replicas=replicas, shards=shards, kills=args.kills,
-                seed=args.seed, **overrides, **obs
+                seed=args.seed, timeline=args.timeline,
+                **overrides, **obs
             )
         return serve_bench.run_multiproc(
             workers=workers, seed=args.seed, **overrides, **obs
@@ -206,6 +268,7 @@ def _run_serve_bench(args: argparse.Namespace):
             victims=args.tenants,
             slo_us=args.slo_us,
             seed=args.seed,
+            timeline=args.timeline,
         )
     overrides = {}
     if args.clients is not None:
@@ -361,11 +424,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="dump the full metrics-registry snapshot(s) as JSON here",
     )
+    obs.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the interleaved tick/event timeline JSONL here "
+            "(--chaos and --qos modes); for serve-top, the timeline "
+            "file to render"
+        ),
+    )
+    top = parser.add_argument_group("serve-top options")
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="serve-top: render one dashboard frame and exit (CI smoke)",
+    )
+    top.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="serve-top: redraw period in seconds (default: 1.0)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.trace_sample <= 1.0:
         raise SystemExit(
             f"--trace-sample must be in [0, 1], got {args.trace_sample}"
         )
+    if args.refresh <= 0:
+        raise SystemExit(f"--refresh must be > 0, got {args.refresh}")
     names = (
         sorted(set(EXPERIMENTS) - NOT_IN_ALL)
         if "all" in args.experiments

@@ -71,7 +71,9 @@ from repro.net.wire import (
     result_frame_bytes,
     search_frame_bytes,
 )
+from repro.obs.events import EventLog
 from repro.obs.export import write_chrome_trace
+from repro.obs.timeline import BurnRateRule, SLOMonitor, TelemetryCollector
 from repro.obs.trace import Tracer
 from repro.serve.aio import AsyncClient, AsyncServingEngine, VectorSearchServer
 from repro.serve.backends import InstrumentedBackend, SimulatedDeviceBackend
@@ -712,6 +714,7 @@ def run_qos(
     k: int = K,
     nprobe: int = NPROBE,
     seed: int = 0,
+    timeline: str | None = None,
 ) -> QosBenchResult:
     """Measure the QoS tier (ctx unused; the index is self-built).
 
@@ -729,6 +732,13 @@ def run_qos(
       controller.  The controller must match the greedy window's latency
       when idle and the large window's batch efficiency under load —
       the frontier neither fixed setting reaches alone.
+
+    With ``timeline`` set, the QoS scenario run (c) carries an
+    :class:`~repro.obs.events.EventLog` (``shed`` / ``quota_exceeded``
+    events from the scheduler) plus a
+    :class:`~repro.obs.timeline.TelemetryCollector` with a p99 burn-rate
+    rule against ``slo_us``, and the tick/event stream is written to that
+    JSONL path.
     """
     if victims < 1:
         raise ValueError(f"victims must be >= 1, got {victims}")
@@ -768,7 +778,7 @@ def run_qos(
             offered = aggressor_rate if name == "aggressor" else victim_rate
             tenant_rows.append(QosTenantRow(mode, name, offered, rep))
 
-    def fresh_engine(discipline=None) -> ServingEngine:
+    def fresh_engine(discipline=None, events=None) -> ServingEngine:
         """A new engine over a fresh simulated device (busy stats reset)."""
         backend = SimulatedDeviceBackend(index, qos_service_us)
         return ServingEngine(
@@ -778,6 +788,7 @@ def run_qos(
             queue_depth=4 * total_requests,
             policy="shed" if discipline is not None else "block",
             discipline=discipline,
+            events=events,
         )
 
     # (a.1) victims alone: the isolated baseline every mode is judged by.
@@ -797,11 +808,30 @@ def run_qos(
         weight=1.0, rate_qps=0.5 * capacity, burst=64
     )
     discipline = WFQDiscipline(policies, depth=4 * total_requests)
-    with fresh_engine(discipline) as engine:
-        record(
-            "qos",
-            run_multi_tenant(engine, queries, [*victim_loads(), aggressor_load]),
-        )
+    qos_events = EventLog() if timeline is not None else None
+    collector: TelemetryCollector | None = None
+    with fresh_engine(discipline, events=qos_events) as engine:
+        if timeline is not None:
+            slo = SLOMonitor(
+                [BurnRateRule("p99_slo", "p99_us", ">", slo_us, window=3)],
+                events=qos_events,
+            )
+            collector = TelemetryCollector(
+                engine.metrics, events=qos_events, slo=slo, interval_s=0.025,
+            )
+            collector.start()
+        try:
+            record(
+                "qos",
+                run_multi_tenant(
+                    engine, queries, [*victim_loads(), aggressor_load]
+                ),
+            )
+        finally:
+            if collector is not None:
+                collector.stop()
+    if collector is not None:
+        collector.dump_jsonl(timeline)
 
     # (b) adaptive batch window across the load range.
     high_rate = high_utilization * capacity
@@ -1572,6 +1602,15 @@ class ChaosServeResult:
     leaked_pids: list[int]
     host_cpus: int
     params: dict = field(default_factory=dict)
+    #: Per-kill ``coverage_lost -> coverage_restored`` gap measured from
+    #: the replica-scope event journal (microseconds, kill order).
+    recovery_pairs_us: list = field(default_factory=list)
+    #: First ``slo_alert`` ts minus the first replica ``coverage_lost``
+    #: ts — how long the burn-rate monitor took to notice the outage.
+    #: ``None`` when no timeline collector ran.
+    alert_latency_us: float | None = None
+    #: Total operational events captured in the journal.
+    journal_events: int = 0
 
     @property
     def all_recovered(self) -> bool:
@@ -1604,6 +1643,17 @@ class ChaosServeResult:
             f"before={self.bit_identical_before} "
             f"after={self.bit_identical_after}",
         ]
+        if self.recovery_pairs_us:
+            gaps = ", ".join(f"{g / 1e3:.1f}" for g in self.recovery_pairs_us)
+            lines.append(
+                f"\njournal: {self.journal_events} events, "
+                f"coverage pair recovery [{gaps}] ms"
+            )
+            if self.alert_latency_us is not None:
+                lines.append(
+                    f", availability alert after "
+                    f"{self.alert_latency_us / 1e3:.1f} ms"
+                )
         if self.leaked_pids:
             lines.append(f"\nLEAKED PROCESSES: {self.leaked_pids}")
         return "".join(lines)
@@ -1675,6 +1725,7 @@ def run_chaos(
     nprobe: int = MP_NPROBE,
     seed: int = 0,
     metrics_out: str | None = None,
+    timeline: str | None = None,
 ) -> ChaosServeResult:
     """Kill workers on a seeded schedule under live load; measure recovery.
 
@@ -1700,6 +1751,17 @@ def run_chaos(
 
     Availability here is result completeness, not uptime: the fraction
     of completed requests answered with every shard present.
+
+    An :class:`~repro.obs.events.EventLog` journal is always attached to
+    the engine and supervisor, so the result carries per-kill
+    time-to-recovery measured from the replica-scope
+    ``coverage_lost -> coverage_restored`` event pairs.  With
+    ``timeline`` set, a :class:`~repro.obs.timeline.TelemetryCollector`
+    additionally samples metrics/pool/router at 25 ms, an availability
+    burn-rate :class:`~repro.obs.timeline.SLOMonitor` fires alert events
+    during each outage window, and the interleaved tick/event stream is
+    written to that JSONL path (readable by ``serve-top`` and
+    ``tools/check_timeline.py``).
     """
     if replicas < 1 or shards < 1:
         raise ValueError(f"need replicas,shards >= 1, got {replicas},{shards}")
@@ -1715,6 +1777,8 @@ def run_chaos(
 
     kill_times: list = []
     stop_ev = threading.Event()
+    events = EventLog()
+    collector: TelemetryCollector | None = None
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         save_index_dir(index, tmp)
         planner = load_index_dir(tmp, mmap=True)
@@ -1732,9 +1796,22 @@ def run_chaos(
             )
             with ServingEngine(
                 router, max_batch=max_batch, max_wait_us=max_wait_us,
-                dispatchers=2,
+                dispatchers=2, events=events,
             ) as engine:
-                pool.start_supervisor(metrics=engine.metrics)
+                pool.start_supervisor(metrics=engine.metrics, events=events)
+                if timeline is not None:
+                    slo = SLOMonitor(
+                        [BurnRateRule(
+                            "availability_floor", "availability", "<",
+                            0.999, window=2,
+                        )],
+                        events=events,
+                    )
+                    collector = TelemetryCollector(
+                        engine.metrics, pool=pool, router=router,
+                        events=events, slo=slo, interval_s=0.025,
+                    )
+                    collector.start()
 
                 def progress() -> int:
                     snap = engine.metrics.snapshot()
@@ -1778,9 +1855,39 @@ def run_chaos(
                     np.array_equal(got[0], ref_ids)
                     and np.array_equal(got[1], ref_dists)
                 )
+                if collector is not None:
+                    collector.stop()
                 snap = engine.metrics.snapshot().to_dict()
             pool.stop_supervisor()
         leaked = [p.pid for p in pool.spawned_procs if p.poll() is None]
+
+    # Derive the journal-side recovery measures: the supervisor brackets
+    # each ``_restart`` with replica-scope coverage events, so the pair
+    # gap is an independent read of ``RestartRecord.coverage_restored_us``.
+    journal = events.events()
+    pending_loss: dict = {}
+    recovery_pairs_us: list[float] = []
+    first_lost_ts: int | None = None
+    for ev in journal:
+        if ev.get("scope") != "replica":
+            continue
+        key = (ev.get("shard"), ev.get("replica"))
+        if ev["type"] == "coverage_lost":
+            pending_loss[key] = ev["ts"]
+            if first_lost_ts is None:
+                first_lost_ts = ev["ts"]
+        elif ev["type"] == "coverage_restored":
+            t_lost = pending_loss.pop(key, None)
+            if t_lost is not None:
+                recovery_pairs_us.append(float(ev["ts"] - t_lost))
+    alert_latency_us: float | None = None
+    if first_lost_ts is not None:
+        fired = [
+            ev["ts"] for ev in journal
+            if ev["type"] == "slo_alert" and ev["ts"] >= first_lost_ts
+        ]
+        if fired:
+            alert_latency_us = float(min(fired) - first_lost_ts)
 
     # Pair kills with recoveries in order: one supervisor thread handles
     # them serially, and the killer waits each one out before the next.
@@ -1817,6 +1924,9 @@ def run_chaos(
         bit_identical_after=bit_after,
         leaked_pids=leaked,
         host_cpus=host_cpus(),
+        recovery_pairs_us=recovery_pairs_us,
+        alert_latency_us=alert_latency_us,
+        journal_events=len(journal),
         params={
             "n_base": n_base, "d": d, "nlist": nlist, "m": m, "ksub": ksub,
             "k": k, "nprobe": nprobe, "max_batch": max_batch,
@@ -1826,6 +1936,17 @@ def run_chaos(
             "host_cpus": host_cpus(),
         },
     )
+    if timeline is not None and collector is not None:
+        collector.dump_jsonl(timeline)
     if metrics_out is not None:
-        _write_metrics(metrics_out, {"mode": "chaos", "router": snap})
+        _write_metrics(
+            metrics_out,
+            {
+                "mode": "chaos",
+                "router": snap,
+                "availability": result.availability,
+                "recovery_pairs_us": recovery_pairs_us,
+                "alert_latency_us": alert_latency_us,
+            },
+        )
     return result

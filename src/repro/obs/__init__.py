@@ -1,12 +1,21 @@
-"""Observability: request tracing, trace export, and critical-path reports.
+"""Observability: tracing, event journal, timeline collector, reports.
 
 The package is deliberately dependency-free (stdlib only) so every tier —
 the asyncio front end, the micro-batching engine, the scatter-gather
 router, the IVF-PQ kernels, and the worker processes — can import it
-without cost.  ``trace`` holds the tracer core, ``export`` the
-JSONL/Chrome-trace sinks, ``report`` the critical-path analyzer.
+without cost.  ``trace`` holds the tracer core, ``events`` the typed
+operational event journal, ``timeline`` the telemetry collector / SLO
+monitor / Prometheus and JSONL exporters, ``export`` the JSONL and
+Chrome-trace sinks, ``report`` the critical-path analyzer.
 """
 
+from repro.obs.events import EVENT_TYPES, EventLog
+from repro.obs.timeline import (
+    BurnRateRule,
+    SLOMonitor,
+    TelemetryCollector,
+    to_prometheus,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     Span,
@@ -17,6 +26,12 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "EVENT_TYPES",
+    "EventLog",
+    "BurnRateRule",
+    "SLOMonitor",
+    "TelemetryCollector",
+    "to_prometheus",
     "NOOP_SPAN",
     "Span",
     "SpanContext",

@@ -269,6 +269,7 @@ class VectorSearchServer:
         *,
         backlog: int = 1024,
         preselect_backend=None,
+        metrics_port: int | None = None,
     ):
         self.aengine = (
             engine
@@ -279,9 +280,18 @@ class VectorSearchServer:
         self.port = port
         self.backlog = backlog
         self.preselect_backend = preselect_backend
+        #: Optional plaintext metrics endpoint: when set, :meth:`start`
+        #: additionally listens on ``(host, metrics_port)`` and answers
+        #: every connection with one Prometheus text exposition of the
+        #: engine registry (``repro.obs.timeline.to_prometheus``), then
+        #: closes — the scrape contract of a stock Prometheus target
+        #: without pulling in an HTTP stack.  Port 0 picks a free port
+        #: (see :attr:`metrics_address`).
+        self.metrics_port = metrics_port
         #: The engine's registry; this front end adds connection traffic.
         self.metrics = self.aengine.engine.metrics
         self._server: asyncio.AbstractServer | None = None
+        self._metrics_server: asyncio.AbstractServer | None = None
         #: Open-connection registry: handler task -> its stream writer.
         self._conns: dict[asyncio.Task, asyncio.StreamWriter] = {}
         #: Serializes preselect scans (single-searcher index contract).
@@ -298,6 +308,14 @@ class VectorSearchServer:
         host, port = sock.getsockname()[:2]
         return host, port
 
+    @property
+    def metrics_address(self) -> tuple[str, int]:
+        """The bound metrics ``(host, port)`` (after :meth:`start`)."""
+        if self._metrics_server is None:
+            raise RuntimeError("metrics endpoint is not running")
+        host, port = self._metrics_server.sockets[0].getsockname()[:2]
+        return host, port
+
     async def start(self) -> "VectorSearchServer":
         """Bind and start accepting connections; returns self."""
         if self._server is not None:
@@ -305,6 +323,10 @@ class VectorSearchServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port, backlog=self.backlog
         )
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics_conn, self.host, self.metrics_port
+            )
         return self
 
     async def stop(self) -> None:
@@ -320,6 +342,10 @@ class VectorSearchServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         conns = dict(self._conns)
         for writer in conns.values():
             writer.close()
@@ -540,6 +566,10 @@ class VectorSearchServer:
             data["dropped_spans"] = tracer.dropped
             if req.drain_spans:
                 data["spans"] = tracer.drain()
+        events = getattr(self.aengine.engine, "events", None)
+        if events is not None and req.drain_events:
+            data["events"] = events.drain()
+            data["dropped_events"] = events.dropped
         frame = encode_stats(req.request_id, data)
         try:
             async with wlock:
@@ -548,6 +578,29 @@ class VectorSearchServer:
             self.metrics.inc("frames_out")
         except (ConnectionError, OSError):
             pass  # peer vanished between compute and write; nothing to do
+
+    async def _serve_metrics_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One metrics scrape: write the text exposition, close.
+
+        The endpoint is deliberately one-shot plaintext (connect → read
+        to EOF), so ``curl``, ``nc``, and a Prometheus file_sd target
+        all work without the server growing an HTTP dependency.
+        """
+        from repro.obs.timeline import to_prometheus
+
+        try:
+            writer.write(to_prometheus(self.metrics.snapshot()).encode("utf-8"))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
 
 class AsyncClient:

@@ -38,6 +38,8 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import now_us
+
 __all__ = [
     "LatencyStats",
     "MetricsRegistry",
@@ -181,6 +183,14 @@ class MetricsSnapshot:
     #: connection counts) — point-in-time levels, unlike the monotonic
     #: counters.
     gauges: dict[str, float] = field(default_factory=dict)
+    #: Registry creation time and snapshot time on the host-wide
+    #: monotonic clock (:func:`repro.obs.trace.now_us`) — the same epoch
+    #: the tracer and the event journal stamp with, so a scraper can
+    #: difference two snapshots into true *interval* rates (instead of
+    #: the lifetime averages ``qps``/``elapsed_s`` report) and align
+    #: them with spans and events on one timeline.
+    started_at_us: int = 0
+    snapshot_at_us: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -206,6 +216,8 @@ class MetricsSnapshot:
             "gauges": dict(self.gauges),
             "qps": self.qps,
             "elapsed_s": self.elapsed_s,
+            "started_at_us": self.started_at_us,
+            "snapshot_at_us": self.snapshot_at_us,
             "mean_batch_size": self.mean_batch_size,
             "cache_hit_rate": self.cache_hit_rate,
             "batch_histogram": {str(k): v for k, v in self.batch_histogram.items()},
@@ -285,6 +297,7 @@ class MetricsRegistry:
         self._tracked_classes: set[str] = set()
         self._t_first: float | None = None
         self._t_last: float | None = None
+        self._started_at_us = now_us()
 
     # ------------------------------------------------------------------ #
     def inc(self, name: str, n: int = 1) -> None:
@@ -424,4 +437,6 @@ class MetricsRegistry:
             tenants=tenants,
             classes=classes,
             gauges=gauges,
+            started_at_us=self._started_at_us,
+            snapshot_at_us=now_us(),
         )

@@ -104,6 +104,7 @@ PRESELECT_FLAG_TRACED = 0x01  # payload ends with a TRACE_CTX tail
 BATCH_FLAG_SPANS = 0x01  # payload ends with a span JSON blob
 #: Flag bits of a stats-request frame.
 STATS_FLAG_DRAIN_SPANS = 0x01  # also drain + return buffered spans
+STATS_FLAG_DRAIN_EVENTS = 0x02  # also drain + return the event journal
 
 
 class ProtocolError(RuntimeError):
@@ -513,6 +514,7 @@ class StatsRequestFrame:
 
     request_id: int
     drain_spans: bool
+    drain_events: bool = False
 
 
 @dataclass(frozen=True)
@@ -527,10 +529,16 @@ class StatsFrame:
     data: dict
 
 
-def encode_stats_request(request_id: int, *, drain_spans: bool = False) -> bytes:
+def encode_stats_request(
+    request_id: int, *, drain_spans: bool = False, drain_events: bool = False
+) -> bytes:
     """Encode a stats-scrape request; ``drain_spans`` also empties the
-    worker's span buffer into the reply."""
-    flags = STATS_FLAG_DRAIN_SPANS if drain_spans else 0
+    worker's span buffer into the reply and ``drain_events`` does the
+    same for its typed event journal (the cross-process merge channel of
+    :class:`repro.obs.events.EventLog`)."""
+    flags = (STATS_FLAG_DRAIN_SPANS if drain_spans else 0) | (
+        STATS_FLAG_DRAIN_EVENTS if drain_events else 0
+    )
     return _frame(
         FRAME_STATS_REQUEST,
         STATS_REQUEST_FIXED.pack(request_id & 0xFFFFFFFF, flags),
@@ -548,6 +556,7 @@ def decode_stats_request(payload: bytes) -> StatsRequestFrame:
     return StatsRequestFrame(
         request_id=request_id,
         drain_spans=bool(flags & STATS_FLAG_DRAIN_SPANS),
+        drain_events=bool(flags & STATS_FLAG_DRAIN_EVENTS),
     )
 
 

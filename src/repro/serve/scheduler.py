@@ -213,6 +213,13 @@ class ServingEngine:
         exec child spans.  Tracing never changes results — spans only
         observe the existing control flow — and an unsampled request
         follows the exact untraced code path.
+    events : optional :class:`~repro.obs.events.EventLog`.  The engine
+        then journals its state transitions as typed records on the
+        shared monotonic clock: ``coverage_lost`` / ``coverage_restored``
+        when result coverage crosses 1.0, ``shed`` on a queue-full
+        rejection, ``quota_exceeded`` on a tenant-quota rejection, and
+        ``cache_invalidated`` on a cache flush.  Emission sites pay one
+        ``is None`` test when no journal is attached.
     """
 
     def __init__(
@@ -229,6 +236,7 @@ class ServingEngine:
         discipline=None,
         adaptive_window: AdaptiveBatchWindow | None = None,
         tracer: Tracer | None = None,
+        events=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -254,6 +262,7 @@ class ServingEngine:
         self.dispatchers = dispatchers
         self.window = adaptive_window
         self.tracer = tracer
+        self.events = events
         self._queue = (
             discipline
             if discipline is not None
@@ -332,6 +341,8 @@ class ServingEngine:
         """Drop cached results (call after any index mutation)."""
         if self.cache is not None:
             self.cache.clear()
+            if self.events is not None:
+                self.events.emit("cache_invalidated")
 
     def _refund_quota(self, tenant: str) -> None:
         """Return a charged admission token after a downstream refusal."""
@@ -402,13 +413,16 @@ class ServingEngine:
         ):
             self.metrics.inc("shed")
             self.metrics.inc_tenant(tenant, "shed")
+            retry_after_s = (
+                self._retry_after(tenant) if self._retry_after is not None else None
+            )
+            if self.events is not None:
+                self.events.emit(
+                    "quota_exceeded", tenant=tenant, retry_after_s=retry_after_s
+                )
             raise QuotaExceededError(
                 f"tenant {tenant!r} admission quota exhausted; request shed",
-                retry_after_s=(
-                    self._retry_after(tenant)
-                    if self._retry_after is not None
-                    else None
-                ),
+                retry_after_s=retry_after_s,
             )
         # Arrival is observed here — after the cache and quota gates, so
         # hits and quota sheds never inflate the window's fill target,
@@ -458,6 +472,10 @@ class ServingEngine:
                 except queue_mod.Full:
                     self.metrics.inc("shed")
                     self.metrics.inc_tenant(tenant, "shed")
+                    if self.events is not None:
+                        self.events.emit(
+                            "shed", tenant=tenant, depth=self._queue.qsize()
+                        )
                     # The quota token was charged for a request the queue
                     # then refused — give it back, or overload would also
                     # shrink the tenant's quota.
@@ -597,8 +615,16 @@ class ServingEngine:
                     prev, self._cov_state = self._cov_state, coverage
                 if coverage < 1.0 and prev >= 1.0:
                     self.metrics.inc("coverage_lost")
+                    if self.events is not None:
+                        self.events.emit(
+                            "coverage_lost", scope="engine", coverage=coverage
+                        )
                 elif coverage >= 1.0 and prev < 1.0:
                     self.metrics.inc("coverage_restored")
+                    if self.events is not None:
+                        self.events.emit(
+                            "coverage_restored", scope="engine", coverage=coverage
+                        )
                 self.metrics.set_gauge("coverage", coverage)
             self.metrics.observe_batch(len(reqs))
             cls = class_label(k, nprobe)

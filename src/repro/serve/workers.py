@@ -74,6 +74,7 @@ from repro.net.wire import (
     WIRE_MAGIC,
     WIRE_VERSION,
 )
+from repro.obs.events import EventLog
 from repro.obs.trace import Tracer, current_span
 from repro.serve.aio import RemoteServeError, VectorSearchServer
 from repro.serve.protocol import (
@@ -413,18 +414,25 @@ class RemoteBackend:
 
         return self._exchange(body)
 
-    def stats(self, *, drain_spans: bool = False) -> dict:
+    def stats(self, *, drain_spans: bool = False, drain_events: bool = False) -> dict:
         """Scrape the worker's metrics snapshot over the stats frame pair.
 
         Returns the worker's JSON view: its pid, its full
         :class:`~repro.serve.metrics.MetricsRegistry` snapshot, and —
         with ``drain_spans`` — every span buffered in the worker's
         tracer (engine-path spans of traced search frames, which have no
-        reply to piggyback on, drain through here).
+        reply to piggyback on, drain through here).  ``drain_events``
+        likewise empties the worker's typed event journal into the reply
+        (``data["events"]``), which is how worker-side records reach the
+        router's merged :class:`~repro.obs.events.EventLog`.
         """
         def body():
             (rid,) = self._next_rids(1)
-            self._sock.sendall(encode_stats_request(rid, drain_spans=drain_spans))
+            self._sock.sendall(
+                encode_stats_request(
+                    rid, drain_spans=drain_spans, drain_events=drain_events
+                )
+            )
             while True:
                 ftype, payload = self._read_frame()
                 if ftype != FRAME_STATS:
@@ -593,6 +601,7 @@ class WorkerPool:
         self._given_up: set[int] = set()
         self._sup_metrics = None
         self._sup_tracer = None
+        self._sup_events = None
         self._sup_max_restarts = 5
         self._sup_backoff_s = 0.05
 
@@ -815,27 +824,40 @@ class WorkerPool:
             preselect=preselect,
         )
 
-    def stats(self, *, drain_spans: bool = False) -> dict:
+    def stats(self, *, drain_spans: bool = False, drain_events: bool = False) -> dict:
         """Aggregate every live worker's metrics scrape.
 
         Returns ``{"workers": [per-worker data...], "counters": {...}}``
         — the per-worker entries are each worker's own
         :meth:`RemoteBackend.stats` view (pid, registry snapshot,
         optionally drained spans) and ``counters`` sums the registries'
-        counters across workers.  Workers that fail to answer (crashed
-        mid-scrape) are skipped rather than failing the whole scrape.
+        counters across workers.  With ``drain_events`` each worker's
+        event journal drains into the scrape and the records are merged,
+        timestamp-ordered, under a top-level ``"events"`` key (they share
+        the host-wide monotonic clock, so the merge is a plain sort).
+        Workers that fail to answer (crashed mid-scrape) are skipped
+        rather than failing the whole scrape.
         """
         per: list[dict] = []
         for backend in self.backends():
             try:
-                per.append(backend.stats(drain_spans=drain_spans))
+                per.append(
+                    backend.stats(drain_spans=drain_spans, drain_events=drain_events)
+                )
             except (OSError, TimeoutError, ProtocolError):
                 continue  # dead or wedged worker: scrape the survivors
         counters: dict[str, int] = {}
         for w in per:
             for name, val in (w.get("metrics", {}).get("counters") or {}).items():
                 counters[name] = counters.get(name, 0) + int(val)
-        return {"workers": per, "counters": counters}
+        out: dict = {"workers": per, "counters": counters}
+        if drain_events:
+            merged: list[dict] = []
+            for w in per:
+                merged.extend(w.pop("events", None) or ())
+            merged.sort(key=lambda r: r.get("ts", 0))
+            out["events"] = merged
+        return out
 
     # ------------------------------------------------------------------ #
     def poll(self) -> dict:
@@ -886,6 +908,7 @@ class WorkerPool:
         backoff_s: float = 0.05,
         metrics=None,
         tracer: Tracer | None = None,
+        events=None,
     ) -> "WorkerPool":
         """Run the recovery loop: poll → respawn → handshake → re-register.
 
@@ -905,6 +928,12 @@ class WorkerPool:
         tracer : optional :class:`~repro.obs.trace.Tracer`; each recovery
             records a ``worker_restart`` span covering death-detection to
             re-registration.
+        events : optional :class:`~repro.obs.events.EventLog`; each
+            recovery journals a ``coverage_lost`` record at death
+            detection and, on success, ``coverage_restored`` plus one
+            ``worker_restart`` record per :class:`RestartRecord` (exit
+            code and time-to-coverage attached), so the journal and
+            :attr:`restart_log` agree entry for entry.
         """
         if not self.started:
             raise RuntimeError("pool is not started")
@@ -914,6 +943,7 @@ class WorkerPool:
             raise ValueError(f"max_restarts must be >= 1, got {max_restarts}")
         self._sup_metrics = metrics
         self._sup_tracer = tracer
+        self._sup_events = events
         self._sup_max_restarts = max_restarts
         self._sup_backoff_s = backoff_s
         self._stop_ev = threading.Event()
@@ -969,6 +999,14 @@ class WorkerPool:
         group = self._groups[shard] if self._groups is not None else None
         if group is not None:
             group.mark_down(replica)
+        if self._sup_events is not None:
+            self._sup_events.emit(
+                "coverage_lost",
+                scope="replica",
+                shard=shard,
+                replica=replica,
+                exit_code=exit_code,
+            )
         self._close_pipes(self._procs[wid])
         attempts = 0
         while True:
@@ -1043,6 +1081,26 @@ class WorkerPool:
             if self._sup_metrics is not None:
                 self._sup_metrics.inc("worker_restarts")
                 self._sup_metrics.set_gauge("coverage_restored_us", restored_us)
+            if self._sup_events is not None:
+                # One worker_restart record per RestartRecord (the
+                # journal/restart_log agreement contract), bracketed by
+                # the coverage pair whose timestamp gap measures the
+                # same death-to-recovery interval on the shared clock.
+                self._sup_events.emit(
+                    "worker_restart",
+                    shard=shard,
+                    replica=replica,
+                    exit_code=exit_code,
+                    attempts=attempts,
+                    coverage_restored_us=restored_us,
+                )
+                self._sup_events.emit(
+                    "coverage_restored",
+                    scope="replica",
+                    shard=shard,
+                    replica=replica,
+                    coverage_restored_us=restored_us,
+                )
             if span is not None:
                 span.annotate(
                     attempts=attempts, coverage_restored_us=int(restored_us)
@@ -1168,6 +1226,10 @@ async def _serve_until_stopped(engine_view, preselect_view, args) -> None:
         # continues (and buffers spans for) traced frames from the
         # router, whose sampling decision rides the wire.
         tracer=Tracer(sample_rate=0.0),
+        # Worker-side journal: sheds and coverage transitions recorded
+        # here drain back on stats frames (drain_events) and merge into
+        # the router's EventLog on the shared monotonic clock.
+        events=EventLog(),
     )
     engine.start()
     server = VectorSearchServer(

@@ -9,7 +9,7 @@ class TestCLI:
     def test_all_experiment_ids_registered(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig03", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04",
-            "serve-bench", "trace-report",
+            "serve-bench", "trace-report", "serve-top",
         }
 
     def test_runs_analytic_experiment(self, capsys):
@@ -81,3 +81,59 @@ class TestObservabilityFlags:
         from repro.harness.cli import NOT_IN_ALL
 
         assert "trace-report" in NOT_IN_ALL
+
+    def test_trace_report_empty_trace_reports_zero_spans(self, tmp_path, capsys):
+        """A recorded-but-empty trace (0% sampling hit) renders a clean
+        'no spans' report instead of dividing by zero."""
+        import json
+
+        path = tmp_path / "empty.trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["trace-report", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 span(s)" in out
+
+
+class TestTimelineFlags:
+    def test_timeline_rejected_outside_chaos_and_qos(self, tmp_path):
+        out = str(tmp_path / "t.jsonl")
+        for extra in ([], ["--async"], ["--replicas", "1,2"], ["--workers", "2"]):
+            with pytest.raises(SystemExit, match="--timeline"):
+                main(["serve-bench", *extra, "--timeline", out])
+
+    def test_serve_top_requires_timeline_path(self):
+        with pytest.raises(SystemExit, match="requires --timeline"):
+            main(["serve-top", "--once"])
+
+    def test_serve_top_missing_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["serve-top", "--timeline", str(tmp_path / "nope.jsonl"),
+                  "--once"])
+
+    def test_serve_top_renders_a_timeline(self, tmp_path, capsys):
+        from repro.obs.events import EventLog
+        from repro.obs.timeline import write_timeline_jsonl
+
+        events = EventLog()
+        events.emit("worker_restart", shard=0, replica=1, exit_code=-9)
+        path = tmp_path / "timeline.jsonl"
+        write_timeline_jsonl(
+            path,
+            [{"ts": 10, "seq": 0, "qps": 120.0, "availability": 1.0,
+              "p99_us": 900.0, "counters": {"completed": 12}}],
+            events.events(),
+        )
+        assert main(["serve-top", "--timeline", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-top @ tick" in out
+        assert "worker_restart" in out
+
+    def test_refresh_validated(self, tmp_path):
+        with pytest.raises(SystemExit, match="refresh"):
+            main(["serve-top", "--timeline", str(tmp_path / "t.jsonl"),
+                  "--refresh", "0"])
+
+    def test_all_excludes_serve_top(self):
+        from repro.harness.cli import NOT_IN_ALL
+
+        assert "serve-top" in NOT_IN_ALL

@@ -1,0 +1,83 @@
+"""Tests for the typed operational event journal (repro.obs.events)."""
+
+import pytest
+
+from repro.obs.events import EVENT_TYPES, EventLog
+
+
+class TestEmit:
+    def test_emit_stamps_ts_type_pid_and_attrs(self):
+        log = EventLog()
+        rec = log.emit("shed", tenant="gold", depth=7)
+        assert rec["type"] == "shed"
+        assert rec["tenant"] == "gold" and rec["depth"] == 7
+        assert isinstance(rec["ts"], int) and rec["ts"] > 0
+        assert isinstance(rec["pid"], int)
+        assert log.events() == [rec]
+
+    def test_timestamps_are_monotonic(self):
+        log = EventLog()
+        records = [log.emit("shed") for _ in range(10)]
+        ts = [r["ts"] for r in records]
+        assert ts == sorted(ts)
+
+    def test_unknown_type_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown event type"):
+            log.emit("reactor_meltdown")
+        assert len(log) == 0
+
+    def test_every_declared_type_accepted(self):
+        log = EventLog()
+        for etype in sorted(EVENT_TYPES):
+            log.emit(etype)
+        assert len(log) == len(EVENT_TYPES)
+
+
+class TestCapacity:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_overflow_drops_and_counts(self):
+        log = EventLog(capacity=3)
+        for _ in range(5):
+            log.emit("shed")
+        assert len(log) == 3
+        assert log.dropped == 2
+
+    def test_drain_frees_capacity(self):
+        log = EventLog(capacity=2)
+        log.emit("shed")
+        log.emit("shed")
+        drained = log.drain()
+        assert len(drained) == 2 and len(log) == 0
+        rec = log.emit("quota_exceeded", tenant="t")
+        assert log.events() == [rec]
+
+
+class TestFilterAndIngest:
+    def test_events_filters_by_type(self):
+        log = EventLog()
+        log.emit("shed")
+        log.emit("quota_exceeded")
+        log.emit("shed")
+        assert [e["type"] for e in log.events("shed")] == ["shed", "shed"]
+        assert len(log.events()) == 3
+
+    def test_ingest_merges_foreign_records(self):
+        """Worker-side journals ride stats frames and merge by ingest."""
+        worker = EventLog()
+        worker.emit("shed", tenant="w")
+        router = EventLog()
+        router.emit("worker_restart", shard=0, replica=1)
+        router.ingest(worker.drain())
+        types = {e["type"] for e in router.events()}
+        assert types == {"shed", "worker_restart"}
+
+    def test_ingest_respects_capacity(self):
+        log = EventLog(capacity=1)
+        log.emit("shed")
+        log.ingest([{"ts": 1, "type": "shed", "pid": 42}])
+        assert len(log) == 1
+        assert log.dropped == 1

@@ -264,3 +264,42 @@ class TestReport:
         text = TraceReport(self._recorded()).format()
         assert "stage durations" in text and "critical path" in text
         assert "(untracked)" in text
+
+
+class TestEmptyTrace:
+    """A run whose sampler never fired still exports and reports cleanly."""
+
+    def test_exporter_handles_zero_spans(self, tmp_path):
+        trace = spans_to_chrome([])
+        assert trace["traceEvents"] == []
+        path = write_chrome_trace(tmp_path / "empty.trace.json", [])
+        loaded = load_chrome_trace(path)
+        assert loaded["traceEvents"] == []
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_jsonl_sink_handles_zero_spans(self, tmp_path):
+        path = write_jsonl(tmp_path / "empty.jsonl", [])
+        assert path.read_text() == ""
+
+    def test_report_on_zero_spans(self):
+        rep = TraceReport([])
+        assert rep.n_traces == 0
+        assert rep.stages == {}
+        text = rep.format()
+        assert "0 span(s)" in text
+
+    def test_report_from_empty_chrome_trace(self):
+        rep = TraceReport.from_chrome({"traceEvents": []})
+        assert rep.n_traces == 0
+        assert "0 span(s)" in rep.format()
+
+    def test_report_ignores_metadata_only_trace(self):
+        """Process-name metadata without any span events is still empty."""
+        rep = TraceReport.from_chrome({
+            "traceEvents": [
+                {"ph": "M", "name": "process_name", "pid": 1,
+                 "args": {"name": "router"}},
+            ]
+        })
+        assert rep.n_traces == 0
+        assert "0 span(s)" in rep.format()

@@ -515,3 +515,85 @@ class TestPreselectFrames:
 
         asyncio.run(go())
         assert counters["protocol_errors"] == 1
+
+
+class TestTelemetryEndpoints:
+    """The Prometheus scrape port and the stats-frame event drain."""
+
+    def test_metrics_port_serves_prometheus_text(self):
+        async def go():
+            engine = ServingEngine(FakeBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with VectorSearchServer(aeng, metrics_port=0) as server:
+                    host, port = server.address
+                    async with await AsyncClient.connect(host, port) as client:
+                        await client.search(np.zeros(D, dtype=np.float32), K)
+                    mhost, mport = server.metrics_address
+                    scrapes = []
+                    # One-shot endpoint: every connect gets a fresh
+                    # exposition and then EOF — no HTTP framing.
+                    for _ in range(2):
+                        reader, writer = await asyncio.open_connection(
+                            mhost, mport
+                        )
+                        scrapes.append((await reader.read()).decode())
+                        writer.close()
+                        await writer.wait_closed()
+                    return scrapes
+
+        for text in asyncio.run(go()):
+            assert "# TYPE repro_completed_total counter" in text
+            assert "repro_completed_total 1.0" in text
+            assert 'repro_request_latency_us{series="total",quantile="0.99"}' \
+                in text
+
+    def test_metrics_address_requires_metrics_port(self):
+        async def go():
+            engine = ServingEngine(FakeBackend(), max_batch=4, policy="shed")
+            async with AsyncServingEngine(engine) as aeng:
+                async with _free_server(aeng) as server:
+                    with pytest.raises(RuntimeError, match="metrics"):
+                        server.metrics_address
+
+        asyncio.run(go())
+
+    def test_stats_frame_drains_engine_event_journal(self):
+        from repro.obs.events import EventLog
+        from repro.serve.protocol import (
+            FRAME_STATS,
+            decode_stats,
+            encode_stats_request,
+            read_frame,
+        )
+
+        events = EventLog()
+
+        async def scrape(host, port, rid):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_stats_request(rid, drain_events=True))
+            await writer.drain()
+            ftype, payload = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            assert ftype == FRAME_STATS
+            return decode_stats(payload)
+
+        async def go():
+            engine = ServingEngine(
+                FakeBackend(), max_batch=4, policy="shed", events=events
+            )
+            async with AsyncServingEngine(engine) as aeng:
+                async with _free_server(aeng) as server:
+                    host, port = server.address
+                    events.emit("shed", tenant="bulk", depth=3)
+                    first = await scrape(host, port, 7)
+                    second = await scrape(host, port, 8)
+                    return first, second
+
+        first, second = asyncio.run(go())
+        assert first.request_id == 7
+        (ev,) = first.data["events"]
+        assert ev["type"] == "shed" and ev["tenant"] == "bulk"
+        assert first.data["dropped_events"] == 0
+        assert second.data["events"] == []  # the drain emptied the journal
+        assert len(events) == 0

@@ -21,6 +21,7 @@ suite stays seconds-scale so it can gate CI.
 import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -31,9 +32,15 @@ from repro.ann.merge import merge_partial_topk
 from repro.ann.partition import partition_index
 from repro.data.synthetic import make_clustered
 from repro.harness.serve_bench import run_chaos
+from repro.obs.events import EventLog
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import ServingEngine
 from repro.serve.workers import WorkerPool
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_timeline  # noqa: E402  (needs the tools/ path above)
 
 pytestmark = pytest.mark.chaos
 
@@ -200,6 +207,47 @@ class TestSupervisedRecovery:
         assert not pool.supervised
 
 
+class TestEventJournal:
+    """The journal and the supervisor's restart log must agree."""
+
+    def test_journal_matches_restart_log(self, saved_dir, corpus):
+        """One ``worker_restart`` event per ``RestartRecord`` (same slot,
+        exit code, attempts, recovery time), and each replica-scope
+        ``coverage_lost -> coverage_restored`` pair brackets the same
+        restart the record measured."""
+        _, queries = corpus
+        events = EventLog()
+        with WorkerPool(
+            saved_dir, 2, replicas=2, startup_timeout_s=120
+        ) as pool:
+            router = pool.sharded_backend(on_shard_error="degrade")
+            pool.start_supervisor(poll_interval_s=0.01, events=events)
+            pool.kill(0, 1)
+            _wait_recovered(pool, 1)
+            pool.kill(1, 0)
+            _wait_recovered(pool, 2)
+            router.search_batch(queries[:4], K, NPROBE)
+
+        restarts = events.events("worker_restart")
+        assert len(restarts) == len(pool.restart_log) == 2
+        for ev, rec in zip(restarts, pool.restart_log):
+            assert (ev["shard"], ev["replica"]) == (rec.shard, rec.replica)
+            assert ev["exit_code"] == rec.exit_code == -9
+            assert ev["attempts"] == rec.attempts
+            assert ev["coverage_restored_us"] == rec.coverage_restored_us
+
+        lost = events.events("coverage_lost")
+        restored = events.events("coverage_restored")
+        assert len(lost) == len(restored) == 2
+        for lo, hi, rec in zip(lost, restored, pool.restart_log):
+            assert lo["scope"] == hi["scope"] == "replica"
+            assert (lo["shard"], lo["replica"]) == (rec.shard, rec.replica)
+            # The pair brackets the supervisor's own measurement, so the
+            # event-ts gap is an independent read of the recovery time.
+            gap_us = hi["ts"] - lo["ts"]
+            assert abs(gap_us - rec.coverage_restored_us) < 25_000
+
+
 class _ExitingCmd:
     """Fake worker command: exits immediately with a fixed code."""
 
@@ -306,10 +354,12 @@ class TestSupervisorEdgeCases:
 class TestChaosHarness:
     """The serve-bench chaos mode end to end (seconds-scale params)."""
 
-    def test_seeded_kill_schedule_full_contract(self):
+    def test_seeded_kill_schedule_full_contract(self, tmp_path):
+        timeline = tmp_path / "timeline.jsonl"
         res = run_chaos(
             replicas=2, shards=1, kills=2, n_clients=4, n_requests=160,
             n_base=3000, d=24, nlist=32, m=8, ksub=16, nprobe=6, seed=7,
+            timeline=str(timeline),
         )
         # Zero failed requests, every kill recovered, answers exact.
         assert res.report.n_errors == 0
@@ -326,6 +376,20 @@ class TestChaosHarness:
         for kill in res.kills:
             assert 0 < kill.coverage_restored_us < RECOVER_S * 1e6
         assert "chaos serve" in res.format()
+        # Telemetry-plane contract: the journal captured each kill as a
+        # coverage_lost -> coverage_restored pair whose measured gap
+        # matches the supervisor's own recovery clock; the SLO monitor
+        # fired an availability alert inside an outage window; and the
+        # dumped timeline passes the CI validator.
+        assert len(res.recovery_pairs_us) == 2
+        for gap_us, kill in zip(res.recovery_pairs_us, res.kills):
+            assert abs(gap_us - kill.coverage_restored_us) < 25_000
+        assert res.alert_latency_us is not None
+        assert res.alert_latency_us >= 0
+        assert "journal:" in res.format()
+        assert check_timeline.validate(
+            timeline, expect_restarts=2, expect_alert=True
+        ) == []
 
     def test_seeded_schedule_is_deterministic(self):
         """Same seed → same kill schedule (worker identity per strike)."""

@@ -334,6 +334,22 @@ class TestStatsFrames:
             _payload(encode_stats_request(17))
         ).drain_spans
 
+    def test_drain_events_flag_round_trip(self):
+        req = decode_stats_request(
+            _payload(encode_stats_request(9, drain_events=True))
+        )
+        assert req.request_id == 9
+        assert req.drain_events and not req.drain_spans
+        both = decode_stats_request(
+            _payload(
+                encode_stats_request(9, drain_spans=True, drain_events=True)
+            )
+        )
+        assert both.drain_spans and both.drain_events
+        assert not decode_stats_request(
+            _payload(encode_stats_request(9))
+        ).drain_events
+
     def test_response_round_trip(self):
         data = {"pid": 123, "metrics": {"counters": {"completed": 4}},
                 "spans": [{"name": "worker_scan", "span": 1}]}

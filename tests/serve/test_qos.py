@@ -449,6 +449,27 @@ class TestEngineIntegration:
         assert snap.tenants["metered"].completed == 2
         assert snap.tenants["free"].shed == 0
 
+    def test_quota_shed_journals_typed_event(self, small_index):
+        """A quota refusal lands in the engine's event journal with the
+        tenant and the retry hint — the record serve-top surfaces."""
+        from repro.obs.events import EventLog
+
+        index, queries = small_index
+        events = EventLog()
+        discipline = WFQDiscipline(
+            {"metered": TenantPolicy(rate_qps=1.0, burst=1)}, depth=64
+        )
+        with ServingEngine(
+            index, max_batch=8, policy="shed", discipline=discipline,
+            events=events,
+        ) as eng:
+            eng.search(queries[0], K, NPROBE, tenant="metered")
+            with pytest.raises(QuotaExceededError):
+                eng.submit(queries[0], K, NPROBE, tenant="metered")
+        (ev,) = events.events("quota_exceeded")
+        assert ev["tenant"] == "metered"
+        assert ev["retry_after_s"] > 0
+
     def test_queue_full_shed_refunds_quota_token(self, small_index):
         """A quota-admitted request refused by the full queue gives its
         token back — overload must not also drain the tenant's quota."""

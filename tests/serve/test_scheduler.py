@@ -8,6 +8,7 @@ import pytest
 
 from repro.ann.ivf import IVFPQIndex
 from repro.data.synthetic import make_clustered
+from repro.obs.events import EventLog
 from repro.serve import (
     AdmissionError,
     InstrumentedBackend,
@@ -354,3 +355,42 @@ class TestCacheIntegration:
         counters = eng.metrics.snapshot().counters
         assert counters["cache_hits"] == 1
         assert counters["cache_misses"] == 2
+
+
+class TestEventEmission:
+    """An engine given an :class:`EventLog` journals its operational
+    transitions — the records the telemetry plane's collector merges."""
+
+    def test_shed_emits_typed_event(self):
+        events = EventLog()
+        be = GatedBackend()
+        with ServingEngine(
+            be, max_batch=1, queue_depth=1, policy="shed", events=events
+        ) as eng:
+            q = np.zeros(D, dtype=np.float32)
+            in_service = eng.submit(q, K)
+            assert be.entered.acquire(timeout=30)
+            queued = eng.submit(q, K)  # fills the single waiting slot
+            with pytest.raises(AdmissionError, match="shed"):
+                eng.submit(q, K, tenant="bulk")
+            be.gate.set()
+            in_service.result(timeout=30)
+            queued.result(timeout=30)
+        (ev,) = events.events("shed")
+        assert ev["tenant"] == "bulk"
+        assert ev["depth"] >= 1
+
+    def test_invalidate_cache_emits_event(self, small_index):
+        index, queries = small_index
+        events = EventLog()
+        with ServingEngine(
+            index, cache=QueryResultCache(16), events=events
+        ) as eng:
+            eng.search(queries[0], K, NPROBE)
+            eng.invalidate_cache()
+        assert [e["type"] for e in events.events()] == ["cache_invalidated"]
+
+    def test_no_journal_is_the_quiet_default(self):
+        with ServingEngine(FakeBackend(), max_batch=2) as eng:
+            assert eng.events is None
+            eng.search(np.zeros(D, dtype=np.float32), K)

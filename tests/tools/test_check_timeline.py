@@ -1,0 +1,164 @@
+"""Tests for the timeline validator tool (tools/check_timeline.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_timeline  # noqa: E402  (needs the tools/ path above)
+
+
+def tick(ts, seq, availability=1.0, **extra):
+    return {"kind": "tick", "ts": ts, "seq": seq,
+            "availability": availability, **extra}
+
+
+def event(ts, etype, **extra):
+    return {"kind": "event", "ts": ts, "type": etype, "pid": 1, **extra}
+
+
+def coverage(ts, etype, shard=0, replica=0, **extra):
+    return event(ts, etype, scope="replica", shard=shard, replica=replica,
+                 **extra)
+
+
+def write(tmp_path, records, *, meta=True):
+    path = tmp_path / "timeline.jsonl"
+    lines = []
+    if meta:
+        lines.append({"kind": "meta", "version": 1, "interval_s": 0.025})
+    lines += records
+    path.write_text("\n".join(json.dumps(r) for r in lines) + "\n")
+    return path
+
+
+class TestValidate:
+    def test_clean_minimal_timeline(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0), tick(20, 1)])
+        assert check_timeline.validate(path) == []
+
+    def test_clean_outage_story(self, tmp_path):
+        path = write(tmp_path, [
+            tick(10, 0),
+            coverage(15, "coverage_lost", exit_code=-9),
+            tick(20, 1, availability=0.5),
+            event(25, "slo_alert", rule="availability_floor"),
+            event(38, "worker_restart", coverage_restored_us=25.0),
+            coverage(40, "coverage_restored", coverage_restored_us=25.0),
+            tick(50, 2),
+            event(55, "slo_alert_cleared", rule="availability_floor"),
+        ])
+        assert check_timeline.validate(
+            path, expect_restarts=1, expect_alert=True
+        ) == []
+
+    def test_missing_meta_header(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0)], meta=False)
+        assert any("meta" in e for e in check_timeline.validate(path))
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        path.write_text('{"kind":"meta","version":1}\nnot json\n')
+        errors = check_timeline.validate(path)
+        assert any("invalid JSON" in e for e in errors)
+
+    def test_unknown_event_type(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0), event(11, "volcano")])
+        assert any("unknown event type" in e
+                   for e in check_timeline.validate(path))
+
+    def test_tick_missing_fields(self, tmp_path):
+        path = write(tmp_path, [{"kind": "tick", "ts": 10}])
+        errors = check_timeline.validate(path)
+        assert any("seq" in e for e in errors)
+        assert any("availability" in e for e in errors)
+
+    def test_no_ticks_flagged(self, tmp_path):
+        path = write(tmp_path, [event(10, "shed")])
+        assert any("no tick" in e for e in check_timeline.validate(path))
+
+    def test_backwards_ts_flagged(self, tmp_path):
+        path = write(tmp_path, [tick(20, 0), tick(10, 1)])
+        assert any("backwards" in e for e in check_timeline.validate(path))
+
+    def test_non_increasing_seq_flagged(self, tmp_path):
+        path = write(tmp_path, [tick(10, 1), tick(20, 1)])
+        assert any("seq" in e for e in check_timeline.validate(path))
+
+
+class TestCoveragePairing:
+    def test_unrestored_loss_flagged(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0), coverage(15, "coverage_lost")])
+        assert any("never restored" in e
+                   for e in check_timeline.validate(path))
+
+    def test_restore_without_loss_flagged(self, tmp_path):
+        path = write(
+            tmp_path, [tick(10, 0), coverage(15, "coverage_restored")]
+        )
+        assert any("without a preceding" in e
+                   for e in check_timeline.validate(path))
+
+    def test_pairing_is_per_slot(self, tmp_path):
+        path = write(tmp_path, [
+            tick(10, 0),
+            coverage(11, "coverage_lost", shard=0),
+            coverage(12, "coverage_restored", shard=1),  # wrong slot
+        ])
+        errors = check_timeline.validate(path)
+        assert len(errors) == 2  # unmatched restore AND unrestored loss
+
+    def test_engine_scope_events_not_paired(self, tmp_path):
+        """Engine-scope coverage events (degrade-mode result coverage)
+        are a separate signal and must not confuse replica pairing."""
+        path = write(tmp_path, [
+            tick(10, 0),
+            event(15, "coverage_lost", scope="engine", coverage=0.5),
+        ])
+        assert check_timeline.validate(path) == []
+
+
+class TestExpectations:
+    def test_expect_restarts_unmet(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0)])
+        errors = check_timeline.validate(path, expect_restarts=2)
+        assert any("worker_restart" in e for e in errors)
+
+    def test_restart_without_recovery_time_flagged(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0), event(15, "worker_restart")])
+        errors = check_timeline.validate(path, expect_restarts=1)
+        assert any("coverage_restored_us" in e for e in errors)
+
+    def test_expect_alert_requires_alert_in_window(self, tmp_path):
+        path = write(tmp_path, [
+            tick(10, 0),
+            coverage(15, "coverage_lost"),
+            coverage(40, "coverage_restored"),
+            event(90, "slo_alert"),  # fired after the outage closed
+        ])
+        errors = check_timeline.validate(path, expect_alert=True)
+        assert any("outage window" in e for e in errors)
+
+    def test_expect_alert_with_no_alert(self, tmp_path):
+        path = write(tmp_path, [tick(10, 0)])
+        errors = check_timeline.validate(path, expect_alert=True)
+        assert any("slo_alert" in e for e in errors)
+
+
+class TestMain:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        path = write(tmp_path, [tick(10, 0), event(15, "shed")])
+        assert check_timeline.main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fail_exit_one_lists_violations(self, tmp_path, capsys):
+        path = write(tmp_path, [tick(20, 0), tick(10, 1)])
+        assert check_timeline.main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "backwards" in out
+
+    def test_unreadable_file(self, tmp_path, capsys):
+        assert check_timeline.main([str(tmp_path / "missing.jsonl")]) == 1
+        assert "unreadable" in capsys.readouterr().out

@@ -3,7 +3,8 @@
 
 Benchmark tests rewrite the ``BENCH_*.json`` artifacts at the repo root on
 every run; this tool diffs the headline metrics (any numeric field whose
-key contains ``qps`` or ``p99``, configurable with ``--metrics``) of the
+key contains ``qps``, ``p99``, ``availability``, or ``coverage``,
+configurable with ``--metrics``) of the
 freshly-written files against the versions committed at a git ref
 (default ``HEAD``), and prints a drift table::
 
@@ -37,8 +38,11 @@ import sys
 import time
 from pathlib import Path
 
-#: Default pattern of metric keys worth tracking across runs.
-DEFAULT_METRICS = r"(qps|p99)"
+#: Default pattern of metric keys worth tracking across runs.  Besides
+#: the throughput/tail headline numbers, availability and coverage
+#: leaves (the chaos/fault-tolerance benchmarks) are tracked so a
+#: recovery regression is as visible as a latency one.
+DEFAULT_METRICS = r"(qps|p99|availability|coverage)"
 
 #: Most recent runs shown per metric in the trend table.
 TREND_RUNS = 8
