@@ -14,10 +14,16 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.core.config import AcceleratorConfig, AlgorithmParams
+from repro.core.perf_model import IndexProfile, PerfPrediction, predict
 from repro.core.resource_model import total_resources
 from repro.hw.device import FPGADevice
 
-__all__ = ["default_pe_grid", "enumerate_designs", "count_design_points"]
+__all__ = [
+    "best_design",
+    "count_design_points",
+    "default_pe_grid",
+    "enumerate_designs",
+]
 
 
 def default_pe_grid(max_pes: int = 64) -> tuple[int, ...]:
@@ -81,6 +87,43 @@ def enumerate_designs(
                             )
                             if total_resources(cfg).fits_within(budget):
                                 yield cfg
+
+
+def best_design(
+    params: AlgorithmParams,
+    device: FPGADevice,
+    profile: IndexProfile,
+    *,
+    pe_grid: Sequence[int] | None = None,
+    max_utilization: float | None = None,
+    with_network: bool = False,
+    freq_mhz: float = 140.0,
+) -> tuple[AcceleratorConfig, PerfPrediction] | None:
+    """The QPS-optimal valid design for ``params`` on ``device``, or None.
+
+    The CDSE inner loop: enumerate, keep the max-QPS survivor, break QPS
+    ties (within 0.1 %) toward the cheaper LUT consumption — mirroring
+    ``Fanns._search_designs``.  Returns ``None`` when *no* design fits the
+    resource budget (the co-design search treats that as a pruned point,
+    where the figure harness treats it as an error).
+    """
+    best: tuple[float, float, AcceleratorConfig, PerfPrediction] | None = None
+    for cfg in enumerate_designs(
+        params,
+        device,
+        max_utilization=max_utilization,
+        with_network=with_network,
+        pe_grid=pe_grid,
+        freq_mhz=freq_mhz,
+    ):
+        pred = predict(cfg, profile)
+        if best is None or pred.qps > 1.001 * best[0]:
+            best = (pred.qps, total_resources(cfg).lut, cfg, pred)
+        elif pred.qps > 0.999 * best[0]:
+            lut = total_resources(cfg).lut
+            if lut < best[1]:
+                best = (pred.qps, lut, cfg, pred)
+    return None if best is None else (best[2], best[3])
 
 
 def count_design_points(

@@ -158,6 +158,29 @@ class IndexExplorer:
                 lo = mid + 1
         return hi
 
+    def min_nprobe_map(
+        self,
+        dataset: Dataset,
+        nlists: list[int],
+        goal: RecallGoal,
+        opq_options: tuple[bool, ...] = (False,),
+        max_queries: int = 500,
+    ) -> dict[tuple[int, bool], tuple[IndexCandidate, int | None]]:
+        """``{(nlist, use_opq): (candidate, min nprobe or None)}`` for ``goal``.
+
+        Unlike :meth:`recall_nprobe_pairs`, goal-unreachable indexes are
+        *kept* (with ``None``) so a caller — the serving co-design search —
+        can report *why* an index option left the frontier instead of
+        silently shrinking the space.  The trained candidates double as the
+        validation indexes: their profiles are exactly what the performance
+        model was scored on.
+        """
+        out: dict[tuple[int, bool], tuple[IndexCandidate, int | None]] = {}
+        for cand in self.build(dataset, nlists, opq_options):
+            key = (cand.profile.nlist, cand.profile.use_opq)
+            out[key] = (cand, self.min_nprobe(cand, dataset, goal, max_queries))
+        return out
+
     def recall_nprobe_pairs(
         self,
         dataset: Dataset,

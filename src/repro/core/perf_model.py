@@ -30,7 +30,14 @@ from repro.core.timing import (
     stage_cycles,
 )
 
-__all__ = ["IndexProfile", "PerfPrediction", "expected_codes_per_query", "predict"]
+__all__ = [
+    "IndexProfile",
+    "PerfPrediction",
+    "expected_codes_per_query",
+    "min_nprobe_for_mass",
+    "predict",
+    "synthetic_profile",
+]
 
 
 def expected_codes_per_query(cell_sizes: np.ndarray, nprobe: int) -> float:
@@ -75,6 +82,71 @@ class IndexProfile:
     @property
     def key(self) -> str:
         return f"{'OPQ+' if self.use_opq else ''}IVF{self.nlist}"
+
+
+def synthetic_profile(
+    nlist: int,
+    ntotal: int,
+    *,
+    use_opq: bool = False,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> IndexProfile:
+    """A deterministic stand-in for a trained index's cell-size histogram.
+
+    Cell masses are drawn lognormal(0, ``skew``) and normalized to sum to
+    exactly ``ntotal`` (``skew=0`` gives uniform cells).  Lets the co-design
+    search and its tests run the performance model without training an
+    index; the serving autotuner's harness path always re-profiles on the
+    real trained index before validating a winner.
+    """
+    if nlist < 1:
+        raise ValueError(f"nlist must be >= 1, got {nlist}")
+    if ntotal < nlist:
+        raise ValueError(f"ntotal={ntotal} must be >= nlist={nlist}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    if skew == 0:
+        weights = np.ones(nlist)
+    else:
+        weights = np.random.default_rng(seed).lognormal(0.0, skew, size=nlist)
+    sizes = np.floor(weights / weights.sum() * ntotal).astype(np.int64)
+    sizes = np.maximum(sizes, 1)  # no empty cells in a synthetic profile
+    # Hand the rounding remainder to the largest cells, deterministically.
+    remainder = ntotal - int(sizes.sum())
+    if remainder > 0:
+        sizes[np.argsort(sizes)[::-1][:remainder]] += 1
+    elif remainder < 0:
+        order = np.argsort(sizes)[::-1]
+        sizes[order[: -remainder]] -= 1
+    return IndexProfile(nlist=nlist, use_opq=use_opq, cell_sizes=sizes)
+
+
+def min_nprobe_for_mass(profile: IndexProfile, mass_floor: float) -> int:
+    """Smallest nprobe whose expected probed mass covers ``mass_floor``.
+
+    "Probed mass" is :func:`expected_codes_per_query` over the database
+    size — the fraction of stored vectors a query's scan touches in
+    expectation.  It is monotone in nprobe and reaches 1.0 at
+    ``nprobe = nlist``, so a floor in (0, 1] is always reachable (binary
+    search).  This is a *scan-coverage proxy*, not a recall measurement:
+    the co-design harness calibrates real min-nprobe with
+    :class:`~repro.core.index_explorer.IndexExplorer` when a dataset is
+    available and falls back to this for dataset-free model studies.
+    """
+    if not 0.0 < mass_floor <= 1.0:
+        raise ValueError(f"mass_floor must be in (0, 1], got {mass_floor}")
+    total = float(profile.ntotal)
+    if total <= 0:
+        return 1
+    lo, hi = 1, profile.nlist
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if profile.expected_codes(mid) >= mass_floor * total:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,21 @@ single CI-friendly frame; otherwise it refreshes in place)::
         --timeline timeline.jsonl
     python -m repro.harness.cli serve-top --timeline timeline.jsonl --once
 
+``codesign-serve`` runs the serving co-design autotuner: given a traffic
+profile (request rate, tenant mix, request classes, recall floor — a JSON
+file via ``--traffic``, or a built-in default), it searches the joint
+index × R×S topology × QoS weights × batch window space with the
+performance/resource/LogGP models and emits a ranked design report plus
+the winning config as a loadable topology spec.  ``--validate``
+additionally materializes the winner through ``build_topology`` over
+simulated devices (in scaled time) and records the modeled-vs-measured
+QPS/p99 gap; ``--quick`` shrinks the corpus and grid to the CI smoke
+scale::
+
+    python -m repro.harness.cli codesign-serve --traffic trace.json --slo-us 20000
+    python -m repro.harness.cli codesign-serve --quick --validate \\
+        --report codesign_report.json --spec codesign_spec.json
+
 Every flag is documented in the README's CLI reference table.
 """
 
@@ -86,6 +101,7 @@ EXPERIMENTS = {
     "fig11": (True, lambda ctx, args: fig11.run(ctx)),
     "fig12": (True, lambda ctx, args: fig12.run(ctx)),
     "serve-bench": (False, lambda ctx, args: _run_serve_bench(args)),
+    "codesign-serve": (False, lambda ctx, args: _run_codesign(args)),
     "trace-report": (False, lambda ctx, args: _run_trace_report(args)),
     "serve-top": (False, lambda ctx, args: _run_serve_top(args)),
 }
@@ -170,9 +186,52 @@ def _obs_overrides(args: argparse.Namespace) -> dict:
     return obs
 
 
+def _run_codesign(args: argparse.Namespace):
+    """Run the co-design autotuner (``codesign-serve``)."""
+    if (
+        args.workers is not None
+        or args.qos
+        or args.async_bench
+        or args.chaos
+        or args.replicas is not None
+        or args.shards is not None
+        or args.policy is not None
+        or args.connections is not None
+        or args.clients is not None
+        or args.requests is not None
+    ):
+        raise SystemExit(
+            "codesign-serve picks its own topology; --workers/--qos/--async/"
+            "--chaos/--replicas/--shards/--policy/--connections/--clients/"
+            "--requests apply to serve-bench modes only"
+        )
+    if args.trace is not None or args.metrics_out is not None or args.timeline is not None:
+        raise SystemExit(
+            "--trace/--metrics-out/--timeline apply to serve-bench modes only"
+        )
+    return serve_bench.run_codesign(
+        traffic_path=args.traffic,
+        slo_us=args.slo_us,
+        validate=args.validate,
+        quick=args.quick,
+        seed=args.seed,
+        report_out=args.codesign_report,
+        spec_out=args.codesign_spec,
+    )
+
+
 def _run_serve_bench(args: argparse.Namespace):
     """Dispatch serve-bench to the basic, replicated, QoS, async, or
     multi-process runner."""
+    if (
+        args.traffic is not None
+        or args.validate
+        or args.codesign_report is not None
+        or args.codesign_spec is not None
+    ):
+        raise SystemExit(
+            "--traffic/--validate/--report/--spec apply to codesign-serve only"
+        )
     obs = _obs_overrides(args)
     if args.timeline is not None and not (args.chaos or args.qos):
         raise SystemExit(
@@ -266,7 +325,7 @@ def _run_serve_bench(args: argparse.Namespace):
             )
         return serve_bench.run_qos(
             victims=args.tenants,
-            slo_us=args.slo_us,
+            slo_us=args.slo_us if args.slo_us is not None else 40_000.0,
             seed=args.seed,
             timeline=args.timeline,
         )
@@ -348,9 +407,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--slo-us",
         type=float,
-        default=40_000.0,
+        default=None,
         metavar="US",
-        help="p99 SLO for the adaptive batch window in QoS mode (default: 40000)",
+        help=(
+            "p99 SLO in microseconds: the adaptive-window target in QoS "
+            "mode (default: 40000) or an override of the traffic profile's "
+            "SLO in codesign-serve"
+        ),
     )
     serve.add_argument(
         "--async",
@@ -393,8 +456,9 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help=(
-            "seconds-scale corpus preset for the --workers sweep and "
-            "--chaos mode (CI smoke)"
+            "seconds-scale preset: smaller corpus for the --workers sweep "
+            "and --chaos mode, smaller corpus + search grid for "
+            "codesign-serve (CI smoke)"
         ),
     )
     serve.add_argument(
@@ -433,6 +497,38 @@ def main(argv: list[str] | None = None) -> int:
             "(--chaos and --qos modes); for serve-top, the timeline "
             "file to render"
         ),
+    )
+    codesign = parser.add_argument_group("codesign-serve options")
+    codesign.add_argument(
+        "--traffic",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON traffic profile (rate_qps, slo_p99_us, recall floor, "
+            "tenant/class mix); default: a built-in two-tenant profile"
+        ),
+    )
+    codesign.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "materialize the winning design through build_topology over "
+            "simulated devices and record the modeled-vs-measured gap"
+        ),
+    )
+    codesign.add_argument(
+        "--report",
+        dest="codesign_report",
+        default=None,
+        metavar="PATH",
+        help="write the ranked design report JSON here (tools/check_codesign.py input)",
+    )
+    codesign.add_argument(
+        "--spec",
+        dest="codesign_spec",
+        default=None,
+        metavar="PATH",
+        help="write the winning design as a loadable topology spec JSON here",
     )
     top = parser.add_argument_group("serve-top options")
     top.add_argument(

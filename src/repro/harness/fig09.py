@@ -19,8 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import AcceleratorConfig, AlgorithmParams
-from repro.core.perf_model import IndexProfile, predict
-from repro.core.design_space import enumerate_designs
+from repro.core.perf_model import IndexProfile
+from repro.core.design_space import best_design
 from repro.core.resource_model import stage_resources
 from repro.harness.formatting import format_table
 from repro.hw.device import U55C, FPGADevice
@@ -42,24 +42,17 @@ def optimal_design(
 ) -> AcceleratorConfig:
     """The QPS-optimal design for fixed parameters (the unit of Figure 9).
 
-    QPS ties (within 0.1 %) break toward the cheaper design, mirroring
-    ``Fanns._search_designs``.
+    Delegates to :func:`repro.core.design_space.best_design` (QPS ties
+    within 0.1 % break toward the cheaper design, mirroring
+    ``Fanns._search_designs``); unlike the co-design search, an empty
+    design space here is an error, not a pruned point.
     """
-    from repro.core.resource_model import total_resources
-
-    profile = _uniform_profile(params.nlist)
-    best: tuple[float, float, AcceleratorConfig] | None = None
-    for cfg in enumerate_designs(params, device, pe_grid=pe_grid):
-        qps = predict(cfg, profile).qps
-        if best is None or qps > 1.001 * best[0]:
-            best = (qps, total_resources(cfg).lut, cfg)
-        elif qps > 0.999 * best[0]:
-            lut = total_resources(cfg).lut
-            if lut < best[1]:
-                best = (qps, lut, cfg)
-    if best is None:
+    found = best_design(
+        params, device, _uniform_profile(params.nlist), pe_grid=pe_grid
+    )
+    if found is None:
         raise RuntimeError(f"no valid design for {params}")
-    return best[2]
+    return found[0]
 
 
 def _lut_ratios(cfg: AcceleratorConfig) -> dict[str, float]:

@@ -48,6 +48,7 @@ before any timing is reported — a fast wrong answer is not a speedup.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import os
 import random
@@ -61,6 +62,20 @@ import numpy as np
 
 from repro.ann.io import load_index_dir, save_index_dir
 from repro.ann.ivf import IVFPQIndex
+from repro.core.codesign import (
+    CodesignReport,
+    DesignEval,
+    HostConstraints,
+    IndexOption,
+    SearchSpace,
+    TenantSpec,
+    TrafficClass,
+    TrafficProfile,
+    modeled_serving,
+)
+from repro.core.codesign import search as codesign_search
+from repro.core.index_explorer import IndexExplorer, RecallGoal
+from repro.data.datasets import Dataset
 from repro.data.synthetic import make_clustered
 from repro.harness.formatting import format_table
 from repro.net.collectives import binary_tree_broadcast_us, binary_tree_reduce_us
@@ -90,6 +105,7 @@ from repro.serve.metrics import LatencyStats
 from repro.serve.qos import AdaptiveBatchWindow, TenantPolicy, WFQDiscipline
 from repro.serve.routing import build_topology
 from repro.serve.scheduler import AdmissionError, ServeResult, ServingEngine
+from repro.serve.topology_spec import TopologySpec
 from repro.serve.workers import WorkerPool
 
 __all__ = [
@@ -97,6 +113,8 @@ __all__ = [
     "AsyncServeResult",
     "ChaosKillRow",
     "ChaosServeResult",
+    "CodesignServeResult",
+    "CodesignValidation",
     "MultiprocConfigRow",
     "MultiprocServeResult",
     "QosBenchResult",
@@ -107,9 +125,11 @@ __all__ = [
     "ServeConfigRow",
     "WindowRow",
     "build_serving_index",
+    "default_codesign_traffic",
     "run",
     "run_async",
     "run_chaos",
+    "run_codesign",
     "run_multiproc",
     "run_qos",
     "run_replicated",
@@ -1948,5 +1968,435 @@ def run_chaos(
                 "recovery_pairs_us": recovery_pairs_us,
                 "alert_latency_us": alert_latency_us,
             },
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Co-design autotuner harness: search, materialize, validate.
+
+#: |measured − modeled| / modeled QPS bound the CI gate enforces on the
+#: materialized winner (tools/check_codesign.py --max-gap reads the report
+#: field this constant writes).  The model is a capacity bound, not a
+#: simulator — batch-formation slack and host dispatch overhead land the
+#: measurement below it; the bound says the *composition* of device,
+#: wire, and topology models stays within 50 % of a real engine run.
+CODESIGN_GAP_BOUND = 0.5
+#: Validation runs in scaled time: modeled device times are multiplied so
+#: one batch costs at least this much wall time, and the offered rate is
+#: divided by the same factor.  Utilization is scale-invariant, so the
+#: modeled-vs-measured gap is the dimensionless model error — not a
+#: measurement of Python dispatch overhead against a microsecond device.
+CODESIGN_MIN_BATCH_US = 8_000.0
+#: nlist grid the autotuner's index half explores (quick = CI smoke).
+CODESIGN_NLISTS = (64, 128, 256)
+CODESIGN_QUICK_NLISTS = (32, 64)
+
+
+def default_codesign_traffic(quick: bool = False) -> TrafficProfile:
+    """The built-in traffic profile (used when ``--traffic`` is absent).
+
+    Two tenants (a priority-entitled online tenant plus a batch tenant)
+    and two request classes; the rate is sized against the modeled device
+    so the search actually prunes — small topologies fail the capacity
+    headroom check and tight windows fail the SLO arithmetic.
+    """
+    return TrafficProfile(
+        rate_qps=20_000.0 if quick else 60_000.0,
+        slo_p99_us=20_000.0,
+        recall_floor=0.8,
+        recall_k=K,
+        n_vectors=6_000 if quick else 20_000,
+        d=D,
+        # Stronger PQ than the serving benchmarks' default (m=8, ksub=32):
+        # an 80 % recall floor must be *reachable*, and 2-dim subquantizers
+        # with 256 centroids hit it at single-digit nprobe on this corpus.
+        m=16,
+        ksub=256,
+        tenants=(
+            TenantSpec("online", 0.7, priority=True),
+            TenantSpec("batch", 0.3),
+        ),
+        classes=(
+            TrafficClass(k=K, share=0.9),
+            TrafficClass(k=2 * K, share=0.1),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CodesignValidation:
+    """Modeled-vs-measured outcome of materializing the winning design.
+
+    All modeled numbers are in *scaled time* (see
+    :data:`CODESIGN_MIN_BATCH_US`); the gaps are dimensionless and
+    comparable across hosts.
+    """
+
+    time_scale: float
+    modeled_qps: float
+    measured_qps: float
+    qps_gap: float  # (measured − modeled) / modeled
+    modeled_p99_us: float
+    measured_p99_us: float
+    p99_gap: float  # recorded for drift history; the CI gate is on QPS
+    n_requests: int
+    n_failed: int
+    bit_identical: bool
+    tenant_p99_us: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (written into the codesign report)."""
+        return {
+            "time_scale": self.time_scale,
+            "modeled_qps": self.modeled_qps,
+            "measured_qps": self.measured_qps,
+            "qps_gap": self.qps_gap,
+            "modeled_p99_us": self.modeled_p99_us,
+            "measured_p99_us": self.measured_p99_us,
+            "p99_gap": self.p99_gap,
+            "n_requests": self.n_requests,
+            "n_failed": self.n_failed,
+            "bit_identical": self.bit_identical,
+            "tenant_p99_us": dict(self.tenant_p99_us),
+        }
+
+
+@dataclass
+class CodesignServeResult:
+    """Outcome of one ``codesign-serve`` run."""
+
+    report: CodesignReport
+    spec: "TopologySpec | None"
+    validation: CodesignValidation | None
+    quick: bool
+    params: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Ranked frontier, prune summary, and the validation verdict."""
+        rep = self.report
+        headers = [
+            "rank", "index", "nprobe", "R", "S", "B", "window_us", "qos",
+            "modeled_qps", "modeled_p99_us", "util",
+        ]
+        rows = []
+        for i, ev in enumerate(rep.ranked[:5]):
+            d = ev.design
+            rows.append([
+                i + 1,
+                f"{'OPQ+' if d.use_opq else ''}IVF{d.nlist}",
+                d.nprobe, d.replicas, d.shards, d.max_batch,
+                d.window_us, d.qos_scheme,
+                f"{ev.modeled_qps:.0f}", f"{ev.modeled_p99_us:.0f}",
+                f"{ev.utilization:.2f}",
+            ])
+        title = (
+            f"co-design frontier: {rep.n_feasible}/{rep.n_enumerated} "
+            f"feasible (top 5 shown)"
+        )
+        lines = [format_table(headers, rows, title=title)]
+        if rep.prune_counts:
+            pruned = ", ".join(
+                f"{cat}={n}" for cat, n in sorted(rep.prune_counts.items())
+            )
+            lines.append(f"\npruned: {pruned}")
+        if rep.empty:
+            lines.append(
+                "\nEMPTY FRONTIER: no design satisfies the traffic profile "
+                "under the given constraints."
+            )
+        v = self.validation
+        if v is not None:
+            lines.append(
+                f"\nvalidation (time x{v.time_scale:.0f}): modeled "
+                f"{v.modeled_qps:.1f} QPS vs measured {v.measured_qps:.1f} "
+                f"QPS (gap {100 * v.qps_gap:+.1f}%, bound "
+                f"+-{100 * CODESIGN_GAP_BOUND:.0f}%) | p99 modeled "
+                f"{v.modeled_p99_us:.0f}us vs measured "
+                f"{v.measured_p99_us:.0f}us (gap {100 * v.p99_gap:+.1f}%) | "
+                f"bit-identical: {v.bit_identical} | failed: {v.n_failed}"
+            )
+        return "".join(lines)
+
+    def to_json_dict(self, top_n: int = 20) -> dict:
+        """The ``--report`` JSON document ``tools/check_codesign.py`` reads."""
+        return {
+            "schema": 1,
+            "quick": self.quick,
+            "gap_bound": CODESIGN_GAP_BOUND,
+            "traffic": self.report.traffic.to_dict(),
+            "search": {
+                "n_enumerated": self.report.n_enumerated,
+                "n_feasible": self.report.n_feasible,
+                "prune_counts": dict(sorted(self.report.prune_counts.items())),
+                "ranked": [ev.to_dict() for ev in self.report.ranked[:top_n]],
+            },
+            "winner_spec": None if self.spec is None else self.spec.to_dict(),
+            "validation": (
+                None if self.validation is None else self.validation.to_dict()
+            ),
+            "params": self.params,
+        }
+
+
+def _calibrated_index_options(
+    traffic: TrafficProfile,
+    nlists: tuple[int, ...],
+    *,
+    seed: int,
+    max_queries: int = 100,
+) -> tuple[list[IndexOption], dict]:
+    """Train the index grid and calibrate real min-nprobe per option.
+
+    Returns the options (profiles taken from the *trained* indexes, not
+    synthetic stand-ins) plus the ``{(nlist, use_opq): IndexCandidate}``
+    map so validation can materialize the winner without retraining.
+    Classes that pin nprobe skip calibration (the pin wins, capped at
+    nlist).
+    """
+    dataset = Dataset.synthetic(
+        "codesign",
+        make_clustered,
+        traffic.n_vectors,
+        2 * max_queries,
+        seed=seed + 42,
+        d=traffic.d,
+        n_clusters=max(nlists),
+    )
+    explorer = IndexExplorer(m=traffic.m, ksub=traffic.ksub, seed=seed)
+    goal = RecallGoal(k=traffic.recall_k, target=traffic.recall_floor)
+    pairs = explorer.min_nprobe_map(
+        dataset, list(nlists), goal, max_queries=max_queries
+    )
+    pinned = traffic.pinned_nprobe
+    options: list[IndexOption] = []
+    candidates: dict = {}
+    for (nlist, use_opq), (cand, min_np) in sorted(pairs.items()):
+        nprobe = min(pinned, nlist) if pinned is not None else min_np
+        options.append(
+            IndexOption(
+                nlist=nlist, use_opq=use_opq, nprobe=nprobe,
+                profile=cand.profile,
+            )
+        )
+        candidates[(nlist, use_opq)] = cand
+    return options, candidates
+
+
+def _validate_codesign(
+    spec: "TopologySpec",
+    winner: DesignEval,
+    traffic: TrafficProfile,
+    index: IVFPQIndex,
+    queries: np.ndarray,
+    *,
+    n_requests: int,
+    duration_s: float,
+    seed: int,
+) -> CodesignValidation:
+    """Materialize the winner and score modeled-vs-measured in scaled time.
+
+    Three steps: (1) bit-identity of the materialized R×S topology against
+    direct search; (2) a closed-loop saturation run against the modeled
+    capacity (the gated gap); (3) a multi-tenant open-loop run at the
+    traffic profile's scaled offered rate through the spec's WFQ lanes
+    (worst-tenant p99 vs the modeled p99, recorded for drift history).
+    """
+    design = winner.design
+    batch_us = (
+        winner.fill_us + winner.per_query_us * design.max_batch + winner.net_us
+    )
+    scale = max(1.0, CODESIGN_MIN_BATCH_US / batch_us)
+    modeled_qps, modeled_p99, _ = modeled_serving(
+        fill_us=winner.fill_us * scale,
+        per_query_us=winner.per_query_us * scale,
+        replicas=design.replicas,
+        shards=design.shards,
+        max_batch=design.max_batch,
+        window_us=design.window_us * scale,
+        rate_qps=traffic.rate_qps / scale,
+        nprobe=design.nprobe,
+        d=traffic.d,
+        k=traffic.max_k,
+        wire_scale=scale,
+    )
+
+    def svc(batch: int) -> float:
+        return scale * (winner.fill_us + winner.per_query_us * batch)
+
+    hop_us = scale * winner.net_us
+    k, nprobe = spec.k, spec.nprobe
+
+    # (1) bit identity: zero-cost devices, whole pool, vs direct search.
+    ref_ids, ref_dists = index.search(queries, k, nprobe)
+    topo = spec.build(index, wrap=lambda v: SimulatedDeviceBackend(v, 0.0))
+    with ServingEngine(
+        topo, max_batch=design.max_batch, max_wait_us=2000.0,
+        dispatchers=design.replicas,
+    ) as eng:
+        futs = [eng.submit(q, k, nprobe) for q in queries]
+        got = [f.result() for f in futs]
+    ids = np.stack([g.ids for g in got])
+    dists = np.stack([g.dists for g in got])
+    bit_identical = bool(
+        np.array_equal(ids, ref_ids) and np.array_equal(dists, ref_dists)
+    )
+
+    # (2) saturation: closed loop against the scaled modeled capacity.
+    topo = spec.build(
+        index, wrap=lambda v: SimulatedDeviceBackend(v, svc, hop_us=hop_us)
+    )
+    n_clients = min(max(2 * design.replicas * design.max_batch, 8), 64)
+    with ServingEngine(
+        topo,
+        max_batch=design.max_batch,
+        max_wait_us=design.window_us * scale,
+        queue_depth=4 * n_requests,
+        dispatchers=design.replicas,
+    ) as engine:
+        closed = run_closed_loop(
+            engine, queries, k, nprobe,
+            n_clients=n_clients, n_requests=n_requests,
+        )
+    measured_qps = closed.achieved_qps
+    qps_gap = (measured_qps - modeled_qps) / modeled_qps
+
+    # (3) offered load: the traffic profile's tenants at scaled rate
+    # through the spec's WFQ lanes; worst tenant p99 vs modeled p99.
+    scaled_rate = traffic.rate_qps / scale
+    workloads = [
+        TenantWorkload(
+            t.name,
+            rate_qps=max(t.share * scaled_rate, 1.0),
+            n_requests=max(int(t.share * scaled_rate * duration_s), 16),
+            k=k, nprobe=nprobe, priority=t.priority,
+            seed=seed + 13 * (i + 1),
+        )
+        for i, t in enumerate(traffic.tenants)
+    ]
+    total = sum(w.n_requests for w in workloads)
+    topo = spec.build(
+        index, wrap=lambda v: SimulatedDeviceBackend(v, svc, hop_us=hop_us)
+    )
+    with ServingEngine(
+        topo,
+        max_batch=design.max_batch,
+        max_wait_us=design.window_us * scale,
+        queue_depth=4 * total,
+        policy="shed",
+        discipline=spec.make_discipline(depth=4 * total),
+        dispatchers=design.replicas,
+    ) as engine:
+        reports = run_multi_tenant(engine, queries, workloads)
+    tenant_p99 = {name: rep.total.p99_us for name, rep in reports.items()}
+    measured_p99 = max(tenant_p99.values())
+    scaled_modeled_p99 = (
+        modeled_p99 if modeled_p99 != float("inf") else float("inf")
+    )
+    p99_gap = (
+        (measured_p99 - scaled_modeled_p99) / scaled_modeled_p99
+        if scaled_modeled_p99 not in (0.0, float("inf"))
+        else 0.0
+    )
+    return CodesignValidation(
+        time_scale=scale,
+        modeled_qps=modeled_qps,
+        measured_qps=measured_qps,
+        qps_gap=qps_gap,
+        modeled_p99_us=scaled_modeled_p99,
+        measured_p99_us=measured_p99,
+        p99_gap=p99_gap,
+        n_requests=closed.n_issued,
+        n_failed=closed.n_errors + closed.n_shed,
+        bit_identical=bit_identical,
+        tenant_p99_us=tenant_p99,
+    )
+
+
+def run_codesign(
+    ctx=None,
+    *,
+    traffic_path: str | None = None,
+    slo_us: float | None = None,
+    validate: bool = False,
+    quick: bool = False,
+    seed: int = 0,
+    report_out: str | None = None,
+    spec_out: str | None = None,
+) -> CodesignServeResult:
+    """Run the serving co-design autotuner (ctx unused; self-built corpus).
+
+    Loads the traffic profile (``traffic_path`` JSON, else the built-in
+    default), trains the nlist grid on an in-distribution clustered
+    corpus, calibrates each index's real minimum nprobe for the recall
+    floor, then searches the joint index × R×S topology × QoS × window
+    space with :func:`repro.core.codesign.search`.  The winner is emitted
+    as a loadable :class:`~repro.serve.topology_spec.TopologySpec`
+    (``spec_out``); with ``validate`` the winner is materialized through
+    ``build_topology`` over simulated devices running in scaled time and
+    the modeled-vs-measured QPS/p99 gap is recorded (the CI smoke gates
+    on it via ``tools/check_codesign.py``).
+    """
+    traffic = (
+        TrafficProfile.from_file(traffic_path)
+        if traffic_path is not None
+        else default_codesign_traffic(quick)
+    )
+    if slo_us is not None:
+        traffic = dataclasses.replace(traffic, slo_p99_us=slo_us)
+
+    nlists = CODESIGN_QUICK_NLISTS if quick else CODESIGN_NLISTS
+    nlists = tuple(n for n in nlists if n <= traffic.n_vectors)
+    constraints = HostConstraints(
+        max_workers=4 if quick else 8,
+        pe_grid=(1, 2, 4, 8, 16) if quick else (1, 2, 4, 8, 12, 16, 24, 32),
+    )
+    space = SearchSpace.quick() if quick else SearchSpace()
+
+    options, candidates = _calibrated_index_options(
+        traffic, nlists, seed=seed, max_queries=64 if quick else 100
+    )
+    report = codesign_search(traffic, constraints, space, options)
+
+    spec = None
+    validation = None
+    winner = report.winner
+    if winner is not None:
+        spec = TopologySpec.from_design(winner, traffic)
+        if spec_out is not None:
+            spec.save(spec_out)
+        if validate:
+            cand = candidates[(winner.design.nlist, winner.design.use_opq)]
+            # In-distribution query pool: same generator/seed path as the
+            # calibration dataset, fresh slice past the base vectors.
+            pool = make_clustered(
+                traffic.n_vectors + N_QUERY_POOL, traffic.d,
+                n_clusters=max(nlists), seed=seed + 42,
+            )[traffic.n_vectors :]
+            validation = _validate_codesign(
+                spec, winner, traffic, cand.index, pool,
+                n_requests=240 if quick else 360,
+                duration_s=0.6 if quick else 1.0,
+                seed=seed,
+            )
+
+    result = CodesignServeResult(
+        report=report,
+        spec=spec,
+        validation=validation,
+        quick=quick,
+        params={
+            "nlists": list(nlists),
+            "max_workers": constraints.max_workers,
+            "pe_grid": list(constraints.pe_grid),
+            "seed": seed,
+            "gap_bound": CODESIGN_GAP_BOUND,
+            "min_batch_us": CODESIGN_MIN_BATCH_US,
+            "host_cpus": host_cpus(),
+        },
+    )
+    if report_out is not None:
+        Path(report_out).write_text(
+            json.dumps(result.to_json_dict(), indent=2) + "\n"
         )
     return result

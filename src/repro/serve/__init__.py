@@ -89,6 +89,7 @@ from repro.serve.scheduler import (
     ServeResult,
     ServingEngine,
 )
+from repro.serve.topology_spec import TenantLane, TopologySpec
 from repro.serve.workers import RemoteBackend, WorkerInfo, WorkerPool
 
 __all__ = [
@@ -112,8 +113,10 @@ __all__ = [
     "VectorSearchServer",
     "ShardedBackend",
     "SimulatedDeviceBackend",
+    "TenantLane",
     "TenantPolicy",
     "TenantStats",
+    "TopologySpec",
     "TenantWorkload",
     "TokenBucket",
     "WFQDiscipline",

@@ -1,0 +1,304 @@
+"""Loadable topology specs: the co-design autotuner's deployable output.
+
+The autotuner (:mod:`repro.core.codesign`) ranks joint serving designs by
+model; its winner only matters if it can be *deployed* without manual
+transcription.  A :class:`TopologySpec` is that hand-off: a frozen, JSON
+round-trippable record of everything needed to materialize the design —
+index geometry (nlist / nprobe / PQ shape), the R×S topology and routing
+policy, the micro-batch engine settings, and the per-tenant QoS lanes —
+plus the model's predictions, carried along so a validation run can score
+modeled-vs-measured without re-running the search.
+
+``spec.build(index)`` assembles the R×S grid via
+:func:`repro.serve.routing.build_topology`; ``spec.make_discipline()`` and
+``spec.make_window()`` produce the matching WFQ discipline and adaptive
+batch window for :class:`~repro.serve.scheduler.ServingEngine`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.serve.qos import AdaptiveBatchWindow, TenantPolicy, WFQDiscipline
+from repro.serve.routing import POLICIES, build_topology
+
+__all__ = ["SPEC_VERSION", "TenantLane", "TopologySpec"]
+
+#: Bump when the spec schema changes shape; ``from_dict`` rejects other
+#: versions rather than guessing at field semantics.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TenantLane:
+    """One tenant's QoS lane in a deployed topology."""
+
+    name: str
+    weight: float = 1.0
+    priority: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate the lane."""
+        if not self.name:
+            raise ValueError("tenant lane name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"lane weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A complete, materializable serving design.
+
+    Field groups: index geometry (``d``/``nlist``/``nprobe``/``k``/
+    ``use_opq``/``m``/``ksub``), topology (``replicas``/``shards``/
+    ``policy``), engine (``max_batch``/``window_us``), QoS
+    (``qos_scheme``/``tenants``), the target SLO, and the search's
+    ``model`` predictions (informational — carried for validation
+    reports, ignored by :meth:`build`).
+    """
+
+    d: int
+    nlist: int
+    nprobe: int
+    k: int
+    use_opq: bool
+    m: int
+    ksub: int
+    replicas: int
+    shards: int
+    max_batch: int
+    window_us: float
+    slo_p99_us: float
+    policy: str = "least-loaded"
+    qos_scheme: str = "uniform"
+    tenants: tuple[TenantLane, ...] = (TenantLane("default"),)
+    model: dict = field(default_factory=dict, compare=False)
+    version: int = SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        """Validate every field group."""
+        if self.version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported topology spec version {self.version} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        for name in ("d", "nlist", "nprobe", "k", "m", "ksub",
+                     "replicas", "shards", "max_batch"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.nprobe > self.nlist:
+            raise ValueError(
+                f"nprobe={self.nprobe} exceeds nlist={self.nlist}"
+            )
+        if self.window_us < 0:
+            raise ValueError(f"window_us must be >= 0, got {self.window_us}")
+        if self.slo_p99_us <= 0:
+            raise ValueError(
+                f"slo_p99_us must be positive, got {self.slo_p99_us}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}"
+            )
+        if not self.tenants:
+            raise ValueError("topology spec needs at least one tenant lane")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant lanes: {names}")
+
+    @property
+    def workers(self) -> int:
+        """Worker processes (= devices) the topology occupies."""
+        return self.replicas * self.shards
+
+    # ------------------------------------------------------------------ #
+    # Construction from a search result.
+    @classmethod
+    def from_design(
+        cls,
+        ev,
+        traffic,
+        *,
+        policy: str = "least-loaded",
+    ) -> "TopologySpec":
+        """Build a spec from a feasible :class:`~repro.core.codesign.DesignEval`.
+
+        ``traffic`` supplies the index geometry, the SLO, and the tenant
+        mix; the QoS weight scheme the search picked is resolved into
+        concrete per-lane weights here (via
+        :func:`repro.core.codesign.qos_weights`) so a deployed spec never
+        depends on scheme lookup at load time.
+        """
+        from repro.core.codesign import qos_weights
+
+        if not ev.feasible:
+            raise ValueError(
+                f"cannot spec an infeasible design: {'; '.join(ev.reasons)}"
+            )
+        design = ev.design
+        weights = qos_weights(design.qos_scheme, traffic.tenants)
+        p99 = ev.modeled_p99_us
+        return cls(
+            d=traffic.d,
+            nlist=design.nlist,
+            nprobe=design.nprobe,
+            k=traffic.max_k,
+            use_opq=design.use_opq,
+            m=traffic.m,
+            ksub=traffic.ksub,
+            replicas=design.replicas,
+            shards=design.shards,
+            max_batch=design.max_batch,
+            window_us=design.window_us,
+            slo_p99_us=traffic.slo_p99_us,
+            policy=policy,
+            qos_scheme=design.qos_scheme,
+            tenants=tuple(
+                TenantLane(
+                    name=t.name, weight=weights[t.name], priority=t.priority
+                )
+                for t in traffic.tenants
+            ),
+            model={
+                "device_qps": ev.device_qps,
+                "fill_us": ev.fill_us,
+                "per_query_us": ev.per_query_us,
+                "net_us": ev.net_us,
+                "modeled_qps": ev.modeled_qps,
+                "modeled_p99_us": (
+                    None if math.isinf(ev.modeled_p99_us) else p99
+                ),
+                "utilization": ev.utilization,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization.
+    def to_dict(self) -> dict:
+        """JSON-able form (round-trips through :meth:`from_dict`)."""
+        return {
+            "version": self.version,
+            "index": {
+                "d": self.d, "nlist": self.nlist, "nprobe": self.nprobe,
+                "k": self.k, "use_opq": self.use_opq,
+                "m": self.m, "ksub": self.ksub,
+            },
+            "topology": {
+                "replicas": self.replicas, "shards": self.shards,
+                "policy": self.policy,
+            },
+            "engine": {
+                "max_batch": self.max_batch, "window_us": self.window_us,
+            },
+            "qos_scheme": self.qos_scheme,
+            "tenants": [
+                {"name": t.name, "weight": t.weight, "priority": t.priority}
+                for t in self.tenants
+            ],
+            "slo_p99_us": self.slo_p99_us,
+            "model": dict(self.model),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TopologySpec":
+        """Parse a spec dict; rejects unknown versions and missing groups."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"topology spec must be an object, got {type(data)}")
+        version = data.get("version")
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported topology spec version {version!r} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        for group in ("index", "topology", "engine", "tenants", "slo_p99_us"):
+            if group not in data:
+                raise ValueError(f"topology spec missing {group!r}")
+        index, topo, engine = data["index"], data["topology"], data["engine"]
+        return cls(
+            d=int(index["d"]),
+            nlist=int(index["nlist"]),
+            nprobe=int(index["nprobe"]),
+            k=int(index["k"]),
+            use_opq=bool(index["use_opq"]),
+            m=int(index["m"]),
+            ksub=int(index["ksub"]),
+            replicas=int(topo["replicas"]),
+            shards=int(topo["shards"]),
+            policy=str(topo.get("policy", "least-loaded")),
+            max_batch=int(engine["max_batch"]),
+            window_us=float(engine["window_us"]),
+            qos_scheme=str(data.get("qos_scheme", "uniform")),
+            tenants=tuple(
+                TenantLane(
+                    name=str(t["name"]),
+                    weight=float(t.get("weight", 1.0)),
+                    priority=bool(t.get("priority", False)),
+                )
+                for t in data["tenants"]
+            ),
+            slo_p99_us=float(data["slo_p99_us"]),
+            model=dict(data.get("model", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TopologySpec":
+        """Read a spec saved by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------ #
+    # Materialization.
+    def build(self, index, *, wrap=None, seed: int = 0, warm: bool = False):
+        """Assemble the spec's R×S grid over a trained index.
+
+        The index must match the spec's geometry (d / nlist / PQ shape) —
+        a spec tuned for one index silently deployed over another would
+        invalidate every model number it carries.
+        """
+        for name, got in (
+            ("d", index.d), ("nlist", index.nlist),
+            ("m", index.m), ("ksub", index.ksub),
+            ("use_opq", index.use_opq),
+        ):
+            want = getattr(self, name)
+            if got != want:
+                raise ValueError(
+                    f"index {name}={got} does not match spec {name}={want}"
+                )
+        return build_topology(
+            index,
+            replicas=self.replicas,
+            shards=self.shards,
+            policy=self.policy,
+            wrap=wrap,
+            seed=seed,
+            warm=warm,
+        )
+
+    def make_discipline(self, depth: int = 1024) -> WFQDiscipline:
+        """The WFQ discipline realizing the spec's tenant lanes."""
+        return WFQDiscipline(
+            policies={
+                t.name: TenantPolicy(weight=t.weight, priority=t.priority)
+                for t in self.tenants
+            },
+            depth=depth,
+        )
+
+    def make_window(self, *, target_batch: int | None = None) -> AdaptiveBatchWindow:
+        """The adaptive batch window matching the spec's SLO and batch size."""
+        return AdaptiveBatchWindow(
+            slo_p99_us=self.slo_p99_us,
+            max_us=self.window_us,
+            target_batch=target_batch or self.max_batch,
+        )

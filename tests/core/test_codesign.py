@@ -1,0 +1,292 @@
+"""Search-core tests for the serving co-design autotuner."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.codesign import (
+    HostConstraints,
+    IndexOption,
+    SearchSpace,
+    TenantSpec,
+    TrafficClass,
+    TrafficProfile,
+    enumerate_joint_space,
+    evaluate,
+    modeled_serving,
+    qos_guaranteed_shares,
+    search,
+    synthetic_index_options,
+)
+from repro.core.config import AlgorithmParams
+from repro.core.design_space import best_design
+from repro.core.perf_model import (
+    IndexProfile,
+    min_nprobe_for_mass,
+    synthetic_profile,
+)
+from repro.harness import fig09
+from repro.hw.device import SMALL_DEVICE, U55C
+
+
+def small_traffic(**overrides) -> TrafficProfile:
+    """A modest profile every quick search can satisfy."""
+    defaults = dict(
+        rate_qps=2_000.0,
+        slo_p99_us=20_000.0,
+        recall_floor=0.5,
+        n_vectors=20_000,
+        d=32,
+        m=8,
+        ksub=32,
+    )
+    defaults.update(overrides)
+    return TrafficProfile(**defaults)
+
+
+def quick_setup(**traffic_overrides):
+    """(traffic, constraints, space, options) for a fast real search."""
+    traffic = small_traffic(**traffic_overrides)
+    constraints = HostConstraints(max_workers=4, pe_grid=(1, 2, 4, 8, 16))
+    space = SearchSpace.quick()
+    options = synthetic_index_options(
+        (64, 128), traffic.n_vectors, traffic.recall_floor, seed=3
+    )
+    return traffic, constraints, space, options
+
+
+# --------------------------------------------------------------------- #
+# Input validation.
+
+
+def test_traffic_profile_validates_shares_and_geometry():
+    with pytest.raises(ValueError, match="sum to 1"):
+        small_traffic(tenants=(TenantSpec("a", 0.5), TenantSpec("b", 0.2)))
+    with pytest.raises(ValueError, match="duplicate tenant"):
+        small_traffic(tenants=(TenantSpec("a", 0.5), TenantSpec("a", 0.5)))
+    with pytest.raises(ValueError, match="divisible"):
+        small_traffic(d=30, m=8)
+    with pytest.raises(ValueError, match="recall_floor"):
+        small_traffic(recall_floor=1.5)
+
+
+def test_traffic_profile_round_trips_through_dict():
+    traffic = small_traffic(
+        tenants=(TenantSpec("gold", 0.25, priority=True), TenantSpec("bulk", 0.75)),
+        classes=(TrafficClass(k=10, share=0.9), TrafficClass(k=50, share=0.1, nprobe=7)),
+    )
+    again = TrafficProfile.from_dict(traffic.to_dict())
+    assert again == traffic
+    assert again.max_k == 50
+    assert again.pinned_nprobe == 7
+
+
+def test_traffic_profile_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown traffic profile keys"):
+        TrafficProfile.from_dict(
+            {"rate_qps": 10.0, "slo_p99_us": 100.0, "rate": 5}
+        )
+
+
+def test_search_space_rejects_unknown_qos_scheme():
+    with pytest.raises(ValueError, match="qos_schemes"):
+        SearchSpace(qos_schemes=("uniform", "strict"))
+
+
+def test_index_option_rejects_mismatched_profile():
+    profile = synthetic_profile(64, 10_000)
+    with pytest.raises(ValueError, match="nlist"):
+        IndexOption(nlist=128, use_opq=False, nprobe=4, profile=profile)
+    with pytest.raises(ValueError, match="nprobe"):
+        IndexOption(nlist=64, use_opq=False, nprobe=65, profile=profile)
+
+
+# --------------------------------------------------------------------- #
+# Model helpers.
+
+
+def test_synthetic_profile_is_deterministic_and_exact():
+    a = synthetic_profile(64, 10_000, skew=1.5, seed=7)
+    b = synthetic_profile(64, 10_000, skew=1.5, seed=7)
+    assert np.array_equal(a.cell_sizes, b.cell_sizes)
+    assert a.ntotal == 10_000
+    assert int(np.min(a.cell_sizes)) >= 1
+    uniform = synthetic_profile(64, 6_400, skew=0.0)
+    assert np.all(uniform.cell_sizes == 100)
+
+
+def test_min_nprobe_for_mass_is_monotone_and_reaches_one():
+    profile = synthetic_profile(128, 50_000, skew=1.0, seed=1)
+    floors = (0.1, 0.3, 0.6, 0.9, 1.0)
+    nprobes = [min_nprobe_for_mass(profile, f) for f in floors]
+    assert nprobes == sorted(nprobes)
+    assert nprobes[-1] <= profile.nlist
+    # The found nprobe covers the floor; one less does not.
+    for floor, nprobe in zip(floors, nprobes):
+        total = profile.ntotal
+        assert profile.expected_codes(nprobe) >= floor * total
+        if nprobe > 1:
+            assert profile.expected_codes(nprobe - 1) < floor * total
+
+
+def test_best_design_matches_fig09_optimal_design():
+    params = AlgorithmParams(d=128, nlist=2**13, nprobe=16, k=10)
+    sizes = np.full(params.nlist, fig09.NTOTAL // params.nlist, dtype=np.int64)
+    profile = IndexProfile(nlist=params.nlist, use_opq=False, cell_sizes=sizes)
+    found = best_design(params, U55C, profile, pe_grid=fig09.PE_GRID)
+    assert found is not None
+    assert found[0] == fig09.optimal_design(params)
+
+
+def test_best_design_returns_none_when_nothing_fits():
+    params = AlgorithmParams(d=128, nlist=2**15, nprobe=64, k=100)
+    profile = synthetic_profile(params.nlist, 1_000_000, seed=0)
+    assert best_design(params, SMALL_DEVICE, profile, pe_grid=(57,)) is None
+
+
+def test_modeled_serving_capacity_scales_with_replicas():
+    kwargs = dict(
+        fill_us=100.0, per_query_us=10.0, shards=1, max_batch=16,
+        window_us=1000.0, rate_qps=100.0, nprobe=8, d=32, k=10,
+    )
+    cap1, p99_1, util1 = modeled_serving(replicas=1, **kwargs)
+    cap4, _, util4 = modeled_serving(replicas=4, **kwargs)
+    assert cap4 == pytest.approx(4 * cap1)
+    assert util4 == pytest.approx(util1 / 4)
+    assert p99_1 > kwargs["window_us"]
+
+
+def test_modeled_serving_saturates_to_infinite_p99():
+    _, p99, _ = modeled_serving(
+        fill_us=1_000.0, per_query_us=1_000.0, replicas=1, shards=1,
+        max_batch=4, window_us=500.0, rate_qps=1e9, nprobe=8, d=32, k=10,
+    )
+    assert p99 == float("inf")
+
+
+def test_qos_guaranteed_shares():
+    tenants = (TenantSpec("a", 0.8), TenantSpec("b", 0.2))
+    assert qos_guaranteed_shares("uniform", tenants) == {"a": 0.5, "b": 0.5}
+    assert qos_guaranteed_shares("weighted", tenants) == {"a": 0.8, "b": 0.2}
+    with pytest.raises(ValueError, match="unknown qos scheme"):
+        qos_guaranteed_shares("lottery", tenants)
+
+
+# --------------------------------------------------------------------- #
+# The search: determinism, explicit empty frontier, brute-force parity.
+
+
+def test_infeasible_space_yields_explicit_empty_frontier():
+    # A workers cap of 0 devices' worth is impossible to satisfy — but
+    # max_workers >= 1, so force infeasibility through the SLO instead:
+    # every window in the space exceeds the p99 SLO.
+    traffic, constraints, space, options = quick_setup(slo_p99_us=900.0)
+    report = search(traffic, constraints, space, options)
+    assert report.empty
+    assert report.winner is None
+    assert report.n_feasible == 0
+    assert report.n_enumerated == space.size(len(options))
+    assert "window" in report.prune_counts
+    # Reasons cover every pruned point (each point fails >= 1 check).
+    assert sum(report.prune_counts.values()) >= report.n_enumerated
+
+
+def test_recall_unreachable_options_enumerate_and_prune_explicitly():
+    traffic, constraints, space, options = quick_setup()
+    dead = [
+        dataclasses.replace(o, nprobe=None) for o in options
+    ]
+    report = search(traffic, constraints, space, dead)
+    assert report.empty
+    assert report.prune_counts.get("recall") == report.n_enumerated
+
+
+def test_search_is_deterministic_under_fixed_seed():
+    traffic, constraints, space, options = quick_setup()
+    a = search(traffic, constraints, space, options)
+    b = search(traffic, constraints, space, options)
+    assert not a.empty
+    assert [ev.design for ev in a.ranked] == [ev.design for ev in b.ranked]
+    assert [ev.modeled_qps for ev in a.ranked] == [
+        ev.modeled_qps for ev in b.ranked
+    ]
+    assert a.prune_counts == b.prune_counts
+
+
+def test_search_matches_brute_force_over_enumerated_space():
+    traffic, constraints, space, options = quick_setup()
+    report = search(traffic, constraints, space, options)
+
+    by_key = {(o.nlist, o.use_opq): o for o in options}
+    brute = []
+    n_points = 0
+    for design, option in enumerate_joint_space(space, options):
+        n_points += 1
+        assert by_key[(design.nlist, design.use_opq)] is option
+        ev = evaluate(design, traffic, constraints, option)
+        if ev.feasible:
+            brute.append(ev)
+    brute.sort(key=lambda ev: ev.sort_key())
+
+    assert report.n_enumerated == n_points == space.size(len(options))
+    assert report.n_feasible == len(brute)
+    assert [ev.design for ev in report.ranked] == [ev.design for ev in brute]
+    assert [ev.modeled_qps for ev in report.ranked] == pytest.approx(
+        [ev.modeled_qps for ev in brute]
+    )
+    # Ranking really is best-first.
+    qps = [ev.modeled_qps for ev in report.ranked]
+    assert qps == sorted(qps, reverse=True)
+
+
+def test_evaluate_prunes_worker_budget_and_memory():
+    traffic, constraints, space, options = quick_setup()
+    option = options[0]
+    import repro.core.codesign as cd
+
+    fat = cd.ServingDesign(
+        nlist=option.nlist, use_opq=option.use_opq, nprobe=option.nprobe,
+        replicas=4, shards=4, max_batch=8, window_us=1000.0,
+        qos_scheme="uniform",
+    )
+    ev = evaluate(fat, traffic, constraints, option)
+    assert not ev.feasible
+    assert any(r.startswith("workers:") for r in ev.reasons)
+
+    huge = small_traffic(n_vectors=traffic.n_vectors)
+    big_profile = synthetic_profile(option.nlist, 3 * 10**9, seed=0)
+    big_option = IndexOption(
+        nlist=option.nlist, use_opq=option.use_opq, nprobe=option.nprobe,
+        profile=big_profile,
+    )
+    tight = dataclasses.replace(fat, replicas=1, shards=1)
+    ev = evaluate(tight, huge, constraints, big_option)
+    assert not ev.feasible
+    assert any(r.startswith("memory:") for r in ev.reasons)
+
+
+def test_evaluate_rejects_mismatched_option():
+    traffic, constraints, _, options = quick_setup()
+    import repro.core.codesign as cd
+
+    design = cd.ServingDesign(
+        nlist=999, use_opq=False, nprobe=4, replicas=1, shards=1,
+        max_batch=8, window_us=1000.0, qos_scheme="uniform",
+    )
+    with pytest.raises(ValueError, match="does not match"):
+        evaluate(design, traffic, constraints, options[0])
+
+
+def test_report_to_dict_caps_ranked_and_counts_prunes():
+    traffic, constraints, space, options = quick_setup()
+    report = search(traffic, constraints, space, options)
+    payload = report.to_dict(top_n=3)
+    assert payload["n_enumerated"] == report.n_enumerated
+    assert len(payload["ranked"]) == min(3, report.n_feasible)
+    assert payload["n_ranked_reported"] == len(payload["ranked"])
+    for entry in payload["ranked"]:
+        assert entry["feasible"] is True
+        assert entry["design"]["workers"] <= constraints.max_workers

@@ -9,7 +9,7 @@ class TestCLI:
     def test_all_experiment_ids_registered(self):
         assert set(EXPERIMENTS) == {
             "fig01", "fig03", "fig09", "fig10", "fig11", "fig12", "tab03", "tab04",
-            "serve-bench", "trace-report", "serve-top",
+            "serve-bench", "trace-report", "serve-top", "codesign-serve",
         }
 
     def test_runs_analytic_experiment(self, capsys):
@@ -137,3 +137,37 @@ class TestTimelineFlags:
         from repro.harness.cli import NOT_IN_ALL
 
         assert "serve-top" in NOT_IN_ALL
+
+
+class TestCodesignFlags:
+    def test_codesign_rejects_serve_bench_topology_flags(self):
+        """codesign-serve picks its own topology; hand-tuning flags are
+        the serve-bench modes' business."""
+        for extra in (
+            ["--workers", "2"], ["--qos"], ["--async"],
+            ["--replicas", "1,2"], ["--shards", "2"], ["--policy", "p2c"],
+            ["--connections", "4"], ["--clients", "8"], ["--requests", "64"],
+        ):
+            with pytest.raises(SystemExit, match="serve-bench modes only"):
+                main(["codesign-serve", *extra])
+
+    def test_codesign_rejects_observability_flags(self, tmp_path):
+        out = str(tmp_path / "t.json")
+        for extra in (["--trace", out], ["--metrics-out", out],
+                      ["--timeline", out]):
+            with pytest.raises(SystemExit, match="serve-bench modes only"):
+                main(["codesign-serve", *extra])
+
+    def test_codesign_flags_rejected_by_serve_bench(self, tmp_path):
+        for extra in (
+            ["--traffic", str(tmp_path / "t.json")], ["--validate"],
+            ["--report", str(tmp_path / "r.json")],
+            ["--spec", str(tmp_path / "s.json")],
+        ):
+            with pytest.raises(SystemExit, match="codesign-serve only"):
+                main(["serve-bench", *extra])
+
+    def test_codesign_in_all_set(self):
+        from repro.harness.cli import NOT_IN_ALL
+
+        assert "codesign-serve" not in NOT_IN_ALL

@@ -1,0 +1,150 @@
+"""Tests for the loadable topology spec (the autotuner's deployable output)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import IVFPQIndex
+from repro.core.codesign import (
+    HostConstraints,
+    SearchSpace,
+    TenantSpec,
+    TrafficProfile,
+    search,
+    synthetic_index_options,
+)
+from repro.data.synthetic import make_clustered
+from repro.serve.qos import AdaptiveBatchWindow, WFQDiscipline
+from repro.serve.scheduler import ServingEngine
+from repro.serve.topology_spec import SPEC_VERSION, TenantLane, TopologySpec
+
+
+def make_spec(**overrides) -> TopologySpec:
+    defaults = dict(
+        d=32, nlist=64, nprobe=4, k=10, use_opq=False, m=8, ksub=32,
+        replicas=2, shards=2, max_batch=8, window_us=1000.0,
+        slo_p99_us=20_000.0,
+        tenants=(TenantLane("online", 2.0, priority=True), TenantLane("batch")),
+        model={"modeled_qps": 1234.5},
+    )
+    defaults.update(overrides)
+    return TopologySpec(**defaults)
+
+
+def search_winner():
+    """A real winner out of a quick co-design search."""
+    traffic = TrafficProfile(
+        rate_qps=2_000.0, slo_p99_us=20_000.0, recall_floor=0.5,
+        n_vectors=20_000, d=32, m=8, ksub=32,
+        tenants=(TenantSpec("online", 0.7, priority=True), TenantSpec("batch", 0.3)),
+    )
+    options = synthetic_index_options(
+        (64,), traffic.n_vectors, traffic.recall_floor, seed=3
+    )
+    report = search(
+        traffic,
+        HostConstraints(max_workers=4, pe_grid=(1, 2, 4, 8, 16)),
+        SearchSpace.quick(),
+        options,
+    )
+    assert report.winner is not None
+    return report.winner, traffic
+
+
+def test_round_trips_through_dict_and_file(tmp_path):
+    spec = make_spec()
+    assert TopologySpec.from_dict(spec.to_dict()) == spec
+    path = spec.save(tmp_path / "spec.json")
+    assert TopologySpec.load(path) == spec
+    assert spec.workers == 4
+
+
+def test_rejects_other_versions_and_bad_fields():
+    with pytest.raises(ValueError, match="version"):
+        make_spec(version=SPEC_VERSION + 1)
+    data = make_spec().to_dict()
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version 99"):
+        TopologySpec.from_dict(data)
+    with pytest.raises(ValueError, match="missing 'engine'"):
+        TopologySpec.from_dict({k: v for k, v in make_spec().to_dict().items() if k != "engine"})
+    with pytest.raises(ValueError, match="nprobe"):
+        make_spec(nprobe=65)
+    with pytest.raises(ValueError, match="policy"):
+        make_spec(policy="random")
+    with pytest.raises(ValueError, match="duplicate"):
+        make_spec(tenants=(TenantLane("a"), TenantLane("a")))
+
+
+def test_winner_round_trips_and_resolves_qos_weights(tmp_path):
+    winner, traffic = search_winner()
+    spec = TopologySpec.from_design(winner, traffic)
+    assert spec.nlist == winner.design.nlist
+    assert spec.nprobe == winner.design.nprobe
+    assert spec.replicas == winner.design.replicas
+    assert spec.shards == winner.design.shards
+    assert spec.max_batch == winner.design.max_batch
+    assert spec.window_us == winner.design.window_us
+    assert spec.k == traffic.max_k
+    assert spec.model["modeled_qps"] == pytest.approx(winner.modeled_qps)
+    # Scheme resolved to concrete lane weights at spec time.
+    by_name = {t.name: t for t in spec.tenants}
+    if winner.design.qos_scheme == "uniform":
+        assert {t.weight for t in spec.tenants} == {1.0}
+    else:
+        assert by_name["online"].weight == pytest.approx(0.7)
+    assert by_name["online"].priority
+    assert TopologySpec.load(spec.save(tmp_path / "w.json")) == spec
+
+
+def test_from_design_rejects_infeasible():
+    winner, traffic = search_winner()
+    dead = dataclasses.replace(
+        winner, feasible=False, reasons=("capacity: too slow",)
+    )
+    with pytest.raises(ValueError, match="infeasible"):
+        TopologySpec.from_design(dead, traffic)
+
+
+def test_build_materializes_bit_identical_topology():
+    vecs = make_clustered(4_200, 32, n_clusters=64, seed=9)
+    base, queries = vecs[:4_000], vecs[4_000:4_064]
+    index = IVFPQIndex(d=32, nlist=64, m=8, ksub=32, seed=0)
+    index.train(base)
+    index.add(base)
+    spec = make_spec()
+    topo = spec.build(index)
+    ref_ids, ref_dists = index.search(queries, spec.k, spec.nprobe)
+    with ServingEngine(
+        topo, max_batch=spec.max_batch, max_wait_us=1000.0,
+        dispatchers=spec.replicas,
+    ) as eng:
+        got = [eng.submit(q, spec.k, spec.nprobe).result() for q in queries]
+    assert np.array_equal(np.stack([g.ids for g in got]), ref_ids)
+    assert np.array_equal(np.stack([g.dists for g in got]), ref_dists)
+
+
+def test_build_rejects_mismatched_index():
+    index = IVFPQIndex(d=32, nlist=32, m=8, ksub=32, seed=0)
+    base = make_clustered(2_000, 32, n_clusters=32, seed=1)
+    index.train(base)
+    index.add(base)
+    with pytest.raises(ValueError, match="nlist"):
+        make_spec(nlist=64).build(index)
+
+
+def test_make_discipline_and_window_match_spec():
+    spec = make_spec()
+    discipline = spec.make_discipline(depth=128)
+    assert isinstance(discipline, WFQDiscipline)
+    assert discipline.policies["online"].weight == 2.0
+    assert discipline.policies["online"].priority
+    assert not discipline.policies["batch"].priority
+    assert discipline.maxsize == 128
+
+    window = spec.make_window()
+    assert isinstance(window, AdaptiveBatchWindow)
+    assert window.current_us() <= spec.window_us

@@ -43,6 +43,21 @@ class TestDriftRows:
         rows = check_bench.drift_rows({"qps": 0.0}, {"qps": 5.0})
         assert rows == [("qps", 0.0, 5.0, None)]
 
+    def test_gap_leaves_tracked_by_default_filter(self):
+        """The codesign model-accuracy leaves are drift-tracked."""
+        old = {
+            "qps_gap": -0.20, "p99_gap": -0.05,
+            "modeled_qps": 2000.0, "measured_qps": 1600.0,
+            "time_scale": 25.0, "n_failed": 0,
+        }
+        new = dict(old, qps_gap=-0.10, measured_qps=1800.0)
+        rows = check_bench.drift_rows(old, new)
+        keys = {k for k, *_ in rows}
+        assert {"qps_gap", "p99_gap", "modeled_qps", "measured_qps"} <= keys
+        # Non-metric bookkeeping leaves stay out of the drift table.
+        assert "time_scale" not in keys
+        assert "n_failed" not in keys
+
     def test_custom_metric_filter(self):
         rows = check_bench.drift_rows(
             {"recall": 0.9, "qps": 1.0}, {"recall": 0.8, "qps": 2.0},

@@ -1,0 +1,209 @@
+"""Tests for the co-design report validator (tools/check_codesign.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_codesign  # noqa: E402  (needs the tools/ path above)
+
+
+def design(qps, **overrides):
+    d = {
+        "nlist": 64, "use_opq": False, "nprobe": 4, "replicas": 2,
+        "shards": 2, "max_batch": 8, "window_us": 1000.0,
+        "qos_scheme": "uniform", "workers": 4,
+    }
+    d.update(overrides)
+    return {
+        "design": d,
+        "feasible": True,
+        "reasons": [],
+        "modeled_qps": qps,
+        "modeled_p99_us": 1500.0,
+        "utilization": 0.4,
+    }
+
+
+def good_report():
+    ranked = [design(5000.0), design(4000.0, replicas=1, workers=2),
+              design(3000.0, nlist=32)]
+    top = ranked[0]["design"]
+    return {
+        "schema": 1,
+        "quick": True,
+        "gap_bound": 0.5,
+        "traffic": {"rate_qps": 1000.0, "slo_p99_us": 20000.0},
+        "search": {
+            "n_enumerated": 10,
+            "n_feasible": 3,
+            "prune_counts": {"capacity": 5, "qos": 2},
+            "ranked": ranked,
+        },
+        "winner_spec": {
+            "version": 1,
+            "index": {
+                "d": 32, "nlist": top["nlist"], "nprobe": top["nprobe"],
+                "k": 10, "use_opq": top["use_opq"], "m": 8, "ksub": 32,
+            },
+            "topology": {
+                "replicas": top["replicas"], "shards": top["shards"],
+                "policy": "least-loaded",
+            },
+            "engine": {
+                "max_batch": top["max_batch"], "window_us": top["window_us"],
+            },
+            "qos_scheme": top["qos_scheme"],
+            "tenants": [{"name": "default", "weight": 1.0, "priority": False}],
+            "slo_p99_us": 20000.0,
+            "model": {},
+        },
+        "validation": {
+            "time_scale": 25.0,
+            "modeled_qps": 2000.0,
+            "measured_qps": 1700.0,
+            "qps_gap": -0.15,
+            "modeled_p99_us": 30000.0,
+            "measured_p99_us": 28000.0,
+            "p99_gap": -0.07,
+            "n_requests": 240,
+            "n_failed": 0,
+            "bit_identical": True,
+            "tenant_p99_us": {"default": 28000.0},
+        },
+        "params": {},
+    }
+
+
+def write(tmp_path, report):
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report))
+    return path
+
+
+def test_good_report_passes(tmp_path):
+    path = write(tmp_path, good_report())
+    assert check_codesign.validate(path) == []
+    assert check_codesign.validate(path, require_validation=True) == []
+    assert check_codesign.main([str(path), "--require-validation"]) == 0
+
+
+def test_wrong_schema_fails(tmp_path):
+    report = good_report()
+    report["schema"] = 2
+    errors = check_codesign.validate(write(tmp_path, report))
+    assert any("schema" in e for e in errors)
+
+
+def test_unsorted_ranking_fails(tmp_path):
+    report = good_report()
+    ranked = report["search"]["ranked"]
+    ranked[0], ranked[-1] = ranked[-1], ranked[0]
+    errors = check_codesign.validate(write(tmp_path, report))
+    assert any("not sorted" in e for e in errors)
+
+
+def test_inconsistent_counts_fail(tmp_path):
+    report = good_report()
+    report["search"]["n_feasible"] = 99
+    errors = check_codesign.validate(write(tmp_path, report))
+    assert any("inconsistent counts" in e for e in errors)
+
+
+def test_prune_counts_must_cover_pruned_points(tmp_path):
+    report = good_report()
+    report["search"]["prune_counts"] = {"capacity": 1}
+    errors = check_codesign.validate(write(tmp_path, report))
+    assert any("cannot cover" in e for e in errors)
+
+
+def test_missing_winner_on_nonempty_frontier_fails(tmp_path):
+    report = good_report()
+    report["winner_spec"] = None
+    errors = check_codesign.validate(write(tmp_path, report))
+    assert any("winner_spec is null" in e for e in errors)
+
+
+def test_empty_frontier_needs_no_winner(tmp_path):
+    report = good_report()
+    report["search"].update(
+        n_feasible=0, ranked=[], prune_counts={"recall": 10}
+    )
+    report["winner_spec"] = None
+    report["validation"] = None
+    path = write(tmp_path, report)
+    assert check_codesign.validate(path) == []
+    # But --require-validation still demands a validation section.
+    errors = check_codesign.validate(path, require_validation=True)
+    assert any("no validation section" in e for e in errors)
+
+
+def test_winner_must_match_rank_one(tmp_path):
+    report = good_report()
+    report["winner_spec"]["topology"]["replicas"] = 3
+    errors = check_codesign.validate(write(tmp_path, report))
+    assert any("does not match rank-1" in e for e in errors)
+
+
+def test_validation_gates(tmp_path):
+    for mutate, needle in (
+        (lambda v: v.update(qps_gap=-0.7), "exceeds the bound"),
+        (lambda v: v.update(bit_identical=False), "bit-identical"),
+        (lambda v: v.update(n_failed=3), "failed request"),
+    ):
+        report = good_report()
+        mutate(report["validation"])
+        path = write(tmp_path, report)
+        assert check_codesign.validate(path) == []  # structural pass
+        errors = check_codesign.validate(path, require_validation=True)
+        assert any(needle in e for e in errors), (needle, errors)
+        assert check_codesign.main([str(path), "--require-validation"]) == 1
+
+
+def test_max_gap_flag_loosens_the_gate(tmp_path):
+    report = good_report()
+    report["validation"]["qps_gap"] = -0.7
+    path = write(tmp_path, report)
+    assert check_codesign.validate(
+        path, require_validation=True, max_gap=0.8
+    ) == []
+
+
+def test_unreadable_file_fails(tmp_path):
+    path = tmp_path / "nope.json"
+    errors = check_codesign.validate(path)
+    assert any("unreadable" in e for e in errors)
+    path.write_text("not json")
+    errors = check_codesign.validate(path)
+    assert any("unreadable" in e for e in errors)
+
+
+def test_harness_report_passes_validator(tmp_path):
+    """The real report writer and the validator agree on the contract."""
+    from repro.core import codesign
+    from repro.harness.serve_bench import CodesignServeResult
+    from repro.serve.topology_spec import TopologySpec
+
+    traffic = codesign.TrafficProfile(
+        rate_qps=2_000.0, slo_p99_us=20_000.0, recall_floor=0.5,
+        n_vectors=20_000, d=32, m=8, ksub=32,
+    )
+    options = codesign.synthetic_index_options(
+        (64,), traffic.n_vectors, traffic.recall_floor, seed=3
+    )
+    report = codesign.search(
+        traffic,
+        codesign.HostConstraints(max_workers=4, pe_grid=(1, 2, 4, 8, 16)),
+        codesign.SearchSpace.quick(),
+        options,
+    )
+    result = CodesignServeResult(
+        report=report,
+        spec=TopologySpec.from_design(report.winner, traffic),
+        validation=None,
+        quick=True,
+    )
+    path = write(tmp_path, result.to_json_dict())
+    assert check_codesign.validate(path) == []

@@ -3,7 +3,7 @@
 
 Benchmark tests rewrite the ``BENCH_*.json`` artifacts at the repo root on
 every run; this tool diffs the headline metrics (any numeric field whose
-key contains ``qps``, ``p99``, ``availability``, or ``coverage``,
+key contains ``qps``, ``p99``, ``availability``, ``coverage``, or ``gap``,
 configurable with ``--metrics``) of the
 freshly-written files against the versions committed at a git ref
 (default ``HEAD``), and prints a drift table::
@@ -41,8 +41,11 @@ from pathlib import Path
 #: Default pattern of metric keys worth tracking across runs.  Besides
 #: the throughput/tail headline numbers, availability and coverage
 #: leaves (the chaos/fault-tolerance benchmarks) are tracked so a
-#: recovery regression is as visible as a latency one.
-DEFAULT_METRICS = r"(qps|p99|availability|coverage)"
+#: recovery regression is as visible as a latency one, and ``gap``
+#: leaves (the codesign benchmark's modeled-vs-measured error, which
+#: also matches its ``modeled_qps``/``measured_qps`` companions via the
+#: ``qps`` alternative) so model-accuracy drift shows up in history.
+DEFAULT_METRICS = r"(qps|p99|availability|coverage|gap)"
 
 #: Most recent runs shown per metric in the trend table.
 TREND_RUNS = 8
